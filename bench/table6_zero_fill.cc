@@ -1,0 +1,166 @@
+// Table 6 — "Performance for zero-filled memory allocation" (paper section 5.3.1).
+//
+// "The first benchmark program creates a region, accesses some of the data within
+// the region in order to demand allocation of filled-zero memory and, finally,
+// deallocates the region.  For each region size, the table shows the time elapsed
+// for creating the region, allocating and deallocating some real memory, and
+// destroying the region, averaged over some large number of iterations."
+//
+// Run on both the Chorus PVM and the Mach-style shadow baseline, with the paper's
+// bcopy/bzero preamble first.  The absolute scale is host-dependent; the shape
+// checks at the end assert the paper's qualitative claims.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+namespace gvm {
+namespace bench {
+namespace {
+
+constexpr Vaddr kBase = 0x40000000;
+
+// One Table 6 trial: create region over a fresh temporary cache, touch N pages
+// (demand zero-fill), destroy.
+void ZeroFillTrial(World& world, size_t region_bytes, size_t touch_pages) {
+  Cache* cache = *world.mm->CacheCreate(nullptr, "bench");
+  Region* region =
+      *world.mm->RegionCreate(*world.context, kBase, region_bytes, Prot::kReadWrite, *cache, 0);
+  AsId as = world.context->address_space();
+  for (size_t i = 0; i < touch_pages; ++i) {
+    uint64_t value = i;
+    world.mm->cpu().Write(as, kBase + i * kPage, &value, sizeof(value));
+  }
+  region->Destroy();
+  cache->Destroy();
+}
+
+std::vector<std::vector<double>> MeasureMatrix(MmKind kind, const TableSpec& spec) {
+  std::vector<std::vector<double>> cells(spec.region_kb.size(),
+                                         std::vector<double>(spec.touched_pages.size(), 0));
+  for (size_t r = 0; r < spec.region_kb.size(); ++r) {
+    for (size_t c = 0; c < spec.touched_pages.size(); ++c) {
+      if (!spec.CellValid(spec.region_kb[r], spec.touched_pages[c])) {
+        continue;
+      }
+      World world = World::Make(kind);
+      size_t bytes = spec.region_kb[r] * 1024;
+      size_t pages = spec.touched_pages[c];
+      cells[r][c] = TimeNs([&] { ZeroFillTrial(world, bytes, pages); });
+    }
+  }
+  return cells;
+}
+
+void RunPaperTable() {
+  std::printf("==========================================================================\n");
+  std::printf("Table 6: zero-filled memory allocation\n");
+  std::printf("==========================================================================\n");
+
+  // The paper's preamble: "A copy (Unix bcopy) of 8 Kbytes in real memory ...
+  // takes 1.4 ms.  Filling 8 Kbytes of real memory with zeroes (bzero) takes
+  // 0.87 ms."  Our equivalents on the simulated frames:
+  {
+    PhysicalMemory memory(4, kPage);
+    FrameIndex a = *memory.AllocateFrame();
+    FrameIndex b = *memory.AllocateFrame();
+    double bcopy = TimeNs([&] { memory.CopyFrame(b, a); });
+    double bzero = TimeNs([&] { memory.ZeroFrame(a); });
+    std::printf("preamble: bcopy(8KB) = %s   (paper: 1.4 ms)\n", FormatNs(bcopy).c_str());
+    std::printf("preamble: bzero(8KB) = %s   (paper: 0.87 ms)\n\n", FormatNs(bzero).c_str());
+  }
+
+  TableSpec spec;
+  auto chorus = MeasureMatrix(MmKind::kPvm, spec);
+  auto mach = MeasureMatrix(MmKind::kShadow, spec);
+
+  PrintMatrix("Chorus (PVM): zero-filled memory allocation (measured)", spec, chorus);
+  std::printf("\n");
+  static const double kPaperChorus[3][4] = {{0.350, 1.50, -1, -1},
+                                            {0.352, 1.60, 36.6, -1},
+                                            {0.390, 1.63, 37.7, 145.9}};
+  PrintPaperTable("Chorus: zero-filled memory allocation", kPaperChorus);
+  std::printf("\n");
+  PrintMatrix("Mach (shadow objects): zero-filled memory allocation (measured)", spec, mach);
+  std::printf("\n");
+  static const double kPaperMach[3][4] = {{1.57, 3.12, -1, -1},
+                                          {1.81, 3.19, 46.8, -1},
+                                          {1.89, 3.26, 47.0, 180.8}};
+  PrintPaperTable("Mach: zero-filled memory allocation", kPaperMach);
+
+  std::printf("\nShape checks (the paper's qualitative claims):\n");
+  ShapeCheck check;
+  // 1. "the cost of creating and destroying a region is practically independent of
+  //    its size" — paper: 0.350 vs 0.390 ms (11%%); allow generous slack.
+  check.Check(chorus[2][0] < chorus[0][0] * 2.5,
+              "PVM: region create/destroy cost is ~independent of region size "
+              "(1024Kb <= 2.5x 8Kb)");
+  // 2. Allocation cost is dominated by the touched pages, scaling linearly.
+  double per_page_32 = (chorus[2][2] - chorus[2][0]) / 32;
+  double per_page_128 = (chorus[2][3] - chorus[2][0]) / 128;
+  check.Check(per_page_128 < per_page_32 * 2 && per_page_32 < per_page_128 * 2,
+              "PVM: per-page zero-fill cost is linear (32- vs 128-page rates within 2x)");
+  // 3. Zero-fill involves no deferred-copy machinery in either design, so the two
+  //    managers must be of the same order here.  (The paper's large absolute gap
+  //    came from Mach's heavier fault-path layers — port-based pager checks and
+  //    the pmap module — which the shadow baseline deliberately does not model;
+  //    see EXPERIMENTS.md.)
+  bool same_order = true;
+  TableSpec s2;
+  for (size_t r = 0; r < s2.region_kb.size(); ++r) {
+    for (size_t c = 0; c < s2.touched_pages.size(); ++c) {
+      if (s2.CellValid(s2.region_kb[r], s2.touched_pages[c]) &&
+          (chorus[r][c] > mach[r][c] * 2.5 || mach[r][c] > chorus[r][c] * 2.5)) {
+        same_order = false;
+      }
+    }
+  }
+  check.Check(same_order,
+              "Chorus and Mach zero-fill costs are the same order in every cell");
+  // 4. Mach's region create is also ~size-independent (paper: 1.57 -> 1.89 ms).
+  check.Check(mach[2][0] < mach[0][0] * 2.5,
+              "Mach: region create/destroy cost is ~independent of region size");
+  std::printf("\n");
+}
+
+// google-benchmark registration over the same matrix.
+void BM_ZeroFill(::benchmark::State& state) {
+  MmKind kind = static_cast<MmKind>(state.range(0));
+  size_t region_bytes = static_cast<size_t>(state.range(1)) * 1024;
+  size_t touch_pages = static_cast<size_t>(state.range(2));
+  World world = World::Make(kind);
+  for (auto _ : state) {
+    ZeroFillTrial(world, region_bytes, touch_pages);
+  }
+  state.SetLabel(MmName(kind));
+}
+
+void RegisterAll() {
+  TableSpec spec;
+  for (MmKind kind : {MmKind::kPvm, MmKind::kShadow}) {
+    for (size_t kb : spec.region_kb) {
+      for (size_t pages : spec.touched_pages) {
+        if (!spec.CellValid(kb, pages)) {
+          continue;
+        }
+        ::benchmark::RegisterBenchmark("BM_ZeroFill", &BM_ZeroFill)
+            ->Args({static_cast<long>(kind), static_cast<long>(kb),
+                    static_cast<long>(pages)})
+            ->Unit(::benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gvm
+
+int main(int argc, char** argv) {
+  gvm::bench::RunPaperTable();
+  gvm::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

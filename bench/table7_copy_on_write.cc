@@ -1,0 +1,189 @@
+// Table 7 — "Performance of copy-on-write" (paper section 5.3.1).
+//
+// "The second program creates a region, which is entirely allocated in real
+// memory.  It then copies it, and modifies some of the data within the source
+// region (in order to force a real copy).  ...  The source region is created and
+// allocated before starting the measurement.  For each region size, the table
+// shows the time elapsed for creating the copy region, forcing a copy of some
+// amount of data, and deallocating and destroying the copy region."
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gvm {
+namespace bench {
+namespace {
+
+constexpr Vaddr kSrcBase = 0x40000000;
+constexpr Vaddr kCopyBase = 0x80000000;
+
+struct CowFixture {
+  World world;
+  Cache* src_cache = nullptr;
+  Region* src_region = nullptr;
+  size_t region_bytes = 0;
+
+  static CowFixture Make(MmKind kind, size_t region_bytes) {
+    CowFixture fx{.world = World::Make(kind), .region_bytes = region_bytes};
+    fx.src_cache = *fx.world.mm->CacheCreate(nullptr, "src");
+    fx.src_region = *fx.world.mm->RegionCreate(*fx.world.context, kSrcBase, region_bytes,
+                                               Prot::kReadWrite, *fx.src_cache, 0);
+    // "a region, which is entirely allocated in real memory."
+    AsId as = fx.world.context->address_space();
+    for (size_t off = 0; off < region_bytes; off += kPage) {
+      uint64_t value = off;
+      fx.world.mm->cpu().Write(as, kSrcBase + off, &value, sizeof(value));
+    }
+    return fx;
+  }
+};
+
+// One Table 7 trial: deferred copy of the source into a fresh region, then write
+// `dirty_pages` pages of the SOURCE to force real copies, then tear down the copy.
+void CowTrial(CowFixture& fx, size_t dirty_pages) {
+  Cache* copy_cache = *fx.world.mm->CacheCreate(nullptr, "cpy");
+  Status copied = fx.src_cache->CopyTo(*copy_cache, 0, 0, fx.region_bytes,
+                                       CopyPolicy::kHistory);
+  (void)copied;
+  Region* copy_region = *fx.world.mm->RegionCreate(*fx.world.context, kCopyBase,
+                                                   fx.region_bytes, Prot::kReadWrite,
+                                                   *copy_cache, 0);
+  AsId as = fx.world.context->address_space();
+  for (size_t i = 0; i < dirty_pages; ++i) {
+    // "modifies some of the data within the source region (in order to force a
+    // real copy)" — each write pushes the original page into the history object.
+    uint64_t value = i;
+    fx.world.mm->cpu().Write(as, kSrcBase + i * kPage, &value, sizeof(value));
+  }
+  copy_region->Destroy();
+  copy_cache->Destroy();
+}
+
+std::vector<std::vector<double>> MeasureMatrix(MmKind kind, const TableSpec& spec) {
+  std::vector<std::vector<double>> cells(spec.region_kb.size(),
+                                         std::vector<double>(spec.touched_pages.size(), 0));
+  for (size_t r = 0; r < spec.region_kb.size(); ++r) {
+    for (size_t c = 0; c < spec.touched_pages.size(); ++c) {
+      if (!spec.CellValid(spec.region_kb[r], spec.touched_pages[c])) {
+        continue;
+      }
+      CowFixture fx = CowFixture::Make(kind, spec.region_kb[r] * 1024);
+      size_t pages = spec.touched_pages[c];
+      cells[r][c] = TimeNs([&] { CowTrial(fx, pages); });
+    }
+  }
+  return cells;
+}
+
+void RunPaperTable() {
+  std::printf("==========================================================================\n");
+  std::printf("Table 7: copy-on-write\n");
+  std::printf("==========================================================================\n");
+  TableSpec spec;
+  auto chorus = MeasureMatrix(MmKind::kPvm, spec);
+  auto mach = MeasureMatrix(MmKind::kShadow, spec);
+
+  PrintMatrix("Chorus (PVM, history objects): copy-on-write (measured)", spec, chorus);
+  std::printf("\n");
+  static const double kPaperChorus[3][4] = {{0.4, 2.10, -1, -1},
+                                            {0.7, 2.47, 55.7, -1},
+                                            {2.4, 4.2, 57.2, 221.9}};
+  PrintPaperTable("Chorus: copy-on-write", kPaperChorus);
+  std::printf("\n");
+  PrintMatrix("Mach (shadow objects): copy-on-write (measured)", spec, mach);
+  std::printf("\n");
+  static const double kPaperMach[3][4] = {{2.7, 4.82, -1, -1},
+                                          {2.9, 5.12, 66.4, -1},
+                                          {3.08, 5.18, 67.0, 256.41}};
+  PrintPaperTable("Mach: copy-on-write", kPaperMach);
+
+  std::printf("\nShape checks (the paper's qualitative claims):\n");
+  ShapeCheck check;
+  // 1. Deferred copy setup cost grows only mildly with region size (paper: 0.4 ->
+  //    2.4 ms; the growth there is per-resident-page protection, 6x over 128x
+  //    size increase).  Generous bound: sub-linear in region size.
+  check.Check(chorus[2][0] < chorus[0][0] * 64,
+              "PVM: deferred copy setup is sub-linear in region size (128x size < 64x cost)");
+  // 2. The real cost is proportional to the data actually copied.  (Generous
+  //    bound: the single-core host shows ~50% run-to-run noise on the large
+  //    memcpy-dominated cells.)
+  double per_page_32 = (chorus[2][2] - chorus[2][0]) / 32;
+  double per_page_128 = (chorus[2][3] - chorus[2][0]) / 128;
+  check.Check(per_page_128 < per_page_32 * 3 && per_page_32 < per_page_128 * 3,
+              "PVM: per-page COW cost is linear (32- vs 128-page rates within 3x)");
+  // 3. The structural difference the paper highlights: Mach allocates TWO shadow
+  //    objects per deferred copy, so its copy *setup* is strictly more expensive
+  //    at every region size (paper: 2.7 vs 0.4 ms and onward).
+  bool setup_wins = true;
+  for (size_t r = 0; r < spec.region_kb.size(); ++r) {
+    if (chorus[r][0] >= mach[r][0]) {
+      setup_wins = false;
+    }
+  }
+  check.Check(setup_wins,
+              "Chorus deferred-copy setup strictly cheaper than Mach at every size");
+  // 4. In the forced-copy cells the 8 KB page copy itself dominates both designs
+  //    (paper: 221.9 vs 256.4 ms, a 16% gap); on this host those cells carry
+  //    ~50% timer noise, so the check there is "no structural regression"
+  //    (within 2x), while the setup column — where the designs actually differ —
+  //    is compared strictly, summed.
+  bool no_regression = true;
+  double chorus_setup = 0;
+  double mach_setup = 0;
+  for (size_t r = 0; r < spec.region_kb.size(); ++r) {
+    chorus_setup += chorus[r][0];
+    mach_setup += mach[r][0];
+    for (size_t c = 1; c < spec.touched_pages.size(); ++c) {
+      if (!spec.CellValid(spec.region_kb[r], spec.touched_pages[c])) {
+        continue;
+      }
+      if (chorus[r][c] > mach[r][c] * 2) {
+        no_regression = false;
+      }
+    }
+  }
+  check.Check(no_regression, "Chorus within 2x of Mach in every memcpy-dominated cell");
+  check.Check(chorus_setup * 1.5 < mach_setup,
+              "Chorus deferred-copy setup beats Mach's by >1.5x summed over all sizes");
+  std::printf("\n");
+}
+
+void BM_CopyOnWrite(::benchmark::State& state) {
+  MmKind kind = static_cast<MmKind>(state.range(0));
+  size_t region_bytes = static_cast<size_t>(state.range(1)) * 1024;
+  size_t dirty_pages = static_cast<size_t>(state.range(2));
+  CowFixture fx = CowFixture::Make(kind, region_bytes);
+  for (auto _ : state) {
+    CowTrial(fx, dirty_pages);
+  }
+  state.SetLabel(MmName(kind));
+}
+
+void RegisterAll() {
+  TableSpec spec;
+  for (MmKind kind : {MmKind::kPvm, MmKind::kShadow}) {
+    for (size_t kb : spec.region_kb) {
+      for (size_t pages : spec.touched_pages) {
+        if (!spec.CellValid(kb, pages)) {
+          continue;
+        }
+        ::benchmark::RegisterBenchmark("BM_CopyOnWrite", &BM_CopyOnWrite)
+            ->Args({static_cast<long>(kind), static_cast<long>(kb),
+                    static_cast<long>(pages)})
+            ->Unit(::benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gvm
+
+int main(int argc, char** argv) {
+  gvm::bench::RunPaperTable();
+  gvm::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Section 5.3.2 ("Discussion") — the paper's derived overheads, computed with the
+// paper's own formulas over our measurements:
+//
+//   * history-tree management overhead of a deferred copy  (paper: ~0.03 ms,
+//     "10% of a simple region creation cost")
+//   * per-page protection cost at copy time                 (paper: ~0.02 ms)
+//   * copy-on-write overhead per page                       (paper: 0.31 ms)
+//   * simple on-demand page allocation                      (paper: 0.27 ms)
+//   * history-tree usage overhead vs plain demand-zero      (paper: "of the order
+//     of 10%")
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gvm {
+namespace bench {
+namespace {
+
+constexpr Vaddr kSrcBase = 0x40000000;
+constexpr Vaddr kCopyBase = 0x80000000;
+
+struct Measurements {
+  double bcopy_page_ns = 0;   // real copy of one 8 KB page
+  double bzero_page_ns = 0;   // zero-fill of one 8 KB page
+  double create_0_ns = 0;     // create/destroy 1-page region, touch 0  (Table 6)
+  double create128_0_ns = 0;  // create/destroy 128-page region, touch 0
+  double zfill128_ns = 0;     // create/destroy 128-page region, touch 128
+  double cow_0_of_128_ns = 0; // deferred copy of 128-page region, 0 forced
+  double cow_1_of_1_ns = 0;   // deferred copy of 1-page region, 0 forced
+  double cow128_ns = 0;       // deferred copy + 128 forced copies
+};
+
+Measurements Measure() {
+  Measurements m;
+  {
+    PhysicalMemory memory(4, kPage);
+    FrameIndex a = *memory.AllocateFrame();
+    FrameIndex b = *memory.AllocateFrame();
+    m.bcopy_page_ns = TimeNs([&] { memory.CopyFrame(b, a); });
+    m.bzero_page_ns = TimeNs([&] { memory.ZeroFrame(a); });
+  }
+  auto zero_fill = [&](size_t pages, size_t touch) {
+    World world = World::Make(MmKind::kPvm);
+    return TimeNs([&] {
+      Cache* cache = *world.mm->CacheCreate(nullptr, "bench");
+      Region* region = *world.mm->RegionCreate(*world.context, kSrcBase, pages * kPage,
+                                               Prot::kReadWrite, *cache, 0);
+      AsId as = world.context->address_space();
+      for (size_t i = 0; i < touch; ++i) {
+        uint64_t v = i;
+        world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+      }
+      region->Destroy();
+      cache->Destroy();
+    });
+  };
+  m.create_0_ns = zero_fill(1, 0);
+  m.create128_0_ns = zero_fill(128, 0);
+  m.zfill128_ns = zero_fill(128, 128);
+
+  auto cow = [&](size_t pages, size_t force) {
+    World world = World::Make(MmKind::kPvm);
+    Cache* src_cache = *world.mm->CacheCreate(nullptr, "src");
+    Region* src_region = *world.mm->RegionCreate(*world.context, kSrcBase, pages * kPage,
+                                                 Prot::kReadWrite, *src_cache, 0);
+    (void)src_region;
+    AsId as = world.context->address_space();
+    for (size_t i = 0; i < pages; ++i) {
+      uint64_t v = i;
+      world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+    }
+    return TimeNs([&] {
+      Cache* copy = *world.mm->CacheCreate(nullptr, "cpy");
+      src_cache->CopyTo(*copy, 0, 0, pages * kPage, CopyPolicy::kHistory);
+      Region* copy_region = *world.mm->RegionCreate(*world.context, kCopyBase, pages * kPage,
+                                                    Prot::kReadWrite, *copy, 0);
+      for (size_t i = 0; i < force; ++i) {
+        uint64_t v = i;
+        world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+      }
+      copy_region->Destroy();
+      copy->Destroy();
+    });
+  };
+  m.cow_1_of_1_ns = cow(1, 0);
+  m.cow_0_of_128_ns = cow(128, 0);
+  m.cow128_ns = cow(128, 128);
+  return m;
+}
+
+void Run() {
+  std::printf("==========================================================================\n");
+  std::printf("Section 5.3.2: derived overheads (the paper's formulas, our measurements)\n");
+  std::printf("==========================================================================\n");
+  Measurements m = Measure();
+
+  // Paper: per-page protection overhead = (cow(128 pages, 0 forced) - cow(1 page,
+  // 0 forced)) / 127.
+  double per_page_protect = (m.cow_0_of_128_ns - m.cow_1_of_1_ns) / 127;
+  // Paper: tree management overhead = cow(1 page, 0 forced) - create(1 page,
+  // 0 touched) - per-page overhead.
+  double tree_overhead = m.cow_1_of_1_ns - m.create_0_ns - per_page_protect;
+  // Paper: COW overhead per page = (cow(128,128) - cow(128,0))/128 - bcopy.
+  double cow_per_page =
+      (m.cow128_ns - m.cow_0_of_128_ns) / 128 - m.bcopy_page_ns;
+  // Paper: on-demand allocation = (zfill(128,128) - create(128,0))/128 - bzero.
+  double demand_alloc =
+      (m.zfill128_ns - m.create128_0_ns) / 128 - m.bzero_page_ns;
+
+  std::printf("\n%-46s %14s %14s\n", "quantity (paper formula)", "measured", "paper");
+  std::printf("%-46s %14s %14s\n", "bcopy of one 8KB page", FormatNs(m.bcopy_page_ns).c_str(),
+              "1.4 ms");
+  std::printf("%-46s %14s %14s\n", "bzero of one 8KB page", FormatNs(m.bzero_page_ns).c_str(),
+              "0.87 ms");
+  std::printf("%-46s %14s %14s\n", "1-page region create/destroy",
+              FormatNs(m.create_0_ns).c_str(), "0.35 ms");
+  std::printf("%-46s %14s %14s\n", "history-tree management per deferred copy",
+              FormatNs(tree_overhead).c_str(), "0.03 ms");
+  std::printf("%-46s %14s %14s\n", "per-page protection at copy time",
+              FormatNs(per_page_protect).c_str(), "0.02 ms");
+  std::printf("%-46s %14s %14s\n", "copy-on-write overhead per page (excl. bcopy)",
+              FormatNs(cow_per_page).c_str(), "0.31 ms");
+  std::printf("%-46s %14s %14s\n", "simple on-demand page allocation (excl. bzero)",
+              FormatNs(demand_alloc).c_str(), "0.27 ms");
+
+  std::printf("\nShape checks:\n");
+  ShapeCheck check;
+  // "The structural management overhead of a simple deferred copy initialization
+  // is of the order of ... 10% of a simple region creation cost" — the key claim
+  // is that tree setup is CHEAP relative to region creation.
+  check.Check(tree_overhead < m.create_0_ns * 2,
+              "history-tree setup costs no more than ~a region create (paper: ~10% of "
+              "one; our region create is itself far cheaper relative to a 1989 kernel's)");
+  // "The overhead of the history tree using may be deduced by comparing [COW
+  // per-page] with the cost of a simple on-demand page allocation ... the overhead
+  // is of the order of 10%" — i.e. the two per-page costs are of the same order.
+  check.Check(cow_per_page < demand_alloc * 4 && demand_alloc < cow_per_page * 8,
+              "per-page COW overhead is the same order as plain demand-zero (paper: +10%)");
+  // Per-page protection is much cheaper than a page copy.
+  check.Check(per_page_protect < m.bcopy_page_ns * 2,
+              "write-protecting a page is not more expensive than copying it");
+  std::printf("\n");
+}
+
+void BM_DeferredCopySetup(::benchmark::State& state) {
+  size_t pages = static_cast<size_t>(state.range(0));
+  World world = World::Make(MmKind::kPvm);
+  Cache* src = *world.mm->CacheCreate(nullptr, "src");
+  AsId as = world.context->address_space();
+  Region* region = *world.mm->RegionCreate(*world.context, kSrcBase, pages * kPage,
+                                           Prot::kReadWrite, *src, 0);
+  (void)region;
+  for (size_t i = 0; i < pages; ++i) {
+    uint64_t v = i;
+    world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+  }
+  for (auto _ : state) {
+    Cache* copy = *world.mm->CacheCreate(nullptr, "cpy");
+    src->CopyTo(*copy, 0, 0, pages * kPage, CopyPolicy::kHistory);
+    copy->Destroy();
+  }
+  state.SetLabel("deferred copy setup only");
+}
+BENCHMARK(BM_DeferredCopySetup)->Arg(1)->Arg(32)->Arg(128)->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gvm
+
+int main(int argc, char** argv) {
+  gvm::bench::Run();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Distributed shared memory example (paper section 3.3.3): three simulated sites
+// cooperate on a shared work queue through ordinary loads and stores; the
+// write-invalidate coherence protocol built from GMI cache-control operations
+// (flush/sync/invalidate/setProtection) keeps them consistent.
+//
+//   $ ./examples/dsm_counter
+#include <cstdio>
+
+#include "src/dsm/dsm.h"
+
+using namespace gvm;
+
+int main() {
+  constexpr size_t kPage = 8192;
+  constexpr Vaddr kBase = 0x20000000;
+
+  DsmCluster cluster(kPage);
+  DsmSite* sites[3];
+  for (auto*& site : sites) {
+    site = cluster.AddSite(/*frames=*/128);
+  }
+  cluster.CreateSharedSegment("workspace", 4 * kPage);
+  for (auto* site : sites) {
+    site->MapShared("workspace", kBase, 4 * kPage, Prot::kReadWrite);
+  }
+
+  // Layout in the shared segment (page 0): [0] next work item, [8] results sum.
+  std::printf("three sites pulling work items from a shared counter...\n");
+  constexpr int kItems = 30;
+  int executed[3] = {0, 0, 0};
+  for (int turn = 0; sites[turn % 3]->Load<uint64_t>(kBase).value_or(kItems) <
+                     static_cast<uint64_t>(kItems);
+       ++turn) {
+    DsmSite* site = sites[turn % 3];
+    // claim the next item
+    uint64_t item = *site->Load<uint64_t>(kBase);
+    site->Store<uint64_t>(kBase, item + 1);
+    // "process" it: add item^2 into the results slot
+    uint64_t sum = *site->Load<uint64_t>(kBase + 8);
+    site->Store<uint64_t>(kBase + 8, sum + item * item);
+    executed[turn % 3]++;
+  }
+
+  uint64_t expected = 0;
+  for (int i = 0; i < kItems; ++i) {
+    expected += static_cast<uint64_t>(i) * i;
+  }
+  uint64_t total = *sites[0]->Load<uint64_t>(kBase + 8);
+  std::printf("  items processed per site: %d / %d / %d\n", executed[0], executed[1],
+              executed[2]);
+  std::printf("  sum of squares: %llu (expected %llu) -> %s\n", (unsigned long long)total,
+              (unsigned long long)expected, total == expected ? "correct" : "WRONG");
+
+  // Independent per-site pages after the contention: no protocol traffic.
+  std::printf("\nnow each site works on its own page (no sharing)...\n");
+  uint64_t messages_before = cluster.stats().network_messages;
+  for (int round = 0; round < 100; ++round) {
+    for (int s = 0; s < 3; ++s) {
+      sites[s]->Store<uint64_t>(kBase + (1 + s) * kPage, round);
+    }
+  }
+  uint64_t quiet = cluster.stats().network_messages - messages_before;
+  std::printf("  protocol messages for 300 private writes: %llu (after warm-up)\n",
+              (unsigned long long)quiet);
+
+  const DsmCluster::Stats& stats = cluster.stats();
+  std::printf("\ncoherence protocol totals:\n");
+  std::printf("  read faults served: %llu\n", (unsigned long long)stats.read_faults);
+  std::printf("  ownership transfers: %llu\n", (unsigned long long)stats.write_grants);
+  std::printf("  remote invalidations: %llu\n", (unsigned long long)stats.invalidations);
+  std::printf("  dirty-page recalls: %llu\n", (unsigned long long)stats.recalls);
+  std::printf("  simulated network: %llu messages, %llu bytes\n",
+              (unsigned long long)stats.network_messages,
+              (unsigned long long)stats.network_bytes);
+  bool ok = total == expected;
+  for (auto* site : sites) {
+    ok = ok && site->vm().CheckInvariants() == Status::kOk;
+  }
+  std::printf("\n%s\n", ok ? "distributed shared memory: OK" : "FAILED");
+  return ok ? 0 : 1;
+}

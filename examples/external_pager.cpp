@@ -1,0 +1,140 @@
+// External pager example: "Data management policies are delegated to external
+// managers" (the paper's abstract).  A user-level mapper implements a segment
+// whose pages are GENERATED on demand and verified on write-back — the classic
+// external-pager trick (compressed stores, network file systems, checkpointing
+// all look like this).
+//
+// The mapper below serves an "infinite" sequence segment: page p reads as a
+// pattern derived from p.  Writes are journaled.  The memory manager, Nucleus and
+// region code are completely unaware — they just see pullIn/pushOut traffic.
+//
+//   $ ./examples/external_pager
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/nucleus/nucleus.h"
+#include "src/pvm/paged_vm.h"
+
+using namespace gvm;
+
+namespace {
+
+constexpr size_t kPage = 8192;
+
+// A synthetic, generative mapper: an endless segment whose page p is filled with
+// the byte 'A' + (p % 26), unless the client overwrote it (then the overwrite is
+// kept in a journal).
+class GenerativeMapper final : public Mapper {
+ public:
+  Status Read(uint64_t key, SegOffset offset, size_t size,
+              std::vector<std::byte>* out) override {
+    (void)key;
+    ++reads;
+    out->resize(size);
+    for (size_t done = 0; done < size; done += kPage) {
+      SegOffset page = (offset + done) / kPage;
+      auto journaled = journal_.find(page * kPage);
+      if (journaled != journal_.end()) {
+        std::memcpy(out->data() + done, journaled->second.data(),
+                    std::min(kPage, size - done));
+      } else {
+        std::memset(out->data() + done, 'A' + static_cast<int>(page % 26),
+                    std::min(kPage, size - done));
+      }
+    }
+    return Status::kOk;
+  }
+
+  Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override {
+    (void)key;
+    ++writes;
+    for (size_t done = 0; done < size; done += kPage) {
+      auto& page = journal_[offset + done];
+      page.assign(data + done, data + done + std::min(kPage, size - done));
+      page.resize(kPage);
+    }
+    return Status::kOk;
+  }
+
+  int reads = 0;
+  int writes = 0;
+  size_t JournaledPages() const { return journal_.size(); }
+
+ private:
+  std::map<SegOffset, std::vector<std::byte>> journal_;
+};
+
+}  // namespace
+
+int main() {
+  // A deliberately small machine: 24 frames, so the pager is exercised hard.
+  PhysicalMemory memory(24, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 3;
+  options.high_water_frames = 6;
+  PagedVm vm(memory, mmu, options);
+  Nucleus nucleus(vm);
+  SwapMapper swap(kPage);
+  MapperServer swap_server(nucleus.ipc(), swap);
+  nucleus.BindDefaultMapper(&swap_server);
+
+  GenerativeMapper pager;
+  MapperServer pager_server(nucleus.ipc(), pager);
+  nucleus.RegisterMapper(&pager_server);
+
+  Actor* actor = *nucleus.ActorCreate("reader");
+  // Map 64 pages of the generated segment into 24 frames of real memory.
+  Capability segment{pager_server.port(), /*key=*/1};
+  constexpr size_t kPages = 64;
+  actor->RgnMap(0x100000, kPages * kPage, Prot::kReadWrite, segment, 0);
+
+  std::printf("scanning %zu generated pages through %zu frames of memory...\n", kPages,
+              memory.frame_count());
+  size_t mismatches = 0;
+  for (size_t p = 0; p < kPages; ++p) {
+    char c = 0;
+    actor->Read(0x100000 + p * kPage + 17, &c, 1);
+    if (c != static_cast<char>('A' + p % 26)) {
+      ++mismatches;
+    }
+  }
+  std::printf("  pattern mismatches: %zu (expect 0)\n", mismatches);
+  std::printf("  pager reads: %d, pages paged out under pressure: %llu\n", pager.reads,
+              (unsigned long long)vm.stats().pages_paged_out);
+
+  // Overwrite every 8th page, then force everything out of memory by rescanning;
+  // the journal must capture exactly the dirtied pages.
+  const char msg[] = "journaled overwrite";
+  for (size_t p = 0; p < kPages; p += 8) {
+    actor->Write(0x100000 + p * kPage, msg, sizeof(msg));
+  }
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (size_t p = 0; p < kPages; ++p) {
+      char c = 0;
+      actor->Read(0x100000 + p * kPage + 17, &c, 1);
+    }
+  }
+  std::printf("\nafter dirtying every 8th page and thrashing the cache:\n");
+  std::printf("  pager writes: %d, journaled pages: %zu (expect %zu)\n", pager.writes,
+              pager.JournaledPages(), kPages / 8);
+
+  // The overwritten data survives the round trip through the external pager.
+  size_t survivors = 0;
+  for (size_t p = 0; p < kPages; p += 8) {
+    char buffer[sizeof(msg)] = {};
+    actor->Read(0x100000 + p * kPage, buffer, sizeof(msg));
+    if (std::memcmp(buffer, msg, sizeof(msg)) == 0) {
+      ++survivors;
+    }
+  }
+  std::printf("  overwrites intact after write-back + re-pull: %zu/%zu\n", survivors,
+              kPages / 8);
+  bool ok = survivors == kPages / 8 && mismatches == 0 &&
+            vm.CheckInvariants() == Status::kOk;
+  std::printf("\n%s\n", ok ? "external pager round trip: OK" : "FAILED");
+  return ok ? 0 : 1;
+}

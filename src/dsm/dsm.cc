@@ -1,0 +1,254 @@
+#include "src/dsm/dsm.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+// The per-site mapper for shared segments: forwards reads/writes to the home
+// directory and implements the getWriteAccess hook with the invalidation protocol.
+class CoherentMapper final : public Mapper {
+ public:
+  CoherentMapper(DsmCluster& cluster, DsmSite& site) : cluster_(cluster), site_(site) {}
+
+  Status Read(uint64_t key, SegOffset offset, size_t size,
+              std::vector<std::byte>* out) override {
+    return cluster_.DirectoryRead(site_.id(), key, offset, size, out);
+  }
+
+  Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override {
+    return cluster_.DirectoryWriteBack(site_.id(), key, offset, data, size);
+  }
+
+  Status GetWriteAccess(uint64_t key, SegOffset offset, size_t size) override {
+    return cluster_.DirectoryAcquireWrite(site_.id(), key, offset, size);
+  }
+
+  Prot FillProtection(uint64_t key, SegOffset offset, size_t size) override {
+    (void)size;
+    return cluster_.DirectoryFillProt(site_.id(), key, offset);
+  }
+
+ private:
+  DsmCluster& cluster_;
+  DsmSite& site_;
+};
+
+// ---------------------------------------------------------------------------
+// DsmSite
+// ---------------------------------------------------------------------------
+
+DsmSite::DsmSite(DsmCluster& cluster, SiteId id, size_t frames, size_t page_size)
+    : cluster_(cluster), id_(id) {
+  memory_ = std::make_unique<PhysicalMemory>(frames, page_size);
+  mmu_ = std::make_unique<SoftMmu>(page_size);
+  PagedVm::Options options;
+  options.low_water_frames = 4;
+  options.high_water_frames = 8;
+  vm_ = std::make_unique<PagedVm>(*memory_, *mmu_, options);
+  nucleus_ = std::make_unique<Nucleus>(*vm_);
+  swap_ = std::make_unique<SwapMapper>(page_size);
+  swap_server_ = std::make_unique<MapperServer>(nucleus_->ipc(), *swap_);
+  nucleus_->BindDefaultMapper(swap_server_.get());
+  coherent_ = std::make_unique<CoherentMapper>(cluster, *this);
+  coherent_server_ = std::make_unique<MapperServer>(nucleus_->ipc(), *coherent_);
+  nucleus_->RegisterMapper(coherent_server_.get());
+  actor_ = *nucleus_->ActorCreate("site" + std::to_string(id));
+}
+
+DsmSite::~DsmSite() = default;
+
+Result<Region*> DsmSite::MapShared(const std::string& segment_name, Vaddr va, uint64_t size,
+                                   Prot prot) {
+  Result<uint64_t> key = cluster_.LookupSegment(segment_name);
+  if (!key.ok()) {
+    return key.status();
+  }
+  Capability capability{coherent_server_->port(), *key};
+  Result<Region*> region = actor_->RgnMap(va, size, prot, capability, 0);
+  if (region.ok()) {
+    Result<Region*> r = region;
+    RegionStatus status = (*r)->GetStatus();
+    shared_caches_[*key] = status.cache;
+  }
+  return region;
+}
+
+// ---------------------------------------------------------------------------
+// DsmCluster: directory and protocol
+// ---------------------------------------------------------------------------
+
+DsmCluster::DsmCluster(size_t page_size) : page_size_(page_size) {}
+
+DsmCluster::~DsmCluster() = default;
+
+DsmSite* DsmCluster::AddSite(size_t frames) {
+  SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(std::make_unique<DsmSite>(*this, id, frames, page_size_));
+  return sites_.back().get();
+}
+
+Status DsmCluster::CreateSharedSegment(const std::string& name, uint64_t size) {
+  if (names_.contains(name)) {
+    return Status::kAlreadyExists;
+  }
+  uint64_t key = next_key_++;
+  names_[name] = key;
+  Segment& segment = segments_[key];
+  segment.key = key;
+  segment.size = AlignUp(size, page_size_);
+  return Status::kOk;
+}
+
+DsmCluster::Segment* DsmCluster::FindSegment(uint64_t key) {
+  auto it = segments_.find(key);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+Result<uint64_t> DsmCluster::LookupSegment(const std::string& name) {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+void DsmCluster::CountMessage(size_t bytes) {
+  ++stats_.network_messages;
+  stats_.network_bytes += bytes;
+}
+
+Status DsmCluster::DirectoryRead(SiteId reader, uint64_t key, SegOffset offset, size_t size,
+                                 std::vector<std::byte>* out) {
+  Segment* segment = FindSegment(key);
+  if (segment == nullptr) {
+    return Status::kNotFound;
+  }
+  CountMessage(size);
+  for (SegOffset at = AlignDown(offset, page_size_); at < offset + size; at += page_size_) {
+    PageState& page = segment->pages[at];
+    // A remote writer holds the only current copy: recall it home first, demoting
+    // the writer to reader.
+    if (page.owner != -1 && page.owner != reader) {
+      GVM_RETURN_IF_ERROR(RemoteRecall(page.owner, key, at, page_size_));
+      page.readers.insert(page.owner);
+      page.owner = -1;
+    }
+    page.readers.insert(reader);
+    ++stats_.read_faults;
+  }
+  // Serve the authoritative bytes.
+  out->assign(size, std::byte{0});
+  for (size_t done = 0; done < size; done += page_size_) {
+    auto data = segment->data.find(AlignDown(offset + done, page_size_));
+    if (data != segment->data.end()) {
+      std::memcpy(out->data() + done, data->second.data(),
+                  std::min(page_size_, size - done));
+    }
+  }
+  return Status::kOk;
+}
+
+Status DsmCluster::DirectoryWriteBack(SiteId writer, uint64_t key, SegOffset offset,
+                                      const std::byte* data, size_t size) {
+  (void)writer;
+  Segment* segment = FindSegment(key);
+  if (segment == nullptr) {
+    return Status::kNotFound;
+  }
+  CountMessage(size);
+  for (size_t done = 0; done < size; done += page_size_) {
+    auto& page = segment->data[AlignDown(offset + done, page_size_)];
+    page.assign(page_size_, std::byte{0});
+    std::memcpy(page.data(), data + done, std::min(page_size_, size - done));
+  }
+  return Status::kOk;
+}
+
+Status DsmCluster::DirectoryAcquireWrite(SiteId writer, uint64_t key, SegOffset offset,
+                                         size_t size) {
+  Segment* segment = FindSegment(key);
+  if (segment == nullptr) {
+    return Status::kNotFound;
+  }
+  CountMessage(64);  // control message
+  for (SegOffset at = AlignDown(offset, page_size_); at < offset + size; at += page_size_) {
+    PageState& page = segment->pages[at];
+    if (page.owner == writer) {
+      continue;  // already exclusive here
+    }
+    if (page.owner != -1) {
+      GVM_RETURN_IF_ERROR(RemoteRecall(page.owner, key, at, page_size_));
+      GVM_RETURN_IF_ERROR(RemoteInvalidate(page.owner, key, at, page_size_));
+      page.owner = -1;
+    }
+    for (SiteId reader : page.readers) {
+      if (reader != writer) {
+        GVM_RETURN_IF_ERROR(RemoteInvalidate(reader, key, at, page_size_));
+      }
+    }
+    page.readers.clear();
+    page.owner = writer;
+    ++stats_.write_grants;
+  }
+  return Status::kOk;
+}
+
+Prot DsmCluster::DirectoryFillProt(SiteId reader, uint64_t key, SegOffset offset) {
+  Segment* segment = FindSegment(key);
+  if (segment == nullptr) {
+    return Prot::kAll;
+  }
+  const PageState& page = segment->pages[AlignDown(offset, page_size_)];
+  // Owners get writable fills; readers get read-only copies so their first write
+  // raises the getWriteAccess upcall.
+  return page.owner == reader ? Prot::kAll : Prot::kReadExecute;
+}
+
+Status DsmCluster::RemoteRecall(SiteId owner, uint64_t key, SegOffset offset, size_t size) {
+  // The directory uses the owner site's GMI cache-control surface: sync pushes the
+  // dirty page home (through the owner's CoherentMapper), setProtection demotes
+  // the cached copy to read-only.
+  DsmSite* site = sites_[owner].get();
+  auto cache_it = site->shared_caches_.find(key);
+  if (cache_it == site->shared_caches_.end()) {
+    return Status::kOk;  // not mapped there (nothing cached)
+  }
+  CountMessage(64 + size);
+  ++stats_.recalls;
+  GVM_RETURN_IF_ERROR(cache_it->second->Sync());
+  return cache_it->second->SetProtection(offset, size, Prot::kReadExecute);
+}
+
+Status DsmCluster::RemoteInvalidate(SiteId reader, uint64_t key, SegOffset offset,
+                                    size_t size) {
+  DsmSite* site = sites_[reader].get();
+  auto cache_it = site->shared_caches_.find(key);
+  if (cache_it == site->shared_caches_.end()) {
+    return Status::kOk;
+  }
+  CountMessage(64);
+  ++stats_.invalidations;
+  return cache_it->second->Invalidate(offset, size);
+}
+
+SiteId DsmCluster::OwnerOf(const std::string& name, SegOffset page_offset) {
+  Result<uint64_t> key = LookupSegment(name);
+  if (!key.ok()) {
+    return -1;
+  }
+  return segments_[*key].pages[AlignDown(page_offset, page_size_)].owner;
+}
+
+std::set<SiteId> DsmCluster::ReadersOf(const std::string& name, SegOffset page_offset) {
+  Result<uint64_t> key = LookupSegment(name);
+  if (!key.ok()) {
+    return {};
+  }
+  return segments_[*key].pages[AlignDown(page_offset, page_size_)].readers;
+}
+
+}  // namespace gvm

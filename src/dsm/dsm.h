@@ -1,0 +1,162 @@
+// Distributed coherent virtual memory over the GMI (paper section 3.3.3):
+//
+//   "A segment server may need to control some aspects of caching.  For instance,
+//    to implement distributed coherent virtual memory [Li & Hudak], it needs to
+//    flush and/or lock the cache at times.  The GMI provides operations flush,
+//    sync, invalidate and setProtection to control the cache state."
+//
+// This module builds exactly that: a cluster of simulated *sites*, each running
+// its own memory manager and Nucleus, sharing segments kept coherent by a
+// home-based single-writer/multiple-reader write-invalidate protocol.  The
+// protocol is implemented entirely with the GMI/mapper machinery:
+//   * reads pull pages in with a read-only fill protection;
+//   * a write triggers the getWriteAccess upcall; the home directory then recalls
+//     the data from the current owner (cache.sync + cache.setProtection) and
+//     invalidates the other readers (cache.invalidate) before granting;
+//   * dirty pages flow home through ordinary pushOut/mapper-write traffic.
+#ifndef GVM_SRC_DSM_DSM_H_
+#define GVM_SRC_DSM_DSM_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/hal/phys_memory.h"
+#include "src/hal/soft_mmu.h"
+#include "src/nucleus/nucleus.h"
+#include "src/pvm/paged_vm.h"
+
+namespace gvm {
+
+using SiteId = int;
+
+class DsmCluster;
+
+// One machine in the cluster: its own physical memory, MMU, PVM and Nucleus.
+class DsmSite {
+ public:
+  DsmSite(DsmCluster& cluster, SiteId id, size_t frames, size_t page_size);
+  ~DsmSite();
+
+  SiteId id() const { return id_; }
+  Nucleus& nucleus() { return *nucleus_; }
+  PagedVm& vm() { return *vm_; }
+  Actor& actor() { return *actor_; }
+
+  // Map a shared segment into this site's actor.
+  Result<Region*> MapShared(const std::string& segment_name, Vaddr va, uint64_t size,
+                            Prot prot);
+
+  // Typed accessors against the site's actor (the "application").
+  Status Read(Vaddr va, void* buffer, size_t size) { return actor_->Read(va, buffer, size); }
+  Status Write(Vaddr va, const void* buffer, size_t size) {
+    return actor_->Write(va, buffer, size);
+  }
+  template <typename T>
+  Result<T> Load(Vaddr va) {
+    T value{};
+    Status s = Read(va, &value, sizeof(T));
+    if (s != Status::kOk) {
+      return s;
+    }
+    return value;
+  }
+  template <typename T>
+  Status Store(Vaddr va, T value) {
+    return Write(va, &value, sizeof(T));
+  }
+
+ private:
+  friend class DsmCluster;
+  friend class CoherentMapper;
+
+  DsmCluster& cluster_;
+  SiteId id_;
+  std::unique_ptr<PhysicalMemory> memory_;
+  std::unique_ptr<SoftMmu> mmu_;
+  std::unique_ptr<PagedVm> vm_;
+  std::unique_ptr<Nucleus> nucleus_;
+  std::unique_ptr<SwapMapper> swap_;
+  std::unique_ptr<MapperServer> swap_server_;
+  std::unique_ptr<class CoherentMapper> coherent_;
+  std::unique_ptr<MapperServer> coherent_server_;
+  Actor* actor_ = nullptr;
+  // Shared-segment key -> the site's local cache (held referenced while mapped).
+  std::map<uint64_t, Cache*> shared_caches_;
+};
+
+// The home directory of the shared segments: per-page owner and copy-set, plus the
+// authoritative bytes.  Plays the role of Li & Hudak's manager.
+class DsmCluster {
+ public:
+  struct Stats {
+    uint64_t read_faults = 0;        // pages served to readers
+    uint64_t write_grants = 0;       // ownership transfers
+    uint64_t invalidations = 0;      // remote copies invalidated
+    uint64_t recalls = 0;            // dirty data recalled from an owner
+    uint64_t network_messages = 0;   // simulated protocol messages
+    uint64_t network_bytes = 0;      // simulated payload bytes
+  };
+
+  explicit DsmCluster(size_t page_size);
+  ~DsmCluster();
+
+  DsmSite* AddSite(size_t frames = 256);
+  DsmSite* site(SiteId id) { return sites_[id].get(); }
+  size_t SiteCount() const { return sites_.size(); }
+
+  // Create a shared segment of `size` bytes, initially zero.
+  Status CreateSharedSegment(const std::string& name, uint64_t size);
+
+  const Stats& stats() const { return stats_; }
+  size_t page_size() const { return page_size_; }
+
+  // Introspection for tests: current owner of a page (-1 if none) and reader set.
+  SiteId OwnerOf(const std::string& name, SegOffset page_offset);
+  std::set<SiteId> ReadersOf(const std::string& name, SegOffset page_offset);
+
+ private:
+  friend class DsmSite;
+  friend class CoherentMapper;
+
+  struct PageState {
+    SiteId owner = -1;          // site with write access, or -1
+    std::set<SiteId> readers;   // sites holding read-only copies
+  };
+  struct Segment {
+    uint64_t key = 0;
+    uint64_t size = 0;
+    std::map<SegOffset, std::vector<std::byte>> data;  // authoritative bytes
+    std::map<SegOffset, PageState> pages;
+  };
+
+  Segment* FindSegment(uint64_t key);
+  Result<uint64_t> LookupSegment(const std::string& name);
+
+  // Protocol actions (called by the sites' CoherentMappers).
+  Status DirectoryRead(SiteId reader, uint64_t key, SegOffset offset, size_t size,
+                       std::vector<std::byte>* out);
+  Status DirectoryWriteBack(SiteId writer, uint64_t key, SegOffset offset,
+                            const std::byte* data, size_t size);
+  Status DirectoryAcquireWrite(SiteId writer, uint64_t key, SegOffset offset, size_t size);
+  Prot DirectoryFillProt(SiteId reader, uint64_t key, SegOffset offset);
+
+  // Remote cache control: run a GMI cache operation on another site's local cache.
+  Status RemoteRecall(SiteId owner, uint64_t key, SegOffset offset, size_t size);
+  Status RemoteInvalidate(SiteId reader, uint64_t key, SegOffset offset, size_t size);
+
+  void CountMessage(size_t bytes);
+
+  const size_t page_size_;
+  std::vector<std::unique_ptr<DsmSite>> sites_;
+  std::map<std::string, uint64_t> names_;
+  std::map<uint64_t, Segment> segments_;
+  uint64_t next_key_ = 1;
+  Stats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_DSM_DSM_H_

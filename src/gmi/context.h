@@ -1,0 +1,41 @@
+// GMI contexts — protected virtual address spaces (Table 2).
+//
+// A context is sparsely populated with non-overlapping regions separated by
+// unallocated zones.
+#ifndef GVM_SRC_GMI_CONTEXT_H_
+#define GVM_SRC_GMI_CONTEXT_H_
+
+#include <vector>
+
+#include "src/gmi/types.h"
+#include "src/util/result.h"
+
+namespace gvm {
+
+class Region;
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // context.getRegionList(): the regions of this context, sorted by start address.
+  virtual std::vector<RegionStatus> GetRegionList() const = 0;
+
+  // Find the region containing `va` (used by rgnMapFromActor / rgnInitFromActor
+  // through the Nucleus, and by the fault handler internally).
+  virtual Result<Region*> FindRegion(Vaddr va) = 0;
+
+  // context.switch(): make this the current user context.
+  virtual void Switch() = 0;
+
+  // context.destroy(): destroy the address space and all its regions.
+  virtual Status Destroy() = 0;
+
+  // The hardware address space backing this context (simulation glue: the Cpu
+  // addresses spaces by AsId).
+  virtual AsId address_space() const = 0;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_GMI_CONTEXT_H_

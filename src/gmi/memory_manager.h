@@ -1,0 +1,56 @@
+// The Generic Memory management Interface entry point.
+//
+// A MemoryManager is the replaceable unit of the paper's design: everything above
+// it (Nucleus, segment manager, Unix subsystem) is implementation-agnostic.  Three
+// implementations live in this repository, matching section 5.2 of the paper:
+//   * PagedVm   (src/pvm)     — demand paging with history objects (the paper's PVM)
+//   * ShadowVm  (src/shadow)  — Mach-style shadow objects (the comparison baseline)
+//   * MinimalVm (src/minimal) — eager allocation for embedded/real-time configs
+#ifndef GVM_SRC_GMI_MEMORY_MANAGER_H_
+#define GVM_SRC_GMI_MEMORY_MANAGER_H_
+
+#include <string>
+
+#include "src/gmi/cache.h"
+#include "src/gmi/context.h"
+#include "src/gmi/region.h"
+#include "src/gmi/segment_driver.h"
+#include "src/gmi/types.h"
+#include "src/hal/cpu.h"
+#include "src/util/result.h"
+
+namespace gvm {
+
+class MemoryManager : public FaultHandler {
+ public:
+  ~MemoryManager() override = default;
+
+  // contextCreate() -> context
+  virtual Result<Context*> ContextCreate() = 0;
+
+  // cacheCreate(segment) -> cache: bind `driver` (the segment) to a new, empty
+  // cache.  Pass nullptr for a temporary cache: it is zero-filled on demand and
+  // acquires a swap segment through the SegmentRegistry on its first pushOut.
+  virtual Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) = 0;
+
+  // regionCreate(context, address, size, prot, cache, offset) -> region:
+  // map `cache` (from `offset`) into `context` at [address, address + size).
+  virtual Result<Region*> RegionCreate(Context& context, Vaddr address, uint64_t size, Prot prot,
+                                       Cache& cache, SegOffset offset) = 0;
+
+  // Registry receiving segmentCreate upcalls for MM-created caches (section 3.3.3).
+  // May be null, in which case such caches cannot be paged out.
+  virtual void BindSegmentRegistry(SegmentRegistry* registry) = 0;
+
+  // The hardware this manager drives (simulation glue for tests and benchmarks).
+  virtual Cpu& cpu() = 0;
+
+  virtual const MmStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_GMI_MEMORY_MANAGER_H_

@@ -1,0 +1,40 @@
+// GMI regions — the mapped-data-access half of Table 2.
+//
+// A region is a contiguous portion of a context's virtual address space, mapped to
+// a segment through a local cache.  A protection applies to the entire region; to
+// protect parts differently, split the region first (splitting never occurs
+// spontaneously, so the upper layers can track regions reliably).
+#ifndef GVM_SRC_GMI_REGION_H_
+#define GVM_SRC_GMI_REGION_H_
+
+#include "src/gmi/types.h"
+#include "src/util/result.h"
+
+namespace gvm {
+
+class Region {
+ public:
+  virtual ~Region() = default;
+
+  // region1.split(offset) -> region2: cut this region in two at `offset` bytes from
+  // its start.  This region keeps [0, offset); the returned region covers the rest.
+  virtual Result<Region*> Split(uint64_t offset) = 0;
+
+  // Change the hardware protection of the whole region.
+  virtual Status SetProtection(Prot prot) = 0;
+
+  // Pin the region's data in real memory; afterwards accesses never fault and the
+  // underlying MMU maps remain fixed (important for real-time kernels).
+  virtual Status LockInMemory() = 0;
+  virtual Status Unlock() = 0;
+
+  // region.status(): address, size, protection, cache, offset, lock state.
+  virtual RegionStatus GetStatus() const = 0;
+
+  // region.destroy(): unmap the corresponding cache from the context.
+  virtual Status Destroy() = 0;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_GMI_REGION_H_

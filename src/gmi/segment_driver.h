@@ -1,0 +1,52 @@
+// The GMI upcall interface to segment managers (paper Table 3).
+//
+// Segments are managed *above* the GMI by external servers (segment managers /
+// mappers).  The memory manager performs these upcalls to move data between a
+// local cache and its segment; the segment side answers by invoking the cache
+// management downcalls of Table 4 (Cache::FillUp / CopyBack / MoveBack).
+#ifndef GVM_SRC_GMI_SEGMENT_DRIVER_H_
+#define GVM_SRC_GMI_SEGMENT_DRIVER_H_
+
+#include <cstddef>
+
+#include "src/gmi/types.h"
+#include "src/util/status.h"
+
+namespace gvm {
+
+class Cache;
+
+class SegmentDriver {
+ public:
+  virtual ~SegmentDriver() = default;
+
+  // segment.pullIn(offset, size, accessMode): read data in from the segment.
+  // The driver supplies the bytes by calling cache.FillUp (or FillZero) for the
+  // requested range before returning, or later from another thread — the MM keeps
+  // a synchronization page stub in place until the fill arrives.
+  virtual Status PullIn(Cache& cache, SegOffset offset, size_t size, Access access_mode) = 0;
+
+  // segment.getWriteAccess(offset, size): the cached data was pulled in read-only
+  // and a write access occurred.  kOk grants write access (the MM then raises the
+  // cached protection); anything else denies it.  Distributed-coherence mappers use
+  // this hook to invalidate remote copies first.
+  virtual Status GetWriteAccess(Cache& cache, SegOffset offset, size_t size) = 0;
+
+  // segment.pushOut(offset, size): save cached data to the segment.  The driver
+  // fetches the bytes with cache.CopyBack or cache.MoveBack.
+  virtual Status PushOut(Cache& cache, SegOffset offset, size_t size) = 0;
+};
+
+// segmentCreate(cache) -> segment (Table 3, last row): the MM sometimes creates
+// caches unilaterally (history objects, working objects).  With this upcall it
+// declares such a cache to the upper layer so the cache can be swapped out; the
+// upper layer returns the driver for the newly assigned (temporary) segment.
+class SegmentRegistry {
+ public:
+  virtual ~SegmentRegistry() = default;
+  virtual SegmentDriver* SegmentCreate(Cache& cache) = 0;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_GMI_SEGMENT_DRIVER_H_

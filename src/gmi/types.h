@@ -1,0 +1,58 @@
+// GMI-level types shared by all memory-manager implementations and their clients.
+#ifndef GVM_SRC_GMI_TYPES_H_
+#define GVM_SRC_GMI_TYPES_H_
+
+#include <cstdint>
+
+#include "src/hal/types.h"
+
+namespace gvm {
+
+class Cache;
+
+// Identifies a cache for global-map keys and debugging.
+using CacheId = uint64_t;
+inline constexpr CacheId kInvalidCacheId = ~CacheId{0};
+
+// How a copy/move between caches should be performed.  The paper's MM picks the
+// technique by size (section 4: history objects for large data, per-virtual-page
+// for small data such as IPC messages); exposing the choice lets benchmarks and
+// ablations pin a strategy.
+enum class CopyPolicy : uint8_t {
+  kAuto = 0,        // MM heuristic: per-page below a threshold, history above
+  kEager,           // physical copy now (the baseline the paper improves upon)
+  kHistory,         // deferred via history objects (section 4.2), copy-on-write
+  kHistoryOnRef,    // deferred via history objects, copy-on-reference
+  kPerPage,         // deferred per virtual page (section 4.3)
+};
+
+// Status record returned by region.status() / context.getRegionList() (Table 2).
+struct RegionStatus {
+  Vaddr address = 0;
+  uint64_t size = 0;
+  Prot protection = Prot::kNone;
+  Cache* cache = nullptr;
+  SegOffset offset = 0;  // region start offset within the segment
+  bool locked = false;   // lockInMemory in effect
+};
+
+// Aggregate counters every MemoryManager implementation maintains; benchmarks use
+// these to make the structural comparisons of section 5.3 exact.
+struct MmStats {
+  uint64_t page_faults = 0;          // faults dispatched to the MM
+  uint64_t protection_faults = 0;    // of which write/protection violations
+  uint64_t cow_copies = 0;           // page frames physically copied to resolve COW
+  uint64_t zero_fills = 0;           // frames demand-filled with zeroes
+  uint64_t pull_ins = 0;             // upcalls to segment drivers for data
+  uint64_t push_outs = 0;            // upcalls to segment drivers to save data
+  uint64_t pages_paged_out = 0;      // frames evicted by the page-out policy
+  uint64_t history_objects = 0;      // working/history caches created (PVM)
+  uint64_t shadow_objects = 0;       // shadow objects created (Mach baseline)
+  uint64_t shadow_collapses = 0;     // shadow-chain GC merges (Mach baseline)
+  uint64_t deferred_copy_pages = 0;  // pages whose copy was deferred
+  uint64_t eager_copy_pages = 0;     // pages copied eagerly
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_GMI_TYPES_H_

@@ -1,0 +1,77 @@
+#include "src/hal/cpu.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+Result<FrameIndex> Cpu::TranslateWithFaults(AsId as, Vaddr va, Access access) {
+  // Bound the number of fault retries: a correct memory manager makes progress on
+  // every round (a pull-in completes, a frame is materialized, an eviction frees
+  // memory), but a buggy one must not hang the simulation.  Deferred-copy chains
+  // can legitimately take several rounds (pull in an ancestor, push the original
+  // to a history object, materialize the private copy), hence the generous bound.
+  constexpr int kMaxRetries = 64;
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    Result<FrameIndex> frame = mmu_.Translate(as, va, access);
+    if (frame.ok()) {
+      return frame;
+    }
+    if (handler_ == nullptr) {
+      return frame.status();
+    }
+    ++stats_.faults_taken;
+    PageFault fault{
+        .address_space = as,
+        .address = va,
+        .access = access,
+        .protection_violation = frame.status() == Status::kProtectionFault,
+    };
+    Status handled = handler_->HandleFault(fault);
+    if (handled != Status::kOk) {
+      return handled;  // unrecoverable: surfaced as the user-visible exception
+    }
+  }
+  GVM_LOG(Error) << "fault loop did not converge at va=0x" << std::hex << va;
+  return Status::kBusError;
+}
+
+Status Cpu::Touch(AsId as, Vaddr va, Access access) {
+  Result<FrameIndex> frame = TranslateWithFaults(as, va, access);
+  return frame.ok() ? Status::kOk : frame.status();
+}
+
+Status Cpu::AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access access) {
+  const size_t page_size = mmu_.page_size();
+  auto* bytes = static_cast<std::byte*>(buffer);
+  size_t done = 0;
+  while (done < size) {
+    Vaddr addr = va + done;
+    size_t in_page = page_size - (addr & (page_size - 1));
+    size_t chunk = size - done < in_page ? size - done : in_page;
+    Result<FrameIndex> frame = TranslateWithFaults(as, addr, access);
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    std::byte* phys = memory_.FrameData(*frame) + (addr & (page_size - 1));
+    if (access == Access::kWrite) {
+      std::memcpy(phys, bytes + done, chunk);
+    } else {
+      std::memcpy(bytes + done, phys, chunk);
+    }
+    done += chunk;
+  }
+  if (access == Access::kWrite) {
+    ++stats_.writes;
+    stats_.bytes_written += size;
+  } else {
+    ++stats_.reads;
+    stats_.bytes_read += size;
+  }
+  return Status::kOk;
+}
+
+}  // namespace gvm

@@ -1,0 +1,95 @@
+// The simulated CPU access path.
+//
+// In the real system, user loads and stores go through the MMU and trap to the
+// kernel's fault handler on a miss or violation.  In this user-space simulation,
+// "user programs" call Cpu::Read / Cpu::Write; each page-sized piece is translated
+// by the Mmu, and on a fault the bound FaultHandler (the memory manager) is invoked
+// exactly as a trap handler would be, then the access retries (section 4.1.2).
+#ifndef GVM_SRC_HAL_CPU_H_
+#define GVM_SRC_HAL_CPU_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/hal/mmu.h"
+#include "src/hal/phys_memory.h"
+#include "src/hal/types.h"
+#include "src/util/status.h"
+
+namespace gvm {
+
+// Implemented by the memory manager: resolve a page fault.  Returning kOk means
+// "retry the access"; any other status aborts the access and is surfaced to the
+// simulated user program (the paper's "segmentation fault" exception).
+class FaultHandler {
+ public:
+  virtual ~FaultHandler() = default;
+  virtual Status HandleFault(const PageFault& fault) = 0;
+};
+
+class Cpu {
+ public:
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t faults_taken = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+
+  Cpu(PhysicalMemory& memory, Mmu& mmu) : memory_(memory), mmu_(mmu) {}
+
+  void BindFaultHandler(FaultHandler* handler) { handler_ = handler; }
+
+  // Copy `size` bytes out of / into the address space `as` at `va`.  Accesses may
+  // span pages; each page is translated independently, faulting as needed.
+  Status Read(AsId as, Vaddr va, void* buffer, size_t size) {
+    return AccessBytes(as, va, buffer, size, Access::kRead);
+  }
+  Status Write(AsId as, Vaddr va, const void* buffer, size_t size) {
+    return AccessBytes(as, va, const_cast<void*>(buffer), size, Access::kWrite);
+  }
+  // Instruction fetch (used by the MIX byte-code machine).
+  Status Fetch(AsId as, Vaddr va, void* buffer, size_t size) {
+    return AccessBytes(as, va, buffer, size, Access::kExecute);
+  }
+
+  // Touch a single address with the given access, faulting as needed, without
+  // transferring data.  Used by lockInMemory-style prefaulting and by benchmarks.
+  Status Touch(AsId as, Vaddr va, Access access);
+
+  // Typed convenience accessors.
+  template <typename T>
+  Result<T> Load(AsId as, Vaddr va) {
+    T value{};
+    Status s = Read(as, va, &value, sizeof(T));
+    if (s != Status::kOk) {
+      return s;
+    }
+    return value;
+  }
+  template <typename T>
+  Status Store(AsId as, Vaddr va, T value) {
+    return Write(as, va, &value, sizeof(T));
+  }
+
+  PhysicalMemory& memory() { return memory_; }
+  Mmu& mmu() { return mmu_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  Status AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access access);
+  // Translate one address, invoking the fault handler until it succeeds or the
+  // handler reports an unrecoverable fault.
+  Result<FrameIndex> TranslateWithFaults(AsId as, Vaddr va, Access access);
+
+  PhysicalMemory& memory_;
+  Mmu& mmu_;
+  FaultHandler* handler_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_HAL_CPU_H_

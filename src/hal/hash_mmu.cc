@@ -1,0 +1,110 @@
+#include "src/hal/hash_mmu.h"
+
+#include <bit>
+#include <cassert>
+
+#include "src/util/align.h"
+
+namespace gvm {
+
+HashMmu::HashMmu(size_t page_size)
+    : page_size_(page_size), page_shift_(static_cast<unsigned>(std::countr_zero(page_size))) {
+  assert(IsPowerOfTwo(page_size));
+}
+
+Result<AsId> HashMmu::CreateAddressSpace() {
+  AsId as = next_as_++;
+  live_spaces_.insert(as);
+  ++stats_.spaces_created;
+  return as;
+}
+
+Status HashMmu::DestroyAddressSpace(AsId as) {
+  if (live_spaces_.erase(as) == 0) {
+    return Status::kNotFound;
+  }
+  auto it = space_pages_.find(as);
+  if (it != space_pages_.end()) {
+    for (uint64_t vpn : it->second) {
+      table_.erase({as, vpn});
+      ++stats_.unmaps;
+    }
+    space_pages_.erase(it);
+  }
+  ++stats_.spaces_destroyed;
+  return Status::kOk;
+}
+
+Status HashMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
+  if (!live_spaces_.contains(as)) {
+    return Status::kNotFound;
+  }
+  uint64_t vpn = Vpn(va);
+  table_[{as, vpn}] = Pte{.frame = frame, .prot = prot, .referenced = false, .dirty = false};
+  space_pages_[as].insert(vpn);
+  ++stats_.maps;
+  return Status::kOk;
+}
+
+Status HashMmu::Unmap(AsId as, Vaddr va) {
+  if (!live_spaces_.contains(as)) {
+    return Status::kNotFound;
+  }
+  uint64_t vpn = Vpn(va);
+  if (table_.erase({as, vpn}) != 0) {
+    space_pages_[as].erase(vpn);
+    ++stats_.unmaps;
+  }
+  return Status::kOk;
+}
+
+Status HashMmu::Protect(AsId as, Vaddr va, Prot prot) {
+  auto it = table_.find({as, Vpn(va)});
+  if (it == table_.end()) {
+    return Status::kNotFound;
+  }
+  it->second.prot = prot;
+  ++stats_.protects;
+  return Status::kOk;
+}
+
+Result<FrameIndex> HashMmu::Translate(AsId as, Vaddr va, Access access) {
+  ++stats_.translations;
+  auto it = table_.find({as, Vpn(va)});
+  if (it == table_.end()) {
+    ++stats_.faults;
+    return Status::kSegmentationFault;
+  }
+  Pte& pte = it->second;
+  if (!ProtAllows(pte.prot, AccessProt(access))) {
+    ++stats_.faults;
+    return Status::kProtectionFault;
+  }
+  pte.referenced = true;
+  if (access == Access::kWrite) {
+    pte.dirty = true;
+  }
+  return pte.frame;
+}
+
+Result<MmuEntry> HashMmu::Lookup(AsId as, Vaddr va) const {
+  auto it = table_.find({as, Vpn(va)});
+  if (it == table_.end()) {
+    return Status::kNotFound;
+  }
+  const Pte& pte = it->second;
+  return MmuEntry{
+      .frame = pte.frame, .prot = pte.prot, .referenced = pte.referenced, .dirty = pte.dirty};
+}
+
+Result<bool> HashMmu::TestAndClearReferenced(AsId as, Vaddr va) {
+  auto it = table_.find({as, Vpn(va)});
+  if (it == table_.end()) {
+    return Status::kNotFound;
+  }
+  bool was = it->second.referenced;
+  it->second.referenced = false;
+  return was;
+}
+
+}  // namespace gvm

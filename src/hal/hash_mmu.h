@@ -1,0 +1,65 @@
+// HashMmu: an inverted/hashed page-table MMU model, in the style of the custom MMU
+// of the Telmat T3000 mentioned in the paper's portability table (Table 5).
+//
+// A single global hash maps (address space, virtual page number) to a PTE.  It is
+// behaviourally identical to SoftMmu; the PVM runs unmodified on either, which is
+// the paper's portability claim made executable.
+#ifndef GVM_SRC_HAL_HASH_MMU_H_
+#define GVM_SRC_HAL_HASH_MMU_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/hal/mmu.h"
+
+namespace gvm {
+
+class HashMmu final : public Mmu {
+ public:
+  explicit HashMmu(size_t page_size);
+
+  Result<AsId> CreateAddressSpace() override;
+  Status DestroyAddressSpace(AsId as) override;
+  Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  Status Unmap(AsId as, Vaddr va) override;
+  Status Protect(AsId as, Vaddr va, Prot prot) override;
+  Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
+  Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
+  Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
+
+  size_t page_size() const override { return page_size_; }
+  const Stats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = Stats{}; }
+  const char* name() const override { return "HashMmu(inverted)"; }
+
+ private:
+  struct Pte {
+    FrameIndex frame = kInvalidFrame;
+    Prot prot = Prot::kNone;
+    bool referenced = false;
+    bool dirty = false;
+  };
+
+  struct KeyHash {
+    size_t operator()(const std::pair<AsId, uint64_t>& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.first) << 40) ^ k.second);
+    }
+  };
+
+  uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
+
+  const size_t page_size_;
+  const unsigned page_shift_;
+  AsId next_as_ = 0;
+  std::unordered_set<AsId> live_spaces_;
+  // Per-space set of mapped VPNs, needed to tear a space down without scanning the
+  // whole hash (real inverted-page-table systems keep similar software lists).
+  std::unordered_map<AsId, std::unordered_set<uint64_t>> space_pages_;
+  std::unordered_map<std::pair<AsId, uint64_t>, Pte, KeyHash> table_;
+  Stats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_HAL_HASH_MMU_H_

@@ -1,0 +1,80 @@
+// The hardware MMU interface — the boundary between the machine-independent PVM and
+// its (small) machine-dependent part (paper section 3.1 / 4, Table 5).
+//
+// Two implementations are provided, mirroring the paper's portability claim (the
+// PVM was ported to the Sun-3 MMU, the Motorola PMMU, a custom Telmat MMU and the
+// iAPX 386 by rewriting only this layer):
+//   * SoftMmu — two-level page tables, in the style of the PMMU / i386.
+//   * HashMmu — a hashed/inverted page table, in the style of custom MMUs.
+//
+// The interface deals in page-aligned virtual addresses and page frames only; all
+// policy (what to map, when, with which protection) lives above it.
+#ifndef GVM_SRC_HAL_MMU_H_
+#define GVM_SRC_HAL_MMU_H_
+
+#include <cstdint>
+
+#include "src/hal/types.h"
+#include "src/util/result.h"
+
+namespace gvm {
+
+// One translation entry as seen by software.
+struct MmuEntry {
+  FrameIndex frame = kInvalidFrame;
+  Prot prot = Prot::kNone;
+  bool referenced = false;  // set by the hardware on any successful translation
+  bool dirty = false;       // set by the hardware on a successful write
+};
+
+class Mmu {
+ public:
+  struct Stats {
+    uint64_t maps = 0;
+    uint64_t unmaps = 0;
+    uint64_t protects = 0;
+    uint64_t translations = 0;
+    uint64_t faults = 0;
+    uint64_t spaces_created = 0;
+    uint64_t spaces_destroyed = 0;
+  };
+
+  virtual ~Mmu() = default;
+
+  virtual Result<AsId> CreateAddressSpace() = 0;
+  // Destroys the space and all its mappings.
+  virtual Status DestroyAddressSpace(AsId as) = 0;
+
+  // Installs/replaces the translation for the page containing `va`.
+  virtual Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) = 0;
+
+  // Removes the translation for the page containing `va` (no-op if absent).
+  virtual Status Unmap(AsId as, Vaddr va) = 0;
+
+  // Changes the protection of an existing translation.  kNotFound if unmapped.
+  virtual Status Protect(AsId as, Vaddr va, Prot prot) = 0;
+
+  // Hardware translation: returns the frame if the access is permitted, updating
+  // referenced/dirty bits; otherwise returns kSegmentationFault (no mapping) or
+  // kProtectionFault (mapping present, protection insufficient).
+  virtual Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) = 0;
+
+  // Software inspection of an entry, without touching referenced/dirty bits.
+  virtual Result<MmuEntry> Lookup(AsId as, Vaddr va) const = 0;
+
+  // Reads and clears the referenced bit (for clock-style page replacement).
+  // Returns kNotFound if the page is unmapped.
+  virtual Result<bool> TestAndClearReferenced(AsId as, Vaddr va) = 0;
+
+  virtual size_t page_size() const = 0;
+
+  virtual const Stats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  // Human-readable implementation name, for Table 5-style reporting.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_HAL_MMU_H_

@@ -1,0 +1,68 @@
+#include "src/hal/phys_memory.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/align.h"
+
+namespace gvm {
+
+PhysicalMemory::PhysicalMemory(size_t frame_count, size_t page_size)
+    : frame_count_(frame_count), page_size_(page_size) {
+  assert(IsPowerOfTwo(page_size));
+  assert(frame_count > 0);
+  storage_.resize(frame_count * page_size);
+  allocated_.resize(frame_count, false);
+  free_list_.reserve(frame_count);
+  // Push in reverse so that frame 0 is handed out first (stable test output).
+  for (size_t i = frame_count; i > 0; --i) {
+    free_list_.push_back(static_cast<FrameIndex>(i - 1));
+  }
+}
+
+Result<FrameIndex> PhysicalMemory::AllocateFrame() {
+  if (free_list_.empty()) {
+    return Status::kNoMemory;
+  }
+  FrameIndex frame = free_list_.back();
+  free_list_.pop_back();
+  allocated_[frame] = true;
+  ++stats_.allocations;
+  return frame;
+}
+
+void PhysicalMemory::FreeFrame(FrameIndex frame) {
+  assert(frame < frame_count_);
+  assert(allocated_[frame] && "double free of a page frame");
+  allocated_[frame] = false;
+  free_list_.push_back(frame);
+  ++stats_.frees;
+}
+
+std::byte* PhysicalMemory::FrameData(FrameIndex frame) {
+  assert(frame < frame_count_);
+  return storage_.data() + static_cast<size_t>(frame) * page_size_;
+}
+
+const std::byte* PhysicalMemory::FrameData(FrameIndex frame) const {
+  assert(frame < frame_count_);
+  return storage_.data() + static_cast<size_t>(frame) * page_size_;
+}
+
+void PhysicalMemory::ZeroFrame(FrameIndex frame) {
+  std::memset(FrameData(frame), 0, page_size_);
+  ++stats_.zero_fills;
+}
+
+void PhysicalMemory::CopyFrame(FrameIndex dst, FrameIndex src) {
+  assert(dst != src);
+  std::memcpy(FrameData(dst), FrameData(src), page_size_);
+  ++stats_.frame_copies;
+}
+
+bool PhysicalMemory::IsAllocated(FrameIndex frame) const {
+  assert(frame < frame_count_);
+  return allocated_[frame];
+}
+
+}  // namespace gvm

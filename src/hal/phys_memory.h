@@ -1,0 +1,69 @@
+// Simulated physical memory: a fixed array of page frames with real byte storage.
+//
+// This is the substitute for the Sun-3's 8 MB of RAM (DESIGN.md substitution table).
+// Frames are allocated and freed by the memory manager; every frame has actual
+// backing bytes so that copy-on-write, zero-fill and pushOut/pullIn move real data
+// and correctness is observable end to end.
+#ifndef GVM_SRC_HAL_PHYS_MEMORY_H_
+#define GVM_SRC_HAL_PHYS_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/hal/types.h"
+#include "src/util/result.h"
+
+namespace gvm {
+
+class PhysicalMemory {
+ public:
+  struct Stats {
+    uint64_t allocations = 0;
+    uint64_t frees = 0;
+    uint64_t zero_fills = 0;
+    uint64_t frame_copies = 0;
+  };
+
+  // `frame_count` frames of `page_size` bytes each.  page_size must be a power of
+  // two; the paper's measurements use 8 KB pages (Sun-3).
+  PhysicalMemory(size_t frame_count, size_t page_size);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  // Allocates a frame (contents undefined).  Fails with kNoMemory when exhausted;
+  // the memory manager is expected to run page-out and retry.
+  Result<FrameIndex> AllocateFrame();
+
+  void FreeFrame(FrameIndex frame);
+
+  // Direct access to the frame's bytes (the "physical bus").
+  std::byte* FrameData(FrameIndex frame);
+  const std::byte* FrameData(FrameIndex frame) const;
+
+  void ZeroFrame(FrameIndex frame);
+  void CopyFrame(FrameIndex dst, FrameIndex src);
+
+  size_t page_size() const { return page_size_; }
+  size_t frame_count() const { return frame_count_; }
+  size_t free_frames() const { return free_list_.size(); }
+  size_t used_frames() const { return frame_count_ - free_list_.size(); }
+
+  bool IsAllocated(FrameIndex frame) const;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  const size_t frame_count_;
+  const size_t page_size_;
+  std::vector<std::byte> storage_;       // frame_count_ * page_size_ bytes
+  std::vector<FrameIndex> free_list_;    // LIFO free stack
+  std::vector<bool> allocated_;          // per-frame allocation bit (for assertions)
+  Stats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_HAL_PHYS_MEMORY_H_

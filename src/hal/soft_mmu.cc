@@ -1,0 +1,153 @@
+#include "src/hal/soft_mmu.h"
+
+#include <bit>
+#include <cassert>
+
+#include "src/util/align.h"
+
+namespace gvm {
+
+SoftMmu::SoftMmu(size_t page_size, unsigned leaf_bits)
+    : page_size_(page_size),
+      page_shift_(static_cast<unsigned>(std::countr_zero(page_size))),
+      leaf_bits_(leaf_bits) {
+  assert(IsPowerOfTwo(page_size));
+  assert(leaf_bits >= 1 && leaf_bits <= 20);
+}
+
+Result<AsId> SoftMmu::CreateAddressSpace() {
+  AsId as = next_as_++;
+  spaces_.emplace(as, AddressSpace{});
+  ++stats_.spaces_created;
+  return as;
+}
+
+Status SoftMmu::DestroyAddressSpace(AsId as) {
+  auto it = spaces_.find(as);
+  if (it == spaces_.end()) {
+    return Status::kNotFound;
+  }
+  spaces_.erase(it);
+  ++stats_.spaces_destroyed;
+  return Status::kOk;
+}
+
+SoftMmu::AddressSpace* SoftMmu::FindSpace(AsId as) {
+  auto it = spaces_.find(as);
+  return it == spaces_.end() ? nullptr : &it->second;
+}
+
+const SoftMmu::AddressSpace* SoftMmu::FindSpace(AsId as) const {
+  auto it = spaces_.find(as);
+  return it == spaces_.end() ? nullptr : &it->second;
+}
+
+SoftMmu::Pte* SoftMmu::FindPte(AsId as, Vaddr va) {
+  AddressSpace* space = FindSpace(as);
+  if (space == nullptr) {
+    return nullptr;
+  }
+  auto it = space->directory.find(DirIndex(va));
+  if (it == space->directory.end()) {
+    return nullptr;
+  }
+  Pte& pte = it->second->entries[LeafIndex(va)];
+  return pte.valid ? &pte : nullptr;
+}
+
+const SoftMmu::Pte* SoftMmu::FindPte(AsId as, Vaddr va) const {
+  return const_cast<SoftMmu*>(this)->FindPte(as, va);
+}
+
+Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
+  AddressSpace* space = FindSpace(as);
+  if (space == nullptr) {
+    return Status::kNotFound;
+  }
+  auto& leaf = space->directory[DirIndex(va)];
+  if (leaf == nullptr) {
+    leaf = std::make_unique<LeafTable>();
+    leaf->entries.resize(size_t{1} << leaf_bits_);
+  }
+  Pte& pte = leaf->entries[LeafIndex(va)];
+  if (!pte.valid) {
+    ++leaf->valid_count;
+  }
+  pte = Pte{.frame = frame, .prot = prot, .valid = true, .referenced = false, .dirty = false};
+  ++stats_.maps;
+  return Status::kOk;
+}
+
+Status SoftMmu::Unmap(AsId as, Vaddr va) {
+  AddressSpace* space = FindSpace(as);
+  if (space == nullptr) {
+    return Status::kNotFound;
+  }
+  auto it = space->directory.find(DirIndex(va));
+  if (it == space->directory.end()) {
+    return Status::kOk;  // already unmapped
+  }
+  Pte& pte = it->second->entries[LeafIndex(va)];
+  if (pte.valid) {
+    pte = Pte{};
+    ++stats_.unmaps;
+    if (--it->second->valid_count == 0) {
+      space->directory.erase(it);  // reclaim empty leaf tables
+    }
+  }
+  return Status::kOk;
+}
+
+Status SoftMmu::Protect(AsId as, Vaddr va, Prot prot) {
+  Pte* pte = FindPte(as, va);
+  if (pte == nullptr) {
+    return Status::kNotFound;
+  }
+  pte->prot = prot;
+  ++stats_.protects;
+  return Status::kOk;
+}
+
+Result<FrameIndex> SoftMmu::Translate(AsId as, Vaddr va, Access access) {
+  ++stats_.translations;
+  Pte* pte = FindPte(as, va);
+  if (pte == nullptr) {
+    ++stats_.faults;
+    return Status::kSegmentationFault;
+  }
+  if (!ProtAllows(pte->prot, AccessProt(access))) {
+    ++stats_.faults;
+    return Status::kProtectionFault;
+  }
+  pte->referenced = true;
+  if (access == Access::kWrite) {
+    pte->dirty = true;
+  }
+  return pte->frame;
+}
+
+Result<MmuEntry> SoftMmu::Lookup(AsId as, Vaddr va) const {
+  const Pte* pte = FindPte(as, va);
+  if (pte == nullptr) {
+    return Status::kNotFound;
+  }
+  return MmuEntry{
+      .frame = pte->frame, .prot = pte->prot, .referenced = pte->referenced, .dirty = pte->dirty};
+}
+
+Result<bool> SoftMmu::TestAndClearReferenced(AsId as, Vaddr va) {
+  Pte* pte = FindPte(as, va);
+  if (pte == nullptr) {
+    return Status::kNotFound;
+  }
+  bool was = pte->referenced;
+  pte->referenced = false;
+  return was;
+}
+
+size_t SoftMmu::LeafTableCount(AsId as) const {
+  const AddressSpace* space = FindSpace(as);
+  return space == nullptr ? 0 : space->directory.size();
+}
+
+}  // namespace gvm

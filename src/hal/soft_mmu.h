@@ -1,0 +1,77 @@
+// SoftMmu: a two-level page-table MMU model (PMMU / i386 style).
+//
+// The top level is a sparse map from "directory" index to a leaf table of PTEs, so
+// that an address space with a handful of mappings spread across a huge virtual
+// range costs only a few leaf tables — the size-independence property of section
+// 4.1 holds at the hardware-model level too.
+#ifndef GVM_SRC_HAL_SOFT_MMU_H_
+#define GVM_SRC_HAL_SOFT_MMU_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hal/mmu.h"
+
+namespace gvm {
+
+class SoftMmu final : public Mmu {
+ public:
+  // `page_size` must be a power of two.  `leaf_bits` is the number of VPN bits
+  // resolved by a leaf table (default 10, i.e. 1024 PTEs per leaf).
+  explicit SoftMmu(size_t page_size, unsigned leaf_bits = 10);
+
+  Result<AsId> CreateAddressSpace() override;
+  Status DestroyAddressSpace(AsId as) override;
+  Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  Status Unmap(AsId as, Vaddr va) override;
+  Status Protect(AsId as, Vaddr va, Prot prot) override;
+  Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
+  Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
+  Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
+
+  size_t page_size() const override { return page_size_; }
+  const Stats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = Stats{}; }
+  const char* name() const override { return "SoftMmu(two-level)"; }
+
+  // Number of leaf tables currently allocated in `as` (for size-independence tests).
+  size_t LeafTableCount(AsId as) const;
+
+ private:
+  struct Pte {
+    FrameIndex frame = kInvalidFrame;
+    Prot prot = Prot::kNone;
+    bool valid = false;
+    bool referenced = false;
+    bool dirty = false;
+  };
+  struct LeafTable {
+    std::vector<Pte> entries;
+    size_t valid_count = 0;
+  };
+  struct AddressSpace {
+    std::unordered_map<uint64_t, std::unique_ptr<LeafTable>> directory;
+  };
+
+  uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
+  uint64_t DirIndex(Vaddr va) const { return Vpn(va) >> leaf_bits_; }
+  uint64_t LeafIndex(Vaddr va) const { return Vpn(va) & ((1ull << leaf_bits_) - 1); }
+
+  AddressSpace* FindSpace(AsId as);
+  const AddressSpace* FindSpace(AsId as) const;
+  Pte* FindPte(AsId as, Vaddr va);
+  const Pte* FindPte(AsId as, Vaddr va) const;
+
+  const size_t page_size_;
+  const unsigned page_shift_;
+  const unsigned leaf_bits_;
+  AsId next_as_ = 0;
+  std::unordered_map<AsId, AddressSpace> spaces_;
+  Stats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_HAL_SOFT_MMU_H_

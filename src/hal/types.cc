@@ -1,0 +1,25 @@
+#include "src/hal/types.h"
+
+namespace gvm {
+
+std::string ProtName(Prot p) {
+  std::string out;
+  out += ProtAllows(p, Prot::kRead) ? 'r' : '-';
+  out += ProtAllows(p, Prot::kWrite) ? 'w' : '-';
+  out += ProtAllows(p, Prot::kExecute) ? 'x' : '-';
+  return out;
+}
+
+std::string AccessName(Access a) {
+  switch (a) {
+    case Access::kRead:
+      return "read";
+    case Access::kWrite:
+      return "write";
+    case Access::kExecute:
+      return "execute";
+  }
+  return "<unknown>";
+}
+
+}  // namespace gvm

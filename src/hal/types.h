@@ -1,0 +1,79 @@
+// Fundamental machine-level types shared by the hardware layer and the memory
+// managers: virtual addresses, frame numbers, protections and access kinds.
+#ifndef GVM_SRC_HAL_TYPES_H_
+#define GVM_SRC_HAL_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gvm {
+
+// A virtual address inside a context.
+using Vaddr = uint64_t;
+
+// A byte offset inside a segment (segments may be large and sparse; 64 bits).
+using SegOffset = uint64_t;
+
+// Index of a physical page frame in the simulated PhysicalMemory.
+using FrameIndex = uint32_t;
+inline constexpr FrameIndex kInvalidFrame = ~FrameIndex{0};
+
+// Identifier of a hardware address space (one per context).
+using AsId = uint32_t;
+inline constexpr AsId kInvalidAsId = ~AsId{0};
+
+// Hardware protection bits associated with a mapping or region.
+enum class Prot : uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExecute = 4,
+  kReadWrite = kRead | kWrite,
+  kReadExecute = kRead | kExecute,
+  kAll = kRead | kWrite | kExecute,
+};
+
+constexpr Prot operator|(Prot a, Prot b) {
+  return static_cast<Prot>(static_cast<uint8_t>(a) | static_cast<uint8_t>(b));
+}
+constexpr Prot operator&(Prot a, Prot b) {
+  return static_cast<Prot>(static_cast<uint8_t>(a) & static_cast<uint8_t>(b));
+}
+constexpr Prot operator~(Prot a) {
+  return static_cast<Prot>(~static_cast<uint8_t>(a) & static_cast<uint8_t>(Prot::kAll));
+}
+constexpr bool ProtAllows(Prot have, Prot want) { return (have & want) == want; }
+
+// The kind of memory access being performed (the accessMode of GMI pullIn).
+enum class Access : uint8_t { kRead, kWrite, kExecute };
+
+// The protection an access requires.
+constexpr Prot AccessProt(Access a) {
+  switch (a) {
+    case Access::kRead:
+      return Prot::kRead;
+    case Access::kWrite:
+      return Prot::kWrite;
+    case Access::kExecute:
+      return Prot::kExecute;
+  }
+  return Prot::kNone;
+}
+
+std::string ProtName(Prot p);
+std::string AccessName(Access a);
+
+// Description of a page fault, as the hardware would report it (section 4.1.2:
+// "the hardware page fault descriptor holds the virtual address of the fault").
+struct PageFault {
+  AsId address_space = kInvalidAsId;
+  Vaddr address = 0;
+  Access access = Access::kRead;
+  // True when a mapping existed but its protection forbade the access
+  // (a "write violation" in the paper's terms); false for a missing mapping.
+  bool protection_violation = false;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_HAL_TYPES_H_

@@ -1,0 +1,295 @@
+#include "src/minimal/minimal_mm.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "src/util/align.h"
+
+namespace gvm {
+
+// ---------------------------------------------------------------------------
+// MinimalVm
+// ---------------------------------------------------------------------------
+
+MinimalVm::MinimalVm(PhysicalMemory& memory, Mmu& mmu) : BaseMm(memory, mmu) {}
+
+MinimalVm::~MinimalVm() {
+  for (auto& [id, cache] : caches_) {
+    for (auto& [offset, frame] : cache->frames_) {
+      memory().FreeFrame(frame);
+    }
+    cache->frames_.clear();
+  }
+}
+
+Result<Cache*> MinimalVm::CacheCreate(SegmentDriver* driver, std::string name) {
+  std::unique_lock<std::mutex> lock(mu());
+  CacheId id = next_cache_id_++;
+  auto cache = std::make_unique<MinimalCache>(*this, id, std::move(name), driver);
+  Cache* raw = cache.get();
+  caches_.emplace(id, std::move(cache));
+  return raw;
+}
+
+size_t MinimalVm::CacheCount() const {
+  std::unique_lock<std::mutex> lock(const_cast<MinimalVm*>(this)->mu());
+  return caches_.size();
+}
+
+Result<FrameIndex> MinimalVm::EnsurePage(std::unique_lock<std::mutex>& lock,
+                                         MinimalCache& cache, SegOffset page_offset) {
+  auto it = cache.frames_.find(page_offset);
+  if (it != cache.frames_.end()) {
+    return it->second;
+  }
+  Result<FrameIndex> frame = memory().AllocateFrame();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  memory().ZeroFrame(*frame);
+  cache.frames_.emplace(page_offset, *frame);
+  if (cache.driver_ != nullptr) {
+    // Load the data synchronously; a real-time kernel would do this at
+    // configuration time.  The driver calls FillUp, which finds the frame.
+    SegmentDriver* driver = cache.driver_;
+    lock.unlock();
+    Status s = driver->PullIn(cache, page_offset, memory().page_size(), Access::kRead);
+    lock.lock();
+    if (s != Status::kOk) {
+      return Status::kBusError;
+    }
+    auto reload = cache.frames_.find(page_offset);
+    if (reload == cache.frames_.end()) {
+      return Status::kBusError;
+    }
+    return reload->second;
+  }
+  return *frame;
+}
+
+// The minimal MM maps everything eagerly, so a fault can only mean a protection
+// violation or an access outside the allocated pages.
+Status MinimalVm::ResolveFault(RegionImpl& region, const PageFault& fault,
+                               SegOffset page_offset) {
+  (void)region;
+  (void)page_offset;
+  return fault.protection_violation ? Status::kProtectionFault : Status::kSegmentationFault;
+}
+
+void MinimalVm::OnRegionMapped(RegionImpl& region) {
+  auto& cache = static_cast<MinimalCache&>(region.cache());
+  cache.mapping_count_++;
+  // Eagerly allocate and map every page of the region: no faults, ever.
+  std::unique_lock<std::mutex> lock(mu(), std::adopt_lock);
+  const size_t page = page_size();
+  const AsId as = region.context().address_space();
+  for (uint64_t delta = 0; delta < region.size(); delta += page) {
+    Result<FrameIndex> frame = EnsurePage(lock, cache, region.offset() + delta);
+    if (!frame.ok()) {
+      break;  // partial maps surface as faults later; acceptable for the minimal MM
+    }
+    mmu().Map(as, region.start() + delta, *frame, region.prot());
+  }
+  lock.release();
+}
+
+void MinimalVm::OnRegionUnmapping(RegionImpl& region) {
+  auto& cache = static_cast<MinimalCache&>(region.cache());
+  cache.mapping_count_--;
+  const size_t page = page_size();
+  const AsId as = region.context().address_space();
+  for (uint64_t delta = 0; delta < region.size(); delta += page) {
+    mmu().Unmap(as, region.start() + delta);
+  }
+}
+
+void MinimalVm::OnRegionSplit(RegionImpl& first, RegionImpl& second) {
+  (void)first;
+  static_cast<MinimalCache&>(second.cache()).mapping_count_++;
+}
+
+void MinimalVm::OnRegionProtection(RegionImpl& region) {
+  const size_t page = page_size();
+  const AsId as = region.context().address_space();
+  for (uint64_t delta = 0; delta < region.size(); delta += page) {
+    mmu().Protect(as, region.start() + delta, region.prot());
+  }
+}
+
+Status MinimalVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) {
+  // Everything is always locked in memory.
+  (void)region;
+  (void)lock;
+  return Status::kOk;
+}
+
+Status MinimalVm::OnRegionUnlock(RegionImpl& region) {
+  (void)region;
+  return Status::kOk;
+}
+
+Status MinimalVm::CacheAccess(MinimalCache& cache, SegOffset offset, void* buffer, size_t size,
+                              bool write) {
+  std::unique_lock<std::mutex> lock(mu());
+  const size_t page = page_size();
+  auto* bytes = static_cast<std::byte*>(buffer);
+  size_t done = 0;
+  while (done < size) {
+    const SegOffset at = offset + done;
+    const SegOffset page_off = AlignDown(at, page);
+    size_t chunk = page - (at - page_off);
+    if (chunk > size - done) {
+      chunk = size - done;
+    }
+    Result<FrameIndex> frame = EnsurePage(lock, cache, page_off);
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    std::byte* data = memory().FrameData(*frame) + (at - page_off);
+    if (write) {
+      std::memcpy(data, bytes + done, chunk);
+    } else {
+      std::memcpy(bytes + done, data, chunk);
+    }
+    done += chunk;
+  }
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// MinimalCache
+// ---------------------------------------------------------------------------
+
+MinimalCache::MinimalCache(MinimalVm& vm, CacheId id, std::string name, SegmentDriver* driver)
+    : vm_(vm), id_(id), name_(std::move(name)), driver_(driver) {}
+
+MinimalCache::~MinimalCache() = default;
+
+Status MinimalCache::CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset,
+                            size_t size, CopyPolicy policy) {
+  // Every copy is physical in the minimal MM, whatever the requested policy.
+  (void)policy;
+  std::vector<std::byte> bounce(size);
+  GVM_RETURN_IF_ERROR(Read(src_offset, bounce.data(), size));
+  return dst.Write(dst_offset, bounce.data(), size);
+}
+
+Status MinimalCache::MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset,
+                            size_t size) {
+  GVM_RETURN_IF_ERROR(CopyTo(dst, src_offset, dst_offset, size, CopyPolicy::kEager));
+  return Invalidate(src_offset, size);
+}
+
+Status MinimalCache::Read(SegOffset offset, void* buffer, size_t size) {
+  return vm_.CacheAccess(*this, offset, buffer, size, /*write=*/false);
+}
+
+Status MinimalCache::Write(SegOffset offset, const void* buffer, size_t size) {
+  return vm_.CacheAccess(*this, offset, const_cast<void*>(buffer), size, /*write=*/true);
+}
+
+Status MinimalCache::Destroy() {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  if (mapping_count_ > 0) {
+    return Status::kBusy;
+  }
+  for (auto& [offset, frame] : frames_) {
+    vm_.memory().FreeFrame(frame);
+  }
+  frames_.clear();
+  vm_.caches_.erase(id_);  // destroys *this
+  return Status::kOk;
+}
+
+Status MinimalCache::FillUp(SegOffset offset, const void* data, size_t size, Prot max_prot) {
+  (void)max_prot;  // the minimal MM has no per-page protection caps
+  return Write(offset, data, size);
+}
+
+Status MinimalCache::FillZero(SegOffset offset, size_t size) {
+  std::vector<std::byte> zeros(size);
+  return Write(offset, zeros.data(), size);
+}
+
+Status MinimalCache::CopyBack(SegOffset offset, void* buffer, size_t size) {
+  return Read(offset, buffer, size);
+}
+
+Status MinimalCache::MoveBack(SegOffset offset, void* buffer, size_t size) {
+  GVM_RETURN_IF_ERROR(Read(offset, buffer, size));
+  return Invalidate(offset, size);
+}
+
+Status MinimalCache::Flush() {
+  GVM_RETURN_IF_ERROR(Sync());
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  if (mapping_count_ > 0) {
+    return Status::kBusy;  // fixed maps: cannot discard mapped pages
+  }
+  for (auto& [offset, frame] : frames_) {
+    vm_.memory().FreeFrame(frame);
+  }
+  frames_.clear();
+  return Status::kOk;
+}
+
+Status MinimalCache::Sync() {
+  if (driver_ == nullptr) {
+    return Status::kOk;
+  }
+  // Push every page; the minimal MM has no dirty tracking (memory is the truth).
+  std::vector<std::pair<SegOffset, FrameIndex>> pages;
+  {
+    std::unique_lock<std::mutex> lock(vm_.mu());
+    pages.assign(frames_.begin(), frames_.end());
+  }
+  for (const auto& [offset, frame] : pages) {
+    GVM_RETURN_IF_ERROR(driver_->PushOut(*this, offset, vm_.memory().page_size()));
+  }
+  return Status::kOk;
+}
+
+Status MinimalCache::Invalidate(SegOffset offset, size_t size) {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  const size_t page = vm_.memory().page_size();
+  for (SegOffset at = AlignDown(offset, page); at < offset + size; at += page) {
+    auto it = frames_.find(at);
+    if (it != frames_.end()) {
+      vm_.memory().FreeFrame(it->second);
+      frames_.erase(it);
+    }
+  }
+  return Status::kOk;
+}
+
+Status MinimalCache::SetProtection(SegOffset offset, size_t size, Prot max_prot) {
+  (void)offset;
+  (void)size;
+  (void)max_prot;
+  return Status::kUnsupported;  // real-time configuration: protections are static
+}
+
+Status MinimalCache::LockInMemory(SegOffset offset, size_t size) {
+  (void)offset;
+  (void)size;
+  return Status::kOk;  // always locked
+}
+
+Status MinimalCache::Unlock(SegOffset offset, size_t size) {
+  (void)offset;
+  (void)size;
+  return Status::kOk;
+}
+
+size_t MinimalCache::ResidentPages() const {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  return frames_.size();
+}
+
+size_t MinimalCache::MappingCount() const {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  return mapping_count_;
+}
+
+}  // namespace gvm

@@ -1,0 +1,101 @@
+// MinimalVm — the paper's "minimal implementation, suited for embedded real-time
+// systems and small hardware configurations" (section 5.2).
+//
+// Real-time executives avoid demand paging entirely: creating a region eagerly
+// allocates and maps every page, so no access ever faults and MMU maps stay fixed
+// (the lockInMemory property holds for all memory, by construction).  Copies are
+// always physical.  The point of this implementation is the GMI's portability
+// claim: the Nucleus and everything above it runs unmodified on it.
+#ifndef GVM_SRC_MINIMAL_MINIMAL_MM_H_
+#define GVM_SRC_MINIMAL_MINIMAL_MM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/vmbase/base_mm.h"
+
+namespace gvm {
+
+class MinimalVm;
+
+class MinimalCache final : public Cache {
+ public:
+  MinimalCache(MinimalVm& vm, CacheId id, std::string name, SegmentDriver* driver);
+  ~MinimalCache() override;
+
+  CacheId id() const override { return id_; }
+  const std::string& name() const override { return name_; }
+  SegmentDriver* driver() const override { return driver_; }
+
+  Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
+                CopyPolicy policy) override;
+  Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) override;
+  Status Read(SegOffset offset, void* buffer, size_t size) override;
+  Status Write(SegOffset offset, const void* buffer, size_t size) override;
+  Status Destroy() override;
+
+  Status FillUp(SegOffset offset, const void* data, size_t size,
+                Prot max_prot = Prot::kAll) override;
+  Status FillZero(SegOffset offset, size_t size) override;
+  Status CopyBack(SegOffset offset, void* buffer, size_t size) override;
+  Status MoveBack(SegOffset offset, void* buffer, size_t size) override;
+  Status Flush() override;
+  Status Sync() override;
+  Status Invalidate(SegOffset offset, size_t size) override;
+  Status SetProtection(SegOffset offset, size_t size, Prot max_prot) override;
+  Status LockInMemory(SegOffset offset, size_t size) override;
+  Status Unlock(SegOffset offset, size_t size) override;
+
+  size_t ResidentPages() const override;
+  size_t MappingCount() const override;
+
+ private:
+  friend class MinimalVm;
+
+  MinimalVm& vm_;
+  const CacheId id_;
+  std::string name_;
+  SegmentDriver* driver_;
+  // Offset -> frame.  Everything is always resident; no stubs, no deferral.
+  std::map<SegOffset, FrameIndex> frames_;
+  size_t mapping_count_ = 0;
+};
+
+class MinimalVm final : public BaseMm {
+ public:
+  MinimalVm(PhysicalMemory& memory, Mmu& mmu);
+  ~MinimalVm() override;
+
+  Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) override;
+  const char* name() const override { return "MinimalVm"; }
+
+  size_t CacheCount() const;
+
+ protected:
+  Status ResolveFault(RegionImpl& region, const PageFault& fault,
+                      SegOffset page_offset) override;
+  void OnRegionMapped(RegionImpl& region) override;
+  void OnRegionUnmapping(RegionImpl& region) override;
+  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override;
+  void OnRegionProtection(RegionImpl& region) override;
+  Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) override;
+  Status OnRegionUnlock(RegionImpl& region) override;
+
+ private:
+  friend class MinimalCache;
+
+  // Ensure the page exists (allocating + pulling data as needed); lock held.
+  Result<FrameIndex> EnsurePage(std::unique_lock<std::mutex>& lock, MinimalCache& cache,
+                                SegOffset page_offset);
+  Status CacheAccess(MinimalCache& cache, SegOffset offset, void* buffer, size_t size,
+                     bool write);
+
+  CacheId next_cache_id_ = 1;
+  std::unordered_map<CacheId, std::unique_ptr<MinimalCache>> caches_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_MINIMAL_MINIMAL_MM_H_

@@ -1,0 +1,424 @@
+#include "src/mix/process_manager.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+namespace {
+size_t PageSize(Nucleus& nucleus) { return nucleus.cpu().memory().page_size(); }
+}  // namespace
+
+ProcessManager::ProcessManager(Nucleus& nucleus, FileMapper& filesystem,
+                               PortId filesystem_port)
+    : nucleus_(nucleus), filesystem_(filesystem), filesystem_port_(filesystem_port) {}
+
+Status ProcessManager::InstallProgram(const std::string& path, const VmAssembler& text,
+                                      const std::vector<std::byte>& data,
+                                      uint64_t data_reserve, uint64_t stack_bytes) {
+  const size_t page = PageSize(nucleus_);
+  std::vector<std::byte> text_bytes = text.Bytes();
+  ProgramHeader header;
+  header.text_bytes = text_bytes.size();
+  header.data_bytes = data.size();
+  header.data_reserve = std::max<uint64_t>(data_reserve, AlignUp(data.size(), page));
+  if (header.data_reserve == 0) {
+    header.data_reserve = page;
+  }
+  header.stack_bytes = stack_bytes == 0 ? 4 * page : AlignUp(stack_bytes, page);
+  header.entry = 0;
+
+  // Image layout: [header page][text pages][data pages].
+  std::vector<std::byte> image(page + AlignUp(text_bytes.size(), page) +
+                               AlignUp(data.size(), page));
+  std::memcpy(image.data(), &header, sizeof(header));
+  std::memcpy(image.data() + page, text_bytes.data(), text_bytes.size());
+  std::memcpy(image.data() + page + AlignUp(text_bytes.size(), page), data.data(),
+              data.size());
+  Result<uint64_t> key = filesystem_.CreateFile(path, image.data(), image.size());
+  return key.ok() ? Status::kOk : key.status();
+}
+
+Result<ProgramHeader> ProcessManager::ReadHeader(const Capability& image) {
+  // Read the header through the unified cache (and keep the cache warm for the
+  // subsequent rgnMap — segment caching at work).
+  Result<Cache*> cache = nucleus_.segment_manager().AcquireCache(image);
+  if (!cache.ok()) {
+    return cache.status();
+  }
+  ProgramHeader header;
+  Status s = (*cache)->Read(0, &header, sizeof(header));
+  nucleus_.segment_manager().Release(*cache);
+  if (s != Status::kOk) {
+    return s;
+  }
+  if (header.magic != ProgramHeader::kMagic) {
+    return Status::kInvalidArgument;
+  }
+  return header;
+}
+
+Status ProcessManager::SetUpAddressSpace(Process& proc, const std::string& path) {
+  const size_t page = PageSize(nucleus_);
+  Result<uint64_t> key = filesystem_.LookupFile(path);
+  if (!key.ok()) {
+    return key.status();
+  }
+  Capability image{filesystem_port_, *key};
+  Result<ProgramHeader> header = ReadHeader(image);
+  if (!header.ok()) {
+    return header.status();
+  }
+
+  // "The Unix exec invokes the Chorus rgnMap operation to map the text segment of
+  // the process, rgnInit for its data segment, and rgnAllocate for the stack."
+  const SegOffset text_offset = page;  // text follows the header page
+  const uint64_t text_size = AlignUp(header->text_bytes, page);
+  Result<Region*> text = proc.actor->RgnMap(ProcessLayout::kTextBase, text_size,
+                                            Prot::kReadExecute, image, text_offset);
+  if (!text.ok()) {
+    return text.status();
+  }
+
+  const uint64_t data_size = AlignUp(header->data_reserve, page);
+  const SegOffset data_offset = text_offset + text_size;
+  // rgnInit: the data region starts as a (deferred) copy of the initialized data
+  // image; the tail beyond the image is demand-zero.
+  Result<Region*> data =
+      proc.actor->RgnInit(ProcessLayout::kDataBase, data_size, Prot::kReadWrite, image,
+                          data_offset, CopyPolicy::kAuto);
+  if (!data.ok()) {
+    return data.status();
+  }
+  // The initializer covers only data_bytes; the copy covered the whole region, so
+  // zero the tail of the last initialized page if the image is smaller.
+  // (The simple image format rounds data to pages, so nothing to do here.)
+
+  Result<Region*> stack = proc.actor->RgnAllocate(
+      ProcessLayout::kStackBase, AlignUp(header->stack_bytes, page), Prot::kReadWrite);
+  if (!stack.ok()) {
+    return stack.status();
+  }
+
+  proc.program = path;
+  proc.data_reserve = data_size;
+  proc.data_break = AlignUp(header->data_bytes, page);
+  proc.stack_bytes = AlignUp(header->stack_bytes, page);
+  proc.vm = VmState{};
+  proc.vm.pc = ProcessLayout::kTextBase + header->entry;
+  proc.vm.regs[15] = ProcessLayout::kStackBase + proc.stack_bytes;  // r15 = sp
+  return Status::kOk;
+}
+
+Result<Pid> ProcessManager::Spawn(const std::string& path) {
+  Result<Actor*> actor = nucleus_.ActorCreate("pid" + std::to_string(next_pid_));
+  if (!actor.ok()) {
+    return actor.status();
+  }
+  auto proc = std::make_unique<Process>();
+  proc->pid = next_pid_++;
+  proc->actor = *actor;
+  Status s = SetUpAddressSpace(*proc, path);
+  if (s != Status::kOk) {
+    nucleus_.ActorDestroy(*actor);
+    return s;
+  }
+  Pid pid = proc->pid;
+  processes_.emplace(pid, std::move(proc));
+  return pid;
+}
+
+Result<Pid> ProcessManager::Fork(Pid parent_pid, CopyPolicy policy) {
+  Process* parent = Find(parent_pid);
+  if (parent == nullptr || parent->state != ProcState::kRunnable) {
+    return Status::kNotFound;
+  }
+  Result<Actor*> actor = nucleus_.ActorCreate("pid" + std::to_string(next_pid_));
+  if (!actor.ok()) {
+    return actor.status();
+  }
+  auto child = std::make_unique<Process>();
+  child->pid = next_pid_++;
+  child->parent = parent_pid;
+  child->program = parent->program;
+  child->actor = *actor;
+
+  // "A Unix fork uses rgnMapFromActor to share the text segment between the
+  // parent and child processes.  It invokes rgnInitFromActor to create the
+  // child's data and stack areas as copies of the parent's."
+  const auto regions = parent->actor->context().GetRegionList();
+  for (const RegionStatus& region : regions) {
+    Result<Region*> created = Status::kInvalidArgument;
+    if (region.address == ProcessLayout::kTextBase) {
+      created = child->actor->RgnMapFromActor(region.address, region.size, region.protection,
+                                              *parent->actor, region.address);
+    } else {
+      created = child->actor->RgnInitFromActor(region.address, region.size,
+                                               region.protection, *parent->actor,
+                                               region.address, policy);
+    }
+    if (!created.ok()) {
+      nucleus_.ActorDestroy(*actor);
+      return created.status();
+    }
+  }
+  child->vm = parent->vm;  // registers, pc — the child resumes at the same point
+  child->data_reserve = parent->data_reserve;
+  child->data_break = parent->data_break;
+  child->stack_bytes = parent->stack_bytes;
+  Pid pid = child->pid;
+  processes_.emplace(pid, std::move(child));
+  return pid;
+}
+
+Status ProcessManager::Exec(Pid pid, const std::string& path) {
+  Process* proc = Find(pid);
+  if (proc == nullptr) {
+    return Status::kNotFound;
+  }
+  // Tear down the old image, build the new one (the console and pid survive).
+  GVM_RETURN_IF_ERROR(proc->actor->RgnFreeAll());
+  return SetUpAddressSpace(*proc, path);
+}
+
+Status ProcessManager::Exit(Pid pid, int status) {
+  Process* proc = Find(pid);
+  if (proc == nullptr) {
+    return Status::kNotFound;
+  }
+  proc->state = ProcState::kZombie;
+  proc->vm.halted = true;
+  proc->vm.exit_status = status;
+  // Release the address space now; the zombie only keeps its status.
+  GVM_RETURN_IF_ERROR(nucleus_.ActorDestroy(proc->actor));
+  proc->actor = nullptr;
+  return Status::kOk;
+}
+
+Result<std::pair<Pid, int>> ProcessManager::Wait(Pid parent) {
+  for (auto& [pid, proc] : processes_) {
+    if (proc->parent == parent && proc->state == ProcState::kZombie) {
+      std::pair<Pid, int> result{pid, proc->vm.exit_status};
+      processes_.erase(pid);
+      return result;
+    }
+  }
+  return Status::kNotFound;  // no zombie children (a real kernel would block)
+}
+
+Process* ProcessManager::Find(Pid pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+size_t ProcessManager::RunnableCount() const {
+  size_t n = 0;
+  for (const auto& [pid, proc] : processes_) {
+    n += proc->state == ProcState::kRunnable ? 1 : 0;
+  }
+  return n;
+}
+
+Result<VmStop> ProcessManager::Step(Process& proc) {
+  VmState& vm = proc.vm;
+  uint32_t word = 0;
+  Status fetched = proc.actor->Fetch(vm.pc, &word, sizeof(word));
+  if (fetched != Status::kOk) {
+    GVM_LOG(Info) << "pid " << proc.pid << ": fetch fault at pc=0x" << std::hex << vm.pc;
+    return VmStop::kFault;
+  }
+  const VmDecoded insn = VmDecode(word);
+  vm.pc += 4;
+  ++proc.steps_executed;
+  auto& r = vm.regs;
+  switch (insn.op) {
+    case VmOp::kHalt:
+      vm.halted = true;
+      return VmStop::kHalted;
+    case VmOp::kLi:
+      r[insn.ra] = insn.imm;
+      break;
+    case VmOp::kLui:
+      r[insn.ra] = (r[insn.ra] << 16) | (static_cast<uint16_t>(insn.imm));
+      break;
+    case VmOp::kMov:
+      r[insn.ra] = r[insn.rb];
+      break;
+    case VmOp::kAdd:
+      r[insn.ra] += r[insn.rb];
+      break;
+    case VmOp::kSub:
+      r[insn.ra] -= r[insn.rb];
+      break;
+    case VmOp::kMul:
+      r[insn.ra] *= r[insn.rb];
+      break;
+    case VmOp::kAddi:
+      r[insn.ra] += insn.imm;
+      break;
+    case VmOp::kLd: {
+      int64_t value = 0;
+      Status s = proc.actor->Read(static_cast<Vaddr>(r[insn.rb] + insn.imm), &value,
+                                  sizeof(value));
+      if (s != Status::kOk) {
+        return VmStop::kFault;
+      }
+      r[insn.ra] = value;
+      break;
+    }
+    case VmOp::kSt: {
+      int64_t value = r[insn.ra];
+      Status s = proc.actor->Write(static_cast<Vaddr>(r[insn.rb] + insn.imm), &value,
+                                   sizeof(value));
+      if (s != Status::kOk) {
+        return VmStop::kFault;
+      }
+      break;
+    }
+    case VmOp::kLdb: {
+      uint8_t value = 0;
+      Status s =
+          proc.actor->Read(static_cast<Vaddr>(r[insn.rb] + insn.imm), &value, sizeof(value));
+      if (s != Status::kOk) {
+        return VmStop::kFault;
+      }
+      r[insn.ra] = value;
+      break;
+    }
+    case VmOp::kStb: {
+      uint8_t value = static_cast<uint8_t>(r[insn.ra]);
+      Status s = proc.actor->Write(static_cast<Vaddr>(r[insn.rb] + insn.imm), &value,
+                                   sizeof(value));
+      if (s != Status::kOk) {
+        return VmStop::kFault;
+      }
+      break;
+    }
+    case VmOp::kJmp:
+      vm.pc += static_cast<int64_t>(insn.imm) * 4;
+      break;
+    case VmOp::kBeqz:
+      if (r[insn.ra] == 0) {
+        vm.pc += static_cast<int64_t>(insn.imm) * 4;
+      }
+      break;
+    case VmOp::kBnez:
+      if (r[insn.ra] != 0) {
+        vm.pc += static_cast<int64_t>(insn.imm) * 4;
+      }
+      break;
+    case VmOp::kBlt:
+      if (r[insn.ra] < r[insn.rb]) {
+        vm.pc += static_cast<int64_t>(insn.imm) * 4;
+      }
+      break;
+    case VmOp::kSys:
+      switch (static_cast<VmSys>(static_cast<uint16_t>(insn.imm))) {
+        case VmSys::kExit:
+          Exit(proc.pid, static_cast<int>(r[0]));
+          return VmStop::kHalted;
+        case VmSys::kWrite: {
+          std::vector<char> buffer(static_cast<size_t>(r[1]));
+          Status s = proc.actor->Read(static_cast<Vaddr>(r[0]), buffer.data(),
+                                      buffer.size());
+          if (s != Status::kOk) {
+            return VmStop::kFault;
+          }
+          proc.console.append(buffer.data(), buffer.size());
+          break;
+        }
+        case VmSys::kGetPid:
+          r[0] = proc.pid;
+          break;
+        case VmSys::kFork: {
+          Result<Pid> child = Fork(proc.pid);
+          if (!child.ok()) {
+            r[0] = -1;
+            break;
+          }
+          // Parent sees the child pid; the child (whose registers were copied
+          // before this assignment is visible to it) must see 0.
+          Process* child_proc = Find(*child);
+          child_proc->vm.regs[0] = 0;
+          child_proc->vm.pc = vm.pc;  // resume after the SYS instruction
+          r[0] = *child;
+          break;
+        }
+        case VmSys::kYield:
+          return VmStop::kOutOfSlice;
+        case VmSys::kSbrk: {
+          uint64_t old_break = proc.data_break;
+          uint64_t want = proc.data_break + static_cast<uint64_t>(r[0]);
+          if (want > proc.data_reserve) {
+            r[0] = -1;
+          } else {
+            proc.data_break = want;
+            r[0] = static_cast<int64_t>(ProcessLayout::kDataBase + old_break);
+          }
+          break;
+        }
+        default:
+          return VmStop::kFault;
+      }
+      break;
+    default:
+      return VmStop::kFault;
+  }
+  return VmStop::kOutOfSlice;  // "keep going" marker; Run() interprets it
+}
+
+Result<VmStop> ProcessManager::Run(Pid pid, uint64_t max_steps) {
+  Process* proc = Find(pid);
+  if (proc == nullptr || proc->state != ProcState::kRunnable) {
+    return Status::kNotFound;
+  }
+  for (uint64_t i = 0; i < max_steps; ++i) {
+    Result<VmStop> stop = Step(*proc);
+    if (!stop.ok()) {
+      return stop;
+    }
+    if (*stop == VmStop::kHalted || *stop == VmStop::kFault) {
+      return *stop;
+    }
+    if (*stop == VmStop::kOutOfSlice && proc->vm.halted) {
+      return VmStop::kHalted;
+    }
+  }
+  return VmStop::kOutOfSlice;
+}
+
+uint64_t ProcessManager::RunAll(uint64_t slice_steps, uint64_t budget_steps) {
+  uint64_t executed = 0;
+  while (executed < budget_steps) {
+    bool any = false;
+    // Collect pids first: Step() may create (fork) or erase (exit) processes.
+    std::vector<Pid> pids;
+    for (auto& [pid, proc] : processes_) {
+      if (proc->state == ProcState::kRunnable) {
+        pids.push_back(pid);
+      }
+    }
+    for (Pid pid : pids) {
+      Process* proc = Find(pid);
+      if (proc == nullptr || proc->state != ProcState::kRunnable) {
+        continue;
+      }
+      uint64_t before = proc->steps_executed;
+      Result<VmStop> stop = Run(pid, slice_steps);
+      executed += Find(pid) != nullptr ? Find(pid)->steps_executed - before : slice_steps;
+      any = true;
+      if (stop.ok() && *stop == VmStop::kFault) {
+        Exit(pid, -11);  // "SIGSEGV"
+      }
+    }
+    if (!any) {
+      break;
+    }
+  }
+  return executed;
+}
+
+}  // namespace gvm

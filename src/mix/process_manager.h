@@ -1,0 +1,106 @@
+// Chorus/MIX process manager (paper section 5.1.5): "Many of the functionalities
+// of a standard Unix kernel are implemented by an actor, the process manager,
+// which maps Unix process semantics onto the Chorus Nucleus objects.  A standard
+// Unix process is implemented as a Chorus actor hosting a single thread."
+//
+// The exec/fork recipes are implemented verbatim:
+//   * exec: rgnMap for the text segment, rgnInit for the data segment,
+//     rgnAllocate for the stack;
+//   * fork: rgnMapFromActor shares the text; rgnInitFromActor creates the child's
+//     data and stack as (deferred) copies of the parent's.
+#ifndef GVM_SRC_MIX_PROCESS_MANAGER_H_
+#define GVM_SRC_MIX_PROCESS_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mix/vmachine.h"
+#include "src/nucleus/nucleus.h"
+
+namespace gvm {
+
+using Pid = int32_t;
+
+// The on-"disk" program image format: one header page, then text pages, then the
+// data-segment initializer pages.
+struct ProgramHeader {
+  static constexpr uint64_t kMagic = 0x58494d2d73757268ull;  // "hurs-MIX"
+  uint64_t magic = kMagic;
+  uint64_t text_bytes = 0;
+  uint64_t data_bytes = 0;   // initialized data image size
+  uint64_t data_reserve = 0; // total data region size (>= data_bytes)
+  uint64_t stack_bytes = 0;
+  uint64_t entry = 0;        // entry offset within the text region
+};
+
+// Canonical process layout.
+struct ProcessLayout {
+  static constexpr Vaddr kTextBase = 0x0000000000400000ull;
+  static constexpr Vaddr kDataBase = 0x0000000000600000ull;
+  static constexpr Vaddr kStackBase = 0x000000007F000000ull;
+};
+
+enum class ProcState { kRunnable, kZombie };
+
+struct Process {
+  Pid pid = 0;
+  Pid parent = 0;
+  std::string program;
+  Actor* actor = nullptr;
+  VmState vm;
+  ProcState state = ProcState::kRunnable;
+  uint64_t data_reserve = 0;
+  uint64_t data_break = 0;  // sbrk pointer within the data region
+  uint64_t stack_bytes = 0;
+  std::string console;      // bytes written via VmSys::kWrite
+  uint64_t steps_executed = 0;
+};
+
+class ProcessManager {
+ public:
+  ProcessManager(Nucleus& nucleus, FileMapper& filesystem, PortId filesystem_port);
+
+  // Build a program image and store it as a file (the "compiler + linker").
+  Status InstallProgram(const std::string& path, const VmAssembler& text,
+                        const std::vector<std::byte>& data, uint64_t data_reserve,
+                        uint64_t stack_bytes);
+
+  // Spawn a fresh process running `path` (fork-less creation, like init).
+  Result<Pid> Spawn(const std::string& path);
+
+  // The Unix calls.
+  Result<Pid> Fork(Pid parent, CopyPolicy policy = CopyPolicy::kHistory);
+  Status Exec(Pid pid, const std::string& path);
+  Status Exit(Pid pid, int status);
+  // Reap a zombie child of `parent`; returns {pid, status}.
+  Result<std::pair<Pid, int>> Wait(Pid parent);
+
+  // Run one process for up to `max_steps` instructions.
+  Result<VmStop> Run(Pid pid, uint64_t max_steps);
+  // Round-robin all runnable processes until none remain or the budget is spent.
+  // Returns the number of instructions executed.
+  uint64_t RunAll(uint64_t slice_steps = 1000, uint64_t budget_steps = 10'000'000);
+
+  Process* Find(Pid pid);
+  size_t ProcessCount() const { return processes_.size(); }
+  size_t RunnableCount() const;
+  Nucleus& nucleus() { return nucleus_; }
+
+ private:
+  // One interpreter step; may set pending_fork_.
+  Result<VmStop> Step(Process& proc);
+  Status SetUpAddressSpace(Process& proc, const std::string& path);
+  Result<ProgramHeader> ReadHeader(const Capability& image);
+
+  Nucleus& nucleus_;
+  FileMapper& filesystem_;
+  PortId filesystem_port_;
+  Pid next_pid_ = 1;
+  std::map<Pid, std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_MIX_PROCESS_MANAGER_H_

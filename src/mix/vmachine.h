@@ -1,0 +1,125 @@
+// A tiny byte-code virtual machine: the "CPU" that MIX processes execute on.
+//
+// Every instruction fetch, load and store goes through the simulated MMU (via
+// Actor::Fetch/Read/Write), so running programs generate genuine page-fault
+// traffic — demand paging of text, zero-fill of stack and heap, copy-on-write
+// after fork.  This is the substitute for user-mode execution on the Sun-3.
+#ifndef GVM_SRC_MIX_VMACHINE_H_
+#define GVM_SRC_MIX_VMACHINE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/hal/types.h"
+#include "src/util/result.h"
+
+namespace gvm {
+
+// Instruction encoding: op(8) | ra(4) | rb(4) | imm(16, signed).
+enum class VmOp : uint8_t {
+  kHalt = 0,
+  kLi,     // ra = imm (sign-extended)
+  kLui,    // ra = (ra << 16) | (imm & 0xffff)
+  kMov,    // ra = rb
+  kAdd,    // ra += rb
+  kSub,    // ra -= rb
+  kMul,    // ra *= rb
+  kAddi,   // ra += imm
+  kLd,     // ra = mem64[rb + imm]
+  kSt,     // mem64[rb + imm] = ra
+  kLdb,    // ra = mem8[rb + imm]
+  kStb,    // mem8[rb + imm] = ra
+  kJmp,    // pc += imm * 4 (relative to the next instruction)
+  kBeqz,   // if (ra == 0) pc += imm * 4
+  kBnez,   // if (ra != 0) pc += imm * 4
+  kBlt,    // if (ra < rb) pc += imm * 4 (signed)
+  kSys,    // system call #imm (see VmSys)
+};
+
+enum class VmSys : uint16_t {
+  kExit = 1,    // status in r0
+  kWrite = 2,   // console write: address in r0, length in r1
+  kGetPid = 3,  // r0 = pid
+  kFork = 4,    // r0 = child pid (parent) / 0 (child)
+  kYield = 5,   // give up the CPU slice
+  kSbrk = 6,    // r0 = old break; grows the data region by r0 bytes
+};
+
+constexpr uint32_t VmEncode(VmOp op, unsigned ra = 0, unsigned rb = 0, int16_t imm = 0) {
+  return (static_cast<uint32_t>(op) << 24) | ((ra & 0xF) << 20) | ((rb & 0xF) << 16) |
+         (static_cast<uint16_t>(imm));
+}
+
+struct VmDecoded {
+  VmOp op;
+  unsigned ra;
+  unsigned rb;
+  int16_t imm;
+};
+
+constexpr VmDecoded VmDecode(uint32_t word) {
+  return VmDecoded{
+      .op = static_cast<VmOp>(word >> 24),
+      .ra = (word >> 20) & 0xF,
+      .rb = (word >> 16) & 0xF,
+      .imm = static_cast<int16_t>(word & 0xFFFF),
+  };
+}
+
+// Architectural state of one MIX thread.
+struct VmState {
+  std::array<int64_t, 16> regs{};
+  Vaddr pc = 0;
+  bool halted = false;
+  int exit_status = 0;
+};
+
+// Why the interpreter stopped.
+enum class VmStop {
+  kHalted,      // HALT or exit()
+  kOutOfSlice,  // step budget exhausted (still runnable)
+  kSyscall,     // a syscall needing the process manager (fork) is pending
+  kFault,       // unrecoverable memory fault
+};
+
+// A small assembler for building program images in tests and examples.
+class VmAssembler {
+ public:
+  VmAssembler& Emit(VmOp op, unsigned ra = 0, unsigned rb = 0, int16_t imm = 0) {
+    words_.push_back(VmEncode(op, ra, rb, imm));
+    return *this;
+  }
+  // Position for branch fix-ups (instruction index).
+  size_t Here() const { return words_.size(); }
+  // Patch the imm field of the branch at `at` to target instruction index `to`.
+  void PatchBranch(size_t at, size_t to) {
+    int32_t delta = static_cast<int32_t>(to) - static_cast<int32_t>(at) - 1;
+    words_[at] = (words_[at] & 0xFFFF0000u) | (static_cast<uint16_t>(delta));
+  }
+  // Load a full 32-bit constant (two instructions).
+  VmAssembler& Li32(unsigned ra, uint32_t value) {
+    Emit(VmOp::kLi, ra, 0, static_cast<int16_t>(value >> 16));
+    Emit(VmOp::kLui, ra, 0, static_cast<int16_t>(value & 0xFFFF));
+    return *this;
+  }
+  const std::vector<uint32_t>& words() const { return words_; }
+  std::vector<std::byte> Bytes() const {
+    std::vector<std::byte> bytes(words_.size() * 4);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint32_t w = words_[i];
+      bytes[i * 4 + 0] = static_cast<std::byte>(w & 0xFF);
+      bytes[i * 4 + 1] = static_cast<std::byte>((w >> 8) & 0xFF);
+      bytes[i * 4 + 2] = static_cast<std::byte>((w >> 16) & 0xFF);
+      bytes[i * 4 + 3] = static_cast<std::byte>((w >> 24) & 0xFF);
+    }
+    return bytes;
+  }
+
+ private:
+  std::vector<uint32_t> words_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_MIX_VMACHINE_H_

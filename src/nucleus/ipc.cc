@@ -1,0 +1,82 @@
+#include "src/nucleus/ipc.h"
+
+namespace gvm {
+
+PortId Ipc::PortCreate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PortId id = next_port_++;
+  ports_.emplace(id, std::make_unique<Port>());
+  return id;
+}
+
+void Ipc::PortDestroy(PortId port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return;
+  }
+  it->second->dead = true;
+  it->second->cv.notify_all();
+  // The Port object is kept until the map entry is erased lazily; receivers
+  // observe `dead` and fail out.  Erase now — waiters hold no iterator.
+  // (Waiters reference the Port object; defer the erase until no one can be
+  // blocked: mark dead and erase on a later create/destroy is complex, so we
+  // simply keep dead ports in the table; they are tiny.)
+}
+
+Status Ipc::Send(PortId to, Message message) {
+  if (message.data.size() > Message::kMaxBytes) {
+    // "To transfer large or sparse data, users should call the memory management
+    // operations, and not IPC."
+    return Status::kInvalidArgument;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ports_.find(to);
+  if (it == ports_.end() || it->second->dead) {
+    return Status::kNotFound;
+  }
+  stats_.bytes_transferred += message.data.size();
+  ++stats_.sends;
+  it->second->queue.push_back(std::move(message));
+  it->second->cv.notify_one();
+  return Status::kOk;
+}
+
+Result<Message> Ipc::Receive(PortId port) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return Status::kNotFound;
+  }
+  Port* p = it->second.get();
+  while (p->queue.empty() && !p->dead) {
+    p->cv.wait(lock);
+  }
+  if (p->queue.empty()) {
+    return Status::kNotFound;  // port died
+  }
+  Message message = std::move(p->queue.front());
+  p->queue.pop_front();
+  ++stats_.receives;
+  return message;
+}
+
+Result<Message> Ipc::TryReceive(PortId port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ports_.find(port);
+  if (it == ports_.end() || it->second->queue.empty()) {
+    return Status::kNotFound;
+  }
+  Message message = std::move(it->second->queue.front());
+  it->second->queue.pop_front();
+  ++stats_.receives;
+  return message;
+}
+
+size_t Ipc::QueueDepth(PortId port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ports_.find(port);
+  return it == ports_.end() ? 0 : it->second->queue.size();
+}
+
+}  // namespace gvm

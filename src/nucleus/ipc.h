@@ -1,0 +1,98 @@
+// Chorus Nucleus IPC: ports, messages, and sparse capabilities (section 5.1.1).
+//
+// "The Nucleus offers an IPC message communication mechanism ... Messages are not
+// addressed directly to threads, but to intermediate entities called ports.  A
+// port is an address to which messages can be sent, and a queue holding the
+// messages received but not yet consumed."
+//
+// Messages are of limited size (64 KB in the paper's implementation — section
+// 5.1.6); large or sparse transfers go through the memory-management interface
+// instead.  Message payloads travel through the kernel's transit segment, using
+// per-page deferred copy and move semantics (see TransitSegment in nucleus.h).
+#ifndef GVM_SRC_NUCLEUS_IPC_H_
+#define GVM_SRC_NUCLEUS_IPC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace gvm {
+
+using PortId = uint64_t;
+inline constexpr PortId kInvalidPort = 0;
+
+// Sparse capability (section 5.1.1, in the style of Amoeba's): the port of the
+// server managing the object, plus an opaque key that the server uses to designate
+// and protect it.
+struct Capability {
+  PortId port = kInvalidPort;
+  uint64_t key = 0;
+
+  bool valid() const { return port != kInvalidPort; }
+  bool operator==(const Capability&) const = default;
+};
+
+// A message: a small header plus inline data (up to kMaxMessageBytes).
+struct Message {
+  static constexpr size_t kMaxBytes = 64 * 1024;  // the paper's 64 Kbyte limit
+
+  uint64_t operation = 0;      // protocol-specific opcode
+  Capability subject;          // capability the request concerns
+  Capability reply_to;         // where to send the reply (reply protocols)
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint64_t arg2 = 0;
+  int32_t status = 0;          // reply status
+  std::vector<std::byte> data; // inline payload (<= kMaxBytes)
+};
+
+// The port registry and message queues.
+class Ipc {
+ public:
+  struct Stats {
+    uint64_t sends = 0;
+    uint64_t receives = 0;
+    uint64_t bytes_transferred = 0;
+  };
+
+  // Allocate a fresh port.
+  PortId PortCreate();
+  void PortDestroy(PortId port);
+
+  // Enqueue a message (fails if the port does not exist or the payload is
+  // oversized — "Messages are of limited size").
+  Status Send(PortId to, Message message);
+
+  // Dequeue the next message; blocks until one arrives or the port dies.
+  Result<Message> Receive(PortId port);
+
+  // Non-blocking variant.
+  Result<Message> TryReceive(PortId port);
+
+  // Number of queued messages (for tests).
+  size_t QueueDepth(PortId port) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Port {
+    std::deque<Message> queue;
+    std::condition_variable cv;
+    bool dead = false;
+  };
+
+  mutable std::mutex mu_;
+  PortId next_port_ = 1;
+  std::map<PortId, std::unique_ptr<Port>> ports_;
+  Stats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_NUCLEUS_IPC_H_

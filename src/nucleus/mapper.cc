@@ -1,0 +1,225 @@
+#include "src/nucleus/mapper.h"
+
+#include <cstring>
+
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+// ---------------------------------------------------------------------------
+// MapperServer
+// ---------------------------------------------------------------------------
+
+MapperServer::MapperServer(Ipc& ipc, Mapper& mapper) : ipc_(ipc), mapper_(mapper) {
+  port_ = ipc_.PortCreate();
+}
+
+MapperServer::~MapperServer() { Stop(); }
+
+Message MapperServer::Dispatch(const Message& request) {
+  ++requests_served_;
+  Message reply;
+  reply.operation = static_cast<uint64_t>(MapperOp::kReply);
+  reply.subject = request.subject;
+  switch (static_cast<MapperOp>(request.operation)) {
+    case MapperOp::kRead: {
+      std::vector<std::byte> data;
+      Status s = mapper_.Read(request.subject.key, request.arg0,
+                              static_cast<size_t>(request.arg1), &data);
+      reply.status = static_cast<int32_t>(s);
+      reply.data = std::move(data);
+      reply.arg0 = static_cast<uint64_t>(mapper_.FillProtection(
+          request.subject.key, request.arg0, static_cast<size_t>(request.arg1)));
+      break;
+    }
+    case MapperOp::kWrite: {
+      Status s = mapper_.Write(request.subject.key, request.arg0, request.data.data(),
+                               request.data.size());
+      reply.status = static_cast<int32_t>(s);
+      break;
+    }
+    case MapperOp::kAllocTemp: {
+      Result<uint64_t> key = mapper_.AllocateTemporary(static_cast<size_t>(request.arg0));
+      if (key.ok()) {
+        reply.subject = Capability{port_, *key};
+        reply.status = static_cast<int32_t>(Status::kOk);
+      } else {
+        reply.status = static_cast<int32_t>(key.status());
+      }
+      break;
+    }
+    case MapperOp::kFree:
+      reply.status = static_cast<int32_t>(mapper_.Free(request.subject.key));
+      break;
+    case MapperOp::kWriteAccess:
+      reply.status = static_cast<int32_t>(mapper_.GetWriteAccess(
+          request.subject.key, request.arg0, static_cast<size_t>(request.arg1)));
+      break;
+    default:
+      reply.status = static_cast<int32_t>(Status::kUnsupported);
+      break;
+  }
+  return reply;
+}
+
+void MapperServer::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+void MapperServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Poke the port so the loop wakes and observes `running_ == false`.
+  Message poke;
+  poke.operation = 0;
+  ipc_.Send(port_, std::move(poke));
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void MapperServer::ServeLoop() {
+  while (running_.load()) {
+    Result<Message> request = ipc_.Receive(port_);
+    if (!request.ok()) {
+      return;  // port destroyed
+    }
+    if (request->operation == 0) {
+      continue;  // shutdown poke
+    }
+    Message reply = Dispatch(*request);
+    if (request->reply_to.valid()) {
+      ipc_.Send(request->reply_to.port, std::move(reply));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SwapMapper
+// ---------------------------------------------------------------------------
+
+Status SwapMapper::Read(uint64_t key, SegOffset offset, size_t size,
+                        std::vector<std::byte>* out) {
+  auto seg = segments_.find(key);
+  if (seg == segments_.end()) {
+    return Status::kNotFound;
+  }
+  out->assign(size, std::byte{0});
+  for (size_t done = 0; done < size; done += page_size_) {
+    auto page = seg->second.find(offset + done);
+    if (page != seg->second.end()) {
+      std::memcpy(out->data() + done, page->second.data(),
+                  std::min(page_size_, size - done));
+    }
+  }
+  return Status::kOk;
+}
+
+Status SwapMapper::Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) {
+  auto seg = segments_.find(key);
+  if (seg == segments_.end()) {
+    return Status::kNotFound;
+  }
+  for (size_t done = 0; done < size; done += page_size_) {
+    auto& page = seg->second[offset + done];
+    page.assign(page_size_, std::byte{0});
+    std::memcpy(page.data(), data + done, std::min(page_size_, size - done));
+  }
+  return Status::kOk;
+}
+
+Result<uint64_t> SwapMapper::AllocateTemporary(size_t size_hint) {
+  (void)size_hint;
+  uint64_t key = next_key_++;
+  segments_[key];
+  return key;
+}
+
+Status SwapMapper::Free(uint64_t key) {
+  segments_.erase(key);
+  return Status::kOk;
+}
+
+size_t SwapMapper::StoredBytes(uint64_t key) const {
+  auto seg = segments_.find(key);
+  if (seg == segments_.end()) {
+    return 0;
+  }
+  return seg->second.size() * page_size_;
+}
+
+// ---------------------------------------------------------------------------
+// FileMapper
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> FileMapper::CreateFile(const std::string& name, const void* data,
+                                        size_t size) {
+  if (names_.contains(name)) {
+    return Status::kAlreadyExists;
+  }
+  uint64_t key = next_key_++;
+  names_[name] = key;
+  auto& file = files_[key];
+  file.resize(AlignUp(size, page_size_));  // mappers serve whole pages
+  std::memcpy(file.data(), data, size);
+  return key;
+}
+
+Result<uint64_t> FileMapper::LookupFile(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+Result<size_t> FileMapper::FileSize(uint64_t key) const {
+  auto it = files_.find(key);
+  if (it == files_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second.size();
+}
+
+std::vector<std::string> FileMapper::ListFiles() const {
+  std::vector<std::string> names;
+  for (const auto& [name, key] : names_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status FileMapper::Read(uint64_t key, SegOffset offset, size_t size,
+                        std::vector<std::byte>* out) {
+  ++reads;
+  auto it = files_.find(key);
+  if (it == files_.end()) {
+    return Status::kNotFound;
+  }
+  out->assign(size, std::byte{0});
+  if (offset < it->second.size()) {
+    size_t available = it->second.size() - offset;
+    std::memcpy(out->data(), it->second.data() + offset, std::min(size, available));
+  }
+  return Status::kOk;
+}
+
+Status FileMapper::Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) {
+  ++writes;
+  auto it = files_.find(key);
+  if (it == files_.end()) {
+    return Status::kNotFound;
+  }
+  if (offset + size > it->second.size()) {
+    it->second.resize(AlignUp(offset + size, page_size_));
+  }
+  std::memcpy(it->second.data() + offset, data, size);
+  return Status::kOk;
+}
+
+}  // namespace gvm

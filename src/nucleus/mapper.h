@@ -1,0 +1,157 @@
+// Mappers: the external servers implementing segments on secondary storage
+// (section 5.1.1).  "A segment is implemented by an independent actor, its mapper
+// ...  Segments are designated by sparse capabilities, containing the mapper's
+// port name and a key.  ...  A mapper exports a standard read/write interface,
+// invoked using the IPC mechanisms.  Some mappers are known to the Nucleus as
+// defaults; these export an additional interface for the allocation of temporary
+// segments."
+#ifndef GVM_SRC_NUCLEUS_MAPPER_H_
+#define GVM_SRC_NUCLEUS_MAPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/hal/types.h"
+#include "src/nucleus/ipc.h"
+#include "src/util/result.h"
+
+namespace gvm {
+
+// The mapper wire protocol, carried in Message::operation.
+enum class MapperOp : uint64_t {
+  kRead = 1,        // subject=segment, arg0=offset, arg1=size -> reply data
+  kWrite = 2,       // subject=segment, arg0=offset, data=payload
+  kAllocTemp = 3,   // arg0=size hint -> reply subject=new segment capability
+  kFree = 4,        // subject=segment: release a temporary segment
+  kWriteAccess = 5, // subject=segment, arg0=offset, arg1=size: may cached data
+                    // be upgraded to writable?  (coherence hooks)
+  kReply = 100,
+};
+
+// Server-side implementation interface.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  virtual Status Read(uint64_t key, SegOffset offset, size_t size,
+                      std::vector<std::byte>* out) = 0;
+  virtual Status Write(uint64_t key, SegOffset offset, const std::byte* data,
+                       size_t size) = 0;
+  // Default mappers only: allocate a temporary ("swap") segment.
+  virtual Result<uint64_t> AllocateTemporary(size_t size_hint) {
+    (void)size_hint;
+    return Status::kUnsupported;
+  }
+  virtual Status Free(uint64_t key) {
+    (void)key;
+    return Status::kOk;
+  }
+  virtual Status GetWriteAccess(uint64_t key, SegOffset offset, size_t size) {
+    (void)key;
+    (void)offset;
+    (void)size;
+    return Status::kOk;
+  }
+  // The access rights the cached data should carry after a read ("cached data
+  // carries the access rights defined by the accessMode argument to pullIn").
+  // Coherence mappers return read-only here so that writes trigger the
+  // getWriteAccess upcall.
+  virtual Prot FillProtection(uint64_t key, SegOffset offset, size_t size) {
+    (void)key;
+    (void)offset;
+    (void)size;
+    return Prot::kAll;
+  }
+};
+
+// Binds a Mapper to a port and serves the wire protocol.  Dispatch() handles one
+// already-received request synchronously (the in-process fast path the Nucleus
+// uses by default); ServeLoop() pulls requests from the port on a thread, which is
+// the fully message-based mode.
+class MapperServer {
+ public:
+  MapperServer(Ipc& ipc, Mapper& mapper);
+  ~MapperServer();
+
+  PortId port() const { return port_; }
+
+  // Handle one request message, producing the reply.
+  Message Dispatch(const Message& request);
+
+  // Serve the port on a background thread until Stop().
+  void Start();
+  void Stop();
+
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void ServeLoop();
+
+  Ipc& ipc_;
+  Mapper& mapper_;
+  PortId port_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Concrete mappers
+// ---------------------------------------------------------------------------
+
+// The default "swap" mapper: sparse in-memory page store per segment key; supports
+// temporary-segment allocation (the paper's default mappers, section 5.1.2).
+class SwapMapper final : public Mapper {
+ public:
+  explicit SwapMapper(size_t page_size) : page_size_(page_size) {}
+
+  Status Read(uint64_t key, SegOffset offset, size_t size,
+              std::vector<std::byte>* out) override;
+  Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override;
+  Result<uint64_t> AllocateTemporary(size_t size_hint) override;
+  Status Free(uint64_t key) override;
+
+  size_t SegmentCount() const { return segments_.size(); }
+  // Bytes currently stored for a segment (for swap-usage assertions).
+  size_t StoredBytes(uint64_t key) const;
+
+ private:
+  const size_t page_size_;
+  uint64_t next_key_ = 1;
+  std::map<uint64_t, std::map<SegOffset, std::vector<std::byte>>> segments_;
+};
+
+// A named-file mapper: a tiny in-memory filesystem whose files are segments.
+// Stands in for the disk-based mappers of the original system.
+class FileMapper final : public Mapper {
+ public:
+  explicit FileMapper(size_t page_size) : page_size_(page_size) {}
+
+  // Filesystem-style interface used by test fixtures and the MIX layer.
+  // Creating a file returns the key to embed in a segment capability.
+  Result<uint64_t> CreateFile(const std::string& name, const void* data, size_t size);
+  Result<uint64_t> LookupFile(const std::string& name) const;
+  Result<size_t> FileSize(uint64_t key) const;
+  std::vector<std::string> ListFiles() const;
+
+  Status Read(uint64_t key, SegOffset offset, size_t size,
+              std::vector<std::byte>* out) override;
+  Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override;
+
+  int reads = 0;
+  int writes = 0;
+
+ private:
+  const size_t page_size_;
+  uint64_t next_key_ = 1;
+  std::map<std::string, uint64_t> names_;
+  std::map<uint64_t, std::vector<std::byte>> files_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_NUCLEUS_MAPPER_H_

@@ -1,0 +1,335 @@
+#include "src/nucleus/nucleus.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+// ---------------------------------------------------------------------------
+// Actor
+// ---------------------------------------------------------------------------
+
+Actor::Actor(Nucleus& nucleus, ActorId id, std::string name, Context* context)
+    : nucleus_(nucleus), id_(id), name_(std::move(name)), context_(context) {}
+
+Actor::~Actor() = default;
+
+Result<Region*> Actor::RgnAllocate(Vaddr address, uint64_t size, Prot prot) {
+  // "the segment manager creates a temporary local-cache, which it maps into the
+  // actor using the regionCreate GMI operation."
+  Result<Cache*> cache = nucleus_.segment_manager().AcquireTemporaryCache(
+      name_ + ":anon@" + std::to_string(address));
+  if (!cache.ok()) {
+    return cache.status();
+  }
+  Result<Region*> region =
+      nucleus_.mm().RegionCreate(*context_, address, size, prot, **cache, 0);
+  if (!region.ok()) {
+    nucleus_.segment_manager().Release(*cache);
+    return region.status();
+  }
+  region_caches_[*region] = *cache;
+  return region;
+}
+
+Result<Region*> Actor::RgnMap(Vaddr address, uint64_t size, Prot prot,
+                              const Capability& segment, SegOffset offset) {
+  // "the segment manager first finds (or creates) a corresponding GMI local-cache,
+  // and then maps it, using the regionCreate GMI operation."
+  Result<Cache*> cache = nucleus_.segment_manager().AcquireCache(segment);
+  if (!cache.ok()) {
+    return cache.status();
+  }
+  Result<Region*> region =
+      nucleus_.mm().RegionCreate(*context_, address, size, prot, **cache, offset);
+  if (!region.ok()) {
+    nucleus_.segment_manager().Release(*cache);
+    return region.status();
+  }
+  region_caches_[*region] = *cache;
+  return region;
+}
+
+Result<Region*> Actor::RgnInit(Vaddr address, uint64_t size, Prot prot,
+                               const Capability& segment, SegOffset offset,
+                               CopyPolicy policy) {
+  // "The segment manager creates a temporary local-cache, finds (or creates) the
+  // cache corresponding to the source segment, invokes cache.copy to initialize
+  // the new cache contents, and finally maps it, using regionCreate."
+  Result<Cache*> source = nucleus_.segment_manager().AcquireCache(segment);
+  if (!source.ok()) {
+    return source.status();
+  }
+  Result<Cache*> fresh = nucleus_.segment_manager().AcquireTemporaryCache(
+      name_ + ":init@" + std::to_string(address));
+  if (!fresh.ok()) {
+    nucleus_.segment_manager().Release(*source);
+    return fresh.status();
+  }
+  Status copied = (*source)->CopyTo(**fresh, offset, 0, size, policy);
+  // The copy retains the source data through the deferred-copy machinery; the
+  // source cache reference itself can be dropped.
+  nucleus_.segment_manager().Release(*source);
+  if (copied != Status::kOk) {
+    nucleus_.segment_manager().Release(*fresh);
+    return copied;
+  }
+  Result<Region*> region =
+      nucleus_.mm().RegionCreate(*context_, address, size, prot, **fresh, 0);
+  if (!region.ok()) {
+    nucleus_.segment_manager().Release(*fresh);
+    return region.status();
+  }
+  region_caches_[*region] = *fresh;
+  return region;
+}
+
+Result<Region*> Actor::RgnMapFromActor(Vaddr address, uint64_t size, Prot prot, Actor& source,
+                                       Vaddr source_address) {
+  // "find the source local-cache using the context.findRegion and region.status
+  // GMI operations."
+  Result<Region*> src_region = source.context_->FindRegion(source_address);
+  if (!src_region.ok()) {
+    return src_region.status();
+  }
+  RegionStatus status = (*src_region)->GetStatus();
+  SegOffset offset = status.offset + (source_address - status.address);
+  if (!IsAligned(offset, nucleus_.cpu().memory().page_size())) {
+    return Status::kInvalidArgument;
+  }
+  Cache* cache = status.cache;
+  nucleus_.segment_manager().AddRef(cache);
+  Result<Region*> region =
+      nucleus_.mm().RegionCreate(*context_, address, size, prot, *cache, offset);
+  if (!region.ok()) {
+    nucleus_.segment_manager().Release(cache);
+    return region.status();
+  }
+  region_caches_[*region] = cache;
+  return region;
+}
+
+Result<Region*> Actor::RgnInitFromActor(Vaddr address, uint64_t size, Prot prot, Actor& source,
+                                        Vaddr source_address, CopyPolicy policy) {
+  Result<Region*> src_region = source.context_->FindRegion(source_address);
+  if (!src_region.ok()) {
+    return src_region.status();
+  }
+  RegionStatus status = (*src_region)->GetStatus();
+  SegOffset offset = status.offset + (source_address - status.address);
+  Result<Cache*> fresh = nucleus_.segment_manager().AcquireTemporaryCache(
+      name_ + ":initfa@" + std::to_string(address));
+  if (!fresh.ok()) {
+    return fresh.status();
+  }
+  Status copied = status.cache->CopyTo(**fresh, offset, 0, size, policy);
+  if (copied != Status::kOk) {
+    nucleus_.segment_manager().Release(*fresh);
+    return copied;
+  }
+  Result<Region*> region =
+      nucleus_.mm().RegionCreate(*context_, address, size, prot, **fresh, 0);
+  if (!region.ok()) {
+    nucleus_.segment_manager().Release(*fresh);
+    return region.status();
+  }
+  region_caches_[*region] = *fresh;
+  return region;
+}
+
+Status Actor::RgnFree(Region* region) {
+  auto it = region_caches_.find(region);
+  if (it == region_caches_.end()) {
+    return Status::kNotFound;
+  }
+  Cache* cache = it->second;
+  Status s = region->Destroy();
+  if (s != Status::kOk) {
+    return s;
+  }
+  region_caches_.erase(it);
+  nucleus_.segment_manager().Release(cache);
+  return Status::kOk;
+}
+
+Status Actor::RgnFreeAll() {
+  while (!region_caches_.empty()) {
+    GVM_RETURN_IF_ERROR(RgnFree(region_caches_.begin()->first));
+  }
+  return Status::kOk;
+}
+
+Status Actor::Read(Vaddr va, void* buffer, size_t size) {
+  return nucleus_.cpu().Read(address_space(), va, buffer, size);
+}
+
+Status Actor::Write(Vaddr va, const void* buffer, size_t size) {
+  return nucleus_.cpu().Write(address_space(), va, buffer, size);
+}
+
+Status Actor::Fetch(Vaddr va, void* buffer, size_t size) {
+  return nucleus_.cpu().Fetch(address_space(), va, buffer, size);
+}
+
+// ---------------------------------------------------------------------------
+// TransitSegment
+// ---------------------------------------------------------------------------
+
+TransitSegment::TransitSegment(MemoryManager& mm, size_t slot_count) : mm_(mm) {
+  cache_ = *mm_.CacheCreate(nullptr, "kernel:transit");
+  in_use_.resize(slot_count, false);
+}
+
+TransitSegment::~TransitSegment() { cache_->Destroy(); }
+
+Result<size_t> TransitSegment::AllocateSlot() {
+  for (size_t i = 0; i < in_use_.size(); ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      return i;
+    }
+  }
+  return Status::kBusy;  // all slots in transit
+}
+
+void TransitSegment::FreeSlot(size_t slot) {
+  assert(slot < in_use_.size());
+  in_use_[slot] = false;
+}
+
+size_t TransitSegment::FreeSlots() const {
+  size_t n = 0;
+  for (bool used : in_use_) {
+    n += used ? 0 : 1;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Nucleus
+// ---------------------------------------------------------------------------
+
+Nucleus::Nucleus(MemoryManager& mm, Options options) : mm_(mm) {
+  segment_manager_ = std::make_unique<SegmentManager>(mm_, ipc_, options.segment_manager);
+  transit_ = std::make_unique<TransitSegment>(mm_, options.transit_slots);
+}
+
+Nucleus::~Nucleus() {
+  while (!actors_.empty()) {
+    ActorDestroy(actors_.begin()->second.get());
+  }
+}
+
+Result<Actor*> Nucleus::ActorCreate(std::string name) {
+  Result<Context*> context = mm_.ContextCreate();
+  if (!context.ok()) {
+    return context.status();
+  }
+  ActorId id = next_actor_++;
+  auto actor =
+      std::unique_ptr<Actor>(new Actor(*this, id, std::move(name), *context));
+  Actor* raw = actor.get();
+  actors_.emplace(id, std::move(actor));
+  return raw;
+}
+
+Status Nucleus::ActorDestroy(Actor* actor) {
+  GVM_RETURN_IF_ERROR(actor->RgnFreeAll());
+  GVM_RETURN_IF_ERROR(actor->context_->Destroy());
+  actors_.erase(actor->id());
+  return Status::kOk;
+}
+
+Status Nucleus::MsgSendFromRegion(Actor& sender, PortId to, uint64_t operation, Vaddr va,
+                                  size_t size) {
+  if (size > Message::kMaxBytes) {
+    return Status::kInvalidArgument;  // large data goes through memory management
+  }
+  Result<Region*> region_result = sender.context_->FindRegion(va);
+  if (!region_result.ok()) {
+    return Status::kSegmentationFault;
+  }
+  RegionStatus region = (*region_result)->GetStatus();
+  if (va + size > region.address + region.size) {
+    return Status::kSegmentationFault;
+  }
+  SegOffset src_offset = region.offset + (va - region.address);
+
+  Result<size_t> slot = transit_->AllocateSlot();
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  const size_t page = mm_.cpu().memory().page_size();
+  Status copied;
+  if (IsAligned(src_offset, page) && IsAligned(size, page)) {
+    // "An IPC send is implemented as a cache.copy between the user-space segment
+    // and a transit slot, if the segment is large enough" — per-page deferred.
+    copied = region.cache->CopyTo(transit_->cache(), src_offset,
+                                  transit_->SlotOffset(*slot), size, CopyPolicy::kPerPage);
+  } else {
+    // "...otherwise as a bcopy."
+    std::vector<std::byte> bounce(size);
+    copied = region.cache->Read(src_offset, bounce.data(), size);
+    if (copied == Status::kOk) {
+      copied = transit_->cache().Write(transit_->SlotOffset(*slot), bounce.data(), size);
+    }
+  }
+  if (copied != Status::kOk) {
+    transit_->FreeSlot(*slot);
+    return copied;
+  }
+  Message message;
+  message.operation = operation;
+  message.arg0 = *slot;  // transit slot carrying the payload
+  message.arg1 = size;
+  Status sent = ipc_.Send(to, std::move(message));
+  if (sent != Status::kOk) {
+    transit_->FreeSlot(*slot);
+  }
+  return sent;
+}
+
+Result<Message> Nucleus::MsgReceiveToRegion(Actor& receiver, PortId port, Vaddr va,
+                                            size_t max_size) {
+  Result<Message> message = ipc_.Receive(port);
+  if (!message.ok()) {
+    return message;
+  }
+  const size_t slot = static_cast<size_t>(message->arg0);
+  const size_t size = static_cast<size_t>(message->arg1);
+  if (size > max_size) {
+    transit_->FreeSlot(slot);
+    return Status::kInvalidArgument;
+  }
+  Result<Region*> region_result = receiver.context_->FindRegion(va);
+  if (!region_result.ok()) {
+    transit_->FreeSlot(slot);
+    return Status::kSegmentationFault;
+  }
+  RegionStatus region = (*region_result)->GetStatus();
+  SegOffset dst_offset = region.offset + (va - region.address);
+  const size_t page = mm_.cpu().memory().page_size();
+  Status moved;
+  if (IsAligned(dst_offset, page) && IsAligned(size, page)) {
+    // "A receive is implemented by cache.move" — real pages are retargeted from
+    // the transit slot into the receiver, no copy.
+    moved = transit_->cache().MoveTo(*region.cache, transit_->SlotOffset(slot), dst_offset,
+                                     size);
+  } else {
+    std::vector<std::byte> bounce(size);
+    moved = transit_->cache().Read(transit_->SlotOffset(slot), bounce.data(), size);
+    if (moved == Status::kOk) {
+      moved = region.cache->Write(dst_offset, bounce.data(), size);
+    }
+  }
+  transit_->FreeSlot(slot);
+  if (moved != Status::kOk) {
+    return moved;
+  }
+  return message;
+}
+
+}  // namespace gvm

@@ -1,0 +1,160 @@
+// The Chorus Nucleus memory-management layer (paper section 5.1): actors, the
+// high-level region operations built from GMI primitives (rgnAllocate, rgnMap,
+// rgnInit, rgnMapFromActor, rgnInitFromActor — section 5.1.4), and the IPC data
+// path through the kernel transit segment (section 5.1.6).
+#ifndef GVM_SRC_NUCLEUS_NUCLEUS_H_
+#define GVM_SRC_NUCLEUS_NUCLEUS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gmi/memory_manager.h"
+#include "src/nucleus/ipc.h"
+#include "src/nucleus/segment_manager.h"
+
+namespace gvm {
+
+class Nucleus;
+
+using ActorId = uint32_t;
+
+// An actor: an address space hosting threads (section 5.1.1).  In this user-space
+// reproduction an actor owns a GMI context; "execution" is any code driving loads
+// and stores through Nucleus::cpu() against the actor's address space.
+class Actor {
+ public:
+  ~Actor();
+
+  ActorId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Context& context() { return *context_; }
+  AsId address_space() const { return context_->address_space(); }
+
+  // ---- Nucleus region operations (section 5.1.4) ----
+
+  // rgnAllocate: allocate a new memory region within the actor (anonymous,
+  // zero-filled, swap-backed on demand).
+  Result<Region*> RgnAllocate(Vaddr address, uint64_t size, Prot prot);
+
+  // rgnMap: map an existing segment into the actor.
+  Result<Region*> RgnMap(Vaddr address, uint64_t size, Prot prot, const Capability& segment,
+                         SegOffset offset);
+
+  // rgnInit: create a new region initialized as a (deferred) copy of an existing
+  // segment.
+  Result<Region*> RgnInit(Vaddr address, uint64_t size, Prot prot, const Capability& segment,
+                          SegOffset offset, CopyPolicy policy = CopyPolicy::kAuto);
+
+  // rgnMapFromActor: map the segment underlying a region of another actor
+  // (sharing; Unix fork uses this for the text segment).
+  Result<Region*> RgnMapFromActor(Vaddr address, uint64_t size, Prot prot, Actor& source,
+                                  Vaddr source_address);
+
+  // rgnInitFromActor: create a region as a (deferred) copy of another actor's
+  // memory (Unix fork uses this for data and stack).
+  Result<Region*> RgnInitFromActor(Vaddr address, uint64_t size, Prot prot, Actor& source,
+                                   Vaddr source_address,
+                                   CopyPolicy policy = CopyPolicy::kAuto);
+
+  // Destroy a region and release its cache reference.
+  Status RgnFree(Region* region);
+
+  // Destroy every region (exec teardown).
+  Status RgnFreeAll();
+
+  // Convenience accessors driving the simulated CPU against this actor.
+  Status Read(Vaddr va, void* buffer, size_t size);
+  Status Write(Vaddr va, const void* buffer, size_t size);
+  Status Fetch(Vaddr va, void* buffer, size_t size);
+
+ private:
+  friend class Nucleus;
+
+  Actor(Nucleus& nucleus, ActorId id, std::string name, Context* context);
+
+  Nucleus& nucleus_;
+  ActorId id_;
+  std::string name_;
+  Context* context_;
+  // Region -> cache binding, so freeing a region releases the right reference.
+  std::map<Region*, Cache*> region_caches_;
+};
+
+// The kernel transit segment for IPC payloads (section 5.1.6): a single
+// fixed-sized segment made of 64 KB slots.  "An IPC send is implemented as a
+// cache.copy between the user-space segment and a transit slot ... A receive is
+// implemented by cache.move."
+class TransitSegment {
+ public:
+  static constexpr size_t kSlotBytes = Message::kMaxBytes;
+
+  TransitSegment(MemoryManager& mm, size_t slot_count);
+  ~TransitSegment();
+
+  Result<size_t> AllocateSlot();
+  void FreeSlot(size_t slot);
+
+  Cache& cache() { return *cache_; }
+  SegOffset SlotOffset(size_t slot) const { return slot * kSlotBytes; }
+  size_t FreeSlots() const;
+
+ private:
+  MemoryManager& mm_;
+  Cache* cache_;
+  std::vector<bool> in_use_;
+};
+
+class Nucleus {
+ public:
+  struct Options {
+    size_t transit_slots = 8;
+    SegmentManager::Options segment_manager;
+  };
+
+  explicit Nucleus(MemoryManager& mm) : Nucleus(mm, Options{}) {}
+  Nucleus(MemoryManager& mm, Options options);
+  ~Nucleus();
+
+  // ---- Actors ----
+  Result<Actor*> ActorCreate(std::string name);
+  Status ActorDestroy(Actor* actor);
+  size_t ActorCount() const { return actors_.size(); }
+
+  // ---- IPC with memory-managed payloads (section 5.1.6) ----
+  // Send `size` bytes starting at `va` in `sender` to a port.  Data travels
+  // through a transit slot: deferred per-page copy when page-aligned and large,
+  // plain copy ("bcopy") otherwise — exactly the paper's strategy.
+  Status MsgSendFromRegion(Actor& sender, PortId to, uint64_t operation, Vaddr va,
+                           size_t size);
+  // Receive into `receiver` at `va`; uses cache.move out of the transit slot.
+  Result<Message> MsgReceiveToRegion(Actor& receiver, PortId port, Vaddr va,
+                                     size_t max_size);
+
+  // Plain small-message IPC.
+  Status MsgSend(PortId to, Message message) { return ipc_.Send(to, std::move(message)); }
+  Result<Message> MsgReceive(PortId port) { return ipc_.Receive(port); }
+
+  Ipc& ipc() { return ipc_; }
+  SegmentManager& segment_manager() { return *segment_manager_; }
+  MemoryManager& mm() { return mm_; }
+  Cpu& cpu() { return mm_.cpu(); }
+  TransitSegment& transit() { return *transit_; }
+
+  // Default mapper management (the Nucleus knows some mappers as defaults).
+  void BindDefaultMapper(MapperServer* server) { segment_manager_->BindDefaultMapper(server); }
+  void RegisterMapper(MapperServer* server) { segment_manager_->RegisterMapper(server); }
+
+ private:
+  MemoryManager& mm_;
+  Ipc ipc_;
+  std::unique_ptr<SegmentManager> segment_manager_;
+  std::unique_ptr<TransitSegment> transit_;
+  ActorId next_actor_ = 1;
+  std::map<ActorId, std::unique_ptr<Actor>> actors_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_NUCLEUS_NUCLEUS_H_

@@ -1,0 +1,345 @@
+#include "src/nucleus/segment_manager.h"
+
+#include <cassert>
+
+#include "src/util/log.h"
+
+namespace gvm {
+
+// The per-cache SegmentDriver: transforms GMI upcalls into mapper IPC requests
+// (section 5.1.2: "the segment manager transforms a GMI upcall into IPC upcalls to
+// the corresponding segment mapper").
+class SegmentManagerDriver final : public SegmentDriver {
+ public:
+  SegmentManagerDriver(SegmentManager& manager, std::shared_ptr<Capability> segment)
+      : manager_(manager), segment_(std::move(segment)) {}
+
+  Status PullIn(Cache& cache, SegOffset offset, size_t size, Access access_mode) override {
+    (void)access_mode;
+    std::vector<std::byte> data;
+    Prot max_prot = Prot::kAll;
+    Status s = manager_.MapperRead(*segment_, offset, size, &data, &max_prot);
+    if (s != Status::kOk) {
+      return s;
+    }
+    // "The mapper replies with a message containing the required data"; the
+    // manager hands it to the MM with fillUp, carrying the mapper's access cap.
+    return cache.FillUp(offset, data.data(), data.size(), max_prot);
+  }
+
+  Status GetWriteAccess(Cache& cache, SegOffset offset, size_t size) override {
+    (void)cache;
+    return manager_.MapperWriteAccess(*segment_, offset, size);
+  }
+
+  Status PushOut(Cache& cache, SegOffset offset, size_t size) override {
+    // Temporary caches get their swap segment on the first pushOut ("the segment
+    // manager waits for the first pushOut upcall for such a temporary cache to
+    // allocate it a 'swap' temporary segment with a default mapper").
+    if (!segment_->valid()) {
+      Result<Capability> segment = manager_.MapperAllocTemp(0);
+      if (!segment.ok()) {
+        return Status::kNoSwap;
+      }
+      *segment_ = *segment;
+      ++manager_.stats_.temp_segments;
+    }
+    std::vector<std::byte> data(size);
+    Status s = cache.CopyBack(offset, data.data(), size);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return manager_.MapperWrite(*segment_, offset, data.data(), size);
+  }
+
+ private:
+  SegmentManager& manager_;
+  std::shared_ptr<Capability> segment_;
+};
+
+SegmentManager::SegmentManager(MemoryManager& mm, Ipc& ipc, Options options)
+    : mm_(mm), ipc_(ipc), options_(options) {
+  local_port_ = ipc_.PortCreate();
+  mm_.BindSegmentRegistry(this);
+}
+
+SegmentManager::~SegmentManager() = default;
+
+void SegmentManager::BindDefaultMapper(MapperServer* server) {
+  default_mapper_ = server;
+  RegisterMapper(server);
+}
+
+void SegmentManager::RegisterMapper(MapperServer* server) {
+  mappers_[server->port()] = server;
+}
+
+// ---------------------------------------------------------------------------
+// Mapper RPC
+// ---------------------------------------------------------------------------
+
+Result<Message> SegmentManager::MapperCall(PortId port, Message request) {
+  if (options_.use_ipc_transport) {
+    // Full message transport: requires the mapper's serve loop to be running.
+    PortId reply_port = ipc_.PortCreate();
+    request.reply_to = Capability{reply_port, 0};
+    Status sent = ipc_.Send(port, std::move(request));
+    if (sent != Status::kOk) {
+      return sent;
+    }
+    Result<Message> reply = ipc_.Receive(reply_port);
+    ipc_.PortDestroy(reply_port);
+    return reply;
+  }
+  auto it = mappers_.find(port);
+  if (it == mappers_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second->Dispatch(request);
+}
+
+Status SegmentManager::MapperRead(const Capability& segment, SegOffset offset, size_t size,
+                                  std::vector<std::byte>* out, Prot* max_prot) {
+  ++stats_.mapper_reads;
+  Message request;
+  request.operation = static_cast<uint64_t>(MapperOp::kRead);
+  request.subject = segment;
+  request.arg0 = offset;
+  request.arg1 = size;
+  Result<Message> reply = MapperCall(segment.port, std::move(request));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != static_cast<int32_t>(Status::kOk)) {
+    return static_cast<Status>(reply->status);
+  }
+  if (max_prot != nullptr) {
+    *max_prot = static_cast<Prot>(reply->arg0);
+  }
+  *out = std::move(reply->data);
+  return Status::kOk;
+}
+
+Status SegmentManager::MapperWrite(const Capability& segment, SegOffset offset,
+                                   const std::byte* data, size_t size) {
+  ++stats_.mapper_writes;
+  // Large push-outs are chunked to the IPC message limit.
+  for (size_t done = 0; done < size; done += Message::kMaxBytes) {
+    size_t chunk = std::min(Message::kMaxBytes, size - done);
+    Message request;
+    request.operation = static_cast<uint64_t>(MapperOp::kWrite);
+    request.subject = segment;
+    request.arg0 = offset + done;
+    request.data.assign(data + done, data + done + chunk);
+    Result<Message> reply = MapperCall(segment.port, std::move(request));
+    if (!reply.ok()) {
+      return reply.status();
+    }
+    if (reply->status != static_cast<int32_t>(Status::kOk)) {
+      return static_cast<Status>(reply->status);
+    }
+  }
+  return Status::kOk;
+}
+
+Status SegmentManager::MapperWriteAccess(const Capability& segment, SegOffset offset,
+                                         size_t size) {
+  if (!segment.valid()) {
+    return Status::kOk;  // temporary without a swap segment yet: always writable
+  }
+  Message request;
+  request.operation = static_cast<uint64_t>(MapperOp::kWriteAccess);
+  request.subject = segment;
+  request.arg0 = offset;
+  request.arg1 = size;
+  Result<Message> reply = MapperCall(segment.port, std::move(request));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return static_cast<Status>(reply->status);
+}
+
+Result<Capability> SegmentManager::MapperAllocTemp(size_t size_hint) {
+  if (default_mapper_ == nullptr) {
+    return Status::kNoSwap;
+  }
+  Message request;
+  request.operation = static_cast<uint64_t>(MapperOp::kAllocTemp);
+  request.arg0 = size_hint;
+  Result<Message> reply = MapperCall(default_mapper_->port(), std::move(request));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != static_cast<int32_t>(Status::kOk)) {
+    return static_cast<Status>(reply->status);
+  }
+  return reply->subject;
+}
+
+// ---------------------------------------------------------------------------
+// Cache acquisition and the segment cache (section 5.1.3)
+// ---------------------------------------------------------------------------
+
+SegmentManager::Entry* SegmentManager::FindBySegment(const Capability& segment) {
+  for (Entry& entry : entries_) {
+    if (!entry.temporary && *entry.segment == segment) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+SegmentManager::Entry* SegmentManager::FindByCache(Cache* cache) {
+  for (Entry& entry : entries_) {
+    if (entry.cache == cache) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+Result<Cache*> SegmentManager::AcquireCache(const Capability& segment) {
+  ++stats_.lookups;
+  if (Entry* entry = FindBySegment(segment)) {
+    // Segment caching hit: "the manager first checks if there is a cache already
+    // kept for it."
+    if (entry->refs == 0) {
+      unreferenced_.remove(entry);
+      ++stats_.cache_hits;
+    }
+    entry->refs++;
+    return entry->cache;
+  }
+  entries_.emplace_back();
+  Entry* entry = &entries_.back();
+  *entry->segment = segment;
+  entry->refs = 1;
+  entry->temporary = false;
+  entry->driver = std::make_unique<SegmentManagerDriver>(*this, entry->segment);
+  Result<Cache*> cache =
+      mm_.CacheCreate(entry->driver.get(), "seg:" + std::to_string(segment.key));
+  if (!cache.ok()) {
+    entries_.pop_back();
+    return cache.status();
+  }
+  entry->cache = *cache;
+  ++stats_.caches_created;
+  return entry->cache;
+}
+
+Result<Cache*> SegmentManager::AcquireTemporaryCache(std::string name) {
+  entries_.emplace_back();
+  Entry* entry = &entries_.back();
+  entry->refs = 1;
+  entry->temporary = true;
+  entry->driver = std::make_unique<SegmentManagerDriver>(*this, entry->segment);
+  // Temporary caches are created unbound (zero-filled on demand); the MM calls
+  // SegmentCreate when it first needs to page them out.
+  Result<Cache*> cache = mm_.CacheCreate(nullptr, std::move(name));
+  if (!cache.ok()) {
+    entries_.pop_back();
+    return cache.status();
+  }
+  entry->cache = *cache;
+  ++stats_.caches_created;
+  ++temp_counter_;
+  return entry->cache;
+}
+
+void SegmentManager::AddRef(Cache* cache) {
+  Entry* entry = FindByCache(cache);
+  assert(entry != nullptr);
+  if (entry->refs == 0) {
+    unreferenced_.remove(entry);
+  }
+  entry->refs++;
+}
+
+void SegmentManager::Release(Cache* cache) {
+  Entry* entry = FindByCache(cache);
+  if (entry == nullptr) {
+    return;
+  }
+  assert(entry->refs > 0);
+  if (--entry->refs > 0) {
+    return;
+  }
+  if (entry->temporary) {
+    // Unreferenced temporary data is garbage; discard immediately.
+    DestroyEntry(entry);
+    return;
+  }
+  // Keep the unreferenced cache "as long as possible" (section 5.1.3).
+  unreferenced_.push_back(entry);
+  TrimCachePool();
+}
+
+void SegmentManager::TrimCachePool() {
+  while (unreferenced_.size() > options_.cache_capacity) {
+    Entry* oldest = unreferenced_.front();
+    unreferenced_.pop_front();
+    DestroyEntry(oldest);
+    ++stats_.caches_discarded;
+  }
+}
+
+void SegmentManager::DestroyEntry(Entry* entry) {
+  if (entry->cache != nullptr) {
+    entry->cache->Destroy();
+  }
+  // The memory manager may still hold the cache in a "dying" state (section
+  // 4.2.5), and dying caches keep using their driver for swap pull-ins.  Park the
+  // driver in the graveyard instead of freeing it.  The swap segment itself is
+  // likewise retained (dying caches may page against it); both are reclaimed when
+  // the manager is torn down.
+  driver_graveyard_.push_back(std::move(entry->driver));
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (&*it == entry) {
+      entries_.erase(it);
+      break;
+    }
+  }
+}
+
+SegmentDriver* SegmentManager::SegmentCreate(Cache& cache) {
+  // The MM created a cache unilaterally (history/working object) or a temporary
+  // cache needs backing: register it and hand out a driver whose swap segment is
+  // allocated lazily on the first pushOut.
+  if (Entry* existing = FindByCache(&cache)) {
+    return existing->driver.get();
+  }
+  entries_.emplace_back();
+  Entry* entry = &entries_.back();
+  entry->cache = &cache;
+  entry->refs = 0;  // MM-owned; lifetime is the MM's business
+  entry->temporary = true;
+  entry->driver = std::make_unique<SegmentManagerDriver>(*this, entry->segment);
+  return entry->driver.get();
+}
+
+Result<Capability> SegmentManager::LocalCacheCapability(Cache* cache) {
+  Entry* entry = FindByCache(cache);
+  if (entry == nullptr) {
+    return Status::kNotFound;
+  }
+  if (entry->local_key == 0) {
+    entry->local_key = next_local_key_++;
+  }
+  return Capability{local_port_, entry->local_key};
+}
+
+Result<Cache*> SegmentManager::ResolveLocalCache(const Capability& cap) {
+  if (cap.port != local_port_) {
+    return Status::kPermissionDenied;
+  }
+  for (Entry& entry : entries_) {
+    if (entry.local_key == cap.key) {
+      return entry.cache;
+    }
+  }
+  return Status::kNotFound;
+}
+
+size_t SegmentManager::CachedSegmentCount() const { return unreferenced_.size(); }
+
+}  // namespace gvm

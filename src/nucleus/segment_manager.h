@@ -1,0 +1,132 @@
+// The segment manager: the Nucleus interface between mappers and a GMI
+// implementation (paper section 5.1.2).
+//
+// "The segment manager maps each segment used on the site to a GMI local-cache.
+// Given a segment capability, the segment manager either finds the corresponding
+// local-cache if it exists, or assigns one."  It translates GMI upcalls (pullIn /
+// pushOut / getWriteAccess, Table 3) into IPC requests to the segment's mapper,
+// allocates temporary local-caches (backed lazily by a default mapper's swap
+// segments on the first pushOut), and implements the *segment caching* strategy of
+// section 5.1.3: unreferenced caches are kept as long as there is room, which is
+// what makes repeated execs of the same program fast.
+#ifndef GVM_SRC_NUCLEUS_SEGMENT_MANAGER_H_
+#define GVM_SRC_NUCLEUS_SEGMENT_MANAGER_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/gmi/memory_manager.h"
+#include "src/nucleus/ipc.h"
+#include "src/nucleus/mapper.h"
+
+namespace gvm {
+
+class SegmentManager : public SegmentRegistry {
+ public:
+  struct Options {
+    // Maximum number of unreferenced local caches kept alive (segment caching).
+    size_t cache_capacity = 16;
+    // Route mapper traffic through IPC messages and a served port (true) or call
+    // the mapper server's dispatcher in-process (false).  Both exercise the same
+    // wire protocol; the threaded mode additionally exercises real concurrency.
+    bool use_ipc_transport = false;
+  };
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t cache_hits = 0;        // segment-caching hits (section 5.1.3)
+    uint64_t caches_created = 0;
+    uint64_t caches_discarded = 0;  // evicted from the unreferenced pool
+    uint64_t mapper_reads = 0;
+    uint64_t mapper_writes = 0;
+    uint64_t temp_segments = 0;     // swap segments allocated on first pushOut
+  };
+
+  SegmentManager(MemoryManager& mm, Ipc& ipc) : SegmentManager(mm, ipc, Options{}) {}
+  SegmentManager(MemoryManager& mm, Ipc& ipc, Options options);
+  ~SegmentManager() override;
+
+  // Register the default mapper (provides temporary/"swap" segments).  The
+  // server's port becomes the default-mapper port.
+  void BindDefaultMapper(MapperServer* server);
+  // Register an additional mapper server so its port can be resolved.
+  void RegisterMapper(MapperServer* server);
+
+  // Find or create the local cache for a segment capability.  Takes a reference;
+  // pair with Release().  (The paper's rgnMap path.)
+  Result<Cache*> AcquireCache(const Capability& segment);
+
+  // Create a temporary local cache (the paper's rgnAllocate path): zero-filled,
+  // acquires a swap segment from the default mapper on first pushOut.
+  Result<Cache*> AcquireTemporaryCache(std::string name);
+
+  // Drop a reference.  Unreferenced permanent caches enter the segment cache;
+  // unreferenced temporary caches are destroyed (their contents are meaningless
+  // once unreferenced).
+  void Release(Cache* cache);
+
+  // Take an additional reference on a cache returned by Acquire* earlier.
+  void AddRef(Cache* cache);
+
+  // ---- SegmentRegistry (GMI upcall, Table 3 segmentCreate) ----
+  SegmentDriver* SegmentCreate(Cache& cache) override;
+
+  // Local-cache capability (section 5.1.2): lets remote mappers invoke cache
+  // control operations through this manager.
+  Result<Capability> LocalCacheCapability(Cache* cache);
+  Result<Cache*> ResolveLocalCache(const Capability& cap);
+
+  const Stats& stats() const { return stats_; }
+  size_t CachedSegmentCount() const;  // unreferenced pool size
+  MemoryManager& mm() { return mm_; }
+
+ private:
+  friend class SegmentManagerDriver;
+
+  struct Entry {
+    // Shared with the driver: a memory manager may keep a "dying" cache (and thus
+    // its driver) alive for deferred-copy descendants after the entry is gone.
+    std::shared_ptr<Capability> segment = std::make_shared<Capability>();
+    Cache* cache = nullptr;
+    std::unique_ptr<SegmentDriver> driver;
+    int refs = 0;
+    bool temporary = false;
+    uint64_t local_key = 0;      // key of the local-cache capability
+  };
+
+  // Mapper RPC used by the drivers (marshals into the wire protocol).
+  Status MapperRead(const Capability& segment, SegOffset offset, size_t size,
+                    std::vector<std::byte>* out, Prot* max_prot = nullptr);
+  Status MapperWrite(const Capability& segment, SegOffset offset, const std::byte* data,
+                     size_t size);
+  Status MapperWriteAccess(const Capability& segment, SegOffset offset, size_t size);
+  Result<Capability> MapperAllocTemp(size_t size_hint);
+  Result<Message> MapperCall(PortId port, Message request);
+
+  Entry* FindBySegment(const Capability& segment);
+  Entry* FindByCache(Cache* cache);
+  void TrimCachePool();
+  void DestroyEntry(Entry* entry);
+
+  MemoryManager& mm_;
+  Ipc& ipc_;
+  Options options_;
+  MapperServer* default_mapper_ = nullptr;
+  std::map<PortId, MapperServer*> mappers_;
+  std::list<Entry> entries_;
+  // Drivers of destroyed entries, kept alive for dying caches that still
+  // reference them (see Entry::segment).
+  std::vector<std::unique_ptr<SegmentDriver>> driver_graveyard_;
+  // Unreferenced entries in LRU order (front = oldest), for segment caching.
+  std::list<Entry*> unreferenced_;
+  PortId local_port_ = kInvalidPort;  // port identifying this manager's capabilities
+  uint64_t next_local_key_ = 1;
+  uint64_t temp_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_NUCLEUS_SEGMENT_MANAGER_H_

@@ -1,0 +1,227 @@
+// Introspection: a Figure 3-style rendering of history trees and a structural
+// invariant walker used by the property tests.
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "src/pvm/paged_vm.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+std::vector<PvmCache*> PagedVm::ChildrenOfCache(PvmCache* parent) const {
+  std::vector<PvmCache*> children;
+  for (const auto& [id, cache] : caches_) {
+    if (cache.get() == parent) {
+      continue;
+    }
+    bool points = false;
+    cache->parents_.ForEach([&](const FragmentMap<LinkTarget>::Fragment& frag) {
+      if (frag.value.cache == parent) {
+        points = true;
+      }
+    });
+    if (points) {
+      children.push_back(cache.get());
+    }
+  }
+  std::sort(children.begin(), children.end(),
+            [](PvmCache* a, PvmCache* b) { return a->id() < b->id(); });
+  return children;
+}
+
+std::string PagedVm::DumpTree(Cache& cache) const {
+  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  auto& start = static_cast<PvmCache&>(cache);
+  // Find the root by walking parent links upward from `cache`.
+  PvmCache* root = &start;
+  for (int depth = 0; depth < 1024; ++depth) {
+    PvmCache* up = nullptr;
+    root->parents_.ForEach([&](const FragmentMap<LinkTarget>::Fragment& frag) {
+      if (up == nullptr) {
+        up = frag.value.cache;
+      }
+    });
+    if (up == nullptr) {
+      break;
+    }
+    root = up;
+  }
+  std::ostringstream out;
+  std::unordered_set<const PvmCache*> visited;
+  // Depth-first render.
+  struct Item {
+    PvmCache* cache;
+    int depth;
+  };
+  std::vector<Item> stack{{root, 0}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    if (!visited.insert(item.cache).second) {
+      continue;
+    }
+    for (int i = 0; i < item.depth; ++i) {
+      out << "  ";
+    }
+    out << item.cache->name() << " (id=" << item.cache->id();
+    if (item.cache->dying_) {
+      out << ", dying";
+    }
+    out << ") pages=[";
+    std::vector<SegOffset> offsets;
+    for (const PageDesc& page : item.cache->pages_) {
+      offsets.push_back(page.offset);
+    }
+    std::sort(offsets.begin(), offsets.end());
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      if (i > 0) {
+        out << " ";
+      }
+      out << offsets[i] / page_size();
+      PageDesc* page = const_cast<PagedVm*>(this)->FindOwned(*item.cache, offsets[i]);
+      if (page != nullptr && IsCowProtected(*page)) {
+        out << "*";  // the figure's grey (read-only protected) frames
+      }
+    }
+    out << "]";
+    bool first_hist = true;
+    item.cache->histories_.ForEach([&](const FragmentMap<LinkTarget>::Fragment& frag) {
+      out << (first_hist ? " history={" : ", ");
+      first_hist = false;
+      out << frag.value.cache->name() << ":[" << frag.start / page_size() << ".."
+          << (frag.end() - 1) / page_size() << "]";
+    });
+    if (!first_hist) {
+      out << "}";
+    }
+    out << "\n";
+    auto children = ChildrenOfCache(item.cache);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(Item{*it, item.depth + 1});
+    }
+  }
+  return out.str();
+}
+
+Status PagedVm::CheckInvariants() const {
+  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  auto* self = const_cast<PagedVm*>(this);
+  bool ok = true;
+  auto fail = [&ok](const std::string& what) {
+    GVM_LOG(Error) << "invariant violated: " << what;
+    ok = false;
+  };
+
+  std::unordered_set<const PageDesc*> all_pages;
+  for (const auto& [id, cache] : caches_) {
+    for (const PageDesc& page : cache->pages_) {
+      all_pages.insert(&page);
+      // Page descriptors point back at their cache and are in the global map.
+      if (page.cache != cache.get()) {
+        fail("page back-pointer does not match owning cache " + cache->name());
+      }
+      MapEntry* entry = self->map_.Find(cache->id(), page.offset / page_size());
+      if (entry == nullptr || entry->kind != MapEntry::Kind::kFrame ||
+          entry->page != &page) {
+        fail("page of " + cache->name() + " missing from the global map");
+      }
+      if (!memory().IsAllocated(page.frame)) {
+        fail("page of " + cache->name() + " references a free frame");
+      }
+      // A resident page must have drained its cache's inbound stub slot.
+      if (cache->inbound_stubs_.contains(page.offset / page_size())) {
+        fail("resident page of " + cache->name() + " has undrained inbound stubs");
+      }
+      // Every mapping is real and points at our frame.
+      for (const MappingRef& ref : page.mappings) {
+        Result<MmuEntry> mmu_entry = mmu().Lookup(ref.as, ref.va);
+        if (!mmu_entry.ok() || mmu_entry->frame != page.frame) {
+          fail("stale MMU mapping for page of " + cache->name());
+        }
+      }
+      // Threaded stubs point back.
+      for (const CowStub* stub : page.stubs) {
+        if (stub->src_page != &page) {
+          fail("stub threading mismatch on " + cache->name());
+        }
+      }
+    }
+    // Parent/history links target live caches; history links have a matching
+    // reverse parent link (the shape invariant, fragment-wise).
+    cache->parents_.ForEach([&](const FragmentMap<LinkTarget>::Fragment& frag) {
+      bool live = false;
+      for (const auto& [oid, other] : caches_) {
+        if (other.get() == frag.value.cache) {
+          live = true;
+        }
+      }
+      if (!live) {
+        fail("dangling parent link from " + cache->name());
+      }
+    });
+    cache->histories_.ForEach([&](const FragmentMap<LinkTarget>::Fragment& frag) {
+      bool live = false;
+      for (const auto& [oid, other] : caches_) {
+        if (other.get() == frag.value.cache) {
+          live = true;
+        }
+      }
+      if (!live) {
+        fail("dangling history link from " + cache->name());
+        return;
+      }
+      // The history object must read back through us (or through a chain that
+      // reaches us) for the linked range: check the immediate-parent property on
+      // the fragment's first page.
+      PvmCache* history = frag.value.cache;
+      const auto* back = history->parents_.Find(frag.value.base);
+      if (back == nullptr) {
+        fail("history object " + history->name() + " has no parent link for range from " +
+             cache->name());
+      } else if (back->value.cache != cache.get()) {
+        fail("history object " + history->name() + " does not read through " + cache->name());
+      }
+    });
+  }
+
+  // Every global-map entry is consistent.
+  self->map_.ForEach([&](const GlobalMap::Key& key, const MapEntry& entry) {
+    auto cache_it = caches_.find(key.cache);
+    if (cache_it == caches_.end()) {
+      fail("global-map entry for a dead cache");
+      return;
+    }
+    if (entry.kind == MapEntry::Kind::kFrame) {
+      if (entry.page == nullptr || !all_pages.contains(entry.page)) {
+        fail("global-map frame entry points at an unowned page descriptor");
+      }
+    } else if (entry.kind == MapEntry::Kind::kCowStub) {
+      const CowStub& stub = *entry.cow;
+      if (stub.cache != cache_it->second.get() ||
+          stub.offset / page_size() != key.page_index) {
+        fail("cow stub identity mismatch");
+      }
+      if (stub.src_page != nullptr) {
+        if (!all_pages.contains(stub.src_page)) {
+          fail("cow stub points at a freed source page");
+        } else {
+          bool threaded = false;
+          for (const CowStub* t : stub.src_page->stubs) {
+            if (t == &stub) {
+              threaded = true;
+            }
+          }
+          if (!threaded) {
+            fail("cow stub not threaded on its source page");
+          }
+        }
+      }
+    }
+  });
+
+  return ok ? Status::kOk : Status::kBusError;
+}
+
+}  // namespace gvm

@@ -1,0 +1,1036 @@
+// PagedVm core: construction, cache creation, page materialization, the global-map
+// miss walk (section 4.2.1) and the page-fault algorithms (sections 4.1.2, 4.2.2,
+// 4.2.3, 4.3).
+#include "src/pvm/paged_vm.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+PagedVm::PagedVm(PhysicalMemory& memory, Mmu& mmu, Options options)
+    : BaseMm(memory, mmu), options_(options) {}
+
+PagedVm::~PagedVm() {
+  // Tear down all caches without push-outs: the simulation is ending.
+  for (auto& [id, cache] : caches_) {
+    ReleasePages(*cache);
+  }
+  caches_.clear();
+}
+
+Result<Cache*> PagedVm::CacheCreate(SegmentDriver* driver, std::string name) {
+  std::unique_lock<std::mutex> lock(mu());
+  Result<PvmCache*> cache =
+      CreateCacheLocked(driver, std::move(name), /*temporary=*/driver == nullptr);
+  if (!cache.ok()) {
+    return cache.status();
+  }
+  return static_cast<Cache*>(*cache);
+}
+
+Result<PvmCache*> PagedVm::CreateCacheLocked(SegmentDriver* driver, std::string name,
+                                             bool temporary) {
+  CacheId id = next_cache_id_++;
+  auto cache = std::make_unique<PvmCache>(*this, id, std::move(name), driver, temporary);
+  PvmCache* raw = cache.get();
+  caches_.emplace(id, std::move(cache));
+  return raw;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+uint64_t PagedVm::StubKey(const PvmCache& cache, SegOffset offset) const {
+  // Collisions only cause spurious wakeups; waiters always re-check state.
+  return cache.id() * 0x9e3779b97f4a7c15ull ^ (offset / page_size());
+}
+
+MapEntry* PagedVm::FindEntry(PvmCache& cache, SegOffset page_offset) {
+  return map_.Find(cache.id(), PageIndex(page_offset));
+}
+
+PageDesc* PagedVm::FindOwned(PvmCache& cache, SegOffset page_offset) {
+  MapEntry* entry = FindEntry(cache, page_offset);
+  if (entry == nullptr || entry->kind != MapEntry::Kind::kFrame) {
+    return nullptr;
+  }
+  return entry->page;
+}
+
+Result<FrameIndex> PagedVm::AllocateFrame(std::unique_lock<std::mutex>& lock,
+                                          bool* dropped_lock) {
+  Result<FrameIndex> frame = memory().AllocateFrame();
+  if (frame.ok()) {
+    // Keep the pool topped up in the background of this allocation, so that bursts
+    // of materialization do not hit the empty-pool path on every page.
+    if (options_.low_water_frames > 0 && memory().free_frames() < options_.low_water_frames) {
+      if (BalanceFreeFrames(lock)) {
+        *dropped_lock = true;
+      }
+    }
+    return frame;
+  }
+  if (options_.low_water_frames > 0) {
+    if (BalanceFreeFrames(lock)) {
+      *dropped_lock = true;
+    }
+    frame = memory().AllocateFrame();
+  }
+  return frame;
+}
+
+Result<PageDesc*> PagedVm::MaterializePage(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                           SegOffset page_offset, const std::byte* bytes,
+                                           bool dirty, Prot max_prot) {
+  assert(IsAligned(page_offset, page_size()));
+  bool dropped = false;
+  Result<FrameIndex> frame = AllocateFrame(lock, &dropped);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (dropped && FindEntry(cache, page_offset) != nullptr) {
+    // Someone else installed an entry while we were evicting; let the caller
+    // re-derive what to do.
+    memory().FreeFrame(*frame);
+    return Status::kRetry;
+  }
+  if (bytes != nullptr) {
+    std::memcpy(memory().FrameData(*frame), bytes, page_size());
+  } else {
+    memory().ZeroFrame(*frame);
+  }
+  cache.pages_.emplace_back();
+  auto it = std::prev(cache.pages_.end());
+  PageDesc& page = *it;
+  page.cache = &cache;
+  page.offset = page_offset;
+  page.frame = *frame;
+  page.max_prot = max_prot;
+  page.sw_dirty = dirty;
+  page.self = it;
+  map_.Insert(cache.id(), PageIndex(page_offset),
+              MapEntry{.kind = MapEntry::Kind::kFrame, .page = &page, .cow = nullptr});
+  AdoptInboundStubs(cache, page);
+  if (dropped) {
+    // The state the caller derived before calling us is stale.
+    return Status::kRetry;
+  }
+  return &page;
+}
+
+Status PagedVm::MaterializeStubsOf(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                   SegOffset page_offset) {
+  const uint64_t index = PageIndex(page_offset);
+  for (int rounds = 0; rounds < 4096; ++rounds) {
+    // Threaded form: stubs hanging off an owned resident page.
+    if (PageDesc* owned = FindOwned(cache, page_offset)) {
+      if (owned->stubs.empty()) {
+        return Status::kOk;
+      }
+      bool dropped = false;
+      Status s = DetachStubs(lock, *owned, &dropped);
+      if (s == Status::kRetry) {
+        continue;
+      }
+      return s;
+    }
+    // Non-resident form: stubs registered in the inbound table.
+    auto it = cache.inbound_stubs_.find(index);
+    if (it == cache.inbound_stubs_.end() || it->second.empty()) {
+      return Status::kOk;
+    }
+    // Resolve the current value.  If this materializes a page in `cache` itself
+    // (zero fill at the walk's end), the inbound stubs get threaded onto it and
+    // the threaded branch above finishes the job next round.
+    bool dropped = false;
+    Result<PageDesc*> value = ResolveValue(lock, cache, page_offset, &dropped);
+    if (!value.ok()) {
+      return value.status();
+    }
+    if (dropped) {
+      continue;
+    }
+    it = cache.inbound_stubs_.find(index);
+    if (it == cache.inbound_stubs_.end() || it->second.empty()) {
+      continue;  // resolution already re-threaded them
+    }
+    // Give the stubs one shared private copy, owned by the first stub's cache
+    // (mirrors DetachStubs for the non-resident form).
+    CowStub* first = it->second.front();
+    PvmCache& dst = *first->cache;
+    const SegOffset dst_off = first->offset;
+    Result<FrameIndex> frame = AllocateFrame(lock, &dropped);
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    if (dropped) {
+      memory().FreeFrame(*frame);
+      continue;
+    }
+    std::memcpy(memory().FrameData(*frame), memory().FrameData((*value)->frame), page_size());
+    MapEntry* entry = map_.Find(dst.id(), PageIndex(dst_off));
+    assert(entry != nullptr && entry->kind == MapEntry::Kind::kCowStub &&
+           entry->cow.get() == first);
+    dst.pages_.emplace_back();
+    auto page_it = std::prev(dst.pages_.end());
+    PageDesc& fresh = *page_it;
+    fresh.cache = &dst;
+    fresh.offset = dst_off;
+    fresh.frame = *frame;
+    fresh.max_prot = Prot::kAll;
+    fresh.sw_dirty = true;
+    fresh.self = page_it;
+    for (size_t i = 1; i < it->second.size(); ++i) {
+      CowStub* stub = it->second[i];
+      stub->src_page = &fresh;
+      fresh.stubs.push_back(stub);
+    }
+    cache.inbound_stubs_.erase(it);
+    entry->kind = MapEntry::Kind::kFrame;
+    entry->page = &fresh;
+    entry->cow.reset();
+    AdoptInboundStubs(dst, fresh);
+    ++detail_.stub_resolutions;
+    ++mutable_stats().cow_copies;
+    sleepers_.WakeAll(StubKey(dst, dst_off));
+    return Status::kOk;
+  }
+  return Status::kBusError;
+}
+
+void PagedVm::ThreadStub(CowStub* stub) {
+  if (stub->src_page != nullptr) {
+    stub->src_page->stubs.push_back(stub);
+  } else {
+    stub->src_cache->inbound_stubs_[PageIndex(stub->src_offset)].push_back(stub);
+  }
+}
+
+void PagedVm::UnlinkStub(CowStub* stub) {
+  if (stub->src_page != nullptr) {
+    auto& list = stub->src_page->stubs;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == stub) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+    return;
+  }
+  auto it = stub->src_cache->inbound_stubs_.find(PageIndex(stub->src_offset));
+  if (it == stub->src_cache->inbound_stubs_.end()) {
+    return;
+  }
+  auto& list = it->second;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == stub) {
+      list[i] = list.back();
+      list.pop_back();
+      break;
+    }
+  }
+  if (list.empty()) {
+    stub->src_cache->inbound_stubs_.erase(it);
+  }
+}
+
+void PagedVm::AdoptInboundStubs(PvmCache& cache, PageDesc& page) {
+  auto it = cache.inbound_stubs_.find(PageIndex(page.offset));
+  if (it == cache.inbound_stubs_.end()) {
+    return;
+  }
+  for (CowStub* stub : it->second) {
+    stub->src_page = &page;
+    page.stubs.push_back(stub);
+  }
+  cache.inbound_stubs_.erase(it);
+}
+
+void PagedVm::FreePage(PageDesc* page) {
+  UnmapAllMappings(*page);
+  // Per-page stubs that pointed at this page switch to the non-resident form:
+  // "a pointer to the source local-cache descriptor and its offset" (section 4.3).
+  // They are kept in the cache's inbound table so a re-pull re-threads them.
+  if (!page->stubs.empty()) {
+    auto& inbound = page->cache->inbound_stubs_[PageIndex(page->offset)];
+    for (CowStub* stub : page->stubs) {
+      stub->src_page = nullptr;
+      stub->src_cache = page->cache;
+      stub->src_offset = page->offset;
+      inbound.push_back(stub);
+    }
+    page->stubs.clear();
+  }
+  PvmCache& cache = *page->cache;
+  map_.Erase(cache.id(), PageIndex(page->offset));
+  memory().FreeFrame(page->frame);
+  cache.pages_.erase(page->self);  // destroys *page
+}
+
+// ---------------------------------------------------------------------------
+// MMU mapping bookkeeping
+// ---------------------------------------------------------------------------
+
+void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot prot,
+                      PvmCache& via_cache) {
+  auto& rmap = region_maps_[&region];
+  auto it = rmap.find(page_va);
+  if (it != rmap.end()) {
+    PageDesc* old = it->second;
+    if (old == &page) {
+      // Same page, new protection.
+      mmu().Map(region.context().address_space(), page_va, page.frame, prot);
+      return;
+    }
+    // Replace the previous mapping (e.g. an ancestor page superseded by a private
+    // copy after a write fault).
+    for (size_t i = 0; i < old->mappings.size(); ++i) {
+      if (old->mappings[i].region == &region && old->mappings[i].va == page_va) {
+        old->mappings[i] = old->mappings.back();
+        old->mappings.pop_back();
+        break;
+      }
+    }
+    rmap.erase(it);
+  }
+  AsId as = region.context().address_space();
+  mmu().Map(as, page_va, page.frame, prot);
+  page.mappings.push_back(
+      MappingRef{.as = as, .va = page_va, .region = &region, .via_cache = &via_cache});
+  rmap[page_va] = &page;
+}
+
+void PagedVm::UnmapMapping(PageDesc& page, size_t index) {
+  const MappingRef ref = page.mappings[index];
+  mmu().Unmap(ref.as, ref.va);
+  auto rm_it = region_maps_.find(ref.region);
+  if (rm_it != region_maps_.end()) {
+    rm_it->second.erase(ref.va);
+    if (rm_it->second.empty()) {
+      region_maps_.erase(rm_it);
+    }
+  }
+  page.mappings[index] = page.mappings.back();
+  page.mappings.pop_back();
+}
+
+void PagedVm::UnmapAllMappings(PageDesc& page) {
+  while (!page.mappings.empty()) {
+    UnmapMapping(page, page.mappings.size() - 1);
+  }
+}
+
+void PagedVm::RemoveForeignMappings(PageDesc& page) {
+  for (size_t i = page.mappings.size(); i > 0; --i) {
+    if (page.mappings[i - 1].via_cache != page.cache) {
+      UnmapMapping(page, i - 1);
+    }
+  }
+}
+
+void PagedVm::WriteProtectPage(PageDesc& page) {
+  for (const MappingRef& ref : page.mappings) {
+    Prot prot = EffectiveProt(*ref.region, page, /*foreign=*/ref.via_cache != page.cache);
+    mmu().Protect(ref.as, ref.va, prot & ~Prot::kWrite);
+  }
+}
+
+bool PagedVm::IsCowProtected(const PageDesc& page) const {
+  const PvmCache& owner = *page.cache;
+  // A pending history push?  (Sections 4.2.2/4.2.3: sources of a deferred copy stay
+  // read-only until the original value is secured in the history object.)  The
+  // original counts as secured if the history holds it resident, as a stub, or
+  // pushed out on its own segment — this must mirror PushToHistory exactly, or a
+  // source page would stay read-only forever and write faults would spin.
+  if (const auto* frag = owner.histories_.Find(page.offset)) {
+    PvmCache& history = *frag->value.cache;
+    SegOffset h_off = frag->value.base + (page.offset - frag->start);
+    auto* entry = const_cast<PagedVm*>(this)->map_.Find(history.id(), PageIndex(h_off));
+    bool secured = entry != nullptr || history.pushed_pages_.contains(PageIndex(h_off));
+    if (!secured) {
+      return true;
+    }
+    if (entry != nullptr && entry->kind == MapEntry::Kind::kSyncStub) {
+      return true;  // in transit: keep the source read-only until it settles
+    }
+  }
+  // Per-virtual-page stubs still share this frame (section 4.3)?
+  if (!page.stubs.empty()) {
+    return true;
+  }
+  // Foreign read mappings (descendants reading through the tree) share the frame?
+  for (const MappingRef& ref : page.mappings) {
+    if (ref.via_cache != page.cache) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Prot PagedVm::EffectiveProt(const RegionImpl& region, const PageDesc& page, bool foreign) const {
+  Prot prot = region.prot() & page.max_prot;
+  if (foreign || IsCowProtected(page)) {
+    prot = prot & ~Prot::kWrite;
+  }
+  return prot;
+}
+
+// ---------------------------------------------------------------------------
+// Miss resolution: the upward walk of section 4.2.1
+// ---------------------------------------------------------------------------
+
+PagedVm::Lookup PagedVm::LookupValue(PvmCache& cache, SegOffset page_offset) {
+  PvmCache* cur = &cache;
+  SegOffset off = page_offset;
+  bool cor = false;
+  // The history tree is acyclic by construction; the bound catches corruption.
+  for (int depth = 0; depth < 1024; ++depth) {
+    MapEntry* entry = map_.Find(cur->id(), PageIndex(off));
+    if (entry != nullptr) {
+      switch (entry->kind) {
+        case MapEntry::Kind::kFrame:
+          if (entry->page->in_transit) {
+            return Lookup{.kind = Lookup::Kind::kBlocked, .source = cur, .source_offset = off};
+          }
+          ++detail_.ancestor_lookups;
+          return Lookup{.kind = Lookup::Kind::kPage, .page = entry->page,
+                        .copy_on_reference = cor};
+        case MapEntry::Kind::kSyncStub:
+          return Lookup{.kind = Lookup::Kind::kBlocked, .source = cur, .source_offset = off};
+        case MapEntry::Kind::kCowStub: {
+          CowStub* stub = entry->cow.get();
+          if (stub->src_page != nullptr) {
+            if (stub->src_page->in_transit) {
+              return Lookup{.kind = Lookup::Kind::kBlocked,
+                            .source = stub->src_page->cache,
+                            .source_offset = stub->src_page->offset};
+            }
+            ++detail_.ancestor_lookups;
+            return Lookup{.kind = Lookup::Kind::kPage, .page = stub->src_page,
+                          .copy_on_reference = cor};
+          }
+          cur = stub->src_cache;
+          off = stub->src_offset;
+          continue;
+        }
+      }
+    }
+    // The authoritative copy is on this cache's own segment if it was ever pushed.
+    if (cur->pushed_pages_.contains(PageIndex(off))) {
+      return Lookup{.kind = Lookup::Kind::kPullIn, .source = cur, .source_offset = off};
+    }
+    if (const auto* frag = cur->parents_.Find(off)) {
+      cor = cor || frag->value.copy_on_reference;
+      off = frag->value.base + (off - frag->start);
+      cur = frag->value.cache;
+      continue;
+    }
+    if (!cur->temporary_) {
+      // Permanent segment: the mapper holds the data (e.g. a file's pages).
+      return Lookup{.kind = Lookup::Kind::kPullIn, .source = cur, .source_offset = off};
+    }
+    return Lookup{.kind = Lookup::Kind::kZeroFill, .source = cur, .source_offset = off};
+  }
+  // Mutual whole-range copies between two never-written segments walk in a circle;
+  // no cache owns a version anywhere on it, so the logical value is zero.  Fill at
+  // the starting cache so the walk terminates next time.
+  GVM_LOG(Debug) << "history-tree walk hit the depth bound; treating as demand-zero";
+  return Lookup{.kind = Lookup::Kind::kZeroFill, .source = &cache,
+                .source_offset = page_offset};
+}
+
+Result<PageDesc*> PagedVm::ResolveValue(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                        SegOffset page_offset, bool* dropped_lock) {
+  for (int rounds = 0; rounds < 4096; ++rounds) {
+    Lookup found = LookupValue(cache, page_offset);
+    switch (found.kind) {
+      case Lookup::Kind::kPage:
+        return found.page;
+      case Lookup::Kind::kZeroFill: {
+        // No value anywhere: demand-zero in the cache where the walk ended (a
+        // temporary cache with no parent), so future lookups find it.
+        Result<PageDesc*> page = MaterializePage(lock, *found.source, found.source_offset,
+                                                 nullptr, /*dirty=*/false, Prot::kAll);
+        if (page.ok()) {
+          mutable_stats().zero_fills += 1;
+          return page;
+        }
+        if (page.status() == Status::kRetry) {
+          *dropped_lock = true;
+          continue;
+        }
+        return page.status();
+      }
+      case Lookup::Kind::kPullIn: {
+        Status s = PullInLocked(lock, *found.source, found.source_offset, Access::kRead);
+        *dropped_lock = true;
+        if (s != Status::kOk) {
+          return s;
+        }
+        continue;
+      }
+      case Lookup::Kind::kBlocked:
+        ++detail_.sync_stub_waits;
+        sleepers_.Wait(StubKey(*found.source, found.source_offset), lock);
+        *dropped_lock = true;
+        continue;
+    }
+  }
+  GVM_LOG(Error) << "ResolveValue did not converge";
+  return Status::kBusError;
+}
+
+// ---------------------------------------------------------------------------
+// History pushes (sections 4.2.2, 4.2.3)
+// ---------------------------------------------------------------------------
+
+Status PagedVm::PushToHistory(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                              PageDesc& page, bool* dropped_lock) {
+  const auto* frag = cache.histories_.Find(page.offset);
+  if (frag == nullptr) {
+    return Status::kOk;
+  }
+  PvmCache& history = *frag->value.cache;
+  SegOffset h_off = frag->value.base + (page.offset - frag->start);
+  for (int rounds = 0; rounds < 64; ++rounds) {
+    MapEntry* entry = map_.Find(history.id(), PageIndex(h_off));
+    if (entry != nullptr) {
+      if (entry->kind == MapEntry::Kind::kFrame && !entry->page->in_transit) {
+        // "If the history object already has its own version of the page, it
+        // suffices to make the page writable."
+        return Status::kOk;
+      }
+      if (entry->kind == MapEntry::Kind::kCowStub) {
+        // The history's value for this page is already defined elsewhere.
+        return Status::kOk;
+      }
+      ++detail_.sync_stub_waits;
+      sleepers_.Wait(StubKey(history, h_off), lock);
+      *dropped_lock = true;
+      return Status::kRetry;  // page pointer may be stale now
+    }
+    // If the history's value was pushed out to its segment, it is still secured.
+    if (history.pushed_pages_.contains(PageIndex(h_off))) {
+      return Status::kOk;
+    }
+    Result<PageDesc*> copy =
+        MaterializePage(lock, history, h_off, memory().FrameData(page.frame),
+                        /*dirty=*/true, Prot::kAll);
+    if (copy.ok()) {
+      ++detail_.history_pushes;
+      ++mutable_stats().cow_copies;
+      return Status::kOk;
+    }
+    if (copy.status() == Status::kRetry) {
+      *dropped_lock = true;
+      return Status::kRetry;  // `page` may have been evicted meanwhile
+    }
+    return copy.status();
+  }
+  return Status::kBusError;
+}
+
+Status PagedVm::DetachStubs(std::unique_lock<std::mutex>& lock, PageDesc& page,
+                            bool* dropped_lock) {
+  if (page.stubs.empty()) {
+    return Status::kOk;
+  }
+  // Give the stubs one shared private copy of the original value: the first stub's
+  // cache receives an owned page; the remaining stubs are re-threaded onto it.
+  CowStub* first = page.stubs.front();
+  PvmCache& dst = *first->cache;
+  const SegOffset dst_off = first->offset;
+
+  // Allocate the frame first; the stub entry keeps the slot stable even if the
+  // allocation has to evict (which drops the lock).
+  bool dropped = false;
+  Result<FrameIndex> frame = AllocateFrame(lock, &dropped);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (dropped) {
+    *dropped_lock = true;
+    // `page` may be stale; the caller re-derives and retries (the frame is
+    // returned to keep the allocator balanced).
+    memory().FreeFrame(*frame);
+    return Status::kRetry;
+  }
+  std::memcpy(memory().FrameData(*frame), memory().FrameData(page.frame), page_size());
+
+  // Swap the first stub for an owned page under the continuously-held lock.
+  MapEntry* entry = map_.Find(dst.id(), PageIndex(dst_off));
+  assert(entry != nullptr && entry->kind == MapEntry::Kind::kCowStub &&
+         entry->cow.get() == first);
+  dst.pages_.emplace_back();
+  auto it = std::prev(dst.pages_.end());
+  PageDesc& fresh = *it;
+  fresh.cache = &dst;
+  fresh.offset = dst_off;
+  fresh.frame = *frame;
+  fresh.max_prot = Prot::kAll;
+  fresh.sw_dirty = true;
+  fresh.self = it;
+  // Re-thread the remaining stubs onto the fresh page.
+  for (size_t i = 1; i < page.stubs.size(); ++i) {
+    CowStub* stub = page.stubs[i];
+    stub->src_page = &fresh;
+    fresh.stubs.push_back(stub);
+  }
+  page.stubs.clear();
+  entry->kind = MapEntry::Kind::kFrame;
+  entry->page = &fresh;
+  entry->cow.reset();
+  AdoptInboundStubs(dst, fresh);
+  ++detail_.stub_resolutions;
+  ++mutable_stats().cow_copies;
+  sleepers_.WakeAll(StubKey(dst, dst_off));
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// The write-violation algorithm (sections 4.2.2, 4.2.3, 4.3)
+// ---------------------------------------------------------------------------
+
+Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock,
+                                              PvmCache& cache, SegOffset page_offset,
+                                              bool* dropped_lock) {
+  for (int rounds = 0; rounds < 4096; ++rounds) {
+    MapEntry* entry = FindEntry(cache, page_offset);
+    if (entry != nullptr && entry->kind == MapEntry::Kind::kSyncStub) {
+      ++detail_.sync_stub_waits;
+      sleepers_.Wait(StubKey(cache, page_offset), lock);
+      *dropped_lock = true;
+      continue;
+    }
+    if (entry != nullptr && entry->kind == MapEntry::Kind::kFrame) {
+      PageDesc* page = entry->page;
+      if (page->in_transit) {
+        ++detail_.sync_stub_waits;
+        sleepers_.Wait(StubKey(cache, page_offset), lock);
+        *dropped_lock = true;
+        continue;
+      }
+      // The cache owns the page.  First, honour the cache-level protection cap:
+      // write access beyond it requires the getWriteAccess upcall.
+      if (!ProtAllows(page->max_prot, Prot::kWrite)) {
+        SegmentDriver* driver = cache.driver_;
+        if (driver == nullptr) {
+          return Status::kProtectionFault;
+        }
+        lock.unlock();
+        Status granted = driver->GetWriteAccess(cache, page_offset, page_size());
+        lock.lock();
+        *dropped_lock = true;
+        if (granted != Status::kOk) {
+          return Status::kProtectionFault;
+        }
+        PageDesc* again = FindOwned(cache, page_offset);
+        if (again != nullptr) {
+          again->max_prot = again->max_prot | Prot::kWrite;
+        }
+        continue;
+      }
+      // Secure the original value in the history object, if one is owed it.
+      Status pushed = PushToHistory(lock, cache, *page, dropped_lock);
+      if (pushed == Status::kRetry) {
+        continue;
+      }
+      if (pushed != Status::kOk) {
+        return pushed;
+      }
+      // Resolve per-virtual-page stubs sharing this frame.
+      Status detached = DetachStubs(lock, *page, dropped_lock);
+      if (detached == Status::kRetry) {
+        continue;
+      }
+      if (detached != Status::kOk) {
+        return detached;
+      }
+      // Finally, revoke foreign read mappings: descendants must re-fault and find
+      // the original in the history object, not watch our new value.
+      RemoveForeignMappings(*page);
+      page->sw_dirty = true;
+      return page;
+    }
+    if (entry != nullptr && entry->kind == MapEntry::Kind::kCowStub) {
+      // Write violation on a copy-on-write page stub (section 4.3): "a new page
+      // frame is allocated with a copy of the source page, and inserted in the
+      // global map in replacement of the stub."
+      CowStub* stub = entry->cow.get();
+      PageDesc* src;
+      if (stub->src_page != nullptr) {
+        if (stub->src_page->in_transit) {
+          ++detail_.sync_stub_waits;
+          sleepers_.Wait(StubKey(*stub->src_page->cache, stub->src_page->offset), lock);
+          *dropped_lock = true;
+          continue;
+        }
+        src = stub->src_page;
+      } else {
+        bool dropped = false;
+        Result<PageDesc*> resolved = ResolveValue(lock, *stub->src_cache, stub->src_offset,
+                                                  &dropped);
+        if (dropped) {
+          *dropped_lock = true;
+        }
+        if (!resolved.ok()) {
+          return resolved.status();
+        }
+        if (dropped) {
+          continue;  // the stub may have changed form; re-derive
+        }
+        src = *resolved;
+      }
+      // Secure the history's claim on this page's *pre-copy* value.  (A per-page
+      // copy into a history-covered range had its history satisfied when the
+      // destination range was cleared; reaching here with a live history link
+      // means the link was established over the stub, whose value is src's.)
+      bool dropped = false;
+      Result<FrameIndex> frame = AllocateFrame(lock, &dropped);
+      if (!frame.ok()) {
+        return frame.status();
+      }
+      if (dropped) {
+        *dropped_lock = true;
+        memory().FreeFrame(*frame);
+        continue;
+      }
+      std::memcpy(memory().FrameData(*frame), memory().FrameData(src->frame), page_size());
+      UnlinkStub(stub);
+      cache.pages_.emplace_back();
+      auto it = std::prev(cache.pages_.end());
+      PageDesc& fresh = *it;
+      fresh.cache = &cache;
+      fresh.offset = page_offset;
+      fresh.frame = *frame;
+      fresh.max_prot = Prot::kAll;
+      fresh.sw_dirty = true;
+      fresh.self = it;
+      entry->kind = MapEntry::Kind::kFrame;
+      entry->page = &fresh;
+      entry->cow.reset();
+      AdoptInboundStubs(cache, fresh);
+      ++detail_.stub_resolutions;
+      ++mutable_stats().cow_copies;
+      sleepers_.WakeAll(StubKey(cache, page_offset));
+      continue;  // loop once more; the owned-page branch finishes the job
+    }
+    // No entry: the cache does not own the page.  Find the current value, give the
+    // history object its copy (the section 4.2.3 complication), then materialize a
+    // private writable copy.
+    bool dropped = false;
+    Result<PageDesc*> value = ResolveValue(lock, cache, page_offset, &dropped);
+    if (dropped) {
+      *dropped_lock = true;
+    }
+    if (!value.ok()) {
+      return value.status();
+    }
+    if (dropped) {
+      continue;
+    }
+    PageDesc* src = *value;
+    if (src->cache == &cache && src->offset == page_offset) {
+      continue;  // the walk ended at home (e.g. a zero fill landed here)
+    }
+    // Note: the owner may be this very cache at a *different* offset (mutual
+    // copies between two segments produce such walks); that is an ordinary
+    // ancestor value and is materialized like any other.
+    // 4.2.3: "When a write violation occurs in cpy1, a copy of the page is taken
+    // from src, but copyOfCpy1 must also get its own copy" — the history object of
+    // a middle node receives the inherited value before the node diverges.
+    if (const auto* frag = cache.histories_.Find(page_offset)) {
+      PvmCache& history = *frag->value.cache;
+      SegOffset h_off = frag->value.base + (page_offset - frag->start);
+      MapEntry* h_entry = map_.Find(history.id(), PageIndex(h_off));
+      if (h_entry == nullptr && !history.pushed_pages_.contains(PageIndex(h_off))) {
+        Result<PageDesc*> h_copy = MaterializePage(lock, history, h_off,
+                                                   memory().FrameData(src->frame),
+                                                   /*dirty=*/true, Prot::kAll);
+        if (!h_copy.ok()) {
+          if (h_copy.status() == Status::kRetry) {
+            *dropped_lock = true;
+            continue;
+          }
+          return h_copy.status();
+        }
+        ++detail_.history_pushes;
+      ++mutable_stats().cow_copies;
+      }
+    }
+    Result<PageDesc*> fresh = MaterializePage(lock, cache, page_offset,
+                                              memory().FrameData(src->frame),
+                                              /*dirty=*/true, Prot::kAll);
+    if (!fresh.ok()) {
+      if (fresh.status() == Status::kRetry) {
+        *dropped_lock = true;
+        continue;
+      }
+      return fresh.status();
+    }
+    ++mutable_stats().cow_copies;
+    // One more pass through the owned-page branch settles stubs/foreign mappings.
+    continue;
+  }
+  GVM_LOG(Error) << "EnsureWritablePage did not converge";
+  return Status::kBusError;
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling (section 4.1.2)
+// ---------------------------------------------------------------------------
+
+Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault,
+                             SegOffset page_offset) {
+  std::unique_lock<std::mutex> lock(mu(), std::adopt_lock);
+  RegionImpl* r = &region;
+  SegOffset offset = page_offset;
+  const Vaddr page_va = AlignDown(fault.address, page_size());
+  Status result = Status::kOk;
+
+  for (int rounds = 0; rounds < 256; ++rounds) {
+    PvmCache& cache = static_cast<PvmCache&>(r->cache());
+    bool dropped = false;
+
+    if (fault.access == Access::kWrite) {
+      Result<PageDesc*> page = EnsureWritablePage(lock, cache, offset, &dropped);
+      if (!page.ok()) {
+        result = page.status();
+        break;
+      }
+      if (!dropped) {
+        MapPage(*r, page_va, **page, EffectiveProt(*r, **page, /*foreign=*/false), cache);
+        result = Status::kOk;
+        break;
+      }
+    } else {
+      // Read or execute access.
+      MapEntry* entry = FindEntry(cache, offset);
+      if (entry != nullptr && entry->kind == MapEntry::Kind::kFrame &&
+          !entry->page->in_transit) {
+        PageDesc* page = entry->page;
+        Prot prot = EffectiveProt(*r, *page, /*foreign=*/false);
+        if (!ProtAllows(prot, AccessProt(fault.access))) {
+          // The cache-level cap forbids even this read (a coherence server revoked
+          // it).  Re-pull fresh data from the segment.
+          if (cache.driver_ == nullptr) {
+            result = Status::kProtectionFault;
+            break;
+          }
+          FreePage(page);
+          Status s = PullInLocked(lock, cache, offset, fault.access);
+          if (s != Status::kOk) {
+            result = s;
+            break;
+          }
+          dropped = true;
+        } else {
+          MapPage(*r, page_va, *page, prot, cache);
+          result = Status::kOk;
+          break;
+        }
+      } else {
+        bool inner_dropped = false;
+        Result<PageDesc*> value = ResolveValue(lock, cache, offset, &inner_dropped);
+        if (!value.ok()) {
+          result = value.status();
+          break;
+        }
+        if (!inner_dropped) {
+          PageDesc* page = *value;
+          Lookup look = LookupValue(cache, offset);
+          bool via_copy_on_ref = look.copy_on_reference;
+          if (via_copy_on_ref && page->cache != &cache) {
+            // Copy-on-reference: materialize the private copy now instead of
+            // mapping the ancestor page (section 4.2, "copy-on-reference scheme").
+            Result<PageDesc*> fresh = EnsureWritablePage(lock, cache, offset, &dropped);
+            if (!fresh.ok()) {
+              result = fresh.status();
+              break;
+            }
+            if (!dropped) {
+              MapPage(*r, page_va, **fresh, EffectiveProt(*r, **fresh, false), cache);
+              result = Status::kOk;
+              break;
+            }
+          } else {
+            bool foreign = page->cache != &cache;
+            MapPage(*r, page_va, *page, EffectiveProt(*r, *page, foreign), cache);
+            result = Status::kOk;
+            break;
+          }
+        } else {
+          dropped = true;
+        }
+      }
+    }
+
+    if (dropped) {
+      // The lock was dropped somewhere: the region may be gone or replaced.
+      r = RelookupRegion(fault);
+      if (r == nullptr || !ProtAllows(r->prot(), AccessProt(fault.access))) {
+        // Let the CPU re-fault and surface the right exception cleanly.
+        result = Status::kOk;
+        break;
+      }
+      offset = r->OffsetOf(page_va);
+    }
+  }
+
+  lock.release();  // BaseMm::HandleFault still owns the mutex
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Region hooks
+// ---------------------------------------------------------------------------
+
+void PagedVm::OnRegionMapped(RegionImpl& region) {
+  static_cast<PvmCache&>(region.cache()).mapping_count_++;
+}
+
+void PagedVm::OnRegionUnmapping(RegionImpl& region) {
+  auto it = region_maps_.find(&region);
+  if (it != region_maps_.end()) {
+    // Detach every mapped page (O(resident pages of the region), per section 4.1).
+    for (auto& [va, page] : it->second) {
+      for (size_t i = 0; i < page->mappings.size(); ++i) {
+        if (page->mappings[i].region == &region && page->mappings[i].va == va) {
+          mmu().Unmap(page->mappings[i].as, va);
+          page->mappings[i] = page->mappings.back();
+          page->mappings.pop_back();
+          break;
+        }
+      }
+    }
+    region_maps_.erase(it);
+  }
+  static_cast<PvmCache&>(region.cache()).mapping_count_--;
+}
+
+void PagedVm::OnRegionSplit(RegionImpl& first, RegionImpl& second) {
+  static_cast<PvmCache&>(second.cache()).mapping_count_++;
+  auto it = region_maps_.find(&first);
+  if (it == region_maps_.end()) {
+    return;
+  }
+  auto& first_map = it->second;
+  auto lo = first_map.lower_bound(second.start());
+  if (lo == first_map.end()) {
+    return;
+  }
+  auto& second_map = region_maps_[&second];
+  for (auto move_it = lo; move_it != first_map.end(); ++move_it) {
+    second_map.emplace(move_it->first, move_it->second);
+    for (MappingRef& ref : move_it->second->mappings) {
+      if (ref.region == &first && ref.va == move_it->first) {
+        ref.region = &second;
+      }
+    }
+  }
+  first_map.erase(lo, first_map.end());
+  if (first_map.empty()) {
+    region_maps_.erase(&first);
+  }
+}
+
+void PagedVm::OnRegionProtection(RegionImpl& region) {
+  auto it = region_maps_.find(&region);
+  if (it == region_maps_.end()) {
+    return;
+  }
+  for (auto& [va, page] : it->second) {
+    for (const MappingRef& ref : page->mappings) {
+      if (ref.region == &region && ref.va == va) {
+        bool foreign = ref.via_cache != page->cache;
+        mmu().Protect(ref.as, va, EffectiveProt(region, *page, foreign));
+        break;
+      }
+    }
+  }
+}
+
+Status PagedVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) {
+  // Fault in and pin every page of the region.  Pinning is necessarily O(region
+  // size): every page must be resident for fault-free access.
+  const size_t page = page_size();
+  const bool writable = ProtAllows(region.prot(), Prot::kWrite);
+  const AsId as = region.context().address_space();
+  const Vaddr start = region.start();
+  const Vaddr end = region.end();
+  for (Vaddr va = start; va < end; va += page) {
+    for (int rounds = 0;; ++rounds) {
+      if (rounds > 256) {
+        return Status::kBusError;
+      }
+      // Drive through the regular fault path.
+      PageFault fault{.address_space = as, .address = va,
+                      .access = writable ? Access::kWrite : Access::kRead,
+                      .protection_violation = false};
+      RegionImpl* r = RelookupRegion(fault);
+      if (r == nullptr) {
+        return Status::kNotFound;
+      }
+      Status s = ResolveFault(*r, fault, r->OffsetOf(AlignDown(va, page)));
+      if (s != Status::kOk) {
+        return s;
+      }
+      // Pin the page now mapped at `va` (if the map settled).
+      auto rm = region_maps_.find(r);
+      if (rm != region_maps_.end()) {
+        auto entry = rm->second.find(va);
+        if (entry != rm->second.end() && !entry->second->in_transit) {
+          entry->second->pin_count++;
+          break;
+        }
+      }
+      (void)lock;
+    }
+  }
+  return Status::kOk;
+}
+
+Status PagedVm::OnRegionUnlock(RegionImpl& region) {
+  auto it = region_maps_.find(&region);
+  if (it == region_maps_.end()) {
+    return Status::kOk;
+  }
+  for (auto& [va, page] : it->second) {
+    if (page->pin_count > 0) {
+      page->pin_count--;
+    }
+  }
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t PagedVm::CacheCount() const {
+  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  return caches_.size();
+}
+
+size_t PagedVm::GlobalMapEntries() const {
+  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  return map_.size();
+}
+
+size_t PagedVm::SyncStubCount() const {
+  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  return map_.CountKind(MapEntry::Kind::kSyncStub);
+}
+
+size_t PagedVm::CowStubCount() const {
+  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  return map_.CountKind(MapEntry::Kind::kCowStub);
+}
+
+}  // namespace gvm

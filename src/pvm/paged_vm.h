@@ -1,0 +1,277 @@
+// PagedVm — the Paged Virtual Memory manager (PVM), the paper's demand-paged
+// implementation of the GMI (section 4).
+//
+// Characteristics reproduced from the paper:
+//   * Support for large, sparse segments and address spaces: no data structure is
+//     proportional to segment or address-space size, only to resident memory
+//     (section 4.1).
+//   * Efficient deferred copy via *history objects* for large data (section 4.2)
+//     and a per-virtual-page technique for small data (section 4.3).
+//   * Hardware independence: everything below the Mmu interface is replaceable
+//     (SoftMmu and HashMmu both work unmodified).
+//
+// Locking model: one manager-wide mutex (from BaseMm).  Upcalls to segment
+// drivers (pullIn, pushOut, getWriteAccess, segmentCreate) are performed with the
+// lock *released*; synchronization page stubs keep concurrent accesses to the
+// affected pages asleep meanwhile (section 4.1.2).
+#ifndef GVM_SRC_PVM_PAGED_VM_H_
+#define GVM_SRC_PVM_PAGED_VM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pvm/page.h"
+#include "src/pvm/pvm_cache.h"
+#include "src/sync/sleep_queue.h"
+#include "src/vmbase/base_mm.h"
+
+namespace gvm {
+
+// Counters specific to the PVM, beyond the generic MmStats.
+struct PvmDetailStats {
+  uint64_t sync_stub_waits = 0;       // accesses that slept on an in-transit page
+  uint64_t working_objects = 0;       // w1, w2, ... created to keep the shape invariant
+  uint64_t history_pushes = 0;        // originals pushed into a history object
+  uint64_t per_page_stubs = 0;        // per-virtual-page COW stubs created
+  uint64_t stub_resolutions = 0;      // stubs resolved by a write (frame materialized)
+  uint64_t ancestor_lookups = 0;      // cache misses resolved by walking the tree
+  uint64_t caches_collapsed = 0;      // dying caches merged into their single child
+  uint64_t caches_reaped = 0;         // dying caches freed outright
+  uint64_t move_retargets = 0;        // pages moved by re-assigning frame-to-cache
+};
+
+class PagedVm final : public BaseMm {
+ public:
+  struct Options {
+    // Copies of at most this many pages use the per-virtual-page technique under
+    // CopyPolicy::kAuto; larger ones use history objects (section 4: history
+    // objects for "a big data segment", per-page for "an IPC message").
+    size_t per_page_threshold_pages = 8;
+    // Page-out starts when free frames drop below `low_water` and runs until
+    // `high_water` are free.  Zero disables the pager (tests exercising hard OOM).
+    size_t low_water_frames = 4;
+    size_t high_water_frames = 8;
+    // Merge a dying cache into its single remaining child when possible
+    // (the history-chain garbage collection discussed in section 4.2.5).
+    bool collapse_dying_caches = true;
+  };
+
+  PagedVm(PhysicalMemory& memory, Mmu& mmu) : PagedVm(memory, mmu, Options{}) {}
+  PagedVm(PhysicalMemory& memory, Mmu& mmu, Options options);
+  ~PagedVm() override;
+
+  // ---- MemoryManager ----
+  Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) override;
+  const char* name() const override { return "PVM"; }
+
+  const PvmDetailStats& detail_stats() const { return detail_; }
+
+  // ---- Introspection for tests, figures, and benchmarks ----
+  size_t CacheCount() const;
+  size_t GlobalMapEntries() const;
+  size_t SyncStubCount() const;
+  size_t CowStubCount() const;
+  // Renders the history tree reachable from `cache` in the notation of Figure 3.
+  std::string DumpTree(Cache& cache) const;
+  // Walks every structural invariant (tree shape, reverse-map consistency, global
+  // map consistency); returns kOk or fails fast with a log of the violation.
+  Status CheckInvariants() const;
+
+ protected:
+  // ---- BaseMm hooks ----
+  Status ResolveFault(RegionImpl& region, const PageFault& fault,
+                      SegOffset page_offset) override;
+  void OnRegionMapped(RegionImpl& region) override;
+  void OnRegionUnmapping(RegionImpl& region) override;
+  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override;
+  void OnRegionProtection(RegionImpl& region) override;
+  Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) override;
+  Status OnRegionUnlock(RegionImpl& region) override;
+
+ private:
+  friend class PvmCache;
+
+  // ---- Small helpers (lock held) ----
+  uint64_t PageIndex(SegOffset offset) const { return offset / page_size(); }
+  uint64_t StubKey(const PvmCache& cache, SegOffset offset) const;
+  PageDesc* FindOwned(PvmCache& cache, SegOffset page_offset);
+  MapEntry* FindEntry(PvmCache& cache, SegOffset page_offset);
+
+  // Allocate a frame, evicting if the pool is dry and page-out is enabled.  May
+  // drop the lock (page-out upcalls); `*dropped_lock` reports that.
+  Result<FrameIndex> AllocateFrame(std::unique_lock<std::mutex>& lock, bool* dropped_lock);
+
+  // Create a page owned by `cache` at `page_offset` with the given bytes (nullptr
+  // means zero-fill).  May drop the lock to evict; on any drop it re-checks that
+  // the slot is still empty and returns kBusy to make the caller retry.
+  Result<PageDesc*> MaterializePage(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                    SegOffset page_offset, const std::byte* bytes, bool dirty,
+                                    Prot max_prot);
+
+  void FreePage(PageDesc* page);  // unmaps, unthreads stubs, frees the frame
+
+  // ---- MMU mapping bookkeeping ----
+  void MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot prot,
+               PvmCache& via_cache);
+  void UnmapMapping(PageDesc& page, size_t index);
+  void UnmapAllMappings(PageDesc& page);
+  // Remove mappings installed through caches other than the owner (descendant
+  // reads through the tree) — required before the owner's value may change.
+  void RemoveForeignMappings(PageDesc& page);
+  // Downgrade every mapping of `page` to read-only (copy source protection).
+  void WriteProtectPage(PageDesc& page);
+  // The protection a mapping of `page` through `region` may carry right now.
+  Prot EffectiveProt(const RegionImpl& region, const PageDesc& page, bool foreign) const;
+  // True when the owner cache must not write `page` without history bookkeeping.
+  bool IsCowProtected(const PageDesc& page) const;
+
+  // ---- Miss resolution (the tree walk of section 4.2.1) ----
+  // Outcome of looking for the current value of (cache, page_offset).
+  struct Lookup {
+    enum class Kind {
+      kPage,      // value found: `page` (owner may be an ancestor)
+      kZeroFill,  // no value anywhere: demand-zero in `cache`
+      kPullIn,    // value lives in `source`'s segment at `source_offset`
+      kBlocked,   // a sync stub was hit; caller must wait and retry
+    };
+    Kind kind = Kind::kZeroFill;
+    PageDesc* page = nullptr;
+    PvmCache* source = nullptr;
+    SegOffset source_offset = 0;
+    bool copy_on_reference = false;  // a kCopyOnReference parent link was crossed
+  };
+  Lookup LookupValue(PvmCache& cache, SegOffset page_offset);
+
+  // Ensure the current value of (cache, page_offset) is resident somewhere,
+  // performing pullIn/zero-fill as needed.  Returns the page, or kBusy if the lock
+  // was dropped (caller retries), or a hard error.
+  Result<PageDesc*> ResolveValue(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                 SegOffset page_offset, bool* dropped_lock);
+
+  // Ensure (cache, page_offset) has a private, writable page owned by `cache`,
+  // doing all history bookkeeping (section 4.2) and stub resolution (section 4.3).
+  Result<PageDesc*> EnsureWritablePage(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                       SegOffset page_offset, bool* dropped_lock);
+
+  // Push the original value of an owned page into the history object covering it,
+  // if one exists and lacks its own version (sections 4.2.2 / 4.2.3).
+  Status PushToHistory(std::unique_lock<std::mutex>& lock, PvmCache& cache, PageDesc& page,
+                       bool* dropped_lock);
+
+  // Detach all per-page stubs threaded on `page` before its value changes: give
+  // them one shared copy of the original value (section 4.3 write-violation rule).
+  Status DetachStubs(std::unique_lock<std::mutex>& lock, PageDesc& page, bool* dropped_lock);
+
+  // Ensure no per-page stub still *depends* on the value of (cache, page_offset):
+  // called before that value is overwritten wholesale (copy-into, move-out,
+  // invalidate).  Threaded stubs are detached via DetachStubs; non-resident-form
+  // stubs get a materialized shared copy of the current value.
+  Status MaterializeStubsOf(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                            SegOffset page_offset);
+
+  // ---- Per-page stub link maintenance ----
+  // Attach `stub` to its source: threaded on the page descriptor when resident,
+  // registered in the source cache's inbound table otherwise.
+  void ThreadStub(CowStub* stub);
+  // Detach `stub` from whichever source link it currently has.
+  void UnlinkStub(CowStub* stub);
+  // A page of `cache` just became resident: re-thread the stubs that were waiting
+  // on it in non-resident form.
+  void AdoptInboundStubs(PvmCache& cache, PageDesc& page);
+
+  // ---- Upcalls (drop the lock internally) ----
+  Status PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                      SegOffset page_offset, Access access);
+  Status PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache, PageDesc& page,
+                           bool free_after);
+  // Assign a segment to an MM-created/temporary cache via segmentCreate.
+  Status EnsureDriver(std::unique_lock<std::mutex>& lock, PvmCache& cache);
+
+  // ---- Copy engines (called from PvmCache, lock held) ----
+  Status CopyRange(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+                   PvmCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy);
+  Status EagerCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+                   PvmCache& dst, SegOffset dst_off, size_t size);
+  Status HistoryCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+                     PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference);
+  Status PerPageCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+                     PvmCache& dst, SegOffset dst_off, size_t size);
+  Status MoveRange(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+                   PvmCache& dst, SegOffset dst_off, size_t size);
+
+  // Discard `dst`'s own state over [dst_off, dst_off+size) prior to its logical
+  // overwrite by a copy: owned pages are first offered to dst's history.
+  Status ClearDestinationRange(std::unique_lock<std::mutex>& lock, PvmCache& dst,
+                               SegOffset dst_off, size_t size);
+
+  // Before `cache`'s contents over the range change wholesale (copy-into or move
+  // source), materialize its current values into any history object covering the
+  // range, making the history self-sufficient.
+  Status SecureHistorySnapshots(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                SegOffset offset, size_t size);
+
+  // Write-protect the owned pages of `src` in a range (copy source preparation).
+  void ProtectSourcePages(PvmCache& src, SegOffset src_off, size_t size);
+
+  // ---- History-tree surgery (history.cc) ----
+  // Link dst as the deferred copy of src over the given fragments, inserting a
+  // working object when src already has a history there (section 4.2.3).
+  Status LinkCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+                  PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference);
+
+  // ---- Cache lifetime ----
+  Result<PvmCache*> CreateCacheLocked(SegmentDriver* driver, std::string name, bool temporary);
+  Status DestroyCacheLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache);
+  bool CacheHasDependents(const PvmCache& cache) const;
+  // Distinct caches whose parent links target `parent`, sorted by id.
+  std::vector<PvmCache*> ChildrenOfCache(PvmCache* parent) const;
+  // Free a dying cache whose last dependent vanished; cascades to its ancestors.
+  void ReapIfUnreferenced(std::unique_lock<std::mutex>& lock, PvmCache& cache);
+  // Merge a dying cache into its single child if possible (section 4.2.5 GC).
+  bool TryCollapse(std::unique_lock<std::mutex>& lock, PvmCache& cache);
+  void DropTreeLinksTo(PvmCache& cache);
+  void ReleasePages(PvmCache& cache);  // free all pages, stubs and map entries
+
+  // ---- Explicit I/O and cache management (io.cc) ----
+  Status CacheRead(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
+                   void* buffer, size_t size);
+  Status CacheWrite(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
+                    const void* buffer, size_t size);
+  Status CacheFillUp(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
+                     const void* data, size_t size, Prot max_prot);
+  Status CacheCopyBack(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
+                       void* buffer, size_t size, bool remove);
+  Status CacheFlush(std::unique_lock<std::mutex>& lock, PvmCache& cache, bool discard);
+  Status CacheInvalidate(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
+                         size_t size);
+  Status CacheSetProtection(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                            SegOffset offset, size_t size, Prot max_prot);
+  Status CacheLockRange(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
+                        size_t size, bool lock_pages);
+
+  // ---- Page-out (pageout.cc) ----
+  // Keep the free-frame pool above the low-water mark.  Returns true if the lock
+  // was dropped at any point.
+  bool BalanceFreeFrames(std::unique_lock<std::mutex>& lock);
+  PageDesc* PickVictim();
+  bool PageIsDirty(const PageDesc& page) const;
+
+  Options options_;
+  CacheId next_cache_id_ = 1;
+  std::unordered_map<CacheId, std::unique_ptr<PvmCache>> caches_;
+  GlobalMap map_;
+  SleepQueue sleepers_;
+  // Per-region table of mapped pages, for O(resident) unmap/protect of a region.
+  std::unordered_map<RegionImpl*, std::map<Vaddr, PageDesc*>> region_maps_;
+  // Round-robin page-out cursor (cache id, page offset), clock-style.
+  CacheId clock_cache_ = 0;
+  SegOffset clock_offset_ = 0;
+  PvmDetailStats detail_;
+  uint32_t working_counter_ = 0;  // names w1, w2, ... for working objects
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_PVM_PAGED_VM_H_

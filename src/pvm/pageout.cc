@@ -1,0 +1,242 @@
+// Page-out policy and the data-movement upcalls to segment drivers (Table 3).
+//
+// The data management policy (page-in and page-out decisions) belongs to the MM
+// (section 3.3.3).  We implement a second-chance sweep over resident pages, with
+// the referenced bits harvested from the MMU.  During a pullIn the slot holds a
+// synchronization page stub; during a pushOut the page is flagged in_transit —
+// both make concurrent accesses sleep until the transfer completes (section 4.1.2).
+#include <cassert>
+
+#include "src/pvm/paged_vm.h"
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+bool PagedVm::PageIsDirty(const PageDesc& page) const {
+  if (page.sw_dirty) {
+    return true;
+  }
+  for (const MappingRef& ref : page.mappings) {
+    Result<MmuEntry> entry = mmu().Lookup(ref.as, ref.va);
+    if (entry.ok() && entry->dirty) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PageDesc* PagedVm::PickVictim() {
+  // Second-chance sweep: two passes over all caches, rotated by a cursor so
+  // successive evictions spread across the system.  The first pass clears
+  // referenced bits and skips recently used pages; the second takes anything
+  // evictable.
+  for (int pass = 0; pass < 2; ++pass) {
+    bool seen_cursor = clock_cache_ == 0;
+    for (int wrap = 0; wrap < 2; ++wrap) {
+      for (auto& [id, cache] : caches_) {
+        if (!seen_cursor) {
+          if (id == clock_cache_) {
+            seen_cursor = true;
+          }
+          continue;
+        }
+        for (PageDesc& page : cache->pages_) {
+          if (page.pin_count > 0 || page.in_transit) {
+            continue;
+          }
+          if (pass == 0) {
+            bool referenced = false;
+            for (const MappingRef& ref : page.mappings) {
+              Result<bool> bit = mmu().TestAndClearReferenced(ref.as, ref.va);
+              if (bit.ok() && *bit) {
+                referenced = true;
+              }
+            }
+            if (referenced) {
+              continue;  // second chance
+            }
+          }
+          clock_cache_ = id;
+          return &page;
+        }
+      }
+      if (clock_cache_ == 0) {
+        break;  // single sweep covered everything
+      }
+      seen_cursor = true;  // wrap around to the beginning
+    }
+  }
+  return nullptr;
+}
+
+bool PagedVm::BalanceFreeFrames(std::unique_lock<std::mutex>& lock) {
+  if (options_.low_water_frames == 0) {
+    return false;
+  }
+  bool dropped = false;
+  int safety = 0;
+  while (memory().free_frames() < options_.high_water_frames) {
+    if (++safety > static_cast<int>(memory().frame_count()) * 4) {
+      break;
+    }
+    PageDesc* victim = PickVictim();
+    if (victim == nullptr) {
+      break;  // everything is pinned or in transit
+    }
+    PvmCache& cache = *victim->cache;
+    const bool dirty = PageIsDirty(*victim);
+    // Descendant caches may still need this page's value after eviction: any page
+    // covered by a history link, carrying stubs, or sitting in a cache that has
+    // children must survive on the segment, so a "clean" drop is only safe when
+    // the page is reproducible (from the segment or by zero-fill).
+    const bool reproducible =
+        cache.pushed_pages_.contains(PageIndex(victim->offset)) ||
+        (!cache.temporary_ && cache.parents_.Find(victim->offset) == nullptr);
+    if (!dirty && reproducible) {
+      ++mutable_stats().pages_paged_out;
+      FreePage(victim);
+      continue;
+    }
+    if (!dirty && victim->stubs.empty() && cache.histories_.Find(victim->offset) == nullptr &&
+        cache.temporary_ && cache.parents_.Find(victim->offset) == nullptr &&
+        !victim->sw_dirty) {
+      // Never-written zero-fill page: drop it; a later miss re-zero-fills.
+      ++mutable_stats().pages_paged_out;
+      FreePage(victim);
+      continue;
+    }
+    // Must be written to the cache's own segment.
+    Status s = PushOutPageLocked(lock, cache, *victim, /*free_after=*/true);
+    dropped = true;  // PushOutPageLocked always releases the lock around the upcall
+    if (s != Status::kOk) {
+      GVM_LOG(Debug) << "pushOut failed during page-out: " << StatusName(s);
+      break;
+    }
+    ++mutable_stats().pages_paged_out;
+  }
+  return dropped;
+}
+
+Status PagedVm::EnsureDriver(std::unique_lock<std::mutex>& lock, PvmCache& cache) {
+  if (cache.driver_ != nullptr) {
+    return Status::kOk;
+  }
+  if (registry() == nullptr) {
+    return Status::kNoSwap;  // nowhere to page this cache out to
+  }
+  if (cache.driver_requested_) {
+    // Another thread is in the segmentCreate upcall; let the caller retry.
+    return Status::kRetry;
+  }
+  cache.driver_requested_ = true;
+  SegmentRegistry* reg = registry();
+  lock.unlock();
+  // "With the segmentCreate upcall, the MM may declare such a cache to the upper
+  // layer, so that it can be swapped out."
+  SegmentDriver* driver = reg->SegmentCreate(cache);
+  lock.lock();
+  cache.driver_requested_ = false;
+  if (driver == nullptr) {
+    return Status::kNoSwap;
+  }
+  cache.driver_ = driver;
+  return Status::kOk;
+}
+
+Status PagedVm::PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                                  PageDesc& page, bool free_after) {
+  if (page.pin_count > 0) {
+    return Status::kLocked;
+  }
+  if (cache.driver_ == nullptr) {
+    Status s = EnsureDriver(lock, cache);
+    if (s == Status::kRetry) {
+      return Status::kOk;  // caller rescans; the concurrent upcall will finish
+    }
+    if (s != Status::kOk) {
+      return s;
+    }
+    // The lock was dropped: `page` may have been freed or changed.  The caller
+    // re-derives its scan state anyway; re-find the page to be safe.
+    PageDesc* again = FindOwned(cache, page.offset);
+    if (again != &page) {
+      return Status::kOk;
+    }
+  }
+  const SegOffset offset = page.offset;
+  page.in_transit = true;
+  // Unmap now: user writes racing the push would be silently lost otherwise.
+  UnmapAllMappings(page);
+  ++mutable_stats().push_outs;
+  SegmentDriver* driver = cache.driver_;
+  lock.unlock();
+  Status pushed = driver->PushOut(cache, offset, page_size());
+  lock.lock();
+  // Re-derive: the driver ran arbitrary code (it normally calls CopyBack).
+  PageDesc* again = FindOwned(cache, offset);
+  if (again == nullptr) {
+    // The driver used MoveBack (copyBack with removal); nothing left to do.
+    sleepers_.WakeAll(StubKey(cache, offset));
+    return pushed;
+  }
+  again->in_transit = false;
+  if (pushed == Status::kOk) {
+    cache.pushed_pages_.insert(PageIndex(offset));
+    again->sw_dirty = false;
+    if (free_after && again->pin_count == 0) {
+      FreePage(again);
+    }
+  }
+  sleepers_.WakeAll(StubKey(cache, offset));
+  return pushed;
+}
+
+Status PagedVm::PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+                             SegOffset page_offset, Access access) {
+  assert(IsAligned(page_offset, page_size()));
+  MapEntry* existing = FindEntry(cache, page_offset);
+  if (existing != nullptr) {
+    // Someone beat us to it (or a stub is already in place): just wait it out.
+    if (existing->kind == MapEntry::Kind::kSyncStub ||
+        (existing->kind == MapEntry::Kind::kFrame && existing->page->in_transit)) {
+      ++detail_.sync_stub_waits;
+      sleepers_.Wait(StubKey(cache, page_offset), lock);
+    }
+    return Status::kOk;
+  }
+  SegmentDriver* driver = cache.driver_;
+  if (driver == nullptr) {
+    return Status::kBusError;  // pushed_pages_ implies a driver; corrupted state
+  }
+  // "Before calling pullIn, the PVM places a synchronization page stub in the
+  // global map for that page."
+  map_.Insert(cache.id(), PageIndex(page_offset), MapEntry{.kind = MapEntry::Kind::kSyncStub, .page = nullptr, .cow = nullptr});
+  ++mutable_stats().pull_ins;
+  lock.unlock();
+  Status pulled = driver->PullIn(cache, page_offset, page_size(), access);
+  lock.lock();
+  if (pulled != Status::kOk) {
+    // Failed: remove the stub (if the driver did not fill after all) and wake any
+    // sleepers so they observe the failure.
+    MapEntry* entry = FindEntry(cache, page_offset);
+    if (entry != nullptr && entry->kind == MapEntry::Kind::kSyncStub) {
+      map_.Erase(cache.id(), PageIndex(page_offset));
+    }
+    sleepers_.WakeAll(StubKey(cache, page_offset));
+    return Status::kBusError;
+  }
+  // Synchronous drivers have already called FillUp (replacing the stub).  An
+  // asynchronous driver fills later from another thread: sleep until it does.
+  for (int rounds = 0; rounds < 1 << 20; ++rounds) {
+    MapEntry* entry = FindEntry(cache, page_offset);
+    if (entry == nullptr || entry->kind != MapEntry::Kind::kSyncStub) {
+      return Status::kOk;
+    }
+    ++detail_.sync_stub_waits;
+    sleepers_.Wait(StubKey(cache, page_offset), lock);
+  }
+  return Status::kBusError;
+}
+
+}  // namespace gvm

@@ -1,0 +1,112 @@
+// PvmCache: the PVM's cache descriptor (paper section 4.1.1, Figure 2), plus the
+// deferred-copy tree links of section 4.2.
+//
+// A cache descriptor holds an identifier of its data segment and the list of its
+// currently-cached real page descriptors.  For deferred copies it additionally
+// carries two fragment lists (section 4.2.4 generalization):
+//   * parents_   — where cache misses are resolved, walking towards the tree root;
+//   * histories_ — which cache receives original page values when this cache (a
+//                  copy source) modifies a page.
+//
+// All operations delegate to the owning PagedVm, which holds the manager-wide lock
+// and the global map.
+#ifndef GVM_SRC_PVM_PVM_CACHE_H_
+#define GVM_SRC_PVM_PVM_CACHE_H_
+
+#include <list>
+#include <string>
+#include <unordered_set>
+
+#include "src/gmi/cache.h"
+#include "src/gmi/segment_driver.h"
+#include "src/pvm/fragment_map.h"
+#include "src/pvm/page.h"
+
+namespace gvm {
+
+class PagedVm;
+
+// Value type of the parent/history fragment lists: the target cache and the offset
+// in it corresponding to the fragment's start.
+struct LinkTarget {
+  PvmCache* cache = nullptr;
+  SegOffset base = 0;
+  // Parent links only: resolve misses by materializing a private copy immediately
+  // (copy-on-reference) instead of mapping the ancestor page read-only.
+  bool copy_on_reference = false;
+
+  LinkTarget Advanced(uint64_t delta) const {
+    return LinkTarget{cache, base + delta, copy_on_reference};
+  }
+  bool operator==(const LinkTarget&) const = default;
+};
+
+class PvmCache final : public Cache {
+ public:
+  PvmCache(PagedVm& vm, CacheId id, std::string name, SegmentDriver* driver, bool temporary);
+  ~PvmCache() override;
+
+  // ---- gmi::Cache ----
+  CacheId id() const override { return id_; }
+  const std::string& name() const override { return name_; }
+  SegmentDriver* driver() const override { return driver_; }
+
+  Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
+                CopyPolicy policy) override;
+  Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) override;
+  Status Read(SegOffset offset, void* buffer, size_t size) override;
+  Status Write(SegOffset offset, const void* buffer, size_t size) override;
+  Status Destroy() override;
+
+  Status FillUp(SegOffset offset, const void* data, size_t size,
+                Prot max_prot = Prot::kAll) override;
+  Status FillZero(SegOffset offset, size_t size) override;
+  Status CopyBack(SegOffset offset, void* buffer, size_t size) override;
+  Status MoveBack(SegOffset offset, void* buffer, size_t size) override;
+  Status Flush() override;
+  Status Sync() override;
+  Status Invalidate(SegOffset offset, size_t size) override;
+  Status SetProtection(SegOffset offset, size_t size, Prot max_prot) override;
+  Status LockInMemory(SegOffset offset, size_t size) override;
+  Status Unlock(SegOffset offset, size_t size) override;
+
+  size_t ResidentPages() const override;
+  size_t MappingCount() const override;
+
+  // ---- Tree introspection (tests, Figure 3 reproduction) ----
+  // The parent cache resolving misses at `offset`, or nullptr at the tree root.
+  PvmCache* ParentAt(SegOffset offset) const;
+  // The history object receiving originals for writes at `offset`, or nullptr.
+  PvmCache* HistoryAt(SegOffset offset) const;
+  bool temporary() const { return temporary_; }
+  bool dying() const { return dying_; }
+
+ private:
+  friend class PagedVm;
+
+  PagedVm& vm_;
+  const CacheId id_;
+  std::string name_;
+  SegmentDriver* driver_;  // lazily assigned for temporaries (segmentCreate upcall)
+  const bool temporary_;   // zero-fill on a miss with no parent and no pushed page
+  bool dying_ = false;     // destroyed by its user but kept for descendants (4.2.5)
+  bool driver_requested_ = false;  // segmentCreate upcall already performed
+
+  std::list<PageDesc> pages_;  // the doubly-linked list of cached real pages
+  FragmentMap<LinkTarget> parents_;
+  FragmentMap<LinkTarget> histories_;
+  // Per-page stubs in their non-resident form ("pointer to the source local-cache
+  // descriptor and its offset"), indexed by source page so they can be re-threaded
+  // onto the page descriptor the moment the page becomes resident again.
+  // Invariant: if (this, index) is resident, inbound_stubs_ has no entry for it.
+  std::unordered_map<uint64_t, std::vector<CowStub*>> inbound_stubs_;
+  // Page indices whose authoritative copy lives in this cache's own segment
+  // (pushed out at least once).  Lets the miss walk decide between continuing to
+  // an ancestor, pulling in from our segment, and zero-filling.
+  std::unordered_set<uint64_t> pushed_pages_;
+  size_t mapping_count_ = 0;  // regions currently mapping this cache
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_PVM_PVM_CACHE_H_

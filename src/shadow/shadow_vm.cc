@@ -1,0 +1,923 @@
+// ShadowVm implementation.  See shadow_vm.h for the design notes and the mapping
+// to the paper's description of Mach's scheme.
+#include "src/shadow/shadow_vm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "src/util/align.h"
+#include "src/util/log.h"
+
+namespace gvm {
+
+namespace {
+
+// "Whole object" for backing links: objects shadow their original entirely.
+constexpr uint64_t kWholeObject = 1ull << 62;
+
+}  // namespace
+
+// Adapter handed to segment drivers during pullIn/pushOut upcalls: routes the
+// Table 4 data downcalls (fillUp / copyBack / moveBack) into one memory object.
+// Valid only for the duration of the upcall.
+class ObjectIo final : public Cache {
+ public:
+  ObjectIo(ShadowVm& vm, MemObject& object) : vm_(vm), object_(object) {}
+
+  CacheId id() const override { return object_.id(); }
+  const std::string& name() const override { return object_.name(); }
+  SegmentDriver* driver() const override { return object_.driver_; }
+
+  Status FillUp(SegOffset offset, const void* data, size_t size,
+                Prot max_prot = Prot::kAll) override {
+    (void)max_prot;  // ShadowVm keeps no per-page caps (see DESIGN.md)
+    std::unique_lock<std::mutex> lock(vm_.mu());
+    const size_t page = vm_.page_size();
+    if (!IsAligned(offset, page)) {
+      return Status::kInvalidArgument;
+    }
+    const auto* in = static_cast<const std::byte*>(data);
+    for (size_t done = 0; done < size; done += page) {
+      const SegOffset at = offset + done;
+      const size_t chunk = std::min(page, size - done);
+      auto it = object_.pages_.find(at);
+      if (it == object_.pages_.end()) {
+        Result<ShadowPage*> fresh = vm_.MakePage(object_, at, nullptr, /*dirty=*/false);
+        if (!fresh.ok()) {
+          return fresh.status();
+        }
+        it = object_.pages_.find(at);
+      }
+      std::byte* frame = vm_.memory().FrameData(it->second.frame);
+      std::memcpy(frame, in + done, chunk);
+      if (chunk < page) {
+        std::memset(frame + chunk, 0, page - chunk);
+      }
+      it->second.dirty = false;
+    }
+    return Status::kOk;
+  }
+
+  Status FillZero(SegOffset offset, size_t size) override {
+    std::vector<std::byte> zeros(size);
+    return FillUp(offset, zeros.data(), size, Prot::kAll);
+  }
+
+  Status CopyBack(SegOffset offset, void* buffer, size_t size) override {
+    return CopyBackImpl(offset, buffer, size, /*remove=*/false);
+  }
+  Status MoveBack(SegOffset offset, void* buffer, size_t size) override {
+    return CopyBackImpl(offset, buffer, size, /*remove=*/true);
+  }
+
+  // The rest of the Cache interface is not meaningful on the adapter.
+  Status CopyTo(Cache&, SegOffset, SegOffset, size_t, CopyPolicy) override {
+    return Status::kUnsupported;
+  }
+  Status MoveTo(Cache&, SegOffset, SegOffset, size_t) override { return Status::kUnsupported; }
+  Status Read(SegOffset, void*, size_t) override { return Status::kUnsupported; }
+  Status Write(SegOffset, const void*, size_t) override { return Status::kUnsupported; }
+  Status Destroy() override { return Status::kUnsupported; }
+  Status Flush() override { return Status::kUnsupported; }
+  Status Sync() override { return Status::kUnsupported; }
+  Status Invalidate(SegOffset, size_t) override { return Status::kUnsupported; }
+  Status SetProtection(SegOffset, size_t, Prot) override { return Status::kUnsupported; }
+  Status LockInMemory(SegOffset, size_t) override { return Status::kUnsupported; }
+  Status Unlock(SegOffset, size_t) override { return Status::kUnsupported; }
+  size_t ResidentPages() const override { return object_.pages_.size(); }
+  size_t MappingCount() const override { return 0; }
+
+ private:
+  Status CopyBackImpl(SegOffset offset, void* buffer, size_t size, bool remove) {
+    std::unique_lock<std::mutex> lock(vm_.mu());
+    const size_t page = vm_.page_size();
+    auto* out = static_cast<std::byte*>(buffer);
+    for (size_t done = 0; done < size; done += page) {
+      const SegOffset at = offset + done;
+      const size_t chunk = std::min(page, size - done);
+      auto it = object_.pages_.find(at);
+      if (it != object_.pages_.end()) {
+        std::memcpy(out + done, vm_.memory().FrameData(it->second.frame), chunk);
+        if (remove) {
+          vm_.DropPage(object_, it->second);
+        }
+      } else {
+        std::memset(out + done, 0, chunk);
+      }
+    }
+    return Status::kOk;
+  }
+
+  ShadowVm& vm_;
+  MemObject& object_;
+};
+
+ShadowVm::ShadowVm(PhysicalMemory& memory, Mmu& mmu, Options options)
+    : BaseMm(memory, mmu), options_(options) {}
+
+ShadowVm::~ShadowVm() {
+  for (auto& [id, object] : objects_) {
+    for (auto& [offset, page] : object->pages_) {
+      memory().FreeFrame(page.frame);
+    }
+    object->pages_.clear();
+  }
+}
+
+MemObject* ShadowVm::NewObject(std::string name) {
+  uint64_t id = next_object_id_++;
+  auto object = std::make_unique<MemObject>(id, std::move(name));
+  MemObject* raw = object.get();
+  objects_.emplace(id, std::move(object));
+  ++mutable_stats().shadow_objects;
+  return raw;
+}
+
+Result<Cache*> ShadowVm::CacheCreate(SegmentDriver* driver, std::string name) {
+  std::unique_lock<std::mutex> lock(mu());
+  CacheId id = next_cache_id_++;
+  auto cache = std::make_unique<ShadowCache>(*this, id, name, driver);
+  cache->top_ = NewObject(name + ".obj");
+  cache->top_->driver_ = driver;
+  cache->top_->temporary_ = driver == nullptr;
+  Cache* raw = cache.get();
+  caches_.emplace(id, std::move(cache));
+  return raw;
+}
+
+size_t ShadowVm::CacheCount() const {
+  std::unique_lock<std::mutex> lock(const_cast<ShadowVm*>(this)->mu());
+  return caches_.size();
+}
+
+size_t ShadowVm::ObjectCount() const {
+  std::unique_lock<std::mutex> lock(const_cast<ShadowVm*>(this)->mu());
+  return objects_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Chain machinery
+// ---------------------------------------------------------------------------
+
+ShadowVm::ChainHit ShadowVm::ChainLookup(MemObject& start, SegOffset offset) {
+  MemObject* cur = &start;
+  SegOffset off = offset;
+  size_t depth = 0;
+  for (; depth < 4096; ++depth) {
+    auto it = cur->pages_.find(off);
+    if (it != cur->pages_.end()) {
+      return ChainHit{cur, &it->second, off, depth};
+    }
+    const auto* link = cur->backing_.Find(off);
+    if (link == nullptr) {
+      return ChainHit{cur, nullptr, off, depth};
+    }
+    off = link->value.base + (off - link->start);
+    cur = link->value.object;
+  }
+  GVM_LOG(Error) << "shadow chain walk exceeded depth bound";
+  return ChainHit{&start, nullptr, offset, depth};
+}
+
+Result<ShadowPage*> ShadowVm::MakePage(MemObject& object, SegOffset offset,
+                                       const std::byte* bytes, bool dirty) {
+  Result<FrameIndex> frame = memory().AllocateFrame();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (bytes != nullptr) {
+    std::memcpy(memory().FrameData(*frame), bytes, page_size());
+  } else {
+    memory().ZeroFrame(*frame);
+  }
+  auto [it, inserted] =
+      object.pages_.emplace(offset, ShadowPage{.offset = offset, .frame = *frame,
+                                               .dirty = dirty, .mappings = {}});
+  assert(inserted);
+  (void)inserted;
+  return &it->second;
+}
+
+void ShadowVm::DropPage(MemObject& object, ShadowPage& page) {
+  for (const ShadowPage::Mapping& ref : page.mappings) {
+    mmu().Unmap(ref.as, ref.va);
+    auto rm = region_maps_.find(ref.region);
+    if (rm != region_maps_.end()) {
+      rm->second.erase(ref.va);
+      if (rm->second.empty()) {
+        region_maps_.erase(rm);
+      }
+    }
+  }
+  memory().FreeFrame(page.frame);
+  object.pages_.erase(page.offset);
+}
+
+Result<const std::byte*> ShadowVm::ResolveBytes(std::unique_lock<std::mutex>& lock,
+                                                MemObject& start, SegOffset offset,
+                                                ShadowPage** owner_page, MemObject** owner) {
+  for (int rounds = 0; rounds < 64; ++rounds) {
+    ChainHit hit = ChainLookup(start, offset);
+    if (hit.page != nullptr) {
+      *owner_page = hit.page;
+      *owner = hit.object;
+      return static_cast<const std::byte*>(memory().FrameData(hit.page->frame));
+    }
+    if (hit.object->driver_ != nullptr) {
+      // Pull from the pager backing the chain root, through the object adapter.
+      SegmentDriver* driver = hit.object->driver_;
+      ObjectIo io(*this, *hit.object);
+      ++mutable_stats().pull_ins;
+      lock.unlock();
+      Status pulled = driver->PullIn(io, hit.offset, page_size(), Access::kRead);
+      lock.lock();
+      if (pulled != Status::kOk) {
+        return Status::kBusError;
+      }
+      continue;  // re-walk; the fill installed the page
+    }
+    // Absent everywhere and the root is anonymous: the value is zero.
+    *owner_page = nullptr;
+    *owner = hit.object;
+    return static_cast<const std::byte*>(nullptr);
+  }
+  return Status::kBusError;
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling
+// ---------------------------------------------------------------------------
+
+Status ShadowVm::ResolveFault(RegionImpl& region, const PageFault& fault,
+                              SegOffset page_offset) {
+  std::unique_lock<std::mutex> lock(mu(), std::adopt_lock);
+  auto& cache = static_cast<ShadowCache&>(region.cache());
+  const Vaddr page_va = AlignDown(fault.address, page_size());
+  const AsId as = region.context().address_space();
+  Status result = Status::kOk;
+
+  for (int rounds = 0; rounds < 64; ++rounds) {
+    MemObject* top = cache.top_;
+    ShadowPage* page = nullptr;
+    MemObject* owner = nullptr;
+    Result<const std::byte*> bytes = ResolveBytes(lock, *top, page_offset, &page, &owner);
+    if (!bytes.ok()) {
+      result = bytes.status();
+      break;
+    }
+    const bool is_write = fault.access == Access::kWrite;
+    if (page == nullptr) {
+      // Zero value.  Reads of anonymous memory and all writes materialize a
+      // zero page in the top object (Mach's zero-fill goes to the mapped object).
+      Result<ShadowPage*> fresh = MakePage(*top, page_offset, nullptr, /*dirty=*/is_write);
+      if (!fresh.ok()) {
+        result = fresh.status();
+        break;
+      }
+      mutable_stats().zero_fills += 1;
+      page = *fresh;
+      owner = top;
+    } else if (is_write && owner != top) {
+      // Copy the page up into the top object — Mach's shadow write fault.
+      Result<ShadowPage*> fresh = MakePage(*top, page_offset, *bytes, /*dirty=*/true);
+      if (!fresh.ok()) {
+        result = fresh.status();
+        break;
+      }
+      ++mutable_stats().cow_copies;
+      page = *fresh;
+      owner = top;
+    }
+    // Install the mapping: writable only for pages of the top object.
+    Prot prot = region.prot();
+    if (owner != top) {
+      prot = prot & ~Prot::kWrite;
+    }
+    if (is_write) {
+      page->dirty = true;
+    }
+    // Replace whatever was mapped at this va before (e.g. the below-page after a
+    // copy-up).
+    auto& rmap = region_maps_[&region];
+    auto prev = rmap.find(page_va);
+    if (prev != rmap.end()) {
+      auto obj_it = objects_.find(prev->second.first->id());
+      if (obj_it != objects_.end()) {
+        auto page_it = obj_it->second->pages_.find(prev->second.second);
+        if (page_it != obj_it->second->pages_.end()) {
+          auto& maps = page_it->second.mappings;
+          for (size_t i = 0; i < maps.size(); ++i) {
+            if (maps[i].region == &region && maps[i].va == page_va) {
+              maps[i] = maps.back();
+              maps.pop_back();
+              break;
+            }
+          }
+        }
+      }
+      rmap.erase(prev);
+    }
+    mmu().Map(as, page_va, page->frame, prot);
+    page->mappings.push_back(ShadowPage::Mapping{as, page_va, &region});
+    rmap[page_va] = {owner, page->offset};
+    result = Status::kOk;
+    break;
+  }
+
+  lock.release();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Copy (the shadow-object scheme)
+// ---------------------------------------------------------------------------
+
+void ShadowVm::ProtectObjectRange(MemObject& object, SegOffset offset, size_t size) {
+  for (auto it = object.pages_.lower_bound(offset);
+       it != object.pages_.end() && it->first < offset + size; ++it) {
+    for (const ShadowPage::Mapping& ref : it->second.mappings) {
+      mmu().Protect(ref.as, ref.va, ref.region->prot() & ~Prot::kWrite);
+    }
+    ++mutable_stats().deferred_copy_pages;
+  }
+}
+
+Status ShadowVm::CopyRange(std::unique_lock<std::mutex>& lock, ShadowCache& src,
+                           SegOffset src_off, ShadowCache& dst, SegOffset dst_off, size_t size,
+                           CopyPolicy policy) {
+  const size_t page = page_size();
+  const bool aligned =
+      IsAligned(src_off, page) && IsAligned(dst_off, page) && IsAligned(size, page);
+  if (policy == CopyPolicy::kEager || !aligned || &src == &dst) {
+    // Physical copy through a bounce buffer.
+    std::vector<std::byte> bounce(page);
+    size_t done = 0;
+    while (done < size) {
+      size_t chunk = std::min({page - ((src_off + done) % page),
+                               page - ((dst_off + done) % page), size - done});
+      GVM_RETURN_IF_ERROR(
+          CacheAccess(lock, src, src_off + done, bounce.data(), chunk, /*write=*/false));
+      GVM_RETURN_IF_ERROR(
+          CacheAccess(lock, dst, dst_off + done, bounce.data(), chunk, /*write=*/true));
+      done += chunk;
+      ++mutable_stats().eager_copy_pages;
+    }
+    return Status::kOk;
+  }
+
+  // Mach's scheme: protect the source range, then create TWO shadow objects — one
+  // becomes the source's new top (keeping its future modifications), one the
+  // destination's (keeping the copy's).  The original pages stay where they are.
+  MemObject* original = src.top_;
+  MemObject* src_shadow = NewObject("s" + std::to_string(next_object_id_));
+  src_shadow->backing_.Insert(0, kWholeObject, ShadowLink{original, 0});
+  MemObject* dst_shadow = NewObject("s" + std::to_string(next_object_id_));
+  MemObject* dst_old_top = dst.top_;
+  dst_shadow->backing_.Insert(0, kWholeObject, ShadowLink{dst_old_top, 0});
+  dst_shadow->backing_.Insert(dst_off, size, ShadowLink{original, src_off});
+
+  // The destination's own pages in the range are now logically overwritten:
+  // revoke its mappings of them (the pages stay, unreachable from dst).
+  for (auto it = dst_old_top->pages_.lower_bound(dst_off);
+       it != dst_old_top->pages_.end() && it->first < dst_off + size; ++it) {
+    for (size_t i = it->second.mappings.size(); i > 0; --i) {
+      const ShadowPage::Mapping& ref = it->second.mappings[i - 1];
+      if (&ref.region->cache() == &dst) {
+        mmu().Unmap(ref.as, ref.va);
+        auto rm = region_maps_.find(ref.region);
+        if (rm != region_maps_.end()) {
+          rm->second.erase(ref.va);
+        }
+        it->second.mappings[i - 1] = it->second.mappings.back();
+        it->second.mappings.pop_back();
+      }
+    }
+  }
+
+  src.top_ = src_shadow;
+  dst.top_ = dst_shadow;
+  ProtectObjectRange(*original, src_off, size);
+  ++mutable_stats().history_objects;  // comparable "deferred copy set up" event
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// GC: reaping and chain collapse
+// ---------------------------------------------------------------------------
+
+bool ShadowVm::ObjectReferenced(const MemObject& object) const {
+  for (const auto& [id, cache] : caches_) {
+    if (cache->top_ == &object) {
+      return true;
+    }
+  }
+  for (const auto& [id, other] : objects_) {
+    if (other.get() == &object) {
+      continue;
+    }
+    bool points = false;
+    other->backing_.ForEach([&](const FragmentMap<ShadowLink>::Fragment& frag) {
+      if (frag.value.object == &object) {
+        points = true;
+      }
+    });
+    if (points) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShadowVm::ReapUnreferenced(MemObject* object) {
+  if (object == nullptr || ObjectReferenced(*object)) {
+    return;
+  }
+  // Free this object and re-examine the chain below it.
+  std::vector<MemObject*> below;
+  object->backing_.ForEach([&](const FragmentMap<ShadowLink>::Fragment& frag) {
+    below.push_back(frag.value.object);
+  });
+  while (!object->pages_.empty()) {
+    DropPage(*object, object->pages_.begin()->second);
+  }
+  objects_.erase(object->id());
+  for (MemObject* next : below) {
+    if (objects_.contains(next->id())) {
+      ReapUnreferenced(next);
+    }
+  }
+}
+
+void ShadowVm::CollapseChains() {
+  // "To prevent the creation of long chains of shadow objects ... the shadow must
+  // be merged with the source after the child exits.  This garbage collection is a
+  // major complication of the Mach algorithm."
+  bool changed = true;
+  int safety = 0;
+  while (changed && ++safety < 1024) {
+    changed = false;
+    for (auto& [below_id, below] : objects_) {
+      if (below->driver_ != nullptr) {
+        continue;  // never collapse pager-backed roots
+      }
+      // Exactly one referencing object, and no cache top?
+      MemObject* above = nullptr;
+      bool top_ref = false;
+      int ref_count = 0;
+      for (const auto& [cid, cache] : caches_) {
+        if (cache->top_ == below.get()) {
+          top_ref = true;
+        }
+      }
+      if (top_ref) {
+        continue;
+      }
+      for (auto& [oid, other] : objects_) {
+        if (other.get() == below.get()) {
+          continue;
+        }
+        bool points = false;
+        other->backing_.ForEach([&](const FragmentMap<ShadowLink>::Fragment& frag) {
+          if (frag.value.object == below.get()) {
+            points = true;
+          }
+        });
+        if (points) {
+          ++ref_count;
+          above = other.get();
+        }
+      }
+      if (ref_count != 1 || above == nullptr) {
+        continue;
+      }
+      // Merge `below` into `above`: move pages above lacks, then re-route
+      // above's backing fragments through below's own backing.
+      std::vector<FragmentMap<ShadowLink>::Fragment> windows;
+      above->backing_.ForEach([&](const FragmentMap<ShadowLink>::Fragment& frag) {
+        if (frag.value.object == below.get()) {
+          windows.push_back(frag);
+        }
+      });
+      std::vector<ShadowPage*> moving;
+      for (auto& [off, page] : below->pages_) {
+        moving.push_back(&page);
+      }
+      for (ShadowPage* page : moving) {
+        const FragmentMap<ShadowLink>::Fragment* window = nullptr;
+        for (const auto& w : windows) {
+          if (page->offset >= w.value.base && page->offset < w.value.base + w.size) {
+            window = &w;
+            break;
+          }
+        }
+        if (window == nullptr) {
+          DropPage(*below, *page);  // unreachable
+          continue;
+        }
+        SegOffset above_off = window->start + (page->offset - window->value.base);
+        if (above->pages_.contains(above_off)) {
+          DropPage(*below, *page);  // above already diverged
+          continue;
+        }
+        // Move the page up (frames move; mappings keep pointing at the frame and
+        // remain valid because the page's identity in the chain is unchanged).
+        ShadowPage moved = *page;
+        moved.offset = above_off;
+        below->pages_.erase(page->offset);
+        // Fix the region maps that referenced (below, old offset).
+        for (auto& ref : moved.mappings) {
+          auto rm = region_maps_.find(ref.region);
+          if (rm != region_maps_.end()) {
+            auto entry = rm->second.find(ref.va);
+            if (entry != rm->second.end()) {
+              entry->second = {above, above_off};
+            }
+          }
+        }
+        above->pages_.emplace(above_off, std::move(moved));
+      }
+      // Re-route above's windows through below's backing.
+      for (const auto& w : windows) {
+        above->backing_.Erase(w.start, w.size);
+        for (const auto& deeper : below->backing_.Overlapping(w.value.base, w.size)) {
+          SegOffset above_start = w.start + (deeper.start - w.value.base);
+          above->backing_.Insert(above_start, deeper.size,
+                                 ShadowLink{deeper.value.object, deeper.value.base});
+        }
+      }
+      while (!below->pages_.empty()) {
+        DropPage(*below, below->pages_.begin()->second);
+      }
+      objects_.erase(below_id);
+      ++mutable_stats().shadow_collapses;
+      changed = true;
+      break;  // iterator invalidated; rescan
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Region hooks
+// ---------------------------------------------------------------------------
+
+void ShadowVm::OnRegionMapped(RegionImpl& region) {
+  static_cast<ShadowCache&>(region.cache()).mapping_count_++;
+}
+
+void ShadowVm::OnRegionUnmapping(RegionImpl& region) {
+  auto it = region_maps_.find(&region);
+  if (it != region_maps_.end()) {
+    for (auto& [va, where] : it->second) {
+      auto obj_it = objects_.find(where.first->id());
+      if (obj_it == objects_.end()) {
+        continue;
+      }
+      auto page_it = obj_it->second->pages_.find(where.second);
+      if (page_it == obj_it->second->pages_.end()) {
+        continue;
+      }
+      auto& maps = page_it->second.mappings;
+      for (size_t i = 0; i < maps.size(); ++i) {
+        if (maps[i].region == &region && maps[i].va == va) {
+          mmu().Unmap(maps[i].as, va);
+          maps[i] = maps.back();
+          maps.pop_back();
+          break;
+        }
+      }
+    }
+    region_maps_.erase(it);
+  }
+  static_cast<ShadowCache&>(region.cache()).mapping_count_--;
+}
+
+void ShadowVm::OnRegionSplit(RegionImpl& first, RegionImpl& second) {
+  static_cast<ShadowCache&>(second.cache()).mapping_count_++;
+  auto it = region_maps_.find(&first);
+  if (it == region_maps_.end()) {
+    return;
+  }
+  auto lo = it->second.lower_bound(second.start());
+  auto& second_map = region_maps_[&second];
+  for (auto move_it = lo; move_it != it->second.end(); ++move_it) {
+    second_map.emplace(move_it->first, move_it->second);
+    auto obj_it = objects_.find(move_it->second.first->id());
+    if (obj_it != objects_.end()) {
+      auto page_it = obj_it->second->pages_.find(move_it->second.second);
+      if (page_it != obj_it->second->pages_.end()) {
+        for (auto& ref : page_it->second.mappings) {
+          if (ref.region == &first && ref.va == move_it->first) {
+            ref.region = &second;
+          }
+        }
+      }
+    }
+  }
+  it->second.erase(lo, it->second.end());
+}
+
+void ShadowVm::OnRegionProtection(RegionImpl& region) {
+  auto it = region_maps_.find(&region);
+  if (it == region_maps_.end()) {
+    return;
+  }
+  auto& cache = static_cast<ShadowCache&>(region.cache());
+  for (auto& [va, where] : it->second) {
+    Prot prot = region.prot();
+    if (where.first != cache.top_) {
+      prot = prot & ~Prot::kWrite;
+    }
+    mmu().Protect(region.context().address_space(), va, prot);
+  }
+}
+
+Status ShadowVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) {
+  // Prefault the range; ShadowVm has no pager, so residency is permanent.
+  const size_t page = page_size();
+  const bool writable = ProtAllows(region.prot(), Prot::kWrite);
+  for (Vaddr va = region.start(); va < region.end(); va += page) {
+    PageFault fault{.address_space = region.context().address_space(),
+                    .address = va,
+                    .access = writable ? Access::kWrite : Access::kRead,
+                    .protection_violation = false};
+    Status s = ResolveFault(region, fault, region.OffsetOf(va));
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  (void)lock;
+  return Status::kOk;
+}
+
+Status ShadowVm::OnRegionUnlock(RegionImpl& region) {
+  (void)region;
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Explicit access
+// ---------------------------------------------------------------------------
+
+Status ShadowVm::CacheAccess(std::unique_lock<std::mutex>& lock, ShadowCache& cache,
+                             SegOffset offset, void* buffer, size_t size, bool write) {
+  const size_t page = page_size();
+  auto* bytes = static_cast<std::byte*>(buffer);
+  size_t done = 0;
+  while (done < size) {
+    const SegOffset at = offset + done;
+    const SegOffset page_off = AlignDown(at, page);
+    size_t chunk = std::min(page - (at - page_off), size - done);
+    MemObject* top = cache.top_;
+    ShadowPage* owner_page = nullptr;
+    MemObject* owner = nullptr;
+    Result<const std::byte*> value = ResolveBytes(lock, *top, page_off, &owner_page, &owner);
+    if (!value.ok()) {
+      return value.status();
+    }
+    if (write) {
+      ShadowPage* target = owner_page;
+      if (target == nullptr || owner != top) {
+        Result<ShadowPage*> fresh =
+            MakePage(*top, page_off, owner_page != nullptr ? *value : nullptr, true);
+        if (!fresh.ok()) {
+          return fresh.status();
+        }
+        if (owner_page != nullptr) {
+          ++mutable_stats().cow_copies;
+        } else {
+          ++mutable_stats().zero_fills;
+        }
+        target = *fresh;
+      }
+      std::memcpy(memory().FrameData(target->frame) + (at - page_off), bytes + done, chunk);
+      target->dirty = true;
+    } else {
+      if (owner_page != nullptr) {
+        std::memcpy(bytes + done, *value + (at - page_off), chunk);
+      } else {
+        std::memset(bytes + done, 0, chunk);
+      }
+    }
+    done += chunk;
+  }
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// ShadowCache
+// ---------------------------------------------------------------------------
+
+ShadowCache::ShadowCache(ShadowVm& vm, CacheId id, std::string name, SegmentDriver* driver)
+    : vm_(vm), id_(id), name_(std::move(name)) {
+  (void)driver;  // recorded on the root object
+}
+
+ShadowCache::~ShadowCache() = default;
+
+SegmentDriver* ShadowCache::driver() const {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  // The pager lives at the chain root.
+  MemObject* cur = top_;
+  for (int i = 0; i < 4096 && cur != nullptr; ++i) {
+    if (cur->driver_ != nullptr) {
+      return cur->driver_;
+    }
+    const auto* link = cur->backing_.Find(0);
+    cur = link == nullptr ? nullptr : link->value.object;
+  }
+  return nullptr;
+}
+
+Status ShadowCache::CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
+                           CopyPolicy policy) {
+  auto& dst_cache = static_cast<ShadowCache&>(dst);
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  return vm_.CopyRange(lock, *this, src_offset, dst_cache, dst_offset, size, policy);
+}
+
+Status ShadowCache::MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset,
+                           size_t size) {
+  // Mach has no cross-object page move; the baseline copies physically, then the
+  // source contents become undefined (dropped from the top).
+  GVM_RETURN_IF_ERROR(CopyTo(dst, src_offset, dst_offset, size, CopyPolicy::kEager));
+  return Invalidate(src_offset, size);
+}
+
+Status ShadowCache::Read(SegOffset offset, void* buffer, size_t size) {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  return vm_.CacheAccess(lock, *this, offset, buffer, size, /*write=*/false);
+}
+
+Status ShadowCache::Write(SegOffset offset, const void* buffer, size_t size) {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  return vm_.CacheAccess(lock, *this, offset, const_cast<void*>(buffer), size, /*write=*/true);
+}
+
+Status ShadowCache::Destroy() {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  if (mapping_count_ > 0) {
+    return Status::kBusy;
+  }
+  MemObject* top = top_;
+  ShadowVm& vm = vm_;
+  vm.caches_.erase(id_);  // destroys *this
+  vm.ReapUnreferenced(top);
+  if (vm.options_.collapse_shadows) {
+    vm.CollapseChains();
+  }
+  return Status::kOk;
+}
+
+Status ShadowCache::FillUp(SegOffset offset, const void* data, size_t size, Prot max_prot) {
+  (void)max_prot;
+  // Fills land in the deepest pager-backed object (the segment's home), or the
+  // top for purely anonymous chains.
+  MemObject* target = top_;
+  {
+    std::unique_lock<std::mutex> lock(vm_.mu());
+    MemObject* cur = top_;
+    SegOffset off = offset;
+    for (int i = 0; i < 4096; ++i) {
+      if (cur->driver_ != nullptr) {
+        target = cur;
+        offset = off;
+        break;
+      }
+      const auto* link = cur->backing_.Find(off);
+      if (link == nullptr) {
+        break;
+      }
+      off = link->value.base + (off - link->start);
+      cur = link->value.object;
+    }
+  }
+  ObjectIo io(vm_, *target);
+  return io.FillUp(offset, data, size, max_prot);
+}
+
+Status ShadowCache::FillZero(SegOffset offset, size_t size) {
+  std::vector<std::byte> zeros(size);
+  return FillUp(offset, zeros.data(), size, Prot::kAll);
+}
+
+Status ShadowCache::CopyBack(SegOffset offset, void* buffer, size_t size) {
+  return Read(offset, buffer, size);
+}
+
+Status ShadowCache::MoveBack(SegOffset offset, void* buffer, size_t size) {
+  GVM_RETURN_IF_ERROR(Read(offset, buffer, size));
+  return Invalidate(offset, size);
+}
+
+Status ShadowCache::Sync() {
+  // Push current values of dirty pages reachable from the top.
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  SegmentDriver* drv = nullptr;
+  MemObject* root = top_;
+  for (int i = 0; i < 4096; ++i) {
+    if (root->driver_ != nullptr) {
+      drv = root->driver_;
+      break;
+    }
+    const auto* link = root->backing_.Find(0);
+    if (link == nullptr) {
+      break;
+    }
+    root = link->value.object;
+  }
+  if (drv == nullptr) {
+    return Status::kOk;  // anonymous: nothing to save to
+  }
+  std::vector<SegOffset> dirty;
+  for (auto& [off, page] : top_->pages_) {
+    if (page.dirty) {
+      dirty.push_back(off);
+    }
+  }
+  MemObject* top = top_;
+  for (SegOffset off : dirty) {
+    ObjectIo io(vm_, *top);
+    ++vm_.mutable_stats().push_outs;
+    lock.unlock();
+    Status s = drv->PushOut(io, off, vm_.page_size());
+    lock.lock();
+    if (s != Status::kOk) {
+      return s;
+    }
+    auto it = top->pages_.find(off);
+    if (it != top->pages_.end()) {
+      it->second.dirty = false;
+    }
+  }
+  return Status::kOk;
+}
+
+Status ShadowCache::Flush() {
+  GVM_RETURN_IF_ERROR(Sync());
+  return Invalidate(0, kWholeObject);
+}
+
+Status ShadowCache::Invalidate(SegOffset offset, size_t size) {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  // Drop the top object's pages in the range (private modifications).
+  std::vector<SegOffset> doomed;
+  for (auto it = top_->pages_.lower_bound(offset);
+       it != top_->pages_.end() && it->first < offset + size; ++it) {
+    doomed.push_back(it->first);
+  }
+  for (SegOffset off : doomed) {
+    auto it = top_->pages_.find(off);
+    if (it != top_->pages_.end()) {
+      vm_.DropPage(*top_, it->second);
+    }
+  }
+  return Status::kOk;
+}
+
+Status ShadowCache::SetProtection(SegOffset offset, size_t size, Prot max_prot) {
+  (void)offset;
+  (void)size;
+  (void)max_prot;
+  return Status::kUnsupported;  // the baseline has no per-page caps
+}
+
+Status ShadowCache::LockInMemory(SegOffset offset, size_t size) {
+  (void)offset;
+  (void)size;
+  return Status::kOk;  // no pager: memory is always resident
+}
+
+Status ShadowCache::Unlock(SegOffset offset, size_t size) {
+  (void)offset;
+  (void)size;
+  return Status::kOk;
+}
+
+size_t ShadowCache::ResidentPages() const {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  return top_->pages_.size();
+}
+
+size_t ShadowCache::MappingCount() const {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  return mapping_count_;
+}
+
+size_t ShadowCache::ChainDepth() const {
+  std::unique_lock<std::mutex> lock(vm_.mu());
+  size_t depth = 0;
+  MemObject* cur = top_;
+  for (int i = 0; i < 4096; ++i) {
+    const auto* link = cur->backing_.Find(0);
+    if (link == nullptr) {
+      break;
+    }
+    cur = link->value.object;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace gvm

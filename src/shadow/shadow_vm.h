@@ -1,0 +1,206 @@
+// ShadowVm — a Mach-style shadow-object memory manager (the paper's comparison
+// baseline; section 4.2.5, refs [13] and [18]).
+//
+// Mechanism reproduced from the paper's description: "When Mach initializes a
+// cache (which they call a memory object) as a copy of an other, the source is set
+// read-only, and two new memory objects, the shadow objects, are created.  The
+// shadows are to keep the pages modified by the source and copy objects
+// respectively; the original pages remain in the source object.  If successive
+// copies occur, a chain of shadows may build up."
+//
+// The two structural problems the paper identifies are observable here:
+//   1. chains must be garbage-collected by merging shadows (shadow_collapses), and
+//   2. the object a cache actually references changes dynamically as it is copied
+//      (ShadowCacheState::top is re-pointed on every copy).
+//
+// ShadowVm implements the same GMI, so the Nucleus, the Unix layer and every
+// benchmark run unmodified on it — which is what makes the Table 6/7 comparisons
+// apples-to-apples.
+#ifndef GVM_SRC_SHADOW_SHADOW_VM_H_
+#define GVM_SRC_SHADOW_SHADOW_VM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pvm/fragment_map.h"
+#include "src/vmbase/base_mm.h"
+
+namespace gvm {
+
+class ShadowVm;
+class ShadowCache;
+
+// A page resident in a memory object.
+struct ShadowPage {
+  SegOffset offset = 0;
+  FrameIndex frame = kInvalidFrame;
+  bool dirty = false;
+  // Reverse mappings, as in the PVM (needed for protection downgrades).
+  struct Mapping {
+    AsId as;
+    Vaddr va;
+    RegionImpl* region;
+  };
+  std::vector<Mapping> mappings;
+};
+
+// Where a memory object finds pages it does not hold: the next object down the
+// shadow chain, with an offset translation.
+struct ShadowLink {
+  class MemObject* object = nullptr;
+  SegOffset base = 0;
+
+  ShadowLink Advanced(uint64_t delta) const { return ShadowLink{object, base + delta}; }
+  bool operator==(const ShadowLink&) const = default;
+};
+
+// A Mach-style memory object: pages + backing chain.
+class MemObject {
+ public:
+  MemObject(uint64_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class ShadowVm;
+  friend class ShadowCache;
+  friend class ObjectIo;
+
+  uint64_t id_;
+  std::string name_;
+  std::map<SegOffset, ShadowPage> pages_;
+  FragmentMap<ShadowLink> backing_;
+  SegmentDriver* driver_ = nullptr;  // root objects of permanent segments only
+  bool temporary_ = true;
+};
+
+class ShadowCache final : public Cache {
+ public:
+  ShadowCache(ShadowVm& vm, CacheId id, std::string name, SegmentDriver* driver);
+  ~ShadowCache() override;
+
+  CacheId id() const override { return id_; }
+  const std::string& name() const override { return name_; }
+  SegmentDriver* driver() const override;
+
+  Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
+                CopyPolicy policy) override;
+  Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) override;
+  Status Read(SegOffset offset, void* buffer, size_t size) override;
+  Status Write(SegOffset offset, const void* buffer, size_t size) override;
+  Status Destroy() override;
+
+  Status FillUp(SegOffset offset, const void* data, size_t size,
+                Prot max_prot = Prot::kAll) override;
+  Status FillZero(SegOffset offset, size_t size) override;
+  Status CopyBack(SegOffset offset, void* buffer, size_t size) override;
+  Status MoveBack(SegOffset offset, void* buffer, size_t size) override;
+  Status Flush() override;
+  Status Sync() override;
+  Status Invalidate(SegOffset offset, size_t size) override;
+  Status SetProtection(SegOffset offset, size_t size, Prot max_prot) override;
+  Status LockInMemory(SegOffset offset, size_t size) override;
+  Status Unlock(SegOffset offset, size_t size) override;
+
+  size_t ResidentPages() const override;
+  size_t MappingCount() const override;
+
+  // Length of the shadow chain below this cache (for the fork-chain benchmarks).
+  size_t ChainDepth() const;
+
+ private:
+  friend class ShadowVm;
+
+  ShadowVm& vm_;
+  const CacheId id_;
+  std::string name_;
+  // "The actual reference of a particular cache changes dynamically as it is
+  // copied" — the paper's problem 2 with this design.
+  MemObject* top_ = nullptr;
+  size_t mapping_count_ = 0;
+};
+
+class ShadowVm final : public BaseMm {
+ public:
+  struct Options {
+    // Run the shadow-collapse garbage collector after destroys (Mach's behaviour;
+    // disabling it shows unbounded chain growth in the ablation bench).
+    bool collapse_shadows = true;
+  };
+
+  ShadowVm(PhysicalMemory& memory, Mmu& mmu) : ShadowVm(memory, mmu, Options{}) {}
+  ShadowVm(PhysicalMemory& memory, Mmu& mmu, Options options);
+  ~ShadowVm() override;
+
+  Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) override;
+  const char* name() const override { return "ShadowVm(Mach)"; }
+
+  size_t CacheCount() const;
+  size_t ObjectCount() const;
+
+ protected:
+  Status ResolveFault(RegionImpl& region, const PageFault& fault,
+                      SegOffset page_offset) override;
+  void OnRegionMapped(RegionImpl& region) override;
+  void OnRegionUnmapping(RegionImpl& region) override;
+  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override;
+  void OnRegionProtection(RegionImpl& region) override;
+  Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) override;
+  Status OnRegionUnlock(RegionImpl& region) override;
+
+ private:
+  friend class ShadowCache;
+  friend class ObjectIo;
+
+  MemObject* NewObject(std::string name);
+
+  // Find the current value of (object, offset) down the chain.  Returns the
+  // owning object and page, or (root, nullptr) when absent everywhere.
+  struct ChainHit {
+    MemObject* object = nullptr;
+    ShadowPage* page = nullptr;
+    SegOffset offset = 0;
+    size_t depth = 0;
+  };
+  ChainHit ChainLookup(MemObject& start, SegOffset offset);
+
+  // Materialize a page in `object` with the given bytes (nullptr = zero).
+  Result<ShadowPage*> MakePage(MemObject& object, SegOffset offset, const std::byte* bytes,
+                               bool dirty);
+  void DropPage(MemObject& object, ShadowPage& page);
+
+  // Get the value bytes for (object, offset), pulling from the root driver if
+  // needed.  Lock held; may release it around the upcall.
+  Result<const std::byte*> ResolveBytes(std::unique_lock<std::mutex>& lock, MemObject& start,
+                                        SegOffset offset, ShadowPage** owner_page,
+                                        MemObject** owner);
+
+  Status CopyRange(std::unique_lock<std::mutex>& lock, ShadowCache& src, SegOffset src_off,
+                   ShadowCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy);
+
+  // Reference bookkeeping + the shadow-chain garbage collector.
+  bool ObjectReferenced(const MemObject& object) const;
+  void ReapUnreferenced(MemObject* object);
+  void CollapseChains();
+
+  void ProtectObjectRange(MemObject& object, SegOffset offset, size_t size);
+
+  Status CacheAccess(std::unique_lock<std::mutex>& lock, ShadowCache& cache, SegOffset offset,
+                     void* buffer, size_t size, bool write);
+
+  Options options_;
+  CacheId next_cache_id_ = 1;
+  uint64_t next_object_id_ = 1;
+  std::unordered_map<CacheId, std::unique_ptr<ShadowCache>> caches_;
+  std::unordered_map<uint64_t, std::unique_ptr<MemObject>> objects_;
+  std::unordered_map<RegionImpl*, std::map<Vaddr, std::pair<MemObject*, SegOffset>>>
+      region_maps_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_SHADOW_SHADOW_VM_H_

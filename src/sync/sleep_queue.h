@@ -1,0 +1,44 @@
+// Keyed sleep/wakeup queues — the "simple synchronization interface" the host
+// kernel must provide to the memory manager (paper section 2).
+//
+// The PVM uses these for synchronization page stubs: while a pullIn or pushOut is
+// in transit for some (cache, page), any concurrent access to that page sleeps on
+// the key and is woken when the transfer completes (section 4.1.2).
+#ifndef GVM_SRC_SYNC_SLEEP_QUEUE_H_
+#define GVM_SRC_SYNC_SLEEP_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace gvm {
+
+class SleepQueue {
+ public:
+  // Blocks until WakeAll(key) is called.  `lock` must be held on entry; it is
+  // released while sleeping and reacquired before returning (classic kernel
+  // sleep semantics).  Spurious wakeups are possible: callers re-check state.
+  void Wait(uint64_t key, std::unique_lock<std::mutex>& lock);
+
+  // Wakes every thread sleeping on `key`.  The caller should hold the same mutex
+  // the sleepers used, but this is not enforced.
+  void WakeAll(uint64_t key);
+
+  // Number of threads currently asleep on any key (for tests).
+  size_t SleeperCount() const;
+
+ private:
+  struct Waiters {
+    std::condition_variable cv;
+    int count = 0;
+    uint64_t generation = 0;
+  };
+
+  mutable std::mutex table_mutex_;
+  std::unordered_map<uint64_t, Waiters> table_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_SYNC_SLEEP_QUEUE_H_

@@ -1,0 +1,34 @@
+// Page/alignment arithmetic helpers shared by the MMU models and the memory managers.
+#ifndef GVM_SRC_UTIL_ALIGN_H_
+#define GVM_SRC_UTIL_ALIGN_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace gvm {
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  assert(IsPowerOfTwo(alignment));
+  return value & ~(alignment - 1);
+}
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  assert(IsPowerOfTwo(alignment));
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return AlignDown(value, alignment) == value;
+}
+
+// Number of pages needed to cover `size` bytes.
+constexpr uint64_t PagesFor(uint64_t size, uint64_t page_size) {
+  return AlignUp(size, page_size) / page_size;
+}
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_UTIL_ALIGN_H_

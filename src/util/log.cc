@@ -1,0 +1,52 @@
+#include "src/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace gvm {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kError)};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void LogLine(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), line.c_str());
+}
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << (base != nullptr ? base + 1 : file) << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() { LogLine(level_, stream_.str()); }
+
+}  // namespace log_internal
+
+}  // namespace gvm

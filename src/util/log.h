@@ -1,0 +1,44 @@
+// Tiny leveled logger.  Off by default so benchmarks stay quiet; tests and the
+// examples turn it up to watch fault handling and history-tree surgery.
+#ifndef GVM_SRC_UTIL_LOG_H_
+#define GVM_SRC_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace gvm {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+// Global log threshold; messages above it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Sink for a fully formatted line (adds its own newline).
+void LogLine(LogLevel level, const std::string& line);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define GVM_LOG(level)                                              \
+  if (static_cast<int>(::gvm::GetLogLevel()) <                      \
+      static_cast<int>(::gvm::LogLevel::k##level)) {                \
+  } else                                                            \
+    ::gvm::log_internal::LogMessage(::gvm::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_UTIL_LOG_H_

@@ -1,0 +1,68 @@
+// A minimal Result<T> (value-or-Status) for fallible operations, in the spirit of
+// zx::result / absl::StatusOr.  Kernel-style code: no exceptions, explicit checks.
+#ifndef GVM_SRC_UTIL_RESULT_H_
+#define GVM_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace gvm {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites terse:
+  //   Result<Frame> f = Status::kNoMemory;     // error
+  //   Result<Frame> f = frame;                 // success
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(status) {                            // NOLINT
+    assert(status != Status::kOk && "use the value constructor for success");
+  }
+
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate an error Status from an expression returning Status.
+#define GVM_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::gvm::Status gvm_status_ = (expr);          \
+    if (gvm_status_ != ::gvm::Status::kOk) {     \
+      return gvm_status_;                        \
+    }                                            \
+  } while (0)
+
+// Assign the value of a Result expression or propagate its error.
+#define GVM_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto gvm_result_##__LINE__ = (expr);        \
+  if (!gvm_result_##__LINE__.ok()) {          \
+    return gvm_result_##__LINE__.status();    \
+  }                                           \
+  lhs = std::move(gvm_result_##__LINE__.value())
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_UTIL_RESULT_H_

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random generator for workload generators and property tests.
+// SplitMix64: tiny, fast, and reproducible across platforms (unlike std::mt19937
+// distributions, whose results may differ between standard library versions).
+#ifndef GVM_SRC_UTIL_RNG_H_
+#define GVM_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace gvm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).  bound must be nonzero.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_UTIL_RNG_H_

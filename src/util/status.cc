@@ -1,0 +1,41 @@
+#include "src/util/status.h"
+
+namespace gvm {
+
+std::string_view StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "kOk";
+    case Status::kNoMemory:
+      return "kNoMemory";
+    case Status::kNoSwap:
+      return "kNoSwap";
+    case Status::kSegmentationFault:
+      return "kSegmentationFault";
+    case Status::kProtectionFault:
+      return "kProtectionFault";
+    case Status::kBusError:
+      return "kBusError";
+    case Status::kInvalidArgument:
+      return "kInvalidArgument";
+    case Status::kNotFound:
+      return "kNotFound";
+    case Status::kAlreadyExists:
+      return "kAlreadyExists";
+    case Status::kOutOfRange:
+      return "kOutOfRange";
+    case Status::kPermissionDenied:
+      return "kPermissionDenied";
+    case Status::kBusy:
+      return "kBusy";
+    case Status::kLocked:
+      return "kLocked";
+    case Status::kUnsupported:
+      return "kUnsupported";
+    case Status::kRetry:
+      return "kRetry";
+  }
+  return "<unknown>";
+}
+
+}  // namespace gvm

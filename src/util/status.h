@@ -1,0 +1,47 @@
+// Status codes used across the whole memory-management stack.
+//
+// The GMI paper (section 3.3) notes that logical errors (out-of-bounds offsets
+// and the like) are checked by the upper layers of the kernel, while resource
+// exhaustion and faults cause error returns from the memory manager.  We model
+// both kinds with a single small enum: kernels do not throw.
+#ifndef GVM_SRC_UTIL_STATUS_H_
+#define GVM_SRC_UTIL_STATUS_H_
+
+#include <string_view>
+
+namespace gvm {
+
+enum class Status {
+  kOk = 0,
+  // Resource exhaustion.
+  kNoMemory,        // no free page frames / descriptor space
+  kNoSwap,          // backing store full
+  // Faults surfaced to the caller (the simulated "exceptions" of section 4.1.2).
+  kSegmentationFault,  // no region covers the faulting address
+  kProtectionFault,    // region protection forbids the access
+  kBusError,           // mapper could not provide the data (I/O error analogue)
+  // Logical errors (normally filtered by the upper layers; returned, not asserted,
+  // so that tests can probe the boundaries).
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kPermissionDenied,  // capability check failed
+  // State errors.
+  kBusy,       // e.g. destroying a cache with active mappings
+  kLocked,     // operation conflicts with lockInMemory
+  kUnsupported,
+  // Internal to the memory managers: the operation blocked (slept on an in-transit
+  // page, or dropped the manager lock to evict/pull in) and must be re-driven from
+  // re-derived state.  Never escapes a public GMI entry point.
+  kRetry,
+};
+
+// Human-readable name, for logs and test failure messages.
+std::string_view StatusName(Status s);
+
+inline bool IsOk(Status s) { return s == Status::kOk; }
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_UTIL_STATUS_H_

@@ -1,0 +1,183 @@
+// BaseMm: context/region machinery shared by the three GMI implementations.
+//
+// The paper's GMI operations on contexts and regions (Table 2) are policy-free —
+// finding the region for a fault address, splitting, sorted region lists — so the
+// PVM, the Mach-style shadow baseline and the minimal real-time MM share this code
+// and differ only in cache implementation and fault resolution, which are the
+// subclass hooks below.
+//
+// Locking: one manager-wide mutex (`mu_`).  Public GMI entry points and the fault
+// handler acquire it; subclass hooks are called with it held.  Subclasses must
+// release it (via the guard they own) around upcalls to segment drivers.
+#ifndef GVM_SRC_VMBASE_BASE_MM_H_
+#define GVM_SRC_VMBASE_BASE_MM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gmi/memory_manager.h"
+#include "src/hal/cpu.h"
+#include "src/hal/mmu.h"
+#include "src/hal/phys_memory.h"
+
+namespace gvm {
+
+class BaseMm;
+
+// Concrete Region shared by all managers.
+class RegionImpl final : public Region {
+ public:
+  RegionImpl(BaseMm& mm, class ContextImpl& context, Vaddr start, uint64_t size, Prot prot,
+             Cache& cache, SegOffset offset);
+
+  Result<Region*> Split(uint64_t offset) override;
+  Status SetProtection(Prot prot) override;
+  Status LockInMemory() override;
+  Status Unlock() override;
+  RegionStatus GetStatus() const override;
+  Status Destroy() override;
+
+  // Accessors used by the managers (with the MM lock held).
+  Vaddr start() const { return start_; }
+  uint64_t size() const { return size_; }
+  Vaddr end() const { return start_ + size_; }
+  Prot prot() const { return prot_; }
+  Cache& cache() const { return *cache_; }
+  SegOffset offset() const { return offset_; }
+  bool locked() const { return locked_; }
+  ContextImpl& context() const { return context_; }
+
+  bool Contains(Vaddr va) const { return va >= start_ && va < start_ + size_; }
+  // Segment offset corresponding to a virtual address inside the region.
+  SegOffset OffsetOf(Vaddr va) const { return offset_ + (va - start_); }
+  // Virtual address corresponding to a segment offset, if the offset falls inside
+  // the window this region maps.
+  bool VaOf(SegOffset seg_offset, Vaddr* out) const;
+
+ private:
+  friend class BaseMm;
+
+  BaseMm& mm_;
+  ContextImpl& context_;
+  Vaddr start_;
+  uint64_t size_;
+  Prot prot_;
+  Cache* cache_;
+  SegOffset offset_;
+  bool locked_ = false;
+};
+
+// Concrete Context shared by all managers.
+class ContextImpl final : public Context {
+ public:
+  ContextImpl(BaseMm& mm, AsId as);
+  ~ContextImpl() override;
+
+  std::vector<RegionStatus> GetRegionList() const override;
+  Result<Region*> FindRegion(Vaddr va) override;
+  void Switch() override;
+  Status Destroy() override;
+  AsId address_space() const override { return as_; }
+
+ private:
+  friend class BaseMm;
+  friend class RegionImpl;
+
+  // Find with the MM lock already held.
+  RegionImpl* FindRegionLocked(Vaddr va);
+
+  BaseMm& mm_;
+  AsId as_;
+  // Regions sorted by start address (the paper's per-context sorted region list).
+  std::map<Vaddr, std::unique_ptr<RegionImpl>> regions_;
+};
+
+class BaseMm : public MemoryManager {
+ public:
+  BaseMm(PhysicalMemory& memory, Mmu& mmu);
+  ~BaseMm() override;
+
+  // ---- MemoryManager ----
+  Result<Context*> ContextCreate() override;
+  Result<Region*> RegionCreate(Context& context, Vaddr address, uint64_t size, Prot prot,
+                               Cache& cache, SegOffset offset) override;
+  void BindSegmentRegistry(SegmentRegistry* registry) override { registry_ = registry; }
+  Cpu& cpu() override { return cpu_; }
+  const MmStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = MmStats{}; }
+
+  // ---- FaultHandler ----
+  Status HandleFault(const PageFault& fault) override;
+
+  PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
+  Mmu& mmu() { return mmu_; }
+  const Mmu& mmu() const { return mmu_; }
+  size_t page_size() const { return memory_.page_size(); }
+
+  // Number of live contexts (for leak checks in tests).
+  size_t ContextCount() const;
+
+ protected:
+  // ---- Subclass hooks (MM lock held unless noted) ----
+
+  // Resolve one page fault: `page_offset` is the page-aligned offset of the fault
+  // within the region's cache.  kOk means "mapping installed, retry the access".
+  virtual Status ResolveFault(RegionImpl& region, const PageFault& fault,
+                              SegOffset page_offset) = 0;
+
+  // A region was mapped over `cache` / is about to be unmapped.  Subclasses track
+  // mapping counts and tear down MMU state for resident pages (O(resident), never
+  // O(region size) — the size-independence property of section 4.1).
+  virtual void OnRegionMapped(RegionImpl& region) = 0;
+  virtual void OnRegionUnmapping(RegionImpl& region) = 0;
+
+  // `first` was split; `second` is the new upper half.  Subclasses migrate their
+  // per-region bookkeeping (mapped-page tables) for addresses now owned by `second`.
+  virtual void OnRegionSplit(RegionImpl& first, RegionImpl& second) = 0;
+
+  // Apply a protection change to the pages of `region` currently in the MMU.
+  virtual void OnRegionProtection(RegionImpl& region) = 0;
+
+  // Pin / unpin the region's pages (lockInMemory may need to fault pages in, so it
+  // may release and retake the lock via `lock`).
+  virtual Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) = 0;
+  virtual Status OnRegionUnlock(RegionImpl& region) = 0;
+
+  // Re-derive the region for a fault after the lock was dropped (the region may
+  // have been destroyed or replaced in the meantime).  Lock must be held.
+  RegionImpl* RelookupRegion(const PageFault& fault);
+
+  std::mutex& mu() { return mu_; }
+  SegmentRegistry* registry() { return registry_; }
+  MmStats& mutable_stats() { return stats_; }
+  ContextImpl* current_context() { return current_context_; }
+
+  // Stats bump helpers used by subclasses.
+  void CountFault(const PageFault& fault);
+
+ private:
+  friend class ContextImpl;
+  friend class RegionImpl;
+
+  Status DestroyContextLocked(ContextImpl& context);
+  Status DestroyRegionLocked(RegionImpl& region);
+  Result<Region*> SplitRegionLocked(RegionImpl& region, uint64_t offset);
+
+  PhysicalMemory& memory_;
+  Mmu& mmu_;
+  Cpu cpu_;
+  SegmentRegistry* registry_ = nullptr;
+  mutable std::mutex mu_;
+  std::unordered_map<AsId, std::unique_ptr<ContextImpl>> contexts_;
+  ContextImpl* current_context_ = nullptr;
+  MmStats stats_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_VMBASE_BASE_MM_H_

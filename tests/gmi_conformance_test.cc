@@ -1,0 +1,312 @@
+// GMI conformance suite: the behavioural contract of the Generic Memory
+// management Interface (Tables 1, 2, 4), run against every implementation —
+// PVM, the Mach-style shadow baseline, and the minimal real-time MM.  This is the
+// "replaceable unit" property (section 5.2) as a parameterized test battery:
+// clients written against the GMI must observe identical semantics on all three.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/minimal/minimal_mm.h"
+#include "src/pvm/paged_vm.h"
+#include "src/shadow/shadow_vm.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+enum class Impl { kPvm, kShadow, kMinimal };
+
+struct ConformanceWorld {
+  std::unique_ptr<PhysicalMemory> memory;
+  std::unique_ptr<SoftMmu> mmu;
+  std::unique_ptr<MemoryManager> mm;
+  std::unique_ptr<TestSwapRegistry> registry;
+};
+
+ConformanceWorld MakeWorld(Impl impl) {
+  ConformanceWorld world;
+  world.memory = std::make_unique<PhysicalMemory>(512, kPage);
+  world.mmu = std::make_unique<SoftMmu>(kPage);
+  switch (impl) {
+    case Impl::kPvm:
+      world.mm = std::make_unique<PagedVm>(*world.memory, *world.mmu);
+      break;
+    case Impl::kShadow:
+      world.mm = std::make_unique<ShadowVm>(*world.memory, *world.mmu);
+      break;
+    case Impl::kMinimal:
+      world.mm = std::make_unique<MinimalVm>(*world.memory, *world.mmu);
+      break;
+  }
+  world.registry = std::make_unique<TestSwapRegistry>(kPage);
+  world.mm->BindSegmentRegistry(world.registry.get());
+  return world;
+}
+
+class GmiConformanceTest : public ::testing::TestWithParam<Impl> {
+ protected:
+  GmiConformanceTest() : world_(MakeWorld(GetParam())) {
+    context_ = *world_.mm->ContextCreate();
+  }
+
+  MemoryManager& mm() { return *world_.mm; }
+  Cpu& cpu() { return world_.mm->cpu(); }
+
+  ConformanceWorld world_;
+  Context* context_;
+};
+
+// ---- Table 2: contexts and regions ----
+
+TEST_P(GmiConformanceTest, ContextCreateGivesEmptyAddressSpace) {
+  Context* fresh = *mm().ContextCreate();
+  EXPECT_TRUE(fresh->GetRegionList().empty());
+  char c;
+  EXPECT_EQ(cpu().Read(fresh->address_space(), 0x1000, &c, 1), Status::kSegmentationFault);
+  EXPECT_EQ(fresh->Destroy(), Status::kOk);
+}
+
+TEST_P(GmiConformanceTest, RegionStatusReportsWhatWasCreated) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  Region* region =
+      *mm().RegionCreate(*context_, 0x20000, 3 * kPage, Prot::kReadWrite, *cache, kPage);
+  RegionStatus status = region->GetStatus();
+  EXPECT_EQ(status.address, 0x20000u);
+  EXPECT_EQ(status.size, 3 * kPage);
+  EXPECT_EQ(status.protection, Prot::kReadWrite);
+  EXPECT_EQ(status.cache, cache);
+  EXPECT_EQ(status.offset, kPage);
+  EXPECT_FALSE(status.locked);
+}
+
+TEST_P(GmiConformanceTest, FindRegionLocatesByAddress) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  Region* region =
+      *mm().RegionCreate(*context_, 0x20000, 2 * kPage, Prot::kRead, *cache, 0);
+  EXPECT_EQ(*context_->FindRegion(0x20000), region);
+  EXPECT_EQ(*context_->FindRegion(0x20000 + 2 * kPage - 1), region);
+  EXPECT_FALSE(context_->FindRegion(0x20000 + 2 * kPage).ok());
+  EXPECT_FALSE(context_->FindRegion(0x1FFFF).ok());
+}
+
+TEST_P(GmiConformanceTest, SplitNeverHappensSpontaneously) {
+  // "Splitting never occurs spontaneously; this allows the upper layers to keep
+  // track easily of the status of a region."
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  Region* region =
+      *mm().RegionCreate(*context_, 0x20000, 4 * kPage, Prot::kReadWrite, *cache, 0);
+  uint32_t v = 5;
+  ASSERT_EQ(cpu().Write(context_->address_space(), 0x20000 + kPage, &v, sizeof(v)),
+            Status::kOk);
+  EXPECT_EQ(context_->GetRegionList().size(), 1u);
+  Region* upper = *region->Split(2 * kPage);
+  EXPECT_EQ(context_->GetRegionList().size(), 2u);
+  EXPECT_EQ(upper->GetStatus().offset, 2 * kPage);
+}
+
+TEST_P(GmiConformanceTest, DestroyedRegionFaults) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  Region* region =
+      *mm().RegionCreate(*context_, 0x20000, kPage, Prot::kReadWrite, *cache, 0);
+  uint32_t v = 1;
+  ASSERT_EQ(cpu().Write(context_->address_space(), 0x20000, &v, sizeof(v)), Status::kOk);
+  ASSERT_EQ(region->Destroy(), Status::kOk);
+  EXPECT_EQ(cpu().Read(context_->address_space(), 0x20000, &v, sizeof(v)),
+            Status::kSegmentationFault);
+}
+
+TEST_P(GmiConformanceTest, LockInMemoryThenAccessWithoutFaults) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  Region* region =
+      *mm().RegionCreate(*context_, 0x20000, 2 * kPage, Prot::kReadWrite, *cache, 0);
+  ASSERT_EQ(region->LockInMemory(), Status::kOk);
+  uint64_t faults = cpu().stats().faults_taken;
+  uint32_t v = 9;
+  ASSERT_EQ(cpu().Write(context_->address_space(), 0x20000 + kPage, &v, sizeof(v)),
+            Status::kOk);
+  EXPECT_EQ(cpu().stats().faults_taken, faults);  // pinned: no faults
+  EXPECT_TRUE(region->GetStatus().locked);
+  ASSERT_EQ(region->Unlock(), Status::kOk);
+}
+
+TEST_P(GmiConformanceTest, RegionsOfDifferentProtectionViaSplit) {
+  // "In order to set different attributes on parts of a region, it can be split
+  // in two using the split operation."
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  Region* region =
+      *mm().RegionCreate(*context_, 0x20000, 2 * kPage, Prot::kReadWrite, *cache, 0);
+  Region* upper = *region->Split(kPage);
+  ASSERT_EQ(upper->SetProtection(Prot::kRead), Status::kOk);
+  AsId as = context_->address_space();
+  uint32_t v = 3;
+  EXPECT_EQ(cpu().Write(as, 0x20000, &v, sizeof(v)), Status::kOk);
+  EXPECT_EQ(cpu().Write(as, 0x20000 + kPage, &v, sizeof(v)), Status::kProtectionFault);
+  EXPECT_EQ(cpu().Read(as, 0x20000 + kPage, &v, sizeof(v)), Status::kOk);
+}
+
+// ---- Table 1: segment access ----
+
+TEST_P(GmiConformanceTest, ExplicitReadWriteRoundTrip) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  const char msg[] = "explicit access";
+  ASSERT_EQ(cache->Write(kPage + 100, msg, sizeof(msg)), Status::kOk);
+  char buffer[sizeof(msg)] = {};
+  ASSERT_EQ(cache->Read(kPage + 100, buffer, sizeof(buffer)), Status::kOk);
+  EXPECT_STREQ(buffer, msg);
+}
+
+TEST_P(GmiConformanceTest, UnifiedCacheMappedAndExplicitAgree) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  ASSERT_TRUE(mm().RegionCreate(*context_, 0x20000, kPage, Prot::kReadWrite, *cache, 0).ok());
+  AsId as = context_->address_space();
+  uint32_t v = 0xABCD;
+  ASSERT_EQ(cpu().Write(as, 0x20000 + 8, &v, sizeof(v)), Status::kOk);
+  uint32_t through_cache = 0;
+  ASSERT_EQ(cache->Read(8, &through_cache, sizeof(through_cache)), Status::kOk);
+  EXPECT_EQ(through_cache, v);
+  uint32_t w = 0xEF01;
+  ASSERT_EQ(cache->Write(16, &w, sizeof(w)), Status::kOk);
+  uint32_t through_map = 0;
+  ASSERT_EQ(cpu().Read(as, 0x20000 + 16, &through_map, sizeof(through_map)), Status::kOk);
+  EXPECT_EQ(through_map, w);
+}
+
+TEST_P(GmiConformanceTest, CopySemanticsForEveryPolicy) {
+  for (CopyPolicy policy : {CopyPolicy::kEager, CopyPolicy::kHistory,
+                            CopyPolicy::kHistoryOnRef, CopyPolicy::kPerPage,
+                            CopyPolicy::kAuto}) {
+    Cache* src = *mm().CacheCreate(nullptr, "src");
+    Cache* dst = *mm().CacheCreate(nullptr, "dst");
+    std::vector<char> data(2 * kPage);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<char>('a' + i % 26);
+    }
+    ASSERT_EQ(src->Write(0, data.data(), data.size()), Status::kOk);
+    ASSERT_EQ(src->CopyTo(*dst, 0, 0, data.size(), policy), Status::kOk);
+    // The copy is isolated in both directions, whatever the deferral mechanism.
+    char x = 'X';
+    ASSERT_EQ(src->Write(0, &x, 1), Status::kOk);
+    ASSERT_EQ(dst->Write(kPage, &x, 1), Status::kOk);
+    std::vector<char> got(data.size());
+    ASSERT_EQ(dst->Read(0, got.data(), got.size()), Status::kOk);
+    EXPECT_EQ(got[0], data[0]) << "policy " << static_cast<int>(policy);
+    EXPECT_EQ(got[kPage], 'X') << "policy " << static_cast<int>(policy);
+    std::vector<char> src_got(data.size());
+    ASSERT_EQ(src->Read(0, src_got.data(), src_got.size()), Status::kOk);
+    EXPECT_EQ(src_got[0], 'X');
+    EXPECT_EQ(src_got[kPage], data[kPage]);
+    ASSERT_EQ(dst->Destroy(), Status::kOk);
+    ASSERT_EQ(src->Destroy(), Status::kOk);
+  }
+}
+
+TEST_P(GmiConformanceTest, MoveLeavesSourceUndefinedAndDestinationDefined) {
+  Cache* src = *mm().CacheCreate(nullptr, "src");
+  Cache* dst = *mm().CacheCreate(nullptr, "dst");
+  std::vector<char> data(kPage, 'm');
+  ASSERT_EQ(src->Write(0, data.data(), data.size()), Status::kOk);
+  ASSERT_EQ(src->MoveTo(*dst, 0, 0, kPage), Status::kOk);
+  char c = 0;
+  ASSERT_EQ(dst->Read(0, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 'm');
+}
+
+// ---- Table 4: cache management ----
+
+TEST_P(GmiConformanceTest, FillUpPrefetchesData) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  std::vector<char> page(kPage, 'f');
+  ASSERT_EQ(cache->FillUp(0, page.data(), page.size()), Status::kOk);
+  char c = 0;
+  ASSERT_EQ(cache->Read(10, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 'f');
+}
+
+TEST_P(GmiConformanceTest, CopyBackObservesCurrentContents) {
+  Cache* cache = *mm().CacheCreate(nullptr, "c");
+  const char msg[] = "copyBack sees me";
+  ASSERT_EQ(cache->Write(0, msg, sizeof(msg)), Status::kOk);
+  std::vector<char> out(kPage);
+  ASSERT_EQ(cache->CopyBack(0, out.data(), kPage), Status::kOk);
+  EXPECT_STREQ(out.data(), msg);
+}
+
+TEST_P(GmiConformanceTest, SyncThroughDriverAndFlushDiscard) {
+  TestStoreDriver driver(kPage);
+  Cache* cache = *mm().CacheCreate(&driver, "file");
+  const char msg[] = "persist";
+  ASSERT_EQ(cache->Write(0, msg, sizeof(msg)), Status::kOk);
+  ASSERT_EQ(cache->Sync(), Status::kOk);
+  EXPECT_GE(driver.push_outs, 1);
+  ASSERT_TRUE(driver.HasPage(0));
+  EXPECT_EQ(std::memcmp(driver.PageData(0).data(), msg, sizeof(msg)), 0);
+  // After a flush, reads come back from the segment.
+  ASSERT_EQ(cache->Flush(), Status::kOk);
+  char buffer[sizeof(msg)] = {};
+  ASSERT_EQ(cache->Read(0, buffer, sizeof(buffer)), Status::kOk);
+  EXPECT_STREQ(buffer, msg);
+}
+
+TEST_P(GmiConformanceTest, DriverBackedMappedAccess) {
+  TestStoreDriver driver(kPage);
+  std::vector<char> file(2 * kPage, 'd');
+  driver.Preload(0, file.data(), file.size());
+  Cache* cache = *mm().CacheCreate(&driver, "file");
+  ASSERT_TRUE(mm().RegionCreate(*context_, 0x30000, 2 * kPage, Prot::kRead, *cache, 0).ok());
+  char c = 0;
+  ASSERT_EQ(cpu().Read(context_->address_space(), 0x30000 + kPage, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 'd');
+  EXPECT_GE(driver.pull_ins, 1);
+}
+
+TEST_P(GmiConformanceTest, ManyRegionsManyContexts) {
+  // "a given segment may be mapped into any number of regions, allocated to any
+  // number of contexts."
+  Cache* cache = *mm().CacheCreate(nullptr, "shared");
+  std::vector<Context*> contexts;
+  for (int i = 0; i < 4; ++i) {
+    Context* ctx = *mm().ContextCreate();
+    contexts.push_back(ctx);
+    ASSERT_TRUE(
+        mm().RegionCreate(*ctx, 0x20000 + i * 0x10000, kPage, Prot::kReadWrite, *cache, 0)
+            .ok());
+  }
+  uint32_t v = 0x42;
+  ASSERT_EQ(cpu().Write(contexts[0]->address_space(), 0x20000, &v, sizeof(v)), Status::kOk);
+  for (int i = 1; i < 4; ++i) {
+    uint32_t got = 0;
+    ASSERT_EQ(cpu().Read(contexts[i]->address_space(), 0x20000 + i * 0x10000, &got,
+                         sizeof(got)),
+              Status::kOk);
+    EXPECT_EQ(got, v) << "context " << i;
+  }
+  for (Context* ctx : contexts) {
+    ASSERT_EQ(ctx->Destroy(), Status::kOk);
+  }
+}
+
+std::string ImplName(const ::testing::TestParamInfo<Impl>& info) {
+  switch (info.param) {
+    case Impl::kPvm:
+      return "Pvm";
+    case Impl::kShadow:
+      return "Shadow";
+    case Impl::kMinimal:
+      return "Minimal";
+  }
+  return "?";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, GmiConformanceTest,
+                         ::testing::Values(Impl::kPvm, Impl::kShadow, Impl::kMinimal),
+                         ImplName);
+
+}  // namespace
+}  // namespace gvm

@@ -1,0 +1,347 @@
+// Property-based differential tests: random copy/write/read/destroy schedules are
+// driven simultaneously through each memory manager and a trivial deep-copy
+// reference model; every read must agree byte-for-byte.  This is the strongest
+// check that the deferred-copy machinery (history trees, working objects, per-page
+// stubs, shadow chains) is semantically invisible — the paper's core claim.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hal/hash_mmu.h"
+#include "src/hal/soft_mmu.h"
+#include "src/minimal/minimal_mm.h"
+#include "src/pvm/paged_vm.h"
+#include "src/shadow/shadow_vm.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+constexpr size_t kSegPages = 8;          // each model segment covers 8 pages
+constexpr size_t kSegBytes = kSegPages * kPage;
+
+// The reference: segments are plain byte arrays; every copy is a deep copy.
+class RefModel {
+ public:
+  int Create() {
+    segs_[next_] = std::vector<std::byte>(kSegBytes);
+    return next_++;
+  }
+  void Destroy(int id) { segs_.erase(id); }
+  void Write(int id, size_t off, const void* data, size_t size) {
+    std::memcpy(segs_[id].data() + off, data, size);
+  }
+  void Read(int id, size_t off, void* data, size_t size) {
+    std::memcpy(data, segs_[id].data() + off, size);
+  }
+  void Copy(int src, size_t src_off, int dst, size_t dst_off, size_t size) {
+    std::memmove(segs_[dst].data() + dst_off, segs_[src].data() + src_off, size);
+  }
+
+ private:
+  int next_ = 0;
+  std::map<int, std::vector<std::byte>> segs_;
+};
+
+enum class MmKind { kPvm, kPvmHashMmu, kPvmSmallMemory, kShadow, kMinimal };
+
+struct World {
+  std::unique_ptr<PhysicalMemory> memory;
+  std::unique_ptr<Mmu> mmu;
+  std::unique_ptr<MemoryManager> mm;
+  std::unique_ptr<TestSwapRegistry> registry;
+  PagedVm* pvm = nullptr;  // set when the MM is a PagedVm (for CheckInvariants)
+};
+
+World MakeWorld(MmKind kind) {
+  World world;
+  world.registry = std::make_unique<TestSwapRegistry>(kPage);
+  switch (kind) {
+    case MmKind::kPvm: {
+      world.memory = std::make_unique<PhysicalMemory>(2048, kPage);
+      world.mmu = std::make_unique<SoftMmu>(kPage);
+      auto pvm = std::make_unique<PagedVm>(*world.memory, *world.mmu);
+      world.pvm = pvm.get();
+      world.mm = std::move(pvm);
+      break;
+    }
+    case MmKind::kPvmHashMmu: {
+      world.memory = std::make_unique<PhysicalMemory>(2048, kPage);
+      world.mmu = std::make_unique<HashMmu>(kPage);
+      auto pvm = std::make_unique<PagedVm>(*world.memory, *world.mmu);
+      world.pvm = pvm.get();
+      world.mm = std::move(pvm);
+      break;
+    }
+    case MmKind::kPvmSmallMemory: {
+      // Heavy memory pressure: constant page-out traffic through the swap
+      // registry while the same schedule runs.
+      world.memory = std::make_unique<PhysicalMemory>(24, kPage);
+      world.mmu = std::make_unique<SoftMmu>(kPage);
+      PagedVm::Options options;
+      options.low_water_frames = 3;
+      options.high_water_frames = 6;
+      auto pvm = std::make_unique<PagedVm>(*world.memory, *world.mmu, options);
+      world.pvm = pvm.get();
+      world.mm = std::move(pvm);
+      break;
+    }
+    case MmKind::kShadow: {
+      world.memory = std::make_unique<PhysicalMemory>(4096, kPage);
+      world.mmu = std::make_unique<SoftMmu>(kPage);
+      world.mm = std::make_unique<ShadowVm>(*world.memory, *world.mmu);
+      break;
+    }
+    case MmKind::kMinimal: {
+      world.memory = std::make_unique<PhysicalMemory>(4096, kPage);
+      world.mmu = std::make_unique<SoftMmu>(kPage);
+      world.mm = std::make_unique<MinimalVm>(*world.memory, *world.mmu);
+      break;
+    }
+  }
+  world.mm->BindSegmentRegistry(world.registry.get());
+  return world;
+}
+
+struct Param {
+  MmKind kind;
+  uint64_t seed;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DifferentialTest, RandomScheduleMatchesReferenceModel) {
+  const Param param = GetParam();
+  World world = MakeWorld(param.kind);
+  RefModel ref;
+  Rng rng(param.seed);
+
+  std::map<int, Cache*> live;
+  int created = 0;
+  auto create = [&] {
+    int id = ref.Create();
+    live[id] = *world.mm->CacheCreate(nullptr, "seg" + std::to_string(id));
+    ++created;
+    return id;
+  };
+  create();
+
+  const CopyPolicy kPolicies[] = {CopyPolicy::kEager, CopyPolicy::kHistory,
+                                  CopyPolicy::kHistoryOnRef, CopyPolicy::kPerPage,
+                                  CopyPolicy::kAuto};
+
+  for (int step = 0; step < 300; ++step) {
+    uint64_t roll = rng.Below(100);
+    auto pick = [&]() -> int {
+      auto it = live.begin();
+      std::advance(it, rng.Below(live.size()));
+      return it->first;
+    };
+    if (live.empty() || (roll < 10 && live.size() < 8)) {
+      create();
+    } else if (roll < 40) {
+      // Random write: arbitrary offset/length.
+      int id = pick();
+      size_t off = rng.Below(kSegBytes - 1);
+      size_t size = 1 + rng.Below(std::min<size_t>(kSegBytes - off, 3 * kPage));
+      std::vector<std::byte> data(size);
+      for (auto& b : data) {
+        b = static_cast<std::byte>(rng.Below(256));
+      }
+      ASSERT_EQ(live[id]->Write(off, data.data(), size), Status::kOk) << "step " << step;
+      ref.Write(id, off, data.data(), size);
+    } else if (roll < 70 && live.size() >= 2) {
+      // Page-aligned copy with a random policy (deferred policies need alignment).
+      int src = pick();
+      int dst = pick();
+      if (src == dst) {
+        continue;
+      }
+      size_t pages = 1 + rng.Below(kSegPages);
+      size_t src_page = rng.Below(kSegPages - pages + 1);
+      size_t dst_page = rng.Below(kSegPages - pages + 1);
+      CopyPolicy policy = kPolicies[rng.Below(std::size(kPolicies))];
+      ASSERT_EQ(live[src]->CopyTo(*live[dst], src_page * kPage, dst_page * kPage,
+                                  pages * kPage, policy),
+                Status::kOk)
+          << "step " << step;
+      ref.Copy(src, src_page * kPage, dst, dst_page * kPage, pages * kPage);
+    } else if (roll < 85) {
+      // Random read, compared byte for byte.
+      int id = pick();
+      size_t off = rng.Below(kSegBytes - 1);
+      size_t size = 1 + rng.Below(std::min<size_t>(kSegBytes - off, 3 * kPage));
+      std::vector<std::byte> got(size);
+      std::vector<std::byte> want(size);
+      ASSERT_EQ(live[id]->Read(off, got.data(), size), Status::kOk) << "step " << step;
+      ref.Read(id, off, want.data(), size);
+      ASSERT_EQ(std::memcmp(got.data(), want.data(), size), 0)
+          << "divergence at step " << step << " seg " << id << " off " << off;
+    } else if (roll < 95 && live.size() > 1) {
+      int id = pick();
+      ASSERT_EQ(live[id]->Destroy(), Status::kOk) << "step " << step;
+      live.erase(id);
+      ref.Destroy(id);
+    } else {
+      // Full-segment audit of a random segment.
+      int id = pick();
+      std::vector<std::byte> got(kSegBytes);
+      std::vector<std::byte> want(kSegBytes);
+      ASSERT_EQ(live[id]->Read(0, got.data(), kSegBytes), Status::kOk);
+      ref.Read(id, 0, want.data(), kSegBytes);
+      ASSERT_EQ(std::memcmp(got.data(), want.data(), kSegBytes), 0)
+          << "audit divergence at step " << step << " seg " << id;
+    }
+    if (world.pvm != nullptr && step % 50 == 49) {
+      ASSERT_EQ(world.pvm->CheckInvariants(), Status::kOk) << "step " << step;
+    }
+  }
+  // Final audit of everything.
+  for (auto& [id, cache] : live) {
+    std::vector<std::byte> got(kSegBytes);
+    std::vector<std::byte> want(kSegBytes);
+    ASSERT_EQ(cache->Read(0, got.data(), kSegBytes), Status::kOk);
+    ref.Read(id, 0, want.data(), kSegBytes);
+    ASSERT_EQ(std::memcmp(got.data(), want.data(), kSegBytes), 0) << "final audit seg " << id;
+  }
+  if (world.pvm != nullptr) {
+    ASSERT_EQ(world.pvm->CheckInvariants(), Status::kOk);
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string kind;
+  switch (info.param.kind) {
+    case MmKind::kPvm:
+      kind = "Pvm";
+      break;
+    case MmKind::kPvmHashMmu:
+      kind = "PvmHashMmu";
+      break;
+    case MmKind::kPvmSmallMemory:
+      kind = "PvmSmallMemory";
+      break;
+    case MmKind::kShadow:
+      kind = "Shadow";
+      break;
+    case MmKind::kMinimal:
+      kind = "Minimal";
+      break;
+  }
+  return kind + "Seed" + std::to_string(info.param.seed);
+}
+
+std::vector<Param> AllParams() {
+  std::vector<Param> params;
+  for (MmKind kind : {MmKind::kPvm, MmKind::kPvmHashMmu, MmKind::kPvmSmallMemory,
+                      MmKind::kShadow, MmKind::kMinimal}) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      params.push_back(Param{kind, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, DifferentialTest, ::testing::ValuesIn(AllParams()),
+                         ParamName);
+
+// ---------------------------------------------------------------------------
+// Mapped-access differential test (PVM): fork-like context trees under pressure.
+// ---------------------------------------------------------------------------
+
+class MappedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MappedDifferentialTest, ForkWriteReadSchedules) {
+  Rng rng(GetParam());
+  PhysicalMemory memory(48, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 4;
+  options.high_water_frames = 8;
+  options.per_page_threshold_pages = 2;  // exercise both techniques
+  PagedVm vm(memory, mmu, options);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+
+  constexpr Vaddr kBase = 0x100000;
+  constexpr size_t kPages = 6;
+
+  struct Proc {
+    Context* context;
+    Cache* cache;
+    Region* region;
+    std::vector<std::byte> model;  // reference copy of the address space
+  };
+  std::vector<std::unique_ptr<Proc>> procs;
+
+  auto spawn = [&](Proc* parent) {
+    auto proc = std::make_unique<Proc>();
+    proc->context = *vm.ContextCreate();
+    proc->cache = *vm.CacheCreate(nullptr, "p" + std::to_string(procs.size()));
+    if (parent != nullptr) {
+      CopyPolicy policy = rng.Chance(1, 2) ? CopyPolicy::kHistory : CopyPolicy::kPerPage;
+      EXPECT_EQ(parent->cache->CopyTo(*proc->cache, 0, 0, kPages * kPage, policy),
+                Status::kOk);
+      proc->model = parent->model;
+    } else {
+      proc->model.resize(kPages * kPage);
+    }
+    proc->region = *vm.RegionCreate(*proc->context, kBase, kPages * kPage, Prot::kReadWrite,
+                                    *proc->cache, 0);
+    procs.push_back(std::move(proc));
+  };
+  spawn(nullptr);
+
+  for (int step = 0; step < 400; ++step) {
+    uint64_t roll = rng.Below(100);
+    Proc* proc = procs[rng.Below(procs.size())].get();
+    if (roll < 10 && procs.size() < 6) {
+      spawn(proc);  // fork
+    } else if (roll < 55) {
+      // Mapped write of a small random span.
+      size_t off = rng.Below(kPages * kPage - 8);
+      uint64_t value = rng.Next();
+      ASSERT_EQ(vm.cpu().Write(proc->context->address_space(), kBase + off, &value, 8),
+                Status::kOk)
+          << "step " << step;
+      std::memcpy(proc->model.data() + off, &value, 8);
+    } else if (roll < 90) {
+      // Mapped read compared against the model.
+      size_t off = rng.Below(kPages * kPage - 8);
+      uint64_t got = 0;
+      ASSERT_EQ(vm.cpu().Read(proc->context->address_space(), kBase + off, &got, 8),
+                Status::kOk)
+          << "step " << step;
+      uint64_t want = 0;
+      std::memcpy(&want, proc->model.data() + off, 8);
+      ASSERT_EQ(got, want) << "step " << step << " off " << off;
+    } else if (procs.size() > 1) {
+      // Exit: tear down a random process.
+      size_t index = rng.Below(procs.size());
+      Proc* victim = procs[index].get();
+      ASSERT_EQ(victim->context->Destroy(), Status::kOk);
+      ASSERT_EQ(victim->cache->Destroy(), Status::kOk);
+      procs.erase(procs.begin() + index);
+    }
+  }
+  ASSERT_EQ(vm.CheckInvariants(), Status::kOk);
+  // Final audit: every process sees exactly its model.
+  for (auto& proc : procs) {
+    std::vector<std::byte> got(kPages * kPage);
+    ASSERT_EQ(vm.cpu().Read(proc->context->address_space(), kBase, got.data(), got.size()),
+              Status::kOk);
+    ASSERT_EQ(std::memcmp(got.data(), proc->model.data(), got.size()), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappedDifferentialTest, ::testing::Range<uint64_t>(1, 9),
+                         [](const auto& info) { return "Seed" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace gvm

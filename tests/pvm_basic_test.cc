@@ -1,0 +1,413 @@
+// PVM fundamentals: contexts, regions, demand-zero, pull-in/push-out, explicit
+// cache I/O (the unified cache of section 3.2), region split/protect/lock, and the
+// size-independence property of section 4.1.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/pvm/paged_vm.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+class PvmBasicTest : public ::testing::Test {
+ protected:
+  PvmBasicTest()
+      : memory_(64, kPage),
+        mmu_(kPage),
+        vm_(memory_, mmu_),
+        registry_(kPage),
+        driver_(kPage) {
+    vm_.BindSegmentRegistry(&registry_);
+    context_ = *vm_.ContextCreate();
+  }
+
+  Context* context_ptr() { return context_; }
+
+  PhysicalMemory memory_;
+  SoftMmu mmu_;
+  PagedVm vm_;
+  TestSwapRegistry registry_;
+  TestStoreDriver driver_;
+  Context* context_ = nullptr;
+};
+
+TEST_F(PvmBasicTest, DemandZeroRegion) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  Region* region = *vm_.RegionCreate(*context_, 0x10000, 4 * kPage, Prot::kReadWrite,
+                                     *cache, 0);
+  ASSERT_NE(region, nullptr);
+
+  AsId as = context_->address_space();
+  // Reads of untouched memory are zero.
+  uint64_t value = 1;
+  ASSERT_EQ(vm_.cpu().Read(as, 0x10000, &value, sizeof(value)), Status::kOk);
+  EXPECT_EQ(value, 0u);
+  // Writes stick.
+  value = 0x1122334455667788ull;
+  ASSERT_EQ(vm_.cpu().Write(as, 0x10000 + kPage, &value, sizeof(value)), Status::kOk);
+  uint64_t back = 0;
+  ASSERT_EQ(vm_.cpu().Read(as, 0x10000 + kPage, &back, sizeof(back)), Status::kOk);
+  EXPECT_EQ(back, value);
+  EXPECT_GE(vm_.stats().page_faults, 2u);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, SegmentationFaultOutsideRegions) {
+  char c = 0;
+  EXPECT_EQ(vm_.cpu().Read(context_->address_space(), 0xdead0000, &c, 1),
+            Status::kSegmentationFault);
+}
+
+TEST_F(PvmBasicTest, RegionProtectionIsEnforced) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  Region* region =
+      *vm_.RegionCreate(*context_, 0x10000, kPage, Prot::kRead, *cache, 0);
+  AsId as = context_->address_space();
+  char c = 0;
+  EXPECT_EQ(vm_.cpu().Read(as, 0x10000, &c, 1), Status::kOk);
+  EXPECT_EQ(vm_.cpu().Write(as, 0x10000, &c, 1), Status::kProtectionFault);
+  // Raising the protection makes the write possible.
+  ASSERT_EQ(region->SetProtection(Prot::kReadWrite), Status::kOk);
+  EXPECT_EQ(vm_.cpu().Write(as, 0x10000, &c, 1), Status::kOk);
+  // Lowering it re-protects already-mapped pages.
+  ASSERT_EQ(region->SetProtection(Prot::kRead), Status::kOk);
+  EXPECT_EQ(vm_.cpu().Write(as, 0x10000, &c, 1), Status::kProtectionFault);
+}
+
+TEST_F(PvmBasicTest, RegionCreateRejectsOverlapAndMisalignment) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  ASSERT_TRUE(vm_.RegionCreate(*context_, 0x10000, 2 * kPage, Prot::kRead, *cache, 0).ok());
+  EXPECT_EQ(vm_.RegionCreate(*context_, 0x10000 + kPage, kPage, Prot::kRead, *cache, 0)
+                .status(),
+            Status::kAlreadyExists);
+  EXPECT_EQ(vm_.RegionCreate(*context_, 0x10001, kPage, Prot::kRead, *cache, 0).status(),
+            Status::kInvalidArgument);
+  EXPECT_EQ(vm_.RegionCreate(*context_, 0x20000, kPage / 2, Prot::kRead, *cache, 0).status(),
+            Status::kInvalidArgument);
+  EXPECT_EQ(vm_.RegionCreate(*context_, 0x20000, 0, Prot::kRead, *cache, 0).status(),
+            Status::kInvalidArgument);
+}
+
+TEST_F(PvmBasicTest, PullInFromSegmentDriver) {
+  std::vector<char> file_data(2 * kPage);
+  for (size_t i = 0; i < file_data.size(); ++i) {
+    file_data[i] = static_cast<char>('A' + (i % 26));
+  }
+  driver_.Preload(0, file_data.data(), file_data.size());
+
+  Cache* cache = *vm_.CacheCreate(&driver_, "file");
+  ASSERT_TRUE(vm_.RegionCreate(*context_, 0x40000, 2 * kPage, Prot::kRead, *cache, 0).ok());
+  AsId as = context_->address_space();
+  std::vector<char> read_back(file_data.size());
+  ASSERT_EQ(vm_.cpu().Read(as, 0x40000, read_back.data(), read_back.size()), Status::kOk);
+  EXPECT_EQ(read_back, file_data);
+  EXPECT_EQ(driver_.pull_ins, 2);
+  // Re-reading hits the cache: no more upcalls.
+  ASSERT_EQ(vm_.cpu().Read(as, 0x40000, read_back.data(), read_back.size()), Status::kOk);
+  EXPECT_EQ(driver_.pull_ins, 2);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, PullInFailureSurfacesAsBusError) {
+  driver_.fail_pull_in = true;
+  Cache* cache = *vm_.CacheCreate(&driver_, "file");
+  ASSERT_TRUE(vm_.RegionCreate(*context_, 0x40000, kPage, Prot::kRead, *cache, 0).ok());
+  char c = 0;
+  EXPECT_EQ(vm_.cpu().Read(context_->address_space(), 0x40000, &c, 1), Status::kBusError);
+  EXPECT_EQ(vm_.SyncStubCount(), 0u);  // the stub was cleaned up
+}
+
+TEST_F(PvmBasicTest, UnifiedCacheExplicitAndMappedAccessAgree) {
+  // The dual-caching problem of section 3.2 cannot occur: mapped writes are
+  // visible through explicit reads and vice versa, with no flush in between.
+  Cache* cache = *vm_.CacheCreate(&driver_, "file");
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x50000, kPage, Prot::kReadWrite, *cache, 0).ok());
+  AsId as = context_->address_space();
+
+  const char via_map[] = "written through the mapping";
+  ASSERT_EQ(vm_.cpu().Write(as, 0x50000, via_map, sizeof(via_map)), Status::kOk);
+  char via_cache[sizeof(via_map)] = {};
+  ASSERT_EQ(cache->Read(0, via_cache, sizeof(via_cache)), Status::kOk);
+  EXPECT_STREQ(via_cache, via_map);
+
+  const char via_copy[] = "written through cache.write";
+  ASSERT_EQ(cache->Write(100, via_copy, sizeof(via_copy)), Status::kOk);
+  char back[sizeof(via_copy)] = {};
+  ASSERT_EQ(vm_.cpu().Read(as, 0x50000 + 100, back, sizeof(back)), Status::kOk);
+  EXPECT_STREQ(back, via_copy);
+}
+
+TEST_F(PvmBasicTest, RegionSplitKeepsBothHalvesWorking) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  Region* region =
+      *vm_.RegionCreate(*context_, 0x60000, 4 * kPage, Prot::kReadWrite, *cache, 0);
+  AsId as = context_->address_space();
+  // Touch a page in each half before splitting.
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x60000, 0xaaaa), Status::kOk);
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x60000 + 3 * kPage, 0xbbbb), Status::kOk);
+
+  Region* upper = *region->Split(2 * kPage);
+  RegionStatus lower_status = region->GetStatus();
+  RegionStatus upper_status = upper->GetStatus();
+  EXPECT_EQ(lower_status.size, 2 * kPage);
+  EXPECT_EQ(upper_status.address, 0x60000 + 2 * kPage);
+  EXPECT_EQ(upper_status.offset, 2 * kPage);
+
+  // Both halves still read their data.
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(as, 0x60000), 0xaaaau);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(as, 0x60000 + 3 * kPage), 0xbbbbu);
+
+  // Protections become independent.
+  ASSERT_EQ(upper->SetProtection(Prot::kRead), Status::kOk);
+  EXPECT_EQ(vm_.cpu().Store<uint32_t>(as, 0x60000 + 3 * kPage, 1), Status::kProtectionFault);
+  EXPECT_EQ(vm_.cpu().Store<uint32_t>(as, 0x60000, 1), Status::kOk);
+
+  // Destroying one half leaves the other intact.
+  ASSERT_EQ(upper->Destroy(), Status::kOk);
+  EXPECT_EQ(vm_.cpu().Load<uint32_t>(as, 0x60000 + 3 * kPage).status(),
+            Status::kSegmentationFault);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(as, 0x60000), 1u);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, SplitValidation) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  Region* region =
+      *vm_.RegionCreate(*context_, 0x60000, 2 * kPage, Prot::kRead, *cache, 0);
+  EXPECT_EQ(region->Split(0).status(), Status::kInvalidArgument);
+  EXPECT_EQ(region->Split(2 * kPage).status(), Status::kInvalidArgument);
+  EXPECT_EQ(region->Split(kPage / 2).status(), Status::kInvalidArgument);
+}
+
+TEST_F(PvmBasicTest, GetRegionListIsSorted) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  ASSERT_TRUE(vm_.RegionCreate(*context_, 0x30000, kPage, Prot::kRead, *cache, 0).ok());
+  ASSERT_TRUE(vm_.RegionCreate(*context_, 0x10000, kPage, Prot::kRead, *cache, kPage).ok());
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x20000, kPage, Prot::kRead, *cache, 2 * kPage).ok());
+  auto list = context_->GetRegionList();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].address, 0x10000u);
+  EXPECT_EQ(list[1].address, 0x20000u);
+  EXPECT_EQ(list[2].address, 0x30000u);
+}
+
+TEST_F(PvmBasicTest, ContextDestroyReclaimsEverything) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x10000, 4 * kPage, Prot::kReadWrite, *cache, 0).ok());
+  AsId as = context_->address_space();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x10000 + i * kPage, i), Status::kOk);
+  }
+  size_t used_before = memory_.used_frames();
+  EXPECT_GE(used_before, 4u);
+  ASSERT_EQ(context_->Destroy(), Status::kOk);
+  context_ = *vm_.ContextCreate();
+  // The cache still holds the pages (regions only unmap); destroy it too.
+  ASSERT_EQ(cache->Destroy(), Status::kOk);
+  EXPECT_EQ(memory_.used_frames(), 0u);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, CacheDestroyWhileMappedIsBusy) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  Region* region = *vm_.RegionCreate(*context_, 0x10000, kPage, Prot::kRead, *cache, 0);
+  EXPECT_EQ(cache->Destroy(), Status::kBusy);
+  ASSERT_EQ(region->Destroy(), Status::kOk);
+  EXPECT_EQ(cache->Destroy(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, SharedCacheBetweenContexts) {
+  // "A given segment may be mapped into any number of regions, allocated to any
+  // number of contexts" (section 3.2).
+  Cache* cache = *vm_.CacheCreate(nullptr, "shared");
+  Context* other = *vm_.ContextCreate();
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x10000, kPage, Prot::kReadWrite, *cache, 0).ok());
+  ASSERT_TRUE(vm_.RegionCreate(*other, 0x90000, kPage, Prot::kReadWrite, *cache, 0).ok());
+
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(context_->address_space(), 0x10000, 0xfeed),
+            Status::kOk);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(other->address_space(), 0x90000), 0xfeedu);
+  // And the other way.
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(other->address_space(), 0x90000, 0xf00d), Status::kOk);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(context_->address_space(), 0x10000), 0xf00du);
+  ASSERT_EQ(other->Destroy(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, WindowedMappingUsesRegionOffset) {
+  // A region may be "a window into part of" a segment.
+  Cache* cache = *vm_.CacheCreate(&driver_, "file");
+  std::vector<char> data(4 * kPage);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i / kPage + 1);
+  }
+  driver_.Preload(0, data.data(), data.size());
+  // Map only pages 2..3 of the segment.
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x70000, 2 * kPage, Prot::kRead, *cache, 2 * kPage).ok());
+  char c = 0;
+  ASSERT_EQ(vm_.cpu().Read(context_->address_space(), 0x70000, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 3);  // page index 2 has value 3
+}
+
+TEST_F(PvmBasicTest, SizeIndependenceOfSparseRegions) {
+  // Section 4.1: structures scale with resident memory, not with region size.
+  Cache* cache = *vm_.CacheCreate(nullptr, "huge");
+  const uint64_t kHuge = 1ull << 40;  // 1 TiB region
+  Region* region = *vm_.RegionCreate(*context_, 0x100000, kHuge, Prot::kReadWrite, *cache, 0);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(vm_.GlobalMapEntries(), 0u);
+  EXPECT_EQ(memory_.used_frames(), 0u);
+  // Touch three scattered pages.
+  AsId as = context_->address_space();
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x100000, 1), Status::kOk);
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x100000 + (1ull << 30), 2), Status::kOk);
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x100000 + (1ull << 39), 3), Status::kOk);
+  EXPECT_EQ(vm_.GlobalMapEntries(), 3u);
+  EXPECT_EQ(memory_.used_frames(), 3u);
+  // Destroying the region is O(resident), and works.
+  ASSERT_EQ(region->Destroy(), Status::kOk);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, LockInMemoryPreventsEviction) {
+  // Small memory + pageout enabled; a locked region's pages must survive pressure.
+  PhysicalMemory small(8, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 2;
+  options.high_water_frames = 3;
+  PagedVm vm(small, mmu, options);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+  Context* ctx = *vm.ContextCreate();
+  Cache* locked_cache = *vm.CacheCreate(nullptr, "locked");
+  Cache* churn_cache = *vm.CacheCreate(nullptr, "churn");
+  Region* locked =
+      *vm.RegionCreate(*ctx, 0x10000, 2 * kPage, Prot::kReadWrite, *locked_cache, 0);
+  ASSERT_TRUE(
+      vm.RegionCreate(*ctx, 0x80000, 16 * kPage, Prot::kReadWrite, *churn_cache, 0).ok());
+
+  AsId as = ctx->address_space();
+  ASSERT_EQ(vm.cpu().Store<uint32_t>(as, 0x10000, 0x11), Status::kOk);
+  ASSERT_EQ(vm.cpu().Store<uint32_t>(as, 0x10000 + kPage, 0x22), Status::kOk);
+  ASSERT_EQ(locked->LockInMemory(), Status::kOk);
+
+  // Churn through more memory than exists.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(vm.cpu().Store<uint32_t>(as, 0x80000 + i * kPage, i), Status::kOk);
+  }
+  // The locked pages never faulted out: accesses must not call the fault handler.
+  uint64_t faults_before = vm.stats().page_faults;
+  EXPECT_EQ(*vm.cpu().Load<uint32_t>(as, 0x10000), 0x11u);
+  EXPECT_EQ(*vm.cpu().Load<uint32_t>(as, 0x10000 + kPage), 0x22u);
+  EXPECT_EQ(vm.stats().page_faults, faults_before);
+
+  ASSERT_EQ(locked->Unlock(), Status::kOk);
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, PageOutAndBackThroughSwap) {
+  PhysicalMemory small(6, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 2;
+  options.high_water_frames = 3;
+  PagedVm vm(small, mmu, options);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+  Context* ctx = *vm.ContextCreate();
+  Cache* cache = *vm.CacheCreate(nullptr, "anon");
+  ASSERT_TRUE(vm.RegionCreate(*ctx, 0x10000, 12 * kPage, Prot::kReadWrite, *cache, 0).ok());
+  AsId as = ctx->address_space();
+  // Write 12 pages into 6 frames of memory: page-out must kick in.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(vm.cpu().Store<uint32_t>(as, 0x10000 + i * kPage, 0xC0DE0000 + i), Status::kOk);
+  }
+  EXPECT_GE(vm.stats().pages_paged_out, 6u);
+  EXPECT_GE(registry.segments_created, 1);
+  // Everything reads back correctly (pull-ins from swap).
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(*vm.cpu().Load<uint32_t>(as, 0x10000 + i * kPage), 0xC0DE0000u + i) << i;
+  }
+  EXPECT_GE(vm.stats().pull_ins, 1u);
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmBasicTest, GetWriteAccessUpcallOnReadOnlyFill) {
+  driver_.read_only_fills = true;
+  Cache* cache = *vm_.CacheCreate(&driver_, "coherent");
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x10000, kPage, Prot::kReadWrite, *cache, 0).ok());
+  AsId as = context_->address_space();
+  char c = 0;
+  ASSERT_EQ(vm_.cpu().Read(as, 0x10000, &c, 1), Status::kOk);
+  // Write triggers the getWriteAccess upcall; the driver grants it.
+  ASSERT_EQ(vm_.cpu().Write(as, 0x10000, &c, 1), Status::kOk);
+  EXPECT_EQ(driver_.write_access_requests, 1);
+  // Denied write access surfaces as a protection fault.
+  driver_.grant_write_access = false;
+  Cache* cache2 = *vm_.CacheCreate(&driver_, "coherent2");
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x20000, kPage, Prot::kReadWrite, *cache2, 0).ok());
+  ASSERT_EQ(vm_.cpu().Read(as, 0x20000, &c, 1), Status::kOk);
+  EXPECT_EQ(vm_.cpu().Write(as, 0x20000, &c, 1), Status::kProtectionFault);
+}
+
+TEST_F(PvmBasicTest, FlushPushesDataToSegment) {
+  Cache* cache = *vm_.CacheCreate(&driver_, "file");
+  const char msg[] = "persist me";
+  ASSERT_EQ(cache->Write(0, msg, sizeof(msg)), Status::kOk);
+  EXPECT_EQ(driver_.push_outs, 0);
+  ASSERT_EQ(cache->Sync(), Status::kOk);
+  EXPECT_EQ(driver_.push_outs, 1);
+  ASSERT_TRUE(driver_.HasPage(0));
+  EXPECT_EQ(std::memcmp(driver_.PageData(0).data(), msg, sizeof(msg)), 0);
+  // Sync keeps the page cached; Flush discards it.
+  EXPECT_EQ(cache->ResidentPages(), 1u);
+  ASSERT_EQ(cache->Flush(), Status::kOk);
+  EXPECT_EQ(cache->ResidentPages(), 0u);
+  // Data still readable (pull-in).
+  char back[sizeof(msg)] = {};
+  ASSERT_EQ(cache->Read(0, back, sizeof(back)), Status::kOk);
+  EXPECT_STREQ(back, msg);
+}
+
+TEST_F(PvmBasicTest, InvalidateDiscardsWithoutSaving) {
+  Cache* cache = *vm_.CacheCreate(&driver_, "file");
+  const char original[] = "original";
+  driver_.Preload(0, original, sizeof(original));
+  const char modified[] = "modified";
+  ASSERT_EQ(cache->Write(0, modified, sizeof(modified)), Status::kOk);
+  ASSERT_EQ(cache->Invalidate(0, kPage), Status::kOk);
+  char back[sizeof(original)] = {};
+  ASSERT_EQ(cache->Read(0, back, sizeof(back)), Status::kOk);
+  EXPECT_STREQ(back, original);  // the modification was dropped
+}
+
+TEST_F(PvmBasicTest, HardOutOfMemoryWithoutPager) {
+  PhysicalMemory tiny(2, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 0;  // no pager
+  PagedVm vm(tiny, mmu, options);
+  Context* ctx = *vm.ContextCreate();
+  Cache* cache = *vm.CacheCreate(nullptr, "anon");
+  ASSERT_TRUE(vm.RegionCreate(*ctx, 0x10000, 4 * kPage, Prot::kReadWrite, *cache, 0).ok());
+  AsId as = ctx->address_space();
+  ASSERT_EQ(vm.cpu().Store<uint32_t>(as, 0x10000, 1), Status::kOk);
+  ASSERT_EQ(vm.cpu().Store<uint32_t>(as, 0x10000 + kPage, 2), Status::kOk);
+  EXPECT_EQ(vm.cpu().Store<uint32_t>(as, 0x10000 + 2 * kPage, 3), Status::kNoMemory);
+}
+
+}  // namespace
+}  // namespace gvm

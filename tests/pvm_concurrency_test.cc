@@ -1,0 +1,272 @@
+// Concurrency: the synchronization-page-stub machinery of section 4.1.2 — "While
+// a pullIn or a pushOut operation is in progress, any concurrent access to the
+// fragment is suspended, until the operation terminates" — exercised with an
+// asynchronous mapper and with racing faulting threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/pvm/paged_vm.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+// A driver whose PullIn parks until released, then fills from another thread —
+// the shape of a real disk read completing via interrupt.
+class AsyncDriver final : public SegmentDriver {
+ public:
+  explicit AsyncDriver(size_t page_size) : page_size_(page_size) {}
+
+  Status PullIn(Cache& cache, SegOffset offset, size_t size, Access access) override {
+    (void)access;
+    ++pull_ins;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      pending_ = true;
+      started_.notify_all();
+      released_.wait(lock, [&] { return release_; });
+      release_ = false;
+      pending_ = false;
+    }
+    std::vector<std::byte> data(size, std::byte{'A'});
+    return cache.FillUp(offset, data.data(), data.size());
+  }
+
+  Status GetWriteAccess(Cache&, SegOffset, size_t) override { return Status::kOk; }
+
+  Status PushOut(Cache& cache, SegOffset offset, size_t size) override {
+    std::vector<std::byte> buffer(size);
+    return cache.CopyBack(offset, buffer.data(), size);
+  }
+
+  void WaitForPullInStart() {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_.wait(lock, [&] { return pending_; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    release_ = true;
+    released_.notify_all();
+  }
+
+  std::atomic<int> pull_ins{0};
+
+ private:
+  const size_t page_size_;
+  std::mutex mu_;
+  std::condition_variable started_;
+  std::condition_variable released_;
+  bool pending_ = false;
+  bool release_ = false;
+};
+
+TEST(PvmConcurrencyTest, AccessSleepsOnSyncStubUntilFillArrives) {
+  PhysicalMemory memory(64, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm vm(memory, mmu);
+  AsyncDriver driver(kPage);
+  Cache* cache = *vm.CacheCreate(&driver, "slow");
+  Context* ctx = *vm.ContextCreate();
+  ASSERT_TRUE(vm.RegionCreate(*ctx, 0x10000, kPage, Prot::kRead, *cache, 0).ok());
+
+  std::atomic<bool> first_done{false};
+  std::atomic<bool> second_done{false};
+  std::thread faulting([&] {
+    char c = 0;
+    ASSERT_EQ(vm.cpu().Read(ctx->address_space(), 0x10000, &c, 1), Status::kOk);
+    EXPECT_EQ(c, 'A');
+    first_done = true;
+  });
+  driver.WaitForPullInStart();
+  // A second accessor must find the synchronization stub and sleep on it, not
+  // trigger a second pullIn.
+  std::thread racer([&] {
+    char c = 0;
+    ASSERT_EQ(cache->Read(5, &c, 1), Status::kOk);
+    EXPECT_EQ(c, 'A');
+    second_done = true;
+  });
+  // Give the racer time to reach the stub; neither can have finished.
+  for (int i = 0; i < 50 && vm.SyncStubCount() == 0; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(first_done.load());
+  EXPECT_FALSE(second_done.load());
+  driver.Release();
+  faulting.join();
+  racer.join();
+  EXPECT_EQ(driver.pull_ins.load(), 1);  // the stub absorbed the second access
+  EXPECT_EQ(vm.SyncStubCount(), 0u);
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+TEST(PvmConcurrencyTest, ParallelZeroFillFaultsOnOneCache) {
+  PhysicalMemory memory(512, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm vm(memory, mmu);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+  Cache* cache = *vm.CacheCreate(nullptr, "shared");
+
+  constexpr int kThreads = 4;
+  constexpr int kPagesPerThread = 32;
+  std::vector<std::thread> threads;
+  std::vector<Context*> contexts(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    contexts[t] = *vm.ContextCreate();
+    ASSERT_TRUE(vm.RegionCreate(*contexts[t], 0x10000,
+                                kThreads * kPagesPerThread * kPage, Prot::kReadWrite,
+                                *cache, 0)
+                    .ok());
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      AsId as = contexts[t]->address_space();
+      // Each thread writes its own page range, then reads a neighbour's.
+      for (int i = 0; i < kPagesPerThread; ++i) {
+        uint64_t value = (static_cast<uint64_t>(t) << 32) | i;
+        Vaddr va = 0x10000 + (t * kPagesPerThread + i) * kPage;
+        ASSERT_EQ(vm.cpu().Write(as, va, &value, sizeof(value)), Status::kOk);
+      }
+      for (int i = 0; i < kPagesPerThread; ++i) {
+        uint64_t got = 0;
+        Vaddr va = 0x10000 + (t * kPagesPerThread + i) * kPage;
+        ASSERT_EQ(vm.cpu().Read(as, va, &got, sizeof(got)), Status::kOk);
+        ASSERT_EQ(got, (static_cast<uint64_t>(t) << 32) | i);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Cross-check: all threads see all pages (shared cache).
+  for (int t = 0; t < kThreads; ++t) {
+    for (int u = 0; u < kThreads; ++u) {
+      uint64_t got = 0;
+      Vaddr va = 0x10000 + (u * kPagesPerThread) * kPage;
+      ASSERT_EQ(vm.cpu().Read(contexts[t]->address_space(), va, &got, sizeof(got)),
+                Status::kOk);
+      EXPECT_EQ(got, static_cast<uint64_t>(u) << 32);
+    }
+  }
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+TEST(PvmConcurrencyTest, ConcurrentCowWritersDiverge) {
+  // One source, several copies, all written concurrently through mappings.
+  PhysicalMemory memory(1024, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm vm(memory, mmu);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+
+  constexpr int kCopies = 4;
+  constexpr size_t kPages = 16;
+  Cache* src = *vm.CacheCreate(nullptr, "src");
+  std::vector<char> data(kPage, 's');
+  for (size_t i = 0; i < kPages; ++i) {
+    ASSERT_EQ(src->Write(i * kPage, data.data(), kPage), Status::kOk);
+  }
+  struct Copy {
+    Cache* cache;
+    Context* ctx;
+  };
+  std::vector<Copy> copies(kCopies);
+  for (int i = 0; i < kCopies; ++i) {
+    copies[i].cache = *vm.CacheCreate(nullptr, "copy" + std::to_string(i));
+    ASSERT_EQ(src->CopyTo(*copies[i].cache, 0, 0, kPages * kPage, CopyPolicy::kHistory),
+              Status::kOk);
+    copies[i].ctx = *vm.ContextCreate();
+    ASSERT_TRUE(vm.RegionCreate(*copies[i].ctx, 0x10000, kPages * kPage, Prot::kReadWrite,
+                                *copies[i].cache, 0)
+                    .ok());
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kCopies; ++i) {
+    threads.emplace_back([&, i] {
+      AsId as = copies[i].ctx->address_space();
+      for (size_t p = 0; p < kPages; p += 2) {  // write every other page
+        char v = static_cast<char>('0' + i);
+        ASSERT_EQ(vm.cpu().Write(as, 0x10000 + p * kPage, &v, 1), Status::kOk);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Each copy sees its own writes and the originals elsewhere; the source is
+  // untouched.
+  for (int i = 0; i < kCopies; ++i) {
+    for (size_t p = 0; p < kPages; ++p) {
+      char c = 0;
+      ASSERT_EQ(copies[i].cache->Read(p * kPage, &c, 1), Status::kOk);
+      EXPECT_EQ(c, p % 2 == 0 ? static_cast<char>('0' + i) : 's') << i << " " << p;
+    }
+  }
+  for (size_t p = 0; p < kPages; ++p) {
+    char c = 0;
+    ASSERT_EQ(src->Read(p * kPage, &c, 1), Status::kOk);
+    EXPECT_EQ(c, 's');
+  }
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+TEST(PvmConcurrencyTest, ConcurrentFaultsUnderMemoryPressure) {
+  // Two threads churn through more memory than exists; page-out runs under them.
+  PhysicalMemory memory(32, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 4;
+  options.high_water_frames = 8;
+  PagedVm vm(memory, mmu, options);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+
+  constexpr int kThreads = 2;
+  constexpr size_t kPages = 48;
+  std::vector<std::thread> threads;
+  std::vector<Context*> contexts(kThreads);
+  std::vector<Cache*> caches(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    contexts[t] = *vm.ContextCreate();
+    caches[t] = *vm.CacheCreate(nullptr, "t" + std::to_string(t));
+    ASSERT_TRUE(vm.RegionCreate(*contexts[t], 0x10000, kPages * kPage, Prot::kReadWrite,
+                                *caches[t], 0)
+                    .ok());
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      AsId as = contexts[t]->address_space();
+      for (int round = 0; round < 3; ++round) {
+        for (size_t p = 0; p < kPages; ++p) {
+          uint64_t value = (static_cast<uint64_t>(t) << 40) | (round << 20) | p;
+          ASSERT_EQ(vm.cpu().Write(as, 0x10000 + p * kPage, &value, sizeof(value)),
+                    Status::kOk);
+        }
+        for (size_t p = 0; p < kPages; ++p) {
+          uint64_t got = 0;
+          ASSERT_EQ(vm.cpu().Read(as, 0x10000 + p * kPage, &got, sizeof(got)), Status::kOk);
+          ASSERT_EQ(got, (static_cast<uint64_t>(t) << 40) | (round << 20) | p);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GE(vm.stats().pages_paged_out, 10u);
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+}  // namespace
+}  // namespace gvm

@@ -1,0 +1,333 @@
+// PVM edge cases: interactions between the mechanisms — windows + deferred copies,
+// mixed per-page/history policies on the same caches, locking against copies,
+// move with dependants, swapped-out sources of deferred copies, stressed
+// fragment arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/pvm/paged_vm.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+class PvmEdgeTest : public ::testing::Test {
+ protected:
+  PvmEdgeTest() : memory_(256, kPage), mmu_(kPage), vm_(memory_, mmu_), registry_(kPage) {
+    vm_.BindSegmentRegistry(&registry_);
+    context_ = *vm_.ContextCreate();
+  }
+
+  Cache* MakeFilled(const std::string& name, int pages, char tag) {
+    Cache* cache = *vm_.CacheCreate(nullptr, name);
+    std::vector<char> data(kPage);
+    for (int i = 0; i < pages; ++i) {
+      std::memset(data.data(), tag + i, kPage);
+      EXPECT_EQ(cache->Write(i * kPage, data.data(), kPage), Status::kOk);
+    }
+    return cache;
+  }
+
+  char At(Cache& cache, SegOffset off) {
+    char c = 0;
+    EXPECT_EQ(cache.Read(off, &c, 1), Status::kOk);
+    return c;
+  }
+
+  PhysicalMemory memory_;
+  SoftMmu mmu_;
+  PagedVm vm_;
+  TestSwapRegistry registry_;
+  Context* context_;
+};
+
+TEST_F(PvmEdgeTest, WindowRegionOverDeferredCopy) {
+  // Map a window into the middle of a cache that is itself a deferred copy.
+  Cache* src = MakeFilled("src", 4, 'a');
+  Cache* copy = *vm_.CacheCreate(nullptr, "copy");
+  ASSERT_EQ(src->CopyTo(*copy, 0, 0, 4 * kPage, CopyPolicy::kHistory), Status::kOk);
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x10000, 2 * kPage, Prot::kReadWrite, *copy, kPage).ok());
+  AsId as = context_->address_space();
+  char c = 0;
+  ASSERT_EQ(vm_.cpu().Read(as, 0x10000, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 'b');  // page 1 of the copy, via the window
+  // Write through the window; only the copy diverges.
+  c = 'Z';
+  ASSERT_EQ(vm_.cpu().Write(as, 0x10000 + kPage, &c, 1), Status::kOk);
+  EXPECT_EQ(At(*copy, 2 * kPage), 'Z');
+  EXPECT_EQ(At(*src, 2 * kPage), 'c');
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, MixedPoliciesOnTheSamePair) {
+  // History copy over one range, per-page copy over another, same src -> dst.
+  Cache* src = MakeFilled("src", 6, 'a');
+  Cache* dst = *vm_.CacheCreate(nullptr, "dst");
+  ASSERT_EQ(src->CopyTo(*dst, 0, 0, 3 * kPage, CopyPolicy::kHistory), Status::kOk);
+  ASSERT_EQ(src->CopyTo(*dst, 3 * kPage, 3 * kPage, 3 * kPage, CopyPolicy::kPerPage),
+            Status::kOk);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(At(*dst, i * kPage), static_cast<char>('a' + i)) << i;
+  }
+  // Writes on both sides of both ranges keep everyone isolated.
+  char v = 'X';
+  ASSERT_EQ(src->Write(kPage, &v, 1), Status::kOk);       // history range
+  ASSERT_EQ(src->Write(4 * kPage, &v, 1), Status::kOk);   // per-page range
+  ASSERT_EQ(dst->Write(2 * kPage, &v, 1), Status::kOk);
+  ASSERT_EQ(dst->Write(5 * kPage, &v, 1), Status::kOk);
+  EXPECT_EQ(At(*dst, kPage), 'b');
+  EXPECT_EQ(At(*dst, 4 * kPage), 'e');
+  EXPECT_EQ(At(*src, 2 * kPage), 'c');
+  EXPECT_EQ(At(*src, 5 * kPage), 'f');
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, LockedRegionSurvivesBecomingACopySource) {
+  Cache* cache = MakeFilled("locked", 2, 'a');
+  Region* region =
+      *vm_.RegionCreate(*context_, 0x10000, 2 * kPage, Prot::kReadWrite, *cache, 0);
+  ASSERT_EQ(region->LockInMemory(), Status::kOk);
+  // Copy the locked cache: its pages get COW-protected, but they may not be
+  // evicted and data stays correct.
+  Cache* copy = *vm_.CacheCreate(nullptr, "copy");
+  ASSERT_EQ(cache->CopyTo(*copy, 0, 0, 2 * kPage, CopyPolicy::kHistory), Status::kOk);
+  AsId as = context_->address_space();
+  char v = 'W';
+  // Writing the locked region now takes a COW fault (documented deviation from
+  // hard real-time), but must succeed and preserve the copy's snapshot.
+  ASSERT_EQ(vm_.cpu().Write(as, 0x10000, &v, 1), Status::kOk);
+  EXPECT_EQ(At(*copy, 0), 'a');
+  EXPECT_EQ(At(*cache, 0), 'W');
+  ASSERT_EQ(region->Unlock(), Status::kOk);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, CannotDestroyLockedRegion) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "c");
+  Region* region =
+      *vm_.RegionCreate(*context_, 0x10000, kPage, Prot::kReadWrite, *cache, 0);
+  ASSERT_EQ(region->LockInMemory(), Status::kOk);
+  EXPECT_EQ(region->Destroy(), Status::kLocked);
+  EXPECT_EQ(region->Split(0).status(), Status::kInvalidArgument);
+  ASSERT_EQ(region->Unlock(), Status::kOk);
+  EXPECT_EQ(region->Destroy(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, CacheLevelLockPinsAgainstEviction) {
+  PhysicalMemory small(8, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 2;
+  options.high_water_frames = 3;
+  PagedVm vm(small, mmu, options);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+  Cache* pinned = *vm.CacheCreate(nullptr, "pinned");
+  char v = 'p';
+  ASSERT_EQ(pinned->Write(0, &v, 1), Status::kOk);
+  ASSERT_EQ(pinned->LockInMemory(0, kPage), Status::kOk);
+  Cache* churn = *vm.CacheCreate(nullptr, "churn");
+  std::vector<char> junk(kPage, 'j');
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(churn->Write(i * kPage, junk.data(), kPage), Status::kOk);
+  }
+  EXPECT_EQ(pinned->ResidentPages(), 1u);  // never evicted
+  ASSERT_EQ(pinned->Unlock(0, kPage), Status::kOk);
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, DeferredCopyOfASwappedOutSource) {
+  // The section 4.2 caveat made real: the source's pages are on swap when the
+  // copy is taken and when its values are demanded.
+  PhysicalMemory small(10, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 2;
+  options.high_water_frames = 3;
+  PagedVm vm(small, mmu, options);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+
+  Cache* src = *vm.CacheCreate(nullptr, "src");
+  std::vector<char> data(kPage);
+  for (int i = 0; i < 4; ++i) {
+    std::memset(data.data(), 'a' + i, kPage);
+    ASSERT_EQ(src->Write(i * kPage, data.data(), kPage), Status::kOk);
+  }
+  // Push src out of memory.
+  Cache* churn = *vm.CacheCreate(nullptr, "churn");
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(churn->Write(i * kPage, data.data(), kPage), Status::kOk);
+  }
+  // Copy the (now non-resident) source, then write to it; the copy still sees
+  // the swap-resident originals.
+  Cache* copy = *vm.CacheCreate(nullptr, "copy");
+  ASSERT_EQ(src->CopyTo(*copy, 0, 0, 4 * kPage, CopyPolicy::kHistory), Status::kOk);
+  char v = 'Z';
+  ASSERT_EQ(src->Write(0, &v, 1), Status::kOk);
+  char c = 0;
+  ASSERT_EQ(copy->Read(0, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 'a');
+  ASSERT_EQ(copy->Read(3 * kPage, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 'd');
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, MoveOutFromUnderAHistoryChild) {
+  // Source has a deferred-copy child; then the source's content is moved away.
+  // The child must keep its snapshot (secured before the move).
+  Cache* src = MakeFilled("src", 2, 'a');
+  Cache* child = *vm_.CacheCreate(nullptr, "child");
+  ASSERT_EQ(src->CopyTo(*child, 0, 0, 2 * kPage, CopyPolicy::kHistory), Status::kOk);
+  Cache* sink = *vm_.CacheCreate(nullptr, "sink");
+  ASSERT_EQ(src->MoveTo(*sink, 0, 0, 2 * kPage), Status::kOk);
+  EXPECT_EQ(At(*sink, 0), 'a');
+  EXPECT_EQ(At(*child, 0), 'a');
+  EXPECT_EQ(At(*child, kPage), 'b');
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, ChainedPerPageStubs) {
+  // dst2 copies from dst1 which itself holds stubs onto src: stub chains must
+  // flatten to the shared source page.
+  Cache* src = MakeFilled("src", 1, 'a');
+  Cache* dst1 = *vm_.CacheCreate(nullptr, "dst1");
+  ASSERT_EQ(src->CopyTo(*dst1, 0, 0, kPage, CopyPolicy::kPerPage), Status::kOk);
+  Cache* dst2 = *vm_.CacheCreate(nullptr, "dst2");
+  ASSERT_EQ(dst1->CopyTo(*dst2, 0, 0, kPage, CopyPolicy::kPerPage), Status::kOk);
+  EXPECT_EQ(At(*dst2, 0), 'a');
+  char v = 'X';
+  ASSERT_EQ(src->Write(0, &v, 1), Status::kOk);
+  EXPECT_EQ(At(*dst1, 0), 'a');
+  EXPECT_EQ(At(*dst2, 0), 'a');
+  EXPECT_EQ(At(*src, 0), 'X');
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, SelfCopyWithinACacheIsEager) {
+  Cache* cache = MakeFilled("c", 3, 'a');
+  // Overlapping self-copy must behave like memmove.
+  ASSERT_EQ(cache->CopyTo(*cache, 0, kPage, 2 * kPage, CopyPolicy::kHistory), Status::kOk);
+  EXPECT_EQ(At(*cache, 0), 'a');
+  EXPECT_EQ(At(*cache, kPage), 'a');
+  EXPECT_EQ(At(*cache, 2 * kPage), 'b');
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, MutualCopiesBetweenTwoCaches) {
+  // A then B, B then A — the walk crosses both parent lists without cycling.
+  Cache* a = MakeFilled("A", 2, 'a');
+  Cache* b = MakeFilled("B", 2, 'p');
+  ASSERT_EQ(a->CopyTo(*b, 0, 0, kPage, CopyPolicy::kHistory), Status::kOk);
+  ASSERT_EQ(b->CopyTo(*a, kPage, kPage, kPage, CopyPolicy::kHistory), Status::kOk);
+  EXPECT_EQ(At(*b, 0), 'a');      // from A
+  EXPECT_EQ(At(*a, kPage), 'q');  // from B page 1
+  char v = '!';
+  ASSERT_EQ(a->Write(0, &v, 1), Status::kOk);
+  ASSERT_EQ(b->Write(kPage, &v, 1), Status::kOk);
+  EXPECT_EQ(At(*b, 0), 'a');
+  EXPECT_EQ(At(*a, kPage), 'q');
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, RandomFragmentCopyStress) {
+  // Dense random sub-page-range copies across a small cache population, checked
+  // against a byte-level model (like the property test but with unaligned eager
+  // ranges interleaved with aligned deferred ones, same seed both sides).
+  constexpr size_t kBytes = 6 * kPage;
+  Rng rng(2024);
+  std::vector<std::vector<char>> model(4, std::vector<char>(kBytes, 0));
+  std::vector<Cache*> caches;
+  for (int i = 0; i < 4; ++i) {
+    caches.push_back(*vm_.CacheCreate(nullptr, "s" + std::to_string(i)));
+  }
+  for (int step = 0; step < 120; ++step) {
+    int op = static_cast<int>(rng.Below(3));
+    int x = static_cast<int>(rng.Below(4));
+    int y = static_cast<int>(rng.Below(4));
+    if (op == 0) {
+      size_t off = rng.Below(kBytes - 64);
+      char v = static_cast<char>(rng.Below(256));
+      std::vector<char> chunk(1 + rng.Below(64), v);
+      ASSERT_EQ(caches[x]->Write(off, chunk.data(), chunk.size()), Status::kOk);
+      std::memcpy(model[x].data() + off, chunk.data(), chunk.size());
+    } else if (op == 1 && x != y) {
+      // Aligned deferred copy.
+      size_t pages = 1 + rng.Below(3);
+      size_t sp = rng.Below(6 - pages + 1);
+      size_t dp = rng.Below(6 - pages + 1);
+      CopyPolicy policy = rng.Chance(1, 2) ? CopyPolicy::kHistory : CopyPolicy::kPerPage;
+      ASSERT_EQ(caches[x]->CopyTo(*caches[y], sp * kPage, dp * kPage, pages * kPage, policy),
+                Status::kOk);
+      std::memmove(model[y].data() + dp * kPage, model[x].data() + sp * kPage,
+                   pages * kPage);
+    } else if (x != y) {
+      // Unaligned eager copy.
+      size_t size = 1 + rng.Below(2 * kPage);
+      size_t sp = rng.Below(kBytes - size);
+      size_t dp = rng.Below(kBytes - size);
+      ASSERT_EQ(caches[x]->CopyTo(*caches[y], sp, dp, size, CopyPolicy::kEager), Status::kOk);
+      std::memmove(model[y].data() + dp, model[x].data() + sp, size);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::vector<char> got(kBytes);
+    ASSERT_EQ(caches[i]->Read(0, got.data(), kBytes), Status::kOk);
+    ASSERT_EQ(std::memcmp(got.data(), model[i].data(), kBytes), 0) << "cache " << i;
+  }
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, HugeOffsetsDeepInTheSegment) {
+  // Segments are large and sparse: offsets far beyond 4 GiB work.
+  Cache* cache = *vm_.CacheCreate(nullptr, "deep");
+  const SegOffset kDeep = (1ull << 42) + 7 * kPage;
+  char v = 'D';
+  ASSERT_EQ(cache->Write(kDeep, &v, 1), Status::kOk);
+  EXPECT_EQ(At(*cache, kDeep), 'D');
+  EXPECT_EQ(cache->ResidentPages(), 1u);
+  // Deferred-copy the deep fragment to offset 0 of another cache.
+  Cache* copy = *vm_.CacheCreate(nullptr, "copy");
+  ASSERT_EQ(cache->CopyTo(*copy, kDeep - 7, 0, kPage, CopyPolicy::kEager), Status::kOk);
+  EXPECT_EQ(At(*copy, 7), 'D');
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, DestroyWithDependentsKeepsDataReachable) {
+  Cache* src = MakeFilled("src", 1, 'a');
+  Cache* copy = *vm_.CacheCreate(nullptr, "copy");
+  ASSERT_EQ(src->CopyTo(*copy, 0, 0, kPage, CopyPolicy::kHistory), Status::kOk);
+  // Destroy invalidates the handle: the cache either dies in place (kept for the
+  // copy) or is collapsed into it — either way the copy's data survives.
+  ASSERT_EQ(src->Destroy(), Status::kOk);
+  EXPECT_EQ(At(*copy, 0), 'a');
+  char v = 'Q';
+  ASSERT_EQ(copy->Write(0, &v, 1), Status::kOk);
+  EXPECT_EQ(At(*copy, 0), 'Q');
+  ASSERT_EQ(copy->Destroy(), Status::kOk);
+  EXPECT_EQ(vm_.CacheCount(), 0u);
+  EXPECT_EQ(memory_.used_frames(), 0u);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+TEST_F(PvmEdgeTest, ZeroLengthAndFullRangeCopies) {
+  Cache* src = MakeFilled("src", 2, 'a');
+  Cache* dst = *vm_.CacheCreate(nullptr, "dst");
+  EXPECT_EQ(src->CopyTo(*dst, 0, 0, 0, CopyPolicy::kHistory), Status::kOk);  // no-op
+  EXPECT_EQ(dst->ResidentPages(), 0u);
+  // Unaligned deferred copy is rejected, eager accepted.
+  EXPECT_EQ(src->CopyTo(*dst, 1, 0, kPage, CopyPolicy::kHistory), Status::kInvalidArgument);
+  EXPECT_EQ(src->CopyTo(*dst, 1, 0, kPage, CopyPolicy::kEager), Status::kOk);
+  EXPECT_EQ(vm_.CheckInvariants(), Status::kOk);
+}
+
+}  // namespace
+}  // namespace gvm

@@ -1,0 +1,221 @@
+// ShadowVm (Mach baseline) behaviour: chain construction, both-sides shadow
+// allocation, chain growth under repeated copies, and the collapse GC — the exact
+// structural story of section 4.2.5.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/shadow/shadow_vm.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+class ShadowTest : public ::testing::Test {
+ protected:
+  ShadowTest() : memory_(256, kPage), mmu_(kPage), vm_(memory_, mmu_) {
+    context_ = *vm_.ContextCreate();
+  }
+
+  Cache* MakeFilledCache(const std::string& name, int pages, char tag) {
+    Cache* cache = *vm_.CacheCreate(nullptr, name);
+    std::vector<char> data(kPage);
+    for (int i = 0; i < pages; ++i) {
+      std::memset(data.data(), tag + i, kPage);
+      EXPECT_EQ(cache->Write(i * kPage, data.data(), kPage), Status::kOk);
+    }
+    return cache;
+  }
+
+  char ReadByte(Cache& cache, SegOffset offset) {
+    char c = 0;
+    EXPECT_EQ(cache.Read(offset, &c, 1), Status::kOk);
+    return c;
+  }
+
+  void WriteByte(Cache& cache, SegOffset offset, char value) {
+    EXPECT_EQ(cache.Write(offset, &value, 1), Status::kOk);
+  }
+
+  PhysicalMemory memory_;
+  SoftMmu mmu_;
+  ShadowVm vm_;
+  Context* context_ = nullptr;
+};
+
+TEST_F(ShadowTest, DemandZeroAndMappedAccess) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x10000, 2 * kPage, Prot::kReadWrite, *cache, 0).ok());
+  AsId as = context_->address_space();
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(as, 0x10000), 0u);
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x10000, 0x1234), Status::kOk);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(as, 0x10000), 0x1234u);
+}
+
+TEST_F(ShadowTest, CopyAllocatesTwoShadowObjects) {
+  // "two new memory objects, the shadow objects, are created."
+  Cache* src = MakeFilledCache("src", 2, 'a');
+  Cache* dst = *vm_.CacheCreate(nullptr, "dst");
+  size_t objects_before = vm_.ObjectCount();
+  ASSERT_EQ(src->CopyTo(*dst, 0, 0, 2 * kPage, CopyPolicy::kHistory), Status::kOk);
+  EXPECT_EQ(vm_.ObjectCount(), objects_before + 2);
+  EXPECT_EQ(vm_.stats().shadow_objects, 4u);  // 2 roots + 2 shadows
+}
+
+TEST_F(ShadowTest, CowSemanticsBothDirections) {
+  Cache* src = MakeFilledCache("src", 3, 'a');
+  Cache* dst = *vm_.CacheCreate(nullptr, "dst");
+  ASSERT_EQ(src->CopyTo(*dst, 0, 0, 3 * kPage, CopyPolicy::kHistory), Status::kOk);
+
+  // Copy reads originals.
+  EXPECT_EQ(ReadByte(*dst, 0), 'a');
+  EXPECT_EQ(ReadByte(*dst, 2 * kPage), 'c');
+
+  // Source writes land in the source's shadow; the copy keeps the original.
+  WriteByte(*src, 0, 'X');
+  EXPECT_EQ(ReadByte(*src, 0), 'X');
+  EXPECT_EQ(ReadByte(*dst, 0), 'a');
+
+  // Copy writes land in the copy's shadow; the source is unaffected.
+  WriteByte(*dst, kPage, 'Y');
+  EXPECT_EQ(ReadByte(*dst, kPage), 'Y');
+  EXPECT_EQ(ReadByte(*src, kPage), 'b');
+}
+
+TEST_F(ShadowTest, MappedCowAcrossContexts) {
+  Cache* parent = *vm_.CacheCreate(nullptr, "parent");
+  ASSERT_TRUE(
+      vm_.RegionCreate(*context_, 0x20000, 2 * kPage, Prot::kReadWrite, *parent, 0).ok());
+  AsId parent_as = context_->address_space();
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(parent_as, 0x20000, 0xAAAA), Status::kOk);
+
+  Context* child_ctx = *vm_.ContextCreate();
+  Cache* child = *vm_.CacheCreate(nullptr, "child");
+  ASSERT_EQ(parent->CopyTo(*child, 0, 0, 2 * kPage, CopyPolicy::kHistory), Status::kOk);
+  ASSERT_TRUE(
+      vm_.RegionCreate(*child_ctx, 0x20000, 2 * kPage, Prot::kReadWrite, *child, 0).ok());
+  AsId child_as = child_ctx->address_space();
+
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(child_as, 0x20000), 0xAAAAu);
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(parent_as, 0x20000, 0xBBBB), Status::kOk);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(child_as, 0x20000), 0xAAAAu);
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(child_as, 0x20000, 0xCCCC), Status::kOk);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(parent_as, 0x20000), 0xBBBBu);
+  EXPECT_EQ(*vm_.cpu().Load<uint32_t>(child_as, 0x20000), 0xCCCCu);
+}
+
+TEST_F(ShadowTest, RepeatedCopiesGrowTheChain) {
+  // The paper's problem 1: "If successive copies occur, a chain of shadows may
+  // build up" — visible via ChainDepth.
+  Cache* src = MakeFilledCache("src", 1, 'a');
+  auto* src_shadow = static_cast<ShadowCache*>(src);
+  EXPECT_EQ(src_shadow->ChainDepth(), 0u);
+  std::vector<Cache*> copies;
+  for (int i = 0; i < 5; ++i) {
+    Cache* copy = *vm_.CacheCreate(nullptr, "c" + std::to_string(i));
+    ASSERT_EQ(src->CopyTo(*copy, 0, 0, kPage, CopyPolicy::kHistory), Status::kOk);
+    copies.push_back(copy);
+  }
+  EXPECT_EQ(src_shadow->ChainDepth(), 5u);  // one shadow per copy, stacked
+  // Data is still right everywhere.
+  WriteByte(*src, 0, 'Z');
+  for (Cache* copy : copies) {
+    EXPECT_EQ(ReadByte(*copy, 0), 'a');
+  }
+  EXPECT_EQ(ReadByte(*src, 0), 'Z');
+}
+
+TEST_F(ShadowTest, DestroyedCopiesCollapseChains) {
+  // Fork-and-exit loops: Mach must merge shadows back ("this garbage collection is
+  // a major complication").
+  Cache* src = MakeFilledCache("src", 2, 'a');
+  for (int round = 0; round < 8; ++round) {
+    Cache* copy = *vm_.CacheCreate(nullptr, "c" + std::to_string(round));
+    ASSERT_EQ(src->CopyTo(*copy, 0, 0, 2 * kPage, CopyPolicy::kHistory), Status::kOk);
+    WriteByte(*src, 0, static_cast<char>('A' + round));
+    EXPECT_EQ(ReadByte(*copy, 0), round == 0 ? 'a' : static_cast<char>('A' + round - 1));
+    ASSERT_EQ(copy->Destroy(), Status::kOk);
+  }
+  EXPECT_GE(vm_.stats().shadow_collapses, 4u);
+  // The chain under src stays bounded.
+  EXPECT_LE(static_cast<ShadowCache*>(src)->ChainDepth(), 2u);
+  EXPECT_EQ(ReadByte(*src, 0), 'H');
+  EXPECT_EQ(ReadByte(*src, kPage), 'b');
+}
+
+TEST_F(ShadowTest, ChainGrowthWithoutCollapse) {
+  // Ablation knob: with the GC off, destroy leaves chains in place.
+  PhysicalMemory mem(256, kPage);
+  SoftMmu mmu(kPage);
+  ShadowVm::Options options;
+  options.collapse_shadows = false;
+  ShadowVm vm(mem, mmu, options);
+  Cache* src = *vm.CacheCreate(nullptr, "src");
+  char v = 'a';
+  ASSERT_EQ(src->Write(0, &v, 1), Status::kOk);
+  for (int round = 0; round < 8; ++round) {
+    Cache* copy = *vm.CacheCreate(nullptr, "c" + std::to_string(round));
+    ASSERT_EQ(src->CopyTo(*copy, 0, 0, kPage, CopyPolicy::kHistory), Status::kOk);
+    char w = static_cast<char>('A' + round);
+    ASSERT_EQ(src->Write(0, &w, 1), Status::kOk);
+    ASSERT_EQ(copy->Destroy(), Status::kOk);
+  }
+  EXPECT_EQ(vm.stats().shadow_collapses, 0u);
+  EXPECT_GE(static_cast<ShadowCache*>(src)->ChainDepth(), 8u);
+}
+
+TEST_F(ShadowTest, PullInFromDriverAtChainRoot) {
+  TestStoreDriver driver(kPage);
+  std::vector<char> file(2 * kPage, 'f');
+  driver.Preload(0, file.data(), file.size());
+  Cache* cache = *vm_.CacheCreate(&driver, "file");
+  EXPECT_EQ(ReadByte(*cache, kPage), 'f');
+  EXPECT_GE(driver.pull_ins, 1);
+
+  // After a copy, the copy pulls through the chain to the same root.
+  Cache* copy = *vm_.CacheCreate(nullptr, "copy");
+  ASSERT_EQ(cache->CopyTo(*copy, 0, 0, 2 * kPage, CopyPolicy::kHistory), Status::kOk);
+  EXPECT_EQ(ReadByte(*copy, 0), 'f');
+}
+
+TEST_F(ShadowTest, SyncWritesBackThroughDriver) {
+  TestStoreDriver driver(kPage);
+  Cache* cache = *vm_.CacheCreate(&driver, "file");
+  const char msg[] = "mach sync";
+  ASSERT_EQ(cache->Write(0, msg, sizeof(msg)), Status::kOk);
+  ASSERT_EQ(cache->Sync(), Status::kOk);
+  EXPECT_GE(driver.push_outs, 1);
+  ASSERT_TRUE(driver.HasPage(0));
+  EXPECT_EQ(std::memcmp(driver.PageData(0).data(), msg, sizeof(msg)), 0);
+}
+
+TEST_F(ShadowTest, PartialRangeCopyLeavesRestOfDestination) {
+  Cache* src = MakeFilledCache("src", 1, 's');
+  Cache* dst = MakeFilledCache("dst", 3, 'x');  // x y z
+  ASSERT_EQ(src->CopyTo(*dst, 0, kPage, kPage, CopyPolicy::kHistory), Status::kOk);
+  EXPECT_EQ(ReadByte(*dst, 0), 'x');
+  EXPECT_EQ(ReadByte(*dst, kPage), 's');
+  EXPECT_EQ(ReadByte(*dst, 2 * kPage), 'z');
+}
+
+TEST_F(ShadowTest, RegionLifecycle) {
+  Cache* cache = *vm_.CacheCreate(nullptr, "anon");
+  Region* region =
+      *vm_.RegionCreate(*context_, 0x10000, 4 * kPage, Prot::kReadWrite, *cache, 0);
+  AsId as = context_->address_space();
+  ASSERT_EQ(vm_.cpu().Store<uint32_t>(as, 0x10000 + kPage, 7), Status::kOk);
+  Region* upper = *region->Split(2 * kPage);
+  ASSERT_EQ(upper->SetProtection(Prot::kRead), Status::kOk);
+  EXPECT_EQ(vm_.cpu().Store<uint32_t>(as, 0x10000 + 3 * kPage, 1), Status::kProtectionFault);
+  ASSERT_EQ(upper->Destroy(), Status::kOk);
+  ASSERT_EQ(region->Destroy(), Status::kOk);
+  EXPECT_EQ(cache->Destroy(), Status::kOk);
+}
+
+}  // namespace
+}  // namespace gvm

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "src/sync/sleep_queue.h"
+
+namespace gvm {
+namespace {
+
+TEST(SleepQueueTest, WakeAllReleasesSleepers) {
+  SleepQueue queue;
+  std::mutex mu;
+  std::atomic<int> woken{0};
+  std::atomic<bool> ready{false};
+
+  auto sleeper = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!ready.load()) {
+      queue.Wait(42, lock);
+    }
+    ++woken;
+  };
+  std::thread t1(sleeper);
+  std::thread t2(sleeper);
+
+  // Wait until both threads are asleep.
+  while (queue.SleeperCount() < 2) {
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ready = true;
+    queue.WakeAll(42);
+  }
+  t1.join();
+  t2.join();
+  EXPECT_EQ(woken.load(), 2);
+  EXPECT_EQ(queue.SleeperCount(), 0u);
+}
+
+TEST(SleepQueueTest, WakeIsKeySpecific) {
+  SleepQueue queue;
+  std::mutex mu;
+  std::atomic<bool> ready{false};
+  std::atomic<int> wakeups{0};
+
+  std::thread t([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!ready.load()) {
+      queue.Wait(1, lock);
+      ++wakeups;
+    }
+  });
+  while (queue.SleeperCount() < 1) {
+    std::this_thread::yield();
+  }
+  {
+    // Waking a different key must not (deterministically) release the sleeper;
+    // after this the sleeper is still waiting on key 1.
+    std::lock_guard<std::mutex> lock(mu);
+    queue.WakeAll(2);
+  }
+  EXPECT_EQ(queue.SleeperCount(), 1u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ready = true;
+    queue.WakeAll(1);
+  }
+  t.join();
+  EXPECT_GE(wakeups.load(), 1);
+}
+
+TEST(SleepQueueTest, WakeWithNoSleepersIsNoop) {
+  SleepQueue queue;
+  queue.WakeAll(99);
+  EXPECT_EQ(queue.SleeperCount(), 0u);
+}
+
+}  // namespace
+}  // namespace gvm

@@ -1,0 +1,114 @@
+// Shared fixtures for the memory-manager tests: an in-memory segment driver and a
+// small world (physical memory + MMU + manager) builder.
+#ifndef GVM_TESTS_TEST_UTIL_H_
+#define GVM_TESTS_TEST_UTIL_H_
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/gmi/cache.h"
+#include "src/gmi/segment_driver.h"
+
+namespace gvm {
+
+// A segment driver backed by an in-process sparse byte store.  Mimics a mapper: on
+// pullIn it fills the cache from the store (zero for holes); on pushOut it copies
+// the cache data back.  Counts upcalls so tests can assert on traffic.
+class TestStoreDriver : public SegmentDriver {
+ public:
+  explicit TestStoreDriver(size_t page_size) : page_size_(page_size) {}
+
+  Status PullIn(Cache& cache, SegOffset offset, size_t size, Access access_mode) override {
+    ++pull_ins;
+    if (fail_pull_in) {
+      return Status::kBusError;
+    }
+    std::vector<std::byte> buffer(size);
+    for (size_t i = 0; i < size; i += page_size_) {
+      auto it = store_.find(offset + i);
+      if (it != store_.end()) {
+        std::memcpy(buffer.data() + i, it->second.data(),
+                    std::min(page_size_, size - i));
+      }
+    }
+    Prot prot = read_only_fills ? Prot::kReadExecute : Prot::kAll;
+    (void)access_mode;
+    return cache.FillUp(offset, buffer.data(), size, prot);
+  }
+
+  Status GetWriteAccess(Cache& cache, SegOffset offset, size_t size) override {
+    ++write_access_requests;
+    (void)cache;
+    (void)offset;
+    (void)size;
+    return grant_write_access ? Status::kOk : Status::kPermissionDenied;
+  }
+
+  Status PushOut(Cache& cache, SegOffset offset, size_t size) override {
+    ++push_outs;
+    if (fail_push_out) {
+      return Status::kBusError;
+    }
+    std::vector<std::byte> buffer(size);
+    Status s = cache.CopyBack(offset, buffer.data(), size);
+    if (s != Status::kOk) {
+      return s;
+    }
+    for (size_t i = 0; i < size; i += page_size_) {
+      auto& page = store_[offset + i];
+      page.assign(buffer.data() + i,
+                  buffer.data() + i + std::min(page_size_, size - i));
+      page.resize(page_size_);
+    }
+    return Status::kOk;
+  }
+
+  // Pre-populate the backing store.
+  void Preload(SegOffset offset, const void* data, size_t size) {
+    const auto* bytes = static_cast<const std::byte*>(data);
+    for (size_t i = 0; i < size; i += page_size_) {
+      auto& page = store_[offset + i];
+      page.assign(bytes + i, bytes + i + std::min(page_size_, size - i));
+      page.resize(page_size_);
+    }
+  }
+
+  bool HasPage(SegOffset offset) const { return store_.contains(offset); }
+  const std::vector<std::byte>& PageData(SegOffset offset) { return store_[offset]; }
+
+  int pull_ins = 0;
+  int push_outs = 0;
+  int write_access_requests = 0;
+  bool fail_pull_in = false;
+  bool fail_push_out = false;
+  bool grant_write_access = true;
+  bool read_only_fills = false;
+
+ private:
+  const size_t page_size_;
+  std::map<SegOffset, std::vector<std::byte>> store_;  // page-aligned keys
+};
+
+// A SegmentRegistry handing out swap drivers for MM-created caches.
+class TestSwapRegistry : public SegmentRegistry {
+ public:
+  explicit TestSwapRegistry(size_t page_size) : page_size_(page_size) {}
+
+  SegmentDriver* SegmentCreate(Cache& cache) override {
+    (void)cache;
+    ++segments_created;
+    drivers_.push_back(std::make_unique<TestStoreDriver>(page_size_));
+    return drivers_.back().get();
+  }
+
+  int segments_created = 0;
+
+ private:
+  const size_t page_size_;
+  std::vector<std::unique_ptr<TestStoreDriver>> drivers_;
+};
+
+}  // namespace gvm
+
+#endif  // GVM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/util/align.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace gvm {
+namespace {
+
+TEST(StatusTest, NamesAreStable) {
+  EXPECT_EQ(StatusName(Status::kOk), "kOk");
+  EXPECT_EQ(StatusName(Status::kNoMemory), "kNoMemory");
+  EXPECT_EQ(StatusName(Status::kSegmentationFault), "kSegmentationFault");
+  EXPECT_EQ(StatusName(Status::kRetry), "kRetry");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::kNoMemory;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), Status::kNoMemory);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(*r);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(AlignTest, PowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(8192));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(8191));
+}
+
+TEST(AlignTest, UpDown) {
+  EXPECT_EQ(AlignDown(8191, 4096), 4096u);
+  EXPECT_EQ(AlignDown(8192, 4096), 8192u);
+  EXPECT_EQ(AlignUp(1, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+  EXPECT_EQ(AlignUp(0, 4096), 0u);
+  EXPECT_TRUE(IsAligned(0, 8192));
+  EXPECT_FALSE(IsAligned(1, 8192));
+}
+
+TEST(AlignTest, PagesFor) {
+  EXPECT_EQ(PagesFor(0, 8192), 0u);
+  EXPECT_EQ(PagesFor(1, 8192), 1u);
+  EXPECT_EQ(PagesFor(8192, 8192), 1u);
+  EXPECT_EQ(PagesFor(8193, 8192), 2u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace gvm

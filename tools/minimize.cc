@@ -1,0 +1,213 @@
+// Delta-debugging minimizer for PVM differential failures: records the random
+// schedule as a trace, then greedily removes operations while the divergence (or
+// invariant violation) persists.  Prints the minimal failing trace.
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/pvm/paged_vm.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+using namespace gvm;
+
+constexpr size_t kPage = 4096;
+constexpr size_t kSegPages = 8;
+constexpr size_t kSegBytes = kSegPages * kPage;
+
+struct Op {
+  enum Kind { kCreate, kWrite, kCopy, kDestroy } kind;
+  int a = 0, b = 0;
+  size_t off = 0, size = 0;
+  size_t src_off = 0;
+  CopyPolicy policy = CopyPolicy::kEager;
+  uint64_t data_seed = 0;
+};
+
+const char* PolicyName(CopyPolicy p) {
+  switch (p) {
+    case CopyPolicy::kAuto: return "kAuto";
+    case CopyPolicy::kEager: return "kEager";
+    case CopyPolicy::kHistory: return "kHistory";
+    case CopyPolicy::kHistoryOnRef: return "kHistoryOnRef";
+    case CopyPolicy::kPerPage: return "kPerPage";
+  }
+  return "?";
+}
+
+// Replays a trace; returns true if any audit diverges (the failure reproduces).
+bool Replay(const std::vector<Op>& ops, bool verbose) {
+  PhysicalMemory memory(4096, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm vm(memory, mmu);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+  std::map<int, std::vector<std::byte>> ref;
+  std::map<int, Cache*> live;
+
+  auto audit = [&]() -> bool {
+    for (auto& [id, cache] : live) {
+      std::vector<std::byte> got(kSegBytes);
+      if (cache->Read(0, got.data(), kSegBytes) != Status::kOk) {
+        return false;
+      }
+      if (std::memcmp(got.data(), ref[id].data(), kSegBytes) != 0) {
+        if (verbose) {
+          size_t i = 0;
+          while (got[i] == ref[id][i]) ++i;
+          printf("  -> diverged: seg%d byte %zu (page %zu) got=%02x want=%02x\n", id, i,
+                 i / kPage, (unsigned)got[i], (unsigned)ref[id][i]);
+          printf("%s\n", vm.DumpTree(*cache).c_str());
+        }
+        return false;
+      }
+    }
+    return vm.CheckInvariants() == Status::kOk;
+  };
+
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kCreate:
+        if (!live.contains(op.a)) {
+          ref[op.a] = std::vector<std::byte>(kSegBytes);
+          live[op.a] = *vm.CacheCreate(nullptr, "seg" + std::to_string(op.a));
+        }
+        break;
+      case Op::kWrite: {
+        if (!live.contains(op.a)) break;
+        Rng data(op.data_seed);
+        std::vector<std::byte> bytes(op.size);
+        for (auto& c : bytes) c = (std::byte)data.Below(256);
+        live[op.a]->Write(op.off, bytes.data(), op.size);
+        std::memcpy(ref[op.a].data() + op.off, bytes.data(), op.size);
+        break;
+      }
+      case Op::kCopy:
+        if (!live.contains(op.a) || !live.contains(op.b)) break;
+        live[op.a]->CopyTo(*live[op.b], op.src_off, op.off, op.size, op.policy);
+        std::memmove(ref[op.b].data() + op.off, ref[op.a].data() + op.src_off, op.size);
+        break;
+      case Op::kDestroy:
+        if (!live.contains(op.a) || live.size() <= 1) break;
+        live[op.a]->Destroy();
+        live.erase(op.a);
+        ref.erase(op.a);
+        break;
+    }
+    if (verbose) {
+      printf("after op: ");
+      for (auto& [id, cache] : live) printf("seg%d:%zu ", id, cache->ResidentPages());
+      printf("\n");
+    }
+    if (!audit()) {
+      return true;  // failure reproduced
+    }
+  }
+  return false;
+}
+
+void Print(const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kCreate:
+        printf("create seg%d\n", op.a);
+        break;
+      case Op::kWrite:
+        printf("write seg%d off=%zu size=%zu seed=%llu\n", op.a, op.off, op.size,
+               (unsigned long long)op.data_seed);
+        break;
+      case Op::kCopy:
+        printf("copy seg%d[%zu +%zu] -> seg%d[%zu] %s\n", op.a, op.src_off, op.size, op.b,
+               op.off, PolicyName(op.policy));
+        break;
+      case Op::kDestroy:
+        printf("destroy seg%d\n", op.a);
+        break;
+    }
+  }
+}
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
+  int steps = argc > 2 ? atoi(argv[2]) : 300;
+  // Generate the schedule exactly like the property test.
+  std::vector<Op> trace;
+  {
+    Rng rng(seed);
+    std::vector<int> live;
+    int next = 0;
+    auto create = [&] {
+      trace.push_back(Op{.kind = Op::kCreate, .a = next});
+      live.push_back(next);
+      return next++;
+    };
+    create();
+    const CopyPolicy kPolicies[] = {CopyPolicy::kEager, CopyPolicy::kHistory,
+                                    CopyPolicy::kHistoryOnRef, CopyPolicy::kPerPage,
+                                    CopyPolicy::kAuto};
+    for (int step = 0; step < steps; ++step) {
+      uint64_t roll = rng.Below(100);
+      auto pick = [&]() -> int { return live[rng.Below(live.size())]; };
+      if (live.empty() || (roll < 10 && live.size() < 8)) {
+        create();
+      } else if (roll < 40) {
+        int id = pick();
+        size_t off = rng.Below(kSegBytes - 1);
+        size_t size = 1 + rng.Below(std::min<size_t>(kSegBytes - off, 3 * kPage));
+        uint64_t dseed = rng.Next();
+        // consume data bytes deterministically via dseed instead
+        trace.push_back(
+            Op{.kind = Op::kWrite, .a = id, .off = off, .size = size, .data_seed = dseed});
+      } else if (roll < 70 && live.size() >= 2) {
+        int src = pick();
+        int dst = pick();
+        if (src == dst) continue;
+        size_t pages = 1 + rng.Below(kSegPages);
+        size_t sp = rng.Below(kSegPages - pages + 1);
+        size_t dp = rng.Below(kSegPages - pages + 1);
+        CopyPolicy policy = kPolicies[rng.Below(5)];
+        trace.push_back(Op{.kind = Op::kCopy, .a = src, .b = dst, .off = dp * kPage,
+                           .size = pages * kPage, .src_off = sp * kPage, .policy = policy});
+      } else if (roll < 85) {
+        pick();
+        rng.Next();
+        rng.Next();  // keep the stream roughly aligned (reads don't mutate)
+      } else if (roll < 95 && live.size() > 1) {
+        int id = pick();
+        trace.push_back(Op{.kind = Op::kDestroy, .a = id});
+        live.erase(std::find(live.begin(), live.end(), id));
+      } else {
+        pick();
+      }
+    }
+  }
+  if (!Replay(trace, false)) {
+    printf("trace does not fail; try another seed\n");
+    return 1;
+  }
+  printf("initial failing trace: %zu ops\n", trace.size());
+  // Greedy minimization: repeatedly try dropping each op.
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      std::vector<Op> candidate = trace;
+      candidate.erase(candidate.begin() + i);
+      if (Replay(candidate, false)) {
+        trace = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  printf("minimal trace (%zu ops):\n", trace.size());
+  Print(trace);
+  printf("--- replaying verbosely ---\n");
+  Replay(trace, true);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Scratch debugging tool: replays the property schedule with per-step audits.
+#include <cstring>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hal/soft_mmu.h"
+#include "src/pvm/paged_vm.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+using namespace gvm;
+constexpr size_t kPage = 4096;
+constexpr size_t kSegPages = 8;
+constexpr size_t kSegBytes = kSegPages * kPage;
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
+  PhysicalMemory memory(2048, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm vm(memory, mmu);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+
+  std::map<int, std::vector<std::byte>> ref;
+  std::map<int, Cache*> live;
+  int next = 0;
+  Rng rng(seed);
+  auto create = [&] {
+    ref[next] = std::vector<std::byte>(kSegBytes);
+    live[next] = *vm.CacheCreate(nullptr, "seg" + std::to_string(next));
+    return next++;
+  };
+  create();
+  const CopyPolicy kPolicies[] = {CopyPolicy::kEager, CopyPolicy::kHistory,
+                                  CopyPolicy::kHistoryOnRef, CopyPolicy::kPerPage,
+                                  CopyPolicy::kAuto};
+  const char* kPolicyNames[] = {"eager","history","cor","perpage","auto"};
+
+  auto audit = [&](int step) {
+    for (auto& [id, cache] : live) {
+      std::vector<std::byte> got(kSegBytes);
+      cache->Read(0, got.data(), kSegBytes);
+      if (memcmp(got.data(), ref[id].data(), kSegBytes) != 0) {
+        size_t i = 0;
+        while (got[i] == ref[id][i]) ++i;
+        printf("DIVERGE step=%d seg=%d first_byte=%zu (page %zu) got=%02x want=%02x\n",
+               step, id, i, i / kPage, (unsigned)got[i], (unsigned)ref[id][i]);
+        printf("%s\n", vm.DumpTree(*cache).c_str());
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    uint64_t roll = rng.Below(100);
+    auto pick = [&]() -> int {
+      auto it = live.begin();
+      std::advance(it, rng.Below(live.size()));
+      return it->first;
+    };
+    if (live.empty() || (roll < 10 && live.size() < 8)) {
+      int id = create();
+      printf("%3d create seg%d\n", step, id);
+    } else if (roll < 40) {
+      int id = pick();
+      size_t off = rng.Below(kSegBytes - 1);
+      size_t size = 1 + rng.Below(std::min<size_t>(kSegBytes - off, 3 * kPage));
+      std::vector<std::byte> data(size);
+      for (auto& b : data) b = (std::byte)rng.Below(256);
+      live[id]->Write(off, data.data(), size);
+      memcpy(ref[id].data() + off, data.data(), size);
+      printf("%3d write seg%d off=%zu size=%zu\n", step, id, off, size);
+    } else if (roll < 70 && live.size() >= 2) {
+      int src = pick();
+      int dst = pick();
+      if (src == dst) continue;
+      size_t pages = 1 + rng.Below(kSegPages);
+      size_t sp = rng.Below(kSegPages - pages + 1);
+      size_t dp = rng.Below(kSegPages - pages + 1);
+      CopyPolicy policy = kPolicies[rng.Below(5)];
+      live[src]->CopyTo(*live[dst], sp * kPage, dp * kPage, pages * kPage, policy);
+      memmove(ref[dst].data() + dp * kPage, ref[src].data() + sp * kPage, pages * kPage);
+      printf("%3d copy seg%d[%zu..%zu] -> seg%d[%zu..] policy=%s\n", step, src, sp,
+             sp + pages - 1, dst, dp, kPolicyNames[(int)policy]);
+    } else if (roll < 85) {
+      int id = pick();
+      size_t off = rng.Below(kSegBytes - 1);
+      size_t size = 1 + rng.Below(std::min<size_t>(kSegBytes - off, 3 * kPage));
+      std::vector<std::byte> got(size);
+      live[id]->Read(off, got.data(), size);
+      printf("%3d read seg%d off=%zu\n", step, id, off);
+    } else if (roll < 95 && live.size() > 1) {
+      int id = pick();
+      live[id]->Destroy();
+      live.erase(id);
+      ref.erase(id);
+      printf("%3d destroy seg%d\n", step, id);
+    } else {
+      int id = pick();
+      std::vector<std::byte> got(kSegBytes);
+      live[id]->Read(0, got.data(), kSegBytes);
+      printf("%3d audit seg%d\n", step, id);
+    }
+    {
+      printf("     ");
+      for (auto& [id, cache] : live) {
+        printf(" s%d:%zu", id, cache->ResidentPages());
+      }
+      printf("\n");
+    }
+    if (!audit(step)) {
+      if (vm.CheckInvariants() != Status::kOk) printf("(invariants also broken)\n");
+      return 1;
+    }
+  }
+  printf("no divergence\n");
+  return 0;
+}
