@@ -1,0 +1,310 @@
+#include "src/fault/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace gvm {
+
+namespace {
+
+struct SiteNameEntry {
+  std::string_view name;
+  FaultSite site;
+};
+
+constexpr SiteNameEntry kSiteNames[] = {
+    {"read", FaultSite::kMapperRead},
+    {"write", FaultSite::kMapperWrite},
+    {"alloctemp", FaultSite::kMapperAllocTemp},
+    {"send", FaultSite::kIpcSend},
+    {"recv", FaultSite::kIpcReceive},
+    {"frame", FaultSite::kFrameAlloc},
+    {"swap", FaultSite::kSwapAlloc},
+};
+
+// Errors a spec may name; anything else is a spec error.
+struct ErrorNameEntry {
+  std::string_view name;
+  Status status;
+};
+
+constexpr ErrorNameEntry kErrorNames[] = {
+    {"buserror", Status::kBusError},
+    {"nomemory", Status::kNoMemory},
+    {"noswap", Status::kNoSwap},
+    {"notfound", Status::kNotFound},
+};
+
+std::vector<std::string_view> SplitColons(std::string_view s) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    size_t colon = s.find(':');
+    if (colon == std::string_view::npos) {
+      parts.push_back(s);
+      return parts;
+    }
+    parts.push_back(s.substr(0, colon));
+    s.remove_prefix(colon + 1);
+  }
+}
+
+bool ParseUint(std::string_view s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool SpecError(std::string* error_out, std::string message) {
+  if (error_out != nullptr) {
+    *error_out = std::move(message);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view FaultSiteName(FaultSite site) {
+  for (const SiteNameEntry& entry : kSiteNames) {
+    if (entry.site == site) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+bool ParseFaultSite(std::string_view name, FaultSite* out) {
+  for (const SiteNameEntry& entry : kSiteNames) {
+    if (entry.name == name) {
+      *out = entry.site;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::SetPlan(FaultSite site, const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[static_cast<int>(site)];
+  state.plan = plan;
+  state.burst_left = 0;
+  state.tripped = false;
+}
+
+void FaultInjector::ClearPlan(FaultSite site) { SetPlan(site, FaultPlan{}); }
+
+void FaultInjector::ClearAllPlans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SiteState& state : sites_) {
+    state.plan = FaultPlan{};
+    state.burst_left = 0;
+    state.tripped = false;
+  }
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(seed);
+}
+
+void FaultInjector::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool FaultInjector::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+Status FaultInjector::Check(FaultSite site) {
+  uint64_t latency_us = 0;
+  Status result = Status::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) {
+      return Status::kOk;
+    }
+    SiteState& state = sites_[static_cast<int>(site)];
+    if (state.plan.mode == FaultPlan::Mode::kOff) {
+      return Status::kOk;
+    }
+    ++state.counters.hits;
+    latency_us = state.plan.latency_us;
+    bool fail = false;
+    if (state.tripped) {
+      fail = true;  // permanent plans never heal
+    } else if (state.burst_left > 0) {
+      --state.burst_left;
+      fail = true;
+    } else {
+      switch (state.plan.mode) {
+        case FaultPlan::Mode::kOff:
+          break;
+        case FaultPlan::Mode::kFailNth:
+          fail = state.counters.hits == state.plan.nth;
+          break;
+        case FaultPlan::Mode::kProbability:
+          fail = state.plan.num > 0 && rng_.Chance(state.plan.num, state.plan.den);
+          break;
+      }
+      if (fail) {
+        if (state.plan.permanent) {
+          state.tripped = true;
+        } else if (state.plan.burst > 1) {
+          state.burst_left = state.plan.burst - 1;
+        }
+      }
+    }
+    if (fail) {
+      ++state.counters.triggers;
+      result = state.plan.error;
+    }
+  }
+  if (latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+  return result;
+}
+
+FaultSiteCounters FaultInjector::counters(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<int>(site)].counters;
+}
+
+uint64_t FaultInjector::total_triggers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const SiteState& state : sites_) {
+    total += state.counters.triggers;
+  }
+  return total;
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SiteState& state : sites_) {
+    state.counters = FaultSiteCounters{};
+  }
+}
+
+bool FaultInjector::ApplySpec(std::string_view spec, std::string* error_out) {
+  std::vector<std::string_view> parts = SplitColons(spec);
+  if (parts.size() < 2) {
+    return SpecError(error_out, "spec needs at least site:mode");
+  }
+  FaultSite site;
+  if (!ParseFaultSite(parts[0], &site)) {
+    return SpecError(error_out, "unknown site '" + std::string(parts[0]) + "'");
+  }
+  FaultPlan plan;
+  size_t next = 2;
+  if (parts[1] == "nth") {
+    plan.mode = FaultPlan::Mode::kFailNth;
+    if (parts.size() < 3 || !ParseUint(parts[2], &plan.nth) || plan.nth == 0) {
+      return SpecError(error_out, "nth needs a positive count: site:nth:N");
+    }
+    next = 3;
+  } else if (parts[1] == "prob") {
+    plan.mode = FaultPlan::Mode::kProbability;
+    if (parts.size() < 3) {
+      return SpecError(error_out, "prob needs a probability: site:prob:P");
+    }
+    std::string_view p = parts[2];
+    size_t slash = p.find('/');
+    if (slash == std::string_view::npos) {
+      if (!ParseUint(p, &plan.num)) {
+        return SpecError(error_out, "bad probability '" + std::string(p) + "'");
+      }
+      plan.den = 100;
+    } else if (!ParseUint(p.substr(0, slash), &plan.num) ||
+               !ParseUint(p.substr(slash + 1), &plan.den) || plan.den == 0) {
+      return SpecError(error_out, "bad probability '" + std::string(p) + "'");
+    }
+    next = 3;
+  } else {
+    return SpecError(error_out, "unknown mode '" + std::string(parts[1]) + "'");
+  }
+  for (size_t i = next; i < parts.size(); ++i) {
+    std::string_view part = parts[i];
+    if (part == "perm") {
+      plan.permanent = true;
+      continue;
+    }
+    size_t eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      return SpecError(error_out, "unknown option '" + std::string(part) + "'");
+    }
+    std::string_view key = part.substr(0, eq);
+    std::string_view value = part.substr(eq + 1);
+    if (key == "burst") {
+      if (!ParseUint(value, &plan.burst) || plan.burst == 0) {
+        return SpecError(error_out, "bad burst '" + std::string(value) + "'");
+      }
+    } else if (key == "seed") {
+      uint64_t seed;
+      if (!ParseUint(value, &seed)) {
+        return SpecError(error_out, "bad seed '" + std::string(value) + "'");
+      }
+      Reseed(seed);
+    } else if (key == "latency") {
+      if (!ParseUint(value, &plan.latency_us)) {
+        return SpecError(error_out, "bad latency '" + std::string(value) + "'");
+      }
+    } else if (key == "error") {
+      bool found = false;
+      for (const ErrorNameEntry& entry : kErrorNames) {
+        if (entry.name == value) {
+          plan.error = entry.status;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return SpecError(error_out, "unknown error '" + std::string(value) + "'");
+      }
+    } else {
+      return SpecError(error_out, "unknown option '" + std::string(key) + "'");
+    }
+  }
+  SetPlan(site, plan);
+  return true;
+}
+
+std::string FaultInjector::Describe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    const SiteState& state = sites_[i];
+    if (state.plan.mode == FaultPlan::Mode::kOff) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += std::string(FaultSiteName(static_cast<FaultSite>(i)));
+    if (state.plan.mode == FaultPlan::Mode::kFailNth) {
+      out += ":nth:" + std::to_string(state.plan.nth);
+    } else {
+      out += ":prob:" + std::to_string(state.plan.num) + "/" + std::to_string(state.plan.den);
+    }
+    if (state.plan.burst > 1) {
+      out += ":burst=" + std::to_string(state.plan.burst);
+    }
+    if (state.plan.permanent) {
+      out += ":perm";
+    }
+  }
+  return out;
+}
+
+}  // namespace gvm

@@ -1,0 +1,134 @@
+// Deterministic, seedable fault injection for the whole memory-management stack.
+//
+// The paper's design assumes an unreliable outside world: segments live behind
+// external mappers reached over IPC (section 5.1.1), and pullIn/pushOut can fail
+// or block at any time (section 4.1.2).  This module lets tests and tools provoke
+// those rare events on demand and *reproducibly*: every injection decision is
+// driven either by deterministic hit counting (fail-Nth) or by a seeded SplitMix64
+// stream, so a failing chaos run replays bit-identically from its seed.
+//
+// Usage: create one FaultInjector per simulated world, program per-site plans,
+// and hand the injector to the components that host injection sites
+// (PhysicalMemory, Ipc, SegmentManager, the mappers, the test drivers).  A null
+// injector pointer everywhere means zero overhead and unchanged behaviour.
+#ifndef GVM_SRC_FAULT_FAULT_INJECTOR_H_
+#define GVM_SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace gvm {
+
+// Named injection sites.  Each site is evaluated by the component owning it at
+// the moment the real operation would be attempted.
+enum class FaultSite : int {
+  kMapperRead = 0,   // mapper read RPC / driver pullIn
+  kMapperWrite,      // mapper write RPC / driver pushOut
+  kMapperAllocTemp,  // default-mapper temporary ("swap") segment allocation RPC
+  kIpcSend,          // Nucleus IPC send
+  kIpcReceive,       // Nucleus IPC receive
+  kFrameAlloc,       // physical page-frame allocation
+  kSwapAlloc,        // backing-store allocation inside the default mapper /
+                     // swap registry (distinct from the AllocTemp RPC itself)
+  kSiteCount,
+};
+
+inline constexpr int kFaultSiteCount = static_cast<int>(FaultSite::kSiteCount);
+
+// Short stable name ("read", "write", "alloctemp", "send", "recv", "frame",
+// "swap") used by the spec grammar and in log/test output.
+std::string_view FaultSiteName(FaultSite site);
+bool ParseFaultSite(std::string_view name, FaultSite* out);
+
+// A per-site fault plan.
+struct FaultPlan {
+  enum class Mode {
+    kOff,          // site never fires
+    kFailNth,      // fail deterministically starting at the nth hit (1-based)
+    kProbability,  // fail each hit with probability num/den (seeded RNG)
+  };
+
+  Mode mode = Mode::kOff;
+  uint64_t nth = 1;       // kFailNth: first hit to fail
+  uint64_t num = 0;       // kProbability: numerator ...
+  uint64_t den = 100;     // ... and denominator
+  // Number of consecutive hits that fail once the plan triggers.  A transient
+  // fault fails `burst` hits and then heals (so a bounded retry policy absorbs
+  // it); a permanent fault never heals.
+  uint64_t burst = 1;
+  bool permanent = false;
+  // Error surfaced by the failing site.  Sites with fixed semantics (frame
+  // allocation, swap allocation) map any injected fault to their natural error.
+  Status error = Status::kBusError;
+  // Extra latency injected on every hit of this site (failing or not), to shake
+  // out interleavings that only occur when I/O is slow.
+  uint64_t latency_us = 0;
+};
+
+struct FaultSiteCounters {
+  uint64_t hits = 0;      // times the site was evaluated
+  uint64_t triggers = 0;  // times a fault was injected
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 1) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void SetPlan(FaultSite site, const FaultPlan& plan);
+  void ClearPlan(FaultSite site);
+  void ClearAllPlans();
+  void Reseed(uint64_t seed);
+
+  // Master switch: while disabled, Check() is a pass-through that neither counts
+  // hits nor advances the RNG (tests use this to take authoritative readings of
+  // the world mid-chaos without perturbing the injection stream).
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  // Evaluate one hit of `site`: returns kOk to let the real operation proceed,
+  // or the planned error to inject a fault.  Applies planned latency either way.
+  Status Check(FaultSite site);
+
+  FaultSiteCounters counters(FaultSite site) const;
+  uint64_t total_triggers() const;
+  void ResetCounters();
+
+  // Apply a colon-separated plan spec (the replay format used by tools/):
+  //   site:mode[:args][:burst=K][:seed=S][:perm][:error=name][:latency=USEC]
+  // where site is a FaultSiteName and mode is
+  //   nth:N       fail starting at the Nth hit
+  //   prob:P      fail each hit with probability P percent
+  //   prob:N/D    fail each hit with probability N/D
+  // Examples: "write:nth:3", "read:prob:10:seed=42:burst=2", "swap:nth:1:perm".
+  // Returns false (and fills *error_out if given) on a malformed spec.
+  bool ApplySpec(std::string_view spec, std::string* error_out = nullptr);
+
+  // Render the active plans as a space-separated list of specs (for banners).
+  std::string Describe() const;
+
+ private:
+  struct SiteState {
+    FaultPlan plan;
+    FaultSiteCounters counters;
+    uint64_t burst_left = 0;  // remaining consecutive failures of a triggered
+                              // transient plan
+    bool tripped = false;     // a permanent plan has triggered
+  };
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  Rng rng_;
+  SiteState sites_[kFaultSiteCount];
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_FAULT_FAULT_INJECTOR_H_

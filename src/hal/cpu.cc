@@ -9,6 +9,11 @@
 namespace gvm {
 
 Result<FrameIndex> Cpu::TranslateWithFaults(AsId as, Vaddr va, Access access) {
+  return AccessWithFaults(as, va, access, nullptr);
+}
+
+Result<FrameIndex> Cpu::AccessWithFaults(AsId as, Vaddr va, Access access,
+                                         const std::function<void(FrameIndex)>* body) {
   // Bound the number of fault retries: a correct memory manager makes progress on
   // every round (a pull-in completes, a frame is materialized, an eviction frees
   // memory), but a buggy one must not hang the simulation.  Deferred-copy chains
@@ -16,7 +21,9 @@ Result<FrameIndex> Cpu::TranslateWithFaults(AsId as, Vaddr va, Access access) {
   // to a history object, materialize the private copy), hence the generous bound.
   constexpr int kMaxRetries = 64;
   for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    Result<FrameIndex> frame = mmu_.Translate(as, va, access);
+    Result<FrameIndex> frame = body != nullptr
+                                   ? mmu_.TranslateAndAccess(as, va, access, *body)
+                                   : mmu_.Translate(as, va, access);
     if (frame.ok()) {
       return frame;
     }
@@ -52,15 +59,20 @@ Status Cpu::AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access acc
     Vaddr addr = va + done;
     size_t in_page = page_size - (addr & (page_size - 1));
     size_t chunk = size - done < in_page ? size - done : in_page;
-    Result<FrameIndex> frame = TranslateWithFaults(as, addr, access);
+    // The copy runs inside the MMU's atomic translate-and-access step: a pager
+    // thread completing an unmap is then guaranteed no store is still landing in
+    // the frame it is about to recycle.
+    const std::function<void(FrameIndex)> copy = [&](FrameIndex frame) {
+      std::byte* phys = memory_.FrameData(frame) + (addr & (page_size - 1));
+      if (access == Access::kWrite) {
+        std::memcpy(phys, bytes + done, chunk);
+      } else {
+        std::memcpy(bytes + done, phys, chunk);
+      }
+    };
+    Result<FrameIndex> frame = AccessWithFaults(as, addr, access, &copy);
     if (!frame.ok()) {
       return frame.status();
-    }
-    std::byte* phys = memory_.FrameData(*frame) + (addr & (page_size - 1));
-    if (access == Access::kWrite) {
-      std::memcpy(phys, bytes + done, chunk);
-    } else {
-      std::memcpy(bytes + done, phys, chunk);
     }
     done += chunk;
   }

@@ -83,6 +83,10 @@ class Cpu {
   // Translate one address, invoking the fault handler until it succeeds or the
   // handler reports an unrecoverable fault.
   Result<FrameIndex> TranslateWithFaults(AsId as, Vaddr va, Access access);
+  // As above; with a body, the translation and the access run as one atomic step
+  // via Mmu::TranslateAndAccess (the fault handler still runs outside it).
+  Result<FrameIndex> AccessWithFaults(AsId as, Vaddr va, Access access,
+                                      const std::function<void(FrameIndex)>* body);
 
   PhysicalMemory& memory_;
   Mmu& mmu_;

@@ -13,6 +13,7 @@ HashMmu::HashMmu(size_t page_size)
 }
 
 Result<AsId> HashMmu::CreateAddressSpace() {
+  std::lock_guard<std::mutex> guard(mu_);
   AsId as = next_as_++;
   live_spaces_.insert(as);
   ++stats_.spaces_created;
@@ -20,6 +21,7 @@ Result<AsId> HashMmu::CreateAddressSpace() {
 }
 
 Status HashMmu::DestroyAddressSpace(AsId as) {
+  std::lock_guard<std::mutex> guard(mu_);
   if (live_spaces_.erase(as) == 0) {
     return Status::kNotFound;
   }
@@ -36,6 +38,7 @@ Status HashMmu::DestroyAddressSpace(AsId as) {
 }
 
 Status HashMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
+  std::lock_guard<std::mutex> guard(mu_);
   if (!live_spaces_.contains(as)) {
     return Status::kNotFound;
   }
@@ -47,6 +50,7 @@ Status HashMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
 }
 
 Status HashMmu::Unmap(AsId as, Vaddr va) {
+  std::lock_guard<std::mutex> guard(mu_);
   if (!live_spaces_.contains(as)) {
     return Status::kNotFound;
   }
@@ -59,6 +63,7 @@ Status HashMmu::Unmap(AsId as, Vaddr va) {
 }
 
 Status HashMmu::Protect(AsId as, Vaddr va, Prot prot) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = table_.find({as, Vpn(va)});
   if (it == table_.end()) {
     return Status::kNotFound;
@@ -69,6 +74,21 @@ Status HashMmu::Protect(AsId as, Vaddr va, Prot prot) {
 }
 
 Result<FrameIndex> HashMmu::Translate(AsId as, Vaddr va, Access access) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return TranslateLocked(as, va, access);
+}
+
+Result<FrameIndex> HashMmu::TranslateAndAccess(AsId as, Vaddr va, Access access,
+                                               const std::function<void(FrameIndex)>& body) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Result<FrameIndex> frame = TranslateLocked(as, va, access);
+  if (frame.ok()) {
+    body(*frame);
+  }
+  return frame;
+}
+
+Result<FrameIndex> HashMmu::TranslateLocked(AsId as, Vaddr va, Access access) {
   ++stats_.translations;
   auto it = table_.find({as, Vpn(va)});
   if (it == table_.end()) {
@@ -88,6 +108,7 @@ Result<FrameIndex> HashMmu::Translate(AsId as, Vaddr va, Access access) {
 }
 
 Result<MmuEntry> HashMmu::Lookup(AsId as, Vaddr va) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = table_.find({as, Vpn(va)});
   if (it == table_.end()) {
     return Status::kNotFound;
@@ -98,6 +119,7 @@ Result<MmuEntry> HashMmu::Lookup(AsId as, Vaddr va) const {
 }
 
 Result<bool> HashMmu::TestAndClearReferenced(AsId as, Vaddr va) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = table_.find({as, Vpn(va)});
   if (it == table_.end()) {
     return Status::kNotFound;

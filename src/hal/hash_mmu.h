@@ -8,6 +8,7 @@
 #define GVM_SRC_HAL_HASH_MMU_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,6 +26,8 @@ class HashMmu final : public Mmu {
   Status Unmap(AsId as, Vaddr va) override;
   Status Protect(AsId as, Vaddr va, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
+  Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
+                                        const std::function<void(FrameIndex)>& body) override;
   Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
   Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
 
@@ -48,9 +51,13 @@ class HashMmu final : public Mmu {
   };
 
   uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
+  Result<FrameIndex> TranslateLocked(AsId as, Vaddr va, Access access);
 
   const size_t page_size_;
   const unsigned page_shift_;
+  // Same atomic-walk guarantee as SoftMmu: translation and table updates are
+  // serialized so a translate-and-access cannot interleave with an unmap.
+  mutable std::mutex mu_;
   AsId next_as_ = 0;
   std::unordered_set<AsId> live_spaces_;
   // Per-space set of mapped VPNs, needed to tear a space down without scanning the

@@ -13,6 +13,7 @@
 #define GVM_SRC_HAL_MMU_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/hal/types.h"
 #include "src/util/result.h"
@@ -58,6 +59,20 @@ class Mmu {
   // referenced/dirty bits; otherwise returns kSegmentationFault (no mapping) or
   // kProtectionFault (mapping present, protection insufficient).
   virtual Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) = 0;
+
+  // Translation plus the physical access as one unit: hardware never lets a
+  // store land in a frame after the kernel has finished unmapping the page
+  // (TLB-shootdown semantics), so `body(frame)` must run while the translation
+  // is still guaranteed valid.  Implementations with internal locking hold it
+  // across both steps; the default is the unsynchronized two-step form.
+  virtual Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
+                                                const std::function<void(FrameIndex)>& body) {
+    Result<FrameIndex> frame = Translate(as, va, access);
+    if (frame.ok()) {
+      body(*frame);
+    }
+    return frame;
+  }
 
   // Software inspection of an entry, without touching referenced/dirty bits.
   virtual Result<MmuEntry> Lookup(AsId as, Vaddr va) const = 0;

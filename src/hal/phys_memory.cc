@@ -21,6 +21,9 @@ PhysicalMemory::PhysicalMemory(size_t frame_count, size_t page_size)
 }
 
 Result<FrameIndex> PhysicalMemory::AllocateFrame() {
+  if (injector_ != nullptr && injector_->Check(FaultSite::kFrameAlloc) != Status::kOk) {
+    return Status::kNoMemory;
+  }
   if (free_list_.empty()) {
     return Status::kNoMemory;
   }

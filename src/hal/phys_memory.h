@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/hal/types.h"
 #include "src/util/result.h"
 
@@ -55,6 +56,11 @@ class PhysicalMemory {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  // Optional fault injection at the kFrameAlloc site (injected faults surface
+  // as kNoMemory, the only error AllocateFrame can legally return).  Null
+  // disables injection; the injector must outlive this object.
+  void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   const size_t frame_count_;
   const size_t page_size_;
@@ -62,6 +68,7 @@ class PhysicalMemory {
   std::vector<FrameIndex> free_list_;    // LIFO free stack
   std::vector<bool> allocated_;          // per-frame allocation bit (for assertions)
   Stats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace gvm

@@ -16,6 +16,7 @@ SoftMmu::SoftMmu(size_t page_size, unsigned leaf_bits)
 }
 
 Result<AsId> SoftMmu::CreateAddressSpace() {
+  std::lock_guard<std::mutex> guard(mu_);
   AsId as = next_as_++;
   spaces_.emplace(as, AddressSpace{});
   ++stats_.spaces_created;
@@ -23,6 +24,7 @@ Result<AsId> SoftMmu::CreateAddressSpace() {
 }
 
 Status SoftMmu::DestroyAddressSpace(AsId as) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = spaces_.find(as);
   if (it == spaces_.end()) {
     return Status::kNotFound;
@@ -60,6 +62,7 @@ const SoftMmu::Pte* SoftMmu::FindPte(AsId as, Vaddr va) const {
 }
 
 Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
+  std::lock_guard<std::mutex> guard(mu_);
   AddressSpace* space = FindSpace(as);
   if (space == nullptr) {
     return Status::kNotFound;
@@ -79,6 +82,7 @@ Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
 }
 
 Status SoftMmu::Unmap(AsId as, Vaddr va) {
+  std::lock_guard<std::mutex> guard(mu_);
   AddressSpace* space = FindSpace(as);
   if (space == nullptr) {
     return Status::kNotFound;
@@ -99,6 +103,7 @@ Status SoftMmu::Unmap(AsId as, Vaddr va) {
 }
 
 Status SoftMmu::Protect(AsId as, Vaddr va, Prot prot) {
+  std::lock_guard<std::mutex> guard(mu_);
   Pte* pte = FindPte(as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
@@ -109,6 +114,21 @@ Status SoftMmu::Protect(AsId as, Vaddr va, Prot prot) {
 }
 
 Result<FrameIndex> SoftMmu::Translate(AsId as, Vaddr va, Access access) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return TranslateLocked(as, va, access);
+}
+
+Result<FrameIndex> SoftMmu::TranslateAndAccess(AsId as, Vaddr va, Access access,
+                                               const std::function<void(FrameIndex)>& body) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Result<FrameIndex> frame = TranslateLocked(as, va, access);
+  if (frame.ok()) {
+    body(*frame);
+  }
+  return frame;
+}
+
+Result<FrameIndex> SoftMmu::TranslateLocked(AsId as, Vaddr va, Access access) {
   ++stats_.translations;
   Pte* pte = FindPte(as, va);
   if (pte == nullptr) {
@@ -127,6 +147,7 @@ Result<FrameIndex> SoftMmu::Translate(AsId as, Vaddr va, Access access) {
 }
 
 Result<MmuEntry> SoftMmu::Lookup(AsId as, Vaddr va) const {
+  std::lock_guard<std::mutex> guard(mu_);
   const Pte* pte = FindPte(as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
@@ -136,6 +157,7 @@ Result<MmuEntry> SoftMmu::Lookup(AsId as, Vaddr va) const {
 }
 
 Result<bool> SoftMmu::TestAndClearReferenced(AsId as, Vaddr va) {
+  std::lock_guard<std::mutex> guard(mu_);
   Pte* pte = FindPte(as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
@@ -146,6 +168,7 @@ Result<bool> SoftMmu::TestAndClearReferenced(AsId as, Vaddr va) {
 }
 
 size_t SoftMmu::LeafTableCount(AsId as) const {
+  std::lock_guard<std::mutex> guard(mu_);
   const AddressSpace* space = FindSpace(as);
   return space == nullptr ? 0 : space->directory.size();
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,8 @@ class SoftMmu final : public Mmu {
   Status Unmap(AsId as, Vaddr va) override;
   Status Protect(AsId as, Vaddr va, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
+  Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
+                                        const std::function<void(FrameIndex)>& body) override;
   Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
   Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
 
@@ -63,10 +66,15 @@ class SoftMmu final : public Mmu {
   const AddressSpace* FindSpace(AsId as) const;
   Pte* FindPte(AsId as, Vaddr va);
   const Pte* FindPte(AsId as, Vaddr va) const;
+  Result<FrameIndex> TranslateLocked(AsId as, Vaddr va, Access access);
 
   const size_t page_size_;
   const unsigned page_shift_;
   const unsigned leaf_bits_;
+  // Hardware walks PTEs atomically with respect to kernel updates; the software
+  // model gets the same property from a leaf-level mutex.  SoftMmu never calls
+  // out while holding it, so the kernel-lock -> MMU-lock order is acyclic.
+  mutable std::mutex mu_;
   AsId next_as_ = 0;
   std::unordered_map<AsId, AddressSpace> spaces_;
   Stats stats_;

@@ -35,9 +35,13 @@ Status ProcessManager::InstallProgram(const std::string& path, const VmAssembler
   std::vector<std::byte> image(page + AlignUp(text_bytes.size(), page) +
                                AlignUp(data.size(), page));
   std::memcpy(image.data(), &header, sizeof(header));
-  std::memcpy(image.data() + page, text_bytes.data(), text_bytes.size());
-  std::memcpy(image.data() + page + AlignUp(text_bytes.size(), page), data.data(),
-              data.size());
+  if (!text_bytes.empty()) {
+    std::memcpy(image.data() + page, text_bytes.data(), text_bytes.size());
+  }
+  if (!data.empty()) {
+    std::memcpy(image.data() + page + AlignUp(text_bytes.size(), page), data.data(),
+                data.size());
+  }
   Result<uint64_t> key = filesystem_.CreateFile(path, image.data(), image.size());
   return key.ok() ? Status::kOk : key.status();
 }

@@ -25,6 +25,13 @@ void Ipc::PortDestroy(PortId port) {
 }
 
 Status Ipc::Send(PortId to, Message message) {
+  if (injector_ != nullptr) {
+    // The message is "lost on the wire": never enqueued, sender sees the error.
+    Status injected = injector_->Check(FaultSite::kIpcSend);
+    if (injected != Status::kOk) {
+      return injected;
+    }
+  }
   if (message.data.size() > Message::kMaxBytes) {
     // "To transfer large or sparse data, users should call the memory management
     // operations, and not IPC."
@@ -43,6 +50,14 @@ Status Ipc::Send(PortId to, Message message) {
 }
 
 Result<Message> Ipc::Receive(PortId port) {
+  if (injector_ != nullptr) {
+    // Fails before touching the queue, so the message (if any) stays queued and
+    // a later retry of the receive can still pick it up.
+    Status injected = injector_->Check(FaultSite::kIpcReceive);
+    if (injected != Status::kOk) {
+      return injected;
+    }
+  }
   std::unique_lock<std::mutex> lock(mu_);
   auto it = ports_.find(port);
   if (it == ports_.end()) {

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/util/result.h"
 
 namespace gvm {
@@ -80,6 +81,10 @@ class Ipc {
 
   const Stats& stats() const { return stats_; }
 
+  // Optional fault injection at the kIpcSend / kIpcReceive sites (a "lossy
+  // transport").  Null disables injection; the injector must outlive this Ipc.
+  void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   struct Port {
     std::deque<Message> queue;
@@ -91,6 +96,7 @@ class Ipc {
   PortId next_port_ = 1;
   std::map<PortId, std::unique_ptr<Port>> ports_;
   Stats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace gvm

@@ -87,7 +87,11 @@ void MapperServer::ServeLoop() {
   while (running_.load()) {
     Result<Message> request = ipc_.Receive(port_);
     if (!request.ok()) {
-      return;  // port destroyed
+      if (request.status() == Status::kNotFound) {
+        return;  // port destroyed
+      }
+      continue;  // transient receive fault (e.g. injected): the request is
+                 // still queued, pick it up on the next round
     }
     if (request->operation == 0) {
       continue;  // shutdown poke
@@ -135,6 +139,9 @@ Status SwapMapper::Write(uint64_t key, SegOffset offset, const std::byte* data, 
 
 Result<uint64_t> SwapMapper::AllocateTemporary(size_t size_hint) {
   (void)size_hint;
+  if (injector_ != nullptr && injector_->Check(FaultSite::kSwapAlloc) != Status::kOk) {
+    return Status::kNoSwap;
+  }
   uint64_t key = next_key_++;
   segments_[key];
   return key;

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/hal/types.h"
 #include "src/nucleus/ipc.h"
 #include "src/util/result.h"
@@ -119,10 +120,16 @@ class SwapMapper final : public Mapper {
   // Bytes currently stored for a segment (for swap-usage assertions).
   size_t StoredBytes(uint64_t key) const;
 
+  // Optional fault injection at the kSwapAlloc site: backing-store exhaustion in
+  // the default mapper itself (AllocateTemporary fails with kNoSwap).  Null
+  // disables injection; the injector must outlive this mapper.
+  void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   const size_t page_size_;
   uint64_t next_key_ = 1;
   std::map<uint64_t, std::map<SegOffset, std::vector<std::byte>>> segments_;
+  FaultInjector* injector_ = nullptr;
 };
 
 // A named-file mapper: a tiny in-memory filesystem whose files are segments.

@@ -1,6 +1,8 @@
 #include "src/nucleus/segment_manager.h"
 
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 #include "src/util/log.h"
 
@@ -98,6 +100,36 @@ Result<Message> SegmentManager::MapperCall(PortId port, Message request) {
   return it->second->Dispatch(request);
 }
 
+Result<Message> SegmentManager::RetryingMapperCall(FaultSite site, PortId port,
+                                                   const Message& request) {
+  // All mapper operations are idempotent (reads, whole-page writes, allocation
+  // of a fresh key), so a transient transport or mapper I/O failure is absorbed
+  // by re-issuing the identical call.  kBusError is the only status we treat as
+  // possibly-transient; kNoSwap, kNotFound etc. are answers, not line noise.
+  for (uint64_t attempt = 0;; ++attempt) {
+    Status s = injector_ == nullptr ? Status::kOk : injector_->Check(site);
+    if (s == Status::kOk) {
+      Result<Message> reply = MapperCall(port, Message(request));
+      if (reply.ok() && reply->status == static_cast<int32_t>(Status::kOk)) {
+        return reply;
+      }
+      s = reply.ok() ? static_cast<Status>(reply->status) : reply.status();
+    }
+    if (s != Status::kBusError) {
+      return s;
+    }
+    if (attempt >= options_.io_retry_limit) {
+      ++stats_.io_permanent_failures;
+      return s;
+    }
+    ++stats_.io_retries;
+    if (options_.retry_backoff_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.retry_backoff_us << attempt));
+    }
+  }
+}
+
 Status SegmentManager::MapperRead(const Capability& segment, SegOffset offset, size_t size,
                                   std::vector<std::byte>* out, Prot* max_prot) {
   ++stats_.mapper_reads;
@@ -106,12 +138,9 @@ Status SegmentManager::MapperRead(const Capability& segment, SegOffset offset, s
   request.subject = segment;
   request.arg0 = offset;
   request.arg1 = size;
-  Result<Message> reply = MapperCall(segment.port, std::move(request));
+  Result<Message> reply = RetryingMapperCall(FaultSite::kMapperRead, segment.port, request);
   if (!reply.ok()) {
     return reply.status();
-  }
-  if (reply->status != static_cast<int32_t>(Status::kOk)) {
-    return static_cast<Status>(reply->status);
   }
   if (max_prot != nullptr) {
     *max_prot = static_cast<Prot>(reply->arg0);
@@ -131,12 +160,10 @@ Status SegmentManager::MapperWrite(const Capability& segment, SegOffset offset,
     request.subject = segment;
     request.arg0 = offset + done;
     request.data.assign(data + done, data + done + chunk);
-    Result<Message> reply = MapperCall(segment.port, std::move(request));
+    Result<Message> reply =
+        RetryingMapperCall(FaultSite::kMapperWrite, segment.port, request);
     if (!reply.ok()) {
       return reply.status();
-    }
-    if (reply->status != static_cast<int32_t>(Status::kOk)) {
-      return static_cast<Status>(reply->status);
     }
   }
   return Status::kOk;
@@ -152,11 +179,12 @@ Status SegmentManager::MapperWriteAccess(const Capability& segment, SegOffset of
   request.subject = segment;
   request.arg0 = offset;
   request.arg1 = size;
-  Result<Message> reply = MapperCall(segment.port, std::move(request));
+  Result<Message> reply =
+      RetryingMapperCall(FaultSite::kMapperWrite, segment.port, request);
   if (!reply.ok()) {
     return reply.status();
   }
-  return static_cast<Status>(reply->status);
+  return Status::kOk;
 }
 
 Result<Capability> SegmentManager::MapperAllocTemp(size_t size_hint) {
@@ -166,12 +194,10 @@ Result<Capability> SegmentManager::MapperAllocTemp(size_t size_hint) {
   Message request;
   request.operation = static_cast<uint64_t>(MapperOp::kAllocTemp);
   request.arg0 = size_hint;
-  Result<Message> reply = MapperCall(default_mapper_->port(), std::move(request));
+  Result<Message> reply = RetryingMapperCall(FaultSite::kMapperAllocTemp,
+                                             default_mapper_->port(), request);
   if (!reply.ok()) {
     return reply.status();
-  }
-  if (reply->status != static_cast<int32_t>(Status::kOk)) {
-    return static_cast<Status>(reply->status);
   }
   return reply->subject;
 }

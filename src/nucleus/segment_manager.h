@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "src/fault/fault_injector.h"
 #include "src/gmi/memory_manager.h"
 #include "src/nucleus/ipc.h"
 #include "src/nucleus/mapper.h"
@@ -32,6 +33,14 @@ class SegmentManager : public SegmentRegistry {
     // the mapper server's dispatcher in-process (false).  Both exercise the same
     // wire protocol; the threaded mode additionally exercises real concurrency.
     bool use_ipc_transport = false;
+    // Mapper RPC retry policy: a transient kBusError (failed transport or mapper
+    // I/O error) is retried up to this many extra attempts before it is treated
+    // as permanent and propagated.  All mapper RPCs are idempotent, so retrying
+    // a whole call is always safe.
+    uint64_t io_retry_limit = 3;
+    // Deterministic exponential backoff between attempts: the k-th retry sleeps
+    // retry_backoff_us << k microseconds.  0 disables sleeping (tests).
+    uint64_t retry_backoff_us = 0;
   };
 
   struct Stats {
@@ -42,6 +51,8 @@ class SegmentManager : public SegmentRegistry {
     uint64_t mapper_reads = 0;
     uint64_t mapper_writes = 0;
     uint64_t temp_segments = 0;     // swap segments allocated on first pushOut
+    uint64_t io_retries = 0;            // transient-kBusError RPC attempts retried
+    uint64_t io_permanent_failures = 0; // kBusError RPCs that exhausted the retry budget
   };
 
   SegmentManager(MemoryManager& mm, Ipc& ipc) : SegmentManager(mm, ipc, Options{}) {}
@@ -53,6 +64,11 @@ class SegmentManager : public SegmentRegistry {
   void BindDefaultMapper(MapperServer* server);
   // Register an additional mapper server so its port can be resolved.
   void RegisterMapper(MapperServer* server);
+
+  // Optional fault injection on the mapper RPC sites (kMapperRead, kMapperWrite,
+  // kMapperAllocTemp).  Null disables injection; the injector must outlive this
+  // manager.  Injected faults go through the same retry policy as real ones.
+  void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   // Find or create the local cache for a segment capability.  Takes a reference;
   // pair with Release().  (The paper's rgnMap path.)
@@ -104,6 +120,10 @@ class SegmentManager : public SegmentRegistry {
   Status MapperWriteAccess(const Capability& segment, SegOffset offset, size_t size);
   Result<Capability> MapperAllocTemp(size_t size_hint);
   Result<Message> MapperCall(PortId port, Message request);
+  // One logical RPC under the retry policy: evaluates the injection site, issues
+  // the call, retries transient kBusError with deterministic backoff, and
+  // guarantees reply->status == kOk on success.
+  Result<Message> RetryingMapperCall(FaultSite site, PortId port, const Message& request);
 
   Entry* FindBySegment(const Capability& segment);
   Entry* FindByCache(Cache* cache);
@@ -113,6 +133,7 @@ class SegmentManager : public SegmentRegistry {
   MemoryManager& mm_;
   Ipc& ipc_;
   Options options_;
+  FaultInjector* injector_ = nullptr;
   MapperServer* default_mapper_ = nullptr;
   std::map<PortId, MapperServer*> mappers_;
   std::list<Entry> entries_;

@@ -90,6 +90,7 @@ Status PagedVm::SecureHistorySnapshots(std::unique_lock<std::mutex>& lock, PvmCa
         if (dropped) {
           continue;
         }
+        PagePin value_pin(**value);
         Result<PageDesc*> copy = MaterializePage(lock, *history, h_off,
                                                  memory().FrameData((*value)->frame),
                                                  /*dirty=*/true, Prot::kAll);
@@ -464,6 +465,7 @@ Status PagedVm::MoveRange(std::unique_lock<std::mutex>& lock, PvmCache& src, Seg
       if (dropped) {
         continue;
       }
+      PagePin value_pin(**value);
       Result<PageDesc*> copy = MaterializePage(lock, dst, d_off,
                                                memory().FrameData((*value)->frame),
                                                /*dirty=*/true, Prot::kAll);

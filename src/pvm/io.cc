@@ -51,6 +51,12 @@ Status PagedVm::CacheRead(std::unique_lock<std::mutex>& lock, PvmCache& cache,
           break;
       }
     }
+    if (!settled && result == Status::kOk) {
+      // Livelock cap exhausted with the page still blocked (a wedged transfer or
+      // a waker that never resolves the stub).  Surface it: advancing `done`
+      // here would silently skip a chunk that was never copied.
+      result = Status::kBusy;
+    }
     if (result != Status::kOk) {
       break;
     }
@@ -61,6 +67,11 @@ Status PagedVm::CacheRead(std::unique_lock<std::mutex>& lock, PvmCache& cache,
 
 Status PagedVm::CacheWrite(std::unique_lock<std::mutex>& lock, PvmCache& cache,
                            SegOffset offset, const void* buffer, size_t size) {
+  if (cache.degraded_) {
+    // Degraded segment: refuse new dirty data (see PushOutPageLocked).  Reads,
+    // fillUp and the Sync()/Flush() recovery paths remain available.
+    return Status::kBusError;
+  }
   const size_t page = page_size();
   const auto* in = static_cast<const std::byte*>(buffer);
   size_t done = 0;

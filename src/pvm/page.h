@@ -64,6 +64,21 @@ struct PageDesc {
   std::list<PageDesc>::iterator self;  // position in the cache's page list
 };
 
+// Pins a page across a frame allocation.  BalanceFreeFrames frees clean
+// reproducible pages *without* dropping the manager lock, so a PageDesc held
+// across AllocateFrame/MaterializePage can die even when `dropped_lock` stays
+// false; the pin keeps it off the victim list for the duration.
+class PagePin {
+ public:
+  explicit PagePin(PageDesc& page) : page_(page) { ++page_.pin_count; }
+  ~PagePin() { --page_.pin_count; }
+  PagePin(const PagePin&) = delete;
+  PagePin& operator=(const PagePin&) = delete;
+
+ private:
+  PageDesc& page_;
+};
+
 // Global map entry: a resident page, a synchronization stub (data in transit), or a
 // per-virtual-page copy-on-write stub.
 struct MapEntry {

@@ -75,13 +75,22 @@ Result<FrameIndex> PagedVm::AllocateFrame(std::unique_lock<std::mutex>& lock,
     }
     return frame;
   }
-  if (options_.low_water_frames > 0) {
+  if (options_.low_water_frames == 0) {
+    return frame;  // pager disabled: hard OOM is the configured contract
+  }
+  // Bounded eviction-pressure loop: a dry pool is often transient (every frame
+  // momentarily pinned or in transit, or a flaky allocation fault), so run the
+  // pager and re-try a few rounds before surfacing kNoMemory.
+  for (uint64_t attempt = 0;; ++attempt) {
     if (BalanceFreeFrames(lock)) {
       *dropped_lock = true;
     }
     frame = memory().AllocateFrame();
+    if (frame.ok() || attempt >= options_.alloc_retry_limit) {
+      return frame;
+    }
+    ++detail_.alloc_pressure_retries;
   }
-  return frame;
 }
 
 Result<PageDesc*> PagedVm::MaterializePage(std::unique_lock<std::mutex>& lock, PvmCache& cache,
@@ -164,6 +173,7 @@ Status PagedVm::MaterializeStubsOf(std::unique_lock<std::mutex>& lock, PvmCache&
     CowStub* first = it->second.front();
     PvmCache& dst = *first->cache;
     const SegOffset dst_off = first->offset;
+    PagePin value_pin(**value);
     Result<FrameIndex> frame = AllocateFrame(lock, &dropped);
     if (!frame.ok()) {
       return frame.status();
@@ -519,6 +529,7 @@ Status PagedVm::PushToHistory(std::unique_lock<std::mutex>& lock, PvmCache& cach
     if (history.pushed_pages_.contains(PageIndex(h_off))) {
       return Status::kOk;
     }
+    PagePin src_pin(page);
     Result<PageDesc*> copy =
         MaterializePage(lock, history, h_off, memory().FrameData(page.frame),
                         /*dirty=*/true, Prot::kAll);
@@ -548,7 +559,9 @@ Status PagedVm::DetachStubs(std::unique_lock<std::mutex>& lock, PageDesc& page,
   const SegOffset dst_off = first->offset;
 
   // Allocate the frame first; the stub entry keeps the slot stable even if the
-  // allocation has to evict (which drops the lock).
+  // allocation has to evict (which drops the lock).  Pin the source page: the
+  // eviction may otherwise pick it as a clean victim and free it in place.
+  PagePin src_pin(page);
   bool dropped = false;
   Result<FrameIndex> frame = AllocateFrame(lock, &dropped);
   if (!frame.ok()) {
@@ -692,6 +705,7 @@ Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock
       // destination range was cleared; reaching here with a live history link
       // means the link was established over the stub, whose value is src's.)
       bool dropped = false;
+      PagePin src_pin(*src);
       Result<FrameIndex> frame = AllocateFrame(lock, &dropped);
       if (!frame.ok()) {
         return frame.status();
@@ -739,6 +753,7 @@ Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock
     if (src->cache == &cache && src->offset == page_offset) {
       continue;  // the walk ended at home (e.g. a zero fill landed here)
     }
+    PagePin src_pin(*src);  // materialization below may evict; keep the source alive
     // Note: the owner may be this very cache at a *different* offset (mutual
     // copies between two segments produce such walks); that is an ordinary
     // ancestor value and is materialized like any other.
@@ -799,6 +814,13 @@ Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault,
     bool dropped = false;
 
     if (fault.access == Access::kWrite) {
+      if (cache.degraded_) {
+        // Degraded segment: dirty data cannot currently reach the mapper, so
+        // refuse new writes rather than accept bytes that may be lost.  Reads
+        // (the else branch) are still served.
+        result = Status::kBusError;
+        break;
+      }
       Result<PageDesc*> page = EnsureWritablePage(lock, cache, offset, &dropped);
       if (!page.ok()) {
         result = page.status();
@@ -883,6 +905,9 @@ Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault,
     }
   }
 
+  // kRetry is a private protocol between internal loops; by the time a fault
+  // resolution returns it must have been converted into kOk or a real error.
+  assert(result != Status::kRetry && "kRetry escaped ResolveFault");
   lock.release();  // BaseMm::HandleFault still owns the mutex
   return result;
 }
@@ -1031,6 +1056,24 @@ size_t PagedVm::SyncStubCount() const {
 size_t PagedVm::CowStubCount() const {
   std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
   return map_.CountKind(MapEntry::Kind::kCowStub);
+}
+
+size_t PagedVm::InTransitCount() const {
+  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  size_t count = 0;
+  for (const auto& [id, cache] : caches_) {
+    for (const PageDesc& page : cache->pages_) {
+      if (page.in_transit) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+void PagedVm::PokeSleepers(const Cache& cache, SegOffset offset) {
+  std::unique_lock<std::mutex> lock(mu());
+  sleepers_.WakeAll(StubKey(static_cast<const PvmCache&>(cache), offset));
 }
 
 }  // namespace gvm

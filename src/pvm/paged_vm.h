@@ -40,6 +40,12 @@ struct PvmDetailStats {
   uint64_t caches_collapsed = 0;      // dying caches merged into their single child
   uint64_t caches_reaped = 0;         // dying caches freed outright
   uint64_t move_retargets = 0;        // pages moved by re-assigning frame-to-cache
+  // Fault-recovery accounting (see DESIGN.md "Fault model and recovery semantics").
+  uint64_t io_retries = 0;             // transient-kBusError upcalls retried
+  uint64_t io_permanent_failures = 0;  // kBusError upcalls that exhausted the retry budget
+  uint64_t pushout_requeues = 0;       // failed push-outs re-marked dirty for a later sweep
+  uint64_t degraded_segments = 0;      // caches tripped into degraded (read-only) mode
+  uint64_t alloc_pressure_retries = 0; // frame allocations retried after an eviction round
 };
 
 class PagedVm final : public BaseMm {
@@ -56,6 +62,20 @@ class PagedVm final : public BaseMm {
     // Merge a dying cache into its single remaining child when possible
     // (the history-chain garbage collection discussed in section 4.2.5).
     bool collapse_dying_caches = true;
+    // A transient kBusError from a pullIn/pushOut upcall is retried up to this
+    // many extra attempts before being treated as permanent.
+    uint64_t io_retry_limit = 3;
+    // Deterministic exponential backoff between upcall retries: the k-th retry
+    // sleeps retry_backoff_us << k microseconds (lock released).  0 disables.
+    uint64_t retry_backoff_us = 0;
+    // After this many *consecutive* failed push-outs a cache is marked degraded:
+    // new writes are refused with kBusError (reads still served) until a pushOut
+    // succeeds again, so unsaveable dirty data stops accumulating.
+    int degrade_after_failures = 3;
+    // When the frame pool is dry, eviction+allocation is retried up to this many
+    // extra rounds before kNoMemory surfaces (absorbs transient pile-ups where
+    // every frame is momentarily pinned or in transit).
+    uint64_t alloc_retry_limit = 4;
   };
 
   PagedVm(PhysicalMemory& memory, Mmu& mmu) : PagedVm(memory, mmu, Options{}) {}
@@ -73,6 +93,13 @@ class PagedVm final : public BaseMm {
   size_t GlobalMapEntries() const;
   size_t SyncStubCount() const;
   size_t CowStubCount() const;
+  // Pages currently flagged in_transit (must be zero once the system quiesces,
+  // even after injected failures).
+  size_t InTransitCount() const;
+  // Test hook: wake every thread sleeping on (cache, offset)'s stub key without
+  // changing any state.  SleepQueue::Wait permits spurious wakeups by contract,
+  // so this merely provokes the re-check path sleepers must already handle.
+  void PokeSleepers(const Cache& cache, SegOffset offset);
   // Renders the history tree reachable from `cache` in the notation of Figure 3.
   std::string DumpTree(Cache& cache) const;
   // Walks every structural invariant (tree shape, reverse-map consistency, global

@@ -6,12 +6,27 @@
 // synchronization page stub; during a pushOut the page is flagged in_transit —
 // both make concurrent accesses sleep until the transfer completes (section 4.1.2).
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 #include "src/pvm/paged_vm.h"
 #include "src/util/align.h"
 #include "src/util/log.h"
 
 namespace gvm {
+
+namespace {
+
+// Deterministic exponential backoff before the (attempt+1)-th retry of an
+// upcall.  Called with the manager lock RELEASED: sleeping under the lock would
+// stall every other thread in the manager.
+void RetryBackoff(uint64_t backoff_us, uint64_t attempt) {
+  if (backoff_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us << attempt));
+  }
+}
+
+}  // namespace
 
 bool PagedVm::PageIsDirty(const PageDesc& page) const {
   if (page.sw_dirty) {
@@ -167,25 +182,59 @@ Status PagedVm::PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& 
   const SegOffset offset = page.offset;
   page.in_transit = true;
   // Unmap now: user writes racing the push would be silently lost otherwise.
+  // NOTE: this destroys the MMU dirty bits — from here on the page's dirtiness
+  // lives only in sw_dirty, so every failure path below must re-assert it.
   UnmapAllMappings(page);
   ++mutable_stats().push_outs;
   SegmentDriver* driver = cache.driver_;
-  lock.unlock();
-  Status pushed = driver->PushOut(cache, offset, page_size());
-  lock.lock();
-  // Re-derive: the driver ran arbitrary code (it normally calls CopyBack).
-  PageDesc* again = FindOwned(cache, offset);
-  if (again == nullptr) {
-    // The driver used MoveBack (copyBack with removal); nothing left to do.
-    sleepers_.WakeAll(StubKey(cache, offset));
-    return pushed;
+  Status pushed = Status::kOk;
+  PageDesc* again = nullptr;
+  for (uint64_t attempt = 0;; ++attempt) {
+    lock.unlock();
+    if (attempt > 0) {
+      RetryBackoff(options_.retry_backoff_us, attempt - 1);
+    }
+    pushed = driver->PushOut(cache, offset, page_size());
+    lock.lock();
+    // Re-derive: the driver ran arbitrary code (it normally calls CopyBack).
+    again = FindOwned(cache, offset);
+    if (again == nullptr) {
+      // The driver used MoveBack (copyBack with removal); nothing left to do.
+      sleepers_.WakeAll(StubKey(cache, offset));
+      return pushed;
+    }
+    if (pushed != Status::kBusError || attempt >= options_.io_retry_limit) {
+      break;
+    }
+    // Transient I/O error: the page is still ours, try again.
+    again->in_transit = true;
+    ++detail_.io_retries;
   }
   again->in_transit = false;
   if (pushed == Status::kOk) {
     cache.pushed_pages_.insert(PageIndex(offset));
     again->sw_dirty = false;
+    // A successful write to the segment is proof of recovery.
+    cache.pushout_failures_ = 0;
+    cache.degraded_ = false;
     if (free_after && again->pin_count == 0) {
       FreePage(again);
+    }
+  } else {
+    if (pushed == Status::kBusError) {
+      ++detail_.io_permanent_failures;
+    }
+    // Requeue, never drop: re-assert sw_dirty (the MMU bits died with the unmap
+    // above, so without this a page whose dirtiness lived only in hardware bits
+    // would look clean and could be clean-dropped — silent data loss).  The page
+    // stays resident and a later sweep or Sync() retries the push.
+    again->sw_dirty = true;
+    ++detail_.pushout_requeues;
+    if (++cache.pushout_failures_ >= options_.degrade_after_failures && !cache.degraded_) {
+      cache.degraded_ = true;
+      ++detail_.degraded_segments;
+      GVM_LOG(Debug) << "cache " << cache.name() << " degraded after "
+                     << cache.pushout_failures_ << " consecutive pushOut failures";
     }
   }
   sleepers_.WakeAll(StubKey(cache, offset));
@@ -213,12 +262,37 @@ Status PagedVm::PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache
   // global map for that page."
   map_.Insert(cache.id(), PageIndex(page_offset), MapEntry{.kind = MapEntry::Kind::kSyncStub, .page = nullptr, .cow = nullptr});
   ++mutable_stats().pull_ins;
-  lock.unlock();
-  Status pulled = driver->PullIn(cache, page_offset, page_size(), access);
-  lock.lock();
+  Status pulled = Status::kOk;
+  for (uint64_t attempt = 0;; ++attempt) {
+    lock.unlock();
+    if (attempt > 0) {
+      RetryBackoff(options_.retry_backoff_us, attempt - 1);
+    }
+    pulled = driver->PullIn(cache, page_offset, page_size(), access);
+    lock.lock();
+    if (pulled == Status::kOk) {
+      break;
+    }
+    // The stub keeps the slot stable across attempts; concurrent accesses stay
+    // asleep.  If the slot is no longer a stub the data arrived anyway (a racing
+    // FillUp, or the driver filled before erroring): treat as recovered.
+    MapEntry* entry = FindEntry(cache, page_offset);
+    if (entry == nullptr || entry->kind != MapEntry::Kind::kSyncStub) {
+      pulled = Status::kOk;
+      break;
+    }
+    if (pulled != Status::kBusError || attempt >= options_.io_retry_limit) {
+      break;
+    }
+    ++detail_.io_retries;
+  }
   if (pulled != Status::kOk) {
-    // Failed: remove the stub (if the driver did not fill after all) and wake any
-    // sleepers so they observe the failure.
+    if (pulled == Status::kBusError) {
+      ++detail_.io_permanent_failures;
+    }
+    // Failed for good: remove the stub (if the driver did not fill after all) and
+    // wake every sleeper so each re-derives state and observes a clean bus error
+    // instead of hanging on a stub nobody will resolve.
     MapEntry* entry = FindEntry(cache, page_offset);
     if (entry != nullptr && entry->kind == MapEntry::Kind::kSyncStub) {
       map_.Erase(cache.id(), PageIndex(page_offset));

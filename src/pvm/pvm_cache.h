@@ -80,6 +80,10 @@ class PvmCache final : public Cache {
   PvmCache* HistoryAt(SegOffset offset) const;
   bool temporary() const { return temporary_; }
   bool dying() const { return dying_; }
+  // True while repeated pushOut failures have tripped this cache into degraded
+  // mode: writes are refused with kBusError, reads are still served, and the
+  // first successful pushOut (e.g. a Sync() once the mapper heals) recovers it.
+  bool degraded() const;
 
  private:
   friend class PagedVm;
@@ -105,6 +109,8 @@ class PvmCache final : public Cache {
   // an ancestor, pulling in from our segment, and zero-filling.
   std::unordered_set<uint64_t> pushed_pages_;
   size_t mapping_count_ = 0;  // regions currently mapping this cache
+  int pushout_failures_ = 0;  // consecutive failed push-outs (reset on success)
+  bool degraded_ = false;     // writes refused until a pushOut succeeds again
 };
 
 }  // namespace gvm

@@ -434,18 +434,21 @@ void ShadowVm::ReapUnreferenced(MemObject* object) {
   if (object == nullptr || ObjectReferenced(*object)) {
     return;
   }
-  // Free this object and re-examine the chain below it.
-  std::vector<MemObject*> below;
+  // Free this object and re-examine the chain below it.  Track the chain by id,
+  // not pointer: `below` may name the same object twice (two fragments backed by
+  // one source), and the first recursive reap frees it.
+  std::vector<uint64_t> below;
   object->backing_.ForEach([&](const FragmentMap<ShadowLink>::Fragment& frag) {
-    below.push_back(frag.value.object);
+    below.push_back(frag.value.object->id());
   });
   while (!object->pages_.empty()) {
     DropPage(*object, object->pages_.begin()->second);
   }
   objects_.erase(object->id());
-  for (MemObject* next : below) {
-    if (objects_.contains(next->id())) {
-      ReapUnreferenced(next);
+  for (uint64_t next : below) {
+    auto it = objects_.find(next);
+    if (it != objects_.end()) {
+      ReapUnreferenced(it->second.get());
     }
   }
 }

@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/gmi/cache.h"
 #include "src/gmi/segment_driver.h"
 
@@ -23,6 +24,12 @@ class TestStoreDriver : public SegmentDriver {
     ++pull_ins;
     if (fail_pull_in) {
       return Status::kBusError;
+    }
+    if (injector != nullptr) {
+      Status injected = injector->Check(FaultSite::kMapperRead);
+      if (injected != Status::kOk) {
+        return injected;
+      }
     }
     std::vector<std::byte> buffer(size);
     for (size_t i = 0; i < size; i += page_size_) {
@@ -49,6 +56,12 @@ class TestStoreDriver : public SegmentDriver {
     ++push_outs;
     if (fail_push_out) {
       return Status::kBusError;
+    }
+    if (injector != nullptr) {
+      Status injected = injector->Check(FaultSite::kMapperWrite);
+      if (injected != Status::kOk) {
+        return injected;
+      }
     }
     std::vector<std::byte> buffer(size);
     Status s = cache.CopyBack(offset, buffer.data(), size);
@@ -84,6 +97,9 @@ class TestStoreDriver : public SegmentDriver {
   bool fail_push_out = false;
   bool grant_write_access = true;
   bool read_only_fills = false;
+  // Optional fault injection on kMapperRead/kMapperWrite (the driver stands in
+  // for the mapper's I/O path); null disables it.
+  FaultInjector* injector = nullptr;
 
  private:
   const size_t page_size_;
@@ -97,12 +113,19 @@ class TestSwapRegistry : public SegmentRegistry {
 
   SegmentDriver* SegmentCreate(Cache& cache) override {
     (void)cache;
+    if (injector != nullptr && injector->Check(FaultSite::kSwapAlloc) != Status::kOk) {
+      return nullptr;  // backing store exhausted: the MM sees kNoSwap
+    }
     ++segments_created;
     drivers_.push_back(std::make_unique<TestStoreDriver>(page_size_));
+    drivers_.back()->injector = injector;
     return drivers_.back().get();
   }
 
   int segments_created = 0;
+  // Optional fault injection: kSwapAlloc here, propagated to created drivers
+  // for their kMapperRead/kMapperWrite sites.
+  FaultInjector* injector = nullptr;
 
  private:
   const size_t page_size_;

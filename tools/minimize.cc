@@ -41,16 +41,38 @@ const char* PolicyName(CopyPolicy p) {
 }
 
 // Replays a trace; returns true if any audit diverges (the failure reproduces).
-bool Replay(const std::vector<Op>& ops, bool verbose) {
-  PhysicalMemory memory(4096, kPage);
+// Fault specs (if any) are applied to a fresh injector seeded from `fault_seed`
+// on every replay, so each candidate trace sees an identical fault stream.
+bool Replay(const std::vector<Op>& ops, bool verbose, uint64_t fault_seed,
+            const std::vector<std::string>& fault_specs, size_t frames) {
+  PhysicalMemory memory(frames, kPage);
   SoftMmu mmu(kPage);
   PagedVm vm(memory, mmu);
   TestSwapRegistry registry(kPage);
   vm.BindSegmentRegistry(&registry);
+  FaultInjector injector(fault_seed);
+  for (const std::string& spec : fault_specs) {
+    injector.ApplySpec(spec);  // validated once in main()
+  }
+  registry.injector = &injector;
+  memory.BindFaultInjector(&injector);
   std::map<int, std::vector<std::byte>> ref;
   std::map<int, Cache*> live;
 
+  // Unacknowledged mutations may have partially applied: take an authoritative
+  // read with injection suspended (does not advance the injector's RNG).
+  auto resync = [&](int id) {
+    injector.set_enabled(false);
+    live[id]->Read(0, ref[id].data(), kSegBytes);
+    injector.set_enabled(true);
+  };
+
   auto audit = [&]() -> bool {
+    injector.set_enabled(false);
+    struct Reenable {
+      FaultInjector& inj;
+      ~Reenable() { inj.set_enabled(true); }
+    } reenable{injector};
     for (auto& [id, cache] : live) {
       std::vector<std::byte> got(kSegBytes);
       if (cache->Read(0, got.data(), kSegBytes) != Status::kOk) {
@@ -83,14 +105,21 @@ bool Replay(const std::vector<Op>& ops, bool verbose) {
         Rng data(op.data_seed);
         std::vector<std::byte> bytes(op.size);
         for (auto& c : bytes) c = (std::byte)data.Below(256);
-        live[op.a]->Write(op.off, bytes.data(), op.size);
-        std::memcpy(ref[op.a].data() + op.off, bytes.data(), op.size);
+        if (live[op.a]->Write(op.off, bytes.data(), op.size) == Status::kOk) {
+          std::memcpy(ref[op.a].data() + op.off, bytes.data(), op.size);
+        } else {
+          resync(op.a);
+        }
         break;
       }
       case Op::kCopy:
         if (!live.contains(op.a) || !live.contains(op.b)) break;
-        live[op.a]->CopyTo(*live[op.b], op.src_off, op.off, op.size, op.policy);
-        std::memmove(ref[op.b].data() + op.off, ref[op.a].data() + op.src_off, op.size);
+        if (live[op.a]->CopyTo(*live[op.b], op.src_off, op.off, op.size, op.policy) ==
+            Status::kOk) {
+          std::memmove(ref[op.b].data() + op.off, ref[op.a].data() + op.src_off, op.size);
+        } else {
+          resync(op.b);
+        }
         break;
       case Op::kDestroy:
         if (!live.contains(op.a) || live.size() <= 1) break;
@@ -135,6 +164,26 @@ void Print(const std::vector<Op>& ops) {
 int main(int argc, char** argv) {
   uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
   int steps = argc > 2 ? atoi(argv[2]) : 300;
+  // Remaining arguments are fault-plan specs (recreated identically per replay)
+  // or "frames=N" to shrink physical memory for eviction pressure.
+  std::vector<std::string> fault_specs;
+  size_t frames = 4096;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("frames=", 0) == 0) {
+      frames = strtoull(arg.c_str() + 7, nullptr, 10);
+      continue;
+    }
+    FaultInjector probe;
+    std::string error;
+    if (!probe.ApplySpec(arg, &error)) {
+      fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
+      fprintf(stderr, "usage: %s [seed] [steps] [frames=N] [site:mode[:args]...]...\n",
+              argv[0]);
+      return 2;
+    }
+    fault_specs.push_back(arg);
+  }
   // Generate the schedule exactly like the property test.
   std::vector<Op> trace;
   {
@@ -186,7 +235,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (!Replay(trace, false)) {
+  if (!Replay(trace, false, seed, fault_specs, frames)) {
     printf("trace does not fail; try another seed\n");
     return 1;
   }
@@ -198,7 +247,7 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < trace.size(); ++i) {
       std::vector<Op> candidate = trace;
       candidate.erase(candidate.begin() + i);
-      if (Replay(candidate, false)) {
+      if (Replay(candidate, false, seed, fault_specs, frames)) {
         trace = candidate;
         shrunk = true;
         break;
@@ -208,6 +257,6 @@ int main(int argc, char** argv) {
   printf("minimal trace (%zu ops):\n", trace.size());
   Print(trace);
   printf("--- replaying verbosely ---\n");
-  Replay(trace, true);
+  Replay(trace, true, seed, fault_specs, frames);
   return 0;
 }

@@ -18,11 +18,41 @@ constexpr size_t kSegBytes = kSegPages * kPage;
 
 int main(int argc, char** argv) {
   uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
-  PhysicalMemory memory(2048, kPage);
+  // Extra arguments are fault-plan specs (e.g. "write:prob:10" "swap:nth:4"),
+  // replayed deterministically from the schedule seed, plus "frames=N" to shrink
+  // physical memory — fault sites only fire on real pullIn/pushOut traffic, so a
+  // meaningful storm needs eviction pressure.
+  size_t frames = 2048;
+  FaultInjector injector(seed);
+  bool have_plans = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("frames=", 0) == 0) {
+      frames = strtoull(arg.c_str() + 7, nullptr, 10);
+      if (frames < 16) {
+        fprintf(stderr, "frames=%zu too small (min 16)\n", frames);
+        return 2;
+      }
+      continue;
+    }
+    std::string error;
+    if (!injector.ApplySpec(arg, &error)) {
+      fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
+      fprintf(stderr, "usage: %s [seed] [frames=N] [site:mode[:args]...]...\n", argv[0]);
+      return 2;
+    }
+    have_plans = true;
+  }
+  PhysicalMemory memory(frames, kPage);
   SoftMmu mmu(kPage);
   PagedVm vm(memory, mmu);
   TestSwapRegistry registry(kPage);
   vm.BindSegmentRegistry(&registry);
+  registry.injector = &injector;
+  memory.BindFaultInjector(&injector);
+  if (have_plans) {
+    printf("fault plans: %s\n", injector.Describe().c_str());
+  }
 
   std::map<int, std::vector<std::byte>> ref;
   std::map<int, Cache*> live;
@@ -39,7 +69,17 @@ int main(int argc, char** argv) {
                                   CopyPolicy::kAuto};
   const char* kPolicyNames[] = {"eager","history","cor","perpage","auto"};
 
+  // A mutation that was not acknowledged with kOk may have partially applied:
+  // resynchronize the reference from an authoritative read with injection
+  // suspended (suspension does not advance the injector's RNG).
+  auto resync = [&](int id) {
+    injector.set_enabled(false);
+    live[id]->Read(0, ref[id].data(), kSegBytes);
+    injector.set_enabled(true);
+  };
+
   auto audit = [&](int step) {
+    injector.set_enabled(false);
     for (auto& [id, cache] : live) {
       std::vector<std::byte> got(kSegBytes);
       cache->Read(0, got.data(), kSegBytes);
@@ -49,9 +89,11 @@ int main(int argc, char** argv) {
         printf("DIVERGE step=%d seg=%d first_byte=%zu (page %zu) got=%02x want=%02x\n",
                step, id, i, i / kPage, (unsigned)got[i], (unsigned)ref[id][i]);
         printf("%s\n", vm.DumpTree(*cache).c_str());
+        injector.set_enabled(true);
         return false;
       }
     }
+    injector.set_enabled(true);
     return true;
   };
 
@@ -71,9 +113,15 @@ int main(int argc, char** argv) {
       size_t size = 1 + rng.Below(std::min<size_t>(kSegBytes - off, 3 * kPage));
       std::vector<std::byte> data(size);
       for (auto& b : data) b = (std::byte)rng.Below(256);
-      live[id]->Write(off, data.data(), size);
-      memcpy(ref[id].data() + off, data.data(), size);
-      printf("%3d write seg%d off=%zu size=%zu\n", step, id, off, size);
+      Status s = live[id]->Write(off, data.data(), size);
+      if (s == Status::kOk) {
+        memcpy(ref[id].data() + off, data.data(), size);
+      } else {
+        resync(id);
+      }
+      printf("%3d write seg%d off=%zu size=%zu%s%s\n", step, id, off, size,
+             s == Status::kOk ? "" : " !",
+             s == Status::kOk ? "" : std::string(StatusName(s)).c_str());
     } else if (roll < 70 && live.size() >= 2) {
       int src = pick();
       int dst = pick();
@@ -82,10 +130,17 @@ int main(int argc, char** argv) {
       size_t sp = rng.Below(kSegPages - pages + 1);
       size_t dp = rng.Below(kSegPages - pages + 1);
       CopyPolicy policy = kPolicies[rng.Below(5)];
-      live[src]->CopyTo(*live[dst], sp * kPage, dp * kPage, pages * kPage, policy);
-      memmove(ref[dst].data() + dp * kPage, ref[src].data() + sp * kPage, pages * kPage);
-      printf("%3d copy seg%d[%zu..%zu] -> seg%d[%zu..] policy=%s\n", step, src, sp,
-             sp + pages - 1, dst, dp, kPolicyNames[(int)policy]);
+      Status s =
+          live[src]->CopyTo(*live[dst], sp * kPage, dp * kPage, pages * kPage, policy);
+      if (s == Status::kOk) {
+        memmove(ref[dst].data() + dp * kPage, ref[src].data() + sp * kPage, pages * kPage);
+      } else {
+        resync(dst);
+      }
+      printf("%3d copy seg%d[%zu..%zu] -> seg%d[%zu..] policy=%s%s%s\n", step, src, sp,
+             sp + pages - 1, dst, dp, kPolicyNames[(int)policy],
+             s == Status::kOk ? "" : " !",
+             s == Status::kOk ? "" : std::string(StatusName(s)).c_str());
     } else if (roll < 85) {
       int id = pick();
       size_t off = rng.Below(kSegBytes - 1);
@@ -116,6 +171,13 @@ int main(int argc, char** argv) {
       if (vm.CheckInvariants() != Status::kOk) printf("(invariants also broken)\n");
       return 1;
     }
+  }
+  if (have_plans) {
+    const PvmDetailStats& d = vm.detail_stats();
+    printf("fault triggers=%llu io_retries=%llu permanent=%llu requeues=%llu degraded=%llu\n",
+           (unsigned long long)injector.total_triggers(), (unsigned long long)d.io_retries,
+           (unsigned long long)d.io_permanent_failures, (unsigned long long)d.pushout_requeues,
+           (unsigned long long)d.degraded_segments);
   }
   printf("no divergence\n");
   return 0;
