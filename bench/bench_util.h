@@ -10,11 +10,14 @@
 #ifndef GVM_BENCH_BENCH_UTIL_H_
 #define GVM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/gmi/memory_manager.h"
@@ -177,6 +180,175 @@ struct ShapeCheck {
     (ok ? passed : failed)++;
   }
 };
+
+// ---------------------------------------------------------------------------
+// Machine-readable results
+// ---------------------------------------------------------------------------
+
+// p-th percentile (0..1) of an unsorted sample set; 0 when empty.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0;
+  }
+  std::sort(samples.begin(), samples.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
+  return samples[index];
+}
+
+// Latency distribution of repeated runs of `op`, in ns per run.
+struct LatencyDist {
+  double p50_ns = 0;
+  double p99_ns = 0;
+  size_t runs = 0;
+};
+
+inline LatencyDist MeasureDist(const std::function<void()>& op, int min_iters = 64,
+                               double min_seconds = 0.02) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm up
+  std::vector<double> samples;
+  auto start_all = Clock::now();
+  int iters = 0;
+  while (iters < min_iters ||
+         std::chrono::duration<double>(Clock::now() - start_all).count() < min_seconds) {
+    auto start = Clock::now();
+    op();
+    auto end = Clock::now();
+    samples.push_back(std::chrono::duration<double, std::nano>(end - start).count());
+    if (++iters > 100000) {
+      break;
+    }
+  }
+  LatencyDist dist;
+  dist.runs = samples.size();
+  dist.p50_ns = Percentile(samples, 0.5);
+  dist.p99_ns = Percentile(samples, 0.99);
+  return dist;
+}
+
+// Accumulates one benchmark result and writes it as BENCH_<name>.json at the
+// repo root (schema: name, config, ops_per_sec, p50_ns, p99_ns, counters), so
+// the bench trajectory is machine-readable.  The output directory defaults to
+// the source tree (GVM_SOURCE_DIR, set by the build); override it with the
+// GVM_BENCH_JSON_DIR environment variable.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Config(const std::string& key, uint64_t value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void Config(const std::string& key, bool value) {
+    config_.emplace_back(key, value ? "true" : "false");
+  }
+  void SetThroughput(double ops_per_sec) { ops_per_sec_ = ops_per_sec; }
+  void SetLatency(double p50_ns, double p99_ns) {
+    p50_ns_ = p50_ns;
+    p99_ns_ = p99_ns;
+  }
+  void Counter(const std::string& key, uint64_t value) {
+    counters_.emplace_back(key, std::to_string(value));
+  }
+
+  std::string Render() const {
+    std::string out = "{\n  \"name\": \"" + Escape(name_) + "\",\n  \"config\": {";
+    out += RenderPairs(config_, "    ");
+    out += "},\n";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.1f", ops_per_sec_);
+    out += std::string("  \"ops_per_sec\": ") + buffer + ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.1f", p50_ns_);
+    out += std::string("  \"p50_ns\": ") + buffer + ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.1f", p99_ns_);
+    out += std::string("  \"p99_ns\": ") + buffer + ",\n";
+    out += "  \"counters\": {";
+    out += RenderPairs(counters_, "    ");
+    out += "}\n}\n";
+    return out;
+  }
+
+  // Writes BENCH_<name>.json; returns true on success and prints the path.
+  bool Write() const {
+    const char* env = std::getenv("GVM_BENCH_JSON_DIR");
+#ifdef GVM_SOURCE_DIR
+    std::string dir = env != nullptr ? env : GVM_SOURCE_DIR;
+#else
+    std::string dir = env != nullptr ? env : ".";
+#endif
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string body = Render();
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    for (char c : in) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string RenderPairs(const std::vector<std::pair<std::string, std::string>>& pairs,
+                                 const char* indent) {
+    if (pairs.empty()) {
+      return "";
+    }
+    std::string out;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += indent;
+      out += "\"" + Escape(pairs[i].first) + "\": " + pairs[i].second;
+    }
+    out += "\n  ";
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> counters_;
+  double ops_per_sec_ = 0;
+  double p50_ns_ = 0;
+  double p99_ns_ = 0;
+};
+
+// Dump the standard counter set of a manager (MM + CPU + TLB + PVM detail)
+// into the JSON counter section.
+inline void AddWorldCounters(BenchJson& json, MemoryManager& mm) {
+  const MmStats& s = mm.stats();
+  json.Counter("page_faults", s.page_faults);
+  json.Counter("zero_fills", s.zero_fills);
+  json.Counter("pull_ins", s.pull_ins);
+  json.Counter("push_outs", s.push_outs);
+  json.Counter("cow_copies", s.cow_copies);
+  json.Counter("pages_paged_out", s.pages_paged_out);
+  if (auto* base = dynamic_cast<BaseMm*>(&mm)) {
+    Cpu::Stats cs = base->cpu().SnapshotStats();
+    json.Counter("cpu_faults_taken", cs.faults_taken);
+    json.Counter("tlb_hits", cs.tlb_hits);
+    json.Counter("tlb_misses", cs.tlb_misses);
+    json.Counter("tlb_shootdowns", cs.tlb_shootdowns);
+    json.Counter("tlb_shootdown_pages", cs.tlb_shootdown_pages);
+  }
+  if (auto* pvm = dynamic_cast<PagedVm*>(&mm)) {
+    json.Counter("pullin_clustered", pvm->detail_stats().pullin_clustered);
+    json.Counter("sync_stub_waits", pvm->detail_stats().sync_stub_waits);
+  }
+}
 
 }  // namespace bench
 }  // namespace gvm

@@ -1,0 +1,319 @@
+// throughput_smp — multi-threaded fault-storm throughput of the PVM.
+//
+// N worker threads ("CPUs"), each with its own context/address space and its own
+// anonymous segment, run a mixed workload of sequential 8-byte reads, random
+// 8-byte writes, touches, and periodic fork-COW episodes (deferred copy of the
+// whole working set, dirtying every 4th page of the copy, teardown).  The
+// workload is exactly the per-access path the software TLB accelerates and the
+// shootdown protocol must keep correct: COW episodes write-protect the source
+// (downgrade shootdowns) and the teardown unmaps en masse.
+//
+// The same binary measures the baseline with --tlb=off (the TLB wrapper then
+// delegates straight to the locked MMU walk), emitting a separate JSON file so
+// both configurations can be committed and compared:
+//   BENCH_throughput_smp.json           (TLB on, sharded locks hot path)
+//   BENCH_throughput_smp.tlb_off.json   (uncached baseline)
+//
+// Usage: throughput_smp [--threads=4] [--pages=64] [--seconds=1.0]
+//                       [--tlb=on|off] [--mmu=soft|hash] [--seed=1]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hal/hash_mmu.h"
+#include "src/hal/phys_memory.h"
+#include "src/hal/soft_mmu.h"
+#include "src/hal/tlb.h"
+#include "src/pvm/paged_vm.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace bench {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+constexpr Vaddr kWorkBase = 0x10000000;
+constexpr Vaddr kForkBase = 0x80000000;
+constexpr int kBatch = 64;  // ops timed per latency sample
+
+struct Config {
+  int threads = 4;
+  size_t pages = 64;       // working-set pages per thread
+  double seconds = 1.0;
+  bool tlb = true;
+  std::string mmu = "soft";
+  uint64_t seed = 1;
+  int cow_every = 8192;    // simple ops between fork-COW episodes
+};
+
+struct WorkerResult {
+  uint64_t ops = 0;
+  uint64_t episodes = 0;
+  uint64_t errors = 0;
+  std::vector<double> samples_ns;  // per-op latency, batch-averaged
+};
+
+const char* FenceName(TlbMmu::FenceMode mode) {
+  switch (mode) {
+    case TlbMmu::FenceMode::kFenced:
+      return "fenced";
+    case TlbMmu::FenceMode::kMembarrier:
+      return "membarrier";
+    case TlbMmu::FenceMode::kUniprocessor:
+      return "uniprocessor";
+    default:
+      return "auto";
+  }
+}
+
+uint64_t NextRand(uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+// One fork-COW episode: deferred-copy the whole working set, dirty every 4th
+// page of the copy (materializing private pages), read one back, tear down.
+void ForkCowEpisode(MemoryManager& mm, Context& ctx, Cache& src, const Config& cfg,
+                    uint64_t iter, WorkerResult& result) {
+  Result<Cache*> copy = mm.CacheCreate(nullptr, "fork");
+  if (!copy.ok()) {
+    ++result.errors;
+    return;
+  }
+  const size_t bytes = cfg.pages * kPageSize;
+  if (src.CopyTo(**copy, 0, 0, bytes, CopyPolicy::kHistory) != Status::kOk) {
+    ++result.errors;
+    (*copy)->Destroy();
+    return;
+  }
+  Result<Region*> region =
+      mm.RegionCreate(ctx, kForkBase, bytes, Prot::kReadWrite, **copy, 0);
+  if (!region.ok()) {
+    ++result.errors;
+    (*copy)->Destroy();
+    return;
+  }
+  AsId as = ctx.address_space();
+  for (size_t p = 0; p < cfg.pages; p += 4) {
+    uint64_t value = iter + p;
+    if (mm.cpu().Write(as, kForkBase + p * kPageSize, &value, sizeof(value)) != Status::kOk) {
+      ++result.errors;
+    }
+  }
+  uint64_t check = 0;
+  mm.cpu().Read(as, kForkBase + (cfg.pages / 2) * kPageSize, &check, sizeof(check));
+  (*region)->Destroy();
+  (*copy)->Destroy();
+  ++result.episodes;
+}
+
+void Worker(int tid, MemoryManager& mm, Context& ctx, Cache& cache, const Config& cfg,
+            std::atomic<bool>& stop, WorkerResult& result) {
+  using Clock = std::chrono::steady_clock;
+  AsId as = ctx.address_space();
+  uint64_t rng = cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(tid) + 1;
+  // Materialize the working set (demand zero-fill) before the clock starts.
+  for (size_t p = 0; p < cfg.pages; ++p) {
+    uint64_t value = p;
+    if (mm.cpu().Write(as, kWorkBase + p * kPageSize, &value, sizeof(value)) != Status::kOk) {
+      ++result.errors;
+    }
+  }
+  size_t cursor = 0;
+  // cfg.pages is rounded to a power of two by Run(), so the working set can be
+  // walked with masks instead of divisions on the measured path.
+  const size_t span_mask = cfg.pages * kPageSize - 1;
+  const size_t page_mask = cfg.pages - 1;
+  uint64_t since_episode = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    auto start = Clock::now();
+    for (int b = 0; b < kBatch; ++b) {
+      const uint64_t r = NextRand(rng);
+      const uint64_t kind = r & 1023;  // <717: 70% read, <922: 20% write, else touch
+      Status s = Status::kOk;
+      if (kind < 717) {
+        // Sequential read walk, 64-byte stride (the TLB-hit-dominated stream).
+        cursor = (cursor + 64) & span_mask;
+        uint64_t value;
+        s = mm.cpu().Read(as, kWorkBase + cursor, &value, sizeof(value));
+      } else if (kind < 922) {
+        // Random 8-byte write within the working set.
+        const size_t page = (r >> 10) & page_mask;
+        const size_t offset = (r >> 32) & (kPageSize - sizeof(uint64_t));  // 8-aligned
+        uint64_t value = r;
+        s = mm.cpu().Write(as, kWorkBase + page * kPageSize + offset, &value, sizeof(value));
+      } else {
+        // Touch (translate-only path).
+        const size_t page = (r >> 10) & page_mask;
+        s = mm.cpu().Touch(as, kWorkBase + page * kPageSize, Access::kRead);
+      }
+      if (s != Status::kOk) {
+        ++result.errors;
+      }
+    }
+    auto end = Clock::now();
+    result.ops += kBatch;
+    since_episode += kBatch;
+    if (result.samples_ns.size() < 50000) {
+      result.samples_ns.push_back(
+          std::chrono::duration<double, std::nano>(end - start).count() / kBatch);
+    }
+    if (since_episode >= static_cast<uint64_t>(cfg.cow_every)) {
+      since_episode = 0;
+      ForkCowEpisode(mm, ctx, cache, cfg, result.ops, result);
+    }
+  }
+}
+
+int Run(Config cfg) {
+  // Round the working set to a power of two so the worker's hot loop can use
+  // masks (see Worker).
+  size_t pow2 = 1;
+  while (pow2 < cfg.pages) {
+    pow2 <<= 1;
+  }
+  cfg.pages = pow2;
+  // Enough frames that the benchmark measures the access path, not page-out:
+  // working sets + in-flight COW copies + slack.
+  const size_t frames = static_cast<size_t>(cfg.threads) * cfg.pages * 3 + 256;
+  PhysicalMemory memory(frames, kPageSize);
+  std::unique_ptr<Mmu> mmu;
+  if (cfg.mmu == "hash") {
+    mmu = std::make_unique<HashMmu>(kPageSize);
+  } else {
+    mmu = std::make_unique<SoftMmu>(kPageSize);
+  }
+  PagedVm::Options options;
+  options.enable_tlb = cfg.tlb;
+  options.pullin_cluster_pages = 8;
+  PagedVm vm(memory, *mmu, options);
+  TestSwapRegistry registry(kPageSize);
+  vm.BindSegmentRegistry(&registry);
+
+  // Per-thread context (its own hardware address space) + anonymous segment.
+  std::vector<Context*> contexts;
+  std::vector<Cache*> caches;
+  for (int t = 0; t < cfg.threads; ++t) {
+    Context* ctx = *vm.ContextCreate();
+    Cache* cache = *vm.CacheCreate(nullptr, "ws" + std::to_string(t));
+    Region* region = *vm.RegionCreate(*ctx, kWorkBase, cfg.pages * kPageSize,
+                                      Prot::kReadWrite, *cache, 0);
+    (void)region;
+    contexts.push_back(ctx);
+    caches.push_back(cache);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(static_cast<size_t>(cfg.threads));
+  std::vector<std::thread> workers;
+  auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back(Worker, t, std::ref(vm), std::ref(*contexts[static_cast<size_t>(t)]),
+                         std::ref(*caches[static_cast<size_t>(t)]), std::cref(cfg),
+                         std::ref(stop), std::ref(results[static_cast<size_t>(t)]));
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : workers) {
+    th.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  uint64_t total_ops = 0;
+  uint64_t episodes = 0;
+  uint64_t errors = 0;
+  std::vector<double> samples;
+  for (const WorkerResult& r : results) {
+    total_ops += r.ops;
+    episodes += r.episodes;
+    errors += r.errors;
+    samples.insert(samples.end(), r.samples_ns.begin(), r.samples_ns.end());
+  }
+  const double ops_per_sec = total_ops / elapsed;
+  const double p50 = Percentile(samples, 0.5);
+  const double p99 = Percentile(samples, 0.99);
+
+  const Cpu::Stats cs = vm.cpu().SnapshotStats();
+  const double hit_rate = cs.tlb_hits + cs.tlb_misses > 0
+                              ? static_cast<double>(cs.tlb_hits) /
+                                    static_cast<double>(cs.tlb_hits + cs.tlb_misses)
+                              : 0.0;
+
+  std::printf("throughput_smp: threads=%d pages=%zu mmu=%s tlb=%s fence=%s\n", cfg.threads,
+              cfg.pages, cfg.mmu.c_str(), cfg.tlb ? "on" : "off",
+              FenceName(vm.tlb().fence_mode()));
+  std::printf("  ops=%llu (%.0f ops/sec)  p50=%s p99=%s  cow_episodes=%llu errors=%llu\n",
+              static_cast<unsigned long long>(total_ops), ops_per_sec, FormatNs(p50).c_str(),
+              FormatNs(p99).c_str(), static_cast<unsigned long long>(episodes),
+              static_cast<unsigned long long>(errors));
+  std::printf("  tlb_hits=%llu tlb_misses=%llu shootdowns=%llu shootdown_pages=%llu\n",
+              static_cast<unsigned long long>(cs.tlb_hits),
+              static_cast<unsigned long long>(cs.tlb_misses),
+              static_cast<unsigned long long>(cs.tlb_shootdowns),
+              static_cast<unsigned long long>(cs.tlb_shootdown_pages));
+  std::printf("  tlb_hit_rate=%.4f\n", hit_rate);
+
+  BenchJson json(cfg.tlb ? "throughput_smp" : "throughput_smp.tlb_off");
+  json.Config("threads", static_cast<uint64_t>(cfg.threads));
+  json.Config("pages_per_thread", static_cast<uint64_t>(cfg.pages));
+  json.Config("seconds", static_cast<uint64_t>(cfg.seconds * 1000));  // milliseconds
+  json.Config("tlb", cfg.tlb);
+  json.Config("mmu", cfg.mmu);
+  json.Config("shootdown_fence", std::string(FenceName(vm.tlb().fence_mode())));
+  json.Config("seed", cfg.seed);
+  json.Config("page_size", static_cast<uint64_t>(kPageSize));
+  json.SetThroughput(ops_per_sec);
+  json.SetLatency(p50, p99);
+  json.Counter("ops", total_ops);
+  json.Counter("cow_episodes", episodes);
+  json.Counter("op_errors", errors);
+  AddWorldCounters(json, vm);
+  json.Write();
+
+  // Teardown (exercises the teardown shootdown path too).
+  for (int t = 0; t < cfg.threads; ++t) {
+    caches[static_cast<size_t>(t)]->Destroy();
+    contexts[static_cast<size_t>(t)]->Destroy();
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gvm
+
+int main(int argc, char** argv) {
+  gvm::bench::Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--threads=", 0) == 0) {
+      cfg.threads = std::stoi(value());
+    } else if (arg.rfind("--pages=", 0) == 0) {
+      cfg.pages = std::stoul(value());
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      cfg.seconds = std::stod(value());
+    } else if (arg.rfind("--tlb=", 0) == 0) {
+      cfg.tlb = value() != "off";
+    } else if (arg.rfind("--mmu=", 0) == 0) {
+      cfg.mmu = value();
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.seed = std::stoull(value());
+    } else if (arg.rfind("--cow-every=", 0) == 0) {
+      cfg.cow_every = std::stoi(value());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return gvm::bench::Run(cfg);
+}

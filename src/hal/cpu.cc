@@ -3,76 +3,175 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/hal/tlb.h"
 #include "src/util/align.h"
 #include "src/util/log.h"
 
 namespace gvm {
 
+Cpu::Cpu(PhysicalMemory& memory, Mmu& mmu)
+    : memory_(memory),
+      mmu_(mmu),
+      tlb_(dynamic_cast<TlbMmu*>(&mmu)),
+      page_size_(mmu.page_size()) {}
+
 Result<FrameIndex> Cpu::TranslateWithFaults(AsId as, Vaddr va, Access access) {
   return AccessWithFaults(as, va, access, nullptr);
 }
 
+Result<FrameIndex> Cpu::TranslateOnce(AsId as, Vaddr va, Access access,
+                                      const FrameBodyRef* body) {
+  // Through tlb_ (a final class) the calls below are direct, not virtual.
+  if (tlb_ != nullptr) {
+    return body != nullptr ? tlb_->TranslateAndAccess(as, va, access, *body)
+                           : tlb_->Translate(as, va, access);
+  }
+  return body != nullptr ? mmu_.TranslateAndAccess(as, va, access, *body)
+                         : mmu_.Translate(as, va, access);
+}
+
 Result<FrameIndex> Cpu::AccessWithFaults(AsId as, Vaddr va, Access access,
-                                         const std::function<void(FrameIndex)>* body) {
+                                         const FrameBodyRef* body) {
+  Result<FrameIndex> frame = TranslateOnce(as, va, access, body);
+  if (frame.ok()) {
+    return frame;
+  }
+  return FaultRetry(as, va, access, body, frame.status());
+}
+
+Result<FrameIndex> Cpu::FaultRetry(AsId as, Vaddr va, Access access, const FrameBodyRef* body,
+                                   Status first_failure) {
   // Bound the number of fault retries: a correct memory manager makes progress on
   // every round (a pull-in completes, a frame is materialized, an eviction frees
   // memory), but a buggy one must not hang the simulation.  Deferred-copy chains
   // can legitimately take several rounds (pull in an ancestor, push the original
   // to a history object, materialize the private copy), hence the generous bound.
   constexpr int kMaxRetries = 64;
+  Status failure = first_failure;
   for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    Result<FrameIndex> frame = body != nullptr
-                                   ? mmu_.TranslateAndAccess(as, va, access, *body)
-                                   : mmu_.Translate(as, va, access);
-    if (frame.ok()) {
-      return frame;
-    }
     if (handler_ == nullptr) {
-      return frame.status();
+      return failure;
     }
     ++stats_.faults_taken;
     PageFault fault{
         .address_space = as,
         .address = va,
         .access = access,
-        .protection_violation = frame.status() == Status::kProtectionFault,
+        .protection_violation = failure == Status::kProtectionFault,
     };
     Status handled = handler_->HandleFault(fault);
     if (handled != Status::kOk) {
       return handled;  // unrecoverable: surfaced as the user-visible exception
     }
+    Result<FrameIndex> frame = TranslateOnce(as, va, access, body);
+    if (frame.ok()) {
+      return frame;
+    }
+    failure = frame.status();
   }
   GVM_LOG(Error) << "fault loop did not converge at va=0x" << std::hex << va;
   return Status::kBusError;
 }
 
+Cpu::Stats Cpu::SnapshotStats() const {
+  Stats out = stats_;
+  if (const TlbMmu* tlb = tlb_) {
+    TlbMmu::TlbStats ts = tlb->tlb_stats();
+    out.tlb_hits = ts.hits;
+    out.tlb_misses = ts.misses;
+    out.tlb_shootdowns = ts.shootdowns;
+    out.tlb_shootdown_pages = ts.shootdown_pages;
+  }
+  return out;
+}
+
 Status Cpu::Touch(AsId as, Vaddr va, Access access) {
-  Result<FrameIndex> frame = TranslateWithFaults(as, va, access);
+  // Same fast-path shape as AccessBytes, with an empty body.
+  Result<FrameIndex> frame = tlb_ != nullptr
+                                 ? tlb_->AccessFast(as, va, access, TlbMmu::NoBody{})
+                                 : mmu_.Translate(as, va, access);
+  if (!frame.ok()) [[unlikely]] {
+    frame = FaultRetry(as, va, access, nullptr, frame.status());
+  }
   return frame.ok() ? Status::kOk : frame.status();
 }
 
 Status Cpu::AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access access) {
-  const size_t page_size = mmu_.page_size();
+  const size_t page_size = page_size_;
   auto* bytes = static_cast<std::byte*>(buffer);
-  size_t done = 0;
-  while (done < size) {
-    Vaddr addr = va + done;
-    size_t in_page = page_size - (addr & (page_size - 1));
-    size_t chunk = size - done < in_page ? size - done : in_page;
-    // The copy runs inside the MMU's atomic translate-and-access step: a pager
-    // thread completing an unmap is then guaranteed no store is still landing in
-    // the frame it is about to recycle.
-    const std::function<void(FrameIndex)> copy = [&](FrameIndex frame) {
-      std::byte* phys = memory_.FrameData(frame) + (addr & (page_size - 1));
-      if (access == Access::kWrite) {
-        std::memcpy(phys, bytes + done, chunk);
+  // Fast path: the access is contained in one page and a TLB fronts the MMU —
+  // the common case, word-sized loads/stores from the simulated programs.
+  // Everything the copy needs is captured by value, so the inlined TLB hit
+  // keeps it in registers instead of round-tripping the closure through the
+  // stack; the closure object itself only materializes on the cold fault path.
+  if (tlb_ != nullptr && size <= page_size - (va & (page_size - 1))) {
+    std::byte* const storage = memory_.FrameData(0);  // frames are contiguous
+    const size_t off = va & (page_size - 1);
+    const auto copy = [=](FrameIndex frame) {
+      std::byte* phys = storage + static_cast<size_t>(frame) * page_size + off;
+      std::byte* dst = access == Access::kWrite ? phys : bytes;
+      const std::byte* src = access == Access::kWrite ? bytes : phys;
+      if (size == sizeof(uint64_t)) {
+        // Word-sized accesses dominate; a constant-size copy compiles to a
+        // register move instead of a libc call.
+        std::memcpy(dst, src, sizeof(uint64_t));
       } else {
-        std::memcpy(bytes + done, phys, chunk);
+        std::memcpy(dst, src, size);
       }
     };
-    Result<FrameIndex> frame = AccessWithFaults(as, addr, access, &copy);
-    if (!frame.ok()) {
-      return frame.status();
+    Result<FrameIndex> frame = tlb_->AccessFast(as, va, access, copy);
+    if (!frame.ok()) [[unlikely]] {
+      const FrameBodyRef retry_body(copy);
+      frame = FaultRetry(as, va, access, &retry_body, frame.status());
+      if (!frame.ok()) {
+        return frame.status();
+      }
+    }
+    if (access == Access::kWrite) {
+      ++stats_.writes;
+      stats_.bytes_written += size;
+    } else {
+      ++stats_.reads;
+      stats_.bytes_read += size;
+    }
+    return Status::kOk;
+  }
+  size_t done = 0;
+  Vaddr addr = va;
+  size_t chunk = 0;
+  // The copy runs inside the MMU's atomic translate-and-access step: a pager
+  // thread completing an unmap is then guaranteed no store is still landing in
+  // the frame it is about to recycle.  Built once per call (not per page chunk):
+  // the loop below mutates addr/done/chunk, which the callable reads by
+  // reference through the non-owning FrameBodyRef.
+  const auto copy = [&](FrameIndex frame) {
+    std::byte* phys = memory_.FrameData(frame) + (addr & (page_size - 1));
+    std::byte* dst = access == Access::kWrite ? phys : bytes + done;
+    const std::byte* src = access == Access::kWrite ? bytes + done : phys;
+    if (chunk == sizeof(uint64_t)) {
+      // Word-sized accesses dominate simulated load/store traffic; a
+      // constant-size copy compiles to a register move instead of a libc call.
+      std::memcpy(dst, src, sizeof(uint64_t));
+    } else {
+      std::memcpy(dst, src, chunk);
+    }
+  };
+  const FrameBodyRef body(copy);
+  while (done < size) {
+    addr = va + done;
+    size_t in_page = page_size - (addr & (page_size - 1));
+    chunk = size - done < in_page ? size - done : in_page;
+    // Hot path: the templated AccessFast inlines the whole TLB hit (probe,
+    // validate, copy) into this loop; misses and faults leave through the
+    // out-of-line slow paths.
+    Result<FrameIndex> frame = tlb_ != nullptr
+                                   ? tlb_->AccessFast(as, addr, access, copy)
+                                   : mmu_.TranslateAndAccess(as, addr, access, body);
+    if (!frame.ok()) [[unlikely]] {
+      frame = FaultRetry(as, addr, access, &body, frame.status());
+      if (!frame.ok()) {
+        return frame.status();
+      }
     }
     done += chunk;
   }

@@ -18,6 +18,8 @@
 
 namespace gvm {
 
+class TlbMmu;
+
 // Implemented by the memory manager: resolve a page fault.  Returning kOk means
 // "retry the access"; any other status aborts the access and is surfaced to the
 // simulated user program (the paper's "segmentation fault" exception).
@@ -35,9 +37,19 @@ class Cpu {
     uint64_t faults_taken = 0;
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
+    // TLB observability, populated by SnapshotStats() when a software TLB
+    // (TlbMmu) fronts the MMU; zero otherwise.
+    uint64_t tlb_hits = 0;
+    uint64_t tlb_misses = 0;
+    uint64_t tlb_shootdowns = 0;
+    uint64_t tlb_shootdown_pages = 0;
   };
 
-  Cpu(PhysicalMemory& memory, Mmu& mmu) : memory_(memory), mmu_(mmu) {}
+  // The page size is immutable per MMU, so it is cached here once instead of
+  // paying a virtual call per page in the access loop.  A software TLB is also
+  // detected once here: TlbMmu is final, so calling through the typed pointer
+  // lets the compiler devirtualize the per-access translation call.
+  Cpu(PhysicalMemory& memory, Mmu& mmu);
 
   void BindFaultHandler(FaultHandler* handler) { handler_ = handler; }
 
@@ -76,6 +88,9 @@ class Cpu {
   PhysicalMemory& memory() { return memory_; }
   Mmu& mmu() { return mmu_; }
   const Stats& stats() const { return stats_; }
+  // As stats(), but with the TLB counters merged in when the bound MMU is a
+  // software TLB (the common case for manager-owned CPUs).
+  Stats SnapshotStats() const;
   void ResetStats() { stats_ = Stats{}; }
 
  private:
@@ -86,10 +101,21 @@ class Cpu {
   // As above; with a body, the translation and the access run as one atomic step
   // via Mmu::TranslateAndAccess (the fault handler still runs outside it).
   Result<FrameIndex> AccessWithFaults(AsId as, Vaddr va, Access access,
-                                      const std::function<void(FrameIndex)>* body);
+                                      const FrameBodyRef* body);
+  // One translation attempt, routed through the software TLB when present.
+  Result<FrameIndex> TranslateOnce(AsId as, Vaddr va, Access access,
+                                   const FrameBodyRef* body);
+  // The trap path: run the fault handler and retry until the access succeeds
+  // or the handler gives up.  Deliberately out of line (and never inlined)
+  // so its fault-frame setup stays off the hit path's stack frame.
+  __attribute__((noinline)) Result<FrameIndex> FaultRetry(AsId as, Vaddr va, Access access,
+                                                          const FrameBodyRef* body,
+                                                          Status first_failure);
 
   PhysicalMemory& memory_;
   Mmu& mmu_;
+  TlbMmu* const tlb_;  // &mmu_ when it is a TlbMmu, else nullptr
+  const size_t page_size_;
   FaultHandler* handler_ = nullptr;
   Stats stats_;
 };

@@ -13,91 +13,98 @@ HashMmu::HashMmu(size_t page_size)
 }
 
 Result<AsId> HashMmu::CreateAddressSpace() {
-  std::lock_guard<std::mutex> guard(mu_);
-  AsId as = next_as_++;
-  live_spaces_.insert(as);
-  ++stats_.spaces_created;
+  AsId as = next_as_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  shard.live_spaces.insert(as);
+  ++shard.stats.spaces_created;
   return as;
 }
 
 Status HashMmu::DestroyAddressSpace(AsId as) {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (live_spaces_.erase(as) == 0) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  if (shard.live_spaces.erase(as) == 0) {
     return Status::kNotFound;
   }
-  auto it = space_pages_.find(as);
-  if (it != space_pages_.end()) {
+  auto it = shard.space_pages.find(as);
+  if (it != shard.space_pages.end()) {
     for (uint64_t vpn : it->second) {
-      table_.erase({as, vpn});
-      ++stats_.unmaps;
+      shard.table.erase({as, vpn});
+      ++shard.stats.unmaps;
     }
-    space_pages_.erase(it);
+    shard.space_pages.erase(it);
   }
-  ++stats_.spaces_destroyed;
+  ++shard.stats.spaces_destroyed;
   return Status::kOk;
 }
 
 Status HashMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (!live_spaces_.contains(as)) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  if (!shard.live_spaces.contains(as)) {
     return Status::kNotFound;
   }
   uint64_t vpn = Vpn(va);
-  table_[{as, vpn}] = Pte{.frame = frame, .prot = prot, .referenced = false, .dirty = false};
-  space_pages_[as].insert(vpn);
-  ++stats_.maps;
+  shard.table[{as, vpn}] = Pte{.frame = frame, .prot = prot, .referenced = false, .dirty = false};
+  shard.space_pages[as].insert(vpn);
+  ++shard.stats.maps;
   return Status::kOk;
 }
 
 Status HashMmu::Unmap(AsId as, Vaddr va) {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (!live_spaces_.contains(as)) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  if (!shard.live_spaces.contains(as)) {
     return Status::kNotFound;
   }
   uint64_t vpn = Vpn(va);
-  if (table_.erase({as, vpn}) != 0) {
-    space_pages_[as].erase(vpn);
-    ++stats_.unmaps;
+  if (shard.table.erase({as, vpn}) != 0) {
+    shard.space_pages[as].erase(vpn);
+    ++shard.stats.unmaps;
   }
   return Status::kOk;
 }
 
 Status HashMmu::Protect(AsId as, Vaddr va, Prot prot) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = table_.find({as, Vpn(va)});
-  if (it == table_.end()) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.table.find({as, Vpn(va)});
+  if (it == shard.table.end()) {
     return Status::kNotFound;
   }
   it->second.prot = prot;
-  ++stats_.protects;
+  ++shard.stats.protects;
   return Status::kOk;
 }
 
 Result<FrameIndex> HashMmu::Translate(AsId as, Vaddr va, Access access) {
-  std::lock_guard<std::mutex> guard(mu_);
-  return TranslateLocked(as, va, access);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  return TranslateLocked(shard, as, va, access);
 }
 
 Result<FrameIndex> HashMmu::TranslateAndAccess(AsId as, Vaddr va, Access access,
-                                               const std::function<void(FrameIndex)>& body) {
-  std::lock_guard<std::mutex> guard(mu_);
-  Result<FrameIndex> frame = TranslateLocked(as, va, access);
+                                               FrameBodyRef body) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  Result<FrameIndex> frame = TranslateLocked(shard, as, va, access);
   if (frame.ok()) {
     body(*frame);
   }
   return frame;
 }
 
-Result<FrameIndex> HashMmu::TranslateLocked(AsId as, Vaddr va, Access access) {
-  ++stats_.translations;
-  auto it = table_.find({as, Vpn(va)});
-  if (it == table_.end()) {
-    ++stats_.faults;
+Result<FrameIndex> HashMmu::TranslateLocked(Shard& shard, AsId as, Vaddr va, Access access) {
+  ++shard.stats.translations;
+  auto it = shard.table.find({as, Vpn(va)});
+  if (it == shard.table.end()) {
+    ++shard.stats.faults;
     return Status::kSegmentationFault;
   }
   Pte& pte = it->second;
   if (!ProtAllows(pte.prot, AccessProt(access))) {
-    ++stats_.faults;
+    ++shard.stats.faults;
     return Status::kProtectionFault;
   }
   pte.referenced = true;
@@ -108,9 +115,10 @@ Result<FrameIndex> HashMmu::TranslateLocked(AsId as, Vaddr va, Access access) {
 }
 
 Result<MmuEntry> HashMmu::Lookup(AsId as, Vaddr va) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = table_.find({as, Vpn(va)});
-  if (it == table_.end()) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.table.find({as, Vpn(va)});
+  if (it == shard.table.end()) {
     return Status::kNotFound;
   }
   const Pte& pte = it->second;
@@ -119,14 +127,38 @@ Result<MmuEntry> HashMmu::Lookup(AsId as, Vaddr va) const {
 }
 
 Result<bool> HashMmu::TestAndClearReferenced(AsId as, Vaddr va) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = table_.find({as, Vpn(va)});
-  if (it == table_.end()) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.table.find({as, Vpn(va)});
+  if (it == shard.table.end()) {
     return Status::kNotFound;
   }
   bool was = it->second.referenced;
   it->second.referenced = false;
   return was;
+}
+
+const Mmu::Stats& HashMmu::stats() const {
+  std::lock_guard<std::mutex> agg_guard(stats_mu_);
+  aggregated_ = Stats{};
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    aggregated_.maps += shard.stats.maps;
+    aggregated_.unmaps += shard.stats.unmaps;
+    aggregated_.protects += shard.stats.protects;
+    aggregated_.translations += shard.stats.translations;
+    aggregated_.faults += shard.stats.faults;
+    aggregated_.spaces_created += shard.stats.spaces_created;
+    aggregated_.spaces_destroyed += shard.stats.spaces_destroyed;
+  }
+  return aggregated_;
+}
+
+void HashMmu::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.stats = Stats{};
+  }
 }
 
 }  // namespace gvm

@@ -1,12 +1,18 @@
 // HashMmu: an inverted/hashed page-table MMU model, in the style of the custom MMU
 // of the Telmat T3000 mentioned in the paper's portability table (Table 5).
 //
-// A single global hash maps (address space, virtual page number) to a PTE.  It is
-// behaviourally identical to SoftMmu; the PVM runs unmodified on either, which is
-// the paper's portability claim made executable.
+// A hash maps (address space, virtual page number) to a PTE.  It is behaviourally
+// identical to SoftMmu; the PVM runs unmodified on either, which is the paper's
+// portability claim made executable.
+//
+// Like SoftMmu, internal state is sharded by address space so concurrent CPUs in
+// different address spaces do not serialize on one table lock (each shard owns
+// the slice of the inverted table for its address spaces).
 #ifndef GVM_SRC_HAL_HASH_MMU_H_
 #define GVM_SRC_HAL_HASH_MMU_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -18,6 +24,8 @@ namespace gvm {
 
 class HashMmu final : public Mmu {
  public:
+  static constexpr size_t kLockShards = 16;
+
   explicit HashMmu(size_t page_size);
 
   Result<AsId> CreateAddressSpace() override;
@@ -27,13 +35,14 @@ class HashMmu final : public Mmu {
   Status Protect(AsId as, Vaddr va, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
-                                        const std::function<void(FrameIndex)>& body) override;
+                                        FrameBodyRef body) override;
   Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
   Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
 
   size_t page_size() const override { return page_size_; }
-  const Stats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = Stats{}; }
+  // Aggregates the per-shard counters; a consistent total only at quiescence.
+  const Stats& stats() const override;
+  void ResetStats() override;
   const char* name() const override { return "HashMmu(inverted)"; }
 
  private:
@@ -50,21 +59,29 @@ class HashMmu final : public Mmu {
     }
   };
 
+  // Same atomic-walk guarantee as SoftMmu: translation and table updates for an
+  // address space are serialized by its shard, so a translate-and-access cannot
+  // interleave with an unmap.  No operation holds two shards at once.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_set<AsId> live_spaces;
+    // Per-space set of mapped VPNs, needed to tear a space down without scanning
+    // the whole hash (real inverted-page-table systems keep similar lists).
+    std::unordered_map<AsId, std::unordered_set<uint64_t>> space_pages;
+    std::unordered_map<std::pair<AsId, uint64_t>, Pte, KeyHash> table;
+    Stats stats;
+  };
+
   uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
-  Result<FrameIndex> TranslateLocked(AsId as, Vaddr va, Access access);
+  Shard& ShardFor(AsId as) const { return shards_[as % kLockShards]; }
+  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va, Access access);
 
   const size_t page_size_;
   const unsigned page_shift_;
-  // Same atomic-walk guarantee as SoftMmu: translation and table updates are
-  // serialized so a translate-and-access cannot interleave with an unmap.
-  mutable std::mutex mu_;
-  AsId next_as_ = 0;
-  std::unordered_set<AsId> live_spaces_;
-  // Per-space set of mapped VPNs, needed to tear a space down without scanning the
-  // whole hash (real inverted-page-table systems keep similar software lists).
-  std::unordered_map<AsId, std::unordered_set<uint64_t>> space_pages_;
-  std::unordered_map<std::pair<AsId, uint64_t>, Pte, KeyHash> table_;
-  Stats stats_;
+  std::atomic<AsId> next_as_{0};
+  mutable std::array<Shard, kLockShards> shards_;
+  mutable std::mutex stats_mu_;  // serializes concurrent stats() aggregation
+  mutable Stats aggregated_;
 };
 
 }  // namespace gvm

@@ -13,12 +13,29 @@
 #define GVM_SRC_HAL_MMU_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/hal/types.h"
 #include "src/util/result.h"
 
 namespace gvm {
+
+// Non-owning reference to a callable invoked with the translated frame while the
+// translation is held valid.  A plain {context, thunk} pair rather than a
+// std::function: the CPU constructs one per simulated load/store, and a
+// std::function whose captures exceed its small-buffer optimisation would
+// heap-allocate on every access.  The referenced callable must outlive the call.
+class FrameBodyRef {
+ public:
+  template <typename F>
+  FrameBodyRef(const F& f)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_([](void* ctx, FrameIndex frame) { (*static_cast<const F*>(ctx))(frame); }) {}
+  void operator()(FrameIndex frame) const { fn_(ctx_, frame); }
+
+ private:
+  void* ctx_;
+  void (*fn_)(void*, FrameIndex);
+};
 
 // One translation entry as seen by software.
 struct MmuEntry {
@@ -66,7 +83,7 @@ class Mmu {
   // is still guaranteed valid.  Implementations with internal locking hold it
   // across both steps; the default is the unsynchronized two-step form.
   virtual Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
-                                                const std::function<void(FrameIndex)>& body) {
+                                                FrameBodyRef body) {
     Result<FrameIndex> frame = Translate(as, va, access);
     if (frame.ok()) {
       body(*frame);

@@ -16,36 +16,33 @@ SoftMmu::SoftMmu(size_t page_size, unsigned leaf_bits)
 }
 
 Result<AsId> SoftMmu::CreateAddressSpace() {
-  std::lock_guard<std::mutex> guard(mu_);
-  AsId as = next_as_++;
-  spaces_.emplace(as, AddressSpace{});
-  ++stats_.spaces_created;
+  AsId as = next_as_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  shard.spaces.emplace(as, AddressSpace{});
+  ++shard.stats.spaces_created;
   return as;
 }
 
 Status SoftMmu::DestroyAddressSpace(AsId as) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = spaces_.find(as);
-  if (it == spaces_.end()) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.spaces.find(as);
+  if (it == shard.spaces.end()) {
     return Status::kNotFound;
   }
-  spaces_.erase(it);
-  ++stats_.spaces_destroyed;
+  shard.spaces.erase(it);
+  ++shard.stats.spaces_destroyed;
   return Status::kOk;
 }
 
-SoftMmu::AddressSpace* SoftMmu::FindSpace(AsId as) {
-  auto it = spaces_.find(as);
-  return it == spaces_.end() ? nullptr : &it->second;
+SoftMmu::AddressSpace* SoftMmu::FindSpace(Shard& shard, AsId as) {
+  auto it = shard.spaces.find(as);
+  return it == shard.spaces.end() ? nullptr : &it->second;
 }
 
-const SoftMmu::AddressSpace* SoftMmu::FindSpace(AsId as) const {
-  auto it = spaces_.find(as);
-  return it == spaces_.end() ? nullptr : &it->second;
-}
-
-SoftMmu::Pte* SoftMmu::FindPte(AsId as, Vaddr va) {
-  AddressSpace* space = FindSpace(as);
+SoftMmu::Pte* SoftMmu::FindPte(Shard& shard, AsId as, Vaddr va) const {
+  AddressSpace* space = FindSpace(shard, as);
   if (space == nullptr) {
     return nullptr;
   }
@@ -57,13 +54,10 @@ SoftMmu::Pte* SoftMmu::FindPte(AsId as, Vaddr va) {
   return pte.valid ? &pte : nullptr;
 }
 
-const SoftMmu::Pte* SoftMmu::FindPte(AsId as, Vaddr va) const {
-  return const_cast<SoftMmu*>(this)->FindPte(as, va);
-}
-
 Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
-  std::lock_guard<std::mutex> guard(mu_);
-  AddressSpace* space = FindSpace(as);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  AddressSpace* space = FindSpace(shard, as);
   if (space == nullptr) {
     return Status::kNotFound;
   }
@@ -77,13 +71,14 @@ Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
     ++leaf->valid_count;
   }
   pte = Pte{.frame = frame, .prot = prot, .valid = true, .referenced = false, .dirty = false};
-  ++stats_.maps;
+  ++shard.stats.maps;
   return Status::kOk;
 }
 
 Status SoftMmu::Unmap(AsId as, Vaddr va) {
-  std::lock_guard<std::mutex> guard(mu_);
-  AddressSpace* space = FindSpace(as);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  AddressSpace* space = FindSpace(shard, as);
   if (space == nullptr) {
     return Status::kNotFound;
   }
@@ -94,7 +89,7 @@ Status SoftMmu::Unmap(AsId as, Vaddr va) {
   Pte& pte = it->second->entries[LeafIndex(va)];
   if (pte.valid) {
     pte = Pte{};
-    ++stats_.unmaps;
+    ++shard.stats.unmaps;
     if (--it->second->valid_count == 0) {
       space->directory.erase(it);  // reclaim empty leaf tables
     }
@@ -103,40 +98,43 @@ Status SoftMmu::Unmap(AsId as, Vaddr va) {
 }
 
 Status SoftMmu::Protect(AsId as, Vaddr va, Prot prot) {
-  std::lock_guard<std::mutex> guard(mu_);
-  Pte* pte = FindPte(as, va);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  Pte* pte = FindPte(shard, as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
   }
   pte->prot = prot;
-  ++stats_.protects;
+  ++shard.stats.protects;
   return Status::kOk;
 }
 
 Result<FrameIndex> SoftMmu::Translate(AsId as, Vaddr va, Access access) {
-  std::lock_guard<std::mutex> guard(mu_);
-  return TranslateLocked(as, va, access);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  return TranslateLocked(shard, as, va, access);
 }
 
 Result<FrameIndex> SoftMmu::TranslateAndAccess(AsId as, Vaddr va, Access access,
-                                               const std::function<void(FrameIndex)>& body) {
-  std::lock_guard<std::mutex> guard(mu_);
-  Result<FrameIndex> frame = TranslateLocked(as, va, access);
+                                               FrameBodyRef body) {
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  Result<FrameIndex> frame = TranslateLocked(shard, as, va, access);
   if (frame.ok()) {
     body(*frame);
   }
   return frame;
 }
 
-Result<FrameIndex> SoftMmu::TranslateLocked(AsId as, Vaddr va, Access access) {
-  ++stats_.translations;
-  Pte* pte = FindPte(as, va);
+Result<FrameIndex> SoftMmu::TranslateLocked(Shard& shard, AsId as, Vaddr va, Access access) {
+  ++shard.stats.translations;
+  Pte* pte = FindPte(shard, as, va);
   if (pte == nullptr) {
-    ++stats_.faults;
+    ++shard.stats.faults;
     return Status::kSegmentationFault;
   }
   if (!ProtAllows(pte->prot, AccessProt(access))) {
-    ++stats_.faults;
+    ++shard.stats.faults;
     return Status::kProtectionFault;
   }
   pte->referenced = true;
@@ -147,8 +145,9 @@ Result<FrameIndex> SoftMmu::TranslateLocked(AsId as, Vaddr va, Access access) {
 }
 
 Result<MmuEntry> SoftMmu::Lookup(AsId as, Vaddr va) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  const Pte* pte = FindPte(as, va);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  const Pte* pte = FindPte(shard, as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
   }
@@ -157,8 +156,9 @@ Result<MmuEntry> SoftMmu::Lookup(AsId as, Vaddr va) const {
 }
 
 Result<bool> SoftMmu::TestAndClearReferenced(AsId as, Vaddr va) {
-  std::lock_guard<std::mutex> guard(mu_);
-  Pte* pte = FindPte(as, va);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  Pte* pte = FindPte(shard, as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
   }
@@ -168,9 +168,33 @@ Result<bool> SoftMmu::TestAndClearReferenced(AsId as, Vaddr va) {
 }
 
 size_t SoftMmu::LeafTableCount(AsId as) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  const AddressSpace* space = FindSpace(as);
+  Shard& shard = ShardFor(as);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  const AddressSpace* space = FindSpace(shard, as);
   return space == nullptr ? 0 : space->directory.size();
+}
+
+const Mmu::Stats& SoftMmu::stats() const {
+  std::lock_guard<std::mutex> agg_guard(stats_mu_);
+  aggregated_ = Stats{};
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    aggregated_.maps += shard.stats.maps;
+    aggregated_.unmaps += shard.stats.unmaps;
+    aggregated_.protects += shard.stats.protects;
+    aggregated_.translations += shard.stats.translations;
+    aggregated_.faults += shard.stats.faults;
+    aggregated_.spaces_created += shard.stats.spaces_created;
+    aggregated_.spaces_destroyed += shard.stats.spaces_destroyed;
+  }
+  return aggregated_;
+}
+
+void SoftMmu::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.stats = Stats{};
+  }
 }
 
 }  // namespace gvm

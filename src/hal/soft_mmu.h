@@ -4,9 +4,15 @@
 // that an address space with a handful of mappings spread across a huge virtual
 // range costs only a few leaf tables — the size-independence property of section
 // 4.1 holds at the hardware-model level too.
+//
+// Internal state is sharded by address space: concurrent CPUs working in
+// different address spaces (the common SMP case — one space per context) take
+// different locks and stop serializing on the table walk.
 #ifndef GVM_SRC_HAL_SOFT_MMU_H_
 #define GVM_SRC_HAL_SOFT_MMU_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -19,6 +25,9 @@ namespace gvm {
 
 class SoftMmu final : public Mmu {
  public:
+  // Number of independent lock shards; address spaces hash onto them by id.
+  static constexpr size_t kLockShards = 16;
+
   // `page_size` must be a power of two.  `leaf_bits` is the number of VPN bits
   // resolved by a leaf table (default 10, i.e. 1024 PTEs per leaf).
   explicit SoftMmu(size_t page_size, unsigned leaf_bits = 10);
@@ -30,13 +39,14 @@ class SoftMmu final : public Mmu {
   Status Protect(AsId as, Vaddr va, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
-                                        const std::function<void(FrameIndex)>& body) override;
+                                        FrameBodyRef body) override;
   Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
   Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
 
   size_t page_size() const override { return page_size_; }
-  const Stats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = Stats{}; }
+  // Aggregates the per-shard counters; a consistent total only at quiescence.
+  const Stats& stats() const override;
+  void ResetStats() override;
   const char* name() const override { return "SoftMmu(two-level)"; }
 
   // Number of leaf tables currently allocated in `as` (for size-independence tests).
@@ -57,27 +67,32 @@ class SoftMmu final : public Mmu {
   struct AddressSpace {
     std::unordered_map<uint64_t, std::unique_ptr<LeafTable>> directory;
   };
+  // Hardware walks PTEs atomically with respect to kernel updates; the software
+  // model gets the same property from the shard mutex.  SoftMmu never calls out
+  // while holding one, so the kernel-lock -> MMU-lock order is acyclic, and no
+  // operation ever holds two shards at once.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<AsId, AddressSpace> spaces;
+    Stats stats;
+  };
 
   uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
   uint64_t DirIndex(Vaddr va) const { return Vpn(va) >> leaf_bits_; }
   uint64_t LeafIndex(Vaddr va) const { return Vpn(va) & ((1ull << leaf_bits_) - 1); }
 
-  AddressSpace* FindSpace(AsId as);
-  const AddressSpace* FindSpace(AsId as) const;
-  Pte* FindPte(AsId as, Vaddr va);
-  const Pte* FindPte(AsId as, Vaddr va) const;
-  Result<FrameIndex> TranslateLocked(AsId as, Vaddr va, Access access);
+  Shard& ShardFor(AsId as) const { return shards_[as % kLockShards]; }
+  static AddressSpace* FindSpace(Shard& shard, AsId as);
+  Pte* FindPte(Shard& shard, AsId as, Vaddr va) const;
+  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va, Access access);
 
   const size_t page_size_;
   const unsigned page_shift_;
   const unsigned leaf_bits_;
-  // Hardware walks PTEs atomically with respect to kernel updates; the software
-  // model gets the same property from a leaf-level mutex.  SoftMmu never calls
-  // out while holding it, so the kernel-lock -> MMU-lock order is acyclic.
-  mutable std::mutex mu_;
-  AsId next_as_ = 0;
-  std::unordered_map<AsId, AddressSpace> spaces_;
-  Stats stats_;
+  std::atomic<AsId> next_as_{0};
+  mutable std::array<Shard, kLockShards> shards_;
+  mutable std::mutex stats_mu_;  // serializes concurrent stats() aggregation
+  mutable Stats aggregated_;
 };
 
 }  // namespace gvm

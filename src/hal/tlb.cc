@@ -1,0 +1,332 @@
+#include "src/hal/tlb.h"
+
+#include <bit>
+#include <cassert>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "src/util/align.h"
+
+namespace gvm {
+
+namespace tlb_internal {
+thread_local ThreadTlbRef t_last;
+}  // namespace tlb_internal
+
+namespace {
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+// membarrier(2) constants, declared locally so no kernel headers are required.
+#if defined(__linux__) && defined(SYS_membarrier)
+constexpr int kMembarrierCmdQuery = 0;
+constexpr int kMembarrierCmdPrivateExpedited = 1 << 3;
+constexpr int kMembarrierCmdRegisterPrivateExpedited = 1 << 4;
+
+bool MembarrierAvailable() {
+  const long cmds = syscall(SYS_membarrier, kMembarrierCmdQuery, 0);
+  if (cmds < 0 || (cmds & kMembarrierCmdPrivateExpedited) == 0) {
+    return false;
+  }
+  return syscall(SYS_membarrier, kMembarrierCmdRegisterPrivateExpedited, 0) == 0;
+}
+
+// Forces every running thread of this process to execute a full memory
+// barrier before the call returns — the software analogue of a shootdown IPI.
+void MembarrierAllThreads() { syscall(SYS_membarrier, kMembarrierCmdPrivateExpedited, 0); }
+#else
+bool MembarrierAvailable() { return false; }
+void MembarrierAllThreads() {}
+#endif
+
+bool SingleCpuHost() {
+#if defined(__linux__)
+  return sysconf(_SC_NPROCESSORS_ONLN) == 1;
+#else
+  return std::thread::hardware_concurrency() == 1;
+#endif
+}
+
+TlbMmu::FenceMode ResolveFence(TlbMmu::FenceMode requested) {
+  switch (requested) {
+    case TlbMmu::FenceMode::kAuto:
+      if (SingleCpuHost()) {
+        return TlbMmu::FenceMode::kUniprocessor;
+      }
+      return MembarrierAvailable() ? TlbMmu::FenceMode::kMembarrier : TlbMmu::FenceMode::kFenced;
+    case TlbMmu::FenceMode::kMembarrier:
+      // Registration is required before PRIVATE_EXPEDITED may be used.
+      return MembarrierAvailable() ? TlbMmu::FenceMode::kMembarrier : TlbMmu::FenceMode::kFenced;
+    default:
+      return requested;
+  }
+}
+
+// A thread typically talks to one TlbMmu at a time, so the single-entry
+// t_last cache fronts this small vector of (instance, slot) bindings.
+thread_local std::vector<tlb_internal::ThreadTlbRef> t_refs;
+
+}  // namespace
+
+TlbMmu::TlbMmu(Mmu& inner, bool enabled, FenceMode fence)
+    : inner_(inner),
+      enabled_(enabled),
+      page_shift_(static_cast<unsigned>(std::countr_zero(inner.page_size()))),
+      instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)),
+      fence_(ResolveFence(fence)),
+      reader_fences_(fence_ == FenceMode::kFenced),
+      name_(std::string("Tlb(") + inner.name() + ")") {
+  assert(IsPowerOfTwo(inner.page_size()));
+  cpus_ = std::make_unique<CpuSlot[]>(kMaxCpus);
+}
+
+TlbMmu::~TlbMmu() = default;
+
+TlbMmu::CpuSlot* TlbMmu::ThisCpuSlow() {
+  for (const tlb_internal::ThreadTlbRef& ref : t_refs) {
+    if (ref.mmu == this && ref.id == instance_id_) {
+      tlb_internal::t_last = ref;
+      return static_cast<CpuSlot*>(ref.slot);
+    }
+  }
+  // First access from this thread: claim a slot.  seq_cst so that a shootdown
+  // that misses the claim is guaranteed the claimer's later generation read
+  // observes the bump (see Shootdown).
+  for (size_t i = 0; i < kMaxCpus; ++i) {
+    bool expected = false;
+    if (cpus_[i].claimed.compare_exchange_strong(expected, true, std::memory_order_seq_cst)) {
+      // Publish the scan watermark (seq_cst RMW: either a shootdown's scan sees
+      // this slot, or our later generation reads see its bump — same argument
+      // as the claim itself).
+      size_t high = claimed_high_.load(std::memory_order_seq_cst);
+      while (high < i + 1 &&
+             !claimed_high_.compare_exchange_weak(high, i + 1, std::memory_order_seq_cst)) {
+      }
+      // Drop bindings to dead incarnations of this address, and cap unbounded
+      // growth across many short-lived managers (orphaned slots stay claimed,
+      // which is safe: their entries can never hit again in a new instance).
+      std::erase_if(t_refs,
+                    [this](const tlb_internal::ThreadTlbRef& r) { return r.mmu == this; });
+      if (t_refs.size() > 256) {
+        t_refs.clear();
+      }
+      tlb_internal::ThreadTlbRef ref{this, instance_id_, &cpus_[i]};
+      t_refs.push_back(ref);
+      tlb_internal::t_last = ref;
+      return &cpus_[i];
+    }
+  }
+  return nullptr;  // more concurrent threads than slots: bypass the TLB
+}
+
+void TlbMmu::Fill(CpuSlot& cpu, AsId as, uint64_t vpn, FrameIndex frame, Access access,
+                  uint64_t gen) {
+  const size_t s = SetIndex(as, vpn);
+  Entry* way = ProbeMutable(cpu, as, vpn);
+  if (way != nullptr && way->frame == frame && way->gen == gen) {
+    // Same translation, re-proven: accumulate the newly demonstrated right.
+    // A write translation also proves the inner PTE dirty bit is now set, so
+    // later write hits cannot lose dirty information.
+    way->prot = way->prot | AccessProt(access);
+    way->dirty_ok = way->dirty_ok || access == Access::kWrite;
+    return;
+  }
+  if (way == nullptr) {
+    for (size_t w = 0; w < kWays; ++w) {
+      if (!cpu.entries[s][w].valid) {
+        way = &cpu.entries[s][w];
+        break;
+      }
+    }
+  }
+  if (way == nullptr) {
+    way = &cpu.entries[s][cpu.next_way[s]];
+    cpu.next_way[s] = static_cast<uint8_t>((cpu.next_way[s] + 1) % kWays);
+  }
+  *way = Entry{.vpn = vpn,
+               .gen = gen,
+               .as = as,
+               .frame = frame,
+               .prot = AccessProt(access),
+               .dirty_ok = access == Access::kWrite,
+               .valid = true};
+  Bump(cpu.fills);
+}
+
+void TlbMmu::Shootdown(AsId as, uint64_t vpn, bool single_page) {
+  // Publish the invalidation first: any translation that starts after this
+  // point revalidates against the new generation sum and must miss.  A
+  // single-page operation (the software invlpg) bumps only the page slot its
+  // (as, vpn) hashes to; address-space teardown bumps the AS generation,
+  // flushing that context without disturbing other address spaces' entries.
+  if (single_page) {
+    gen_[GenIndex(as, vpn)].fetch_add(1, std::memory_order_seq_cst);
+  } else {
+    as_gen_[AsGenIndex(as)].fetch_add(1, std::memory_order_seq_cst);
+  }
+  // The expensive half of the asymmetric barrier (the "IPI").  After this,
+  // every reader's epoch store — a plain store the reader never fences — is
+  // visible to us, and every reader still short of its generation check will
+  // observe the bump (an interrupted load replays after the barrier).  On a
+  // uniprocessor host neither is needed: we are running, so no reader is, and
+  // its last context switch already ordered its stores before ours.
+  if (fence_ == FenceMode::kMembarrier) {
+    MembarrierAllThreads();
+  }
+  // Then wait out every CPU currently inside its critical window (odd epoch).
+  // A CPU observed at an odd epoch either read the old generation (its access
+  // is concurrent with — i.e. ordered before — this mutation, like a store
+  // that raced an IPI on real hardware) or the new one; once its epoch moves
+  // on, any *later* access revalidates and misses.  This mirrors a hardware
+  // inter-processor shootdown: bump, send IPI, spin on acknowledgements.
+  const size_t high = claimed_high_.load(std::memory_order_seq_cst);
+  for (size_t i = 0; i < high; ++i) {
+    CpuSlot& cpu = cpus_[i];
+    const uint64_t observed = cpu.epoch.load(std::memory_order_seq_cst);
+    if ((observed & 1) == 0) {
+      continue;  // quiescent: its next access sees the new generation
+    }
+    while (cpu.epoch.load(std::memory_order_seq_cst) == observed) {
+      std::this_thread::yield();  // bounded: the window only spans a page copy
+    }
+  }
+  shootdowns_.fetch_add(1, std::memory_order_relaxed);
+  if (single_page) {
+    shootdown_pages_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<FrameIndex> TlbMmu::Miss(CpuSlot& cpu, AsId as, Vaddr va, Access access,
+                                FrameBodyRef body) {
+  Bump(cpu.misses);
+  // ---- walk the real tables (the inner MMU provides its own atomicity) ----
+  // Read the generation *before* the walk: if a shootdown lands in between,
+  // the filled entry is stale on arrival (its recorded generation mismatches)
+  // rather than stale after the shootdown completed.
+  const uint64_t vpn = va >> page_shift_;
+  const uint64_t gen = GenSum(as, vpn);
+  Result<FrameIndex> frame = inner_.TranslateAndAccess(as, va, access, body);
+  if (frame.ok()) {
+    Fill(cpu, as, vpn, *frame, access, gen);
+  }
+  return frame;
+}
+
+Result<FrameIndex> TlbMmu::Bypass(AsId as, Vaddr va, Access access, FrameBodyRef body) {
+  return inner_.TranslateAndAccess(as, va, access, body);
+}
+
+Result<FrameIndex> TlbMmu::TranslateAndAccess(AsId as, Vaddr va, Access access,
+                                              FrameBodyRef body) {
+  return AccessFast(as, va, access, body);
+}
+
+Result<FrameIndex> TlbMmu::Translate(AsId as, Vaddr va, Access access) {
+  return AccessFast(as, va, access, NoBody{});
+}
+
+Result<AsId> TlbMmu::CreateAddressSpace() { return inner_.CreateAddressSpace(); }
+
+Status TlbMmu::DestroyAddressSpace(AsId as) {
+  Status s = inner_.DestroyAddressSpace(as);
+  if (s == Status::kOk && enabled_) {
+    Shootdown(as, 0, /*single_page=*/false);
+  }
+  return s;
+}
+
+// The mutation wrappers peek at the current entry to decide whether a flush is
+// required.  The lookup+mutate pair is not atomic, which is fine: the memory
+// managers serialize mutations of any given page under their own lock, and
+// concurrent *translations* are exactly what the generation check handles.
+Status TlbMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
+  bool invalidate = false;
+  if (enabled_) {
+    Result<MmuEntry> old = inner_.Lookup(as, va);
+    // A replacing map must flush when it changes the frame (e.g. a COW private
+    // copy superseding the ancestor's page) or removes a right; a fresh fill
+    // or a pure widening must not.
+    invalidate = old.ok() && (old->frame != frame || !ProtAllows(prot, old->prot));
+  }
+  Status s = inner_.Map(as, va, frame, prot);
+  if (s == Status::kOk && invalidate) {
+    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+  }
+  return s;
+}
+
+Status TlbMmu::Unmap(AsId as, Vaddr va) {
+  const bool mapped = enabled_ && inner_.Lookup(as, va).ok();
+  Status s = inner_.Unmap(as, va);
+  if (s == Status::kOk && mapped) {
+    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+  }
+  return s;
+}
+
+Status TlbMmu::Protect(AsId as, Vaddr va, Prot prot) {
+  bool downgrade = false;
+  if (enabled_) {
+    Result<MmuEntry> old = inner_.Lookup(as, va);
+    downgrade = old.ok() && !ProtAllows(prot, old->prot);
+  }
+  Status s = inner_.Protect(as, va, prot);
+  if (s == Status::kOk && downgrade) {
+    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+  }
+  return s;
+}
+
+Result<MmuEntry> TlbMmu::Lookup(AsId as, Vaddr va) const { return inner_.Lookup(as, va); }
+
+// Clearing the referenced bit does not flush: real TLBs keep accessed bits in
+// the page tables, set on the walk, so clock hands racing TLB hits is faithful
+// hardware behaviour (eviction then unmaps, which *does* shoot down, and the
+// refault re-sets the bit).
+Result<bool> TlbMmu::TestAndClearReferenced(AsId as, Vaddr va) {
+  return inner_.TestAndClearReferenced(as, va);
+}
+
+void TlbMmu::ResetStats() {
+  inner_.ResetStats();
+  ResetTlbStats();
+}
+
+TlbMmu::TlbStats TlbMmu::tlb_stats() const {
+  TlbStats out;
+  for (size_t i = 0; i < kMaxCpus; ++i) {
+    const CpuSlot& cpu = cpus_[i];
+    // The hit path only advances the epoch, so hits are derived: lookups
+    // (epoch/2, flooring out an in-flight access) minus the explicitly counted
+    // misses, relative to the last reset.  Clamp against transient skew while
+    // other threads are mid-access.
+    const uint64_t lookups = cpu.epoch.load(std::memory_order_relaxed) / 2;
+    const uint64_t base = cpu.lookup_base.load(std::memory_order_relaxed);
+    const uint64_t misses = cpu.misses.load(std::memory_order_relaxed);
+    const uint64_t since_reset = lookups > base ? lookups - base : 0;
+    out.hits += since_reset > misses ? since_reset - misses : 0;
+    out.misses += misses;
+    out.fills += cpu.fills.load(std::memory_order_relaxed);
+  }
+  out.shootdowns = shootdowns_.load(std::memory_order_relaxed);
+  out.shootdown_pages = shootdown_pages_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void TlbMmu::ResetTlbStats() {
+  for (size_t i = 0; i < kMaxCpus; ++i) {
+    cpus_[i].lookup_base.store(cpus_[i].epoch.load(std::memory_order_relaxed) / 2,
+                               std::memory_order_relaxed);
+    cpus_[i].misses.store(0, std::memory_order_relaxed);
+    cpus_[i].fills.store(0, std::memory_order_relaxed);
+  }
+  shootdowns_.store(0, std::memory_order_relaxed);
+  shootdown_pages_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gvm

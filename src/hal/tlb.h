@@ -1,0 +1,266 @@
+// TlbMmu: a per-CPU software TLB layered in front of any Mmu implementation.
+//
+// Real MMUs cache translations per CPU and require the kernel to run a shootdown
+// protocol before an unmap or protection downgrade may be considered complete
+// (the paper's machine-dependent layer hides exactly this; see also the
+// break-before-make discipline of relaxed virtual-memory models).  This wrapper
+// models that hardware faithfully in software:
+//
+//   * Each accessing thread ("CPU") owns a small set-associative cache of
+//     (AsId, vpn) -> (frame, protection) entries.  The hit path takes no lock:
+//     it publishes an odd per-CPU epoch, validates the entry against a
+//     generation counter, runs the access body against the cached frame, then
+//     publishes an even epoch.
+//   * Every unmap, protection downgrade, replacing map and address-space
+//     teardown bumps a generation (invalidating the cached entries hashing to
+//     it at once) and then waits for all CPUs currently inside the critical
+//     window to leave it.  When the mutating call returns, no stale
+//     translation can be used again and no in-flight access is still touching
+//     the old frame — which is what lets the PVM recycle the frame.
+//     Generations come in two dimensions, both hashed: per (AsId, vpn) — so a
+//     single-page shootdown (the software invlpg) only invalidates entries
+//     sharing its hash slot — and per AsId, so address-space teardown (the
+//     full flush of one context) leaves other address spaces' entries alone.
+//     An entry caches the sum of both counters at fill time and is valid
+//     while the sum is unchanged.
+//   * Protection upgrades and fresh fills do NOT flush: a cached entry only
+//     ever under-approximates the real rights, so widening them cannot make it
+//     unsafe.
+//   * The epoch/generation handshake needs a store-load barrier between the
+//     reader's epoch publication and its generation check.  Paying a full
+//     fence per access would make hits nearly as expensive as the locked walk
+//     they replace, so the barrier is asymmetric, exactly like a hardware
+//     shootdown IPI (and like Linux's sys_membarrier / mmu_gather): readers
+//     execute plain stores with only a compiler barrier, and the shootdown
+//     side forces a barrier onto every running thread — via
+//     membarrier(PRIVATE_EXPEDITED) on SMP Linux, via nothing at all on a
+//     uniprocessor host (a context switch is a full barrier), and by falling
+//     back to a per-access seq_cst fence where neither applies.
+//
+// Entries are written exclusively by their owning CPU; cross-CPU invalidation
+// is purely logical (a generation mismatch), so the hit path is data-race-free
+// without atomics on the entry fields themselves.
+#ifndef GVM_SRC_HAL_TLB_H_
+#define GVM_SRC_HAL_TLB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/hal/mmu.h"
+
+namespace gvm {
+
+namespace tlb_internal {
+// Per-thread binding of the most recently used TlbMmu to its CPU slot; keeps
+// the per-access slot lookup to two compares.  Defined in tlb.cc.
+struct ThreadTlbRef {
+  const void* mmu = nullptr;
+  uint64_t id = 0;
+  void* slot = nullptr;
+};
+extern thread_local ThreadTlbRef t_last;
+}  // namespace tlb_internal
+
+class TlbMmu final : public Mmu {
+ public:
+  struct TlbStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fills = 0;
+    uint64_t shootdowns = 0;       // invalidation events (unmap/downgrade/remap/teardown)
+    uint64_t shootdown_pages = 0;  // how many of those were single-page operations
+  };
+
+  static constexpr size_t kSets = 64;
+  static constexpr size_t kWays = 4;
+  static constexpr size_t kMaxCpus = 64;    // distinct accessing threads; extras bypass
+  static constexpr size_t kGenSlots = 1024; // page generations, hashed by (AsId, vpn)
+  static constexpr size_t kAsGenSlots = 64; // address-space generations, hashed by AsId
+
+  // How the store-load barrier between a reader's epoch publication and its
+  // generation check is realised (see file comment).
+  enum class FenceMode {
+    kAuto,         // resolve at construction: kUniprocessor, else kMembarrier, else kFenced
+    kFenced,       // reader pays a seq_cst fence on every access (portable)
+    kMembarrier,   // readers fence-free; shootdown runs membarrier(PRIVATE_EXPEDITED)
+    kUniprocessor, // readers fence-free; single-CPU host, context switches order all
+  };
+
+  // When `enabled` is false every call delegates straight to `inner` (used by
+  // benchmarks to measure the uncached baseline with the same binary).
+  explicit TlbMmu(Mmu& inner, bool enabled = true, FenceMode fence = FenceMode::kAuto);
+  ~TlbMmu() override;
+
+  Result<AsId> CreateAddressSpace() override;
+  Status DestroyAddressSpace(AsId as) override;
+  Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  Status Unmap(AsId as, Vaddr va) override;
+  Status Protect(AsId as, Vaddr va, Prot prot) override;
+  Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
+  Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
+                                        FrameBodyRef body) override;
+  Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
+  Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
+
+  size_t page_size() const override { return inner_.page_size(); }
+  const Stats& stats() const override { return inner_.stats(); }
+  void ResetStats() override;
+  const char* name() const override { return name_.c_str(); }
+
+  bool enabled() const { return enabled_; }
+  Mmu& inner() { return inner_; }
+  // The fence mode actually in effect (kAuto resolved at construction).
+  FenceMode fence_mode() const { return fence_; }
+
+  // Aggregated snapshot across all CPUs (counters are owner-written, so the
+  // snapshot is approximate while threads are running and exact at quiescence).
+  TlbStats tlb_stats() const;
+  void ResetTlbStats();
+
+  // Set index for (as, vpn); exposed so tests can construct set conflicts.
+  static size_t SetIndex(AsId as, uint64_t vpn) {
+    return static_cast<size_t>(vpn ^ (static_cast<uint64_t>(as) * 0x9e3779b9u)) & (kSets - 1);
+  }
+  // Generation slot indices for (as, vpn) / as; exposed for the same reason.
+  static size_t GenIndex(AsId as, uint64_t vpn) {
+    return static_cast<size_t>(vpn ^ (static_cast<uint64_t>(as) * 0x9e3779b9u)) &
+           (kGenSlots - 1);
+  }
+  static size_t AsGenIndex(AsId as) { return static_cast<size_t>(as) & (kAsGenSlots - 1); }
+
+  // The simulated CPU's per-access entry point: translate + run `body(frame)`
+  // under shootdown protection, as one unit.  A template so the whole hit path
+  // (probe, validate, body) inlines into the caller; misses, faults, bypass
+  // and the disabled configuration leave through the out-of-line slow paths.
+  // `body` is any callable void(FrameIndex); pass NoBody{} for translate-only.
+  struct NoBody {
+    void operator()(FrameIndex) const {}
+  };
+  template <typename Body>
+  Result<FrameIndex> AccessFast(AsId as, Vaddr va, Access access, const Body& body) {
+    if (enabled_) {
+      CpuSlot* cpu = ThisCpu();
+      if (cpu != nullptr) {
+        const uint64_t vpn = va >> page_shift_;
+        // Enter the critical window (odd epoch) *before* validating the
+        // generation: either a shootdown sees our odd epoch and waits for the
+        // access body to finish, or we see its generation bump and miss.  The
+        // store-load barrier that makes this a total order is asymmetric (see
+        // the file comment): the signal fence only pins the compiler, and the
+        // hardware barrier is supplied by the shootdown side — except in
+        // kFenced mode, where we pay it here.
+        cpu->epoch.store(++cpu->epoch_local, std::memory_order_relaxed);
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+        if (reader_fences_) {
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+        }
+        const Entry* e = Probe(*cpu, as, vpn);
+        if (e != nullptr && e->gen == GenSum(as, vpn) &&
+            ProtAllows(e->prot, AccessProt(access)) &&
+            (access != Access::kWrite || e->dirty_ok)) {
+          const FrameIndex frame = e->frame;
+          body(frame);
+          // Release: the frame contents written by `body` happen-before
+          // anything a shootdown-then-recycle does with the frame.
+          cpu->epoch.store(++cpu->epoch_local, std::memory_order_release);
+          return frame;
+        }
+        cpu->epoch.store(++cpu->epoch_local, std::memory_order_release);
+        return Miss(*cpu, as, va, access, FrameBodyRef(body));
+      }
+    }
+    return Bypass(as, va, access, FrameBodyRef(body));
+  }
+
+ private:
+  struct Entry {
+    uint64_t vpn = 0;
+    uint64_t gen = 0;           // generation at fill time; mismatch == invalid
+    AsId as = kInvalidAsId;
+    FrameIndex frame = kInvalidFrame;
+    Prot prot = Prot::kNone;    // rights proven by successful inner translations
+    bool dirty_ok = false;      // inner PTE dirty bit known set: write hits allowed
+    bool valid = false;
+  };
+
+  struct alignas(64) CpuSlot {
+    // Odd while the owning thread is inside probe+access; even when quiescent.
+    // Advances by two per lookup, so epoch/2 is also the lookup count.
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> claimed{false};
+    uint64_t epoch_local = 0;  // owner-thread copy, avoids an atomic load to bump
+    // Owner-written cold-path counters (plain stores; readers aggregate
+    // relaxed loads).  Hits are derived: epoch/2 - lookup_base - misses.
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> fills{0};
+    std::atomic<uint64_t> lookup_base{0};  // lookups at the last ResetTlbStats
+    Entry entries[kSets][kWays];
+    uint8_t next_way[kSets] = {};
+  };
+
+  // Finds (or claims) this thread's slot; nullptr when all slots are taken, in
+  // which case the thread simply bypasses the TLB.
+  CpuSlot* ThisCpu() {
+    const tlb_internal::ThreadTlbRef& last = tlb_internal::t_last;
+    if (last.mmu == this && last.id == instance_id_) {
+      return static_cast<CpuSlot*>(last.slot);
+    }
+    return ThisCpuSlow();
+  }
+  CpuSlot* ThisCpuSlow();
+  // An entry is valid while neither its page generation nor its address
+  // space's generation has moved.  Both counters are monotonic, so caching
+  // their sum at fill time and comparing sums is equivalent to comparing both
+  // — and keeps Entry::gen a single word.
+  uint64_t GenSum(AsId as, uint64_t vpn) const {
+    // The arrays live inline in the object (not behind a pointer) so each load
+    // is one this-relative access, not a base-pointer chase.
+    return as_gen_[AsGenIndex(as)].load(std::memory_order_seq_cst) +
+           gen_[GenIndex(as, vpn)].load(std::memory_order_seq_cst);
+  }
+  const Entry* Probe(const CpuSlot& cpu, AsId as, uint64_t vpn) const {
+    const Entry* set = cpu.entries[SetIndex(as, vpn)];
+    for (size_t w = 0; w < kWays; ++w) {
+      if (set[w].valid && set[w].as == as && set[w].vpn == vpn) {
+        return &set[w];
+      }
+    }
+    return nullptr;
+  }
+  Entry* ProbeMutable(CpuSlot& cpu, AsId as, uint64_t vpn) {
+    return const_cast<Entry*>(Probe(cpu, as, vpn));
+  }
+  void Fill(CpuSlot& cpu, AsId as, uint64_t vpn, FrameIndex frame, Access access, uint64_t gen);
+  // Out-of-line slow paths for AccessFast.
+  Result<FrameIndex> Miss(CpuSlot& cpu, AsId as, Vaddr va, Access access, FrameBodyRef body);
+  Result<FrameIndex> Bypass(AsId as, Vaddr va, Access access, FrameBodyRef body);
+  // Bumps the generation(s) covering (as, vpn) — all slots when single_page is
+  // false — and waits for every CPU currently inside the critical window to
+  // exit it; on return no stale translation can be used.
+  void Shootdown(AsId as, uint64_t vpn, bool single_page);
+  static void Bump(std::atomic<uint64_t>& counter) {
+    counter.store(counter.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  Mmu& inner_;
+  const bool enabled_;
+  const unsigned page_shift_;
+  const uint64_t instance_id_;  // globally unique; defeats address-reuse aliasing
+  const FenceMode fence_;       // resolved, never kAuto
+  const bool reader_fences_;    // fence_ == kFenced, tested on the hit path
+  const std::string name_;
+  std::unique_ptr<CpuSlot[]> cpus_;
+  mutable std::atomic<uint64_t> gen_[kGenSlots] = {};        // page generations
+  mutable std::atomic<uint64_t> as_gen_[kAsGenSlots] = {};   // address-space generations
+  // Slots are claimed densely from index 0 and never released, so the scan in
+  // Shootdown only needs to cover [0, claimed_high_).
+  std::atomic<size_t> claimed_high_{0};
+  std::atomic<uint64_t> shootdowns_{0};
+  std::atomic<uint64_t> shootdown_pages_{0};
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_HAL_TLB_H_

@@ -105,6 +105,36 @@ std::string PagedVm::DumpTree(Cache& cache) const {
   return out.str();
 }
 
+std::string PagedVm::DumpStats() const {
+  auto* self = const_cast<PagedVm*>(this);
+  const Cpu::Stats cs = self->cpu().SnapshotStats();
+  const Mmu::Stats& ms = self->mmu().stats();
+  std::unique_lock<std::mutex> lock(self->mu());
+  const MmStats& mm = stats();
+  const PvmDetailStats& d = detail_;
+  std::ostringstream out;
+  out << "mm: faults=" << mm.page_faults << " prot_faults=" << mm.protection_faults
+      << " zero_fills=" << mm.zero_fills << " pull_ins=" << mm.pull_ins
+      << " push_outs=" << mm.push_outs << " cow_copies=" << mm.cow_copies
+      << " paged_out=" << mm.pages_paged_out << "\n";
+  out << "pvm: stub_waits=" << d.sync_stub_waits << " working=" << d.working_objects
+      << " history_pushes=" << d.history_pushes << " per_page_stubs=" << d.per_page_stubs
+      << " stub_resolutions=" << d.stub_resolutions << " ancestor_lookups=" << d.ancestor_lookups
+      << " collapsed=" << d.caches_collapsed << " reaped=" << d.caches_reaped
+      << " retargets=" << d.move_retargets << "\n";
+  out << "recovery: io_retries=" << d.io_retries << " io_permanent=" << d.io_permanent_failures
+      << " pushout_requeues=" << d.pushout_requeues << " degraded=" << d.degraded_segments
+      << " alloc_retries=" << d.alloc_pressure_retries
+      << " pullin_clustered=" << d.pullin_clustered << "\n";
+  out << "tlb: hits=" << cs.tlb_hits << " misses=" << cs.tlb_misses
+      << " shootdowns=" << cs.tlb_shootdowns << " shootdown_pages=" << cs.tlb_shootdown_pages
+      << "\n";
+  out << "mmu: maps=" << ms.maps << " unmaps=" << ms.unmaps << " protects=" << ms.protects
+      << " translations=" << ms.translations << " faults=" << ms.faults
+      << " spaces=" << ms.spaces_created << "/" << ms.spaces_destroyed << "\n";
+  return out.str();
+}
+
 Status PagedVm::CheckInvariants() const {
   std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
   auto* self = const_cast<PagedVm*>(this);

@@ -5,6 +5,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <thread>
 
 #include "src/util/align.h"
 #include "src/util/log.h"
@@ -12,7 +13,7 @@
 namespace gvm {
 
 PagedVm::PagedVm(PhysicalMemory& memory, Mmu& mmu, Options options)
-    : BaseMm(memory, mmu), options_(options) {}
+    : BaseMm(memory, mmu, options.enable_tlb), options_(options) {}
 
 PagedVm::~PagedVm() {
   // Tear down all caches without push-outs: the simulation is ending.
@@ -90,6 +91,15 @@ Result<FrameIndex> PagedVm::AllocateFrame(std::unique_lock<std::mutex>& lock,
       return frame;
     }
     ++detail_.alloc_pressure_retries;
+    // Still dry after a pager round: typically every eviction candidate is
+    // pinned or in transit behind another thread's pushOut.  Yield the lock so
+    // that thread can complete and free its frame — retrying without yielding
+    // exhausts the budget while starving the only thread that could refill the
+    // pool (guaranteed on a single-core host).
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+    *dropped_lock = true;
   }
 }
 
@@ -905,11 +915,64 @@ Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault,
     }
   }
 
+  if (result == Status::kOk && options_.pullin_cluster_pages > 1) {
+    ClusterPullIns(lock, fault, page_va);
+  }
+
   // kRetry is a private protocol between internal loops; by the time a fault
   // resolution returns it must have been converted into kOk or a real error.
   assert(result != Status::kRetry && "kRetry escaped ResolveFault");
   lock.release();  // BaseMm::HandleFault still owns the mutex
   return result;
+}
+
+// Fault-around: a fault that just resolved at `primary_va` is a strong hint of a
+// sequential stream, and each neighbouring page whose value already sits in the
+// mapper can be materialized now for the price of an upcall — saving a full
+// fault round-trip later.  Strictly best-effort: any surprise (region replaced,
+// value moved, stub appeared, free frames low) just stops the cluster.
+void PagedVm::ClusterPullIns(std::unique_lock<std::mutex>& lock, const PageFault& fault,
+                             Vaddr primary_va) {
+  const size_t page = page_size();
+  for (size_t i = 1; i < options_.pullin_cluster_pages; ++i) {
+    // Speculative work must never create memory pressure of its own.
+    if (memory().free_frames() <= options_.high_water_frames) {
+      return;
+    }
+    RegionImpl* r = RelookupRegion(fault);
+    if (r == nullptr) {
+      return;
+    }
+    const Vaddr va = primary_va + i * page;
+    if (!r->Contains(va) || !ProtAllows(r->prot(), Prot::kRead)) {
+      return;
+    }
+    PvmCache& cache = static_cast<PvmCache&>(r->cache());
+    SegOffset offset = r->OffsetOf(va);
+    Lookup look = LookupValue(cache, offset);
+    if (look.kind != Lookup::Kind::kPullIn) {
+      return;  // resident, zero-fill, or blocked: nothing to prefetch here
+    }
+    if (PullInLocked(lock, *look.source, look.source_offset, Access::kRead) != Status::kOk) {
+      return;
+    }
+    // The upcall dropped the lock: re-derive everything before mapping.
+    r = RelookupRegion(fault);
+    if (r == nullptr || !r->Contains(va)) {
+      return;
+    }
+    PvmCache& now_cache = static_cast<PvmCache&>(r->cache());
+    look = LookupValue(now_cache, r->OffsetOf(va));
+    if (look.kind != Lookup::Kind::kPage || look.page->in_transit) {
+      continue;  // value moved while unlocked; the pull-in itself still helps
+    }
+    if (look.copy_on_reference && look.page->cache != &now_cache) {
+      continue;  // mapping would bypass copy-on-reference materialization
+    }
+    const bool foreign = look.page->cache != &now_cache;
+    MapPage(*r, va, *look.page, EffectiveProt(*r, *look.page, foreign), now_cache);
+    ++detail_.pullin_clustered;
+  }
 }
 
 // ---------------------------------------------------------------------------

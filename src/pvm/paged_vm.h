@@ -46,6 +46,9 @@ struct PvmDetailStats {
   uint64_t pushout_requeues = 0;       // failed push-outs re-marked dirty for a later sweep
   uint64_t degraded_segments = 0;      // caches tripped into degraded (read-only) mode
   uint64_t alloc_pressure_retries = 0; // frame allocations retried after an eviction round
+  // Fault-around: adjacent resident-in-mapper pages materialized and mapped as a
+  // side effect of a neighbouring fault (each one is a fault round-trip saved).
+  uint64_t pullin_clustered = 0;
 };
 
 class PagedVm final : public BaseMm {
@@ -74,8 +77,18 @@ class PagedVm final : public BaseMm {
     int degrade_after_failures = 3;
     // When the frame pool is dry, eviction+allocation is retried up to this many
     // extra rounds before kNoMemory surfaces (absorbs transient pile-ups where
-    // every frame is momentarily pinned or in transit).
-    uint64_t alloc_retry_limit = 4;
+    // every frame is momentarily pinned or in transit; the retry loop yields
+    // between dry rounds so the threads holding those pages can finish).
+    uint64_t alloc_retry_limit = 16;
+    // Interpose the per-CPU software TLB (TlbMmu) between the manager and the
+    // hardware MMU.  Off = pure delegation, for baselines and A/B benchmarks.
+    bool enable_tlb = true;
+    // Fault-around: on a fault resolved by a pullIn, also materialize up to this
+    // many - 1 following pages whose value is resident in the mapper, while free
+    // frames stay above the high-water mark.  <= 1 disables clustering.  Off by
+    // default so per-upcall accounting in existing tests stays exact; sequential
+    // workloads (and throughput_smp) turn it on.
+    size_t pullin_cluster_pages = 1;
   };
 
   PagedVm(PhysicalMemory& memory, Mmu& mmu) : PagedVm(memory, mmu, Options{}) {}
@@ -102,6 +115,8 @@ class PagedVm final : public BaseMm {
   void PokeSleepers(const Cache& cache, SegOffset offset);
   // Renders the history tree reachable from `cache` in the notation of Figure 3.
   std::string DumpTree(Cache& cache) const;
+  // One-page human-readable dump of MM, detail, MMU and TLB counters.
+  std::string DumpStats() const;
   // Walks every structural invariant (tree shape, reverse-map consistency, global
   // map consistency); returns kOk or fails fast with a log of the violation.
   Status CheckInvariants() const;
@@ -211,6 +226,10 @@ class PagedVm final : public BaseMm {
   // ---- Upcalls (drop the lock internally) ----
   Status PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache,
                       SegOffset page_offset, Access access);
+  // Fault-around (see Options::pullin_cluster_pages): after the primary fault at
+  // `primary_va` resolved, opportunistically pull in and map following pages.
+  void ClusterPullIns(std::unique_lock<std::mutex>& lock, const PageFault& fault,
+                      Vaddr primary_va);
   Status PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache, PageDesc& page,
                            bool free_after);
   // Assign a segment to an MM-created/temporary cache via segmentCreate.

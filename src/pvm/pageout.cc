@@ -56,8 +56,18 @@ PageDesc* PagedVm::PickVictim() {
           }
           continue;
         }
+        // A degraded segment cannot complete a pushOut, so spending per-page
+        // work on it would only burn eviction passes on doomed upcalls: skip it
+        // outright in the referenced-bit pass, and in the final pass consider
+        // only its clean pages (freeable without any upcall).
+        if (cache->degraded_ && pass == 0) {
+          continue;
+        }
         for (PageDesc& page : cache->pages_) {
           if (page.pin_count > 0 || page.in_transit) {
+            continue;
+          }
+          if (cache->degraded_ && PageIsDirty(page)) {
             continue;
           }
           if (pass == 0) {

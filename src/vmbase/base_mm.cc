@@ -128,7 +128,8 @@ Status ContextImpl::Destroy() {
 // BaseMm
 // ---------------------------------------------------------------------------
 
-BaseMm::BaseMm(PhysicalMemory& memory, Mmu& mmu) : memory_(memory), mmu_(mmu), cpu_(memory, mmu) {
+BaseMm::BaseMm(PhysicalMemory& memory, Mmu& mmu, bool enable_tlb)
+    : memory_(memory), tlb_mmu_(mmu, enable_tlb), mmu_(tlb_mmu_), cpu_(memory, tlb_mmu_) {
   assert(memory.page_size() == mmu.page_size());
   cpu_.BindFaultHandler(this);
 }

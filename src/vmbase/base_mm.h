@@ -23,6 +23,7 @@
 #include "src/hal/cpu.h"
 #include "src/hal/mmu.h"
 #include "src/hal/phys_memory.h"
+#include "src/hal/tlb.h"
 
 namespace gvm {
 
@@ -98,7 +99,11 @@ class ContextImpl final : public Context {
 
 class BaseMm : public MemoryManager {
  public:
-  BaseMm(PhysicalMemory& memory, Mmu& mmu);
+  // The manager interposes a per-CPU software TLB (TlbMmu) between itself and
+  // `mmu`: all translations and table mutations go through the TLB wrapper so
+  // unmaps/downgrades are shot down before they are observable.  `enable_tlb`
+  // false degrades the wrapper to pure delegation (for baselines and A/B runs).
+  BaseMm(PhysicalMemory& memory, Mmu& mmu, bool enable_tlb = true);
   ~BaseMm() override;
 
   // ---- MemoryManager ----
@@ -117,6 +122,9 @@ class BaseMm : public MemoryManager {
   const PhysicalMemory& memory() const { return memory_; }
   Mmu& mmu() { return mmu_; }
   const Mmu& mmu() const { return mmu_; }
+  // The software TLB fronting the hardware MMU (observability / benchmarks).
+  TlbMmu& tlb() { return tlb_mmu_; }
+  const TlbMmu& tlb() const { return tlb_mmu_; }
   size_t page_size() const { return memory_.page_size(); }
 
   // Number of live contexts (for leak checks in tests).
@@ -169,7 +177,8 @@ class BaseMm : public MemoryManager {
   Result<Region*> SplitRegionLocked(RegionImpl& region, uint64_t offset);
 
   PhysicalMemory& memory_;
-  Mmu& mmu_;
+  TlbMmu tlb_mmu_;  // wraps the constructor's Mmu; declared before mmu_/cpu_
+  Mmu& mmu_;        // == tlb_mmu_: every manager MMU call goes through the TLB
   Cpu cpu_;
   SegmentRegistry* registry_ = nullptr;
   mutable std::mutex mu_;

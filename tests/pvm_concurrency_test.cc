@@ -20,6 +20,24 @@ namespace {
 
 constexpr size_t kPage = 4096;
 
+// Every scenario runs twice: with the per-CPU software TLB interposed (the
+// default configuration, where unmaps/downgrades go through the shootdown
+// protocol) and with pure delegation — so a TLB coherence bug cannot hide
+// behind the baseline, nor a baseline bug behind the TLB.
+class PvmConcurrencyTest : public ::testing::TestWithParam<bool> {
+ protected:
+  PagedVm::Options BaseOptions() const {
+    PagedVm::Options options;
+    options.enable_tlb = GetParam();
+    return options;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(TlbOnOff, PvmConcurrencyTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "TlbOn" : "TlbOff";
+                         });
+
 // A driver whose PullIn parks until released, then fills from another thread —
 // the shape of a real disk read completing via interrupt.
 class AsyncDriver final : public SegmentDriver {
@@ -70,10 +88,10 @@ class AsyncDriver final : public SegmentDriver {
   bool release_ = false;
 };
 
-TEST(PvmConcurrencyTest, AccessSleepsOnSyncStubUntilFillArrives) {
+TEST_P(PvmConcurrencyTest, AccessSleepsOnSyncStubUntilFillArrives) {
   PhysicalMemory memory(64, kPage);
   SoftMmu mmu(kPage);
-  PagedVm vm(memory, mmu);
+  PagedVm vm(memory, mmu, BaseOptions());
   AsyncDriver driver(kPage);
   Cache* cache = *vm.CacheCreate(&driver, "slow");
   Context* ctx = *vm.ContextCreate();
@@ -110,10 +128,10 @@ TEST(PvmConcurrencyTest, AccessSleepsOnSyncStubUntilFillArrives) {
   EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
 }
 
-TEST(PvmConcurrencyTest, ParallelZeroFillFaultsOnOneCache) {
+TEST_P(PvmConcurrencyTest, ParallelZeroFillFaultsOnOneCache) {
   PhysicalMemory memory(512, kPage);
   SoftMmu mmu(kPage);
-  PagedVm vm(memory, mmu);
+  PagedVm vm(memory, mmu, BaseOptions());
   TestSwapRegistry registry(kPage);
   vm.BindSegmentRegistry(&registry);
   Cache* cache = *vm.CacheCreate(nullptr, "shared");
@@ -162,11 +180,11 @@ TEST(PvmConcurrencyTest, ParallelZeroFillFaultsOnOneCache) {
   EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
 }
 
-TEST(PvmConcurrencyTest, ConcurrentCowWritersDiverge) {
+TEST_P(PvmConcurrencyTest, ConcurrentCowWritersDiverge) {
   // One source, several copies, all written concurrently through mappings.
   PhysicalMemory memory(1024, kPage);
   SoftMmu mmu(kPage);
-  PagedVm vm(memory, mmu);
+  PagedVm vm(memory, mmu, BaseOptions());
   TestSwapRegistry registry(kPage);
   vm.BindSegmentRegistry(&registry);
 
@@ -221,11 +239,11 @@ TEST(PvmConcurrencyTest, ConcurrentCowWritersDiverge) {
   EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
 }
 
-TEST(PvmConcurrencyTest, ConcurrentFaultsUnderMemoryPressure) {
+TEST_P(PvmConcurrencyTest, ConcurrentFaultsUnderMemoryPressure) {
   // Two threads churn through more memory than exists; page-out runs under them.
   PhysicalMemory memory(32, kPage);
   SoftMmu mmu(kPage);
-  PagedVm::Options options;
+  PagedVm::Options options = BaseOptions();
   options.low_water_frames = 4;
   options.high_water_frames = 8;
   PagedVm vm(memory, mmu, options);

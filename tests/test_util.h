@@ -3,8 +3,10 @@
 #ifndef GVM_TESTS_TEST_UTIL_H_
 #define GVM_TESTS_TEST_UTIL_H_
 
+#include <atomic>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/fault/fault_injector.h"
@@ -16,6 +18,10 @@ namespace gvm {
 // A segment driver backed by an in-process sparse byte store.  Mimics a mapper: on
 // pullIn it fills the cache from the store (zero for holes); on pushOut it copies
 // the cache data back.  Counts upcalls so tests can assert on traffic.
+//
+// Thread-safe like a real mapper must be: global page-out can push out one
+// thread's pages from another thread's fault, so a driver sees concurrent
+// upcalls even when each cache has its own driver.
 class TestStoreDriver : public SegmentDriver {
  public:
   explicit TestStoreDriver(size_t page_size) : page_size_(page_size) {}
@@ -32,11 +38,14 @@ class TestStoreDriver : public SegmentDriver {
       }
     }
     std::vector<std::byte> buffer(size);
-    for (size_t i = 0; i < size; i += page_size_) {
-      auto it = store_.find(offset + i);
-      if (it != store_.end()) {
-        std::memcpy(buffer.data() + i, it->second.data(),
-                    std::min(page_size_, size - i));
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      for (size_t i = 0; i < size; i += page_size_) {
+        auto it = store_.find(offset + i);
+        if (it != store_.end()) {
+          std::memcpy(buffer.data() + i, it->second.data(),
+                      std::min(page_size_, size - i));
+        }
       }
     }
     Prot prot = read_only_fills ? Prot::kReadExecute : Prot::kAll;
@@ -68,6 +77,7 @@ class TestStoreDriver : public SegmentDriver {
     if (s != Status::kOk) {
       return s;
     }
+    std::lock_guard<std::mutex> guard(mu_);
     for (size_t i = 0; i < size; i += page_size_) {
       auto& page = store_[offset + i];
       page.assign(buffer.data() + i,
@@ -80,6 +90,7 @@ class TestStoreDriver : public SegmentDriver {
   // Pre-populate the backing store.
   void Preload(SegOffset offset, const void* data, size_t size) {
     const auto* bytes = static_cast<const std::byte*>(data);
+    std::lock_guard<std::mutex> guard(mu_);
     for (size_t i = 0; i < size; i += page_size_) {
       auto& page = store_[offset + i];
       page.assign(bytes + i, bytes + i + std::min(page_size_, size - i));
@@ -87,12 +98,18 @@ class TestStoreDriver : public SegmentDriver {
     }
   }
 
-  bool HasPage(SegOffset offset) const { return store_.contains(offset); }
-  const std::vector<std::byte>& PageData(SegOffset offset) { return store_[offset]; }
+  bool HasPage(SegOffset offset) const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return store_.contains(offset);
+  }
+  const std::vector<std::byte>& PageData(SegOffset offset) {
+    std::lock_guard<std::mutex> guard(mu_);
+    return store_[offset];
+  }
 
-  int pull_ins = 0;
-  int push_outs = 0;
-  int write_access_requests = 0;
+  std::atomic<int> pull_ins{0};
+  std::atomic<int> push_outs{0};
+  std::atomic<int> write_access_requests{0};
   bool fail_pull_in = false;
   bool fail_push_out = false;
   bool grant_write_access = true;
@@ -103,6 +120,7 @@ class TestStoreDriver : public SegmentDriver {
 
  private:
   const size_t page_size_;
+  mutable std::mutex mu_;
   std::map<SegOffset, std::vector<std::byte>> store_;  // page-aligned keys
 };
 

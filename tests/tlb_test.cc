@@ -1,0 +1,518 @@
+// The per-CPU software TLB (src/hal/tlb.h): fill/hit/evict mechanics, the
+// shootdown protocol (unmap, protection downgrade, replacing map, address-space
+// teardown), the no-flush guarantees (upgrades and fresh fills), and — the part
+// that actually earns its keep — multithreaded stale-translation hunters that
+// fail if an unmap or downgrade on one CPU is ever followed by a stale TLB hit
+// on another.
+#include "src/hal/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/hal/cpu.h"
+#include "src/hal/phys_memory.h"
+#include "src/hal/soft_mmu.h"
+#include "src/pvm/paged_vm.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+Vaddr PageVa(uint64_t vpn) { return vpn * kPage; }
+
+// ---------------------------------------------------------------------------
+// Fill / hit / evict mechanics
+// ---------------------------------------------------------------------------
+
+TEST(TlbTest, FillThenHit) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(1), 7, Prot::kRead), Status::kOk);
+
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 7u);  // miss + fill
+  const uint64_t inner_walks = inner.stats().translations;
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 7u);  // hit
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 7u);  // hit
+
+  EXPECT_EQ(inner.stats().translations, inner_walks);  // hits bypassed the walk
+  TlbMmu::TlbStats stats = tlb.tlb_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.fills, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(TlbTest, ConflictEvictionFallsBackToInnerWalk) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  // vpn, vpn + kSets, vpn + 2*kSets, ... all land in the same set; overfilling
+  // the ways evicts the oldest entry, which then re-misses — correctly.
+  const size_t conflicting = TlbMmu::kWays + 2;
+  for (size_t i = 0; i < conflicting; ++i) {
+    uint64_t vpn = 3 + i * TlbMmu::kSets;
+    ASSERT_EQ(tlb.Map(as, PageVa(vpn), static_cast<FrameIndex>(100 + i), Prot::kRead),
+              Status::kOk);
+    ASSERT_EQ(*tlb.Translate(as, PageVa(vpn), Access::kRead),
+              static_cast<FrameIndex>(100 + i));
+  }
+  // Every conflicting page still translates to the right frame, evicted or not.
+  for (size_t i = 0; i < conflicting; ++i) {
+    uint64_t vpn = 3 + i * TlbMmu::kSets;
+    EXPECT_EQ(*tlb.Translate(as, PageVa(vpn), Access::kRead),
+              static_cast<FrameIndex>(100 + i));
+  }
+  EXPECT_GE(tlb.tlb_stats().misses, conflicting + (conflicting - TlbMmu::kWays));
+}
+
+TEST(TlbTest, DisabledTlbDelegatesEverything) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner, /*enabled=*/false);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(1), 5, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 5u);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 5u);
+  TlbMmu::TlbStats stats = tlb.tlb_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.shootdowns, 0u);
+  EXPECT_EQ(inner.stats().translations, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Shootdown triggers — and the cases that must NOT flush
+// ---------------------------------------------------------------------------
+
+TEST(TlbTest, UnmapShootsDownCachedEntry) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(2), 9, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(2), Access::kRead), 9u);  // cached
+
+  ASSERT_EQ(tlb.Unmap(as, PageVa(2)), Status::kOk);
+  EXPECT_EQ(tlb.tlb_stats().shootdowns, 1u);
+  EXPECT_EQ(tlb.tlb_stats().shootdown_pages, 1u);
+  // The cached entry must not serve the dead translation.
+  EXPECT_EQ(tlb.Translate(as, PageVa(2), Access::kRead).status(),
+            Status::kSegmentationFault);
+}
+
+TEST(TlbTest, ProtectionDowngradeShootsDown) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(4), 11, Prot::kReadWrite), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(4), Access::kWrite), 11u);  // cached, dirty_ok
+
+  ASSERT_EQ(tlb.Protect(as, PageVa(4), Prot::kRead), Status::kOk);  // downgrade
+  EXPECT_EQ(tlb.tlb_stats().shootdowns, 1u);
+  // A write must now fault instead of hitting the stale writable entry.
+  EXPECT_EQ(tlb.Translate(as, PageVa(4), Access::kWrite).status(),
+            Status::kProtectionFault);
+  // Reads still work (re-filled with the narrowed rights).
+  EXPECT_EQ(*tlb.Translate(as, PageVa(4), Access::kRead), 11u);
+}
+
+TEST(TlbTest, UpgradeAndFreshFillDoNotFlush) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(6), 13, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(6), Access::kRead), 13u);  // cached
+
+  // Protection upgrade: widening rights must not shoot down.
+  ASSERT_EQ(tlb.Protect(as, PageVa(6), Prot::kReadWrite), Status::kOk);
+  // Fresh fill of an unmapped page: must not shoot down either.
+  ASSERT_EQ(tlb.Map(as, PageVa(7), 14, Prot::kRead), Status::kOk);
+  // Re-mapping the same frame with the same rights: no change, no shootdown.
+  ASSERT_EQ(tlb.Map(as, PageVa(6), 13, Prot::kReadWrite), Status::kOk);
+  EXPECT_EQ(tlb.tlb_stats().shootdowns, 0u);
+
+  // The cached read entry survived and still hits.
+  const uint64_t misses_before = tlb.tlb_stats().misses;
+  EXPECT_EQ(*tlb.Translate(as, PageVa(6), Access::kRead), 13u);
+  EXPECT_EQ(tlb.tlb_stats().misses, misses_before);
+}
+
+TEST(TlbTest, ReplacingMapInvalidatesOldFrame) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(8), 21, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(8), Access::kRead), 21u);  // cached: frame 21
+
+  // The COW-resolution shape: the same page silently re-points at a new frame.
+  ASSERT_EQ(tlb.Map(as, PageVa(8), 22, Prot::kRead), Status::kOk);
+  EXPECT_EQ(tlb.tlb_stats().shootdowns, 1u);
+  EXPECT_EQ(*tlb.Translate(as, PageVa(8), Access::kRead), 22u);
+}
+
+TEST(TlbTest, AddressSpaceTeardownFlushesItsEntriesOnly) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId dying = *tlb.CreateAddressSpace();
+  AsId surviving = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(dying, PageVa(1), 31, Prot::kRead), Status::kOk);
+  ASSERT_EQ(tlb.Map(surviving, PageVa(1), 32, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(dying, PageVa(1), Access::kRead), 31u);
+  ASSERT_EQ(*tlb.Translate(surviving, PageVa(1), Access::kRead), 32u);
+
+  ASSERT_EQ(tlb.DestroyAddressSpace(dying), Status::kOk);
+  EXPECT_EQ(tlb.tlb_stats().shootdowns, 1u);
+  EXPECT_EQ(tlb.tlb_stats().shootdown_pages, 0u);  // AS-wide, not single-page
+  EXPECT_EQ(tlb.Translate(dying, PageVa(1), Access::kRead).status(),
+            Status::kSegmentationFault);
+  // The surviving address space's entry still hits (per-AS generations:
+  // teardown of one context does not flush another — unless their AsIds
+  // collide in the hashed AS-generation table, which these two cannot).
+  ASSERT_NE(TlbMmu::AsGenIndex(dying), TlbMmu::AsGenIndex(surviving));
+  const uint64_t misses_before = tlb.tlb_stats().misses;
+  EXPECT_EQ(*tlb.Translate(surviving, PageVa(1), Access::kRead), 32u);
+  EXPECT_EQ(tlb.tlb_stats().misses, misses_before);
+}
+
+TEST(TlbTest, WriteHitRequiresDirtyProvenFill) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(9), 41, Prot::kReadWrite), Status::kOk);
+
+  // A read fill proves kRead but not the dirty bit: the first write must go to
+  // the inner MMU (so the PTE dirty bit is set), not hit the cached entry.
+  ASSERT_EQ(*tlb.Translate(as, PageVa(9), Access::kRead), 41u);
+  ASSERT_FALSE((*inner.Lookup(as, PageVa(9))).dirty);
+  const uint64_t misses_before = tlb.tlb_stats().misses;
+  ASSERT_EQ(*tlb.Translate(as, PageVa(9), Access::kWrite), 41u);
+  EXPECT_EQ(tlb.tlb_stats().misses, misses_before + 1);  // forced through
+  EXPECT_TRUE((*inner.Lookup(as, PageVa(9))).dirty);
+
+  // Now the write right and dirty bit are proven: further writes hit.
+  const uint64_t misses_after = tlb.tlb_stats().misses;
+  ASSERT_EQ(*tlb.Translate(as, PageVa(9), Access::kWrite), 41u);
+  EXPECT_EQ(tlb.tlb_stats().misses, misses_after);
+}
+
+TEST(TlbTest, TestAndClearReferencedDoesNotFlush) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(5), 51, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(5), Access::kRead), 51u);
+  ASSERT_TRUE(*tlb.TestAndClearReferenced(as, PageVa(5)));  // clock hand sweep
+  EXPECT_EQ(tlb.tlb_stats().shootdowns, 0u);
+  const uint64_t misses_before = tlb.tlb_stats().misses;
+  EXPECT_EQ(*tlb.Translate(as, PageVa(5), Access::kRead), 51u);  // still cached
+  EXPECT_EQ(tlb.tlb_stats().misses, misses_before);
+}
+
+TEST(TlbTest, ResetTlbStatsZeroesDerivedCounters) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(1), 3, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 3u);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 3u);
+  ASSERT_EQ(tlb.Unmap(as, PageVa(1)), Status::kOk);
+  TlbMmu::TlbStats before = tlb.tlb_stats();
+  EXPECT_GT(before.hits + before.misses + before.shootdowns, 0u);
+
+  tlb.ResetTlbStats();
+  TlbMmu::TlbStats after = tlb.tlb_stats();
+  EXPECT_EQ(after.hits, 0u);
+  EXPECT_EQ(after.misses, 0u);
+  EXPECT_EQ(after.fills, 0u);
+  EXPECT_EQ(after.shootdowns, 0u);
+  EXPECT_EQ(after.shootdown_pages, 0u);
+}
+
+TEST(TlbTest, FenceModeResolution) {
+  SoftMmu inner(kPage);
+  // kAuto must resolve to a concrete mode at construction.
+  EXPECT_NE(TlbMmu(inner).fence_mode(), TlbMmu::FenceMode::kAuto);
+  // The portable fallback is always honoured as requested.
+  EXPECT_EQ(TlbMmu(inner, true, TlbMmu::FenceMode::kFenced).fence_mode(),
+            TlbMmu::FenceMode::kFenced);
+  // kMembarrier may legitimately fall back to kFenced (kernel without the
+  // syscall); it must never silently become uniprocessor.
+  TlbMmu::FenceMode m = TlbMmu(inner, true, TlbMmu::FenceMode::kMembarrier).fence_mode();
+  EXPECT_TRUE(m == TlbMmu::FenceMode::kMembarrier || m == TlbMmu::FenceMode::kFenced);
+}
+
+// ---------------------------------------------------------------------------
+// Multithreaded stale-translation hunters.
+//
+// These are the dedicated cross-CPU coherence tests: a mutator revokes a
+// translation (unmap+poison, or write-protect) and, because Unmap/Protect only
+// return after the shootdown protocol completes, anything a reader does with
+// the old translation *after* that return is a protocol violation the test
+// detects through the data itself.  Run under ASan in CI.
+//
+// kFenced is used explicitly: it is the portable reader-side protocol and, on
+// a single-core CI box, kAuto would resolve to kUniprocessor and not exercise
+// the fence path at all.
+// ---------------------------------------------------------------------------
+
+TEST(TlbStaleHunterTest, UnmapNeverFollowedByStaleHitOnAnotherCpu) {
+  constexpr size_t kPages = 16;
+  constexpr int kReaders = 3;
+  constexpr int kMutations = 3000;
+  constexpr uint64_t kPoison = 0xDEADDEADDEADDEADull;
+
+  PhysicalMemory memory(kPages * 2 + 4, kPage);
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner, /*enabled=*/true, TlbMmu::FenceMode::kFenced);
+  AsId as = *tlb.CreateAddressSpace();
+
+  // Double-buffered frames per page: the live frame carries the page's serial,
+  // the retired one is poisoned after its unmap completes.
+  FrameIndex frames[kPages][2];
+  uint64_t serial[kPages] = {};
+  for (size_t p = 0; p < kPages; ++p) {
+    frames[p][0] = static_cast<FrameIndex>(2 * p);
+    frames[p][1] = static_cast<FrameIndex>(2 * p + 1);
+    std::memcpy(memory.FrameData(frames[p][0]), &serial[p], sizeof(uint64_t));
+    ASSERT_EQ(tlb.Map(as, PageVa(p), frames[p][0], Prot::kRead), Status::kOk);
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> stale_observations{0};
+  std::atomic<uint64_t> good_hits{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::mt19937_64 rng(1000 + r);  // seeded: reproducible interleavings
+      while (!done.load(std::memory_order_relaxed)) {
+        const size_t p = rng() % kPages;
+        uint64_t value = 0;
+        const auto body = [&](FrameIndex frame) {
+          std::memcpy(&value, memory.FrameData(frame), sizeof(uint64_t));
+        };
+        Result<FrameIndex> f = tlb.TranslateAndAccess(as, PageVa(p), Access::kRead,
+                                                      FrameBodyRef(body));
+        if (f.ok()) {
+          // Any successful access must observe a live serial, never poison.
+          if (value == kPoison) {
+            stale_observations.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            good_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < kMutations; ++i) {
+    const size_t p = rng() % kPages;
+    const FrameIndex old_frame = frames[p][0];
+    const FrameIndex new_frame = frames[p][1];
+    // Retire the page: after Unmap returns, the shootdown guarantees no access
+    // through the old translation is in flight or can start — so poisoning the
+    // old frame is only observable if the TLB leaked a stale hit.
+    ASSERT_EQ(tlb.Unmap(as, PageVa(p)), Status::kOk);
+    uint64_t poison = kPoison;
+    std::memcpy(memory.FrameData(old_frame), &poison, sizeof(uint64_t));
+    // Re-arm the page on the other frame with a fresh serial.
+    serial[p] += 2;
+    std::memcpy(memory.FrameData(new_frame), &serial[p], sizeof(uint64_t));
+    ASSERT_EQ(tlb.Map(as, PageVa(p), new_frame, Prot::kRead), Status::kOk);
+    frames[p][0] = new_frame;
+    frames[p][1] = old_frame;
+  }
+  // On a loaded single-core host the mutation loop can finish before any reader
+  // is ever scheduled; keep the world live (mappings stable now) until the
+  // readers have demonstrably run, so the good_hits sanity check below means
+  // something.  Bounded: readers always make progress once scheduled.
+  for (int spin = 0; spin < 100000 && good_hits.load() == 0; ++spin) {
+    std::this_thread::yield();
+  }
+  done = true;
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(stale_observations.load(), 0u);
+  EXPECT_GT(good_hits.load(), 0u);
+  EXPECT_GE(tlb.tlb_stats().shootdowns, static_cast<uint64_t>(kMutations));
+}
+
+TEST(TlbStaleHunterTest, DowngradeNeverFollowedByStaleWriteOnAnotherCpu) {
+  constexpr size_t kPages = 8;
+  constexpr int kWriters = 3;
+  constexpr int kCycles = 300;
+
+  PhysicalMemory memory(kPages + 2, kPage);
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner, /*enabled=*/true, TlbMmu::FenceMode::kFenced);
+  AsId as = *tlb.CreateAddressSpace();
+  for (size_t p = 0; p < kPages; ++p) {
+    std::memset(memory.FrameData(static_cast<FrameIndex>(p)), 0, kPage);
+    ASSERT_EQ(tlb.Map(as, PageVa(p), static_cast<FrameIndex>(p), Prot::kReadWrite),
+              Status::kOk);
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::mt19937_64 rng(2000 + w);  // seeded: reproducible interleavings
+      uint64_t stamp = 1;
+      while (!done.load(std::memory_order_relaxed)) {
+        const size_t p = rng() % kPages;
+        const uint64_t value = (static_cast<uint64_t>(w + 1) << 56) | stamp++;
+        const auto body = [&](FrameIndex frame) {
+          std::memcpy(memory.FrameData(frame), &value, sizeof(uint64_t));
+        };
+        // Protection faults are expected while the page is read-only; what may
+        // never happen is the write landing after Protect(kRead) returned.
+        (void)tlb.TranslateAndAccess(as, PageVa(p), Access::kWrite, FrameBodyRef(body));
+      }
+    });
+  }
+
+  std::mt19937_64 rng(43);
+  for (int i = 0; i < kCycles; ++i) {
+    const size_t p = rng() % kPages;
+    // Downgrade: once Protect returns, the shootdown has drained every in-flight
+    // writer; the frame bytes must now be frozen.
+    ASSERT_EQ(tlb.Protect(as, PageVa(p), Prot::kRead), Status::kOk);
+    uint64_t snapshot = 0;
+    std::memcpy(&snapshot, memory.FrameData(static_cast<FrameIndex>(p)),
+                sizeof(uint64_t));
+    // Each yield donates a scheduler quantum to the spinning writers, so even
+    // a handful of iterations gives every writer a chance to land a stale
+    // write; more just multiplies runtime on a loaded host.
+    for (int spin = 0; spin < 8; ++spin) {
+      std::this_thread::yield();
+      uint64_t now = 0;
+      std::memcpy(&now, memory.FrameData(static_cast<FrameIndex>(p)), sizeof(uint64_t));
+      ASSERT_EQ(now, snapshot) << "write landed after downgrade completed (cycle "
+                               << i << ", page " << p << ")";
+    }
+    // Re-arm for the next round.
+    ASSERT_EQ(tlb.Protect(as, PageVa(p), Prot::kReadWrite), Status::kOk);
+  }
+  done = true;
+  for (auto& t : writers) {
+    t.join();
+  }
+  EXPECT_GE(tlb.tlb_stats().shootdowns, static_cast<uint64_t>(kCycles));
+}
+
+// ---------------------------------------------------------------------------
+// Through the full stack: PagedVm under eviction pressure, TLB enabled —
+// page-out (unmap) and refault churn with a byte-level audit.
+// ---------------------------------------------------------------------------
+
+TEST(TlbPvmTest, EvictionStormUnderTlbKeepsBytesCoherent) {
+  PhysicalMemory memory(48, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.low_water_frames = 4;
+  options.high_water_frames = 8;
+  options.enable_tlb = true;
+  PagedVm vm(memory, mmu, options);
+  TestSwapRegistry registry(kPage);
+  vm.BindSegmentRegistry(&registry);
+  ASSERT_TRUE(vm.tlb().enabled());
+
+  constexpr int kThreads = 3;
+  constexpr size_t kPages = 40;  // per thread; deliberately >> resident budget
+  std::vector<Context*> contexts(kThreads);
+  std::vector<Cache*> caches(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    contexts[t] = *vm.ContextCreate();
+    caches[t] = *vm.CacheCreate(nullptr, "tlb-storm" + std::to_string(t));
+    ASSERT_TRUE(vm.RegionCreate(*contexts[t], 0x100000, kPages * kPage,
+                                Prot::kReadWrite, *caches[t], 0)
+                    .ok());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      AsId as = contexts[t]->address_space();
+      std::mt19937_64 rng(3000 + t);  // seeded
+      for (int round = 0; round < 4; ++round) {
+        for (size_t p = 0; p < kPages; ++p) {
+          uint64_t value = (static_cast<uint64_t>(t) << 48) | (round << 16) | p;
+          ASSERT_EQ(vm.cpu().Write(as, 0x100000 + p * kPage, &value, sizeof(value)),
+                    Status::kOk);
+        }
+        // Random-order readback: every byte must match the last write even as
+        // the pager unmaps (shooting down) and refaults pages underneath.
+        for (size_t n = 0; n < kPages; ++n) {
+          size_t p = rng() % kPages;
+          uint64_t got = 0;
+          ASSERT_EQ(vm.cpu().Read(as, 0x100000 + p * kPage, &got, sizeof(got)),
+                    Status::kOk);
+          ASSERT_EQ(got, (static_cast<uint64_t>(t) << 48) | (round << 16) | p);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_GT(vm.stats().pages_paged_out, 0u);
+  Cpu::Stats cpu_stats = vm.cpu().SnapshotStats();
+  EXPECT_GT(cpu_stats.tlb_hits, 0u);
+  EXPECT_GT(cpu_stats.tlb_shootdowns, 0u);
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Pull-in clustering (fault-around)
+// ---------------------------------------------------------------------------
+
+TEST(TlbPvmTest, ClusteredPullInMapsNeighboursOnOneFault) {
+  PhysicalMemory memory(64, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.pullin_cluster_pages = 8;
+  PagedVm vm(memory, mmu, options);
+  TestStoreDriver driver(kPage);
+
+  constexpr size_t kPages = 16;
+  std::vector<std::byte> data(kPages * kPage);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>('a' + (i / kPage) % 26);
+  }
+  driver.Preload(0, data.data(), data.size());
+
+  Cache* cache = *vm.CacheCreate(&driver, "clustered");
+  Context* ctx = *vm.ContextCreate();
+  ASSERT_TRUE(vm.RegionCreate(*ctx, 0x200000, kPages * kPage, Prot::kRead, *cache, 0).ok());
+  AsId as = ctx->address_space();
+
+  // One read at page 0: the primary fault pulls page 0 and fault-around
+  // materializes + maps the next 7 — one fault, eight resident pages.
+  char c = 0;
+  ASSERT_EQ(vm.cpu().Read(as, 0x200000, &c, 1), Status::kOk);
+  EXPECT_EQ(c, 'a');
+  EXPECT_EQ(vm.cpu().stats().faults_taken, 1u);
+  EXPECT_EQ(vm.detail_stats().pullin_clustered, 7u);
+
+  // Touching the clustered neighbours takes no further faults.
+  for (size_t p = 1; p < 8; ++p) {
+    ASSERT_EQ(vm.cpu().Read(as, 0x200000 + p * kPage, &c, 1), Status::kOk);
+    EXPECT_EQ(c, static_cast<char>('a' + p));
+  }
+  EXPECT_EQ(vm.cpu().stats().faults_taken, 1u);
+
+  // Page 8 is outside the cluster: it faults (and clusters again).
+  ASSERT_EQ(vm.cpu().Read(as, 0x200000 + 8 * kPage, &c, 1), Status::kOk);
+  EXPECT_EQ(c, static_cast<char>('a' + 8));
+  EXPECT_EQ(vm.cpu().stats().faults_taken, 2u);
+  EXPECT_EQ(vm.CheckInvariants(), Status::kOk);
+}
+
+}  // namespace
+}  // namespace gvm
