@@ -46,7 +46,17 @@ Status HashMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
     return Status::kNotFound;
   }
   uint64_t vpn = Vpn(va);
-  shard.table[{as, vpn}] = Pte{.frame = frame, .prot = prot, .referenced = false, .dirty = false};
+  // Same-frame re-map is a protection change in place: the accessed/modified
+  // bits survive, per the Mmu::Map contract (TlbMmu's write-hit path relies on
+  // the dirty bit not being wiped under a still-valid cached entry).  A fresh
+  // insert default-constructs the Pte with frame = kInvalidFrame, so
+  // same_frame is false and the bits start clear.
+  Pte& pte = shard.table[{as, vpn}];
+  const bool same_frame = pte.frame == frame;
+  pte = Pte{.frame = frame,
+            .prot = prot,
+            .referenced = same_frame && pte.referenced,
+            .dirty = same_frame && pte.dirty};
   shard.space_pages[as].insert(vpn);
   ++shard.stats.maps;
   return Status::kOk;
@@ -138,20 +148,19 @@ Result<bool> HashMmu::TestAndClearReferenced(AsId as, Vaddr va) {
   return was;
 }
 
-const Mmu::Stats& HashMmu::stats() const {
-  std::lock_guard<std::mutex> agg_guard(stats_mu_);
-  aggregated_ = Stats{};
+Mmu::Stats HashMmu::stats() const {
+  Stats out;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> guard(shard.mu);
-    aggregated_.maps += shard.stats.maps;
-    aggregated_.unmaps += shard.stats.unmaps;
-    aggregated_.protects += shard.stats.protects;
-    aggregated_.translations += shard.stats.translations;
-    aggregated_.faults += shard.stats.faults;
-    aggregated_.spaces_created += shard.stats.spaces_created;
-    aggregated_.spaces_destroyed += shard.stats.spaces_destroyed;
+    out.maps += shard.stats.maps;
+    out.unmaps += shard.stats.unmaps;
+    out.protects += shard.stats.protects;
+    out.translations += shard.stats.translations;
+    out.faults += shard.stats.faults;
+    out.spaces_created += shard.stats.spaces_created;
+    out.spaces_destroyed += shard.stats.spaces_destroyed;
   }
-  return aggregated_;
+  return out;
 }
 
 void HashMmu::ResetStats() {

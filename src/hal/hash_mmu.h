@@ -41,7 +41,7 @@ class HashMmu final : public Mmu {
 
   size_t page_size() const override { return page_size_; }
   // Aggregates the per-shard counters; a consistent total only at quiescence.
-  const Stats& stats() const override;
+  Stats stats() const override;
   void ResetStats() override;
   const char* name() const override { return "HashMmu(inverted)"; }
 
@@ -80,8 +80,6 @@ class HashMmu final : public Mmu {
   const unsigned page_shift_;
   std::atomic<AsId> next_as_{0};
   mutable std::array<Shard, kLockShards> shards_;
-  mutable std::mutex stats_mu_;  // serializes concurrent stats() aggregation
-  mutable Stats aggregated_;
 };
 
 }  // namespace gvm

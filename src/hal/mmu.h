@@ -64,6 +64,13 @@ class Mmu {
   virtual Status DestroyAddressSpace(AsId as) = 0;
 
   // Installs/replaces the translation for the page containing `va`.
+  //
+  // Re-mapping a page with the frame it already translates to is a protection
+  // change in place and must preserve the referenced/dirty bits; installing a
+  // different frame starts them clear.  TlbMmu depends on this: it does not
+  // shoot down on a same-frame, non-downgrading re-map, so a cached write
+  // entry stays live — if the re-map wiped the dirty bit, an actively-written
+  // page would look clean to eviction and be dropped without write-back.
   virtual Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) = 0;
 
   // Removes the translation for the page containing `va` (no-op if absent).
@@ -100,7 +107,9 @@ class Mmu {
 
   virtual size_t page_size() const = 0;
 
-  virtual const Stats& stats() const = 0;
+  // Returned by value: implementations aggregate internal (possibly sharded)
+  // counters into a snapshot, so concurrent callers never share storage.
+  virtual Stats stats() const = 0;
   virtual void ResetStats() = 0;
 
   // Human-readable implementation name, for Table 5-style reporting.

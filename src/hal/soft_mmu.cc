@@ -70,7 +70,15 @@ Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
   if (!pte.valid) {
     ++leaf->valid_count;
   }
-  pte = Pte{.frame = frame, .prot = prot, .valid = true, .referenced = false, .dirty = false};
+  // Same-frame re-map is a protection change in place: the accessed/modified
+  // bits survive, per the Mmu::Map contract (TlbMmu's write-hit path relies on
+  // the dirty bit not being wiped under a still-valid cached entry).
+  const bool same_frame = pte.valid && pte.frame == frame;
+  pte = Pte{.frame = frame,
+            .prot = prot,
+            .valid = true,
+            .referenced = same_frame && pte.referenced,
+            .dirty = same_frame && pte.dirty};
   ++shard.stats.maps;
   return Status::kOk;
 }
@@ -174,20 +182,19 @@ size_t SoftMmu::LeafTableCount(AsId as) const {
   return space == nullptr ? 0 : space->directory.size();
 }
 
-const Mmu::Stats& SoftMmu::stats() const {
-  std::lock_guard<std::mutex> agg_guard(stats_mu_);
-  aggregated_ = Stats{};
+Mmu::Stats SoftMmu::stats() const {
+  Stats out;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> guard(shard.mu);
-    aggregated_.maps += shard.stats.maps;
-    aggregated_.unmaps += shard.stats.unmaps;
-    aggregated_.protects += shard.stats.protects;
-    aggregated_.translations += shard.stats.translations;
-    aggregated_.faults += shard.stats.faults;
-    aggregated_.spaces_created += shard.stats.spaces_created;
-    aggregated_.spaces_destroyed += shard.stats.spaces_destroyed;
+    out.maps += shard.stats.maps;
+    out.unmaps += shard.stats.unmaps;
+    out.protects += shard.stats.protects;
+    out.translations += shard.stats.translations;
+    out.faults += shard.stats.faults;
+    out.spaces_created += shard.stats.spaces_created;
+    out.spaces_destroyed += shard.stats.spaces_destroyed;
   }
-  return aggregated_;
+  return out;
 }
 
 void SoftMmu::ResetStats() {

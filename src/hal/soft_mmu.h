@@ -45,7 +45,7 @@ class SoftMmu final : public Mmu {
 
   size_t page_size() const override { return page_size_; }
   // Aggregates the per-shard counters; a consistent total only at quiescence.
-  const Stats& stats() const override;
+  Stats stats() const override;
   void ResetStats() override;
   const char* name() const override { return "SoftMmu(two-level)"; }
 
@@ -91,8 +91,6 @@ class SoftMmu final : public Mmu {
   const unsigned leaf_bits_;
   std::atomic<AsId> next_as_{0};
   mutable std::array<Shard, kLockShards> shards_;
-  mutable std::mutex stats_mu_;  // serializes concurrent stats() aggregation
-  mutable Stats aggregated_;
 };
 
 }  // namespace gvm

@@ -44,20 +44,13 @@ bool MembarrierAvailable() { return false; }
 void MembarrierAllThreads() {}
 #endif
 
-bool SingleCpuHost() {
-#if defined(__linux__)
-  return sysconf(_SC_NPROCESSORS_ONLN) == 1;
-#else
-  return std::thread::hardware_concurrency() == 1;
-#endif
-}
-
 TlbMmu::FenceMode ResolveFence(TlbMmu::FenceMode requested) {
   switch (requested) {
     case TlbMmu::FenceMode::kAuto:
-      if (SingleCpuHost()) {
-        return TlbMmu::FenceMode::kUniprocessor;
-      }
+      // Never auto-select kUniprocessor: the online-CPU count is a snapshot
+      // (cpusets and hotplug can add CPUs later), and a fence-free reader on
+      // what has become an SMP host could keep using a stale translation
+      // across a shootdown.  Fence-free mode is an explicit caller assertion.
       return MembarrierAvailable() ? TlbMmu::FenceMode::kMembarrier : TlbMmu::FenceMode::kFenced;
     case TlbMmu::FenceMode::kMembarrier:
       // Registration is required before PRIVATE_EXPEDITED may be used.
@@ -71,7 +64,24 @@ TlbMmu::FenceMode ResolveFence(TlbMmu::FenceMode requested) {
 // t_last cache fronts this small vector of (instance, slot) bindings.
 thread_local std::vector<tlb_internal::ThreadTlbRef> t_refs;
 
+// Process-unique thread ids for slot ownership (0 is reserved for "unclaimed",
+// and ids are never reused, so a slot's owner field can only ever match the
+// thread that claimed it).
+std::atomic<uint64_t> g_next_thread_id{1};
+
+uint64_t ThisThreadTlbId() {
+  thread_local const uint64_t id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
+
+namespace tlb_internal {
+void ForgetThreadBindings() {
+  t_last = ThreadTlbRef{};
+  t_refs.clear();
+}
+}  // namespace tlb_internal
 
 TlbMmu::TlbMmu(Mmu& inner, bool enabled, FenceMode fence)
     : inner_(inner),
@@ -94,12 +104,29 @@ TlbMmu::CpuSlot* TlbMmu::ThisCpuSlow() {
       return static_cast<CpuSlot*>(ref.slot);
     }
   }
+  // The binding may have been dropped (the t_refs size cap below), but slot
+  // ownership is also recorded in the slot itself: re-find before claiming
+  // anew, otherwise every dropped binding would leak a slot and the thread
+  // would eventually exhaust all kMaxCpus and bypass the TLB forever.  Only
+  // this thread's own prior claim can match (ids are unique and never reused),
+  // so relaxed loads suffice — a match reads this thread's own earlier writes.
+  const uint64_t tid = ThisThreadTlbId();
+  const size_t rehigh = claimed_high_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < rehigh; ++i) {
+    if (cpus_[i].owner.load(std::memory_order_relaxed) == tid) {
+      tlb_internal::ThreadTlbRef ref{this, instance_id_, &cpus_[i]};
+      t_refs.push_back(ref);
+      tlb_internal::t_last = ref;
+      return &cpus_[i];
+    }
+  }
   // First access from this thread: claim a slot.  seq_cst so that a shootdown
   // that misses the claim is guaranteed the claimer's later generation read
   // observes the bump (see Shootdown).
   for (size_t i = 0; i < kMaxCpus; ++i) {
     bool expected = false;
     if (cpus_[i].claimed.compare_exchange_strong(expected, true, std::memory_order_seq_cst)) {
+      cpus_[i].owner.store(tid, std::memory_order_relaxed);
       // Publish the scan watermark (seq_cst RMW: either a shootdown's scan sees
       // this slot, or our later generation reads see its bump — same argument
       // as the claim itself).
@@ -110,6 +137,8 @@ TlbMmu::CpuSlot* TlbMmu::ThisCpuSlow() {
       // Drop bindings to dead incarnations of this address, and cap unbounded
       // growth across many short-lived managers (orphaned slots stay claimed,
       // which is safe: their entries can never hit again in a new instance).
+      // Dropping a binding to a still-live instance is also safe: the owner
+      // scan above re-finds its claimed slot on the next access.
       std::erase_if(t_refs,
                     [this](const tlb_internal::ThreadTlbRef& r) { return r.mmu == this; });
       if (t_refs.size() > 256) {
@@ -244,6 +273,12 @@ Status TlbMmu::DestroyAddressSpace(AsId as) {
 // required.  The lookup+mutate pair is not atomic, which is fine: the memory
 // managers serialize mutations of any given page under their own lock, and
 // concurrent *translations* are exactly what the generation check handles.
+//
+// A same-frame, non-downgrading re-map deliberately does not shoot down, so a
+// cached write entry (dirty_ok) can stay live across it.  That is sound only
+// because Mmu::Map preserves the referenced/dirty bits on a same-frame re-map:
+// if the re-map wiped the dirty bit, later write hits would never re-set it
+// and an actively-written page would look clean to eviction.
 Status TlbMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
   bool invalidate = false;
   if (enabled_) {

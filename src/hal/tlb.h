@@ -33,9 +33,11 @@
 //     shootdown IPI (and like Linux's sys_membarrier / mmu_gather): readers
 //     execute plain stores with only a compiler barrier, and the shootdown
 //     side forces a barrier onto every running thread — via
-//     membarrier(PRIVATE_EXPEDITED) on SMP Linux, via nothing at all on a
-//     uniprocessor host (a context switch is a full barrier), and by falling
-//     back to a per-access seq_cst fence where neither applies.
+//     membarrier(PRIVATE_EXPEDITED) on Linux, via nothing at all when the
+//     caller explicitly asserts a uniprocessor host (a context switch is a
+//     full barrier; never auto-detected, because the online-CPU count is a
+//     snapshot that cpusets or hotplug can grow later), and by falling back
+//     to a per-access seq_cst fence where neither applies.
 //
 // Entries are written exclusively by their owning CPU; cross-CPU invalidation
 // is purely logical (a generation mismatch), so the hit path is data-race-free
@@ -61,6 +63,10 @@ struct ThreadTlbRef {
   void* slot = nullptr;
 };
 extern thread_local ThreadTlbRef t_last;
+// Test hook: drops all of this thread's cached (instance, slot) bindings,
+// simulating the binding-list size cap; the next access through any TlbMmu
+// must re-find the thread's already-claimed slot rather than claim a new one.
+void ForgetThreadBindings();
 }  // namespace tlb_internal
 
 class TlbMmu final : public Mmu {
@@ -82,10 +88,12 @@ class TlbMmu final : public Mmu {
   // How the store-load barrier between a reader's epoch publication and its
   // generation check is realised (see file comment).
   enum class FenceMode {
-    kAuto,         // resolve at construction: kUniprocessor, else kMembarrier, else kFenced
+    kAuto,         // resolve at construction: kMembarrier when available, else kFenced
     kFenced,       // reader pays a seq_cst fence on every access (portable)
     kMembarrier,   // readers fence-free; shootdown runs membarrier(PRIVATE_EXPEDITED)
-    kUniprocessor, // readers fence-free; single-CPU host, context switches order all
+    kUniprocessor, // readers fence-free; caller asserts a single-CPU host for the
+                   // process lifetime (never auto-selected: the online-CPU count
+                   // is a snapshot that cpusets or hotplug can grow later)
   };
 
   // When `enabled` is false every call delegates straight to `inner` (used by
@@ -105,7 +113,7 @@ class TlbMmu final : public Mmu {
   Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
 
   size_t page_size() const override { return inner_.page_size(); }
-  const Stats& stats() const override { return inner_.stats(); }
+  Stats stats() const override { return inner_.stats(); }
   void ResetStats() override;
   const char* name() const override { return name_.c_str(); }
 
@@ -190,6 +198,11 @@ class TlbMmu final : public Mmu {
     // Advances by two per lookup, so epoch/2 is also the lookup count.
     std::atomic<uint64_t> epoch{0};
     std::atomic<bool> claimed{false};
+    // Process-unique id of the claiming thread (0 = unclaimed; ids are never
+    // reused).  Ownership lives in the slot, not only in the thread-local
+    // binding list, so a dropped binding re-finds its slot instead of leaking
+    // it by claiming a fresh one.
+    std::atomic<uint64_t> owner{0};
     uint64_t epoch_local = 0;  // owner-thread copy, avoids an atomic load to bump
     // Owner-written cold-path counters (plain stores; readers aggregate
     // relaxed loads).  Hits are derived: epoch/2 - lookup_base - misses.

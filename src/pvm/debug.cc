@@ -108,7 +108,7 @@ std::string PagedVm::DumpTree(Cache& cache) const {
 std::string PagedVm::DumpStats() const {
   auto* self = const_cast<PagedVm*>(this);
   const Cpu::Stats cs = self->cpu().SnapshotStats();
-  const Mmu::Stats& ms = self->mmu().stats();
+  const Mmu::Stats ms = self->mmu().stats();
   std::unique_lock<std::mutex> lock(self->mu());
   const MmStats& mm = stats();
   const PvmDetailStats& d = detail_;

@@ -108,6 +108,27 @@ TEST_P(MmuTest, ReferencedAndDirtyBits) {
   EXPECT_FALSE(*mmu_->TestAndClearReferenced(as, 0x2000));
 }
 
+TEST_P(MmuTest, SameFrameRemapPreservesReferencedAndDirty) {
+  AsId as = *mmu_->CreateAddressSpace();
+  ASSERT_EQ(mmu_->Map(as, 0x4000, 7, Prot::kReadWrite), Status::kOk);
+  ASSERT_TRUE(mmu_->Translate(as, 0x4000, Access::kWrite).ok());
+  ASSERT_TRUE((*mmu_->Lookup(as, 0x4000)).dirty);
+
+  // Re-mapping the same frame is a protection change in place: the
+  // accessed/modified bits must survive (TlbMmu's write-hit path depends on a
+  // same-frame, non-downgrading re-map not wiping the dirty bit).
+  ASSERT_EQ(mmu_->Map(as, 0x4000, 7, Prot::kAll), Status::kOk);
+  MmuEntry entry = *mmu_->Lookup(as, 0x4000);
+  EXPECT_TRUE(entry.referenced);
+  EXPECT_TRUE(entry.dirty);
+
+  // Installing a different frame is a fresh mapping: bits start clear.
+  ASSERT_EQ(mmu_->Map(as, 0x4000, 8, Prot::kReadWrite), Status::kOk);
+  entry = *mmu_->Lookup(as, 0x4000);
+  EXPECT_FALSE(entry.referenced);
+  EXPECT_FALSE(entry.dirty);
+}
+
 TEST_P(MmuTest, AddressSpaceIsolation) {
   AsId a = *mmu_->CreateAddressSpace();
   AsId b = *mmu_->CreateAddressSpace();

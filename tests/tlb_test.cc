@@ -200,6 +200,53 @@ TEST(TlbTest, WriteHitRequiresDirtyProvenFill) {
   EXPECT_EQ(tlb.tlb_stats().misses, misses_after);
 }
 
+TEST(TlbTest, SameFrameRemapDoesNotLoseDirtyUnderWriteHits) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(3), 17, Prot::kReadWrite), Status::kOk);
+  // Write fill: proves the write right and sets the inner dirty bit.
+  ASSERT_EQ(*tlb.Translate(as, PageVa(3), Access::kWrite), 17u);
+  ASSERT_TRUE((*inner.Lookup(as, PageVa(3))).dirty);
+
+  // The racing-fault shape (PagedVm::MapPage's "same page, new protection"
+  // path): re-map the same frame without downgrading.  No shootdown — the
+  // cached write entry stays live — so the inner MMU must preserve the dirty
+  // bit, or eviction would see an actively-written page as clean and drop it.
+  ASSERT_EQ(tlb.Map(as, PageVa(3), 17, Prot::kReadWrite), Status::kOk);
+  EXPECT_EQ(tlb.tlb_stats().shootdowns, 0u);
+
+  // Subsequent writes hit the TLB without walking the inner tables...
+  const uint64_t misses_before = tlb.tlb_stats().misses;
+  ASSERT_EQ(*tlb.Translate(as, PageVa(3), Access::kWrite), 17u);
+  EXPECT_EQ(tlb.tlb_stats().misses, misses_before);
+  // ...and the page still reads as dirty (the write-hit invariant holds).
+  EXPECT_TRUE((*inner.Lookup(as, PageVa(3))).dirty);
+}
+
+TEST(TlbTest, DroppedThreadBindingRefindsSlotInsteadOfLeaking) {
+  SoftMmu inner(kPage);
+  TlbMmu tlb(inner);
+  AsId as = *tlb.CreateAddressSpace();
+  ASSERT_EQ(tlb.Map(as, PageVa(1), 7, Prot::kRead), Status::kOk);
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 7u);  // claim + fill
+  ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 7u);  // hit
+
+  // Simulate the t_refs size cap dropping this thread's bindings, repeatedly.
+  // Each re-access must re-find the already-claimed slot — whose cache still
+  // holds the entry — rather than claim a fresh empty one.  A leak would show
+  // up twice over: the re-accesses would miss (fresh slots start empty), and
+  // after kMaxCpus re-claims the thread would exhaust the slots and bypass
+  // the TLB entirely.
+  for (size_t i = 0; i < TlbMmu::kMaxCpus + 8; ++i) {
+    tlb_internal::ForgetThreadBindings();
+    ASSERT_EQ(*tlb.Translate(as, PageVa(1), Access::kRead), 7u);
+  }
+  TlbMmu::TlbStats stats = tlb.tlb_stats();
+  EXPECT_EQ(stats.misses, 1u);  // only the very first access walked the tables
+  EXPECT_EQ(stats.hits, 1u + TlbMmu::kMaxCpus + 8);
+}
+
 TEST(TlbTest, TestAndClearReferencedDoesNotFlush) {
   SoftMmu inner(kPage);
   TlbMmu tlb(inner);
@@ -235,8 +282,12 @@ TEST(TlbTest, ResetTlbStatsZeroesDerivedCounters) {
 
 TEST(TlbTest, FenceModeResolution) {
   SoftMmu inner(kPage);
-  // kAuto must resolve to a concrete mode at construction.
-  EXPECT_NE(TlbMmu(inner).fence_mode(), TlbMmu::FenceMode::kAuto);
+  // kAuto must resolve to a concrete mode at construction — and never to
+  // kUniprocessor, which is an explicit caller assertion: the online-CPU
+  // count is a snapshot that cpusets or hotplug can grow later.
+  const TlbMmu::FenceMode resolved = TlbMmu(inner).fence_mode();
+  EXPECT_NE(resolved, TlbMmu::FenceMode::kAuto);
+  EXPECT_NE(resolved, TlbMmu::FenceMode::kUniprocessor);
   // The portable fallback is always honoured as requested.
   EXPECT_EQ(TlbMmu(inner, true, TlbMmu::FenceMode::kFenced).fence_mode(),
             TlbMmu::FenceMode::kFenced);
@@ -255,9 +306,9 @@ TEST(TlbTest, FenceModeResolution) {
 // the old translation *after* that return is a protocol violation the test
 // detects through the data itself.  Run under ASan in CI.
 //
-// kFenced is used explicitly: it is the portable reader-side protocol and, on
-// a single-core CI box, kAuto would resolve to kUniprocessor and not exercise
-// the fence path at all.
+// kFenced is used explicitly: it is the portable reader-side protocol, and
+// kAuto would normally resolve to kMembarrier and leave the reader-side fence
+// path unexercised.
 // ---------------------------------------------------------------------------
 
 TEST(TlbStaleHunterTest, UnmapNeverFollowedByStaleHitOnAnotherCpu) {
