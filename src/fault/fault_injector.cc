@@ -93,7 +93,7 @@ bool ParseFaultSite(std::string_view name, FaultSite* out) {
 }
 
 void FaultInjector::SetPlan(FaultSite site, const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SiteState& state = sites_[static_cast<int>(site)];
   state.plan = plan;
   state.burst_left = 0;
@@ -103,7 +103,7 @@ void FaultInjector::SetPlan(FaultSite site, const FaultPlan& plan) {
 void FaultInjector::ClearPlan(FaultSite site) { SetPlan(site, FaultPlan{}); }
 
 void FaultInjector::ClearAllPlans() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (SiteState& state : sites_) {
     state.plan = FaultPlan{};
     state.burst_left = 0;
@@ -112,17 +112,17 @@ void FaultInjector::ClearAllPlans() {
 }
 
 void FaultInjector::Reseed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rng_ = Rng(seed);
 }
 
 void FaultInjector::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enabled_ = enabled;
 }
 
 bool FaultInjector::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return enabled_;
 }
 
@@ -130,7 +130,7 @@ Status FaultInjector::Check(FaultSite site) {
   uint64_t latency_us = 0;
   Status result = Status::kOk;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!enabled_) {
       return Status::kOk;
     }
@@ -177,12 +177,12 @@ Status FaultInjector::Check(FaultSite site) {
 }
 
 FaultSiteCounters FaultInjector::counters(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].counters;
 }
 
 uint64_t FaultInjector::total_triggers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const SiteState& state : sites_) {
     total += state.counters.triggers;
@@ -191,7 +191,7 @@ uint64_t FaultInjector::total_triggers() const {
 }
 
 void FaultInjector::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (SiteState& state : sites_) {
     state.counters = FaultSiteCounters{};
   }
@@ -281,7 +281,7 @@ bool FaultInjector::ApplySpec(std::string_view spec, std::string* error_out) {
 }
 
 std::string FaultInjector::Describe() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (int i = 0; i < kFaultSiteCount; ++i) {
     const SiteState& state = sites_[i];

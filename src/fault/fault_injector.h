@@ -15,10 +15,10 @@
 #define GVM_SRC_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "src/sync/annotated_mutex.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -123,10 +123,12 @@ class FaultInjector {
     bool tripped = false;     // a permanent plan has triggered
   };
 
-  mutable std::mutex mu_;
-  bool enabled_ = true;
-  Rng rng_;
-  SiteState sites_[kFaultSiteCount];
+  // kFaultInjector ranks above every kernel lock: Check() is called from deep
+  // inside the managers (frame allocation, mapper I/O) with their locks held.
+  mutable Mutex mu_{Rank::kFaultInjector, "FaultInjector::mu_"};
+  bool enabled_ GVM_GUARDED_BY(mu_) = true;
+  Rng rng_ GVM_GUARDED_BY(mu_);
+  SiteState sites_[kFaultSiteCount] GVM_GUARDED_BY(mu_);
 };
 
 }  // namespace gvm

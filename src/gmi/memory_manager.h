@@ -45,7 +45,9 @@ class MemoryManager : public FaultHandler {
   // The hardware this manager drives (simulation glue for tests and benchmarks).
   virtual Cpu& cpu() = 0;
 
-  virtual const MmStats& stats() const = 0;
+  // Snapshot of the manager counters, taken under the manager lock (returned
+  // by value: implementations are concurrent and a reference would race).
+  virtual MmStats stats() const = 0;
   virtual void ResetStats() = 0;
 
   virtual const char* name() const = 0;

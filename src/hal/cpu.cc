@@ -15,6 +15,12 @@ Cpu::Cpu(PhysicalMemory& memory, Mmu& mmu)
       tlb_(dynamic_cast<TlbMmu*>(&mmu)),
       page_size_(mmu.page_size()) {}
 
+unsigned Cpu::ThreadStatSlot() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
 Result<FrameIndex> Cpu::TranslateWithFaults(AsId as, Vaddr va, Access access) {
   return AccessWithFaults(as, va, access, nullptr);
 }
@@ -52,7 +58,7 @@ Result<FrameIndex> Cpu::FaultRetry(AsId as, Vaddr va, Access access, const Frame
     if (handler_ == nullptr) {
       return failure;
     }
-    ++stats_.faults_taken;
+    MyShard().faults_taken.fetch_add(1, std::memory_order_relaxed);
     PageFault fault{
         .address_space = as,
         .address = va,
@@ -74,7 +80,7 @@ Result<FrameIndex> Cpu::FaultRetry(AsId as, Vaddr va, Access access, const Frame
 }
 
 Cpu::Stats Cpu::SnapshotStats() const {
-  Stats out = stats_;
+  Stats out = stats();
   if (const TlbMmu* tlb = tlb_) {
     TlbMmu::TlbStats ts = tlb->tlb_stats();
     out.tlb_hits = ts.hits;
@@ -128,11 +134,13 @@ Status Cpu::AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access acc
       }
     }
     if (access == Access::kWrite) {
-      ++stats_.writes;
-      stats_.bytes_written += size;
+      AtomicStats& shard = MyShard();
+      shard.writes.fetch_add(1, std::memory_order_relaxed);
+      shard.bytes_written.fetch_add(size, std::memory_order_relaxed);
     } else {
-      ++stats_.reads;
-      stats_.bytes_read += size;
+      AtomicStats& shard = MyShard();
+      shard.reads.fetch_add(1, std::memory_order_relaxed);
+      shard.bytes_read.fetch_add(size, std::memory_order_relaxed);
     }
     return Status::kOk;
   }
@@ -176,11 +184,13 @@ Status Cpu::AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access acc
     done += chunk;
   }
   if (access == Access::kWrite) {
-    ++stats_.writes;
-    stats_.bytes_written += size;
+    AtomicStats& shard = MyShard();
+    shard.writes.fetch_add(1, std::memory_order_relaxed);
+    shard.bytes_written.fetch_add(size, std::memory_order_relaxed);
   } else {
-    ++stats_.reads;
-    stats_.bytes_read += size;
+    AtomicStats& shard = MyShard();
+    shard.reads.fetch_add(1, std::memory_order_relaxed);
+    shard.bytes_read.fetch_add(size, std::memory_order_relaxed);
   }
   return Status::kOk;
 }

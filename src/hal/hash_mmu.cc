@@ -15,7 +15,7 @@ HashMmu::HashMmu(size_t page_size)
 Result<AsId> HashMmu::CreateAddressSpace() {
   AsId as = next_as_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   shard.live_spaces.insert(as);
   ++shard.stats.spaces_created;
   return as;
@@ -23,7 +23,7 @@ Result<AsId> HashMmu::CreateAddressSpace() {
 
 Status HashMmu::DestroyAddressSpace(AsId as) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   if (shard.live_spaces.erase(as) == 0) {
     return Status::kNotFound;
   }
@@ -41,7 +41,7 @@ Status HashMmu::DestroyAddressSpace(AsId as) {
 
 Status HashMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   if (!shard.live_spaces.contains(as)) {
     return Status::kNotFound;
   }
@@ -64,7 +64,7 @@ Status HashMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
 
 Status HashMmu::Unmap(AsId as, Vaddr va) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   if (!shard.live_spaces.contains(as)) {
     return Status::kNotFound;
   }
@@ -78,7 +78,7 @@ Status HashMmu::Unmap(AsId as, Vaddr va) {
 
 Status HashMmu::Protect(AsId as, Vaddr va, Prot prot) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   auto it = shard.table.find({as, Vpn(va)});
   if (it == shard.table.end()) {
     return Status::kNotFound;
@@ -90,14 +90,14 @@ Status HashMmu::Protect(AsId as, Vaddr va, Prot prot) {
 
 Result<FrameIndex> HashMmu::Translate(AsId as, Vaddr va, Access access) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   return TranslateLocked(shard, as, va, access);
 }
 
 Result<FrameIndex> HashMmu::TranslateAndAccess(AsId as, Vaddr va, Access access,
                                                FrameBodyRef body) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   Result<FrameIndex> frame = TranslateLocked(shard, as, va, access);
   if (frame.ok()) {
     body(*frame);
@@ -126,7 +126,7 @@ Result<FrameIndex> HashMmu::TranslateLocked(Shard& shard, AsId as, Vaddr va, Acc
 
 Result<MmuEntry> HashMmu::Lookup(AsId as, Vaddr va) const {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  ReaderLock guard(shard.mu);
   auto it = shard.table.find({as, Vpn(va)});
   if (it == shard.table.end()) {
     return Status::kNotFound;
@@ -138,7 +138,7 @@ Result<MmuEntry> HashMmu::Lookup(AsId as, Vaddr va) const {
 
 Result<bool> HashMmu::TestAndClearReferenced(AsId as, Vaddr va) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   auto it = shard.table.find({as, Vpn(va)});
   if (it == shard.table.end()) {
     return Status::kNotFound;
@@ -151,7 +151,7 @@ Result<bool> HashMmu::TestAndClearReferenced(AsId as, Vaddr va) {
 Mmu::Stats HashMmu::stats() const {
   Stats out;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    ReaderLock guard(shard.mu);
     out.maps += shard.stats.maps;
     out.unmaps += shard.stats.unmaps;
     out.protects += shard.stats.protects;
@@ -165,7 +165,7 @@ Mmu::Stats HashMmu::stats() const {
 
 void HashMmu::ResetStats() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    WriterLock guard(shard.mu);
     shard.stats = Stats{};
   }
 }

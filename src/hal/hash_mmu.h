@@ -14,11 +14,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/hal/mmu.h"
+#include "src/sync/annotated_mutex.h"
 
 namespace gvm {
 
@@ -61,20 +61,23 @@ class HashMmu final : public Mmu {
 
   // Same atomic-walk guarantee as SoftMmu: translation and table updates for an
   // address space are serialized by its shard, so a translate-and-access cannot
-  // interleave with an unmap.  No operation holds two shards at once.
+  // interleave with an unmap.  No operation holds two shards at once (all
+  // shards share rank kMmuShard; the lock-rank validator enforces this).
+  // Read-only operations (Lookup, stats) take the shard shared.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_set<AsId> live_spaces;
+    mutable SharedMutex mu{Rank::kMmuShard, "HashMmu::Shard::mu"};
+    std::unordered_set<AsId> live_spaces GVM_GUARDED_BY(mu);
     // Per-space set of mapped VPNs, needed to tear a space down without scanning
     // the whole hash (real inverted-page-table systems keep similar lists).
-    std::unordered_map<AsId, std::unordered_set<uint64_t>> space_pages;
-    std::unordered_map<std::pair<AsId, uint64_t>, Pte, KeyHash> table;
-    Stats stats;
+    std::unordered_map<AsId, std::unordered_set<uint64_t>> space_pages GVM_GUARDED_BY(mu);
+    std::unordered_map<std::pair<AsId, uint64_t>, Pte, KeyHash> table GVM_GUARDED_BY(mu);
+    Stats stats GVM_GUARDED_BY(mu);
   };
 
   uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
   Shard& ShardFor(AsId as) const { return shards_[as % kLockShards]; }
-  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va, Access access);
+  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va,
+                                     Access access) GVM_REQUIRES(shard.mu);
 
   const size_t page_size_;
   const unsigned page_shift_;

@@ -18,7 +18,7 @@ SoftMmu::SoftMmu(size_t page_size, unsigned leaf_bits)
 Result<AsId> SoftMmu::CreateAddressSpace() {
   AsId as = next_as_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   shard.spaces.emplace(as, AddressSpace{});
   ++shard.stats.spaces_created;
   return as;
@@ -26,7 +26,7 @@ Result<AsId> SoftMmu::CreateAddressSpace() {
 
 Status SoftMmu::DestroyAddressSpace(AsId as) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   auto it = shard.spaces.find(as);
   if (it == shard.spaces.end()) {
     return Status::kNotFound;
@@ -56,7 +56,7 @@ SoftMmu::Pte* SoftMmu::FindPte(Shard& shard, AsId as, Vaddr va) const {
 
 Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   AddressSpace* space = FindSpace(shard, as);
   if (space == nullptr) {
     return Status::kNotFound;
@@ -85,7 +85,7 @@ Status SoftMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
 
 Status SoftMmu::Unmap(AsId as, Vaddr va) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   AddressSpace* space = FindSpace(shard, as);
   if (space == nullptr) {
     return Status::kNotFound;
@@ -107,7 +107,7 @@ Status SoftMmu::Unmap(AsId as, Vaddr va) {
 
 Status SoftMmu::Protect(AsId as, Vaddr va, Prot prot) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   Pte* pte = FindPte(shard, as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
@@ -119,14 +119,14 @@ Status SoftMmu::Protect(AsId as, Vaddr va, Prot prot) {
 
 Result<FrameIndex> SoftMmu::Translate(AsId as, Vaddr va, Access access) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   return TranslateLocked(shard, as, va, access);
 }
 
 Result<FrameIndex> SoftMmu::TranslateAndAccess(AsId as, Vaddr va, Access access,
                                                FrameBodyRef body) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   Result<FrameIndex> frame = TranslateLocked(shard, as, va, access);
   if (frame.ok()) {
     body(*frame);
@@ -154,7 +154,7 @@ Result<FrameIndex> SoftMmu::TranslateLocked(Shard& shard, AsId as, Vaddr va, Acc
 
 Result<MmuEntry> SoftMmu::Lookup(AsId as, Vaddr va) const {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  ReaderLock guard(shard.mu);
   const Pte* pte = FindPte(shard, as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
@@ -165,7 +165,7 @@ Result<MmuEntry> SoftMmu::Lookup(AsId as, Vaddr va) const {
 
 Result<bool> SoftMmu::TestAndClearReferenced(AsId as, Vaddr va) {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  WriterLock guard(shard.mu);
   Pte* pte = FindPte(shard, as, va);
   if (pte == nullptr) {
     return Status::kNotFound;
@@ -177,7 +177,7 @@ Result<bool> SoftMmu::TestAndClearReferenced(AsId as, Vaddr va) {
 
 size_t SoftMmu::LeafTableCount(AsId as) const {
   Shard& shard = ShardFor(as);
-  std::lock_guard<std::mutex> guard(shard.mu);
+  ReaderLock guard(shard.mu);
   const AddressSpace* space = FindSpace(shard, as);
   return space == nullptr ? 0 : space->directory.size();
 }
@@ -185,7 +185,7 @@ size_t SoftMmu::LeafTableCount(AsId as) const {
 Mmu::Stats SoftMmu::stats() const {
   Stats out;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    ReaderLock guard(shard.mu);
     out.maps += shard.stats.maps;
     out.unmaps += shard.stats.unmaps;
     out.protects += shard.stats.protects;
@@ -199,7 +199,7 @@ Mmu::Stats SoftMmu::stats() const {
 
 void SoftMmu::ResetStats() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    WriterLock guard(shard.mu);
     shard.stats = Stats{};
   }
 }

@@ -15,11 +15,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/hal/mmu.h"
+#include "src/sync/annotated_mutex.h"
 
 namespace gvm {
 
@@ -68,13 +68,15 @@ class SoftMmu final : public Mmu {
     std::unordered_map<uint64_t, std::unique_ptr<LeafTable>> directory;
   };
   // Hardware walks PTEs atomically with respect to kernel updates; the software
-  // model gets the same property from the shard mutex.  SoftMmu never calls out
+  // model gets the same property from the shard lock.  SoftMmu never calls out
   // while holding one, so the kernel-lock -> MMU-lock order is acyclic, and no
-  // operation ever holds two shards at once.
+  // operation ever holds two shards at once (all shards share rank kMmuShard,
+  // so the lock-rank validator aborts if one ever does).  Read-only operations
+  // (Lookup, stats, LeafTableCount) take the shard shared.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_map<AsId, AddressSpace> spaces;
-    Stats stats;
+    mutable SharedMutex mu{Rank::kMmuShard, "SoftMmu::Shard::mu"};
+    std::unordered_map<AsId, AddressSpace> spaces GVM_GUARDED_BY(mu);
+    Stats stats GVM_GUARDED_BY(mu);
   };
 
   uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
@@ -82,9 +84,10 @@ class SoftMmu final : public Mmu {
   uint64_t LeafIndex(Vaddr va) const { return Vpn(va) & ((1ull << leaf_bits_) - 1); }
 
   Shard& ShardFor(AsId as) const { return shards_[as % kLockShards]; }
-  static AddressSpace* FindSpace(Shard& shard, AsId as);
-  Pte* FindPte(Shard& shard, AsId as, Vaddr va) const;
-  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va, Access access);
+  static AddressSpace* FindSpace(Shard& shard, AsId as) GVM_REQUIRES_SHARED(shard.mu);
+  Pte* FindPte(Shard& shard, AsId as, Vaddr va) const GVM_REQUIRES_SHARED(shard.mu);
+  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va,
+                                     Access access) GVM_REQUIRES(shard.mu);
 
   const size_t page_size_;
   const unsigned page_shift_;

@@ -24,7 +24,7 @@ MinimalVm::~MinimalVm() {
 }
 
 Result<Cache*> MinimalVm::CacheCreate(SegmentDriver* driver, std::string name) {
-  std::unique_lock<std::mutex> lock(mu());
+  MutexLock lock(mu_);
   CacheId id = next_cache_id_++;
   auto cache = std::make_unique<MinimalCache>(*this, id, std::move(name), driver);
   Cache* raw = cache.get();
@@ -33,11 +33,11 @@ Result<Cache*> MinimalVm::CacheCreate(SegmentDriver* driver, std::string name) {
 }
 
 size_t MinimalVm::CacheCount() const {
-  std::unique_lock<std::mutex> lock(const_cast<MinimalVm*>(this)->mu());
+  MutexLock lock(mu_);
   return caches_.size();
 }
 
-Result<FrameIndex> MinimalVm::EnsurePage(std::unique_lock<std::mutex>& lock,
+Result<FrameIndex> MinimalVm::EnsurePage(MutexLock& lock,
                                          MinimalCache& cache, SegOffset page_offset) {
   auto it = cache.frames_.find(page_offset);
   if (it != cache.frames_.end()) {
@@ -71,17 +71,17 @@ Result<FrameIndex> MinimalVm::EnsurePage(std::unique_lock<std::mutex>& lock,
 // The minimal MM maps everything eagerly, so a fault can only mean a protection
 // violation or an access outside the allocated pages.
 Status MinimalVm::ResolveFault(RegionImpl& region, const PageFault& fault,
-                               SegOffset page_offset) {
+                               SegOffset page_offset, MutexLock& lock) {
   (void)region;
   (void)page_offset;
+  (void)lock;
   return fault.protection_violation ? Status::kProtectionFault : Status::kSegmentationFault;
 }
 
-void MinimalVm::OnRegionMapped(RegionImpl& region) {
+void MinimalVm::OnRegionMapped(RegionImpl& region, MutexLock& lock) {
   auto& cache = static_cast<MinimalCache&>(region.cache());
   cache.mapping_count_++;
   // Eagerly allocate and map every page of the region: no faults, ever.
-  std::unique_lock<std::mutex> lock(mu(), std::adopt_lock);
   const size_t page = page_size();
   const AsId as = region.context().address_space();
   for (uint64_t delta = 0; delta < region.size(); delta += page) {
@@ -91,7 +91,6 @@ void MinimalVm::OnRegionMapped(RegionImpl& region) {
     }
     mmu().Map(as, region.start() + delta, *frame, region.prot());
   }
-  lock.release();
 }
 
 void MinimalVm::OnRegionUnmapping(RegionImpl& region) {
@@ -117,7 +116,7 @@ void MinimalVm::OnRegionProtection(RegionImpl& region) {
   }
 }
 
-Status MinimalVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) {
+Status MinimalVm::OnRegionLock(RegionImpl& region, MutexLock& lock) {
   // Everything is always locked in memory.
   (void)region;
   (void)lock;
@@ -131,7 +130,7 @@ Status MinimalVm::OnRegionUnlock(RegionImpl& region) {
 
 Status MinimalVm::CacheAccess(MinimalCache& cache, SegOffset offset, void* buffer, size_t size,
                               bool write) {
-  std::unique_lock<std::mutex> lock(mu());
+  MutexLock lock(mu_);
   const size_t page = page_size();
   auto* bytes = static_cast<std::byte*>(buffer);
   size_t done = 0;
@@ -190,7 +189,7 @@ Status MinimalCache::Write(SegOffset offset, const void* buffer, size_t size) {
 }
 
 Status MinimalCache::Destroy() {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   if (mapping_count_ > 0) {
     return Status::kBusy;
   }
@@ -223,7 +222,7 @@ Status MinimalCache::MoveBack(SegOffset offset, void* buffer, size_t size) {
 
 Status MinimalCache::Flush() {
   GVM_RETURN_IF_ERROR(Sync());
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   if (mapping_count_ > 0) {
     return Status::kBusy;  // fixed maps: cannot discard mapped pages
   }
@@ -241,7 +240,7 @@ Status MinimalCache::Sync() {
   // Push every page; the minimal MM has no dirty tracking (memory is the truth).
   std::vector<std::pair<SegOffset, FrameIndex>> pages;
   {
-    std::unique_lock<std::mutex> lock(vm_.mu());
+    MutexLock lock(vm_.mu_);
     pages.assign(frames_.begin(), frames_.end());
   }
   for (const auto& [offset, frame] : pages) {
@@ -251,7 +250,7 @@ Status MinimalCache::Sync() {
 }
 
 Status MinimalCache::Invalidate(SegOffset offset, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   const size_t page = vm_.memory().page_size();
   for (SegOffset at = AlignDown(offset, page); at < offset + size; at += page) {
     auto it = frames_.find(at);
@@ -283,12 +282,12 @@ Status MinimalCache::Unlock(SegOffset offset, size_t size) {
 }
 
 size_t MinimalCache::ResidentPages() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return frames_.size();
 }
 
 size_t MinimalCache::MappingCount() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return mapping_count_;
 }
 

@@ -71,29 +71,29 @@ class MinimalVm final : public BaseMm {
   Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) override;
   const char* name() const override { return "MinimalVm"; }
 
-  size_t CacheCount() const;
+  size_t CacheCount() const GVM_EXCLUDES(mu_);
 
  protected:
-  Status ResolveFault(RegionImpl& region, const PageFault& fault,
-                      SegOffset page_offset) override;
-  void OnRegionMapped(RegionImpl& region) override;
-  void OnRegionUnmapping(RegionImpl& region) override;
-  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override;
-  void OnRegionProtection(RegionImpl& region) override;
-  Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) override;
-  Status OnRegionUnlock(RegionImpl& region) override;
+  Status ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
+                      MutexLock& lock) override GVM_REQUIRES(mu_);
+  void OnRegionMapped(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  void OnRegionUnmapping(RegionImpl& region) override GVM_REQUIRES(mu_);
+  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override GVM_REQUIRES(mu_);
+  void OnRegionProtection(RegionImpl& region) override GVM_REQUIRES(mu_);
+  Status OnRegionLock(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  Status OnRegionUnlock(RegionImpl& region) override GVM_REQUIRES(mu_);
 
  private:
   friend class MinimalCache;
 
   // Ensure the page exists (allocating + pulling data as needed); lock held.
-  Result<FrameIndex> EnsurePage(std::unique_lock<std::mutex>& lock, MinimalCache& cache,
-                                SegOffset page_offset);
+  Result<FrameIndex> EnsurePage(MutexLock& lock, MinimalCache& cache,
+                                SegOffset page_offset) GVM_REQUIRES(mu_);
   Status CacheAccess(MinimalCache& cache, SegOffset offset, void* buffer, size_t size,
-                     bool write);
+                     bool write) GVM_EXCLUDES(mu_);
 
-  CacheId next_cache_id_ = 1;
-  std::unordered_map<CacheId, std::unique_ptr<MinimalCache>> caches_;
+  CacheId next_cache_id_ GVM_GUARDED_BY(mu_) = 1;
+  std::unordered_map<CacheId, std::unique_ptr<MinimalCache>> caches_ GVM_GUARDED_BY(mu_);
 };
 
 }  // namespace gvm

@@ -3,20 +3,20 @@
 namespace gvm {
 
 PortId Ipc::PortCreate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PortId id = next_port_++;
   ports_.emplace(id, std::make_unique<Port>());
   return id;
 }
 
 void Ipc::PortDestroy(PortId port) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ports_.find(port);
   if (it == ports_.end()) {
     return;
   }
   it->second->dead = true;
-  it->second->cv.notify_all();
+  it->second->cv.NotifyAll();
   // The Port object is kept until the map entry is erased lazily; receivers
   // observe `dead` and fail out.  Erase now — waiters hold no iterator.
   // (Waiters reference the Port object; defer the erase until no one can be
@@ -25,9 +25,10 @@ void Ipc::PortDestroy(PortId port) {
 }
 
 Status Ipc::Send(PortId to, Message message) {
-  if (injector_ != nullptr) {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector != nullptr) {
     // The message is "lost on the wire": never enqueued, sender sees the error.
-    Status injected = injector_->Check(FaultSite::kIpcSend);
+    Status injected = injector->Check(FaultSite::kIpcSend);
     if (injected != Status::kOk) {
       return injected;
     }
@@ -37,7 +38,7 @@ Status Ipc::Send(PortId to, Message message) {
     // operations, and not IPC."
     return Status::kInvalidArgument;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ports_.find(to);
   if (it == ports_.end() || it->second->dead) {
     return Status::kNotFound;
@@ -45,27 +46,28 @@ Status Ipc::Send(PortId to, Message message) {
   stats_.bytes_transferred += message.data.size();
   ++stats_.sends;
   it->second->queue.push_back(std::move(message));
-  it->second->cv.notify_one();
+  it->second->cv.NotifyOne();
   return Status::kOk;
 }
 
 Result<Message> Ipc::Receive(PortId port) {
-  if (injector_ != nullptr) {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector != nullptr) {
     // Fails before touching the queue, so the message (if any) stays queued and
     // a later retry of the receive can still pick it up.
-    Status injected = injector_->Check(FaultSite::kIpcReceive);
+    Status injected = injector->Check(FaultSite::kIpcReceive);
     if (injected != Status::kOk) {
       return injected;
     }
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ports_.find(port);
   if (it == ports_.end()) {
     return Status::kNotFound;
   }
   Port* p = it->second.get();
   while (p->queue.empty() && !p->dead) {
-    p->cv.wait(lock);
+    p->cv.Wait(mu_);
   }
   if (p->queue.empty()) {
     return Status::kNotFound;  // port died
@@ -77,7 +79,7 @@ Result<Message> Ipc::Receive(PortId port) {
 }
 
 Result<Message> Ipc::TryReceive(PortId port) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ports_.find(port);
   if (it == ports_.end() || it->second->queue.empty()) {
     return Status::kNotFound;
@@ -89,7 +91,7 @@ Result<Message> Ipc::TryReceive(PortId port) {
 }
 
 size_t Ipc::QueueDepth(PortId port) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ports_.find(port);
   return it == ports_.end() ? 0 : it->second->queue.size();
 }

@@ -12,15 +12,15 @@
 #ifndef GVM_SRC_NUCLEUS_IPC_H_
 #define GVM_SRC_NUCLEUS_IPC_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/fault/fault_injector.h"
+#include "src/sync/annotated_mutex.h"
 #include "src/util/result.h"
 
 namespace gvm {
@@ -77,26 +77,36 @@ class Ipc {
   Result<Message> TryReceive(PortId port);
 
   // Number of queued messages (for tests).
-  size_t QueueDepth(PortId port) const;
+  size_t QueueDepth(PortId port) const GVM_EXCLUDES(mu_);
 
-  const Stats& stats() const { return stats_; }
+  // Snapshot by value: senders and receivers bump these under mu_ concurrently,
+  // so handing out a reference would be an unlocked read of guarded state.
+  Stats stats() const GVM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
 
   // Optional fault injection at the kIpcSend / kIpcReceive sites (a "lossy
   // transport").  Null disables injection; the injector must outlive this Ipc.
-  void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  // Atomic: tests bind an injector while a mapper server thread is mid-Receive.
+  void BindFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
 
  private:
   struct Port {
     std::deque<Message> queue;
-    std::condition_variable cv;
+    CondVar cv;
     bool dead = false;
   };
 
-  mutable std::mutex mu_;
-  PortId next_port_ = 1;
-  std::map<PortId, std::unique_ptr<Port>> ports_;
-  Stats stats_;
-  FaultInjector* injector_ = nullptr;
+  // kIpc ranks below kMmManager: IPC payload delivery (TransitSegment reads and
+  // writes) calls into the memory manager, never the other way around.
+  mutable Mutex mu_{Rank::kIpc, "Ipc::mu_"};
+  PortId next_port_ GVM_GUARDED_BY(mu_) = 1;
+  std::map<PortId, std::unique_ptr<Port>> ports_ GVM_GUARDED_BY(mu_);
+  Stats stats_ GVM_GUARDED_BY(mu_);
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace gvm

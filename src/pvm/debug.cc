@@ -32,7 +32,7 @@ std::vector<PvmCache*> PagedVm::ChildrenOfCache(PvmCache* parent) const {
 }
 
 std::string PagedVm::DumpTree(Cache& cache) const {
-  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  MutexLock lock(mu_);
   auto& start = static_cast<PvmCache&>(cache);
   // Find the root by walking parent links upward from `cache`.
   PvmCache* root = &start;
@@ -109,7 +109,7 @@ std::string PagedVm::DumpStats() const {
   auto* self = const_cast<PagedVm*>(this);
   const Cpu::Stats cs = self->cpu().SnapshotStats();
   const Mmu::Stats ms = self->mmu().stats();
-  std::unique_lock<std::mutex> lock(self->mu());
+  MutexLock lock(self->mu_);
   const MmStats& mm = stats();
   const PvmDetailStats& d = detail_;
   std::ostringstream out;
@@ -136,7 +136,7 @@ std::string PagedVm::DumpStats() const {
 }
 
 Status PagedVm::CheckInvariants() const {
-  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  MutexLock lock(mu_);
   auto* self = const_cast<PagedVm*>(this);
   bool ok = true;
   auto fail = [&ok](const std::string& what) {

@@ -20,7 +20,7 @@
 
 namespace gvm {
 
-Status PagedVm::CopyRange(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+Status PagedVm::CopyRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
                           PvmCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy) {
   if (size == 0) {
     return Status::kOk;
@@ -63,7 +63,7 @@ Status PagedVm::CopyRange(std::unique_lock<std::mutex>& lock, PvmCache& src, Seg
 // Destination preparation
 // ---------------------------------------------------------------------------
 
-Status PagedVm::SecureHistorySnapshots(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::SecureHistorySnapshots(MutexLock& lock, PvmCache& cache,
                                        SegOffset offset, size_t size) {
   // If `cache` is itself a copy source, its history object is owed the cache's
   // *current* values before they change wholesale.  We materialize them eagerly:
@@ -108,7 +108,7 @@ Status PagedVm::SecureHistorySnapshots(std::unique_lock<std::mutex>& lock, PvmCa
   return Status::kOk;
 }
 
-Status PagedVm::ClearDestinationRange(std::unique_lock<std::mutex>& lock, PvmCache& dst,
+Status PagedVm::ClearDestinationRange(MutexLock& lock, PvmCache& dst,
                                       SegOffset dst_off, size_t size) {
   const size_t page = page_size();
   GVM_RETURN_IF_ERROR(SecureHistorySnapshots(lock, dst, dst_off, size));
@@ -158,7 +158,7 @@ Status PagedVm::ClearDestinationRange(std::unique_lock<std::mutex>& lock, PvmCac
       if (entry->kind == MapEntry::Kind::kFrame) {
         if (entry->page->in_transit) {
           ++detail_.sync_stub_waits;
-          sleepers_.Wait(StubKey(dst, off), lock);
+          sleepers_.Wait(StubKey(dst, off), mu_);
           continue;
         }
         if (entry->page->pin_count > 0) {
@@ -174,7 +174,7 @@ Status PagedVm::ClearDestinationRange(std::unique_lock<std::mutex>& lock, PvmCac
       }
       // Sync stub: a pull-in is in flight; wait for it, then clear.
       ++detail_.sync_stub_waits;
-      sleepers_.Wait(StubKey(dst, off), lock);
+      sleepers_.Wait(StubKey(dst, off), mu_);
     }
     dst.pushed_pages_.erase(PageIndex(off));
   }
@@ -198,7 +198,7 @@ void PagedVm::ProtectSourcePages(PvmCache& src, SegOffset src_off, size_t size) 
 // History-object copy (section 4.2)
 // ---------------------------------------------------------------------------
 
-Status PagedVm::LinkCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+Status PagedVm::LinkCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
                          PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference) {
   (void)lock;
   // Walk the source range, alternating between sub-ranges that already have a
@@ -265,7 +265,7 @@ Status PagedVm::LinkCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegO
   return Status::kOk;
 }
 
-Status PagedVm::HistoryCopy(std::unique_lock<std::mutex>& lock, PvmCache& src,
+Status PagedVm::HistoryCopy(MutexLock& lock, PvmCache& src,
                             SegOffset src_off, PvmCache& dst, SegOffset dst_off, size_t size,
                             bool copy_on_reference) {
   GVM_RETURN_IF_ERROR(ClearDestinationRange(lock, dst, dst_off, size));
@@ -278,7 +278,7 @@ Status PagedVm::HistoryCopy(std::unique_lock<std::mutex>& lock, PvmCache& src,
 // Per-virtual-page copy (section 4.3)
 // ---------------------------------------------------------------------------
 
-Status PagedVm::PerPageCopy(std::unique_lock<std::mutex>& lock, PvmCache& src,
+Status PagedVm::PerPageCopy(MutexLock& lock, PvmCache& src,
                             SegOffset src_off, PvmCache& dst, SegOffset dst_off, size_t size) {
   GVM_RETURN_IF_ERROR(ClearDestinationRange(lock, dst, dst_off, size));
   const size_t page = page_size();
@@ -302,7 +302,7 @@ Status PagedVm::PerPageCopy(std::unique_lock<std::mutex>& lock, PvmCache& src,
       } else if (src_entry->kind == MapEntry::Kind::kFrame) {
         if (src_entry->page->in_transit) {
           ++detail_.sync_stub_waits;
-          sleepers_.Wait(StubKey(src, s_off), lock);
+          sleepers_.Wait(StubKey(src, s_off), mu_);
           continue;
         }
         // "For each page of the source fragment present in real memory, the PVM
@@ -317,7 +317,7 @@ Status PagedVm::PerPageCopy(std::unique_lock<std::mutex>& lock, PvmCache& src,
         stub->src_offset = chain.src_offset;
       } else {
         ++detail_.sync_stub_waits;
-        sleepers_.Wait(StubKey(src, s_off), lock);
+        sleepers_.Wait(StubKey(src, s_off), mu_);
         continue;
       }
       CowStub* raw = stub.get();
@@ -337,7 +337,7 @@ Status PagedVm::PerPageCopy(std::unique_lock<std::mutex>& lock, PvmCache& src,
 // Eager copy and move
 // ---------------------------------------------------------------------------
 
-Status PagedVm::EagerCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+Status PagedVm::EagerCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
                           PvmCache& dst, SegOffset dst_off, size_t size) {
   const size_t page = page_size();
   if (&src == &dst && src_off < dst_off + size && dst_off < src_off + size) {
@@ -370,7 +370,7 @@ Status PagedVm::EagerCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, Seg
   return Status::kOk;
 }
 
-Status PagedVm::MoveRange(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
+Status PagedVm::MoveRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
                           PvmCache& dst, SegOffset dst_off, size_t size) {
   const size_t page = page_size();
   if (!IsAligned(src_off, page) || !IsAligned(dst_off, page) || !IsAligned(size, page)) {
@@ -399,7 +399,7 @@ Status PagedVm::MoveRange(std::unique_lock<std::mutex>& lock, PvmCache& src, Seg
         PageDesc* moving = entry->page;
         if (moving->in_transit) {
           ++detail_.sync_stub_waits;
-          sleepers_.Wait(StubKey(src, s_off), lock);
+          sleepers_.Wait(StubKey(src, s_off), mu_);
           continue;
         }
         if (moving->pin_count > 0) {
@@ -434,7 +434,7 @@ Status PagedVm::MoveRange(std::unique_lock<std::mutex>& lock, PvmCache& src, Seg
         // Stub forms: wait out sync stubs; cow stubs move wholesale.
         if (entry->kind == MapEntry::Kind::kSyncStub) {
           ++detail_.sync_stub_waits;
-          sleepers_.Wait(StubKey(src, s_off), lock);
+          sleepers_.Wait(StubKey(src, s_off), mu_);
           continue;
         }
         // Cow stub: the deferred-copy placeholder itself is re-assigned to the

@@ -10,7 +10,7 @@
 
 namespace gvm {
 
-Status PagedVm::CacheRead(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::CacheRead(MutexLock& lock, PvmCache& cache,
                           SegOffset offset, void* buffer, size_t size) {
   const size_t page = page_size();
   auto* out = static_cast<std::byte*>(buffer);
@@ -47,7 +47,7 @@ Status PagedVm::CacheRead(std::unique_lock<std::mutex>& lock, PvmCache& cache,
         }
         case Lookup::Kind::kBlocked:
           ++detail_.sync_stub_waits;
-          sleepers_.Wait(StubKey(*look.source, look.source_offset), lock);
+          sleepers_.Wait(StubKey(*look.source, look.source_offset), mu_);
           break;
       }
     }
@@ -65,7 +65,7 @@ Status PagedVm::CacheRead(std::unique_lock<std::mutex>& lock, PvmCache& cache,
   return result;
 }
 
-Status PagedVm::CacheWrite(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::CacheWrite(MutexLock& lock, PvmCache& cache,
                            SegOffset offset, const void* buffer, size_t size) {
   if (cache.degraded_) {
     // Degraded segment: refuse new dirty data (see PushOutPageLocked).  Reads,
@@ -100,7 +100,7 @@ Status PagedVm::CacheWrite(std::unique_lock<std::mutex>& lock, PvmCache& cache,
 // fillUp / copyBack / moveBack (Table 4)
 // ---------------------------------------------------------------------------
 
-Status PagedVm::CacheFillUp(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::CacheFillUp(MutexLock& lock, PvmCache& cache,
                             SegOffset offset, const void* data, size_t size, Prot max_prot) {
   const size_t page = page_size();
   Status result = Status::kOk;
@@ -148,7 +148,7 @@ Status PagedVm::CacheFillUp(std::unique_lock<std::mutex>& lock, PvmCache& cache,
       PageDesc* page_desc = entry->page;
       if (page_desc->in_transit) {
         ++detail_.sync_stub_waits;
-        sleepers_.Wait(StubKey(cache, page_off), lock);
+        sleepers_.Wait(StubKey(cache, page_off), mu_);
         continue;
       }
       std::byte* frame = memory().FrameData(page_desc->frame);
@@ -158,14 +158,14 @@ Status PagedVm::CacheFillUp(std::unique_lock<std::mutex>& lock, PvmCache& cache,
       }
       page_desc->max_prot = max_prot;
       page_desc->sw_dirty = false;  // the segment is the origin of these bytes
-      sleepers_.WakeAll(StubKey(cache, page_off));
+      sleepers_.WakeAll(StubKey(cache, page_off), mu_);
       break;
     }
   }
   return result;
 }
 
-Status PagedVm::CacheCopyBack(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::CacheCopyBack(MutexLock& lock, PvmCache& cache,
                               SegOffset offset, void* buffer, size_t size, bool remove) {
   (void)lock;
   const size_t page = page_size();
@@ -196,7 +196,7 @@ Status PagedVm::CacheCopyBack(std::unique_lock<std::mutex>& lock, PvmCache& cach
 // flush / sync / invalidate / setProtection / lock (Table 4)
 // ---------------------------------------------------------------------------
 
-Status PagedVm::CacheFlush(std::unique_lock<std::mutex>& lock, PvmCache& cache, bool discard) {
+Status PagedVm::CacheFlush(MutexLock& lock, PvmCache& cache, bool discard) {
   // Push out every modified page; with `discard`, drop all pages afterwards.
   // Push-outs release the lock, so the scan restarts from a cursor each round.
   const size_t page = page_size();
@@ -234,7 +234,7 @@ Status PagedVm::CacheFlush(std::unique_lock<std::mutex>& lock, PvmCache& cache, 
   return Status::kBusError;
 }
 
-Status PagedVm::CacheInvalidate(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::CacheInvalidate(MutexLock& lock, PvmCache& cache,
                                 SegOffset offset, size_t size) {
   const size_t page = page_size();
   Status result = Status::kOk;
@@ -258,7 +258,7 @@ Status PagedVm::CacheInvalidate(std::unique_lock<std::mutex>& lock, PvmCache& ca
       if (entry->kind == MapEntry::Kind::kFrame) {
         if (entry->page->in_transit) {
           ++detail_.sync_stub_waits;
-          sleepers_.Wait(StubKey(cache, at), lock);
+          sleepers_.Wait(StubKey(cache, at), mu_);
           continue;
         }
         if (entry->page->pin_count > 0) {
@@ -274,7 +274,7 @@ Status PagedVm::CacheInvalidate(std::unique_lock<std::mutex>& lock, PvmCache& ca
         break;
       }
       ++detail_.sync_stub_waits;
-      sleepers_.Wait(StubKey(cache, at), lock);
+      sleepers_.Wait(StubKey(cache, at), mu_);
     }
     if (result != Status::kOk) {
       break;
@@ -286,7 +286,7 @@ Status PagedVm::CacheInvalidate(std::unique_lock<std::mutex>& lock, PvmCache& ca
   return result;
 }
 
-Status PagedVm::CacheSetProtection(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::CacheSetProtection(MutexLock& lock, PvmCache& cache,
                                    SegOffset offset, size_t size, Prot max_prot) {
   (void)lock;
   const size_t page = page_size();
@@ -303,7 +303,7 @@ Status PagedVm::CacheSetProtection(std::unique_lock<std::mutex>& lock, PvmCache&
   return Status::kOk;
 }
 
-Status PagedVm::CacheLockRange(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::CacheLockRange(MutexLock& lock, PvmCache& cache,
                                SegOffset offset, size_t size, bool lock_pages) {
   const size_t page = page_size();
   for (SegOffset at = AlignDown(offset, page); at < offset + size; at += page) {

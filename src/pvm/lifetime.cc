@@ -66,7 +66,7 @@ void PagedVm::ReleasePages(PvmCache& cache) {
   }
 }
 
-Status PagedVm::DestroyCacheLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache) {
+Status PagedVm::DestroyCacheLocked(MutexLock& lock, PvmCache& cache) {
   if (cache.mapping_count_ > 0) {
     return Status::kBusy;
   }
@@ -87,7 +87,7 @@ Status PagedVm::DestroyCacheLocked(std::unique_lock<std::mutex>& lock, PvmCache&
   return Status::kOk;
 }
 
-void PagedVm::ReapIfUnreferenced(std::unique_lock<std::mutex>& lock, PvmCache& cache) {
+void PagedVm::ReapIfUnreferenced(MutexLock& lock, PvmCache& cache) {
   if (!cache.dying_ || cache.mapping_count_ > 0) {
     return;
   }
@@ -127,7 +127,7 @@ void PagedVm::ReapIfUnreferenced(std::unique_lock<std::mutex>& lock, PvmCache& c
   }
 }
 
-bool PagedVm::TryCollapse(std::unique_lock<std::mutex>& lock, PvmCache& cache) {
+bool PagedVm::TryCollapse(MutexLock& lock, PvmCache& cache) {
   // Merge a dying cache into its single remaining child: transfer its pages to the
   // child (where the child lacks its own version) and splice the child's parent
   // links past it.  This is the analogue of Mach's shadow collapse, needed only in

@@ -24,7 +24,7 @@ PagedVm::~PagedVm() {
 }
 
 Result<Cache*> PagedVm::CacheCreate(SegmentDriver* driver, std::string name) {
-  std::unique_lock<std::mutex> lock(mu());
+  MutexLock lock(mu_);
   Result<PvmCache*> cache =
       CreateCacheLocked(driver, std::move(name), /*temporary=*/driver == nullptr);
   if (!cache.ok()) {
@@ -63,7 +63,7 @@ PageDesc* PagedVm::FindOwned(PvmCache& cache, SegOffset page_offset) {
   return entry->page;
 }
 
-Result<FrameIndex> PagedVm::AllocateFrame(std::unique_lock<std::mutex>& lock,
+Result<FrameIndex> PagedVm::AllocateFrame(MutexLock& lock,
                                           bool* dropped_lock) {
   Result<FrameIndex> frame = memory().AllocateFrame();
   if (frame.ok()) {
@@ -103,7 +103,7 @@ Result<FrameIndex> PagedVm::AllocateFrame(std::unique_lock<std::mutex>& lock,
   }
 }
 
-Result<PageDesc*> PagedVm::MaterializePage(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Result<PageDesc*> PagedVm::MaterializePage(MutexLock& lock, PvmCache& cache,
                                            SegOffset page_offset, const std::byte* bytes,
                                            bool dirty, Prot max_prot) {
   assert(IsAligned(page_offset, page_size()));
@@ -142,7 +142,7 @@ Result<PageDesc*> PagedVm::MaterializePage(std::unique_lock<std::mutex>& lock, P
   return &page;
 }
 
-Status PagedVm::MaterializeStubsOf(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::MaterializeStubsOf(MutexLock& lock, PvmCache& cache,
                                    SegOffset page_offset) {
   const uint64_t index = PageIndex(page_offset);
   for (int rounds = 0; rounds < 4096; ++rounds) {
@@ -217,7 +217,7 @@ Status PagedVm::MaterializeStubsOf(std::unique_lock<std::mutex>& lock, PvmCache&
     AdoptInboundStubs(dst, fresh);
     ++detail_.stub_resolutions;
     ++mutable_stats().cow_copies;
-    sleepers_.WakeAll(StubKey(dst, dst_off));
+    sleepers_.WakeAll(StubKey(dst, dst_off), mu_);
     return Status::kOk;
   }
   return Status::kBusError;
@@ -465,7 +465,7 @@ PagedVm::Lookup PagedVm::LookupValue(PvmCache& cache, SegOffset page_offset) {
                 .source_offset = page_offset};
 }
 
-Result<PageDesc*> PagedVm::ResolveValue(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Result<PageDesc*> PagedVm::ResolveValue(MutexLock& lock, PvmCache& cache,
                                         SegOffset page_offset, bool* dropped_lock) {
   for (int rounds = 0; rounds < 4096; ++rounds) {
     Lookup found = LookupValue(cache, page_offset);
@@ -497,7 +497,7 @@ Result<PageDesc*> PagedVm::ResolveValue(std::unique_lock<std::mutex>& lock, PvmC
       }
       case Lookup::Kind::kBlocked:
         ++detail_.sync_stub_waits;
-        sleepers_.Wait(StubKey(*found.source, found.source_offset), lock);
+        sleepers_.Wait(StubKey(*found.source, found.source_offset), mu_);
         *dropped_lock = true;
         continue;
     }
@@ -510,7 +510,7 @@ Result<PageDesc*> PagedVm::ResolveValue(std::unique_lock<std::mutex>& lock, PvmC
 // History pushes (sections 4.2.2, 4.2.3)
 // ---------------------------------------------------------------------------
 
-Status PagedVm::PushToHistory(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::PushToHistory(MutexLock& lock, PvmCache& cache,
                               PageDesc& page, bool* dropped_lock) {
   const auto* frag = cache.histories_.Find(page.offset);
   if (frag == nullptr) {
@@ -531,7 +531,7 @@ Status PagedVm::PushToHistory(std::unique_lock<std::mutex>& lock, PvmCache& cach
         return Status::kOk;
       }
       ++detail_.sync_stub_waits;
-      sleepers_.Wait(StubKey(history, h_off), lock);
+      sleepers_.Wait(StubKey(history, h_off), mu_);
       *dropped_lock = true;
       return Status::kRetry;  // page pointer may be stale now
     }
@@ -557,7 +557,7 @@ Status PagedVm::PushToHistory(std::unique_lock<std::mutex>& lock, PvmCache& cach
   return Status::kBusError;
 }
 
-Status PagedVm::DetachStubs(std::unique_lock<std::mutex>& lock, PageDesc& page,
+Status PagedVm::DetachStubs(MutexLock& lock, PageDesc& page,
                             bool* dropped_lock) {
   if (page.stubs.empty()) {
     return Status::kOk;
@@ -612,7 +612,7 @@ Status PagedVm::DetachStubs(std::unique_lock<std::mutex>& lock, PageDesc& page,
   AdoptInboundStubs(dst, fresh);
   ++detail_.stub_resolutions;
   ++mutable_stats().cow_copies;
-  sleepers_.WakeAll(StubKey(dst, dst_off));
+  sleepers_.WakeAll(StubKey(dst, dst_off), mu_);
   return Status::kOk;
 }
 
@@ -620,14 +620,14 @@ Status PagedVm::DetachStubs(std::unique_lock<std::mutex>& lock, PageDesc& page,
 // The write-violation algorithm (sections 4.2.2, 4.2.3, 4.3)
 // ---------------------------------------------------------------------------
 
-Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock,
+Result<PageDesc*> PagedVm::EnsureWritablePage(MutexLock& lock,
                                               PvmCache& cache, SegOffset page_offset,
                                               bool* dropped_lock) {
   for (int rounds = 0; rounds < 4096; ++rounds) {
     MapEntry* entry = FindEntry(cache, page_offset);
     if (entry != nullptr && entry->kind == MapEntry::Kind::kSyncStub) {
       ++detail_.sync_stub_waits;
-      sleepers_.Wait(StubKey(cache, page_offset), lock);
+      sleepers_.Wait(StubKey(cache, page_offset), mu_);
       *dropped_lock = true;
       continue;
     }
@@ -635,7 +635,7 @@ Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock
       PageDesc* page = entry->page;
       if (page->in_transit) {
         ++detail_.sync_stub_waits;
-        sleepers_.Wait(StubKey(cache, page_offset), lock);
+        sleepers_.Wait(StubKey(cache, page_offset), mu_);
         *dropped_lock = true;
         continue;
       }
@@ -690,7 +690,7 @@ Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock
       if (stub->src_page != nullptr) {
         if (stub->src_page->in_transit) {
           ++detail_.sync_stub_waits;
-          sleepers_.Wait(StubKey(*stub->src_page->cache, stub->src_page->offset), lock);
+          sleepers_.Wait(StubKey(*stub->src_page->cache, stub->src_page->offset), mu_);
           *dropped_lock = true;
           continue;
         }
@@ -742,7 +742,7 @@ Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock
       AdoptInboundStubs(cache, fresh);
       ++detail_.stub_resolutions;
       ++mutable_stats().cow_copies;
-      sleepers_.WakeAll(StubKey(cache, page_offset));
+      sleepers_.WakeAll(StubKey(cache, page_offset), mu_);
       continue;  // loop once more; the owned-page branch finishes the job
     }
     // No entry: the cache does not own the page.  Find the current value, give the
@@ -811,9 +811,8 @@ Result<PageDesc*> PagedVm::EnsureWritablePage(std::unique_lock<std::mutex>& lock
 // Fault handling (section 4.1.2)
 // ---------------------------------------------------------------------------
 
-Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault,
-                             SegOffset page_offset) {
-  std::unique_lock<std::mutex> lock(mu(), std::adopt_lock);
+Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
+                             MutexLock& lock) {
   RegionImpl* r = &region;
   SegOffset offset = page_offset;
   const Vaddr page_va = AlignDown(fault.address, page_size());
@@ -922,8 +921,7 @@ Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault,
   // kRetry is a private protocol between internal loops; by the time a fault
   // resolution returns it must have been converted into kOk or a real error.
   assert(result != Status::kRetry && "kRetry escaped ResolveFault");
-  lock.release();  // BaseMm::HandleFault still owns the mutex
-  return result;
+  return result;  // `lock` is owned by BaseMm::HandleFault
 }
 
 // Fault-around: a fault that just resolved at `primary_va` is a strong hint of a
@@ -931,7 +929,7 @@ Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault,
 // mapper can be materialized now for the price of an upcall — saving a full
 // fault round-trip later.  Strictly best-effort: any surprise (region replaced,
 // value moved, stub appeared, free frames low) just stops the cluster.
-void PagedVm::ClusterPullIns(std::unique_lock<std::mutex>& lock, const PageFault& fault,
+void PagedVm::ClusterPullIns(MutexLock& lock, const PageFault& fault,
                              Vaddr primary_va) {
   const size_t page = page_size();
   for (size_t i = 1; i < options_.pullin_cluster_pages; ++i) {
@@ -979,7 +977,8 @@ void PagedVm::ClusterPullIns(std::unique_lock<std::mutex>& lock, const PageFault
 // Region hooks
 // ---------------------------------------------------------------------------
 
-void PagedVm::OnRegionMapped(RegionImpl& region) {
+void PagedVm::OnRegionMapped(RegionImpl& region, MutexLock& lock) {
+  (void)lock;
   static_cast<PvmCache&>(region.cache()).mapping_count_++;
 }
 
@@ -1044,7 +1043,7 @@ void PagedVm::OnRegionProtection(RegionImpl& region) {
   }
 }
 
-Status PagedVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) {
+Status PagedVm::OnRegionLock(RegionImpl& region, MutexLock& lock) {
   // Fault in and pin every page of the region.  Pinning is necessarily O(region
   // size): every page must be resident for fault-free access.
   const size_t page = page_size();
@@ -1065,7 +1064,7 @@ Status PagedVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& l
       if (r == nullptr) {
         return Status::kNotFound;
       }
-      Status s = ResolveFault(*r, fault, r->OffsetOf(AlignDown(va, page)));
+      Status s = ResolveFault(*r, fault, r->OffsetOf(AlignDown(va, page)), lock);
       if (s != Status::kOk) {
         return s;
       }
@@ -1078,7 +1077,6 @@ Status PagedVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& l
           break;
         }
       }
-      (void)lock;
     }
   }
   return Status::kOk;
@@ -1102,27 +1100,27 @@ Status PagedVm::OnRegionUnlock(RegionImpl& region) {
 // ---------------------------------------------------------------------------
 
 size_t PagedVm::CacheCount() const {
-  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  MutexLock lock(mu_);
   return caches_.size();
 }
 
 size_t PagedVm::GlobalMapEntries() const {
-  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 size_t PagedVm::SyncStubCount() const {
-  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  MutexLock lock(mu_);
   return map_.CountKind(MapEntry::Kind::kSyncStub);
 }
 
 size_t PagedVm::CowStubCount() const {
-  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  MutexLock lock(mu_);
   return map_.CountKind(MapEntry::Kind::kCowStub);
 }
 
 size_t PagedVm::InTransitCount() const {
-  std::unique_lock<std::mutex> lock(const_cast<PagedVm*>(this)->mu());
+  MutexLock lock(mu_);
   size_t count = 0;
   for (const auto& [id, cache] : caches_) {
     for (const PageDesc& page : cache->pages_) {
@@ -1135,8 +1133,8 @@ size_t PagedVm::InTransitCount() const {
 }
 
 void PagedVm::PokeSleepers(const Cache& cache, SegOffset offset) {
-  std::unique_lock<std::mutex> lock(mu());
-  sleepers_.WakeAll(StubKey(static_cast<const PvmCache&>(cache), offset));
+  MutexLock lock(mu_);
+  sleepers_.WakeAll(StubKey(static_cast<const PvmCache&>(cache), offset), mu_);
 }
 
 }  // namespace gvm

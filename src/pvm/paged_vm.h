@@ -99,7 +99,12 @@ class PagedVm final : public BaseMm {
   Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) override;
   const char* name() const override { return "PVM"; }
 
-  const PvmDetailStats& detail_stats() const { return detail_; }
+  // Snapshot of the PVM-specific counters, taken under the manager lock
+  // (returned by value: debug dumps and benches read these concurrently).
+  PvmDetailStats detail_stats() const GVM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return detail_;
+  }
 
   // ---- Introspection for tests, figures, and benchmarks ----
   size_t CacheCount() const;
@@ -123,14 +128,14 @@ class PagedVm final : public BaseMm {
 
  protected:
   // ---- BaseMm hooks ----
-  Status ResolveFault(RegionImpl& region, const PageFault& fault,
-                      SegOffset page_offset) override;
-  void OnRegionMapped(RegionImpl& region) override;
-  void OnRegionUnmapping(RegionImpl& region) override;
-  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override;
-  void OnRegionProtection(RegionImpl& region) override;
-  Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) override;
-  Status OnRegionUnlock(RegionImpl& region) override;
+  Status ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
+                      MutexLock& lock) override GVM_REQUIRES(mu_);
+  void OnRegionMapped(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  void OnRegionUnmapping(RegionImpl& region) override GVM_REQUIRES(mu_);
+  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override GVM_REQUIRES(mu_);
+  void OnRegionProtection(RegionImpl& region) override GVM_REQUIRES(mu_);
+  Status OnRegionLock(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  Status OnRegionUnlock(RegionImpl& region) override GVM_REQUIRES(mu_);
 
  private:
   friend class PvmCache;
@@ -138,32 +143,32 @@ class PagedVm final : public BaseMm {
   // ---- Small helpers (lock held) ----
   uint64_t PageIndex(SegOffset offset) const { return offset / page_size(); }
   uint64_t StubKey(const PvmCache& cache, SegOffset offset) const;
-  PageDesc* FindOwned(PvmCache& cache, SegOffset page_offset);
-  MapEntry* FindEntry(PvmCache& cache, SegOffset page_offset);
+  PageDesc* FindOwned(PvmCache& cache, SegOffset page_offset) GVM_REQUIRES(mu_);
+  MapEntry* FindEntry(PvmCache& cache, SegOffset page_offset) GVM_REQUIRES(mu_);
 
   // Allocate a frame, evicting if the pool is dry and page-out is enabled.  May
   // drop the lock (page-out upcalls); `*dropped_lock` reports that.
-  Result<FrameIndex> AllocateFrame(std::unique_lock<std::mutex>& lock, bool* dropped_lock);
+  Result<FrameIndex> AllocateFrame(MutexLock& lock, bool* dropped_lock) GVM_REQUIRES(mu_);
 
   // Create a page owned by `cache` at `page_offset` with the given bytes (nullptr
   // means zero-fill).  May drop the lock to evict; on any drop it re-checks that
   // the slot is still empty and returns kBusy to make the caller retry.
-  Result<PageDesc*> MaterializePage(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+  Result<PageDesc*> MaterializePage(MutexLock& lock, PvmCache& cache,
                                     SegOffset page_offset, const std::byte* bytes, bool dirty,
-                                    Prot max_prot);
+                                    Prot max_prot) GVM_REQUIRES(mu_);
 
-  void FreePage(PageDesc* page);  // unmaps, unthreads stubs, frees the frame
+  void FreePage(PageDesc* page) GVM_REQUIRES(mu_);  // unmaps, unthreads stubs, frees the frame
 
   // ---- MMU mapping bookkeeping ----
   void MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot prot,
-               PvmCache& via_cache);
-  void UnmapMapping(PageDesc& page, size_t index);
-  void UnmapAllMappings(PageDesc& page);
+               PvmCache& via_cache) GVM_REQUIRES(mu_);
+  void UnmapMapping(PageDesc& page, size_t index) GVM_REQUIRES(mu_);
+  void UnmapAllMappings(PageDesc& page) GVM_REQUIRES(mu_);
   // Remove mappings installed through caches other than the owner (descendant
   // reads through the tree) — required before the owner's value may change.
-  void RemoveForeignMappings(PageDesc& page);
+  void RemoveForeignMappings(PageDesc& page) GVM_REQUIRES(mu_);
   // Downgrade every mapping of `page` to read-only (copy source protection).
-  void WriteProtectPage(PageDesc& page);
+  void WriteProtectPage(PageDesc& page) GVM_REQUIRES(mu_);
   // The protection a mapping of `page` through `region` may carry right now.
   Prot EffectiveProt(const RegionImpl& region, const PageDesc& page, bool foreign) const;
   // True when the owner cache must not write `page` without history bookkeeping.
@@ -184,138 +189,139 @@ class PagedVm final : public BaseMm {
     SegOffset source_offset = 0;
     bool copy_on_reference = false;  // a kCopyOnReference parent link was crossed
   };
-  Lookup LookupValue(PvmCache& cache, SegOffset page_offset);
+  Lookup LookupValue(PvmCache& cache, SegOffset page_offset) GVM_REQUIRES(mu_);
 
   // Ensure the current value of (cache, page_offset) is resident somewhere,
   // performing pullIn/zero-fill as needed.  Returns the page, or kBusy if the lock
   // was dropped (caller retries), or a hard error.
-  Result<PageDesc*> ResolveValue(std::unique_lock<std::mutex>& lock, PvmCache& cache,
-                                 SegOffset page_offset, bool* dropped_lock);
+  Result<PageDesc*> ResolveValue(MutexLock& lock, PvmCache& cache,
+                                 SegOffset page_offset, bool* dropped_lock) GVM_REQUIRES(mu_);
 
   // Ensure (cache, page_offset) has a private, writable page owned by `cache`,
   // doing all history bookkeeping (section 4.2) and stub resolution (section 4.3).
-  Result<PageDesc*> EnsureWritablePage(std::unique_lock<std::mutex>& lock, PvmCache& cache,
-                                       SegOffset page_offset, bool* dropped_lock);
+  Result<PageDesc*> EnsureWritablePage(MutexLock& lock, PvmCache& cache,
+                                       SegOffset page_offset, bool* dropped_lock) GVM_REQUIRES(mu_);
 
   // Push the original value of an owned page into the history object covering it,
   // if one exists and lacks its own version (sections 4.2.2 / 4.2.3).
-  Status PushToHistory(std::unique_lock<std::mutex>& lock, PvmCache& cache, PageDesc& page,
-                       bool* dropped_lock);
+  Status PushToHistory(MutexLock& lock, PvmCache& cache, PageDesc& page,
+                       bool* dropped_lock) GVM_REQUIRES(mu_);
 
   // Detach all per-page stubs threaded on `page` before its value changes: give
   // them one shared copy of the original value (section 4.3 write-violation rule).
-  Status DetachStubs(std::unique_lock<std::mutex>& lock, PageDesc& page, bool* dropped_lock);
+  Status DetachStubs(MutexLock& lock, PageDesc& page, bool* dropped_lock) GVM_REQUIRES(mu_);
 
   // Ensure no per-page stub still *depends* on the value of (cache, page_offset):
   // called before that value is overwritten wholesale (copy-into, move-out,
   // invalidate).  Threaded stubs are detached via DetachStubs; non-resident-form
   // stubs get a materialized shared copy of the current value.
-  Status MaterializeStubsOf(std::unique_lock<std::mutex>& lock, PvmCache& cache,
-                            SegOffset page_offset);
+  Status MaterializeStubsOf(MutexLock& lock, PvmCache& cache,
+                            SegOffset page_offset) GVM_REQUIRES(mu_);
 
   // ---- Per-page stub link maintenance ----
   // Attach `stub` to its source: threaded on the page descriptor when resident,
   // registered in the source cache's inbound table otherwise.
-  void ThreadStub(CowStub* stub);
+  void ThreadStub(CowStub* stub) GVM_REQUIRES(mu_);
   // Detach `stub` from whichever source link it currently has.
-  void UnlinkStub(CowStub* stub);
+  void UnlinkStub(CowStub* stub) GVM_REQUIRES(mu_);
   // A page of `cache` just became resident: re-thread the stubs that were waiting
   // on it in non-resident form.
-  void AdoptInboundStubs(PvmCache& cache, PageDesc& page);
+  void AdoptInboundStubs(PvmCache& cache, PageDesc& page) GVM_REQUIRES(mu_);
 
   // ---- Upcalls (drop the lock internally) ----
-  Status PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache,
-                      SegOffset page_offset, Access access);
+  Status PullInLocked(MutexLock& lock, PvmCache& cache,
+                      SegOffset page_offset, Access access) GVM_REQUIRES(mu_);
   // Fault-around (see Options::pullin_cluster_pages): after the primary fault at
   // `primary_va` resolved, opportunistically pull in and map following pages.
-  void ClusterPullIns(std::unique_lock<std::mutex>& lock, const PageFault& fault,
-                      Vaddr primary_va);
-  Status PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache, PageDesc& page,
-                           bool free_after);
+  void ClusterPullIns(MutexLock& lock, const PageFault& fault,
+                      Vaddr primary_va) GVM_REQUIRES(mu_);
+  Status PushOutPageLocked(MutexLock& lock, PvmCache& cache, PageDesc& page,
+                           bool free_after) GVM_REQUIRES(mu_);
   // Assign a segment to an MM-created/temporary cache via segmentCreate.
-  Status EnsureDriver(std::unique_lock<std::mutex>& lock, PvmCache& cache);
+  Status EnsureDriver(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
 
   // ---- Copy engines (called from PvmCache, lock held) ----
-  Status CopyRange(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
-                   PvmCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy);
-  Status EagerCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
-                   PvmCache& dst, SegOffset dst_off, size_t size);
-  Status HistoryCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
-                     PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference);
-  Status PerPageCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
-                     PvmCache& dst, SegOffset dst_off, size_t size);
-  Status MoveRange(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
-                   PvmCache& dst, SegOffset dst_off, size_t size);
+  Status CopyRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
+                   PvmCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy) GVM_REQUIRES(mu_);
+  Status EagerCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+                   PvmCache& dst, SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
+  Status HistoryCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+                     PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference) GVM_REQUIRES(mu_);
+  Status PerPageCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+                     PvmCache& dst, SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
+  Status MoveRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
+                   PvmCache& dst, SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
 
   // Discard `dst`'s own state over [dst_off, dst_off+size) prior to its logical
   // overwrite by a copy: owned pages are first offered to dst's history.
-  Status ClearDestinationRange(std::unique_lock<std::mutex>& lock, PvmCache& dst,
-                               SegOffset dst_off, size_t size);
+  Status ClearDestinationRange(MutexLock& lock, PvmCache& dst,
+                               SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
 
   // Before `cache`'s contents over the range change wholesale (copy-into or move
   // source), materialize its current values into any history object covering the
   // range, making the history self-sufficient.
-  Status SecureHistorySnapshots(std::unique_lock<std::mutex>& lock, PvmCache& cache,
-                                SegOffset offset, size_t size);
+  Status SecureHistorySnapshots(MutexLock& lock, PvmCache& cache,
+                                SegOffset offset, size_t size) GVM_REQUIRES(mu_);
 
   // Write-protect the owned pages of `src` in a range (copy source preparation).
-  void ProtectSourcePages(PvmCache& src, SegOffset src_off, size_t size);
+  void ProtectSourcePages(PvmCache& src, SegOffset src_off, size_t size) GVM_REQUIRES(mu_);
 
   // ---- History-tree surgery (history.cc) ----
   // Link dst as the deferred copy of src over the given fragments, inserting a
   // working object when src already has a history there (section 4.2.3).
-  Status LinkCopy(std::unique_lock<std::mutex>& lock, PvmCache& src, SegOffset src_off,
-                  PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference);
+  Status LinkCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+                  PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference) GVM_REQUIRES(mu_);
 
   // ---- Cache lifetime ----
-  Result<PvmCache*> CreateCacheLocked(SegmentDriver* driver, std::string name, bool temporary);
-  Status DestroyCacheLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache);
-  bool CacheHasDependents(const PvmCache& cache) const;
+  Result<PvmCache*> CreateCacheLocked(SegmentDriver* driver, std::string name,
+                                      bool temporary) GVM_REQUIRES(mu_);
+  Status DestroyCacheLocked(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
+  bool CacheHasDependents(const PvmCache& cache) const GVM_REQUIRES(mu_);
   // Distinct caches whose parent links target `parent`, sorted by id.
-  std::vector<PvmCache*> ChildrenOfCache(PvmCache* parent) const;
+  std::vector<PvmCache*> ChildrenOfCache(PvmCache* parent) const GVM_REQUIRES(mu_);
   // Free a dying cache whose last dependent vanished; cascades to its ancestors.
-  void ReapIfUnreferenced(std::unique_lock<std::mutex>& lock, PvmCache& cache);
+  void ReapIfUnreferenced(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
   // Merge a dying cache into its single child if possible (section 4.2.5 GC).
-  bool TryCollapse(std::unique_lock<std::mutex>& lock, PvmCache& cache);
-  void DropTreeLinksTo(PvmCache& cache);
-  void ReleasePages(PvmCache& cache);  // free all pages, stubs and map entries
+  bool TryCollapse(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
+  void DropTreeLinksTo(PvmCache& cache) GVM_REQUIRES(mu_);
+  void ReleasePages(PvmCache& cache) GVM_REQUIRES(mu_);  // free all pages, stubs and map entries
 
   // ---- Explicit I/O and cache management (io.cc) ----
-  Status CacheRead(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
-                   void* buffer, size_t size);
-  Status CacheWrite(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
-                    const void* buffer, size_t size);
-  Status CacheFillUp(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
-                     const void* data, size_t size, Prot max_prot);
-  Status CacheCopyBack(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
-                       void* buffer, size_t size, bool remove);
-  Status CacheFlush(std::unique_lock<std::mutex>& lock, PvmCache& cache, bool discard);
-  Status CacheInvalidate(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
-                         size_t size);
-  Status CacheSetProtection(std::unique_lock<std::mutex>& lock, PvmCache& cache,
-                            SegOffset offset, size_t size, Prot max_prot);
-  Status CacheLockRange(std::unique_lock<std::mutex>& lock, PvmCache& cache, SegOffset offset,
-                        size_t size, bool lock_pages);
+  Status CacheRead(MutexLock& lock, PvmCache& cache, SegOffset offset,
+                   void* buffer, size_t size) GVM_REQUIRES(mu_);
+  Status CacheWrite(MutexLock& lock, PvmCache& cache, SegOffset offset,
+                    const void* buffer, size_t size) GVM_REQUIRES(mu_);
+  Status CacheFillUp(MutexLock& lock, PvmCache& cache, SegOffset offset,
+                     const void* data, size_t size, Prot max_prot) GVM_REQUIRES(mu_);
+  Status CacheCopyBack(MutexLock& lock, PvmCache& cache, SegOffset offset,
+                       void* buffer, size_t size, bool remove) GVM_REQUIRES(mu_);
+  Status CacheFlush(MutexLock& lock, PvmCache& cache, bool discard) GVM_REQUIRES(mu_);
+  Status CacheInvalidate(MutexLock& lock, PvmCache& cache, SegOffset offset,
+                         size_t size) GVM_REQUIRES(mu_);
+  Status CacheSetProtection(MutexLock& lock, PvmCache& cache,
+                            SegOffset offset, size_t size, Prot max_prot) GVM_REQUIRES(mu_);
+  Status CacheLockRange(MutexLock& lock, PvmCache& cache, SegOffset offset,
+                        size_t size, bool lock_pages) GVM_REQUIRES(mu_);
 
   // ---- Page-out (pageout.cc) ----
   // Keep the free-frame pool above the low-water mark.  Returns true if the lock
   // was dropped at any point.
-  bool BalanceFreeFrames(std::unique_lock<std::mutex>& lock);
-  PageDesc* PickVictim();
+  bool BalanceFreeFrames(MutexLock& lock) GVM_REQUIRES(mu_);
+  PageDesc* PickVictim() GVM_REQUIRES(mu_);
   bool PageIsDirty(const PageDesc& page) const;
 
   Options options_;
-  CacheId next_cache_id_ = 1;
-  std::unordered_map<CacheId, std::unique_ptr<PvmCache>> caches_;
-  GlobalMap map_;
+  CacheId next_cache_id_ GVM_GUARDED_BY(mu_) = 1;
+  std::unordered_map<CacheId, std::unique_ptr<PvmCache>> caches_ GVM_GUARDED_BY(mu_);
+  GlobalMap map_ GVM_GUARDED_BY(mu_);
   SleepQueue sleepers_;
   // Per-region table of mapped pages, for O(resident) unmap/protect of a region.
-  std::unordered_map<RegionImpl*, std::map<Vaddr, PageDesc*>> region_maps_;
+  std::unordered_map<RegionImpl*, std::map<Vaddr, PageDesc*>> region_maps_ GVM_GUARDED_BY(mu_);
   // Round-robin page-out cursor (cache id, page offset), clock-style.
-  CacheId clock_cache_ = 0;
-  SegOffset clock_offset_ = 0;
-  PvmDetailStats detail_;
-  uint32_t working_counter_ = 0;  // names w1, w2, ... for working objects
+  CacheId clock_cache_ GVM_GUARDED_BY(mu_) = 0;
+  SegOffset clock_offset_ GVM_GUARDED_BY(mu_) = 0;
+  PvmDetailStats detail_ GVM_GUARDED_BY(mu_);
+  uint32_t working_counter_ GVM_GUARDED_BY(mu_) = 0;  // names w1, w2, ... for working objects
 };
 
 }  // namespace gvm

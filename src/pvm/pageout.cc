@@ -95,7 +95,7 @@ PageDesc* PagedVm::PickVictim() {
   return nullptr;
 }
 
-bool PagedVm::BalanceFreeFrames(std::unique_lock<std::mutex>& lock) {
+bool PagedVm::BalanceFreeFrames(MutexLock& lock) {
   if (options_.low_water_frames == 0) {
     return false;
   }
@@ -143,7 +143,7 @@ bool PagedVm::BalanceFreeFrames(std::unique_lock<std::mutex>& lock) {
   return dropped;
 }
 
-Status PagedVm::EnsureDriver(std::unique_lock<std::mutex>& lock, PvmCache& cache) {
+Status PagedVm::EnsureDriver(MutexLock& lock, PvmCache& cache) {
   if (cache.driver_ != nullptr) {
     return Status::kOk;
   }
@@ -169,7 +169,7 @@ Status PagedVm::EnsureDriver(std::unique_lock<std::mutex>& lock, PvmCache& cache
   return Status::kOk;
 }
 
-Status PagedVm::PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::PushOutPageLocked(MutexLock& lock, PvmCache& cache,
                                   PageDesc& page, bool free_after) {
   if (page.pin_count > 0) {
     return Status::kLocked;
@@ -210,7 +210,7 @@ Status PagedVm::PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& 
     again = FindOwned(cache, offset);
     if (again == nullptr) {
       // The driver used MoveBack (copyBack with removal); nothing left to do.
-      sleepers_.WakeAll(StubKey(cache, offset));
+      sleepers_.WakeAll(StubKey(cache, offset), mu_);
       return pushed;
     }
     if (pushed != Status::kBusError || attempt >= options_.io_retry_limit) {
@@ -247,11 +247,11 @@ Status PagedVm::PushOutPageLocked(std::unique_lock<std::mutex>& lock, PvmCache& 
                      << cache.pushout_failures_ << " consecutive pushOut failures";
     }
   }
-  sleepers_.WakeAll(StubKey(cache, offset));
+  sleepers_.WakeAll(StubKey(cache, offset), mu_);
   return pushed;
 }
 
-Status PagedVm::PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache,
+Status PagedVm::PullInLocked(MutexLock& lock, PvmCache& cache,
                              SegOffset page_offset, Access access) {
   assert(IsAligned(page_offset, page_size()));
   MapEntry* existing = FindEntry(cache, page_offset);
@@ -260,7 +260,7 @@ Status PagedVm::PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache
     if (existing->kind == MapEntry::Kind::kSyncStub ||
         (existing->kind == MapEntry::Kind::kFrame && existing->page->in_transit)) {
       ++detail_.sync_stub_waits;
-      sleepers_.Wait(StubKey(cache, page_offset), lock);
+      sleepers_.Wait(StubKey(cache, page_offset), mu_);
     }
     return Status::kOk;
   }
@@ -307,7 +307,7 @@ Status PagedVm::PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache
     if (entry != nullptr && entry->kind == MapEntry::Kind::kSyncStub) {
       map_.Erase(cache.id(), PageIndex(page_offset));
     }
-    sleepers_.WakeAll(StubKey(cache, page_offset));
+    sleepers_.WakeAll(StubKey(cache, page_offset), mu_);
     return Status::kBusError;
   }
   // Synchronous drivers have already called FillUp (replacing the stub).  An
@@ -318,7 +318,7 @@ Status PagedVm::PullInLocked(std::unique_lock<std::mutex>& lock, PvmCache& cache
       return Status::kOk;
     }
     ++detail_.sync_stub_waits;
-    sleepers_.Wait(StubKey(cache, page_offset), lock);
+    sleepers_.Wait(StubKey(cache, page_offset), mu_);
   }
   return Status::kBusError;
 }

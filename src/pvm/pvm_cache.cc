@@ -32,7 +32,7 @@ Status PvmCache::CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, 
                         CopyPolicy policy) {
   auto& dst_cache = static_cast<PvmCache&>(dst);
   assert(&dst_cache.vm_ == &vm_ && "copies must stay within one memory manager");
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CopyRange(lock, *this, src_offset, dst_cache, dst_offset, size,
                                     policy));
 }
@@ -40,101 +40,101 @@ Status PvmCache::CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, 
 Status PvmCache::MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) {
   auto& dst_cache = static_cast<PvmCache&>(dst);
   assert(&dst_cache.vm_ == &vm_);
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.MoveRange(lock, *this, src_offset, dst_cache, dst_offset, size));
 }
 
 Status PvmCache::Read(SegOffset offset, void* buffer, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheRead(lock, *this, offset, buffer, size));
 }
 
 Status PvmCache::Write(SegOffset offset, const void* buffer, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheWrite(lock, *this, offset, buffer, size));
 }
 
 Status PvmCache::Destroy() {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.DestroyCacheLocked(lock, *this));
 }
 
 Status PvmCache::FillUp(SegOffset offset, const void* data, size_t size, Prot max_prot) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheFillUp(lock, *this, offset, data, size, max_prot));
 }
 
 Status PvmCache::FillZero(SegOffset offset, size_t size) {
   // Zero-filled fill: equivalent to FillUp with a zero buffer, without the buffer.
   std::vector<std::byte> zeros(size);
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheFillUp(lock, *this, offset, zeros.data(), size, Prot::kAll));
 }
 
 Status PvmCache::CopyBack(SegOffset offset, void* buffer, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheCopyBack(lock, *this, offset, buffer, size, /*remove=*/false));
 }
 
 Status PvmCache::MoveBack(SegOffset offset, void* buffer, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheCopyBack(lock, *this, offset, buffer, size, /*remove=*/true));
 }
 
 Status PvmCache::Flush() {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheFlush(lock, *this, /*discard=*/true));
 }
 
 Status PvmCache::Sync() {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheFlush(lock, *this, /*discard=*/false));
 }
 
 Status PvmCache::Invalidate(SegOffset offset, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheInvalidate(lock, *this, offset, size));
 }
 
 Status PvmCache::SetProtection(SegOffset offset, size_t size, Prot max_prot) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheSetProtection(lock, *this, offset, size, max_prot));
 }
 
 Status PvmCache::LockInMemory(SegOffset offset, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheLockRange(lock, *this, offset, size, /*lock_pages=*/true));
 }
 
 Status PvmCache::Unlock(SegOffset offset, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return PublicStatus(vm_.CacheLockRange(lock, *this, offset, size, /*lock_pages=*/false));
 }
 
 size_t PvmCache::ResidentPages() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return pages_.size();
 }
 
 size_t PvmCache::MappingCount() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return mapping_count_;
 }
 
 PvmCache* PvmCache::ParentAt(SegOffset offset) const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   const auto* frag = parents_.Find(offset);
   return frag == nullptr ? nullptr : frag->value.cache;
 }
 
 PvmCache* PvmCache::HistoryAt(SegOffset offset) const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   const auto* frag = histories_.Find(offset);
   return frag == nullptr ? nullptr : frag->value.cache;
 }
 
 bool PvmCache::degraded() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return degraded_;
 }
 

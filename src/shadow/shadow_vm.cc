@@ -33,7 +33,7 @@ class ObjectIo final : public Cache {
   Status FillUp(SegOffset offset, const void* data, size_t size,
                 Prot max_prot = Prot::kAll) override {
     (void)max_prot;  // ShadowVm keeps no per-page caps (see DESIGN.md)
-    std::unique_lock<std::mutex> lock(vm_.mu());
+    MutexLock lock(vm_.mu_);
     const size_t page = vm_.page_size();
     if (!IsAligned(offset, page)) {
       return Status::kInvalidArgument;
@@ -91,7 +91,7 @@ class ObjectIo final : public Cache {
 
  private:
   Status CopyBackImpl(SegOffset offset, void* buffer, size_t size, bool remove) {
-    std::unique_lock<std::mutex> lock(vm_.mu());
+    MutexLock lock(vm_.mu_);
     const size_t page = vm_.page_size();
     auto* out = static_cast<std::byte*>(buffer);
     for (size_t done = 0; done < size; done += page) {
@@ -136,7 +136,7 @@ MemObject* ShadowVm::NewObject(std::string name) {
 }
 
 Result<Cache*> ShadowVm::CacheCreate(SegmentDriver* driver, std::string name) {
-  std::unique_lock<std::mutex> lock(mu());
+  MutexLock lock(mu_);
   CacheId id = next_cache_id_++;
   auto cache = std::make_unique<ShadowCache>(*this, id, name, driver);
   cache->top_ = NewObject(name + ".obj");
@@ -148,12 +148,12 @@ Result<Cache*> ShadowVm::CacheCreate(SegmentDriver* driver, std::string name) {
 }
 
 size_t ShadowVm::CacheCount() const {
-  std::unique_lock<std::mutex> lock(const_cast<ShadowVm*>(this)->mu());
+  MutexLock lock(mu_);
   return caches_.size();
 }
 
 size_t ShadowVm::ObjectCount() const {
-  std::unique_lock<std::mutex> lock(const_cast<ShadowVm*>(this)->mu());
+  MutexLock lock(mu_);
   return objects_.size();
 }
 
@@ -215,7 +215,7 @@ void ShadowVm::DropPage(MemObject& object, ShadowPage& page) {
   object.pages_.erase(page.offset);
 }
 
-Result<const std::byte*> ShadowVm::ResolveBytes(std::unique_lock<std::mutex>& lock,
+Result<const std::byte*> ShadowVm::ResolveBytes(MutexLock& lock,
                                                 MemObject& start, SegOffset offset,
                                                 ShadowPage** owner_page, MemObject** owner) {
   for (int rounds = 0; rounds < 64; ++rounds) {
@@ -251,8 +251,7 @@ Result<const std::byte*> ShadowVm::ResolveBytes(std::unique_lock<std::mutex>& lo
 // ---------------------------------------------------------------------------
 
 Status ShadowVm::ResolveFault(RegionImpl& region, const PageFault& fault,
-                              SegOffset page_offset) {
-  std::unique_lock<std::mutex> lock(mu(), std::adopt_lock);
+                              SegOffset page_offset, MutexLock& lock) {
   auto& cache = static_cast<ShadowCache&>(region.cache());
   const Vaddr page_va = AlignDown(fault.address, page_size());
   const AsId as = region.context().address_space();
@@ -326,8 +325,7 @@ Status ShadowVm::ResolveFault(RegionImpl& region, const PageFault& fault,
     break;
   }
 
-  lock.release();
-  return result;
+  return result;  // `lock` is owned by BaseMm::HandleFault
 }
 
 // ---------------------------------------------------------------------------
@@ -344,7 +342,7 @@ void ShadowVm::ProtectObjectRange(MemObject& object, SegOffset offset, size_t si
   }
 }
 
-Status ShadowVm::CopyRange(std::unique_lock<std::mutex>& lock, ShadowCache& src,
+Status ShadowVm::CopyRange(MutexLock& lock, ShadowCache& src,
                            SegOffset src_off, ShadowCache& dst, SegOffset dst_off, size_t size,
                            CopyPolicy policy) {
   const size_t page = page_size();
@@ -565,7 +563,8 @@ void ShadowVm::CollapseChains() {
 // Region hooks
 // ---------------------------------------------------------------------------
 
-void ShadowVm::OnRegionMapped(RegionImpl& region) {
+void ShadowVm::OnRegionMapped(RegionImpl& region, MutexLock& lock) {
+  (void)lock;
   static_cast<ShadowCache&>(region.cache()).mapping_count_++;
 }
 
@@ -636,7 +635,7 @@ void ShadowVm::OnRegionProtection(RegionImpl& region) {
   }
 }
 
-Status ShadowVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) {
+Status ShadowVm::OnRegionLock(RegionImpl& region, MutexLock& lock) {
   // Prefault the range; ShadowVm has no pager, so residency is permanent.
   const size_t page = page_size();
   const bool writable = ProtAllows(region.prot(), Prot::kWrite);
@@ -645,7 +644,7 @@ Status ShadowVm::OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& 
                     .address = va,
                     .access = writable ? Access::kWrite : Access::kRead,
                     .protection_violation = false};
-    Status s = ResolveFault(region, fault, region.OffsetOf(va));
+    Status s = ResolveFault(region, fault, region.OffsetOf(va), lock);
     if (s != Status::kOk) {
       return s;
     }
@@ -663,7 +662,7 @@ Status ShadowVm::OnRegionUnlock(RegionImpl& region) {
 // Explicit access
 // ---------------------------------------------------------------------------
 
-Status ShadowVm::CacheAccess(std::unique_lock<std::mutex>& lock, ShadowCache& cache,
+Status ShadowVm::CacheAccess(MutexLock& lock, ShadowCache& cache,
                              SegOffset offset, void* buffer, size_t size, bool write) {
   const size_t page = page_size();
   auto* bytes = static_cast<std::byte*>(buffer);
@@ -720,7 +719,7 @@ ShadowCache::ShadowCache(ShadowVm& vm, CacheId id, std::string name, SegmentDriv
 ShadowCache::~ShadowCache() = default;
 
 SegmentDriver* ShadowCache::driver() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   // The pager lives at the chain root.
   MemObject* cur = top_;
   for (int i = 0; i < 4096 && cur != nullptr; ++i) {
@@ -736,7 +735,7 @@ SegmentDriver* ShadowCache::driver() const {
 Status ShadowCache::CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
                            CopyPolicy policy) {
   auto& dst_cache = static_cast<ShadowCache&>(dst);
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return vm_.CopyRange(lock, *this, src_offset, dst_cache, dst_offset, size, policy);
 }
 
@@ -749,17 +748,17 @@ Status ShadowCache::MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offse
 }
 
 Status ShadowCache::Read(SegOffset offset, void* buffer, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return vm_.CacheAccess(lock, *this, offset, buffer, size, /*write=*/false);
 }
 
 Status ShadowCache::Write(SegOffset offset, const void* buffer, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return vm_.CacheAccess(lock, *this, offset, const_cast<void*>(buffer), size, /*write=*/true);
 }
 
 Status ShadowCache::Destroy() {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   if (mapping_count_ > 0) {
     return Status::kBusy;
   }
@@ -779,7 +778,7 @@ Status ShadowCache::FillUp(SegOffset offset, const void* data, size_t size, Prot
   // top for purely anonymous chains.
   MemObject* target = top_;
   {
-    std::unique_lock<std::mutex> lock(vm_.mu());
+    MutexLock lock(vm_.mu_);
     MemObject* cur = top_;
     SegOffset off = offset;
     for (int i = 0; i < 4096; ++i) {
@@ -816,7 +815,7 @@ Status ShadowCache::MoveBack(SegOffset offset, void* buffer, size_t size) {
 
 Status ShadowCache::Sync() {
   // Push current values of dirty pages reachable from the top.
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   SegmentDriver* drv = nullptr;
   MemObject* root = top_;
   for (int i = 0; i < 4096; ++i) {
@@ -863,7 +862,7 @@ Status ShadowCache::Flush() {
 }
 
 Status ShadowCache::Invalidate(SegOffset offset, size_t size) {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   // Drop the top object's pages in the range (private modifications).
   std::vector<SegOffset> doomed;
   for (auto it = top_->pages_.lower_bound(offset);
@@ -899,17 +898,17 @@ Status ShadowCache::Unlock(SegOffset offset, size_t size) {
 }
 
 size_t ShadowCache::ResidentPages() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return top_->pages_.size();
 }
 
 size_t ShadowCache::MappingCount() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   return mapping_count_;
 }
 
 size_t ShadowCache::ChainDepth() const {
-  std::unique_lock<std::mutex> lock(vm_.mu());
+  MutexLock lock(vm_.mu_);
   size_t depth = 0;
   MemObject* cur = top_;
   for (int i = 0; i < 4096; ++i) {

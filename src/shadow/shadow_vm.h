@@ -139,24 +139,24 @@ class ShadowVm final : public BaseMm {
   Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) override;
   const char* name() const override { return "ShadowVm(Mach)"; }
 
-  size_t CacheCount() const;
-  size_t ObjectCount() const;
+  size_t CacheCount() const GVM_EXCLUDES(mu_);
+  size_t ObjectCount() const GVM_EXCLUDES(mu_);
 
  protected:
-  Status ResolveFault(RegionImpl& region, const PageFault& fault,
-                      SegOffset page_offset) override;
-  void OnRegionMapped(RegionImpl& region) override;
-  void OnRegionUnmapping(RegionImpl& region) override;
-  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override;
-  void OnRegionProtection(RegionImpl& region) override;
-  Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) override;
-  Status OnRegionUnlock(RegionImpl& region) override;
+  Status ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
+                      MutexLock& lock) override GVM_REQUIRES(mu_);
+  void OnRegionMapped(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  void OnRegionUnmapping(RegionImpl& region) override GVM_REQUIRES(mu_);
+  void OnRegionSplit(RegionImpl& first, RegionImpl& second) override GVM_REQUIRES(mu_);
+  void OnRegionProtection(RegionImpl& region) override GVM_REQUIRES(mu_);
+  Status OnRegionLock(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  Status OnRegionUnlock(RegionImpl& region) override GVM_REQUIRES(mu_);
 
  private:
   friend class ShadowCache;
   friend class ObjectIo;
 
-  MemObject* NewObject(std::string name);
+  MemObject* NewObject(std::string name) GVM_REQUIRES(mu_);
 
   // Find the current value of (object, offset) down the chain.  Returns the
   // owning object and page, or (root, nullptr) when absent everywhere.
@@ -166,39 +166,39 @@ class ShadowVm final : public BaseMm {
     SegOffset offset = 0;
     size_t depth = 0;
   };
-  ChainHit ChainLookup(MemObject& start, SegOffset offset);
+  ChainHit ChainLookup(MemObject& start, SegOffset offset) GVM_REQUIRES(mu_);
 
   // Materialize a page in `object` with the given bytes (nullptr = zero).
   Result<ShadowPage*> MakePage(MemObject& object, SegOffset offset, const std::byte* bytes,
-                               bool dirty);
-  void DropPage(MemObject& object, ShadowPage& page);
+                               bool dirty) GVM_REQUIRES(mu_);
+  void DropPage(MemObject& object, ShadowPage& page) GVM_REQUIRES(mu_);
 
   // Get the value bytes for (object, offset), pulling from the root driver if
   // needed.  Lock held; may release it around the upcall.
-  Result<const std::byte*> ResolveBytes(std::unique_lock<std::mutex>& lock, MemObject& start,
+  Result<const std::byte*> ResolveBytes(MutexLock& lock, MemObject& start,
                                         SegOffset offset, ShadowPage** owner_page,
-                                        MemObject** owner);
+                                        MemObject** owner) GVM_REQUIRES(mu_);
 
-  Status CopyRange(std::unique_lock<std::mutex>& lock, ShadowCache& src, SegOffset src_off,
-                   ShadowCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy);
+  Status CopyRange(MutexLock& lock, ShadowCache& src, SegOffset src_off,
+                   ShadowCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy) GVM_REQUIRES(mu_);
 
   // Reference bookkeeping + the shadow-chain garbage collector.
-  bool ObjectReferenced(const MemObject& object) const;
-  void ReapUnreferenced(MemObject* object);
-  void CollapseChains();
+  bool ObjectReferenced(const MemObject& object) const GVM_REQUIRES(mu_);
+  void ReapUnreferenced(MemObject* object) GVM_REQUIRES(mu_);
+  void CollapseChains() GVM_REQUIRES(mu_);
 
-  void ProtectObjectRange(MemObject& object, SegOffset offset, size_t size);
+  void ProtectObjectRange(MemObject& object, SegOffset offset, size_t size) GVM_REQUIRES(mu_);
 
-  Status CacheAccess(std::unique_lock<std::mutex>& lock, ShadowCache& cache, SegOffset offset,
-                     void* buffer, size_t size, bool write);
+  Status CacheAccess(MutexLock& lock, ShadowCache& cache, SegOffset offset,
+                     void* buffer, size_t size, bool write) GVM_REQUIRES(mu_);
 
   Options options_;
-  CacheId next_cache_id_ = 1;
-  uint64_t next_object_id_ = 1;
-  std::unordered_map<CacheId, std::unique_ptr<ShadowCache>> caches_;
-  std::unordered_map<uint64_t, std::unique_ptr<MemObject>> objects_;
+  CacheId next_cache_id_ GVM_GUARDED_BY(mu_) = 1;
+  uint64_t next_object_id_ GVM_GUARDED_BY(mu_) = 1;
+  std::unordered_map<CacheId, std::unique_ptr<ShadowCache>> caches_ GVM_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::unique_ptr<MemObject>> objects_ GVM_GUARDED_BY(mu_);
   std::unordered_map<RegionImpl*, std::map<Vaddr, std::pair<MemObject*, SegOffset>>>
-      region_maps_;
+      region_maps_ GVM_GUARDED_BY(mu_);
 };
 
 }  // namespace gvm

@@ -1,0 +1,189 @@
+#include "src/sync/lock_rank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define GVM_LOCK_RANK_HAVE_BACKTRACE 1
+#else
+#define GVM_LOCK_RANK_HAVE_BACKTRACE 0
+#endif
+
+namespace gvm {
+namespace lock_rank {
+namespace {
+
+constexpr int kMaxHeld = 32;
+constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const void* mu = nullptr;
+  Rank rank = Rank::kUnranked;
+  const char* name = nullptr;
+#if GVM_LOCK_RANK_HAVE_BACKTRACE
+  void* frames[kMaxFrames];
+  int frame_count = 0;
+#endif
+};
+
+// Per-thread stack of held locks, in acquisition order.  Fixed-size and
+// trivially destructible so it is safe to use from any thread at any point
+// in its lifetime (no dynamic TLS destructor ordering hazards).
+thread_local HeldLock t_held[kMaxHeld];
+thread_local int t_held_count = 0;
+
+// 0 = uninitialized, 1 = off, 2 = on.  Initialized lazily from NDEBUG and
+// the GVM_LOCK_RANK environment variable; SetEnforced overrides.
+std::atomic<int> g_enforced{0};
+
+int ResolveEnforcedDefault() {
+#ifdef NDEBUG
+  int def = 1;
+#else
+  int def = 2;
+#endif
+  const char* env = std::getenv("GVM_LOCK_RANK");
+  if (env != nullptr && env[0] != '\0') {
+    def = (env[0] == '0') ? 1 : 2;
+  }
+  return def;
+}
+
+int EnforcedState() {
+  int state = g_enforced.load(std::memory_order_relaxed);
+  if (state == 0) {
+    state = ResolveEnforcedDefault();
+    int expected = 0;
+    if (!g_enforced.compare_exchange_strong(expected, state,
+                                            std::memory_order_relaxed)) {
+      state = expected;
+    }
+  }
+  return state;
+}
+
+void DumpBacktrace(const char* label, void* const* frames, int count) {
+#if GVM_LOCK_RANK_HAVE_BACKTRACE
+  std::fprintf(stderr, "  %s\n", label);
+  if (count > 0) {
+    backtrace_symbols_fd(const_cast<void* const*>(frames), count, 2);
+  } else {
+    std::fprintf(stderr, "    (no backtrace captured)\n");
+  }
+#else
+  (void)label;
+  (void)frames;
+  (void)count;
+#endif
+}
+
+void DumpHeldStack() {
+  std::fprintf(stderr, "lock-rank: thread holds %d lock(s):\n", t_held_count);
+  for (int i = 0; i < t_held_count; ++i) {
+    std::fprintf(stderr, "  [%d] %s (rank %d, %p)\n", i,
+                 t_held[i].name != nullptr ? t_held[i].name : "?",
+                 static_cast<int>(t_held[i].rank), t_held[i].mu);
+  }
+}
+
+[[noreturn]] void Violation(const char* kind, const HeldLock& prior,
+                            const void* mu, Rank rank, const char* name) {
+  std::fprintf(stderr,
+               "lock-rank violation: %s: acquiring %s (rank %d, %p) while "
+               "holding %s (rank %d, %p)\n",
+               kind, name != nullptr ? name : "?", static_cast<int>(rank), mu,
+               prior.name != nullptr ? prior.name : "?",
+               static_cast<int>(prior.rank), prior.mu);
+  DumpHeldStack();
+#if GVM_LOCK_RANK_HAVE_BACKTRACE
+  DumpBacktrace("stack that acquired the held lock:", prior.frames,
+                prior.frame_count);
+  void* frames[kMaxFrames];
+  int count = backtrace(frames, kMaxFrames);
+  DumpBacktrace("stack attempting the new acquisition:", frames, count);
+#endif
+  std::abort();
+}
+
+}  // namespace
+
+bool Enforced() { return EnforcedState() == 2; }
+
+void SetEnforced(bool on) {
+  g_enforced.store(on ? 2 : 1, std::memory_order_relaxed);
+}
+
+void BeforeAcquire(const void* mu, Rank rank, const char* name) {
+  if (!Enforced()) return;
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held[i].mu == mu) {
+      Violation("recursive acquisition", t_held[i], mu, rank, name);
+    }
+  }
+  if (rank != Rank::kUnranked && t_held_count > 0) {
+    // Ordering is checked against the highest-ranked lock currently held
+    // (not just the most recent): rank must strictly increase, so equal
+    // ranks — e.g. two MMU shards — are inversions too.
+    int worst = -1;
+    for (int i = 0; i < t_held_count; ++i) {
+      if (t_held[i].rank == Rank::kUnranked) continue;
+      if (worst < 0 || t_held[i].rank >= t_held[worst].rank) worst = i;
+    }
+    if (worst >= 0 && t_held[worst].rank >= rank) {
+      Violation("rank inversion", t_held[worst], mu, rank, name);
+    }
+  }
+  if (t_held_count >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "lock-rank violation: thread holds more than %d locks "
+                 "acquiring %s\n",
+                 kMaxHeld, name != nullptr ? name : "?");
+    DumpHeldStack();
+    std::abort();
+  }
+  HeldLock& slot = t_held[t_held_count++];
+  slot.mu = mu;
+  slot.rank = rank;
+  slot.name = name;
+#if GVM_LOCK_RANK_HAVE_BACKTRACE
+  slot.frame_count = backtrace(slot.frames, kMaxFrames);
+#endif
+}
+
+void OnRelease(const void* mu) {
+  // Pop even when enforcement is off, so the stack stays consistent if
+  // enforcement is toggled while locks are held.
+  // Locks may be released in any order; compact the stack.
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i].mu == mu) {
+      for (int j = i; j + 1 < t_held_count; ++j) {
+        t_held[j] = t_held[j + 1];
+      }
+      --t_held_count;
+      return;
+    }
+  }
+  // Releasing a lock we never saw acquired: tolerated, because enforcement
+  // may have been flipped on while locks were already held.
+}
+
+void AssertHeld(const void* mu, const char* name) {
+  if (!Enforced()) return;
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held[i].mu == mu) return;
+  }
+  std::fprintf(stderr,
+               "lock-rank violation: %s (%p) required but not held by this "
+               "thread\n",
+               name != nullptr ? name : "?", mu);
+  DumpHeldStack();
+  std::abort();
+}
+
+int HeldCount() { return t_held_count; }
+
+}  // namespace lock_rank
+}  // namespace gvm

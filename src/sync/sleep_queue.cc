@@ -2,39 +2,43 @@
 
 namespace gvm {
 
-// Correctness note: callers must hold the same mutex (`lock`) when calling Wait and
-// when calling WakeAll.  That mutex — not table_mutex_ — is what closes the missed-
-// wakeup window: a waiter holds it continuously from deciding to sleep until
-// cv.wait() atomically releases it, so a waker cannot complete the state change and
-// notify in between.  table_mutex_ only protects the waiter table itself.
+// Correctness note: callers must hold the same mutex (`mu`) when calling Wait
+// and when calling WakeAll.  That mutex — not table_mutex_ — is what closes the
+// missed-wakeup window: a waiter holds it continuously from deciding to sleep
+// until CondVar::Wait atomically releases it, so a waker cannot complete the
+// state change and notify in between.  table_mutex_ only protects the waiter
+// table itself, and ranks above every caller mutex so it can nest inside any
+// of them.
 
-void SleepQueue::Wait(uint64_t key, std::unique_lock<std::mutex>& lock) {
+void SleepQueue::Wait(uint64_t key, Mutex& mu) {
+  mu.AssertHeld();
   Waiters* waiters;
   {
-    std::lock_guard<std::mutex> table_lock(table_mutex_);
+    MutexLock table_lock(table_mutex_);
     waiters = &table_[key];  // unordered_map values are node-stable
     ++waiters->count;
   }
-  waiters->cv.wait(lock);
+  waiters->cv.Wait(mu);
   {
-    std::lock_guard<std::mutex> table_lock(table_mutex_);
+    MutexLock table_lock(table_mutex_);
     if (--waiters->count == 0) {
       table_.erase(key);
     }
   }
 }
 
-void SleepQueue::WakeAll(uint64_t key) {
-  std::lock_guard<std::mutex> table_lock(table_mutex_);
+void SleepQueue::WakeAll(uint64_t key, Mutex& mu) {
+  mu.AssertHeld();
+  MutexLock table_lock(table_mutex_);
   auto it = table_.find(key);
   if (it != table_.end()) {
     ++it->second.generation;
-    it->second.cv.notify_all();
+    it->second.cv.NotifyAll();
   }
 }
 
 size_t SleepQueue::SleeperCount() const {
-  std::lock_guard<std::mutex> table_lock(table_mutex_);
+  MutexLock table_lock(table_mutex_);
   size_t total = 0;
   for (const auto& [key, waiters] : table_) {
     total += static_cast<size_t>(waiters.count);

@@ -7,36 +7,38 @@
 #ifndef GVM_SRC_SYNC_SLEEP_QUEUE_H_
 #define GVM_SRC_SYNC_SLEEP_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
+
+#include "src/sync/annotated_mutex.h"
 
 namespace gvm {
 
 class SleepQueue {
  public:
-  // Blocks until WakeAll(key) is called.  `lock` must be held on entry; it is
-  // released while sleeping and reacquired before returning (classic kernel
-  // sleep semantics).  Spurious wakeups are possible: callers re-check state.
-  void Wait(uint64_t key, std::unique_lock<std::mutex>& lock);
+  // Blocks until WakeAll(key) is called.  `mu` must be held on entry (enforced
+  // by TSA and by a runtime AssertHeld); it is released while sleeping and
+  // reacquired before returning (classic kernel sleep semantics).  Spurious
+  // wakeups are possible: callers re-check state.
+  void Wait(uint64_t key, Mutex& mu) GVM_REQUIRES(mu);
 
-  // Wakes every thread sleeping on `key`.  The caller should hold the same mutex
-  // the sleepers used, but this is not enforced.
-  void WakeAll(uint64_t key);
+  // Wakes every thread sleeping on `key`.  The caller must hold the same mutex
+  // the sleepers used — that mutex, not table_mutex_, closes the missed-wakeup
+  // window — so the former soft contract is now enforced like Wait's.
+  void WakeAll(uint64_t key, Mutex& mu) GVM_REQUIRES(mu);
 
   // Number of threads currently asleep on any key (for tests).
   size_t SleeperCount() const;
 
  private:
   struct Waiters {
-    std::condition_variable cv;
+    CondVar cv;
     int count = 0;
     uint64_t generation = 0;
   };
 
-  mutable std::mutex table_mutex_;
-  std::unordered_map<uint64_t, Waiters> table_;
+  mutable Mutex table_mutex_{Rank::kSleepQueueTable, "SleepQueue::table_mutex_"};
+  std::unordered_map<uint64_t, Waiters> table_ GVM_GUARDED_BY(table_mutex_);
 };
 
 }  // namespace gvm

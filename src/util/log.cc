@@ -3,14 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "src/sync/annotated_mutex.h"
 
 namespace gvm {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kError)};
-std::mutex g_log_mutex;
+// kLog is the highest rank: logging is legal with any kernel lock held.
+Mutex g_log_mutex{Rank::kLog, "g_log_mutex"};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -34,7 +36,7 @@ void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void LogLine(LogLevel level, const std::string& line) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelTag(level), line.c_str());
 }
 

@@ -30,19 +30,19 @@ bool RegionImpl::VaOf(SegOffset seg_offset, Vaddr* out) const {
 }
 
 Result<Region*> RegionImpl::Split(uint64_t offset) {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   return mm_.SplitRegionLocked(*this, offset);
 }
 
 Status RegionImpl::SetProtection(Prot prot) {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   prot_ = prot;
   mm_.OnRegionProtection(*this);
   return Status::kOk;
 }
 
 Status RegionImpl::LockInMemory() {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   Status s = mm_.OnRegionLock(*this, lock);
   if (s == Status::kOk) {
     locked_ = true;
@@ -51,7 +51,7 @@ Status RegionImpl::LockInMemory() {
 }
 
 Status RegionImpl::Unlock() {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   if (!locked_) {
     return Status::kOk;
   }
@@ -71,7 +71,7 @@ RegionStatus RegionImpl::GetStatus() const {
 }
 
 Status RegionImpl::Destroy() {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   return mm_.DestroyRegionLocked(*this);
 }
 
@@ -84,7 +84,7 @@ ContextImpl::ContextImpl(BaseMm& mm, AsId as) : mm_(mm), as_(as) {}
 ContextImpl::~ContextImpl() = default;
 
 std::vector<RegionStatus> ContextImpl::GetRegionList() const {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   std::vector<RegionStatus> list;
   list.reserve(regions_.size());
   for (const auto& [start, region] : regions_) {
@@ -106,7 +106,7 @@ RegionImpl* ContextImpl::FindRegionLocked(Vaddr va) {
 }
 
 Result<Region*> ContextImpl::FindRegion(Vaddr va) {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   RegionImpl* region = FindRegionLocked(va);
   if (region == nullptr) {
     return Status::kNotFound;
@@ -115,12 +115,12 @@ Result<Region*> ContextImpl::FindRegion(Vaddr va) {
 }
 
 void ContextImpl::Switch() {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   mm_.current_context_ = this;
 }
 
 Status ContextImpl::Destroy() {
-  std::unique_lock<std::mutex> lock(mm_.mu_);
+  MutexLock lock(mm_.mu_);
   return mm_.DestroyContextLocked(*this);
 }
 
@@ -137,7 +137,7 @@ BaseMm::BaseMm(PhysicalMemory& memory, Mmu& mmu, bool enable_tlb)
 BaseMm::~BaseMm() = default;
 
 Result<Context*> BaseMm::ContextCreate() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Result<AsId> as = mmu_.CreateAddressSpace();
   if (!as.ok()) {
     return as.status();
@@ -155,7 +155,7 @@ Result<Region*> BaseMm::RegionCreate(Context& context, Vaddr address, uint64_t s
       !IsAligned(offset, page)) {
     return Status::kInvalidArgument;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& impl = static_cast<ContextImpl&>(context);
   // Reject overlap with an existing region.
   auto next = impl.regions_.lower_bound(address);
@@ -171,12 +171,12 @@ Result<Region*> BaseMm::RegionCreate(Context& context, Vaddr address, uint64_t s
   auto region = std::make_unique<RegionImpl>(*this, impl, address, size, prot, cache, offset);
   RegionImpl* raw = region.get();
   impl.regions_.emplace(address, std::move(region));
-  OnRegionMapped(*raw);
+  OnRegionMapped(*raw, lock);
   return static_cast<Region*>(raw);
 }
 
 Status BaseMm::HandleFault(const PageFault& fault) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto ctx_it = contexts_.find(fault.address_space);
   if (ctx_it == contexts_.end()) {
     return Status::kSegmentationFault;
@@ -195,7 +195,7 @@ Status BaseMm::HandleFault(const PageFault& fault) {
   const SegOffset page_offset = region->OffsetOf(page_va);
   // ResolveFault runs with the lock held; implementations that must upcall to a
   // segment driver release it internally (see PagedVm::PullInLocked).
-  return ResolveFault(*region, fault, page_offset);
+  return ResolveFault(*region, fault, page_offset, lock);
 }
 
 RegionImpl* BaseMm::RelookupRegion(const PageFault& fault) {
@@ -262,7 +262,7 @@ Result<Region*> BaseMm::SplitRegionLocked(RegionImpl& region, uint64_t offset) {
 }
 
 size_t BaseMm::ContextCount() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return contexts_.size();
 }
 

@@ -6,15 +6,16 @@
 // and differ only in cache implementation and fault resolution, which are the
 // subclass hooks below.
 //
-// Locking: one manager-wide mutex (`mu_`).  Public GMI entry points and the fault
-// handler acquire it; subclass hooks are called with it held.  Subclasses must
-// release it (via the guard they own) around upcalls to segment drivers.
+// Locking: one manager-wide mutex (`mu_`, rank kMmManager, a TSA capability).
+// Public GMI entry points and the fault handler acquire it; subclass hooks are
+// called with it held (GVM_REQUIRES below, re-stated on every override since
+// thread-safety attributes are not inherited).  Subclasses must release it —
+// via the MutexLock they are handed — around upcalls to segment drivers.
 #ifndef GVM_SRC_VMBASE_BASE_MM_H_
 #define GVM_SRC_VMBASE_BASE_MM_H_
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "src/hal/mmu.h"
 #include "src/hal/phys_memory.h"
 #include "src/hal/tlb.h"
+#include "src/sync/annotated_mutex.h"
 
 namespace gvm {
 
@@ -62,6 +64,10 @@ class RegionImpl final : public Region {
  private:
   friend class BaseMm;
 
+  // All mutable fields below are protected by mm_.mu_; the accessors above are
+  // documented-discipline (annotating them would force REQUIRES onto every
+  // const read path without adding real checking power — the writers all go
+  // through BaseMm, which is annotated).
   BaseMm& mm_;
   ContextImpl& context_;
   Vaddr start_;
@@ -93,7 +99,9 @@ class ContextImpl final : public Context {
 
   BaseMm& mm_;
   AsId as_;
-  // Regions sorted by start address (the paper's per-context sorted region list).
+  // Regions sorted by start address (the paper's per-context sorted region
+  // list).  Guarded by the manager-wide mutex; accessed via the BaseMm
+  // friendship from annotated REQUIRES(mu_) code.
   std::map<Vaddr, std::unique_ptr<RegionImpl>> regions_;
 };
 
@@ -107,16 +115,22 @@ class BaseMm : public MemoryManager {
   ~BaseMm() override;
 
   // ---- MemoryManager ----
-  Result<Context*> ContextCreate() override;
+  Result<Context*> ContextCreate() override GVM_EXCLUDES(mu_);
   Result<Region*> RegionCreate(Context& context, Vaddr address, uint64_t size, Prot prot,
-                               Cache& cache, SegOffset offset) override;
+                               Cache& cache, SegOffset offset) override GVM_EXCLUDES(mu_);
   void BindSegmentRegistry(SegmentRegistry* registry) override { registry_ = registry; }
   Cpu& cpu() override { return cpu_; }
-  const MmStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = MmStats{}; }
+  MmStats stats() const override GVM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override GVM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    stats_ = MmStats{};
+  }
 
   // ---- FaultHandler ----
-  Status HandleFault(const PageFault& fault) override;
+  Status HandleFault(const PageFault& fault) override GVM_EXCLUDES(mu_);
 
   PhysicalMemory& memory() { return memory_; }
   const PhysicalMemory& memory() const { return memory_; }
@@ -128,63 +142,70 @@ class BaseMm : public MemoryManager {
   size_t page_size() const { return memory_.page_size(); }
 
   // Number of live contexts (for leak checks in tests).
-  size_t ContextCount() const;
+  size_t ContextCount() const GVM_EXCLUDES(mu_);
 
  protected:
   // ---- Subclass hooks (MM lock held unless noted) ----
 
   // Resolve one page fault: `page_offset` is the page-aligned offset of the fault
   // within the region's cache.  kOk means "mapping installed, retry the access".
+  // `lock` is the guard HandleFault owns; implementations that must upcall to a
+  // segment driver drop and retake it through `lock` (see PagedVm::PullInLocked).
   virtual Status ResolveFault(RegionImpl& region, const PageFault& fault,
-                              SegOffset page_offset) = 0;
+                              SegOffset page_offset, MutexLock& lock) GVM_REQUIRES(mu_) = 0;
 
   // A region was mapped over `cache` / is about to be unmapped.  Subclasses track
   // mapping counts and tear down MMU state for resident pages (O(resident), never
   // O(region size) — the size-independence property of section 4.1).
-  virtual void OnRegionMapped(RegionImpl& region) = 0;
-  virtual void OnRegionUnmapping(RegionImpl& region) = 0;
+  // OnRegionMapped receives the caller's guard: the minimal MM eagerly loads
+  // the region's pages, dropping the lock around each driver upcall.
+  virtual void OnRegionMapped(RegionImpl& region, MutexLock& lock) GVM_REQUIRES(mu_) = 0;
+  virtual void OnRegionUnmapping(RegionImpl& region) GVM_REQUIRES(mu_) = 0;
 
   // `first` was split; `second` is the new upper half.  Subclasses migrate their
   // per-region bookkeeping (mapped-page tables) for addresses now owned by `second`.
-  virtual void OnRegionSplit(RegionImpl& first, RegionImpl& second) = 0;
+  virtual void OnRegionSplit(RegionImpl& first, RegionImpl& second) GVM_REQUIRES(mu_) = 0;
 
   // Apply a protection change to the pages of `region` currently in the MMU.
-  virtual void OnRegionProtection(RegionImpl& region) = 0;
+  virtual void OnRegionProtection(RegionImpl& region) GVM_REQUIRES(mu_) = 0;
 
   // Pin / unpin the region's pages (lockInMemory may need to fault pages in, so it
   // may release and retake the lock via `lock`).
-  virtual Status OnRegionLock(RegionImpl& region, std::unique_lock<std::mutex>& lock) = 0;
-  virtual Status OnRegionUnlock(RegionImpl& region) = 0;
+  virtual Status OnRegionLock(RegionImpl& region, MutexLock& lock) GVM_REQUIRES(mu_) = 0;
+  virtual Status OnRegionUnlock(RegionImpl& region) GVM_REQUIRES(mu_) = 0;
 
   // Re-derive the region for a fault after the lock was dropped (the region may
   // have been destroyed or replaced in the meantime).  Lock must be held.
-  RegionImpl* RelookupRegion(const PageFault& fault);
+  RegionImpl* RelookupRegion(const PageFault& fault) GVM_REQUIRES(mu_);
 
-  std::mutex& mu() { return mu_; }
   SegmentRegistry* registry() { return registry_; }
-  MmStats& mutable_stats() { return stats_; }
-  ContextImpl* current_context() { return current_context_; }
+  MmStats& mutable_stats() GVM_REQUIRES(mu_) { return stats_; }
+  ContextImpl* current_context() GVM_REQUIRES(mu_) { return current_context_; }
 
   // Stats bump helpers used by subclasses.
-  void CountFault(const PageFault& fault);
+  void CountFault(const PageFault& fault) GVM_REQUIRES(mu_);
+
+  // The manager-wide mutex.  Protected (not private) so subclasses name it
+  // directly in GUARDED_BY/REQUIRES annotations — TSA unifies the capability
+  // expression `mu_` across BaseMm and its subclasses.
+  mutable Mutex mu_{Rank::kMmManager, "BaseMm::mu_"};
 
  private:
   friend class ContextImpl;
   friend class RegionImpl;
 
-  Status DestroyContextLocked(ContextImpl& context);
-  Status DestroyRegionLocked(RegionImpl& region);
-  Result<Region*> SplitRegionLocked(RegionImpl& region, uint64_t offset);
+  Status DestroyContextLocked(ContextImpl& context) GVM_REQUIRES(mu_);
+  Status DestroyRegionLocked(RegionImpl& region) GVM_REQUIRES(mu_);
+  Result<Region*> SplitRegionLocked(RegionImpl& region, uint64_t offset) GVM_REQUIRES(mu_);
 
   PhysicalMemory& memory_;
   TlbMmu tlb_mmu_;  // wraps the constructor's Mmu; declared before mmu_/cpu_
   Mmu& mmu_;        // == tlb_mmu_: every manager MMU call goes through the TLB
   Cpu cpu_;
   SegmentRegistry* registry_ = nullptr;
-  mutable std::mutex mu_;
-  std::unordered_map<AsId, std::unique_ptr<ContextImpl>> contexts_;
-  ContextImpl* current_context_ = nullptr;
-  MmStats stats_;
+  std::unordered_map<AsId, std::unique_ptr<ContextImpl>> contexts_ GVM_GUARDED_BY(mu_);
+  ContextImpl* current_context_ GVM_GUARDED_BY(mu_) = nullptr;
+  MmStats stats_ GVM_GUARDED_BY(mu_);
 };
 
 }  // namespace gvm

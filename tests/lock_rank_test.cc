@@ -1,0 +1,182 @@
+// Tests for the runtime lock-rank validator (src/sync/lock_rank.{h,cc}).
+//
+// The build default is RelWithDebInfo (NDEBUG), where enforcement is off, so
+// every test turns it on explicitly via SetEnforced(true) — the same switch CI
+// debug builds get for free.  Death tests use the "threadsafe" style because
+// some of them spawn threads inside the dying statement.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "src/sync/annotated_mutex.h"
+#include "src/sync/lock_rank.h"
+
+namespace gvm {
+namespace {
+
+// Bodies of the death tests live outside EXPECT_DEATH because brace-init
+// commas (Mutex m{rank, name}) confuse the macro's argument splitting.
+
+void InversionBody() {
+  lock_rank::SetEnforced(true);
+  Mutex shard{Rank::kMmuShard, "death::shard"};
+  Mutex ipc{Rank::kIpc, "death::ipc"};
+  MutexLock a(shard);
+  MutexLock b(ipc);  // rank 20 after rank 40: inversion
+}
+
+void EqualRankBody() {
+  lock_rank::SetEnforced(true);
+  SharedMutex s0{Rank::kMmuShard, "death::shard0"};
+  SharedMutex s1{Rank::kMmuShard, "death::shard1"};
+  WriterLock a(s0);
+  WriterLock b(s1);  // two shards at once: equal rank is an inversion too
+}
+
+void RecursiveBody() {
+  lock_rank::SetEnforced(true);
+  Mutex mu{Rank::kMmManager, "death::recursive"};
+  mu.Lock();
+  mu.Lock();  // self-deadlock; must abort, not hang
+}
+
+void AssertNotHeldBody() {
+  lock_rank::SetEnforced(true);
+  Mutex mu{Rank::kMmManager, "death::assert"};
+  mu.AssertHeld();
+}
+
+void UnrankedRecursiveBody() {
+  lock_rank::SetEnforced(true);
+  Mutex mu{Rank::kUnranked, "death::adhoc"};
+  mu.Lock();
+  mu.Lock();
+}
+
+// The deadlock hunter: two threads take two equal-rank "shards" in opposite
+// orders, the classic ABBA deadlock.  The validator must abort on the second
+// acquisition of whichever thread gets there first — *before* blocking — so
+// the child process dies instead of hanging.  Seeded so a failure replays.
+void ShardCrossingHunterBody() {
+  lock_rank::SetEnforced(true);
+  constexpr int kShards = 4;
+  static SharedMutex shards[kShards] = {
+      SharedMutex{Rank::kMmuShard, "hunt::shard0"},
+      SharedMutex{Rank::kMmuShard, "hunt::shard1"},
+      SharedMutex{Rank::kMmuShard, "hunt::shard2"},
+      SharedMutex{Rank::kMmuShard, "hunt::shard3"},
+  };
+  std::atomic<bool> go{false};
+  auto hunter = [&](uint64_t seed, bool forward) {
+    std::mt19937_64 rng(seed);
+    while (!go.load()) {
+    }
+    for (int round = 0; round < 1000; ++round) {
+      int a = static_cast<int>(rng() % kShards);
+      int b = static_cast<int>(rng() % (kShards - 1));
+      if (b >= a) ++b;  // distinct shards
+      if (!forward) std::swap(a, b);
+      WriterLock first(shards[a]);
+      WriterLock second(shards[b]);  // must abort here, every round
+    }
+  };
+  std::thread t1(hunter, /*seed=*/0xC0FFEE, /*forward=*/true);
+  std::thread t2(hunter, /*seed=*/0xC0FFEE, /*forward=*/false);
+  go.store(true);
+  t1.join();
+  t2.join();
+}
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    lock_rank::SetEnforced(true);
+  }
+  void TearDown() override { lock_rank::SetEnforced(false); }
+};
+
+TEST_F(LockRankTest, InOrderAcquisitionPasses) {
+  Mutex client{Rank::kClient, "test::client"};
+  Mutex ipc{Rank::kIpc, "test::ipc"};
+  Mutex manager{Rank::kMmManager, "test::manager"};
+  SharedMutex shard{Rank::kMmuShard, "test::shard"};
+
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+  {
+    MutexLock a(client);
+    MutexLock b(ipc);
+    MutexLock c(manager);
+    WriterLock d(shard);
+    EXPECT_EQ(lock_rank::HeldCount(), 4);
+  }
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+
+  // Shared acquisitions rank exactly like exclusive ones.
+  {
+    MutexLock c(manager);
+    ReaderLock d(shard);
+    EXPECT_EQ(lock_rank::HeldCount(), 2);
+  }
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+}
+
+TEST_F(LockRankTest, ReleaseOutOfOrderIsFine) {
+  Mutex low{Rank::kIpc, "test::low"};
+  Mutex high{Rank::kMmManager, "test::high"};
+  low.Lock();
+  high.Lock();
+  low.Unlock();  // release the *older* lock first: legal, stack compacts
+  EXPECT_EQ(lock_rank::HeldCount(), 1);
+  high.Unlock();
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+}
+
+TEST_F(LockRankTest, InversionAborts) {
+  EXPECT_DEATH(InversionBody(), "lock-rank violation: rank inversion");
+}
+
+TEST_F(LockRankTest, EqualRankCountsAsInversion) {
+  EXPECT_DEATH(EqualRankBody(), "lock-rank violation: rank inversion");
+}
+
+TEST_F(LockRankTest, RecursiveAcquisitionAborts) {
+  EXPECT_DEATH(RecursiveBody(), "lock-rank violation: recursive acquisition");
+}
+
+TEST_F(LockRankTest, AssertHeldAbortsWhenNotHeld) {
+  EXPECT_DEATH(AssertNotHeldBody(), "required but not held");
+}
+
+TEST_F(LockRankTest, UnrankedIsExemptFromOrderingButNotRecursion) {
+  Mutex adhoc{Rank::kUnranked, "test::adhoc"};
+  Mutex manager{Rank::kMmManager, "test::manager"};
+  {
+    // Unranked under and over ranked locks: both directions legal.
+    MutexLock a(manager);
+    MutexLock b(adhoc);
+  }
+  EXPECT_DEATH(UnrankedRecursiveBody(),
+               "lock-rank violation: recursive acquisition");
+}
+
+TEST_F(LockRankTest, DisabledEnforcementDoesNotAbort) {
+  lock_rank::SetEnforced(false);
+  Mutex shard{Rank::kMmuShard, "test::shard"};
+  Mutex ipc{Rank::kIpc, "test::ipc"};
+  {
+    MutexLock a(shard);
+    MutexLock b(ipc);  // inversion, but unchecked
+  }
+  lock_rank::SetEnforced(true);
+}
+
+TEST_F(LockRankTest, TwoThreadShardCrossingHunterTripsBeforeDeadlock) {
+  EXPECT_DEATH(ShardCrossingHunterBody(),
+               "lock-rank violation: rank inversion");
+}
+
+}  // namespace
+}  // namespace gvm

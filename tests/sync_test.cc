@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 
+#include "src/sync/annotated_mutex.h"
 #include "src/sync/sleep_queue.h"
 
 namespace gvm {
@@ -11,14 +11,14 @@ namespace {
 
 TEST(SleepQueueTest, WakeAllReleasesSleepers) {
   SleepQueue queue;
-  std::mutex mu;
+  Mutex mu{Rank::kClient, "sync_test::mu"};
   std::atomic<int> woken{0};
   std::atomic<bool> ready{false};
 
   auto sleeper = [&] {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     while (!ready.load()) {
-      queue.Wait(42, lock);
+      queue.Wait(42, mu);
     }
     ++woken;
   };
@@ -30,9 +30,9 @@ TEST(SleepQueueTest, WakeAllReleasesSleepers) {
     std::this_thread::yield();
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     ready = true;
-    queue.WakeAll(42);
+    queue.WakeAll(42, mu);
   }
   t1.join();
   t2.join();
@@ -42,14 +42,14 @@ TEST(SleepQueueTest, WakeAllReleasesSleepers) {
 
 TEST(SleepQueueTest, WakeIsKeySpecific) {
   SleepQueue queue;
-  std::mutex mu;
+  Mutex mu{Rank::kClient, "sync_test::mu"};
   std::atomic<bool> ready{false};
   std::atomic<int> wakeups{0};
 
   std::thread t([&] {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     while (!ready.load()) {
-      queue.Wait(1, lock);
+      queue.Wait(1, mu);
       ++wakeups;
     }
   });
@@ -59,14 +59,14 @@ TEST(SleepQueueTest, WakeIsKeySpecific) {
   {
     // Waking a different key must not (deterministically) release the sleeper;
     // after this the sleeper is still waiting on key 1.
-    std::lock_guard<std::mutex> lock(mu);
-    queue.WakeAll(2);
+    MutexLock lock(mu);
+    queue.WakeAll(2, mu);
   }
   EXPECT_EQ(queue.SleeperCount(), 1u);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     ready = true;
-    queue.WakeAll(1);
+    queue.WakeAll(1, mu);
   }
   t.join();
   EXPECT_GE(wakeups.load(), 1);
@@ -74,7 +74,9 @@ TEST(SleepQueueTest, WakeIsKeySpecific) {
 
 TEST(SleepQueueTest, WakeWithNoSleepersIsNoop) {
   SleepQueue queue;
-  queue.WakeAll(99);
+  Mutex mu{Rank::kClient, "sync_test::mu"};
+  MutexLock lock(mu);
+  queue.WakeAll(99, mu);
   EXPECT_EQ(queue.SleeperCount(), 0u);
 }
 

@@ -6,10 +6,10 @@
 #include <atomic>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "src/fault/fault_injector.h"
+#include "src/sync/annotated_mutex.h"
 #include "src/gmi/cache.h"
 #include "src/gmi/segment_driver.h"
 
@@ -39,7 +39,7 @@ class TestStoreDriver : public SegmentDriver {
     }
     std::vector<std::byte> buffer(size);
     {
-      std::lock_guard<std::mutex> guard(mu_);
+      MutexLock guard(mu_);
       for (size_t i = 0; i < size; i += page_size_) {
         auto it = store_.find(offset + i);
         if (it != store_.end()) {
@@ -77,7 +77,7 @@ class TestStoreDriver : public SegmentDriver {
     if (s != Status::kOk) {
       return s;
     }
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     for (size_t i = 0; i < size; i += page_size_) {
       auto& page = store_[offset + i];
       page.assign(buffer.data() + i,
@@ -90,7 +90,7 @@ class TestStoreDriver : public SegmentDriver {
   // Pre-populate the backing store.
   void Preload(SegOffset offset, const void* data, size_t size) {
     const auto* bytes = static_cast<const std::byte*>(data);
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     for (size_t i = 0; i < size; i += page_size_) {
       auto& page = store_[offset + i];
       page.assign(bytes + i, bytes + i + std::min(page_size_, size - i));
@@ -99,11 +99,11 @@ class TestStoreDriver : public SegmentDriver {
   }
 
   bool HasPage(SegOffset offset) const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return store_.contains(offset);
   }
   const std::vector<std::byte>& PageData(SegOffset offset) {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return store_[offset];
   }
 
@@ -120,8 +120,11 @@ class TestStoreDriver : public SegmentDriver {
 
  private:
   const size_t page_size_;
-  mutable std::mutex mu_;
-  std::map<SegOffset, std::vector<std::byte>> store_;  // page-aligned keys
+  // kClient: the store lock is taken during mapper upcalls, with no kernel lock
+  // held (the managers drop theirs around pullIn/pushOut), and is always
+  // released before FillUp/CopyBack re-enter the manager (kMmManager).
+  mutable Mutex mu_{Rank::kClient, "TestStoreDriver::mu_"};
+  std::map<SegOffset, std::vector<std::byte>> store_ GVM_GUARDED_BY(mu_);  // page-aligned keys
 };
 
 // A SegmentRegistry handing out swap drivers for MM-created caches.

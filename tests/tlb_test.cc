@@ -395,6 +395,18 @@ TEST(TlbStaleHunterTest, UnmapNeverFollowedByStaleHitOnAnotherCpu) {
   EXPECT_GE(tlb.tlb_stats().shootdowns, static_cast<uint64_t>(kMutations));
 }
 
+// Two simulated CPUs may write the same frame word at once (both legitimately
+// hold write permission); model that hardware-racy-but-defined access with
+// relaxed atomics so TSan checks the *kernel*, not the test's RAM model.
+uint64_t LoadFrameWord(const std::byte* p) {
+  uint64_t v;
+  __atomic_load(reinterpret_cast<const uint64_t*>(p), &v, __ATOMIC_RELAXED);
+  return v;
+}
+void StoreFrameWord(std::byte* p, uint64_t v) {
+  __atomic_store(reinterpret_cast<uint64_t*>(p), &v, __ATOMIC_RELAXED);
+}
+
 TEST(TlbStaleHunterTest, DowngradeNeverFollowedByStaleWriteOnAnotherCpu) {
   constexpr size_t kPages = 8;
   constexpr int kWriters = 3;
@@ -420,7 +432,7 @@ TEST(TlbStaleHunterTest, DowngradeNeverFollowedByStaleWriteOnAnotherCpu) {
         const size_t p = rng() % kPages;
         const uint64_t value = (static_cast<uint64_t>(w + 1) << 56) | stamp++;
         const auto body = [&](FrameIndex frame) {
-          std::memcpy(memory.FrameData(frame), &value, sizeof(uint64_t));
+          StoreFrameWord(memory.FrameData(frame), value);
         };
         // Protection faults are expected while the page is read-only; what may
         // never happen is the write landing after Protect(kRead) returned.
@@ -435,16 +447,13 @@ TEST(TlbStaleHunterTest, DowngradeNeverFollowedByStaleWriteOnAnotherCpu) {
     // Downgrade: once Protect returns, the shootdown has drained every in-flight
     // writer; the frame bytes must now be frozen.
     ASSERT_EQ(tlb.Protect(as, PageVa(p), Prot::kRead), Status::kOk);
-    uint64_t snapshot = 0;
-    std::memcpy(&snapshot, memory.FrameData(static_cast<FrameIndex>(p)),
-                sizeof(uint64_t));
+    const uint64_t snapshot = LoadFrameWord(memory.FrameData(static_cast<FrameIndex>(p)));
     // Each yield donates a scheduler quantum to the spinning writers, so even
     // a handful of iterations gives every writer a chance to land a stale
     // write; more just multiplies runtime on a loaded host.
     for (int spin = 0; spin < 8; ++spin) {
       std::this_thread::yield();
-      uint64_t now = 0;
-      std::memcpy(&now, memory.FrameData(static_cast<FrameIndex>(p)), sizeof(uint64_t));
+      const uint64_t now = LoadFrameWord(memory.FrameData(static_cast<FrameIndex>(p)));
       ASSERT_EQ(now, snapshot) << "write landed after downgrade completed (cycle "
                                << i << ", page " << p << ")";
     }
