@@ -32,6 +32,11 @@ class CoherentMapper final : public Mapper {
     return cluster_.DirectoryFillProt(site_.id(), key, offset);
   }
 
+  // Directory operations recall other sites, whose push-outs re-enter their
+  // own servers: serve locks held across that nesting would form a lock-order
+  // cycle with the segment managers, so coherent dispatch stays lock-free.
+  bool thread_safe_dispatch() const override { return true; }
+
  private:
   DsmCluster& cluster_;
   DsmSite& site_;

@@ -21,6 +21,9 @@ constexpr SiteNameEntry kSiteNames[] = {
     {"recv", FaultSite::kIpcReceive},
     {"frame", FaultSite::kFrameAlloc},
     {"swap", FaultSite::kSwapAlloc},
+    {"crashwrite", FaultSite::kCrashMapperBeforeWrite},
+    {"crashmidwrite", FaultSite::kCrashMapperMidWrite},
+    {"crashreply", FaultSite::kCrashMapperBeforeReply},
 };
 
 // Errors a spec may name; anything else is a spec error.
@@ -34,6 +37,8 @@ constexpr ErrorNameEntry kErrorNames[] = {
     {"nomemory", Status::kNoMemory},
     {"noswap", Status::kNoSwap},
     {"notfound", Status::kNotFound},
+    {"portdead", Status::kPortDead},
+    {"timeout", Status::kTimeout},
 };
 
 std::vector<std::string_view> SplitColons(std::string_view s) {

@@ -35,13 +35,24 @@ enum class FaultSite : int {
   kFrameAlloc,       // physical page-frame allocation
   kSwapAlloc,        // backing-store allocation inside the default mapper /
                      // swap registry (distinct from the AllocTemp RPC itself)
+  // Crash-class sites: instead of an error *return*, the component hosting the
+  // site kills its MapperServer at the injected point (the server stops
+  // serving and its port dies; in-flight callers see kPortDead).  The injected
+  // Status is irrelevant for these — firing at all means "crash here".
+  kCrashMapperBeforeWrite,  // before the journal record is appended: the write
+                            // is lost entirely (never acknowledged)
+  kCrashMapperMidWrite,     // mid-append: a torn record prefix reaches the
+                            // journal; Recover() must detect and discard it
+  kCrashMapperBeforeReply,  // after the operation applied durably but before
+                            // the reply is sent: the ack is lost, the data not
   kSiteCount,
 };
 
 inline constexpr int kFaultSiteCount = static_cast<int>(FaultSite::kSiteCount);
 
 // Short stable name ("read", "write", "alloctemp", "send", "recv", "frame",
-// "swap") used by the spec grammar and in log/test output.
+// "swap", "crashwrite", "crashmidwrite", "crashreply") used by the spec
+// grammar and in log/test output.
 std::string_view FaultSiteName(FaultSite site);
 bool ParseFaultSite(std::string_view name, FaultSite* out);
 

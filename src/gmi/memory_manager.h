@@ -45,6 +45,15 @@ class MemoryManager : public FaultHandler {
   // The hardware this manager drives (simulation glue for tests and benchmarks).
   virtual Cpu& cpu() = 0;
 
+  // A mapper this manager depends on crashed and was recovered (journal
+  // replayed, port revived).  Managers override to fold the recovery into
+  // their accounting and re-arm any degraded state; the default ignores it.
+  virtual void NoteMapperRecovery(uint64_t records_replayed,
+                                  uint64_t records_discarded) {
+    (void)records_replayed;
+    (void)records_discarded;
+  }
+
   // Snapshot of the manager counters, taken under the manager lock (returned
   // by value: implementations are concurrent and a reference would race).
   virtual MmStats stats() const = 0;

@@ -1,5 +1,8 @@
 #include "src/nucleus/ipc.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace gvm {
 
 PortId Ipc::PortCreate() {
@@ -12,16 +15,40 @@ PortId Ipc::PortCreate() {
 void Ipc::PortDestroy(PortId port) {
   MutexLock lock(mu_);
   auto it = ports_.find(port);
-  if (it == ports_.end()) {
+  if (it == ports_.end() || it->second->dead) {
     return;
   }
   it->second->dead = true;
   it->second->cv.NotifyAll();
-  // The Port object is kept until the map entry is erased lazily; receivers
-  // observe `dead` and fail out.  Erase now — waiters hold no iterator.
-  // (Waiters reference the Port object; defer the erase until no one can be
-  // blocked: mark dead and erase on a later create/destroy is complex, so we
-  // simply keep dead ports in the table; they are tiny.)
+  // Fire the death links: every caller blocked on a reply from this port is
+  // woken and observes kPortDead instead of running out its deadline.
+  for (PortId linked : it->second->linked) {
+    auto lit = ports_.find(linked);
+    if (lit != ports_.end()) {
+      lit->second->peer_dead = true;
+      lit->second->cv.NotifyAll();
+    }
+  }
+  it->second->linked.clear();
+  // The Port object is kept in the table: receivers observe `dead` and fail
+  // out, a dead port stays distinguishable from a never-created one, and
+  // PortRevive can bring the same PortId back after a server restart.
+}
+
+void Ipc::PortRevive(PortId port) {
+  MutexLock lock(mu_);
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return;
+  }
+  Port* p = it->second.get();
+  // Requests queued at the moment of death were addressed to the dead
+  // incarnation; their senders have already been failed.  Drop them so the
+  // revived server does not serve ghosts.
+  p->queue.clear();
+  p->dead = false;
+  p->peer_dead = false;
+  p->linked.clear();
 }
 
 Status Ipc::Send(PortId to, Message message) {
@@ -40,8 +67,11 @@ Status Ipc::Send(PortId to, Message message) {
   }
   MutexLock lock(mu_);
   auto it = ports_.find(to);
-  if (it == ports_.end() || it->second->dead) {
+  if (it == ports_.end()) {
     return Status::kNotFound;
+  }
+  if (it->second->dead) {
+    return Status::kPortDead;
   }
   stats_.bytes_transferred += message.data.size();
   ++stats_.sends;
@@ -51,6 +81,15 @@ Status Ipc::Send(PortId to, Message message) {
 }
 
 Result<Message> Ipc::Receive(PortId port) {
+  return ReceiveInternal(port, 0, /*fail_on_peer_death=*/false);
+}
+
+Result<Message> Ipc::Receive(PortId port, uint64_t deadline_us) {
+  return ReceiveInternal(port, deadline_us, /*fail_on_peer_death=*/false);
+}
+
+Result<Message> Ipc::ReceiveInternal(PortId port, uint64_t deadline_us,
+                                     bool fail_on_peer_death) {
   FaultInjector* injector = injector_.load(std::memory_order_acquire);
   if (injector != nullptr) {
     // Fails before touching the queue, so the message (if any) stays queued and
@@ -60,22 +99,40 @@ Result<Message> Ipc::Receive(PortId port) {
       return injected;
     }
   }
+  const auto start = std::chrono::steady_clock::now();
   MutexLock lock(mu_);
   auto it = ports_.find(port);
   if (it == ports_.end()) {
     return Status::kNotFound;
   }
   Port* p = it->second.get();
-  while (p->queue.empty() && !p->dead) {
-    p->cv.Wait(mu_);
+  bool timed_out = false;
+  while (p->queue.empty() && !p->dead && !(fail_on_peer_death && p->peer_dead) &&
+         !timed_out) {
+    if (deadline_us == 0) {
+      p->cv.Wait(mu_);
+      continue;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    if (static_cast<uint64_t>(elapsed.count()) >= deadline_us) {
+      timed_out = true;
+      break;
+    }
+    p->cv.WaitFor(mu_, deadline_us - static_cast<uint64_t>(elapsed.count()));
   }
-  if (p->queue.empty()) {
-    return Status::kNotFound;  // port died
+  // A queued message wins over any failure condition: a server that replied and
+  // then died still delivered its reply.
+  if (!p->queue.empty()) {
+    Message message = std::move(p->queue.front());
+    p->queue.pop_front();
+    ++stats_.receives;
+    return message;
   }
-  Message message = std::move(p->queue.front());
-  p->queue.pop_front();
-  ++stats_.receives;
-  return message;
+  if (p->dead || (fail_on_peer_death && p->peer_dead)) {
+    return Status::kPortDead;
+  }
+  return Status::kTimeout;
 }
 
 Result<Message> Ipc::TryReceive(PortId port) {
@@ -88,6 +145,45 @@ Result<Message> Ipc::TryReceive(PortId port) {
   it->second->queue.pop_front();
   ++stats_.receives;
   return message;
+}
+
+void Ipc::Unlink(PortId from, PortId reply_port) {
+  MutexLock lock(mu_);
+  auto it = ports_.find(from);
+  if (it == ports_.end()) {
+    return;
+  }
+  auto& linked = it->second->linked;
+  linked.erase(std::remove(linked.begin(), linked.end(), reply_port), linked.end());
+}
+
+Result<Message> Ipc::Call(PortId to, Message request, uint64_t deadline_us) {
+  PortId reply_port = PortCreate();
+  {
+    // Register the death link before sending: a crash between the send and our
+    // receive must still poke us.
+    MutexLock lock(mu_);
+    auto it = ports_.find(to);
+    if (it == ports_.end() || it->second->dead) {
+      Status s = it == ports_.end() ? Status::kNotFound : Status::kPortDead;
+      lock.unlock();
+      PortDestroy(reply_port);
+      return s;
+    }
+    it->second->linked.push_back(reply_port);
+  }
+  request.reply_to = Capability{reply_port, 0};
+  Status sent = Send(to, std::move(request));
+  if (sent != Status::kOk) {
+    Unlink(to, reply_port);
+    PortDestroy(reply_port);
+    return sent;
+  }
+  Result<Message> reply =
+      ReceiveInternal(reply_port, deadline_us, /*fail_on_peer_death=*/true);
+  Unlink(to, reply_port);
+  PortDestroy(reply_port);
+  return reply;
 }
 
 size_t Ipc::QueueDepth(PortId port) const {

@@ -64,17 +64,39 @@ class Ipc {
 
   // Allocate a fresh port.
   PortId PortCreate();
+  // Kill a port: subsequent sends fail with kPortDead, blocked receivers wake
+  // with kPortDead, and every death-linked caller (see Call) is notified.  The
+  // port stays in the table so a dead port is distinguishable from one that
+  // never existed (kNotFound) — and so it can be revived.
   void PortDestroy(PortId port);
+  // Bring a destroyed port back to life under the same PortId, so capabilities
+  // naming it stay valid across a server crash+restart.  Messages queued at the
+  // moment of death are discarded: they were addressed to the dead incarnation
+  // and their senders have already been failed with kPortDead (or timed out).
+  void PortRevive(PortId port);
 
-  // Enqueue a message (fails if the port does not exist or the payload is
-  // oversized — "Messages are of limited size").
+  // Enqueue a message.  Fails with kNotFound if the port never existed,
+  // kPortDead if it was destroyed, kInvalidArgument if the payload is oversized
+  // ("Messages are of limited size").
   Status Send(PortId to, Message message);
 
-  // Dequeue the next message; blocks until one arrives or the port dies.
+  // Dequeue the next message; blocks until one arrives or the port dies
+  // (kPortDead).  The deadline overload additionally gives up with kTimeout
+  // after `deadline_us` microseconds (0 = wait forever) so no kernel thread
+  // can hang on a queue nobody will ever fill.
   Result<Message> Receive(PortId port);
+  Result<Message> Receive(PortId port, uint64_t deadline_us);
 
   // Non-blocking variant.
   Result<Message> TryReceive(PortId port);
+
+  // One bounded request/reply round trip: creates a private reply port,
+  // death-links it to `to` (so the destruction of `to` wakes this caller
+  // immediately with kPortDead instead of letting it run out its deadline),
+  // sends, and waits for the reply at most `deadline_us` microseconds
+  // (0 = forever).  A reply already queued when the peer dies is still
+  // delivered — death only matters while the queue is empty.
+  Result<Message> Call(PortId to, Message request, uint64_t deadline_us);
 
   // Number of queued messages (for tests).
   size_t QueueDepth(PortId port) const GVM_EXCLUDES(mu_);
@@ -98,7 +120,16 @@ class Ipc {
     std::deque<Message> queue;
     CondVar cv;
     bool dead = false;
+    // A death-linked peer (the port a Call was addressed to) was destroyed
+    // while this reply port waited.
+    bool peer_dead = false;
+    // Reply ports to poke (peer_dead + notify) when this port dies.
+    std::vector<PortId> linked;
   };
+
+  Result<Message> ReceiveInternal(PortId port, uint64_t deadline_us,
+                                  bool fail_on_peer_death) GVM_EXCLUDES(mu_);
+  void Unlink(PortId from, PortId reply_port) GVM_EXCLUDES(mu_);
 
   // kIpc ranks below kMmManager: IPC payload delivery (TransitSegment reads and
   // writes) calls into the memory manager, never the other way around.

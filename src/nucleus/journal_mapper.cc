@@ -1,0 +1,362 @@
+#include "src/nucleus/journal_mapper.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace gvm {
+
+namespace {
+
+// Record layout (little-endian fixed-width):
+//   [0]   u64 record magic
+//   [8]   u8  type (1=write, 2=alloc, 3=free)
+//   [9]   u64 sequence number (0 = unsequenced)
+//   [17]  u64 segment key
+//   [25]  u64 offset
+//   [33]  u64 payload size
+//   [41]  u64 payload checksum (FNV-1a)
+//   [49]  u64 header checksum (FNV-1a over bytes [0, 49))
+//   [57]  payload bytes
+//   [57+N] u64 commit marker (kCommitMagic ^ seq)
+constexpr uint64_t kRecordMagic = 0x4a524e4c30315647ULL;   // "GV10LNRJ"
+constexpr uint64_t kCommitMagic = 0x434f4d4d49545f4bULL;   // "K_TIMMOC"
+constexpr size_t kHeaderBytes = 57;
+constexpr size_t kMarkerBytes = 8;
+constexpr size_t kMinRecordBytes = kHeaderBytes + kMarkerBytes;
+// Upper bound on a sane payload (a record is at most one pushOut chunk, which
+// the segment manager caps at the IPC message limit).  Anything larger in a
+// header is corruption, not data.
+constexpr uint64_t kMaxPayloadBytes = 16ull * 1024 * 1024;
+
+uint64_t Fnv1a(const std::byte* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<uint64_t>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void PutU64(std::vector<std::byte>* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::byte>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(const std::byte* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+// A parsed-and-validated view of one record at `pos`; Parse returns false on
+// anything torn or corrupt (the recovery truncation point).
+struct RecordView {
+  uint8_t type = 0;
+  uint64_t seq = 0;
+  uint64_t key = 0;
+  uint64_t offset = 0;
+  const std::byte* payload = nullptr;
+  uint64_t payload_size = 0;
+  size_t total_bytes = 0;
+};
+
+bool ParseRecord(const std::vector<std::byte>& journal, size_t pos, RecordView* out) {
+  if (journal.size() - pos < kMinRecordBytes) {
+    return false;
+  }
+  const std::byte* p = journal.data() + pos;
+  if (GetU64(p) != kRecordMagic) {
+    return false;
+  }
+  if (Fnv1a(p, 49) != GetU64(p + 49)) {
+    return false;
+  }
+  RecordView view;
+  view.type = static_cast<uint8_t>(p[8]);
+  view.seq = GetU64(p + 9);
+  view.key = GetU64(p + 17);
+  view.offset = GetU64(p + 25);
+  view.payload_size = GetU64(p + 33);
+  if (view.payload_size > kMaxPayloadBytes) {
+    return false;
+  }
+  view.total_bytes = kHeaderBytes + view.payload_size + kMarkerBytes;
+  if (journal.size() - pos < view.total_bytes) {
+    return false;  // torn: payload or commit marker missing
+  }
+  view.payload = p + kHeaderBytes;
+  if (Fnv1a(view.payload, view.payload_size) != GetU64(p + 41)) {
+    return false;
+  }
+  if (GetU64(p + kHeaderBytes + view.payload_size) != (kCommitMagic ^ view.seq)) {
+    return false;  // uncommitted
+  }
+  *out = view;
+  return true;
+}
+
+std::vector<std::byte> SerializeRecord(uint8_t type, uint64_t seq, uint64_t key,
+                                       uint64_t offset, const std::byte* payload,
+                                       size_t payload_size) {
+  std::vector<std::byte> record;
+  record.reserve(kHeaderBytes + payload_size + kMarkerBytes);
+  PutU64(&record, kRecordMagic);
+  record.push_back(static_cast<std::byte>(type));
+  PutU64(&record, seq);
+  PutU64(&record, key);
+  PutU64(&record, offset);
+  PutU64(&record, payload_size);
+  PutU64(&record, Fnv1a(payload, payload_size));
+  PutU64(&record, Fnv1a(record.data(), record.size()));
+  record.insert(record.end(), payload, payload + payload_size);
+  PutU64(&record, kCommitMagic ^ seq);
+  return record;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JournalStore
+// ---------------------------------------------------------------------------
+
+size_t JournalStore::JournalBytes() const {
+  MutexLock lock(mu_);
+  return journal_.size();
+}
+
+void JournalStore::TruncateJournal(size_t bytes) {
+  MutexLock lock(mu_);
+  if (bytes < journal_.size()) {
+    journal_.resize(bytes);
+  }
+}
+
+void JournalStore::FlipJournalByte(size_t index) {
+  MutexLock lock(mu_);
+  if (index < journal_.size()) {
+    journal_[index] = static_cast<std::byte>(static_cast<uint8_t>(journal_[index]) ^ 0xff);
+  }
+}
+
+void JournalStore::WipePageAreaForTest() {
+  MutexLock lock(mu_);
+  segments_.clear();
+}
+
+uint64_t JournalStore::applied_writes() const {
+  MutexLock lock(mu_);
+  return applied_writes_;
+}
+
+std::string JournalStore::DebugDump() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+  out << "journal: " << journal_.size() << " bytes, " << segments_.size()
+      << " segments in page area\n";
+  size_t pos = 0;
+  int index = 0;
+  while (pos < journal_.size()) {
+    RecordView view;
+    if (!ParseRecord(journal_, pos, &view)) {
+      out << "  [" << index << "] TORN/CORRUPT tail: " << (journal_.size() - pos)
+          << " bytes at offset " << pos << "\n";
+      break;
+    }
+    out << "  [" << index << "] type=" << static_cast<int>(view.type)
+        << " seq=" << view.seq << " key=" << view.key << " off=" << view.offset
+        << " payload=" << view.payload_size << "\n";
+    pos += view.total_bytes;
+    ++index;
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// JournaledSwapMapper
+// ---------------------------------------------------------------------------
+
+Status JournaledSwapMapper::Read(uint64_t key, SegOffset offset, size_t size,
+                                 std::vector<std::byte>* out) {
+  MutexLock lock(store_.mu_);
+  auto seg = store_.segments_.find(key);
+  if (seg == store_.segments_.end()) {
+    return Status::kNotFound;
+  }
+  const size_t page = store_.page_size_;
+  out->assign(size, std::byte{0});
+  for (size_t done = 0; done < size; done += page) {
+    auto it = seg->second.find(offset + done);
+    if (it != seg->second.end()) {
+      std::memcpy(out->data() + done, it->second.data(), std::min(page, size - done));
+    }
+  }
+  return Status::kOk;
+}
+
+Status JournaledSwapMapper::JournalAndApply(RecordType type, uint64_t seq,
+                                            uint64_t key, SegOffset offset,
+                                            const std::byte* payload,
+                                            size_t payload_size) {
+  store_.mu_.AssertHeld();
+  std::vector<std::byte> record = SerializeRecord(
+      static_cast<uint8_t>(type), seq, key, offset, payload, payload_size);
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (type == RecordType::kWrite && injector != nullptr) {
+    if (injector->Check(FaultSite::kCrashMapperBeforeWrite) != Status::kOk) {
+      // Process dies before the intent reaches the log: nothing durable, no ack.
+      crash_pending_.store(true, std::memory_order_release);
+      return Status::kPortDead;
+    }
+    if (injector->Check(FaultSite::kCrashMapperMidWrite) != Status::kOk) {
+      // Process dies mid-append: a torn prefix (header + part of the payload,
+      // no commit marker) reaches the log.  Recover() must discard it.
+      size_t torn = kHeaderBytes + payload_size / 2;
+      store_.journal_.insert(store_.journal_.end(), record.begin(),
+                             record.begin() + static_cast<ptrdiff_t>(torn));
+      crash_pending_.store(true, std::memory_order_release);
+      return Status::kPortDead;
+    }
+  }
+  store_.journal_.insert(store_.journal_.end(), record.begin(), record.end());
+  // Commit point passed: apply to the page area.
+  switch (type) {
+    case RecordType::kWrite: {
+      auto& seg = store_.segments_[key];
+      const size_t page = store_.page_size_;
+      for (size_t done = 0; done < payload_size; done += page) {
+        auto& bytes = seg[offset + done];
+        bytes.assign(page, std::byte{0});
+        std::memcpy(bytes.data(), payload + done, std::min(page, payload_size - done));
+      }
+      ++store_.applied_writes_;
+      break;
+    }
+    case RecordType::kAlloc:
+      store_.segments_[key];
+      store_.next_key_ = std::max(store_.next_key_, key + 1);
+      break;
+    case RecordType::kFree:
+      store_.segments_.erase(key);
+      break;
+  }
+  if (seq != 0) {
+    seen_seqs_.insert(seq);
+  }
+  return Status::kOk;
+}
+
+Status JournaledSwapMapper::Write(uint64_t key, SegOffset offset,
+                                  const std::byte* data, size_t size) {
+  return WriteSeq(key, offset, data, size, 0);
+}
+
+Status JournaledSwapMapper::WriteSeq(uint64_t key, SegOffset offset,
+                                     const std::byte* data, size_t size,
+                                     uint64_t seq) {
+  MutexLock lock(store_.mu_);
+  if (seq != 0 && seen_seqs_.contains(seq)) {
+    // Re-issued request whose original committed before the crash ate the ack:
+    // already durable, acknowledge without journaling again.
+    ++duplicates_ignored_;
+    return Status::kOk;
+  }
+  if (!store_.segments_.contains(key)) {
+    return Status::kNotFound;
+  }
+  return JournalAndApply(RecordType::kWrite, seq, key, offset, data, size);
+}
+
+Result<uint64_t> JournaledSwapMapper::AllocateTemporary(size_t size_hint) {
+  return AllocateTemporarySeq(size_hint, 0);
+}
+
+Result<uint64_t> JournaledSwapMapper::AllocateTemporarySeq(size_t size_hint,
+                                                           uint64_t seq) {
+  (void)size_hint;
+  MutexLock lock(store_.mu_);
+  if (seq != 0) {
+    auto it = alloc_seq_keys_.find(seq);
+    if (it != alloc_seq_keys_.end()) {
+      // Re-issued allocation: hand back the key the committed original minted,
+      // instead of leaking a second segment.
+      ++duplicates_ignored_;
+      return it->second;
+    }
+  }
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector != nullptr && injector->Check(FaultSite::kSwapAlloc) != Status::kOk) {
+    return Status::kNoSwap;
+  }
+  uint64_t key = store_.next_key_;
+  Status s = JournalAndApply(RecordType::kAlloc, seq, key, 0, nullptr, 0);
+  if (s != Status::kOk) {
+    return s;
+  }
+  if (seq != 0) {
+    alloc_seq_keys_[seq] = key;
+  }
+  return key;
+}
+
+Status JournaledSwapMapper::Free(uint64_t key) {
+  MutexLock lock(store_.mu_);
+  return JournalAndApply(RecordType::kFree, 0, key, 0, nullptr, 0);
+}
+
+JournaledSwapMapper::RecoveryReport JournaledSwapMapper::Recover() {
+  MutexLock lock(store_.mu_);
+  // The restarted process starts from nothing but the log: wipe every scrap of
+  // in-memory state and rebuild.
+  seen_seqs_.clear();
+  alloc_seq_keys_.clear();
+  crash_pending_.store(false, std::memory_order_release);
+  RecoveryReport report;
+  size_t pos = 0;
+  while (pos < store_.journal_.size()) {
+    RecordView view;
+    if (!ParseRecord(store_.journal_, pos, &view)) {
+      // Torn or corrupt: everything from here on is untrusted.  Truncate so
+      // future appends land on a clean tail.
+      report.bytes_truncated = store_.journal_.size() - pos;
+      ++report.records_discarded;
+      store_.journal_.resize(pos);
+      break;
+    }
+    switch (static_cast<RecordType>(view.type)) {
+      case RecordType::kWrite: {
+        auto& seg = store_.segments_[view.key];
+        const size_t page = store_.page_size_;
+        for (size_t done = 0; done < view.payload_size; done += page) {
+          auto& bytes = seg[view.offset + done];
+          bytes.assign(page, std::byte{0});
+          std::memcpy(bytes.data(), view.payload + done,
+                      std::min(page, static_cast<size_t>(view.payload_size) - done));
+        }
+        ++store_.applied_writes_;
+        break;
+      }
+      case RecordType::kAlloc:
+        store_.segments_[view.key];
+        store_.next_key_ = std::max(store_.next_key_, view.key + 1);
+        if (view.seq != 0) {
+          alloc_seq_keys_[view.seq] = view.key;
+        }
+        break;
+      case RecordType::kFree:
+        store_.segments_.erase(view.key);
+        break;
+    }
+    if (view.seq != 0) {
+      seen_seqs_.insert(view.seq);
+    }
+    ++report.records_replayed;
+    pos += view.total_bytes;
+  }
+  return report;
+}
+
+}  // namespace gvm

@@ -1,0 +1,148 @@
+// A crash-safe default mapper: write-ahead intent journal over a durable page
+// store.
+//
+// The paper puts segments behind *independent external actors* (section 5.1.1),
+// which makes mapper death a survivable event only if the mapper's storage
+// protocol is itself crash-consistent.  JournaledSwapMapper models the mapper
+// process: its in-memory state (sequence dedup table, pending-crash latch) dies
+// with every crash.  JournalStore models the disk: an append-only journal of
+// checksummed, commit-marked records plus the checkpointed page area, surviving
+// any number of mapper incarnations.
+//
+// Protocol: every mutation appends one journal record — header (magic, type,
+// seq, key, offset, size, payload checksum, header checksum), payload, commit
+// marker — and only then applies to the page area.  Recover() replays the
+// journal from the start (idempotent: whole-page records, last writer wins),
+// truncates at the first torn or corrupt record, and rebuilds the seen-sequence
+// table so a re-issued request (same Message::arg2 sequence number) after a
+// restart is acknowledged without being applied twice.  Consequences:
+//   * a kWrite whose record committed is durable across any crash point;
+//   * an uncommitted (torn) record is discarded — the write never happened,
+//     which is consistent because the kernel never received its ack;
+//   * re-issuing an acked-then-lost request is idempotent.
+#ifndef GVM_SRC_NUCLEUS_JOURNAL_MAPPER_H_
+#define GVM_SRC_NUCLEUS_JOURNAL_MAPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/nucleus/mapper.h"
+#include "src/sync/annotated_mutex.h"
+
+namespace gvm {
+
+// The durable half: journal bytes + page area + allocation watermark.  Outlives
+// every mapper incarnation.  Also the serialization point for concurrent
+// dispatch (rank kClient: locked from inside mapper operations).
+class JournalStore {
+ public:
+  explicit JournalStore(size_t page_size) : page_size_(page_size) {}
+  JournalStore(const JournalStore&) = delete;
+  JournalStore& operator=(const JournalStore&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  // ---- Raw journal access for tests, tools, and CI artifacts ----
+  size_t JournalBytes() const GVM_EXCLUDES(mu_);
+  // Simulate a torn tail (a crash that lost the end of the log).
+  void TruncateJournal(size_t bytes) GVM_EXCLUDES(mu_);
+  // Simulate media corruption of a single byte.
+  void FlipJournalByte(size_t index) GVM_EXCLUDES(mu_);
+  // Wipe the checkpointed page area, leaving only the journal: recovery must
+  // rebuild every committed write from the log alone (durability unit tests).
+  void WipePageAreaForTest() GVM_EXCLUDES(mu_);
+  // Number of write records ever applied to the page area (including replays).
+  uint64_t applied_writes() const GVM_EXCLUDES(mu_);
+  // Human-readable record walk (CI failure artifact).
+  std::string DebugDump() const GVM_EXCLUDES(mu_);
+
+ private:
+  friend class JournaledSwapMapper;
+
+  const size_t page_size_;
+  mutable Mutex mu_{Rank::kClient, "JournalStore::mu_"};
+  std::vector<std::byte> journal_ GVM_GUARDED_BY(mu_);
+  // key -> page offset -> one page of bytes (the checkpointed page area).
+  std::map<uint64_t, std::map<SegOffset, std::vector<std::byte>>> segments_
+      GVM_GUARDED_BY(mu_);
+  uint64_t next_key_ GVM_GUARDED_BY(mu_) = 1;
+  uint64_t applied_writes_ GVM_GUARDED_BY(mu_) = 0;
+};
+
+// The volatile half: one mapper incarnation over a JournalStore.  Construct a
+// fresh instance (or call Recover() on an existing one — equivalent: Recover
+// wipes all in-memory state first) to model a restarted mapper process.
+class JournaledSwapMapper final : public Mapper {
+ public:
+  struct RecoveryReport {
+    uint64_t records_replayed = 0;   // committed records re-applied
+    uint64_t records_discarded = 0;  // torn/corrupt records truncated
+    uint64_t bytes_truncated = 0;    // journal bytes dropped with them
+  };
+
+  explicit JournaledSwapMapper(JournalStore& store) : store_(store) {}
+
+  // Replay the journal: wipes this incarnation's in-memory state, re-applies
+  // every committed record to the page area in order, truncates the journal at
+  // the first torn or corrupt record, and rebuilds the sequence-dedup table.
+  // Idempotent: a second replay changes nothing and reports the same counts
+  // (minus the already-truncated tail).
+  RecoveryReport Recover() GVM_EXCLUDES(store_.mu_);
+
+  // ---- Mapper ----
+  Status Read(uint64_t key, SegOffset offset, size_t size,
+              std::vector<std::byte>* out) override;
+  Status Write(uint64_t key, SegOffset offset, const std::byte* data,
+               size_t size) override;
+  Status WriteSeq(uint64_t key, SegOffset offset, const std::byte* data,
+                  size_t size, uint64_t seq) override;
+  Result<uint64_t> AllocateTemporary(size_t size_hint) override;
+  Result<uint64_t> AllocateTemporarySeq(size_t size_hint, uint64_t seq) override;
+  Status Free(uint64_t key) override;
+  bool ConsumeCrash() override {
+    return crash_pending_.exchange(false, std::memory_order_acq_rel);
+  }
+
+  // Crash-class injection (kCrashMapperBeforeWrite, kCrashMapperMidWrite) plus
+  // the plain kSwapAlloc exhaustion site.  Null disables; the injector must
+  // outlive this mapper.
+  void BindFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  uint64_t duplicate_requests_ignored() const {
+    return duplicates_ignored_.load();
+  }
+
+ private:
+  enum class RecordType : uint8_t { kWrite = 1, kAlloc = 2, kFree = 3 };
+
+  // Appends a commit-marked record and applies it to the page area, honouring
+  // the crash sites.  Caller passes the payload (empty for alloc/free).
+  Status JournalAndApply(RecordType type, uint64_t seq, uint64_t key,
+                         SegOffset offset, const std::byte* payload,
+                         size_t payload_size);
+
+  JournalStore& store_;
+  std::atomic<FaultInjector*> injector_{nullptr};
+  // Set when a crash site fires; the MapperServer consumes it and dies.
+  std::atomic<bool> crash_pending_{false};
+  std::atomic<uint64_t> duplicates_ignored_{0};
+  // Sequence numbers whose records are committed (in-memory; rebuilt by
+  // Recover).  Guarded by the store mutex: dispatch is already serialized
+  // there.
+  std::unordered_set<uint64_t> seen_seqs_ GVM_GUARDED_BY(store_.mu_);
+  // Sequence number -> allocated key, so a re-issued AllocateTemporarySeq hands
+  // back the key the committed original minted instead of leaking a segment.
+  // Rebuilt from the journal's alloc records by Recover().
+  std::map<uint64_t, uint64_t> alloc_seq_keys_ GVM_GUARDED_BY(store_.mu_);
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_NUCLEUS_JOURNAL_MAPPER_H_

@@ -34,13 +34,14 @@ Message MapperServer::Dispatch(const Message& request) {
       break;
     }
     case MapperOp::kWrite: {
-      Status s = mapper_.Write(request.subject.key, request.arg0, request.data.data(),
-                               request.data.size());
+      Status s = mapper_.WriteSeq(request.subject.key, request.arg0, request.data.data(),
+                                  request.data.size(), request.arg2);
       reply.status = static_cast<int32_t>(s);
       break;
     }
     case MapperOp::kAllocTemp: {
-      Result<uint64_t> key = mapper_.AllocateTemporary(static_cast<size_t>(request.arg0));
+      Result<uint64_t> key =
+          mapper_.AllocateTemporarySeq(static_cast<size_t>(request.arg0), request.arg2);
       if (key.ok()) {
         reply.subject = Capability{port_, *key};
         reply.status = static_cast<int32_t>(Status::kOk);
@@ -63,18 +64,65 @@ Message MapperServer::Dispatch(const Message& request) {
   return reply;
 }
 
+Result<Message> MapperServer::Serve(const Message& request) {
+  if (crashed()) {
+    return Status::kPortDead;
+  }
+  // Internally-synchronized mappers (DSM coherence) dispatch without the
+  // serve lock: their recalls nest servers across sites, and serve locks held
+  // across that nesting would form a lock-order cycle with the segment
+  // managers.  Crash sites live only in serialized mappers, so the crash
+  // bookkeeping below is not needed here.
+  if (mapper_.thread_safe_dispatch()) {
+    return Dispatch(request);
+  }
+  Message reply;
+  {
+    MutexLock lock(serve_mu_);
+    if (crashed()) {
+      return Status::kPortDead;
+    }
+    reply = Dispatch(request);
+    // Crash sites hosted inside the mapper (kCrashMapperBeforeWrite /
+    // kCrashMapperMidWrite) latch a pending crash instead of returning an
+    // error; the server is the "process" that actually dies.
+    bool crash = mapper_.ConsumeCrash();
+    if (!crash) {
+      FaultInjector* injector = injector_.load(std::memory_order_acquire);
+      if (injector != nullptr &&
+          injector->Check(FaultSite::kCrashMapperBeforeReply) != Status::kOk) {
+        crash = true;
+      }
+    }
+    if (crash) {
+      // The crash must become visible before another dispatcher can enter:
+      // a mid-write crash leaves a torn record at the journal tail, and a
+      // write committed after that tail would be acked yet discarded by
+      // recovery's truncation.  CrashNow only touches atomics and the IPC
+      // port table, so it is safe under serve_mu_.
+      CrashNow();
+      return Status::kPortDead;  // the reply dies with the server
+    }
+  }
+  return reply;
+}
+
 void MapperServer::Start() {
   if (running_.exchange(true)) {
     return;
   }
+  started_.store(true);
   thread_ = std::thread([this] { ServeLoop(); });
 }
 
 void MapperServer::Stop() {
+  started_.store(false);
   if (!running_.exchange(false)) {
     return;
   }
-  // Poke the port so the loop wakes and observes `running_ == false`.
+  // Poke the port so the loop wakes and observes `running_ == false`.  On a
+  // crashed server the port is dead and the send fails, but the loop has
+  // already exited — the join below still reaps the thread.
   Message poke;
   poke.operation = 0;
   ipc_.Send(port_, std::move(poke));
@@ -83,12 +131,40 @@ void MapperServer::Stop() {
   }
 }
 
+void MapperServer::CrashNow() {
+  if (crashed_.exchange(true)) {
+    return;
+  }
+  ++crashes_;
+  // Killing the port wakes the serve loop (kPortDead) and every death-linked
+  // caller; queued requests are dropped on revive.
+  ipc_.PortDestroy(port_);
+}
+
+void MapperServer::Restart() {
+  if (!crashed()) {
+    return;  // only a crashed server needs (or tolerates) reviving
+  }
+  // Reap the serve thread (it exited when the port died).
+  if (thread_.joinable()) {
+    running_.store(false);
+    thread_.join();
+  }
+  ipc_.PortRevive(port_);
+  crashed_.store(false);
+  if (started_.load()) {
+    running_.store(false);
+    Start();
+  }
+}
+
 void MapperServer::ServeLoop() {
   while (running_.load()) {
     Result<Message> request = ipc_.Receive(port_);
     if (!request.ok()) {
-      if (request.status() == Status::kNotFound) {
-        return;  // port destroyed
+      if (request.status() == Status::kNotFound ||
+          request.status() == Status::kPortDead) {
+        return;  // port destroyed (shutdown or crash)
       }
       continue;  // transient receive fault (e.g. injected): the request is
                  // still queued, pick it up on the next round
@@ -96,9 +172,12 @@ void MapperServer::ServeLoop() {
     if (request->operation == 0) {
       continue;  // shutdown poke
     }
-    Message reply = Dispatch(*request);
+    Result<Message> reply = Serve(*request);
+    if (!reply.ok()) {
+      return;  // crashed mid-dispatch: no reply, the loop dies with the port
+    }
     if (request->reply_to.valid()) {
-      ipc_.Send(request->reply_to.port, std::move(reply));
+      ipc_.Send(request->reply_to.port, std::move(*reply));
     }
   }
 }

@@ -47,6 +47,32 @@ class Mapper {
     (void)size_hint;
     return Status::kUnsupported;
   }
+  // Sequence-aware variants used by the wire protocol (Message::arg2 carries a
+  // monotonic per-kernel sequence number, 0 = unsequenced).  Crash-safe mappers
+  // override these to deduplicate re-issued requests after a restart; plain
+  // mappers inherit the forwarding defaults.
+  virtual Status WriteSeq(uint64_t key, SegOffset offset, const std::byte* data,
+                          size_t size, uint64_t seq) {
+    (void)seq;
+    return Write(key, offset, data, size);
+  }
+  virtual Result<uint64_t> AllocateTemporarySeq(size_t size_hint, uint64_t seq) {
+    (void)seq;
+    return AllocateTemporary(size_hint);
+  }
+  // Crash simulation: returns true (once) if a crash-class fault site fired
+  // inside the mapper during the last operation.  The MapperServer polls this
+  // after every dispatch and, when set, dies instead of replying.
+  virtual bool ConsumeCrash() { return false; }
+  // A mapper that synchronizes internally may opt out of the server's
+  // one-at-a-time dispatch lock.  The DSM coherent mapper must: a recall
+  // dispatched under site A's server syncs site B's cache, which pushes out
+  // through B's segment manager into B's server, so holding serve locks
+  // across that nesting would cycle with the manager locks.  Crash-class
+  // fault sites require serialized dispatch (a torn journal tail must be
+  // latched before another dispatcher can append), so crash-capable mappers
+  // must keep the default.
+  virtual bool thread_safe_dispatch() const { return false; }
   virtual Status Free(uint64_t key) {
     (void)key;
     return Status::kOk;
@@ -83,11 +109,35 @@ class MapperServer {
   // Handle one request message, producing the reply.
   Message Dispatch(const Message& request);
 
+  // Crash-aware dispatch: serializes into the mapper (one request at a time,
+  // like the serve thread does), refuses with kPortDead once crashed, and
+  // turns a crash-site firing (in the mapper or at kCrashMapperBeforeReply)
+  // into CrashNow() + kPortDead — the reply is never produced, exactly as if
+  // the server process died before answering.
+  Result<Message> Serve(const Message& request);
+
   // Serve the port on a background thread until Stop().
   void Start();
   void Stop();
 
+  // Simulate the mapper actor dying right now: the port is destroyed (waking
+  // and failing every in-flight caller), and all further dispatch is refused.
+  // The mapper's in-memory state is presumed lost; only its durable store
+  // survives.  Restart() revives the same port (capabilities stay valid),
+  // clears the crash, and resumes the serve thread if one was running.  The
+  // caller is responsible for running the mapper's recovery first.
+  void CrashNow();
+  void Restart();
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t crashes() const { return crashes_.load(); }
+
   uint64_t requests_served() const { return requests_served_.load(); }
+
+  // Optional fault injection at the kCrashMapperBeforeReply site.  Atomic:
+  // bound while a serve thread may be mid-dispatch.
+  void BindFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
 
  private:
   void ServeLoop();
@@ -96,8 +146,16 @@ class MapperServer {
   Mapper& mapper_;
   PortId port_;
   std::thread thread_;
+  // Serializes dispatch into the mapper (the in-process analogue of the single
+  // serve thread); rank kMapperServe sits below the mapper stores (kClient).
+  // Not taken for mappers with thread_safe_dispatch() — see Serve().
+  Mutex serve_mu_{Rank::kMapperServe, "MapperServer::serve_mu_"};
   std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};  // Start() was called (Restart resumes it)
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> crashes_{0};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 // ---------------------------------------------------------------------------

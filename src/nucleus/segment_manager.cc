@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "src/util/log.h"
 
@@ -10,7 +11,9 @@ namespace gvm {
 
 // The per-cache SegmentDriver: transforms GMI upcalls into mapper IPC requests
 // (section 5.1.2: "the segment manager transforms a GMI upcall into IPC upcalls to
-// the corresponding segment mapper").
+// the corresponding segment mapper").  Drivers run on any faulting thread with
+// the MM lock dropped; the segment slot they share with the manager is read and
+// written only through SnapshotSegment/AdoptTempSegment (under the manager lock).
 class SegmentManagerDriver final : public SegmentDriver {
  public:
   SegmentManagerDriver(SegmentManager& manager, std::shared_ptr<Capability> segment)
@@ -18,9 +21,10 @@ class SegmentManagerDriver final : public SegmentDriver {
 
   Status PullIn(Cache& cache, SegOffset offset, size_t size, Access access_mode) override {
     (void)access_mode;
+    Capability segment = manager_.SnapshotSegment(segment_);
     std::vector<std::byte> data;
     Prot max_prot = Prot::kAll;
-    Status s = manager_.MapperRead(*segment_, offset, size, &data, &max_prot);
+    Status s = manager_.MapperRead(segment, offset, size, &data, &max_prot);
     if (s != Status::kOk) {
       return s;
     }
@@ -31,27 +35,30 @@ class SegmentManagerDriver final : public SegmentDriver {
 
   Status GetWriteAccess(Cache& cache, SegOffset offset, size_t size) override {
     (void)cache;
-    return manager_.MapperWriteAccess(*segment_, offset, size);
+    return manager_.MapperWriteAccess(manager_.SnapshotSegment(segment_), offset, size);
   }
 
   Status PushOut(Cache& cache, SegOffset offset, size_t size) override {
     // Temporary caches get their swap segment on the first pushOut ("the segment
     // manager waits for the first pushOut upcall for such a temporary cache to
-    // allocate it a 'swap' temporary segment with a default mapper").
-    if (!segment_->valid()) {
-      Result<Capability> segment = manager_.MapperAllocTemp(0);
-      if (!segment.ok()) {
-        return Status::kNoSwap;
+    // allocate it a 'swap' temporary segment with a default mapper").  Two
+    // threads can race the first pushOut; AdoptTempSegment keeps the winner's
+    // segment and frees the loser's.
+    Capability segment = manager_.SnapshotSegment(segment_);
+    if (!segment.valid()) {
+      Result<Capability> fresh = manager_.MapperAllocTemp(0);
+      if (!fresh.ok()) {
+        return fresh.status() == Status::kPortDead ? Status::kPortDead
+                                                   : Status::kNoSwap;
       }
-      *segment_ = *segment;
-      ++manager_.stats_.temp_segments;
+      segment = manager_.AdoptTempSegment(segment_, *fresh);
     }
     std::vector<std::byte> data(size);
     Status s = cache.CopyBack(offset, data.data(), size);
     if (s != Status::kOk) {
       return s;
     }
-    return manager_.MapperWrite(*segment_, offset, data.data(), size);
+    return manager_.MapperWrite(segment, offset, data.data(), size);
   }
 
  private:
@@ -68,11 +75,13 @@ SegmentManager::SegmentManager(MemoryManager& mm, Ipc& ipc, Options options)
 SegmentManager::~SegmentManager() = default;
 
 void SegmentManager::BindDefaultMapper(MapperServer* server) {
+  MutexLock lock(mu_);
   default_mapper_ = server;
-  RegisterMapper(server);
+  mappers_[server->port()] = server;
 }
 
 void SegmentManager::RegisterMapper(MapperServer* server) {
+  MutexLock lock(mu_);
   mappers_[server->port()] = server;
 }
 
@@ -80,34 +89,69 @@ void SegmentManager::RegisterMapper(MapperServer* server) {
 // Mapper RPC
 // ---------------------------------------------------------------------------
 
+Capability SegmentManager::SnapshotSegment(
+    const std::shared_ptr<Capability>& slot) const {
+  MutexLock lock(mu_);
+  return *slot;
+}
+
+Capability SegmentManager::AdoptTempSegment(const std::shared_ptr<Capability>& slot,
+                                            const Capability& fresh) {
+  Capability winner;
+  bool lost = false;
+  {
+    MutexLock lock(mu_);
+    if (slot->valid()) {
+      winner = *slot;
+      lost = true;
+    } else {
+      *slot = fresh;
+      winner = fresh;
+      ++stats_.temp_segments;
+    }
+  }
+  if (lost) {
+    MapperFree(fresh);
+  }
+  return winner;
+}
+
 Result<Message> SegmentManager::MapperCall(PortId port, Message request) {
   if (options_.use_ipc_transport) {
     // Full message transport: requires the mapper's serve loop to be running.
-    PortId reply_port = ipc_.PortCreate();
-    request.reply_to = Capability{reply_port, 0};
-    Status sent = ipc_.Send(port, std::move(request));
-    if (sent != Status::kOk) {
-      return sent;
+    // Call() death-links the reply port to the mapper and bounds the round trip,
+    // so a crash mid-request surfaces as kPortDead (and a wedged mapper as
+    // kTimeout) instead of a hang.
+    return ipc_.Call(port, std::move(request), options_.rpc_deadline_us);
+  }
+  MapperServer* server = nullptr;
+  {
+    MutexLock lock(mu_);
+    auto it = mappers_.find(port);
+    if (it == mappers_.end()) {
+      return Status::kNotFound;
     }
-    Result<Message> reply = ipc_.Receive(reply_port);
-    ipc_.PortDestroy(reply_port);
-    return reply;
+    server = it->second;
   }
-  auto it = mappers_.find(port);
-  if (it == mappers_.end()) {
-    return Status::kNotFound;
-  }
-  return it->second->Dispatch(request);
+  // Serve() is the in-process analogue of the full transport: it refuses with
+  // kPortDead once the server crashed, and a crash site firing mid-dispatch
+  // kills the server and eats the reply.
+  return server->Serve(request);
 }
 
 Result<Message> SegmentManager::RetryingMapperCall(FaultSite site, PortId port,
                                                    const Message& request) {
-  // All mapper operations are idempotent (reads, whole-page writes, allocation
-  // of a fresh key), so a transient transport or mapper I/O failure is absorbed
-  // by re-issuing the identical call.  kBusError is the only status we treat as
-  // possibly-transient; kNoSwap, kNotFound etc. are answers, not line noise.
+  // Mapper operations are idempotent — reads, sequence-numbered writes and
+  // allocations — so a transient failure is absorbed by re-issuing the
+  // *identical* call (same Message, same sequence number: a mapper that applied
+  // the original but lost the ack deduplicates the re-issue).  kBusError
+  // (transport or mapper I/O) and kTimeout (deadline) are the possibly-transient
+  // statuses; kPortDead means the mapper is gone until somebody recovers it, so
+  // retrying here would only stall the kernel — fail fast instead.  kNoSwap,
+  // kNotFound etc. are answers, not line noise.
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
   for (uint64_t attempt = 0;; ++attempt) {
-    Status s = injector_ == nullptr ? Status::kOk : injector_->Check(site);
+    Status s = injector == nullptr ? Status::kOk : injector->Check(site);
     if (s == Status::kOk) {
       Result<Message> reply = MapperCall(port, Message(request));
       if (reply.ok() && reply->status == static_cast<int32_t>(Status::kOk)) {
@@ -115,14 +159,26 @@ Result<Message> SegmentManager::RetryingMapperCall(FaultSite site, PortId port,
       }
       s = reply.ok() ? static_cast<Status>(reply->status) : reply.status();
     }
-    if (s != Status::kBusError) {
+    if (s == Status::kPortDead) {
+      MutexLock lock(mu_);
+      ++stats_.rpc_port_deaths;
+      return s;
+    }
+    if (s != Status::kBusError && s != Status::kTimeout) {
       return s;
     }
     if (attempt >= options_.io_retry_limit) {
+      MutexLock lock(mu_);
       ++stats_.io_permanent_failures;
       return s;
     }
-    ++stats_.io_retries;
+    {
+      MutexLock lock(mu_);
+      ++stats_.io_retries;
+      if (s == Status::kTimeout) {
+        ++stats_.rpc_timeouts;
+      }
+    }
     if (options_.retry_backoff_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.retry_backoff_us << attempt));
@@ -132,7 +188,10 @@ Result<Message> SegmentManager::RetryingMapperCall(FaultSite site, PortId port,
 
 Status SegmentManager::MapperRead(const Capability& segment, SegOffset offset, size_t size,
                                   std::vector<std::byte>* out, Prot* max_prot) {
-  ++stats_.mapper_reads;
+  {
+    MutexLock lock(mu_);
+    ++stats_.mapper_reads;
+  }
   Message request;
   request.operation = static_cast<uint64_t>(MapperOp::kRead);
   request.subject = segment;
@@ -151,14 +210,19 @@ Status SegmentManager::MapperRead(const Capability& segment, SegOffset offset, s
 
 Status SegmentManager::MapperWrite(const Capability& segment, SegOffset offset,
                                    const std::byte* data, size_t size) {
-  ++stats_.mapper_writes;
-  // Large push-outs are chunked to the IPC message limit.
+  {
+    MutexLock lock(mu_);
+    ++stats_.mapper_writes;
+  }
+  // Large push-outs are chunked to the IPC message limit.  Each chunk is one
+  // logical RPC with its own sequence number, re-used verbatim across retries.
   for (size_t done = 0; done < size; done += Message::kMaxBytes) {
     size_t chunk = std::min(Message::kMaxBytes, size - done);
     Message request;
     request.operation = static_cast<uint64_t>(MapperOp::kWrite);
     request.subject = segment;
     request.arg0 = offset + done;
+    request.arg2 = next_rpc_seq_.fetch_add(1, std::memory_order_relaxed);
     request.data.assign(data + done, data + done + chunk);
     Result<Message> reply =
         RetryingMapperCall(FaultSite::kMapperWrite, segment.port, request);
@@ -188,18 +252,33 @@ Status SegmentManager::MapperWriteAccess(const Capability& segment, SegOffset of
 }
 
 Result<Capability> SegmentManager::MapperAllocTemp(size_t size_hint) {
-  if (default_mapper_ == nullptr) {
-    return Status::kNoSwap;
+  PortId port = kInvalidPort;
+  {
+    MutexLock lock(mu_);
+    if (default_mapper_ == nullptr) {
+      return Status::kNoSwap;
+    }
+    port = default_mapper_->port();
   }
   Message request;
   request.operation = static_cast<uint64_t>(MapperOp::kAllocTemp);
   request.arg0 = size_hint;
-  Result<Message> reply = RetryingMapperCall(FaultSite::kMapperAllocTemp,
-                                             default_mapper_->port(), request);
+  request.arg2 = next_rpc_seq_.fetch_add(1, std::memory_order_relaxed);
+  Result<Message> reply =
+      RetryingMapperCall(FaultSite::kMapperAllocTemp, port, request);
   if (!reply.ok()) {
     return reply.status();
   }
   return reply->subject;
+}
+
+Status SegmentManager::MapperFree(const Capability& segment) {
+  Message request;
+  request.operation = static_cast<uint64_t>(MapperOp::kFree);
+  request.subject = segment;
+  Result<Message> reply =
+      RetryingMapperCall(FaultSite::kMapperWrite, segment.port, request);
+  return reply.ok() ? Status::kOk : reply.status();
 }
 
 // ---------------------------------------------------------------------------
@@ -225,6 +304,7 @@ SegmentManager::Entry* SegmentManager::FindByCache(Cache* cache) {
 }
 
 Result<Cache*> SegmentManager::AcquireCache(const Capability& segment) {
+  MutexLock lock(mu_);
   ++stats_.lookups;
   if (Entry* entry = FindBySegment(segment)) {
     // Segment caching hit: "the manager first checks if there is a cache already
@@ -254,6 +334,7 @@ Result<Cache*> SegmentManager::AcquireCache(const Capability& segment) {
 }
 
 Result<Cache*> SegmentManager::AcquireTemporaryCache(std::string name) {
+  MutexLock lock(mu_);
   entries_.emplace_back();
   Entry* entry = &entries_.back();
   entry->refs = 1;
@@ -273,6 +354,7 @@ Result<Cache*> SegmentManager::AcquireTemporaryCache(std::string name) {
 }
 
 void SegmentManager::AddRef(Cache* cache) {
+  MutexLock lock(mu_);
   Entry* entry = FindByCache(cache);
   assert(entry != nullptr);
   if (entry->refs == 0) {
@@ -282,55 +364,64 @@ void SegmentManager::AddRef(Cache* cache) {
 }
 
 void SegmentManager::Release(Cache* cache) {
-  Entry* entry = FindByCache(cache);
-  if (entry == nullptr) {
-    return;
+  // Collect the caches to destroy under the lock, destroy them after releasing
+  // it: Cache::Destroy may push dirty pages out, which re-enters this manager
+  // through the driver upcalls.
+  std::vector<Cache*> doomed;
+  {
+    MutexLock lock(mu_);
+    Entry* entry = FindByCache(cache);
+    if (entry == nullptr) {
+      return;
+    }
+    assert(entry->refs > 0);
+    if (--entry->refs > 0) {
+      return;
+    }
+    if (entry->temporary) {
+      // Unreferenced temporary data is garbage; discard immediately.
+      doomed.push_back(DetachEntryLocked(entry));
+    } else {
+      // Keep the unreferenced cache "as long as possible" (section 5.1.3).
+      unreferenced_.push_back(entry);
+      while (unreferenced_.size() > options_.cache_capacity) {
+        Entry* oldest = unreferenced_.front();
+        unreferenced_.pop_front();
+        doomed.push_back(DetachEntryLocked(oldest));
+        ++stats_.caches_discarded;
+      }
+    }
   }
-  assert(entry->refs > 0);
-  if (--entry->refs > 0) {
-    return;
+  for (Cache* victim : doomed) {
+    if (victim != nullptr) {
+      victim->Destroy();
+    }
   }
-  if (entry->temporary) {
-    // Unreferenced temporary data is garbage; discard immediately.
-    DestroyEntry(entry);
-    return;
-  }
-  // Keep the unreferenced cache "as long as possible" (section 5.1.3).
-  unreferenced_.push_back(entry);
-  TrimCachePool();
 }
 
-void SegmentManager::TrimCachePool() {
-  while (unreferenced_.size() > options_.cache_capacity) {
-    Entry* oldest = unreferenced_.front();
-    unreferenced_.pop_front();
-    DestroyEntry(oldest);
-    ++stats_.caches_discarded;
-  }
-}
-
-void SegmentManager::DestroyEntry(Entry* entry) {
-  if (entry->cache != nullptr) {
-    entry->cache->Destroy();
-  }
+Cache* SegmentManager::DetachEntryLocked(Entry* entry) {
+  Cache* cache = entry->cache;
   // The memory manager may still hold the cache in a "dying" state (section
   // 4.2.5), and dying caches keep using their driver for swap pull-ins.  Park the
   // driver in the graveyard instead of freeing it.  The swap segment itself is
   // likewise retained (dying caches may page against it); both are reclaimed when
   // the manager is torn down.
   driver_graveyard_.push_back(std::move(entry->driver));
+  unreferenced_.remove(entry);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (&*it == entry) {
       entries_.erase(it);
       break;
     }
   }
+  return cache;
 }
 
 SegmentDriver* SegmentManager::SegmentCreate(Cache& cache) {
   // The MM created a cache unilaterally (history/working object) or a temporary
   // cache needs backing: register it and hand out a driver whose swap segment is
   // allocated lazily on the first pushOut.
+  MutexLock lock(mu_);
   if (Entry* existing = FindByCache(&cache)) {
     return existing->driver.get();
   }
@@ -343,7 +434,47 @@ SegmentDriver* SegmentManager::SegmentCreate(Cache& cache) {
   return entry->driver.get();
 }
 
+// ---------------------------------------------------------------------------
+// Mapper crash recovery (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+void SegmentManager::MapperRecovered(MapperServer* server, uint64_t records_replayed,
+                                     uint64_t records_discarded) {
+  std::vector<Cache*> affected;
+  {
+    MutexLock lock(mu_);
+    ++stats_.recoveries;
+    for (Entry& entry : entries_) {
+      if (entry.cache == nullptr) {
+        continue;
+      }
+      // Valid capability: routed by port.  Invalid capability: an unbacked
+      // temporary whose first pushOut would go to the default mapper — if that
+      // is the one that crashed, it may be sitting degraded on a failed
+      // first-pushOut and needs the same re-drive.
+      const bool routed = entry.segment->valid()
+                              ? entry.segment->port == server->port()
+                              : server == default_mapper_;
+      if (routed) {
+        affected.push_back(entry.cache);
+      }
+    }
+  }
+  // Sync() re-issues every requeued dirty page (pushOut); the first success
+  // clears the cache's degraded flag and wakes the threads sleeping on its
+  // pages.  Caches with nothing dirty are a no-op.  A still-failing sync leaves
+  // the cache degraded — recovery is only complete when the pushes land.
+  for (Cache* cache : affected) {
+    Status s = cache->Sync();
+    if (s != Status::kOk) {
+      GVM_LOG(Debug) << "post-recovery sync failed: " << StatusName(s);
+    }
+  }
+  mm_.NoteMapperRecovery(records_replayed, records_discarded);
+}
+
 Result<Capability> SegmentManager::LocalCacheCapability(Cache* cache) {
+  MutexLock lock(mu_);
   Entry* entry = FindByCache(cache);
   if (entry == nullptr) {
     return Status::kNotFound;
@@ -358,6 +489,7 @@ Result<Cache*> SegmentManager::ResolveLocalCache(const Capability& cap) {
   if (cap.port != local_port_) {
     return Status::kPermissionDenied;
   }
+  MutexLock lock(mu_);
   for (Entry& entry : entries_) {
     if (entry.local_key == cap.key) {
       return entry.cache;
@@ -366,6 +498,9 @@ Result<Cache*> SegmentManager::ResolveLocalCache(const Capability& cap) {
   return Status::kNotFound;
 }
 
-size_t SegmentManager::CachedSegmentCount() const { return unreferenced_.size(); }
+size_t SegmentManager::CachedSegmentCount() const {
+  MutexLock lock(mu_);
+  return unreferenced_.size();
+}
 
 }  // namespace gvm

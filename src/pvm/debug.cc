@@ -126,6 +126,11 @@ std::string PagedVm::DumpStats() const {
       << " pushout_requeues=" << d.pushout_requeues << " degraded=" << d.degraded_segments
       << " alloc_retries=" << d.alloc_pressure_retries
       << " pullin_clustered=" << d.pullin_clustered << "\n";
+  out << "crash: mapper_crashes=" << d.mapper_crashes_observed
+      << " recoveries=" << d.recoveries_completed
+      << " journal_replays=" << d.journal_replays
+      << " journal_discarded=" << d.journal_records_discarded
+      << " reissued=" << d.requests_reissued << "\n";
   out << "tlb: hits=" << cs.tlb_hits << " misses=" << cs.tlb_misses
       << " shootdowns=" << cs.tlb_shootdowns << " shootdown_pages=" << cs.tlb_shootdown_pages
       << "\n";

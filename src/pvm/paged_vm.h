@@ -49,6 +49,12 @@ struct PvmDetailStats {
   // Fault-around: adjacent resident-in-mapper pages materialized and mapped as a
   // side effect of a neighbouring fault (each one is a fault round-trip saved).
   uint64_t pullin_clustered = 0;
+  // Mapper crash-recovery accounting (DESIGN.md §11).
+  uint64_t mapper_crashes_observed = 0;   // upcalls that came back kPortDead
+  uint64_t recoveries_completed = 0;      // NoteMapperRecovery notifications
+  uint64_t journal_replays = 0;           // committed records replayed across recoveries
+  uint64_t journal_records_discarded = 0; // torn/corrupt records truncated across recoveries
+  uint64_t requests_reissued = 0;         // requeued pushes that later succeeded
 };
 
 class PagedVm final : public BaseMm {
@@ -98,6 +104,11 @@ class PagedVm final : public BaseMm {
   // ---- MemoryManager ----
   Result<Cache*> CacheCreate(SegmentDriver* driver, std::string name) override;
   const char* name() const override { return "PVM"; }
+  // A crashed mapper finished recovery: fold the journal-replay counts into the
+  // detail stats.  (Degraded caches exit via the next successful pushOut, which
+  // the segment manager triggers by Sync()ing the affected caches.)
+  void NoteMapperRecovery(uint64_t records_replayed,
+                          uint64_t records_discarded) override GVM_EXCLUDES(mu_);
 
   // Snapshot of the PVM-specific counters, taken under the manager lock
   // (returned by value: debug dumps and benches read these concurrently).

@@ -225,6 +225,11 @@ Status PagedVm::PushOutPageLocked(MutexLock& lock, PvmCache& cache,
     cache.pushed_pages_.insert(PageIndex(offset));
     again->sw_dirty = false;
     // A successful write to the segment is proof of recovery.
+    if (cache.pushout_failures_ > 0 || cache.degraded_) {
+      // This push carried data that an earlier attempt failed to save (a
+      // requeued page re-issued after the mapper came back).
+      ++detail_.requests_reissued;
+    }
     cache.pushout_failures_ = 0;
     cache.degraded_ = false;
     if (free_after && again->pin_count == 0) {
@@ -233,6 +238,13 @@ Status PagedVm::PushOutPageLocked(MutexLock& lock, PvmCache& cache,
   } else {
     if (pushed == Status::kBusError) {
       ++detail_.io_permanent_failures;
+    }
+    if (pushed == Status::kPortDead) {
+      // The mapper actor died mid-request.  Unlike a transient I/O error it
+      // will fail every subsequent push until somebody recovers it, so degrade
+      // immediately instead of burning the failure budget on a dead port.
+      ++detail_.mapper_crashes_observed;
+      cache.pushout_failures_ = options_.degrade_after_failures;
     }
     // Requeue, never drop: re-assert sw_dirty (the MMU bits died with the unmap
     // above, so without this a page whose dirtiness lived only in hardware bits
@@ -300,15 +312,21 @@ Status PagedVm::PullInLocked(MutexLock& lock, PvmCache& cache,
     if (pulled == Status::kBusError) {
       ++detail_.io_permanent_failures;
     }
+    if (pulled == Status::kPortDead) {
+      // The mapper died under us.  Pulls carry no dirty data, so nothing is
+      // lost and nothing needs requeueing — count the crash and fail the
+      // faulting access fast; a re-fault after recovery will succeed.
+      ++detail_.mapper_crashes_observed;
+    }
     // Failed for good: remove the stub (if the driver did not fill after all) and
-    // wake every sleeper so each re-derives state and observes a clean bus error
+    // wake every sleeper so each re-derives state and observes a clean error
     // instead of hanging on a stub nobody will resolve.
     MapEntry* entry = FindEntry(cache, page_offset);
     if (entry != nullptr && entry->kind == MapEntry::Kind::kSyncStub) {
       map_.Erase(cache.id(), PageIndex(page_offset));
     }
     sleepers_.WakeAll(StubKey(cache, page_offset), mu_);
-    return Status::kBusError;
+    return pulled == Status::kPortDead ? Status::kPortDead : Status::kBusError;
   }
   // Synchronous drivers have already called FillUp (replacing the stub).  An
   // asynchronous driver fills later from another thread: sleep until it does.
@@ -321,6 +339,13 @@ Status PagedVm::PullInLocked(MutexLock& lock, PvmCache& cache,
     sleepers_.Wait(StubKey(cache, page_offset), mu_);
   }
   return Status::kBusError;
+}
+
+void PagedVm::NoteMapperRecovery(uint64_t records_replayed, uint64_t records_discarded) {
+  MutexLock lock(mu_);
+  ++detail_.recoveries_completed;
+  detail_.journal_replays += records_replayed;
+  detail_.journal_records_discarded += records_discarded;
 }
 
 }  // namespace gvm

@@ -11,6 +11,8 @@
 //   rank | Rank enum          | capability                   | guards
 //   -----+--------------------+------------------------------+------------------------------------------
 //    -1  | kUnranked          | ad-hoc test mutexes          | (exempt from ordering; recursion checked)
+//     4  | kSegmentManager    | SegmentManager::mu_          | entry list, mapper table, RPC stats
+//     6  | kMapperServe       | MapperServer::serve_mu_      | one-at-a-time dispatch (bypassed by DSM)
 //    10  | kClient            | mapper/test driver locks     | segment-driver state; drivers re-enter MM
 //    20  | kIpc               | Ipc::mu_                     | port table, queues, dead flags
 //    30  | kMmManager         | BaseMm::mu_                  | regions, contexts, caches, stubs, stats
@@ -24,6 +26,7 @@
 #ifndef GVM_SRC_SYNC_ANNOTATED_MUTEX_H_
 #define GVM_SRC_SYNC_ANNOTATED_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -232,6 +235,19 @@ class CondVar {
   template <typename Pred>
   void Wait(Mutex& mu, Pred pred) GVM_REQUIRES(mu) {
     while (!pred()) Wait(mu);
+  }
+  // Timed wait: returns false if `timeout_us` elapsed without a notification
+  // (callers re-check their predicate either way — spurious wakeups allowed).
+  // Same rank bookkeeping as Wait(): the held stack stays truthful across the
+  // blocked window.
+  bool WaitFor(Mutex& mu, uint64_t timeout_us) GVM_REQUIRES(mu) {
+    lock_rank::OnRelease(&mu);
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(native, std::chrono::microseconds(timeout_us));
+    native.release();
+    lock_rank::BeforeAcquire(&mu, mu.rank(), mu.name());
+    return status == std::cv_status::no_timeout;
   }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -29,6 +29,18 @@ enum class Rank : int {
   // Exempt from ordering (still checked for recursive acquisition).  Used by
   // ad-hoc test mutexes that have no place in the kernel hierarchy.
   kUnranked = -1,
+  // SegmentManager::mu_ (entries, mapper table, RPC stats).  Below every other
+  // lock: manager code calls onward into mapper stores (kClient), IPC (kIpc)
+  // and the memory managers (kMmManager) while holding it — and is never
+  // entered with any of those held (PVM upcalls drop the manager lock first).
+  kSegmentManager = 4,
+  // MapperServer::serve_mu_: serializes request dispatch into one mapper
+  // instance (the in-process analogue of the serve thread).  Dispatch calls
+  // into the mapper's backing store (kClient) and IPC (kIpc).  Mappers that
+  // synchronize internally (the DSM coherent mapper, whose recalls nest
+  // servers across sites) bypass this lock entirely — see
+  // Mapper::thread_safe_dispatch().
+  kMapperServe = 6,
   // Mapper clients and test segment drivers: invoked via upcalls with every
   // kernel lock dropped, and may legitimately re-enter the managers below.
   kClient = 10,

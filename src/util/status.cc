@@ -16,6 +16,10 @@ std::string_view StatusName(Status s) {
       return "kProtectionFault";
     case Status::kBusError:
       return "kBusError";
+    case Status::kPortDead:
+      return "kPortDead";
+    case Status::kTimeout:
+      return "kTimeout";
     case Status::kInvalidArgument:
       return "kInvalidArgument";
     case Status::kNotFound:

@@ -20,6 +20,8 @@ enum class Status {
   kSegmentationFault,  // no region covers the faulting address
   kProtectionFault,    // region protection forbids the access
   kBusError,           // mapper could not provide the data (I/O error analogue)
+  kPortDead,           // the server's port died mid-request (mapper crash)
+  kTimeout,            // a bounded send/receive deadline expired
   // Logical errors (normally filtered by the upper layers; returned, not asserted,
   // so that tests can probe the boundaries).
   kInvalidArgument,

@@ -1,0 +1,301 @@
+// Seeded mapper crash-loop chaos harness, shared by tests/crash_recovery_test.cc
+// and the tools/ repro+minimize drivers.
+//
+// One run builds a full kernel world — PagedVm under frame pressure, Nucleus,
+// a JournaledSwapMapper behind a MapperServer as the default mapper — arms the
+// crash-class fault sites from a seeded injector, and drives random cache
+// traffic from worker threads while a supervisor thread plays the role of the
+// actor-manager: whenever the mapper dies it replays the journal, revives the
+// port and tells the segment manager, exactly the recovery protocol of
+// DESIGN.md §11.  A per-cache byte oracle tracks every acknowledged write
+// (caches are partitioned across workers, so each model has a single writer);
+// the run fails if an acknowledged byte is ever lost or a read disagrees with
+// the acknowledged history.
+#ifndef GVM_TESTS_CRASH_HARNESS_H_
+#define GVM_TESTS_CRASH_HARNESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/hal/soft_mmu.h"
+#include "src/nucleus/journal_mapper.h"
+#include "src/nucleus/nucleus.h"
+#include "src/pvm/paged_vm.h"
+#include "src/util/rng.h"
+
+namespace gvm {
+
+struct CrashChaosConfig {
+  uint64_t seed = 1;
+  // Injector plan specs, e.g. {"crashwrite:prob:8"}; see FaultInjector::ApplySpec.
+  std::vector<std::string> fault_specs;
+  int threads = 1;
+  int steps_per_thread = 80;
+  int caches = 2;
+  size_t pages_per_cache = 8;
+  size_t frames = 24;  // small pool => eviction pressure => pushOut traffic
+  bool use_ipc_transport = false;
+};
+
+struct CrashChaosReport {
+  bool ok = false;
+  std::string failure;  // empty when ok; includes a journal dump otherwise
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t journal_replays = 0;
+  uint64_t journal_records_discarded = 0;
+  uint64_t duplicate_requests_ignored = 0;
+};
+
+namespace crash_harness_internal {
+inline constexpr size_t kPage = 4096;
+}  // namespace crash_harness_internal
+
+// The supervisor's recovery protocol, also usable directly from tests: replay
+// the durable journal into a fresh mapper incarnation, revive the port, then
+// let the kernel re-drive the affected caches.
+inline JournaledSwapMapper::RecoveryReport RecoverAndRestart(
+    JournaledSwapMapper& mapper, MapperServer& server, SegmentManager& sm) {
+  JournaledSwapMapper::RecoveryReport report = mapper.Recover();
+  server.Restart();
+  sm.MapperRecovered(&server, report.records_replayed, report.records_discarded);
+  return report;
+}
+
+inline CrashChaosReport RunCrashChaos(const CrashChaosConfig& config) {
+  using crash_harness_internal::kPage;
+  CrashChaosReport report;
+
+  PhysicalMemory memory(config.frames, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm vm(memory, mmu);
+  Nucleus::Options nucleus_options;
+  nucleus_options.segment_manager.use_ipc_transport = config.use_ipc_transport;
+  nucleus_options.segment_manager.rpc_deadline_us = 200'000;
+  Nucleus nucleus(vm, nucleus_options);
+  JournalStore store(kPage);
+  JournaledSwapMapper mapper(store);
+  MapperServer server(nucleus.ipc(), mapper);
+  nucleus.BindDefaultMapper(&server);
+  if (config.use_ipc_transport) {
+    server.Start();
+  }
+  FaultInjector injector(config.seed);
+  mapper.BindFaultInjector(&injector);
+  server.BindFaultInjector(&injector);
+  for (const std::string& spec : config.fault_specs) {
+    std::string error;
+    if (!injector.ApplySpec(spec, &error)) {
+      report.failure = "bad fault spec '" + spec + "': " + error;
+      return report;
+    }
+  }
+  SegmentManager& sm = nucleus.segment_manager();
+
+  const size_t seg_bytes = config.pages_per_cache * kPage;
+  std::vector<Cache*> caches;
+  for (int i = 0; i < config.caches; ++i) {
+    Result<Cache*> cache = sm.AcquireTemporaryCache("chaos" + std::to_string(i));
+    if (!cache.ok()) {
+      report.failure = "AcquireTemporaryCache failed";
+      return report;
+    }
+    caches.push_back(*cache);
+  }
+
+  // The supervisor: detect death, recover, restart, notify — then the kernel
+  // re-issues what it still owes (requeued dirty pages drain via Sync).
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> recoveries{0};
+  std::thread supervisor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (server.crashed()) {
+        RecoverAndRestart(mapper, server, sm);
+        recoveries.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Workers own disjoint cache groups (cache i belongs to thread i % threads),
+  // so each oracle model has exactly one writer and verification is exact.
+  std::atomic<bool> failed{false};
+  std::vector<std::string> thread_failures(static_cast<size_t>(config.threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(config.seed * 1000003 + static_cast<uint64_t>(t));
+      std::vector<size_t> mine;
+      for (size_t i = 0; i < caches.size(); ++i) {
+        if (static_cast<int>(i % static_cast<size_t>(config.threads)) == t) {
+          mine.push_back(i);
+        }
+      }
+      if (mine.empty()) {
+        return;
+      }
+      std::vector<std::vector<std::byte>> model(
+          mine.size(), std::vector<std::byte>(seg_bytes, std::byte{0}));
+
+      // After an unacknowledged mutation the cache state is indeterminate:
+      // resynchronize the model from an authoritative read, riding out any
+      // crashes the read itself provokes (the supervisor keeps reviving).
+      auto resync = [&](size_t m) -> bool {
+        for (int attempt = 0; attempt < 2000; ++attempt) {
+          if (caches[mine[m]]->Read(0, model[m].data(), seg_bytes) == Status::kOk) {
+            return true;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+        return false;
+      };
+
+      for (int step = 0; step < config.steps_per_thread && !failed.load(); ++step) {
+        size_t m = rng.Below(mine.size());
+        Cache* cache = caches[mine[m]];
+        uint64_t roll = rng.Below(100);
+        if (roll < 50) {
+          size_t off = rng.Below(seg_bytes - 1);
+          size_t size = 1 + rng.Below(std::min<size_t>(seg_bytes - off, 2 * kPage));
+          std::vector<std::byte> data(size);
+          for (auto& b : data) b = static_cast<std::byte>(rng.Below(256));
+          Status s = cache->Write(off, data.data(), size);
+          if (s == Status::kOk) {
+            std::memcpy(model[m].data() + off, data.data(), size);
+          } else if (!resync(m)) {
+            thread_failures[t] = "resync after failed write never succeeded (step " +
+                                 std::to_string(step) + ")";
+            failed.store(true);
+            return;
+          }
+        } else if (roll < 85) {
+          size_t off = rng.Below(seg_bytes - 1);
+          size_t size = 1 + rng.Below(std::min<size_t>(seg_bytes - off, 2 * kPage));
+          std::vector<std::byte> got(size);
+          Status s = cache->Read(off, got.data(), size);
+          if (s == Status::kOk &&
+              std::memcmp(got.data(), model[m].data() + off, size) != 0) {
+            thread_failures[t] = "read diverged from acknowledged history at step " +
+                                 std::to_string(step);
+            failed.store(true);
+            return;
+          }
+        } else {
+          (void)cache->Sync();  // failures are fine; data must not be lost
+        }
+      }
+
+      // The storm is over for this worker: verify every acknowledged byte.
+      // Plans may still be firing from other workers, so ride out failures.
+      for (size_t m = 0; m < mine.size(); ++m) {
+        std::vector<std::byte> got(seg_bytes);
+        bool read_ok = false;
+        for (int attempt = 0; attempt < 2000 && !failed.load(); ++attempt) {
+          if (caches[mine[m]]->Read(0, got.data(), seg_bytes) == Status::kOk) {
+            read_ok = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+        if (!read_ok) {
+          thread_failures[t] = "final read never succeeded for cache " +
+                               std::to_string(mine[m]);
+          failed.store(true);
+          return;
+        }
+        if (std::memcmp(got.data(), model[m].data(), seg_bytes) != 0) {
+          thread_failures[t] =
+              "acknowledged data lost in cache " + std::to_string(mine[m]);
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  // Quiesce: stop injecting, run one final recovery if the last crash is still
+  // outstanding, and drain every cache to the store.
+  injector.ClearAllPlans();
+  std::string drain_failure;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    if (server.crashed()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      continue;  // supervisor is on it
+    }
+    bool all_ok = true;
+    for (Cache* cache : caches) {
+      if (cache->Sync() != Status::kOk) {
+        all_ok = false;
+      }
+    }
+    if (all_ok) {
+      drain_failure.clear();
+      break;
+    }
+    drain_failure = "final Sync did not converge";
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  stop.store(true, std::memory_order_release);
+  supervisor.join();
+  if (config.use_ipc_transport) {
+    server.Stop();
+  }
+
+  report.crashes = server.crashes();
+  report.recoveries = recoveries.load();
+  PvmDetailStats detail = vm.detail_stats();
+  report.journal_replays = detail.journal_replays;
+  report.journal_records_discarded = detail.journal_records_discarded;
+  report.duplicate_requests_ignored = mapper.duplicate_requests_ignored();
+
+  std::ostringstream failure;
+  for (const std::string& tf : thread_failures) {
+    if (!tf.empty()) {
+      failure << tf << "; ";
+    }
+  }
+  if (!drain_failure.empty()) {
+    failure << drain_failure << "; ";
+  }
+  if (vm.InTransitCount() != 0) {
+    failure << "pages left in transit; ";
+  }
+  if (vm.SyncStubCount() != 0) {
+    failure << "sync stubs leaked; ";
+  }
+  if (vm.CheckInvariants() != Status::kOk) {
+    failure << "PVM invariants violated; ";
+  }
+  for (Cache* cache : caches) {
+    sm.Release(cache);
+  }
+  if (failure.str().empty()) {
+    report.ok = true;
+  } else {
+    // Everything a postmortem needs: the config, the counters, the record walk.
+    std::ostringstream out;
+    out << "crash chaos failed (seed=" << config.seed << " threads=" << config.threads
+        << " transport=" << (config.use_ipc_transport ? "ipc" : "in-process") << " specs=[";
+    for (const std::string& spec : config.fault_specs) {
+      out << spec << " ";
+    }
+    out << "]): " << failure.str() << "\n"
+        << "crashes=" << report.crashes << " recoveries=" << report.recoveries << "\n"
+        << store.DebugDump() << vm.DumpStats();
+    report.failure = out.str();
+  }
+  return report;
+}
+
+}  // namespace gvm
+
+#endif  // GVM_TESTS_CRASH_HARNESS_H_

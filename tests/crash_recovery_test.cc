@@ -1,0 +1,569 @@
+// Mapper crash-recovery (DESIGN.md §11): the journaled swap mapper's
+// write-ahead log (durability of committed records, discard of torn ones,
+// idempotent replay, sequence-number deduplication), the IPC deadline and
+// port-death machinery that turns a mapper crash into a prompt kPortDead, the
+// kernel-side recovery protocol (degrade, re-bind, drain-exactly-once), and the
+// seeded crash-loop chaos harness across all three crash sites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/hal/soft_mmu.h"
+#include "src/nucleus/journal_mapper.h"
+#include "src/nucleus/nucleus.h"
+#include "src/pvm/paged_vm.h"
+#include "tests/crash_harness.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+std::vector<std::byte> Pattern(size_t size, uint8_t salt) {
+  std::vector<std::byte> data(size);
+  for (size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::byte>(i * 31 + salt);
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Journal unit tests: crash at every record boundary
+// ---------------------------------------------------------------------------
+
+constexpr int kScriptWrites = 6;
+
+// Deterministic script: one alloc (seq 1) then kScriptWrites whole-page writes
+// (seq 2..).  Returns the journal length after each record — the candidate
+// crash points.
+uint64_t RunScript(JournalStore& store, std::vector<size_t>* boundaries) {
+  JournaledSwapMapper mapper(store);
+  uint64_t key = *mapper.AllocateTemporarySeq(kScriptWrites * kPage, /*seq=*/1);
+  boundaries->push_back(store.JournalBytes());
+  for (int i = 0; i < kScriptWrites; ++i) {
+    std::vector<std::byte> data = Pattern(kPage, static_cast<uint8_t>(i));
+    EXPECT_EQ(mapper.WriteSeq(key, i * kPage, data.data(), kPage,
+                              /*seq=*/2 + static_cast<uint64_t>(i)),
+              Status::kOk);
+    boundaries->push_back(store.JournalBytes());
+  }
+  return key;
+}
+
+TEST(JournalMapperTest, FreshJournalRecoversToEmpty) {
+  JournalStore store(kPage);
+  JournaledSwapMapper mapper(store);
+  JournaledSwapMapper::RecoveryReport report = mapper.Recover();
+  EXPECT_EQ(report.records_replayed, 0u);
+  EXPECT_EQ(report.records_discarded, 0u);
+  EXPECT_EQ(report.bytes_truncated, 0u);
+  EXPECT_EQ(store.JournalBytes(), 0u);
+}
+
+// The core durability property: simulate a crash at *every* record boundary
+// and at points inside every record, wipe the checkpointed page area, and
+// recover from the log alone.  A write whose record committed before the cut
+// must read back intact; everything after the cut must be gone; a mid-record
+// cut must be truncated as exactly one discarded record.
+TEST(JournalMapperTest, CommittedWritesSurviveCrashAtEveryRecordBoundary) {
+  std::vector<size_t> reference_boundaries;
+  {
+    JournalStore scratch(kPage);
+    RunScript(scratch, &reference_boundaries);
+  }
+  ASSERT_EQ(reference_boundaries.size(), static_cast<size_t>(kScriptWrites) + 1);
+
+  std::vector<size_t> cuts;
+  size_t prev = 0;
+  for (size_t boundary : reference_boundaries) {
+    cuts.push_back(boundary);            // clean crash: record fully committed
+    cuts.push_back(prev + 1);            // torn: one byte of the next record
+    cuts.push_back((prev + boundary) / 2);  // torn: mid-record
+    prev = boundary;
+  }
+
+  for (size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    JournalStore store(kPage);
+    std::vector<size_t> boundaries;
+    uint64_t key = RunScript(store, &boundaries);
+    ASSERT_EQ(boundaries, reference_boundaries);
+
+    store.TruncateJournal(cut);
+    store.WipePageAreaForTest();
+    JournaledSwapMapper recovered(store);
+    JournaledSwapMapper::RecoveryReport report = recovered.Recover();
+
+    size_t committed = 0;
+    for (size_t boundary : boundaries) {
+      if (boundary <= cut) {
+        ++committed;
+      }
+    }
+    bool clean_cut = committed > 0 && boundaries[committed - 1] == cut;
+    EXPECT_EQ(report.records_replayed, committed);
+    EXPECT_EQ(report.records_discarded, clean_cut || cut == 0 ? 0u : 1u);
+    // Recovery truncated the torn tail: the journal ends at the last committed
+    // record, so future appends land on a clean prefix.
+    EXPECT_EQ(store.JournalBytes(), committed == 0 ? 0u : boundaries[committed - 1]);
+
+    if (committed == 0) {
+      // Even the alloc record was lost: the segment never existed.
+      std::vector<std::byte> out;
+      EXPECT_EQ(recovered.Read(key, 0, kPage, &out), Status::kNotFound);
+      continue;
+    }
+    for (int i = 0; i < kScriptWrites; ++i) {
+      std::vector<std::byte> out;
+      ASSERT_EQ(recovered.Read(key, i * kPage, kPage, &out), Status::kOk);
+      if (static_cast<size_t>(i) + 1 < committed) {
+        // Committed before the crash: durable, byte for byte.
+        std::vector<std::byte> expect = Pattern(kPage, static_cast<uint8_t>(i));
+        EXPECT_EQ(std::memcmp(out.data(), expect.data(), kPage), 0) << "write " << i;
+      } else {
+        // Never committed: the write never happened (reads back as zeroes).
+        EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                                [](std::byte b) { return b == std::byte{0}; }))
+            << "write " << i << " leaked through the crash";
+      }
+    }
+  }
+}
+
+TEST(JournalMapperTest, CrashBeforeWriteLeavesNothingDurable) {
+  JournalStore store(kPage);
+  JournaledSwapMapper mapper(store);
+  FaultInjector injector;
+  mapper.BindFaultInjector(&injector);
+  uint64_t key = *mapper.AllocateTemporarySeq(kPage, /*seq=*/1);
+  size_t journal_before = store.JournalBytes();
+
+  ASSERT_TRUE(injector.ApplySpec("crashwrite:nth:1"));
+  std::vector<std::byte> data = Pattern(kPage, 0xaa);
+  EXPECT_EQ(mapper.WriteSeq(key, 0, data.data(), kPage, /*seq=*/2), Status::kPortDead);
+  EXPECT_TRUE(mapper.ConsumeCrash());
+  // Died before the intent reached the log: not a single byte appended.
+  EXPECT_EQ(store.JournalBytes(), journal_before);
+
+  JournaledSwapMapper::RecoveryReport report = mapper.Recover();
+  EXPECT_EQ(report.records_replayed, 1u);  // just the alloc
+  EXPECT_EQ(report.records_discarded, 0u);
+
+  // The kernel never got an ack, so it re-issues with the same sequence
+  // number; the write applies exactly once.
+  EXPECT_EQ(mapper.WriteSeq(key, 0, data.data(), kPage, /*seq=*/2), Status::kOk);
+  std::vector<std::byte> out;
+  ASSERT_EQ(mapper.Read(key, 0, kPage, &out), Status::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), kPage), 0);
+}
+
+TEST(JournalMapperTest, TornMidWriteRecordIsDiscardedByRecovery) {
+  JournalStore store(kPage);
+  JournaledSwapMapper mapper(store);
+  FaultInjector injector;
+  mapper.BindFaultInjector(&injector);
+  uint64_t key = *mapper.AllocateTemporarySeq(kPage, /*seq=*/1);
+  size_t journal_before = store.JournalBytes();
+
+  ASSERT_TRUE(injector.ApplySpec("crashmidwrite:nth:1"));
+  std::vector<std::byte> data = Pattern(kPage, 0x5c);
+  EXPECT_EQ(mapper.WriteSeq(key, 0, data.data(), kPage, /*seq=*/2), Status::kPortDead);
+  EXPECT_TRUE(mapper.ConsumeCrash());
+  // A torn prefix (no commit marker) reached the log.
+  size_t torn = store.JournalBytes();
+  ASSERT_GT(torn, journal_before);
+
+  JournaledSwapMapper::RecoveryReport report = mapper.Recover();
+  EXPECT_EQ(report.records_replayed, 1u);
+  EXPECT_EQ(report.records_discarded, 1u);
+  EXPECT_EQ(report.bytes_truncated, torn - journal_before);
+  EXPECT_EQ(store.JournalBytes(), journal_before);
+
+  // The torn write never happened...
+  std::vector<std::byte> out;
+  ASSERT_EQ(mapper.Read(key, 0, kPage, &out), Status::kOk);
+  EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                          [](std::byte b) { return b == std::byte{0}; }));
+  // ...and its re-issue (same seq: the dedup entry died with the torn record)
+  // applies normally.
+  EXPECT_EQ(mapper.WriteSeq(key, 0, data.data(), kPage, /*seq=*/2), Status::kOk);
+  ASSERT_EQ(mapper.Read(key, 0, kPage, &out), Status::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), kPage), 0);
+}
+
+TEST(JournalMapperTest, DoubleReplayIsIdempotent) {
+  JournalStore store(kPage);
+  std::vector<size_t> boundaries;
+  uint64_t key = RunScript(store, &boundaries);
+
+  JournaledSwapMapper recovered(store);
+  JournaledSwapMapper::RecoveryReport first = recovered.Recover();
+  JournaledSwapMapper::RecoveryReport second = recovered.Recover();
+  EXPECT_EQ(first.records_replayed, static_cast<uint64_t>(kScriptWrites) + 1);
+  EXPECT_EQ(second.records_replayed, first.records_replayed);
+  EXPECT_EQ(second.records_discarded, 0u);
+  EXPECT_EQ(store.JournalBytes(), boundaries.back());
+  for (int i = 0; i < kScriptWrites; ++i) {
+    std::vector<std::byte> out;
+    std::vector<std::byte> expect = Pattern(kPage, static_cast<uint8_t>(i));
+    ASSERT_EQ(recovered.Read(key, i * kPage, kPage, &out), Status::kOk);
+    EXPECT_EQ(std::memcmp(out.data(), expect.data(), kPage), 0);
+  }
+}
+
+TEST(JournalMapperTest, ReissuedWriteWithSeenSequenceIsNotAppliedTwice) {
+  JournalStore store(kPage);
+  JournaledSwapMapper mapper(store);
+  uint64_t key = *mapper.AllocateTemporarySeq(kPage, /*seq=*/1);
+  std::vector<std::byte> original = Pattern(kPage, 0x11);
+  ASSERT_EQ(mapper.WriteSeq(key, 0, original.data(), kPage, /*seq=*/7), Status::kOk);
+  uint64_t applied = store.applied_writes();
+  size_t journal = store.JournalBytes();
+
+  // Same sequence number, different payload: this models the kernel re-issuing
+  // a request whose original was applied but whose ack was lost.  It must be
+  // acknowledged without journaling or applying anything.
+  std::vector<std::byte> imposter = Pattern(kPage, 0x99);
+  EXPECT_EQ(mapper.WriteSeq(key, 0, imposter.data(), kPage, /*seq=*/7), Status::kOk);
+  EXPECT_EQ(mapper.duplicate_requests_ignored(), 1u);
+  EXPECT_EQ(store.applied_writes(), applied);
+  EXPECT_EQ(store.JournalBytes(), journal);
+  std::vector<std::byte> out;
+  ASSERT_EQ(mapper.Read(key, 0, kPage, &out), Status::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), original.data(), kPage), 0);
+}
+
+TEST(JournalMapperTest, CorruptRecordTruncatesTailButKeepsPrefix) {
+  JournalStore store(kPage);
+  std::vector<size_t> boundaries;
+  uint64_t key = RunScript(store, &boundaries);
+
+  // Flip a byte inside the second write's record (after alloc + write 0).
+  store.FlipJournalByte(boundaries[1] + 20);
+  store.WipePageAreaForTest();
+  JournaledSwapMapper recovered(store);
+  JournaledSwapMapper::RecoveryReport report = recovered.Recover();
+  EXPECT_EQ(report.records_replayed, 2u);  // alloc + write 0
+  EXPECT_EQ(report.records_discarded, 1u);
+  EXPECT_EQ(store.JournalBytes(), boundaries[1]);
+
+  std::vector<std::byte> out;
+  std::vector<std::byte> expect = Pattern(kPage, 0);
+  ASSERT_EQ(recovered.Read(key, 0, kPage, &out), Status::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), expect.data(), kPage), 0);
+  ASSERT_EQ(recovered.Read(key, kPage, kPage, &out), Status::kOk);
+  EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                          [](std::byte b) { return b == std::byte{0}; }));
+
+  // The log accepts fresh appends after truncation, and they are durable.
+  std::vector<std::byte> fresh = Pattern(kPage, 0xd2);
+  ASSERT_EQ(recovered.WriteSeq(key, kPage, fresh.data(), kPage, /*seq=*/50), Status::kOk);
+  EXPECT_EQ(recovered.Recover().records_replayed, 3u);
+  ASSERT_EQ(recovered.Read(key, kPage, kPage, &out), Status::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), fresh.data(), kPage), 0);
+}
+
+TEST(JournalMapperTest, ReissuedAllocationReturnsTheSameKeyAcrossRecovery) {
+  JournalStore store(kPage);
+  JournaledSwapMapper mapper(store);
+  uint64_t key = *mapper.AllocateTemporarySeq(kPage, /*seq=*/3);
+
+  // Re-issue before any crash: deduplicated in memory.
+  EXPECT_EQ(*mapper.AllocateTemporarySeq(kPage, /*seq=*/3), key);
+  EXPECT_EQ(mapper.duplicate_requests_ignored(), 1u);
+
+  // Re-issue after a restart: the dedup table is rebuilt from the journal, so
+  // the committed-but-unacked allocation is still not duplicated.
+  mapper.Recover();
+  size_t journal = store.JournalBytes();
+  EXPECT_EQ(*mapper.AllocateTemporarySeq(kPage, /*seq=*/3), key);
+  EXPECT_EQ(store.JournalBytes(), journal);  // no second alloc record
+}
+
+// ---------------------------------------------------------------------------
+// IPC: deadlines, death links, revival
+// ---------------------------------------------------------------------------
+
+TEST(IpcDeadlineTest, ReceiveTimesOutOnAnEmptyPort) {
+  Ipc ipc;
+  PortId port = ipc.PortCreate();
+  Result<Message> got = ipc.Receive(port, /*deadline_us=*/2000);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status(), Status::kTimeout);
+}
+
+TEST(IpcDeadlineTest, CallTimesOutWhenTheServerNeverReplies) {
+  Ipc ipc;
+  PortId port = ipc.PortCreate();  // alive, but nobody serves it
+  Result<Message> got = ipc.Call(port, Message{}, /*deadline_us=*/2000);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status(), Status::kTimeout);
+}
+
+TEST(IpcDeadlineTest, CallFailsFastWhenTheServerPortDies) {
+  Ipc ipc;
+  PortId port = ipc.PortCreate();
+  std::atomic<bool> calling{false};
+  Result<Message> got = Status::kTimeout;
+  std::thread caller([&] {
+    calling.store(true);
+    // No deadline: only the death link can end this call.
+    got = ipc.Call(port, Message{}, /*deadline_us=*/0);
+  });
+  while (!calling.load()) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ipc.PortDestroy(port);
+  caller.join();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status(), Status::kPortDead);
+}
+
+TEST(IpcDeadlineTest, ReplyQueuedBeforeDeathIsStillDelivered) {
+  Ipc ipc;
+  PortId port = ipc.PortCreate();
+  std::thread server([&] {
+    Result<Message> request = ipc.Receive(port);
+    ASSERT_TRUE(request.ok());
+    Message reply;
+    reply.arg0 = 0xfeed;
+    ASSERT_EQ(ipc.Send(request->reply_to.port, reply), Status::kOk);
+    // The server dies immediately after replying; the reply must win over the
+    // death notification because it was queued first.
+    ipc.PortDestroy(port);
+  });
+  Result<Message> got = ipc.Call(port, Message{}, /*deadline_us=*/0);
+  server.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->arg0, 0xfeedu);
+}
+
+TEST(IpcDeadlineTest, DeadPortIsDistinguishedFromUnknownPortAndCanBeRevived) {
+  Ipc ipc;
+  EXPECT_EQ(ipc.Send(0x7777, Message{}), Status::kNotFound);
+
+  PortId port = ipc.PortCreate();
+  ipc.PortDestroy(port);
+  EXPECT_EQ(ipc.Send(port, Message{}), Status::kPortDead);
+  Result<Message> got = ipc.Receive(port, /*deadline_us=*/1000);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status(), Status::kPortDead);
+
+  // Revival keeps the PortId (capabilities naming it stay valid).
+  ipc.PortRevive(port);
+  Message message;
+  message.arg0 = 42;
+  EXPECT_EQ(ipc.Send(port, message), Status::kOk);
+  got = ipc.Receive(port, /*deadline_us=*/1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->arg0, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-side recovery protocol
+// ---------------------------------------------------------------------------
+
+struct CrashWorld {
+  PhysicalMemory memory;
+  SoftMmu mmu;
+  PagedVm vm;
+  Nucleus nucleus;
+  JournalStore store;
+  JournaledSwapMapper mapper;
+  MapperServer server;
+  FaultInjector injector;
+
+  explicit CrashWorld(uint64_t seed = 1, bool use_ipc_transport = false)
+      : memory(64, kPage),
+        mmu(kPage),
+        vm(memory, mmu),
+        nucleus(vm, MakeOptions(use_ipc_transport)),
+        store(kPage),
+        mapper(store),
+        server(nucleus.ipc(), mapper),
+        injector(seed) {
+    nucleus.BindDefaultMapper(&server);
+    mapper.BindFaultInjector(&injector);
+    server.BindFaultInjector(&injector);
+    if (use_ipc_transport) {
+      server.Start();
+    }
+  }
+
+  static Nucleus::Options MakeOptions(bool use_ipc_transport) {
+    Nucleus::Options options;
+    options.segment_manager.use_ipc_transport = use_ipc_transport;
+    options.segment_manager.rpc_deadline_us = 200'000;
+    return options;
+  }
+
+  SegmentManager& sm() { return nucleus.segment_manager(); }
+  JournaledSwapMapper::RecoveryReport Recover() {
+    return RecoverAndRestart(mapper, server, sm());
+  }
+};
+
+TEST(MapperCrashRecoveryTest, CrashBeforeReplyFailsFastAndRecoveryRestoresService) {
+  CrashWorld w;
+  Cache* cache = *w.sm().AcquireTemporaryCache("tmp");
+  std::vector<std::byte> data = Pattern(kPage, 0x42);
+  ASSERT_EQ(cache->Write(0, data.data(), data.size()), Status::kOk);
+
+  // The mapper dies after applying the first request but before replying.  The
+  // kernel must fail fast (no deadline stall), count the death, and degrade.
+  ASSERT_TRUE(w.injector.ApplySpec("crashreply:nth:1"));
+  EXPECT_NE(cache->Sync(), Status::kOk);
+  EXPECT_TRUE(w.server.crashed());
+  EXPECT_GE(w.sm().stats().rpc_port_deaths, 1u);
+  EXPECT_GE(w.vm.detail_stats().mapper_crashes_observed, 1u);
+  EXPECT_TRUE(static_cast<PvmCache*>(cache)->degraded());
+  // Degraded: new writes are refused, resident reads still work.
+  std::byte b{0x01};
+  EXPECT_EQ(cache->Write(0, &b, 1), Status::kBusError);
+  std::vector<std::byte> got(kPage);
+  EXPECT_EQ(cache->Read(0, got.data(), got.size()), Status::kOk);
+  EXPECT_EQ(std::memcmp(got.data(), data.data(), kPage), 0);
+
+  // Recovery protocol: replay the journal, revive the port, re-bind.  The
+  // requeued dirty page drains and degraded mode exits.
+  w.Recover();
+  EXPECT_FALSE(w.server.crashed());
+  EXPECT_FALSE(static_cast<PvmCache*>(cache)->degraded());
+  EXPECT_EQ(w.vm.detail_stats().recoveries_completed, 1u);
+  EXPECT_EQ(w.sm().stats().recoveries, 1u);
+  EXPECT_EQ(cache->Write(0, &b, 1), Status::kOk);
+  EXPECT_EQ(cache->Sync(), Status::kOk);
+  EXPECT_GE(w.store.applied_writes(), 1u);
+  w.sm().Release(cache);
+}
+
+// The degraded-exit-under-load regression: dirty pages requeued by a crash
+// drain exactly once on re-bind (sequence dedup plus single re-drive), while
+// concurrent readers keep running throughout.
+TEST(MapperCrashRecoveryTest, RecoveryDrainsRequeuedPagesExactlyOnceUnderLoad) {
+  constexpr int kPages = 4;
+  CrashWorld w;
+  Cache* cache = *w.sm().AcquireTemporaryCache("tmp");
+  std::vector<std::vector<std::byte>> pages;
+  for (int i = 0; i < kPages; ++i) {
+    pages.push_back(Pattern(kPage, static_cast<uint8_t>(0x60 + i)));
+    ASSERT_EQ(cache->Write(i * kPage, pages.back().data(), kPage), Status::kOk);
+  }
+  ASSERT_EQ(cache->Sync(), Status::kOk);
+  uint64_t durable_writes = w.store.applied_writes();
+  ASSERT_EQ(durable_writes, static_cast<uint64_t>(kPages));
+
+  // Re-dirty every page, then the mapper actor dies.
+  for (int i = 0; i < kPages; ++i) {
+    pages[i] = Pattern(kPage, static_cast<uint8_t>(0xa0 + i));
+    ASSERT_EQ(cache->Write(i * kPage, pages[i].data(), kPage), Status::kOk);
+  }
+  w.server.CrashNow();
+
+  // Concurrent read load across the whole degraded + recovery window.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> read_failed{false};
+  std::thread reader([&] {
+    std::vector<std::byte> got(kPage);
+    while (!stop.load()) {
+      for (int i = 0; i < kPages; ++i) {
+        if (cache->Read(i * kPage, got.data(), kPage) != Status::kOk) {
+          read_failed.store(true);
+        }
+      }
+    }
+  });
+
+  EXPECT_NE(cache->Sync(), Status::kOk);  // every push fails fast: port is dead
+  EXPECT_TRUE(static_cast<PvmCache*>(cache)->degraded());
+  std::byte b{0x01};
+  EXPECT_EQ(cache->Write(0, &b, 1), Status::kBusError);
+
+  // Recover.  Replay re-applies the committed history; the re-bind then drains
+  // the requeued dirty pages — each exactly once.
+  JournaledSwapMapper::RecoveryReport report = w.mapper.Recover();
+  EXPECT_GE(report.records_replayed, static_cast<uint64_t>(kPages) + 1);
+  uint64_t base = w.store.applied_writes();
+  w.server.Restart();
+  w.sm().MapperRecovered(&w.server, report.records_replayed, report.records_discarded);
+  EXPECT_EQ(w.store.applied_writes(), base + kPages);
+
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(read_failed.load());  // resident reads never broke
+  EXPECT_FALSE(static_cast<PvmCache*>(cache)->degraded());
+  EXPECT_GE(w.vm.detail_stats().requests_reissued, 1u);
+
+  // And the drained data is the re-dirtied data, durable in the store.
+  for (int i = 0; i < kPages; ++i) {
+    std::vector<std::byte> out;
+    ASSERT_EQ(w.mapper.Read(1, i * kPage, kPage, &out), Status::kOk);
+    EXPECT_EQ(std::memcmp(out.data(), pages[i].data(), kPage), 0) << "page " << i;
+  }
+  EXPECT_EQ(cache->Write(0, &b, 1), Status::kOk);
+  w.sm().Release(cache);
+}
+
+TEST(MapperCrashRecoveryTest, IdleRecoveryNotificationIsHarmless) {
+  CrashWorld w;
+  // Recovery of a mapper with no routed caches must not disturb anything.
+  w.server.CrashNow();
+  w.Recover();
+  EXPECT_EQ(w.sm().stats().recoveries, 1u);
+  EXPECT_EQ(w.vm.detail_stats().recoveries_completed, 1u);
+  EXPECT_EQ(w.vm.CheckInvariants(), Status::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: seeded crash-loop chaos across all three crash sites
+// ---------------------------------------------------------------------------
+
+TEST(CrashChaosTest, AcknowledgedWritesSurviveCrashLoopAcrossAllSitesAndSeeds) {
+  const char* sites[] = {"crashwrite", "crashmidwrite", "crashreply"};
+  uint64_t total_crashes = 0;
+  for (const char* site : sites) {
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      CrashChaosConfig config;
+      config.seed = seed;
+      config.fault_specs = {std::string(site) + ":prob:6"};
+      config.threads = 1;
+      config.steps_per_thread = 50;
+      config.caches = 2;
+      config.pages_per_cache = 8;
+      config.frames = 12;  // < working set: evictions force pushOut traffic
+      CrashChaosReport report = RunCrashChaos(config);
+      ASSERT_TRUE(report.ok) << report.failure;
+      total_crashes += report.crashes;
+    }
+  }
+  // The storm must actually have exercised crash-recovery, not idled past it.
+  EXPECT_GT(total_crashes, 0u);
+}
+
+TEST(CrashChaosTest, ConcurrentStormOverIpcTransportWithAllCrashSites) {
+  CrashChaosConfig config;
+  config.seed = 0xc0ffee;
+  config.fault_specs = {"crashwrite:prob:4", "crashmidwrite:prob:4",
+                        "crashreply:prob:4"};
+  config.threads = 4;
+  config.steps_per_thread = 60;
+  config.caches = 4;
+  config.pages_per_cache = 8;
+  config.frames = 20;
+  config.use_ipc_transport = true;
+  CrashChaosReport report = RunCrashChaos(config);
+  ASSERT_TRUE(report.ok) << report.failure;
+  EXPECT_GT(report.crashes, 0u);
+  EXPECT_GT(report.recoveries, 0u);
+  EXPECT_GT(report.journal_replays, 0u);
+}
+
+}  // namespace
+}  // namespace gvm

@@ -12,6 +12,7 @@
 #include "src/hal/soft_mmu.h"
 #include "src/pvm/paged_vm.h"
 #include "src/util/rng.h"
+#include "tests/crash_harness.h"
 #include "tests/test_util.h"
 
 using namespace gvm;
@@ -161,28 +162,137 @@ void Print(const std::vector<Op>& ops) {
   }
 }
 
+// Crash-mode minimization: the chaos harness is configuration-driven rather
+// than trace-driven, so the minimizer shrinks the *configuration* — fewer
+// steps, fewer threads, fewer caches, fewer fault specs — while the failure
+// persists, and prints the smallest failing storm as a repro command line.
+void PrintCrashConfig(const CrashChaosConfig& config) {
+  printf("  repro_tool %llu", (unsigned long long)config.seed);
+  for (const std::string& spec : config.fault_specs) printf(" %s", spec.c_str());
+  printf(" threads=%d steps=%d caches=%d frames=%zu%s\n", config.threads,
+         config.steps_per_thread, config.caches, config.frames,
+         config.use_ipc_transport ? " ipc" : "");
+}
+
+int MinimizeCrashConfig(CrashChaosConfig config) {
+  if (RunCrashChaos(config).ok) {
+    printf("crash config does not fail; try another seed\n");
+    return 1;
+  }
+  printf("initial failing crash config:\n");
+  PrintCrashConfig(config);
+  auto fails = [](const CrashChaosConfig& candidate) {
+    return !RunCrashChaos(candidate).ok;
+  };
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    CrashChaosConfig candidate = config;
+    if (config.steps_per_thread > 1) {
+      candidate.steps_per_thread = config.steps_per_thread / 2;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.threads > 1) {
+      candidate.threads = config.threads - 1;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.caches > 1) {
+      candidate.caches = config.caches - 1;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.use_ipc_transport) {
+      candidate.use_ipc_transport = false;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    for (size_t i = 0; config.fault_specs.size() > 1 && i < config.fault_specs.size();
+         ++i) {
+      candidate = config;
+      candidate.fault_specs.erase(candidate.fault_specs.begin() +
+                                  static_cast<ptrdiff_t>(i));
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  printf("minimal failing crash config:\n");
+  PrintCrashConfig(config);
+  CrashChaosReport report = RunCrashChaos(config);
+  printf("%s\n", report.failure.c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
   int steps = argc > 2 ? atoi(argv[2]) : 300;
   // Remaining arguments are fault-plan specs (recreated identically per replay)
-  // or "frames=N" to shrink physical memory for eviction pressure.
+  // or "frames=N" to shrink physical memory for eviction pressure.  A crash-class
+  // spec (crashwrite / crashmidwrite / crashreply) switches to crash-config
+  // minimization; there "threads=N", "caches=N" and "ipc" shape the storm.
   std::vector<std::string> fault_specs;
   size_t frames = 4096;
+  CrashChaosConfig crash_config;
+  crash_config.seed = seed;
+  crash_config.steps_per_thread = steps;
+  crash_config.frames = 12;
+  bool crash_mode = false;
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("frames=", 0) == 0) {
       frames = strtoull(arg.c_str() + 7, nullptr, 10);
+      crash_config.frames = frames;
+      continue;
+    }
+    if (arg.rfind("threads=", 0) == 0) {
+      crash_config.threads = atoi(arg.c_str() + 8);
+      continue;
+    }
+    if (arg.rfind("caches=", 0) == 0) {
+      crash_config.caches = atoi(arg.c_str() + 7);
+      continue;
+    }
+    if (arg == "ipc") {
+      crash_config.use_ipc_transport = true;
       continue;
     }
     FaultInjector probe;
     std::string error;
     if (!probe.ApplySpec(arg, &error)) {
       fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
-      fprintf(stderr, "usage: %s [seed] [steps] [frames=N] [site:mode[:args]...]...\n",
+      fprintf(stderr,
+              "usage: %s [seed] [steps] [frames=N] [threads=N caches=N ipc] "
+              "[site:mode[:args]...]...\n",
               argv[0]);
       return 2;
     }
     fault_specs.push_back(arg);
+    if (arg.rfind("crash", 0) == 0) {
+      crash_mode = true;
+    }
+  }
+  if (crash_mode) {
+    crash_config.fault_specs = fault_specs;
+    return MinimizeCrashConfig(crash_config);
   }
   // Generate the schedule exactly like the property test.
   std::vector<Op> trace;

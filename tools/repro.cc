@@ -9,6 +9,7 @@
 #include "src/hal/soft_mmu.h"
 #include "src/pvm/paged_vm.h"
 #include "src/util/rng.h"
+#include "tests/crash_harness.h"
 #include "tests/test_util.h"
 
 using namespace gvm;
@@ -16,17 +17,87 @@ constexpr size_t kPage = 4096;
 constexpr size_t kSegPages = 8;
 constexpr size_t kSegBytes = kSegPages * kPage;
 
+// A spec naming a crash-class site (crashwrite / crashmidwrite / crashreply)
+// switches the tool into the mapper crash-recovery world: those sites live in
+// the journaled mapper and its server, not in the PVM schedule below.
+bool IsCrashSpec(const std::string& spec) { return spec.rfind("crash", 0) == 0; }
+
+int RunCrashMode(uint64_t seed, const std::vector<std::string>& args) {
+  CrashChaosConfig config;
+  config.seed = seed;
+  config.frames = 12;
+  config.steps_per_thread = 200;
+  for (const std::string& arg : args) {
+    if (arg.rfind("frames=", 0) == 0) {
+      config.frames = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("threads=", 0) == 0) {
+      config.threads = atoi(arg.c_str() + 8);
+    } else if (arg.rfind("steps=", 0) == 0) {
+      config.steps_per_thread = atoi(arg.c_str() + 6);
+    } else if (arg.rfind("caches=", 0) == 0) {
+      config.caches = atoi(arg.c_str() + 7);
+    } else if (arg == "ipc") {
+      config.use_ipc_transport = true;
+    } else {
+      config.fault_specs.push_back(arg);
+    }
+  }
+  printf("crash mode: seed=%llu threads=%d steps=%d caches=%d frames=%zu transport=%s\n",
+         (unsigned long long)config.seed, config.threads, config.steps_per_thread,
+         config.caches, config.frames, config.use_ipc_transport ? "ipc" : "in-process");
+  CrashChaosReport report = RunCrashChaos(config);
+  printf("crashes=%llu recoveries=%llu replays=%llu discarded=%llu duplicates=%llu\n",
+         (unsigned long long)report.crashes, (unsigned long long)report.recoveries,
+         (unsigned long long)report.journal_replays,
+         (unsigned long long)report.journal_records_discarded,
+         (unsigned long long)report.duplicate_requests_ignored);
+  if (!report.ok) {
+    printf("FAILED:\n%s\n", report.failure.c_str());
+    return 1;
+  }
+  printf("no divergence\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
   uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
   // Extra arguments are fault-plan specs (e.g. "write:prob:10" "swap:nth:4"),
   // replayed deterministically from the schedule seed, plus "frames=N" to shrink
   // physical memory — fault sites only fire on real pullIn/pushOut traffic, so a
-  // meaningful storm needs eviction pressure.
+  // meaningful storm needs eviction pressure.  Crash-class specs
+  // ("crashwrite:prob:5", "crashreply:nth:3", ...) switch to the mapper
+  // crash-recovery chaos world; there "threads=N", "steps=N", "caches=N" and
+  // "ipc" tune the storm.
   size_t frames = 2048;
   FaultInjector injector(seed);
   bool have_plans = false;
+  std::vector<std::string> raw_args;
+  bool crash_mode = false;
   for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
+    raw_args.push_back(argv[i]);
+    if (IsCrashSpec(raw_args.back())) {
+      crash_mode = true;
+    }
+  }
+  for (const std::string& arg : raw_args) {
+    if (arg.rfind("frames=", 0) == 0 || arg.rfind("threads=", 0) == 0 ||
+        arg.rfind("steps=", 0) == 0 || arg.rfind("caches=", 0) == 0 || arg == "ipc") {
+      continue;  // world shape, not a fault spec
+    }
+    std::string error;
+    if (!injector.ApplySpec(arg, &error)) {
+      fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
+      fprintf(stderr,
+              "usage: %s [seed] [frames=N] [threads=N steps=N caches=N ipc] "
+              "[site:mode[:args]...]...\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (crash_mode) {
+    return RunCrashMode(seed, raw_args);
+  }
+  for (const std::string& arg : raw_args) {
     if (arg.rfind("frames=", 0) == 0) {
       frames = strtoull(arg.c_str() + 7, nullptr, 10);
       if (frames < 16) {
@@ -34,12 +105,6 @@ int main(int argc, char** argv) {
         return 2;
       }
       continue;
-    }
-    std::string error;
-    if (!injector.ApplySpec(arg, &error)) {
-      fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
-      fprintf(stderr, "usage: %s [seed] [frames=N] [site:mode[:args]...]...\n", argv[0]);
-      return 2;
     }
     have_plans = true;
   }
