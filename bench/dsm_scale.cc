@@ -1,0 +1,263 @@
+// dsm_scale — scaling sweep of the fault-tolerant DSM directory protocol.
+//
+// A {sites} x {drop%} matrix: each cell builds a fresh DsmCluster with one
+// worker thread per site, every thread hammering a shared segment (stores to
+// its own single-writer slot, loads of random remote slots) while a local
+// fork/COW storm runs on each site's PVM (deferred copy of a private working
+// set, dirtying the copy, teardown) — the paper's section 4.2 machinery under
+// coherence traffic.  Message loss is injected with the kNetDeliver fault site
+// ("netdeliver:prob:P"); the per-link sequence numbers and dedup cache absorb
+// it with retransmissions, so a cell's correctness check is exact: after the
+// storm every slot must read back its writer's final value from site 0, and
+// the WAL-replay oracle must agree with the live directory.
+//
+// Emits the standard BENCH JSON (BENCH_dsm_scale.json) with per-cell counters
+// keyed s{sites}_d{drop}_*, plus aggregate throughput/latency.
+//
+// Usage: dsm_scale [--steps=160] [--seed=1] [--quick]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/dsm/dsm.h"
+#include "src/fault/fault_injector.h"
+#include "src/util/rng.h"
+
+namespace gvm {
+namespace bench {
+namespace {
+
+constexpr size_t kDsmPageSize = 1024;  // small pages: more protocol per byte
+constexpr Vaddr kBase = 0x10000000;
+constexpr int kCowEvery = 16;  // shared ops between fork/COW episodes
+
+struct CellResult {
+  bool ok = true;
+  double seconds = 0;
+  uint64_t ops = 0;
+  uint64_t cow_episodes = 0;
+  uint64_t failed_ops = 0;
+  std::vector<double> samples_ns;  // per-shared-op latency
+  DsmCluster::Stats stats;
+};
+
+// One fork/COW episode on a site's private PVM: deferred-copy a 4-page working
+// set, dirty half the copy, read one page back, tear both down.
+void ForkCowEpisode(DsmSite& site, int iteration, CellResult& result) {
+  PagedVm& vm = site.vm();
+  Result<Cache*> source = vm.CacheCreate(nullptr, "cow_src");
+  Result<Cache*> copy = source.ok() ? vm.CacheCreate(nullptr, "cow_dst") : Status::kNoMemory;
+  if (!source.ok() || !copy.ok()) {
+    ++result.failed_ops;
+    return;
+  }
+  const size_t pages = 4;
+  const size_t page = vm.page_size();
+  std::vector<char> data(page, static_cast<char>('a' + iteration % 26));
+  bool ok = true;
+  for (size_t p = 0; p < pages && ok; ++p) {
+    ok = (*source)->Write(p * page, data.data(), data.size()) == Status::kOk;
+  }
+  ok = ok && (*source)->CopyTo(**copy, 0, 0, pages * page, CopyPolicy::kHistory) ==
+                 Status::kOk;
+  for (size_t p = 0; p < pages && ok; p += 2) {
+    uint64_t value = static_cast<uint64_t>(iteration) + p;
+    ok = (*copy)->Write(p * page, &value, sizeof(value)) == Status::kOk;
+  }
+  uint64_t check = 0;
+  ok = ok && (*copy)->Read(page, &check, sizeof(check)) == Status::kOk;
+  if (!ok) {
+    ++result.failed_ops;
+  } else {
+    ++result.cow_episodes;
+  }
+  (*copy)->Destroy();
+  (*source)->Destroy();
+}
+
+CellResult RunCell(int sites, int drop_percent, int steps, uint64_t seed) {
+  CellResult result;
+  DsmCluster cluster(kDsmPageSize);
+  std::vector<DsmSite*> site_list;
+  for (int i = 0; i < sites; ++i) {
+    site_list.push_back(cluster.AddSite(/*frames=*/128));
+  }
+  const size_t slots = static_cast<size_t>(sites);
+  const uint64_t seg_bytes = slots * kDsmPageSize;
+  if (cluster.CreateSharedSegment("scale", seg_bytes) != Status::kOk) {
+    result.ok = false;
+    return result;
+  }
+  for (DsmSite* site : site_list) {
+    if (!site->MapShared("scale", kBase, seg_bytes, Prot::kReadWrite).ok()) {
+      result.ok = false;
+      return result;
+    }
+  }
+
+  FaultInjector injector(seed);
+  if (drop_percent > 0) {
+    std::string spec = "netdeliver:prob:" + std::to_string(drop_percent) +
+                       ":seed=" + std::to_string(seed);
+    std::string error;
+    if (!injector.ApplySpec(spec, &error)) {
+      std::fprintf(stderr, "bad spec %s: %s\n", spec.c_str(), error.c_str());
+      result.ok = false;
+      return result;
+    }
+    cluster.BindFaultInjector(&injector);
+  }
+
+  std::vector<CellResult> worker_results(static_cast<size_t>(sites));
+  std::vector<std::thread> workers;
+  auto start = std::chrono::steady_clock::now();
+  for (int s = 0; s < sites; ++s) {
+    workers.emplace_back([&, s] {
+      using Clock = std::chrono::steady_clock;
+      CellResult& local = worker_results[static_cast<size_t>(s)];
+      DsmSite* site = site_list[static_cast<size_t>(s)];
+      Rng rng(seed * 7919 + static_cast<uint64_t>(s));
+      for (int step = 0; step < steps; ++step) {
+        auto op_start = Clock::now();
+        Status status;
+        if (rng.Chance(1, 2)) {
+          // Store to this site's own slot (single writer).
+          Vaddr va = kBase + static_cast<Vaddr>(s) * kDsmPageSize;
+          status = site->Store<uint64_t>(va, static_cast<uint64_t>(step) + 1);
+        } else {
+          // Load a random slot: pulls pages, triggers recalls at their owner.
+          size_t slot = rng.Below(slots);
+          status = site->Load<uint64_t>(kBase + slot * kDsmPageSize).status();
+        }
+        auto op_end = Clock::now();
+        ++local.ops;
+        if (status != Status::kOk) {
+          ++local.failed_ops;
+        }
+        if (local.samples_ns.size() < 20000) {
+          local.samples_ns.push_back(
+              std::chrono::duration<double, std::nano>(op_end - op_start).count());
+        }
+        if (step % kCowEvery == kCowEvery - 1) {
+          ForkCowEpisode(*site, step, local);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  for (const CellResult& local : worker_results) {
+    result.ops += local.ops;
+    result.cow_episodes += local.cow_episodes;
+    result.failed_ops += local.failed_ops;
+    result.samples_ns.insert(result.samples_ns.end(), local.samples_ns.begin(),
+                             local.samples_ns.end());
+  }
+
+  // Correctness gate: with loss disarmed, write one final value per slot and
+  // read it back from site 0, then let the oracle replay the WAL.
+  injector.ClearAllPlans();
+  injector.set_enabled(false);
+  for (int s = 0; s < sites; ++s) {
+    Vaddr va = kBase + static_cast<Vaddr>(s) * kDsmPageSize;
+    const uint64_t want = 0xF00D0000u + static_cast<uint64_t>(s);
+    if (site_list[static_cast<size_t>(s)]->Store<uint64_t>(va, want) != Status::kOk ||
+        site_list[0]->Load<uint64_t>(va).value_or(0) != want) {
+      result.ok = false;
+    }
+  }
+  std::string diagnostic;
+  if (cluster.OracleCheck(&diagnostic) != Status::kOk) {
+    std::fprintf(stderr, "oracle: %s\n", diagnostic.c_str());
+    result.ok = false;
+  }
+  result.stats = cluster.stats();
+  return result;
+}
+
+int Run(int steps, uint64_t seed, bool quick) {
+  const std::vector<int> site_axis = quick ? std::vector<int>{2, 8} : std::vector<int>{2, 8, 32};
+  const std::vector<int> drop_axis = {0, 1, 10};
+
+  BenchJson json("dsm_scale");
+  json.Config("steps_per_site", static_cast<uint64_t>(steps));
+  json.Config("seed", seed);
+  json.Config("page_size", static_cast<uint64_t>(kDsmPageSize));
+  json.Config("cow_every", static_cast<uint64_t>(kCowEvery));
+  json.Config("sites_axis", quick ? std::string("2,8") : std::string("2,8,32"));
+  json.Config("drop_axis", std::string("0,1,10"));
+
+  std::printf("%6s %6s %12s %10s %10s %12s %10s %8s\n", "sites", "drop%", "ops/sec",
+              "p50", "p99", "messages", "retrans", "ok");
+  double total_ops = 0;
+  double total_seconds = 0;
+  std::vector<double> all_samples;
+  bool all_ok = true;
+  for (int sites : site_axis) {
+    for (int drop : drop_axis) {
+      CellResult cell = RunCell(sites, drop, steps, seed);
+      const double ops_per_sec = cell.seconds > 0 ? cell.ops / cell.seconds : 0;
+      const double p50 = Percentile(cell.samples_ns, 0.5);
+      const double p99 = Percentile(cell.samples_ns, 0.99);
+      std::printf("%6d %6d %12.0f %10s %10s %12llu %10llu %8s\n", sites, drop, ops_per_sec,
+                  FormatNs(p50).c_str(), FormatNs(p99).c_str(),
+                  (unsigned long long)cell.stats.network_messages,
+                  (unsigned long long)cell.stats.network_retransmits,
+                  cell.ok ? "yes" : "NO");
+      const std::string key = "s" + std::to_string(sites) + "_d" + std::to_string(drop);
+      json.Counter(key + "_ops_per_sec", static_cast<uint64_t>(ops_per_sec));
+      json.Counter(key + "_p50_ns", static_cast<uint64_t>(p50));
+      json.Counter(key + "_p99_ns", static_cast<uint64_t>(p99));
+      json.Counter(key + "_messages", cell.stats.network_messages);
+      json.Counter(key + "_drops", cell.stats.network_drops);
+      json.Counter(key + "_retransmits", cell.stats.network_retransmits);
+      json.Counter(key + "_dedup_replays", cell.stats.dedup_replays);
+      json.Counter(key + "_transitions_aborted", cell.stats.transitions_aborted);
+      json.Counter(key + "_wal_records", cell.stats.wal_records);
+      json.Counter(key + "_cow_episodes", cell.cow_episodes);
+      json.Counter(key + "_failed_ops", cell.failed_ops);
+      json.Counter(key + "_ok", cell.ok ? 1 : 0);
+      total_ops += static_cast<double>(cell.ops);
+      total_seconds += cell.seconds;
+      all_samples.insert(all_samples.end(), cell.samples_ns.begin(), cell.samples_ns.end());
+      all_ok = all_ok && cell.ok;
+    }
+  }
+  json.SetThroughput(total_seconds > 0 ? total_ops / total_seconds : 0);
+  json.SetLatency(Percentile(all_samples, 0.5), Percentile(all_samples, 0.99));
+  json.Counter("all_cells_ok", all_ok ? 1 : 0);
+  json.Write();
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gvm
+
+int main(int argc, char** argv) {
+  int steps = 160;
+  uint64_t seed = 1;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--steps=", 0) == 0) {
+      steps = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return gvm::bench::Run(steps, seed, quick);
+}

@@ -14,15 +14,32 @@
 //     the data from the current owner (cache.sync + cache.setProtection) and
 //     invalidates the other readers (cache.invalidate) before granting;
 //   * dirty pages flow home through ordinary pushOut/mapper-write traffic.
+//
+// Unlike the original in-process toy, every protocol step now crosses SimNet
+// (src/dsm/net.h): a lossy, partitionable, latency-injected simulated
+// interconnect with per-link sequence numbers and receiver-side dedup, so
+// recalls and invalidation acks are idempotently re-issuable.  The home keeps
+// a real per-segment directory — owner + sharer *bitmap* per page, transitions
+// batched into one message per contiguous per-site range — and journals every
+// state transition and committed writeback through a write-ahead log built on
+// the same checksummed record machinery as the journaled swap mapper
+// (src/nucleus/journal_record.h).  Whole sites can crash (their caches and
+// uncommitted stores are lost; the home's last committed bytes stay
+// authoritative) and later re-join, at which point the directory drains the
+// grants left pending by the death exactly once.  DESIGN.md section 12 has the
+// full protocol walkthrough and the oracle invariants OracleCheck() enforces.
 #ifndef GVM_SRC_DSM_DSM_H_
 #define GVM_SRC_DSM_DSM_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/dsm/net.h"
+#include "src/fault/fault_injector.h"
 #include "src/hal/phys_memory.h"
 #include "src/hal/soft_mmu.h"
 #include "src/nucleus/nucleus.h"
@@ -48,6 +65,13 @@ class DsmSite {
   // Map a shared segment into this site's actor.
   Result<Region*> MapShared(const std::string& segment_name, Vaddr va, uint64_t size,
                             Prot prot);
+
+  // Push every dirty shared page home through the protocol.  While a link is
+  // down, writebacks fail and the PVM trips the cache into degraded mode
+  // (writes refused so dirty data cannot silently accumulate); after the
+  // network heals, one successful sync clears that state — the site-level
+  // "recover after the partition" step.
+  Status SyncShared();
 
   // Typed accessors against the site's actor (the "application").
   Status Read(Vaddr va, void* buffer, size_t size) { return actor_->Read(va, buffer, size); }
@@ -87,17 +111,30 @@ class DsmSite {
   std::map<uint64_t, Cache*> shared_caches_;
 };
 
-// The home directory of the shared segments: per-page owner and copy-set, plus the
-// authoritative bytes.  Plays the role of Li & Hudak's manager.
+// The home directory of the shared segments: per-page owner and sharer bitmap,
+// plus the authoritative bytes.  Plays the role of Li & Hudak's manager, but
+// reached only through SimNet messages and journaling every transition.
 class DsmCluster {
  public:
   struct Stats {
     uint64_t read_faults = 0;        // pages served to readers
     uint64_t write_grants = 0;       // ownership transfers
-    uint64_t invalidations = 0;      // remote copies invalidated
-    uint64_t recalls = 0;            // dirty data recalled from an owner
-    uint64_t network_messages = 0;   // simulated protocol messages
-    uint64_t network_bytes = 0;      // simulated payload bytes
+    uint64_t invalidations = 0;      // remote copies invalidated (pages)
+    uint64_t recalls = 0;            // dirty ranges recalled from an owner
+    uint64_t network_messages = 0;   // simulated protocol messages delivered
+    uint64_t network_bytes = 0;      // simulated wire bytes for those messages
+    uint64_t network_drops = 0;      // delivery attempts lost in transit
+    uint64_t network_retransmits = 0;  // extra attempts forced by loss
+    uint64_t dedup_replays = 0;      // acks replayed from the dedup cache
+    uint64_t recall_messages = 0;    // batched kRecall messages sent
+    uint64_t invalidate_messages = 0;  // batched kInvalidate messages sent
+    uint64_t wal_records = 0;        // directory WAL records appended
+    uint64_t writebacks_rejected = 0;  // writebacks refused (not the owner)
+    uint64_t transitions_aborted = 0;  // range transitions undone (net/death)
+    uint64_t site_crashes = 0;
+    uint64_t site_recoveries = 0;
+    uint64_t pending_grants_recorded = 0;  // grants parked by a target's death
+    uint64_t pending_grants_drained = 0;   // grants drained at SiteRecovered
   };
 
   explicit DsmCluster(size_t page_size);
@@ -110,51 +147,173 @@ class DsmCluster {
   // Create a shared segment of `size` bytes, initially zero.
   Status CreateSharedSegment(const std::string& name, uint64_t size);
 
-  const Stats& stats() const { return stats_; }
+  // Snapshot of the protocol counters (safe to call concurrently with traffic).
+  Stats stats() const GVM_EXCLUDES(dir_mu_);
   size_t page_size() const { return page_size_; }
 
+  // The simulated interconnect: tests drive partitions, link policies and
+  // seeded loss through it directly.
+  SimNet& net() { return net_; }
+
+  // Arms kNetDeliver/kNetPartition on the net and kCrashSite* in the sites'
+  // protocol handlers.  Null disarms; the injector must outlive the cluster.
+  void BindFaultInjector(FaultInjector* injector);
+
+  // --- cross-site crash recovery -------------------------------------------
+  //
+  // CrashSite models the whole machine dying: its cached (and uncommitted
+  // dirty) pages are lost, its node drops off the net, and the directory
+  // clears its owner/sharer bits — the home's last *committed* bytes stay
+  // authoritative.  Grants that were in flight toward the dead site are
+  // parked.  RecoverSite re-joins the node and sends kSiteRecovered to the
+  // home, which drains the parked grants exactly once (the drained count comes
+  // back; a second recovery without a new crash drains zero).
+  Status CrashSite(SiteId site) GVM_EXCLUDES(dir_mu_);
+  Result<uint64_t> RecoverSite(SiteId site) GVM_EXCLUDES(dir_mu_);
+  bool SiteCrashed(SiteId site) const GVM_EXCLUDES(dir_mu_);
+
+  // --- shadow oracle --------------------------------------------------------
+  //
+  // Verifies, on a quiesced cluster, that (a) every page satisfies the
+  // single-writer invariant (an owned page has no sharers), (b) only live
+  // sites appear in the directory, (c) no transition latch is stuck, and
+  // (d) replaying the WAL from empty reproduces exactly the live directory
+  // state *and* the authoritative bytes — i.e. no committed store was lost
+  // and no uncommitted store leaked in.  Returns kOk or fills *diagnostic.
+  Status OracleCheck(std::string* diagnostic = nullptr) GVM_EXCLUDES(dir_mu_);
+
+  uint64_t WalRecordCount() const GVM_EXCLUDES(wal_mu_);
+
   // Introspection for tests: current owner of a page (-1 if none) and reader set.
-  SiteId OwnerOf(const std::string& name, SegOffset page_offset);
-  std::set<SiteId> ReadersOf(const std::string& name, SegOffset page_offset);
+  SiteId OwnerOf(const std::string& name, SegOffset page_offset) GVM_EXCLUDES(dir_mu_);
+  std::set<SiteId> ReadersOf(const std::string& name, SegOffset page_offset)
+      GVM_EXCLUDES(dir_mu_);
 
  private:
   friend class DsmSite;
   friend class CoherentMapper;
 
-  struct PageState {
-    SiteId owner = -1;          // site with write access, or -1
-    std::set<SiteId> readers;   // sites holding read-only copies
+  // Per-page directory line.  Sharers are a bitmap (site ids are dense and
+  // small); `busy` latches the page while a range transition is in flight so
+  // conflicting transitions serialize without holding dir_mu_ across sends.
+  struct PageDir {
+    SiteId owner = -1;       // site with write access, or -1
+    uint64_t sharers = 0;    // bitmap of sites holding read-only copies
+    bool busy = false;
   };
   struct Segment {
     uint64_t key = 0;
     uint64_t size = 0;
     std::map<SegOffset, std::vector<std::byte>> data;  // authoritative bytes
-    std::map<SegOffset, PageState> pages;
+    std::map<SegOffset, PageDir> pages;
+  };
+  // One batched home->site control message: a contiguous page range.
+  struct RangeOp {
+    SiteId target = -1;
+    SegOffset offset = 0;
+    uint64_t size = 0;
+    bool recall = false;  // recall (sync + demote) vs plain invalidate
+  };
+  // A write grant parked because its target site died mid-transition.
+  struct PendingGrant {
+    uint64_t key = 0;
+    SegOffset offset = 0;
+    uint64_t size = 0;
   };
 
-  Segment* FindSegment(uint64_t key);
-  Result<uint64_t> LookupSegment(const std::string& name);
+  static uint64_t SiteBit(SiteId site) { return 1ull << site; }
 
-  // Protocol actions (called by the sites' CoherentMappers).
+  Segment* FindSegment(uint64_t key) GVM_REQUIRES(dir_mu_);
+  Result<uint64_t> LookupSegment(const std::string& name) GVM_EXCLUDES(dir_mu_);
+
+  // Directory entry points (run in the home node's net handler, no locks held).
   Status DirectoryRead(SiteId reader, uint64_t key, SegOffset offset, size_t size,
-                       std::vector<std::byte>* out);
+                       std::vector<std::byte>* out) GVM_EXCLUDES(dir_mu_);
   Status DirectoryWriteBack(SiteId writer, uint64_t key, SegOffset offset,
-                            const std::byte* data, size_t size);
-  Status DirectoryAcquireWrite(SiteId writer, uint64_t key, SegOffset offset, size_t size);
-  Prot DirectoryFillProt(SiteId reader, uint64_t key, SegOffset offset);
+                            const std::byte* data, size_t size) GVM_EXCLUDES(dir_mu_);
+  Status DirectoryAcquireWrite(SiteId writer, uint64_t key, SegOffset offset,
+                               size_t size) GVM_EXCLUDES(dir_mu_);
+  Prot DirectoryFillProt(SiteId reader, uint64_t key, SegOffset offset)
+      GVM_EXCLUDES(dir_mu_);
+  uint64_t DirectorySiteRecovered(SiteId site) GVM_EXCLUDES(dir_mu_);
 
-  // Remote cache control: run a GMI cache operation on another site's local cache.
-  Status RemoteRecall(SiteId owner, uint64_t key, SegOffset offset, size_t size);
-  Status RemoteInvalidate(SiteId reader, uint64_t key, SegOffset offset, size_t size);
+  // Latch [offset, offset+size) of `segment` busy (waiting out conflicting
+  // transitions), collect the batched recalls/invalidates the transition
+  // needs, and return the page-aligned range.  dir_mu_ is held on entry and
+  // exit; the latch protects the range after dir_mu_ drops.  Returns kBusy if
+  // a conflicting transition outlasts the deadline (cross-site deadlock
+  // avoidance: the aborted waiter unwinds a fill the latch holder may be
+  // blocked on).
+  Status LatchRange(Segment* segment, SegOffset offset, size_t size,
+                    SegOffset* first, SegOffset* end) GVM_REQUIRES(dir_mu_);
+  void UnlatchRange(Segment* segment, SegOffset first, SegOffset end)
+      GVM_REQUIRES(dir_mu_);
+  // Group the recalls/invalidates a transition needs into one RangeOp per
+  // (site, contiguous page run) — the "one message per region op" batching.
+  std::vector<RangeOp> PlanEvictions(Segment* segment, SegOffset first, SegOffset end,
+                                     SiteId except, bool want_exclusive)
+      GVM_REQUIRES(dir_mu_);
+  // Send one batched control message; returns the remote status.
+  Status SendRangeOp(uint64_t key, const RangeOp& op) GVM_EXCLUDES(dir_mu_);
 
-  void CountMessage(size_t bytes);
+  // Site-node handler bodies (run on the delivering thread, no locks held).
+  void HandleSiteMessage(DsmSite* site, const NetMessage& request, NetMessage* reply);
+  void HandleHomeMessage(const NetMessage& request, NetMessage* reply);
+
+  // WAL: append a state record for one page (owner + sharers) or a data
+  // record (committed page bytes).  Appends happen under dir_mu_; wal_mu_
+  // (rank kClient) nests inside it.
+  void WalAppendState(uint64_t key, SegOffset page, const PageDir& dir)
+      GVM_REQUIRES(dir_mu_) GVM_EXCLUDES(wal_mu_);
+  void WalAppendData(uint64_t key, SegOffset page, const std::byte* bytes,
+                     size_t size) GVM_REQUIRES(dir_mu_) GVM_EXCLUDES(wal_mu_);
+  void WalAppendEvent(uint8_t type, uint64_t site, uint64_t arg)
+      GVM_EXCLUDES(wal_mu_);
 
   const size_t page_size_;
+  SimNet net_;
+  std::atomic<FaultInjector*> injector_{nullptr};
+
   std::vector<std::unique_ptr<DsmSite>> sites_;
-  std::map<std::string, uint64_t> names_;
-  std::map<uint64_t, Segment> segments_;
-  uint64_t next_key_ = 1;
-  Stats stats_;
+
+  // The home directory proper.  Entered only from net-handler context (no
+  // kernel lock held); never held across a network send — range transitions
+  // drop it and rely on the per-page busy latch instead.
+  mutable Mutex dir_mu_{Rank::kDsmDirectory, "DsmCluster::dir_mu_"};
+  CondVar dir_cv_;  // signalled when a busy latch clears
+  std::map<std::string, uint64_t> names_ GVM_GUARDED_BY(dir_mu_);
+  std::map<uint64_t, Segment> segments_ GVM_GUARDED_BY(dir_mu_);
+  uint64_t next_key_ GVM_GUARDED_BY(dir_mu_) = 1;
+  uint64_t dead_sites_ GVM_GUARDED_BY(dir_mu_) = 0;  // bitmap
+  std::map<SiteId, std::vector<PendingGrant>> pending_grants_ GVM_GUARDED_BY(dir_mu_);
+  // Per-site teardown-in-progress bitmap.  CrashSite raises a site's bit for
+  // the whole crash sequence (port death, cache wipe, directory scrub); the
+  // home refuses kSiteRecovered while it is up, so a racing RecoverSite can
+  // never clear the directory's death mark *before* the crash records it —
+  // which would strand the site as directory-dead on a live network.
+  std::atomic<uint64_t> crashing_sites_{0};
+
+  // Directory write-ahead log (in-memory byte stream of checksummed records,
+  // same format as the journaled swap mapper's store).
+  mutable Mutex wal_mu_{Rank::kClient, "DsmCluster::wal_mu_"};
+  std::vector<std::byte> wal_ GVM_GUARDED_BY(wal_mu_);
+  uint64_t wal_seq_ GVM_GUARDED_BY(wal_mu_) = 0;
+
+  // Protocol counters: plain atomics so handler threads bump them without a
+  // lock and stats() can snapshot them concurrently.
+  std::atomic<uint64_t> read_faults_{0};
+  std::atomic<uint64_t> write_grants_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> recalls_{0};
+  std::atomic<uint64_t> recall_messages_{0};
+  std::atomic<uint64_t> invalidate_messages_{0};
+  std::atomic<uint64_t> wal_records_{0};
+  std::atomic<uint64_t> writebacks_rejected_{0};
+  std::atomic<uint64_t> transitions_aborted_{0};
+  std::atomic<uint64_t> site_crashes_{0};
+  std::atomic<uint64_t> site_recoveries_{0};
+  std::atomic<uint64_t> pending_grants_recorded_{0};
+  std::atomic<uint64_t> pending_grants_drained_{0};
 };
 
 }  // namespace gvm

@@ -1,0 +1,212 @@
+#include "src/dsm/net.h"
+
+#include <chrono>
+#include <thread>
+
+namespace gvm {
+
+namespace {
+
+// Rough wire cost of one message: fixed header plus payload.
+constexpr uint64_t kHeaderWireBytes = 64;
+
+}  // namespace
+
+SimNet::SimNet(uint64_t seed) : rng_(seed) {}
+
+void SimNet::Register(NodeId node, Handler handler) {
+  MutexLock lock(mu_);
+  handlers_[node] = std::move(handler);
+  dead_.erase(node);
+}
+
+void SimNet::SetNodeDead(NodeId node, bool dead) {
+  MutexLock lock(mu_);
+  if (dead) {
+    dead_.insert(node);
+  } else {
+    dead_.erase(node);
+  }
+}
+
+bool SimNet::NodeDead(NodeId node) const {
+  MutexLock lock(mu_);
+  return dead_.count(node) != 0;
+}
+
+void SimNet::Partition(NodeId a, NodeId b) {
+  MutexLock lock(mu_);
+  partitions_.insert(PairKey(a, b));
+}
+
+void SimNet::Heal(NodeId a, NodeId b) {
+  MutexLock lock(mu_);
+  partitions_.erase(PairKey(a, b));
+}
+
+void SimNet::HealAll() {
+  MutexLock lock(mu_);
+  partitions_.clear();
+}
+
+bool SimNet::Partitioned(NodeId a, NodeId b) const {
+  MutexLock lock(mu_);
+  return partitions_.count(PairKey(a, b)) != 0;
+}
+
+void SimNet::SetLinkPolicy(NodeId a, NodeId b, const LinkPolicy& policy) {
+  MutexLock lock(mu_);
+  policies_[PairKey(a, b)] = policy;
+}
+
+void SimNet::SetDefaultPolicy(const LinkPolicy& policy) {
+  MutexLock lock(mu_);
+  default_policy_ = policy;
+}
+
+SimNet::Stats SimNet::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+Result<NetMessage> SimNet::Call(NodeId src, NodeId dst, NetMessage message) {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  const std::pair<NodeId, NodeId> link_key = PairKey(src, dst);
+
+  Handler handler;
+  LinkPolicy policy;
+  {
+    MutexLock lock(mu_);
+    if (dead_.count(src) != 0 || dead_.count(dst) != 0) {
+      ++stats_.dead_node_rejects;
+      return Status::kPortDead;
+    }
+    auto it = handlers_.find(dst);
+    if (it == handlers_.end()) {
+      ++stats_.dead_node_rejects;
+      return Status::kPortDead;
+    }
+    handler = it->second;  // copy: a handler may re-register concurrently
+    auto pol = policies_.find(link_key);
+    policy = pol != policies_.end() ? pol->second : default_policy_;
+    Link& link = links_[link_key];
+    message.seq = link.next_seq++;
+  }
+  message.src = src;
+  message.dst = dst;
+  const uint64_t wire_bytes = kHeaderWireBytes + message.payload.size();
+
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    if (attempt > 0) {
+      MutexLock lock(mu_);
+      ++stats_.retransmits;
+    }
+
+    // The injector may cut the link; an injected partition persists until the
+    // harness heals it, exactly like an explicit Partition().
+    if (injector != nullptr &&
+        injector->Check(FaultSite::kNetPartition) != Status::kOk) {
+      MutexLock lock(mu_);
+      if (partitions_.insert(link_key).second) {
+        ++stats_.partitions_injected;
+      }
+    }
+
+    uint64_t delay_us = policy.latency_us;
+    bool drop_attempt = false;
+    bool drop_reply_half = false;
+    {
+      MutexLock lock(mu_);
+      if (dead_.count(src) != 0 || dead_.count(dst) != 0) {
+        ++stats_.dead_node_rejects;
+        return Status::kPortDead;
+      }
+      if (partitions_.count(link_key) != 0) {
+        ++stats_.partition_rejects;
+        continue;
+      }
+      if (policy.jitter_us > 0) {
+        delay_us += rng_.Below(policy.jitter_us + 1);
+      }
+      if (policy.drop_num > 0 &&
+          rng_.Chance(policy.drop_num, policy.drop_den)) {
+        drop_attempt = true;
+      }
+      // Each lost attempt loses either the request half (the handler never
+      // runs this attempt) or the reply half (it runs, its ack vanishes, and
+      // the retransmit exercises the dedup path) — seeded coin flip.
+      drop_reply_half = rng_.Chance(1, 2);
+    }
+    if (injector != nullptr &&
+        injector->Check(FaultSite::kNetDeliver) != Status::kOk) {
+      drop_attempt = true;
+    }
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    if (drop_attempt && !drop_reply_half) {
+      MutexLock lock(mu_);
+      ++stats_.drops;
+      continue;
+    }
+
+    // Delivery.  A retransmitted sequence number the receiver has already
+    // answered is served from the dedup cache: the handler must not run twice.
+    bool have_reply = false;
+    NetMessage reply;
+    {
+      MutexLock lock(mu_);
+      Link& link = links_[link_key];
+      auto cached = link.replies.find(message.seq);
+      if (cached != link.replies.end()) {
+        ++stats_.dedup_replays;
+        reply = cached->second;
+        have_reply = true;
+      }
+    }
+    if (!have_reply) {
+      {
+        MutexLock lock(mu_);
+        ++stats_.messages;
+        stats_.bytes += wire_bytes;
+      }
+      reply.op = NetOp::kReply;
+      reply.src = dst;
+      reply.dst = src;
+      reply.seq = message.seq;
+      handler(message, &reply);  // no SimNet lock held
+      MutexLock lock(mu_);
+      // The handler may have killed the destination (site-crash injection
+      // mid-handling): its reply is then lost with it, not cached, and the
+      // caller sees the death rather than a half-made answer.
+      if (dead_.count(dst) != 0 || dead_.count(src) != 0) {
+        ++stats_.dead_node_rejects;
+        return Status::kPortDead;
+      }
+      Link& link = links_[link_key];
+      link.replies[message.seq] = reply;
+      link.reply_order.push_back(message.seq);
+      while (link.reply_order.size() > 512) {
+        link.replies.erase(link.reply_order.front());
+        link.reply_order.pop_front();
+      }
+    }
+    if (drop_attempt && drop_reply_half) {
+      MutexLock lock(mu_);
+      ++stats_.drops;
+      continue;  // the reply vanished; retransmit hits the dedup cache
+    }
+    {
+      MutexLock lock(mu_);
+      ++stats_.messages;
+      stats_.bytes += kHeaderWireBytes + reply.payload.size();
+    }
+    return reply;
+  }
+
+  MutexLock lock(mu_);
+  ++stats_.timeouts;
+  return Status::kTimeout;
+}
+
+}  // namespace gvm

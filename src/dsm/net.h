@@ -1,0 +1,167 @@
+// SimNet: the simulated cluster interconnect under the DSM coherence protocol.
+//
+// The paper distributes segments behind network-transparent mappers (section
+// 5.1.1); this module supplies the network those mappers would actually cross,
+// with every production failure mode injectable and every run replayable from
+// a seed:
+//
+//   * typed protocol messages with per-link monotonic sequence numbers;
+//   * lossy delivery: the kNetDeliver fault site drops one delivery attempt
+//     (request or reply half, seeded), forcing the sender's bounded
+//     retransmission under the *same* sequence number;
+//   * receiver-side dedup: a link remembers recently answered sequence numbers
+//     and replays the cached reply without re-running the handler, so every
+//     handler side-effect is exactly-once per logical call even under
+//     arbitrary retransmission — this is what makes recall/invalidate acks
+//     idempotently re-issuable;
+//   * per-link latency + seeded jitter (messages on concurrent threads
+//     genuinely reorder) configurable programmatically, plus plan-driven
+//     latency through the injector site;
+//   * partitions: explicit (Partition/Heal/HealAll) or injected
+//     (kNetPartition fires -> that link stays down until healed);
+//   * node death: a crashed site's node fails every delivery to or from it
+//     with kPortDead, the cluster-level analogue of PR 4's port-death links.
+//
+// Delivery is synchronous (the handler runs on the caller's thread, nested
+// calls and all), which keeps the protocol deterministic under seeded chaos;
+// concurrency comes from the many application threads of the sites.
+#ifndef GVM_SRC_DSM_NET_H_
+#define GVM_SRC_DSM_NET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/sync/annotated_mutex.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace gvm {
+
+// A network node: site ids are >= 0, the home directory is kHomeNode.
+using NodeId = int;
+inline constexpr NodeId kHomeNode = -1;
+
+// The DSM wire protocol.
+enum class NetOp : uint8_t {
+  kReadReq = 1,     // site -> home: pull a page range, become a sharer
+  kWriteBack,       // owner -> home: committed bytes travelling home
+  kAcquireWrite,    // site -> home: request exclusive ownership of a range
+  kFillProtQuery,   // site -> home: what protection should a fill carry?
+  kRecall,          // home -> owner: sync dirty pages home, demote to reader
+  kInvalidate,      // home -> sharer: discard cached copies of a range
+  kSiteRecovered,   // supervisor -> home: a crashed site re-joined
+  kReply,
+};
+
+struct NetMessage {
+  NetOp op = NetOp::kReply;
+  NodeId src = kHomeNode;
+  NodeId dst = kHomeNode;
+  uint64_t seq = 0;       // per-link, assigned by SimNet::Call
+  uint64_t key = 0;       // segment key
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t arg = 0;       // op-specific (site id, prot bits, ...)
+  Status status = Status::kOk;  // application-level result (replies)
+  std::vector<std::byte> payload;
+};
+
+class SimNet {
+ public:
+  // Handles one delivered message, filling *reply.  Runs on the caller's
+  // thread with no SimNet lock held; may itself issue nested Calls.
+  using Handler = std::function<void(const NetMessage& request, NetMessage* reply)>;
+
+  struct LinkPolicy {
+    uint64_t latency_us = 0;   // fixed one-way delay per delivery attempt
+    uint64_t jitter_us = 0;    // seeded uniform extra delay (reorders messages)
+    uint64_t drop_num = 0;     // per-attempt drop probability num/den
+    uint64_t drop_den = 100;   // (on top of the kNetDeliver injector site)
+  };
+
+  struct Stats {
+    uint64_t messages = 0;         // delivery attempts that reached a handler
+    uint64_t bytes = 0;            // payload bytes carried by those attempts
+    uint64_t drops = 0;            // attempts dropped (injected or policy)
+    uint64_t retransmits = 0;      // attempts after the first for one call
+    uint64_t dedup_replays = 0;    // cached replies served without a handler run
+    uint64_t partition_rejects = 0;  // attempts refused by a partitioned link
+    uint64_t partitions_injected = 0;  // links cut by the kNetPartition site
+    uint64_t timeouts = 0;         // calls that exhausted their attempts
+    uint64_t dead_node_rejects = 0;  // calls refused because an end was dead
+  };
+
+  explicit SimNet(uint64_t seed = 1);
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  void Register(NodeId node, Handler handler) GVM_EXCLUDES(mu_);
+  void SetNodeDead(NodeId node, bool dead) GVM_EXCLUDES(mu_);
+  bool NodeDead(NodeId node) const GVM_EXCLUDES(mu_);
+
+  // One logical RPC: assigns the link sequence number, then attempts delivery
+  // up to `max_attempts_`, retransmitting through drops.  Errors:
+  //   kPortDead  — either end is dead (fail fast, like PR 4's death links);
+  //   kTimeout   — the link stayed partitioned or lossy past the attempt
+  //                budget; no state was necessarily changed remotely, but the
+  //                sequence number makes a later re-issue safe.
+  Result<NetMessage> Call(NodeId src, NodeId dst, NetMessage message)
+      GVM_EXCLUDES(mu_);
+
+  void Partition(NodeId a, NodeId b) GVM_EXCLUDES(mu_);
+  void Heal(NodeId a, NodeId b) GVM_EXCLUDES(mu_);
+  void HealAll() GVM_EXCLUDES(mu_);
+  bool Partitioned(NodeId a, NodeId b) const GVM_EXCLUDES(mu_);
+
+  void SetLinkPolicy(NodeId a, NodeId b, const LinkPolicy& policy)
+      GVM_EXCLUDES(mu_);
+  // Applied to every link without an explicit policy.
+  void SetDefaultPolicy(const LinkPolicy& policy) GVM_EXCLUDES(mu_);
+
+  // Injector driving kNetDeliver / kNetPartition (latency via plan latency).
+  // Null disables; the injector must outlive this net.
+  void BindFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  void set_max_attempts(int attempts) { max_attempts_ = attempts; }
+
+  Stats stats() const GVM_EXCLUDES(mu_);
+
+ private:
+  struct Link {
+    uint64_t next_seq = 1;
+    // seq -> cached reply for retransmit dedup (bounded FIFO).
+    std::map<uint64_t, NetMessage> replies;
+    std::deque<uint64_t> reply_order;
+  };
+
+  static std::pair<NodeId, NodeId> PairKey(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::atomic<FaultInjector*> injector_{nullptr};
+  int max_attempts_ = 16;
+
+  mutable Mutex mu_{Rank::kDsmNet, "SimNet::mu_"};
+  std::map<NodeId, Handler> handlers_ GVM_GUARDED_BY(mu_);
+  std::set<NodeId> dead_ GVM_GUARDED_BY(mu_);
+  std::set<std::pair<NodeId, NodeId>> partitions_ GVM_GUARDED_BY(mu_);
+  std::map<std::pair<NodeId, NodeId>, Link> links_ GVM_GUARDED_BY(mu_);
+  std::map<std::pair<NodeId, NodeId>, LinkPolicy> policies_ GVM_GUARDED_BY(mu_);
+  LinkPolicy default_policy_ GVM_GUARDED_BY(mu_);
+  Rng rng_ GVM_GUARDED_BY(mu_);
+  Stats stats_ GVM_GUARDED_BY(mu_);
+};
+
+}  // namespace gvm
+
+#endif  // GVM_SRC_DSM_NET_H_

@@ -24,6 +24,10 @@ constexpr SiteNameEntry kSiteNames[] = {
     {"crashwrite", FaultSite::kCrashMapperBeforeWrite},
     {"crashmidwrite", FaultSite::kCrashMapperMidWrite},
     {"crashreply", FaultSite::kCrashMapperBeforeReply},
+    {"netdeliver", FaultSite::kNetDeliver},
+    {"netpart", FaultSite::kNetPartition},
+    {"crashsiterecall", FaultSite::kCrashSiteMidRecall},
+    {"crashsiteack", FaultSite::kCrashSiteBeforeAck},
 };
 
 // Errors a spec may name; anything else is a spec error.

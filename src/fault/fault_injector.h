@@ -45,14 +45,29 @@ enum class FaultSite : int {
                             // journal; Recover() must detect and discard it
   kCrashMapperBeforeReply,  // after the operation applied durably but before
                             // the reply is sent: the ack is lost, the data not
+  // Simulated-network sites (the DSM cluster's SimNet, DESIGN.md §12).
+  kNetDeliver,    // one delivery attempt of one message: firing drops it (the
+                  // sender retransmits under the same sequence number); planned
+                  // latency delays every delivery, failing or not
+  kNetPartition,  // evaluated per delivery: firing partitions that link until
+                  // the harness heals it (SimNet::Heal/HealAll)
+  // Site crash-class sites: firing kills the *whole site* (cached pages lost,
+  // its node unreachable) at the injected protocol point.
+  kCrashSiteMidRecall,  // owner dies on recall receipt, before syncing its
+                        // dirty pages home: the uncommitted data is lost, the
+                        // home's last committed bytes stay authoritative
+  kCrashSiteBeforeAck,  // owner dies after its writeback committed at home but
+                        // before the recall ack: the data survives, the ack is
+                        // lost; the home must treat the dead owner as demoted
   kSiteCount,
 };
 
 inline constexpr int kFaultSiteCount = static_cast<int>(FaultSite::kSiteCount);
 
 // Short stable name ("read", "write", "alloctemp", "send", "recv", "frame",
-// "swap", "crashwrite", "crashmidwrite", "crashreply") used by the spec
-// grammar and in log/test output.
+// "swap", "crashwrite", "crashmidwrite", "crashreply", "netdeliver",
+// "netpart", "crashsiterecall", "crashsiteack") used by the spec grammar and
+// in log/test output.
 std::string_view FaultSiteName(FaultSite site);
 bool ParseFaultSite(std::string_view name, FaultSite* out);
 

@@ -1,0 +1,89 @@
+#include "src/nucleus/journal_record.h"
+
+namespace gvm {
+namespace journal {
+
+namespace {
+constexpr uint64_t kRecordMagic = 0x4a524e4c30315647ULL;  // "GV10LNRJ"
+constexpr uint64_t kCommitMagic = 0x434f4d4d49545f4bULL;  // "K_TIMMOC"
+}  // namespace
+
+uint64_t Fnv1a(const std::byte* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<uint64_t>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void PutU64(std::vector<std::byte>* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::byte>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(const std::byte* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+bool ParseRecord(const std::vector<std::byte>& journal_bytes, size_t pos,
+                 RecordView* out) {
+  if (journal_bytes.size() - pos < kMinRecordBytes) {
+    return false;
+  }
+  const std::byte* p = journal_bytes.data() + pos;
+  if (GetU64(p) != kRecordMagic) {
+    return false;
+  }
+  if (Fnv1a(p, 49) != GetU64(p + 49)) {
+    return false;
+  }
+  RecordView view;
+  view.type = static_cast<uint8_t>(p[8]);
+  view.seq = GetU64(p + 9);
+  view.key = GetU64(p + 17);
+  view.offset = GetU64(p + 25);
+  view.payload_size = GetU64(p + 33);
+  if (view.payload_size > kMaxPayloadBytes) {
+    return false;
+  }
+  view.total_bytes = kHeaderBytes + view.payload_size + kMarkerBytes;
+  if (journal_bytes.size() - pos < view.total_bytes) {
+    return false;  // torn: payload or commit marker missing
+  }
+  view.payload = p + kHeaderBytes;
+  if (Fnv1a(view.payload, view.payload_size) != GetU64(p + 41)) {
+    return false;
+  }
+  if (GetU64(p + kHeaderBytes + view.payload_size) != (kCommitMagic ^ view.seq)) {
+    return false;  // uncommitted
+  }
+  *out = view;
+  return true;
+}
+
+std::vector<std::byte> SerializeRecord(uint8_t type, uint64_t seq, uint64_t key,
+                                       uint64_t offset, const std::byte* payload,
+                                       size_t payload_size) {
+  std::vector<std::byte> record;
+  record.reserve(kHeaderBytes + payload_size + kMarkerBytes);
+  PutU64(&record, kRecordMagic);
+  record.push_back(static_cast<std::byte>(type));
+  PutU64(&record, seq);
+  PutU64(&record, key);
+  PutU64(&record, offset);
+  PutU64(&record, payload_size);
+  PutU64(&record, Fnv1a(payload, payload_size));
+  PutU64(&record, Fnv1a(record.data(), record.size()));
+  record.insert(record.end(), payload, payload + payload_size);
+  PutU64(&record, kCommitMagic ^ seq);
+  return record;
+}
+
+}  // namespace journal
+}  // namespace gvm

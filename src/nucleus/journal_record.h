@@ -1,0 +1,69 @@
+// The write-ahead-log record format shared by every WAL in the system.
+//
+// Extracted from JournaledSwapMapper (DESIGN.md §11) so other crash-safe
+// subsystems — notably the DSM home directory (§12) — journal through the
+// exact same checksummed, commit-marked encoding instead of growing a second,
+// subtly different one.  A record is:
+//
+//   [0]   u64 record magic
+//   [8]   u8  type (caller-defined namespace)
+//   [9]   u64 sequence number (0 = unsequenced)
+//   [17]  u64 key (segment / object id)
+//   [25]  u64 offset
+//   [33]  u64 payload size
+//   [41]  u64 payload checksum (FNV-1a)
+//   [49]  u64 header checksum (FNV-1a over bytes [0, 49))
+//   [57]  payload bytes
+//   [57+N] u64 commit marker (commit magic ^ seq)
+//
+// Parse() returns false on anything torn, truncated or corrupt; replaying a
+// journal stops (and truncates) at the first such point.  The `type` byte is
+// an opaque caller-defined namespace: the swap mapper and the DSM directory
+// keep independent journals, so their type values never meet.
+#ifndef GVM_SRC_NUCLEUS_JOURNAL_RECORD_H_
+#define GVM_SRC_NUCLEUS_JOURNAL_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/hal/types.h"
+
+namespace gvm {
+namespace journal {
+
+inline constexpr size_t kHeaderBytes = 57;
+inline constexpr size_t kMarkerBytes = 8;
+inline constexpr size_t kMinRecordBytes = kHeaderBytes + kMarkerBytes;
+// Upper bound on a sane payload (at most one pushOut chunk / one batched
+// range write).  Anything larger in a header is corruption, not data.
+inline constexpr uint64_t kMaxPayloadBytes = 16ull * 1024 * 1024;
+
+uint64_t Fnv1a(const std::byte* data, size_t size);
+void PutU64(std::vector<std::byte>* out, uint64_t value);
+uint64_t GetU64(const std::byte* p);
+
+// A parsed-and-validated view of one record; points into the journal buffer.
+struct RecordView {
+  uint8_t type = 0;
+  uint64_t seq = 0;
+  uint64_t key = 0;
+  uint64_t offset = 0;
+  const std::byte* payload = nullptr;
+  uint64_t payload_size = 0;
+  size_t total_bytes = 0;
+};
+
+// Validates the record at `pos`; false on torn/corrupt/uncommitted data.
+bool ParseRecord(const std::vector<std::byte>& journal_bytes, size_t pos,
+                 RecordView* out);
+
+// Serializes one commit-marked record.
+std::vector<std::byte> SerializeRecord(uint8_t type, uint64_t seq, uint64_t key,
+                                       uint64_t offset, const std::byte* payload,
+                                       size_t payload_size);
+
+}  // namespace journal
+}  // namespace gvm
+
+#endif  // GVM_SRC_NUCLEUS_JOURNAL_RECORD_H_

@@ -204,8 +204,17 @@ Status PagedVm::CacheFlush(MutexLock& lock, PvmCache& cache, bool discard) {
   bool first = true;
   for (int rounds = 0; rounds < 1 << 20; ++rounds) {
     PageDesc* target = nullptr;
+    SegOffset transit_offset = 0;
+    bool transit_seen = false;
     for (PageDesc& candidate : cache.pages_) {
       if (candidate.in_transit) {
+        // A push already in flight may still fail and requeue the page dirty,
+        // so flush/sync may not return before it settles.  (A recall that
+        // acked past an in-flight eviction push would let the directory
+        // demote the owner while its dirty bytes are still on the wire — the
+        // late writeback would then be refused and the data stranded.)
+        transit_seen = true;
+        transit_offset = candidate.offset;
         continue;
       }
       if (!first && candidate.offset < cursor) {
@@ -218,7 +227,23 @@ Status PagedVm::CacheFlush(MutexLock& lock, PvmCache& cache, bool discard) {
       }
     }
     if (target == nullptr) {
-      return Status::kOk;
+      if (!transit_seen) {
+        // Every dirty page is home.  That is the exact guarantee degraded mode
+        // exists to restore, so a completed flush recovers the cache even when
+        // it had nothing left to push — e.g. a site whose in-flight push-outs
+        // died with its machine recovers with an empty cache, and the sync it
+        // issues after rejoining must clear the flag, not no-op past it.
+        cache.pushout_failures_ = 0;
+        cache.degraded_ = false;
+        return Status::kOk;
+      }
+      ++detail_.sync_stub_waits;
+      sleepers_.Wait(StubKey(cache, transit_offset), mu_);
+      // The settled page may be dirty again (failed push) and may sit below
+      // the cursor: rescan from the top.
+      first = true;
+      cursor = 0;
+      continue;
     }
     cursor = target->offset + page;
     first = false;
@@ -237,6 +262,7 @@ Status PagedVm::CacheFlush(MutexLock& lock, PvmCache& cache, bool discard) {
 Status PagedVm::CacheInvalidate(MutexLock& lock, PvmCache& cache,
                                 SegOffset offset, size_t size) {
   const size_t page = page_size();
+  ++cache.revoke_epoch_;  // any copy in this range is revoked from here on
   Status result = Status::kOk;
   for (SegOffset at = AlignDown(offset, page); at < offset + size; at += page) {
     // Invalidation revokes this cache's copy; per-page stubs sourcing from it
@@ -290,6 +316,9 @@ Status PagedVm::CacheSetProtection(MutexLock& lock, PvmCache& cache,
                                    SegOffset offset, size_t size, Prot max_prot) {
   (void)lock;
   const size_t page = page_size();
+  if (!ProtAllows(max_prot, Prot::kWrite)) {
+    ++cache.revoke_epoch_;  // a demote: stale write grants must not resurrect
+  }
   for (SegOffset at = AlignDown(offset, page); at < offset + size; at += page) {
     if (PageDesc* owned = FindOwned(cache, at)) {
       owned->max_prot = max_prot;

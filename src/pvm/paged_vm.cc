@@ -646,12 +646,20 @@ Result<PageDesc*> PagedVm::EnsureWritablePage(MutexLock& lock,
         if (driver == nullptr) {
           return Status::kProtectionFault;
         }
+        const uint64_t epoch = cache.revoke_epoch_;
         lock.unlock();
         Status granted = driver->GetWriteAccess(cache, page_offset, page_size());
         lock.lock();
         *dropped_lock = true;
         if (granted != Status::kOk) {
           return Status::kProtectionFault;
+        }
+        // A recall or invalidate that ran while the lock was dropped revoked
+        // the grant we just obtained: applying it anyway would let this cache
+        // write a page the driver has already handed to someone else.  Loop
+        // instead; the retry re-faults through a fresh upcall.
+        if (cache.revoke_epoch_ != epoch) {
+          continue;
         }
         PageDesc* again = FindOwned(cache, page_offset);
         if (again != nullptr) {

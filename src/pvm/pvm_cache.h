@@ -111,6 +111,12 @@ class PvmCache final : public Cache {
   size_t mapping_count_ = 0;  // regions currently mapping this cache
   int pushout_failures_ = 0;  // consecutive failed push-outs (reset on success)
   bool degraded_ = false;     // writes refused until a pushOut succeeds again
+  // Bumped by every write-revoking setProtection and every invalidate (the
+  // analogue of a TLB-shootdown generation count).  A getWriteAccess upcall
+  // runs with the VM lock dropped; comparing this before and after tells the
+  // write-fault path whether a recall raced the grant, in which case the
+  // grant's local effect must be discarded and the access retried.
+  uint64_t revoke_epoch_ = 0;
 };
 
 }  // namespace gvm

@@ -13,6 +13,9 @@
 //    -1  | kUnranked          | ad-hoc test mutexes          | (exempt from ordering; recursion checked)
 //     4  | kSegmentManager    | SegmentManager::mu_          | entry list, mapper table, RPC stats
 //     6  | kMapperServe       | MapperServer::serve_mu_      | one-at-a-time dispatch (bypassed by DSM)
+//     7  | kDsmDirectory      | DsmCluster segment mu        | per-segment owner/sharer tables, registry
+//     8  | kDsmNet            | SimNet::mu_                  | link seq/dedup/partition state (not held
+//         |                    |                              | across handler delivery)
 //    10  | kClient            | mapper/test driver locks     | segment-driver state; drivers re-enter MM
 //    20  | kIpc               | Ipc::mu_                     | port table, queues, dead flags
 //    30  | kMmManager         | BaseMm::mu_                  | regions, contexts, caches, stubs, stats

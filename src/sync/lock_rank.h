@@ -41,6 +41,16 @@ enum class Rank : int {
   // servers across sites) bypass this lock entirely — see
   // Mapper::thread_safe_dispatch().
   kMapperServe = 6,
+  // The DSM home directory (per-segment owner/sharer tables and the segment
+  // registry).  Entered only from coherent-mapper upcall context with no
+  // kernel lock held, and held across appends to the directory WAL (kClient)
+  // — never across a network send, whose delivery re-enters remote kernels.
+  kDsmDirectory = 7,
+  // SimNet link state (sequence numbers, dedup caches, partitions, counters).
+  // Taken briefly inside SimNet::Call; always released before a message
+  // handler runs (handlers recall into remote sites' kernels, whose locks
+  // rank both above and below this one).
+  kDsmNet = 8,
   // Mapper clients and test segment drivers: invoked via upcalls with every
   // kernel lock dropped, and may legitimately re-enter the managers below.
   kClient = 10,

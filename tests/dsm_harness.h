@@ -1,0 +1,294 @@
+// Seeded DSM cluster chaos harness, shared by tests/dsm_test.cc and the
+// tools/ repro+minimize drivers.
+//
+// One run builds a DsmCluster — several sites, one shared segment crossed by
+// a lossy SimNet — arms the net/site-crash fault sites from a seeded injector,
+// and drives random loads/stores from per-site worker threads while a
+// supervisor thread optionally cuts links and crashes/recovers whole sites.
+// The workload is single-writer-per-slot (page p is written only by site
+// p % sites), so verification is exact:
+//   * during the storm, every successful load must read a value the slot's
+//     writer actually issued (monotonic counters: got <= issued);
+//   * after the storm — links healed, sites recovered, plans cleared — a
+//     determinization round writes one final value per slot and every site
+//     must read it back (committed stores survive crashes; uncommitted ones
+//     died with their site, never having been acknowledged home);
+//   * DsmCluster::OracleCheck replays the directory WAL from empty and
+//     checks single-writer/valid-sharer invariants plus byte-exact agreement
+//     between the replay and the authoritative store.
+#ifndef GVM_TESTS_DSM_HARNESS_H_
+#define GVM_TESTS_DSM_HARNESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dsm/dsm.h"
+#include "src/fault/fault_injector.h"
+#include "src/util/rng.h"
+
+namespace gvm {
+
+struct DsmChaosConfig {
+  uint64_t seed = 1;
+  // Injector plan specs, e.g. {"netdeliver:prob:10"}; see FaultInjector::ApplySpec.
+  std::vector<std::string> fault_specs;
+  int sites = 3;
+  int threads_per_site = 2;
+  int steps_per_thread = 200;
+  size_t pages = 8;          // shared-segment pages == writer slots
+  size_t page_size = 512;
+  size_t frames_per_site = 96;
+  // Supervisor storms (both seeded): random link cuts healed after heal_us,
+  // random single-site crashes recovered after heal_us.
+  bool partition_storm = false;
+  bool crash_storm = false;
+  uint64_t heal_us = 3000;
+};
+
+struct DsmChaosReport {
+  bool ok = false;
+  std::string failure;  // empty when ok
+  uint64_t committed_stores = 0;  // Stores acknowledged to a worker
+  uint64_t failed_ops = 0;        // loads/stores refused during the storm
+  uint64_t crashes = 0;           // whole-site deaths (storm + injected)
+  uint64_t recoveries = 0;
+  uint64_t grants_drained = 0;    // pending grants drained at re-join
+  uint64_t faults_injected = 0;   // injector triggers over the whole run
+  DsmCluster::Stats stats;
+};
+
+inline DsmChaosReport RunDsmChaos(const DsmChaosConfig& config) {
+  DsmChaosReport report;
+
+  DsmCluster cluster(config.page_size);
+  std::vector<DsmSite*> sites;
+  for (int i = 0; i < config.sites; ++i) {
+    sites.push_back(cluster.AddSite(config.frames_per_site));
+  }
+  const uint64_t seg_bytes = config.pages * config.page_size;
+  const Vaddr base = 0x10000000;
+  if (cluster.CreateSharedSegment("chaos", seg_bytes) != Status::kOk) {
+    report.failure = "CreateSharedSegment failed";
+    return report;
+  }
+  for (DsmSite* site : sites) {
+    if (!site->MapShared("chaos", base, seg_bytes, Prot::kReadWrite).ok()) {
+      report.failure = "MapShared failed";
+      return report;
+    }
+  }
+
+  FaultInjector injector(config.seed);
+  for (const std::string& spec : config.fault_specs) {
+    std::string error;
+    if (!injector.ApplySpec(spec, &error)) {
+      report.failure = "bad fault spec '" + spec + "': " + error;
+      return report;
+    }
+  }
+  cluster.BindFaultInjector(&injector);
+
+  // Per-slot monotonic counters: `issued` advances before the store attempt,
+  // so any value a reader can ever observe is <= issued at that moment.
+  std::vector<std::atomic<uint64_t>> issued(config.pages);
+  for (auto& value : issued) {
+    value.store(0);
+  }
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> failed_ops{0};
+  std::atomic<bool> value_error{false};
+  std::vector<std::string> thread_failures(
+      static_cast<size_t>(config.sites * config.threads_per_site));
+
+  std::atomic<bool> stop_supervisor{false};
+  std::atomic<uint64_t> storm_crashes{0};
+  std::atomic<uint64_t> storm_recoveries{0};
+  std::thread supervisor([&] {
+    Rng rng(config.seed ^ 0xC4A0BEEF);
+    while (!stop_supervisor.load(std::memory_order_acquire)) {
+      // Recover anything dead first (storm-crashed or fault-site-crashed), so
+      // injected site deaths never strand the cluster.
+      for (DsmSite* site : sites) {
+        if (cluster.SiteCrashed(site->id())) {
+          Result<uint64_t> drained = cluster.RecoverSite(site->id());
+          if (drained.ok()) {
+            storm_recoveries.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      cluster.net().HealAll();
+      if (config.partition_storm && rng.Chance(1, 2)) {
+        NodeId a = static_cast<NodeId>(rng.Below(static_cast<uint64_t>(config.sites)));
+        NodeId b = rng.Chance(1, 2)
+                       ? kHomeNode
+                       : static_cast<NodeId>(rng.Below(static_cast<uint64_t>(config.sites)));
+        if (a != b) {
+          cluster.net().Partition(a, b);
+        }
+      }
+      if (config.crash_storm && rng.Chance(1, 3)) {
+        SiteId victim = static_cast<SiteId>(rng.Below(static_cast<uint64_t>(config.sites)));
+        if (cluster.CrashSite(victim) == Status::kOk) {
+          storm_crashes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(config.heal_us));
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int s = 0; s < config.sites; ++s) {
+    for (int t = 0; t < config.threads_per_site; ++t) {
+      const int worker_id = s * config.threads_per_site + t;
+      workers.emplace_back([&, s, t, worker_id] {
+        DsmSite* site = sites[static_cast<size_t>(s)];
+        Rng rng(config.seed * 1000003 + static_cast<uint64_t>(worker_id));
+        for (int step = 0; step < config.steps_per_thread; ++step) {
+          size_t slot = rng.Below(config.pages);
+          Vaddr va = base + slot * config.page_size;
+          // Slot ownership is per *thread*: the writer site is slot % sites and
+          // within it the writer thread is (slot / sites) % threads.  Two
+          // threads of one site share a physical frame, and the simulated RAM
+          // is plain host memory — concurrent same-site accesses to one slot
+          // would be a host-level data race that real word-granular hardware
+          // does not have.  Cross-site accesses are fine: they run on separate
+          // physical memories with the protocol copying bytes under locks.
+          bool site_matches =
+              static_cast<int>(slot % static_cast<size_t>(config.sites)) == s;
+          bool is_writer =
+              site_matches &&
+              static_cast<int>((slot / static_cast<size_t>(config.sites)) %
+                               static_cast<size_t>(config.threads_per_site)) == t;
+          if (site_matches && !is_writer) {
+            continue;  // a sibling thread owns this slot's frame
+          }
+          if (is_writer && rng.Chance(1, 2)) {
+            uint64_t value = issued[slot].fetch_add(1, std::memory_order_relaxed) + 1;
+            if (site->Store<uint64_t>(va, value) == Status::kOk) {
+              committed.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              failed_ops.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            Result<uint64_t> got = site->Load<uint64_t>(va);
+            if (!got.ok()) {
+              failed_ops.fetch_add(1, std::memory_order_relaxed);
+            } else if (*got > issued[slot].load(std::memory_order_relaxed)) {
+              thread_failures[static_cast<size_t>(worker_id)] =
+                  "slot " + std::to_string(slot) + " read value " +
+                  std::to_string(*got) + " that its writer never issued (step " +
+                  std::to_string(step) + ")";
+              value_error.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  // Quiesce: stop the storm, heal every link, revive every site, disarm plans.
+  stop_supervisor.store(true, std::memory_order_release);
+  supervisor.join();
+  report.faults_injected = injector.total_triggers();
+  injector.ClearAllPlans();
+  injector.set_enabled(false);
+  cluster.net().HealAll();
+  uint64_t drained_total = 0;
+  for (DsmSite* site : sites) {
+    if (cluster.SiteCrashed(site->id())) {
+      Result<uint64_t> drained = cluster.RecoverSite(site->id());
+      if (drained.ok()) {
+        drained_total += *drained;
+        storm_recoveries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Sites whose writebacks failed during the storm tripped into degraded mode
+  // (writes refused); on the healed network one successful sync recovers them.
+  for (DsmSite* site : sites) {
+    for (int attempt = 0; attempt < 3 && site->SyncShared() != Status::kOk; ++attempt) {
+    }
+  }
+
+  std::ostringstream failure;
+  for (const std::string& tf : thread_failures) {
+    if (!tf.empty()) {
+      failure << tf << "; ";
+    }
+  }
+
+  // Determinization round: on a healthy cluster, one final value per slot must
+  // commit and be visible from every site — committed data survived the storm,
+  // lost sites forgot only what was never acknowledged home.
+  for (size_t slot = 0; slot < config.pages && !value_error.load(); ++slot) {
+    DsmSite* writer = sites[slot % static_cast<size_t>(config.sites)];
+    Vaddr va = base + slot * config.page_size;
+    uint64_t final_value = issued[slot].fetch_add(1, std::memory_order_relaxed) + 1;
+    if (writer->Store<uint64_t>(va, final_value) != Status::kOk) {
+      failure << "final store on healthy cluster failed for slot " << slot << "; ";
+      continue;
+    }
+    for (DsmSite* site : sites) {
+      Result<uint64_t> got = site->Load<uint64_t>(va);
+      if (!got.ok()) {
+        failure << "final load failed at site " << site->id() << " slot " << slot
+                << "; ";
+      } else if (*got != final_value) {
+        failure << "slot " << slot << " diverged at site " << site->id() << ": got "
+                << *got << " want " << final_value << "; ";
+      }
+    }
+  }
+
+  // Shadow oracle: structural invariants + WAL replay against live state.
+  std::string oracle_diagnostic;
+  if (cluster.OracleCheck(&oracle_diagnostic) != Status::kOk) {
+    failure << "oracle: " << oracle_diagnostic << "; ";
+  }
+  for (DsmSite* site : sites) {
+    if (site->vm().CheckInvariants() != Status::kOk) {
+      failure << "PVM invariants violated at site " << site->id() << "; ";
+    }
+  }
+
+  report.stats = cluster.stats();
+  report.committed_stores = committed.load();
+  report.failed_ops = failed_ops.load();
+  report.crashes = report.stats.site_crashes;
+  report.recoveries = report.stats.site_recoveries;
+  report.grants_drained = report.stats.pending_grants_drained;
+  if (failure.str().empty()) {
+    report.ok = true;
+  } else {
+    std::ostringstream out;
+    out << "dsm chaos failed (seed=" << config.seed << " sites=" << config.sites
+        << " threads/site=" << config.threads_per_site << " specs=[";
+    for (const std::string& spec : config.fault_specs) {
+      out << spec << " ";
+    }
+    out << "] partition_storm=" << config.partition_storm
+        << " crash_storm=" << config.crash_storm << "): " << failure.str() << "\n"
+        << "committed=" << report.committed_stores << " failed_ops=" << report.failed_ops
+        << " crashes=" << report.crashes << " recoveries=" << report.recoveries
+        << " drops=" << report.stats.network_drops
+        << " retransmits=" << report.stats.network_retransmits
+        << " dedup=" << report.stats.dedup_replays
+        << " aborted=" << report.stats.transitions_aborted
+        << " wal=" << report.stats.wal_records;
+    report.failure = out.str();
+  }
+  return report;
+}
+
+}  // namespace gvm
+
+#endif  // GVM_TESTS_DSM_HARNESS_H_

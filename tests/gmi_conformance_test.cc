@@ -5,11 +5,13 @@
 // clients written against the GMI must observe identical semantics on all three.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/dsm/dsm.h"
 #include "src/hal/soft_mmu.h"
 #include "src/minimal/minimal_mm.h"
 #include "src/pvm/paged_vm.h"
@@ -290,6 +292,98 @@ TEST_P(GmiConformanceTest, ManyRegionsManyContexts) {
   for (Context* ctx : contexts) {
     ASSERT_EQ(ctx->Destroy(), Status::kOk);
   }
+}
+
+// ---- Table 4 cache control over a delayed network (DSM-backed caches) ----
+//
+// The cache-control contract (sync saves, invalidate discards WITHOUT saving)
+// must hold unchanged when the segment lives behind the simulated interconnect:
+// a delayed link slows the operations down but never weakens their semantics.
+class GmiNetworkDelayTest : public ::testing::Test {
+ protected:
+  static constexpr Vaddr kBase = 0x40000000;
+
+  GmiNetworkDelayTest() : cluster_(kPage) {
+    a_ = cluster_.AddSite();
+    b_ = cluster_.AddSite();
+    EXPECT_EQ(cluster_.CreateSharedSegment("delay", 2 * kPage), Status::kOk);
+    EXPECT_TRUE(a_->MapShared("delay", kBase, 2 * kPage, Prot::kReadWrite).ok());
+    EXPECT_TRUE(b_->MapShared("delay", kBase, 2 * kPage, Prot::kReadWrite).ok());
+  }
+
+  // The GMI cache backing a site's view of the shared segment.
+  Cache* SharedCache(DsmSite* site) {
+    Result<Region*> region = site->actor().context().FindRegion(kBase);
+    EXPECT_TRUE(region.ok());
+    return (*region)->GetStatus().cache;
+  }
+
+  void DelayLink(DsmSite* site, uint64_t latency_us) {
+    SimNet::LinkPolicy slow;
+    slow.latency_us = latency_us;
+    cluster_.net().SetLinkPolicy(kHomeNode, site->id(), slow);
+  }
+
+  DsmCluster cluster_;
+  DsmSite* a_ = nullptr;
+  DsmSite* b_ = nullptr;
+};
+
+TEST_F(GmiNetworkDelayTest, SyncSavesDirtyBytesThroughDelayedLink) {
+  ASSERT_EQ(a_->Store<uint64_t>(kBase, 7), Status::kOk);
+  DelayLink(a_, /*latency_us=*/15'000);
+
+  // sync must push the dirty page home synchronously: it blocks for the link
+  // latency and returns only once the home holds the bytes.
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_EQ(SharedCache(a_)->Sync(), Status::kOk);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(), 15'000);
+
+  // Proof the save was authoritative: the writer site dies, and the other site
+  // still reads the synced value from home.
+  ASSERT_EQ(cluster_.CrashSite(a_->id()), Status::kOk);
+  Result<uint64_t> got = b_->Load<uint64_t>(kBase);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 7u);
+}
+
+TEST_F(GmiNetworkDelayTest, InvalidateDiscardsWithoutSavingUnderDelay) {
+  // Commit 5 home, then leave 9 dirty in the site's cache.
+  ASSERT_EQ(a_->Store<uint64_t>(kBase, 5), Status::kOk);
+  ASSERT_EQ(SharedCache(a_)->Sync(), Status::kOk);
+  ASSERT_EQ(a_->Store<uint64_t>(kBase, 9), Status::kOk);
+
+  DelayLink(a_, /*latency_us=*/10'000);
+  const uint64_t wal_before = cluster_.stats().wal_records;
+
+  // invalidate discards the dirty copy WITHOUT saving it (Table 4) — it is a
+  // purely local operation, so the delayed link cannot slow it down and the
+  // home never learns the uncommitted value.
+  ASSERT_EQ(SharedCache(a_)->Invalidate(0, 2 * kPage), Status::kOk);
+  EXPECT_EQ(cluster_.stats().wal_records, wal_before);
+
+  Result<uint64_t> again = a_->Load<uint64_t>(kBase);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 5u) << "refetch must restore the last synced value, not the discarded one";
+  Result<uint64_t> remote = b_->Load<uint64_t>(kBase);
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(*remote, 5u);
+}
+
+TEST_F(GmiNetworkDelayTest, SyncOfCleanCacheSendsNoWriteback) {
+  ASSERT_EQ(a_->Store<uint64_t>(kBase, 3), Status::kOk);
+  ASSERT_EQ(SharedCache(a_)->Sync(), Status::kOk);
+  DelayLink(a_, /*latency_us=*/10'000);
+
+  // A second sync with nothing dirty must not pay the wire: same message count,
+  // and it returns immediately despite the delayed link.
+  const uint64_t messages_before = cluster_.stats().network_messages;
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_EQ(SharedCache(a_)->Sync(), Status::kOk);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(cluster_.stats().network_messages, messages_before);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(), 10'000);
 }
 
 std::string ImplName(const ::testing::TestParamInfo<Impl>& info) {

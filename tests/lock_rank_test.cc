@@ -55,6 +55,27 @@ void UnrankedRecursiveBody() {
   mu.Lock();
 }
 
+// The DSM ranks: directory (7) under net (8) under the coherent mapper's
+// store/WAL rank (kClient, 10).  Taking the mapper-side lock first and then
+// reaching back into the directory is the ABBA the rank table exists to kill —
+// exactly the nesting a coherent-mapper callback would create if it called
+// into directory state while holding its own store mutex.
+void DsmDirectoryUnderMapperBody() {
+  lock_rank::SetEnforced(true);
+  Mutex wal{Rank::kClient, "death::dsm_wal"};
+  Mutex directory{Rank::kDsmDirectory, "death::dsm_directory"};
+  MutexLock a(wal);
+  MutexLock b(directory);  // rank 7 after rank 10: inversion
+}
+
+void DsmNetUnderDirectoryReversedBody() {
+  lock_rank::SetEnforced(true);
+  Mutex net{Rank::kDsmNet, "death::dsm_net"};
+  Mutex directory{Rank::kDsmDirectory, "death::dsm_directory"};
+  MutexLock a(net);
+  MutexLock b(directory);  // rank 7 after rank 8: inversion
+}
+
 // The deadlock hunter: two threads take two equal-rank "shards" in opposite
 // orders, the classic ABBA deadlock.  The validator must abort on the second
 // acquisition of whichever thread gets there first — *before* blocking — so
@@ -171,6 +192,27 @@ TEST_F(LockRankTest, DisabledEnforcementDoesNotAbort) {
     MutexLock b(ipc);  // inversion, but unchecked
   }
   lock_rank::SetEnforced(true);
+}
+
+TEST_F(LockRankTest, DsmDirectoryUnderNetUnderMapperInOrderPasses) {
+  // The legal DSM nesting: dir_mu_ (7) held while sending on the net (8), the
+  // receiving end appending to the mapper-side WAL (kClient, 10).
+  Mutex directory{Rank::kDsmDirectory, "test::dsm_directory"};
+  Mutex net{Rank::kDsmNet, "test::dsm_net"};
+  Mutex wal{Rank::kClient, "test::dsm_wal"};
+  MutexLock a(directory);
+  MutexLock b(net);
+  MutexLock c(wal);
+  EXPECT_EQ(lock_rank::HeldCount(), 3);
+}
+
+TEST_F(LockRankTest, DsmDirectoryUnderMapperAborts) {
+  EXPECT_DEATH(DsmDirectoryUnderMapperBody(), "lock-rank violation: rank inversion");
+}
+
+TEST_F(LockRankTest, DsmDirectoryUnderNetAborts) {
+  EXPECT_DEATH(DsmNetUnderDirectoryReversedBody(),
+               "lock-rank violation: rank inversion");
 }
 
 TEST_F(LockRankTest, TwoThreadShardCrossingHunterTripsBeforeDeadlock) {

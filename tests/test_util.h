@@ -138,19 +138,24 @@ class TestSwapRegistry : public SegmentRegistry {
       return nullptr;  // backing store exhausted: the MM sees kNoSwap
     }
     ++segments_created;
+    // PVM drops its lock around this upcall and only serializes per cache
+    // (driver_requested_), so two threads evicting pages of *different*
+    // caches land here concurrently.
+    MutexLock guard(mu_);
     drivers_.push_back(std::make_unique<TestStoreDriver>(page_size_));
     drivers_.back()->injector = injector;
     return drivers_.back().get();
   }
 
-  int segments_created = 0;
+  std::atomic<int> segments_created{0};
   // Optional fault injection: kSwapAlloc here, propagated to created drivers
   // for their kMapperRead/kMapperWrite sites.
   FaultInjector* injector = nullptr;
 
  private:
   const size_t page_size_;
-  std::vector<std::unique_ptr<TestStoreDriver>> drivers_;
+  mutable Mutex mu_{Rank::kClient, "TestSwapRegistry::mu_"};
+  std::vector<std::unique_ptr<TestStoreDriver>> drivers_ GVM_GUARDED_BY(mu_);
 };
 
 }  // namespace gvm

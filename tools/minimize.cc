@@ -13,6 +13,7 @@
 #include "src/pvm/paged_vm.h"
 #include "src/util/rng.h"
 #include "tests/crash_harness.h"
+#include "tests/dsm_harness.h"
 #include "tests/test_util.h"
 
 using namespace gvm;
@@ -242,6 +243,102 @@ int MinimizeCrashConfig(CrashChaosConfig config) {
   return 0;
 }
 
+// DSM-mode minimization: like crash mode, shrinks the chaos *configuration* —
+// fewer sites, threads, steps, pages, storms, fault specs — while the failure
+// persists, then prints the smallest failing cluster as a repro command line.
+void PrintDsmConfig(const DsmChaosConfig& config) {
+  printf("  repro_tool %llu", (unsigned long long)config.seed);
+  for (const std::string& spec : config.fault_specs) printf(" %s", spec.c_str());
+  printf(" sites=%d threads=%d steps=%d pages=%zu frames=%zu%s%s\n", config.sites,
+         config.threads_per_site, config.steps_per_thread, config.pages,
+         config.frames_per_site, config.partition_storm ? " partstorm" : "",
+         config.crash_storm ? " crashstorm" : "");
+}
+
+int MinimizeDsmConfig(DsmChaosConfig config) {
+  if (RunDsmChaos(config).ok) {
+    printf("dsm config does not fail; try another seed\n");
+    return 1;
+  }
+  printf("initial failing dsm config:\n");
+  PrintDsmConfig(config);
+  auto fails = [](const DsmChaosConfig& candidate) { return !RunDsmChaos(candidate).ok; };
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    DsmChaosConfig candidate = config;
+    if (config.steps_per_thread > 1) {
+      candidate.steps_per_thread = config.steps_per_thread / 2;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.sites > 2) {
+      candidate.sites = config.sites - 1;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.threads_per_site > 1) {
+      candidate.threads_per_site = config.threads_per_site - 1;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.pages > 1) {
+      candidate.pages = config.pages / 2;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.partition_storm) {
+      candidate.partition_storm = false;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.crash_storm) {
+      candidate.crash_storm = false;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    for (size_t i = 0; config.fault_specs.size() > 1 && i < config.fault_specs.size();
+         ++i) {
+      candidate = config;
+      candidate.fault_specs.erase(candidate.fault_specs.begin() +
+                                  static_cast<ptrdiff_t>(i));
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  printf("minimal failing dsm config:\n");
+  PrintDsmConfig(config);
+  DsmChaosReport report = RunDsmChaos(config);
+  printf("%s\n", report.failure.c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
   int steps = argc > 2 ? atoi(argv[2]) : 300;
@@ -249,26 +346,55 @@ int main(int argc, char** argv) {
   // or "frames=N" to shrink physical memory for eviction pressure.  A crash-class
   // spec (crashwrite / crashmidwrite / crashreply) switches to crash-config
   // minimization; there "threads=N", "caches=N" and "ipc" shape the storm.
+  // A DSM-class spec (netdeliver / netpart / crashsiterecall / crashsiteack)
+  // switches to dsm-config minimization; there "sites=N", "threads=N",
+  // "pages=N", "partstorm" and "crashstorm" shape the cluster.
   std::vector<std::string> fault_specs;
   size_t frames = 4096;
   CrashChaosConfig crash_config;
   crash_config.seed = seed;
   crash_config.steps_per_thread = steps;
   crash_config.frames = 12;
+  DsmChaosConfig dsm_config;
+  dsm_config.seed = seed;
+  dsm_config.steps_per_thread = steps;
   bool crash_mode = false;
+  bool dsm_mode = false;
+  auto is_dsm_spec = [](const std::string& spec) {
+    return spec.rfind("netdeliver", 0) == 0 || spec.rfind("netpart", 0) == 0 ||
+           spec.rfind("crashsiterecall", 0) == 0 || spec.rfind("crashsiteack", 0) == 0;
+  };
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("frames=", 0) == 0) {
       frames = strtoull(arg.c_str() + 7, nullptr, 10);
       crash_config.frames = frames;
+      dsm_config.frames_per_site = frames;
       continue;
     }
     if (arg.rfind("threads=", 0) == 0) {
       crash_config.threads = atoi(arg.c_str() + 8);
+      dsm_config.threads_per_site = atoi(arg.c_str() + 8);
       continue;
     }
     if (arg.rfind("caches=", 0) == 0) {
       crash_config.caches = atoi(arg.c_str() + 7);
+      continue;
+    }
+    if (arg.rfind("sites=", 0) == 0) {
+      dsm_config.sites = atoi(arg.c_str() + 6);
+      continue;
+    }
+    if (arg.rfind("pages=", 0) == 0) {
+      dsm_config.pages = strtoull(arg.c_str() + 6, nullptr, 10);
+      continue;
+    }
+    if (arg == "partstorm") {
+      dsm_config.partition_storm = true;
+      continue;
+    }
+    if (arg == "crashstorm") {
+      dsm_config.crash_storm = true;
       continue;
     }
     if (arg == "ipc") {
@@ -281,14 +407,20 @@ int main(int argc, char** argv) {
       fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
       fprintf(stderr,
               "usage: %s [seed] [steps] [frames=N] [threads=N caches=N ipc] "
-              "[site:mode[:args]...]...\n",
+              "[sites=N pages=N partstorm crashstorm] [site:mode[:args]...]...\n",
               argv[0]);
       return 2;
     }
     fault_specs.push_back(arg);
-    if (arg.rfind("crash", 0) == 0) {
+    if (is_dsm_spec(arg)) {
+      dsm_mode = true;  // before the crash test: crashsite* also starts with "crash"
+    } else if (arg.rfind("crash", 0) == 0) {
       crash_mode = true;
     }
+  }
+  if (dsm_mode) {
+    dsm_config.fault_specs = fault_specs;
+    return MinimizeDsmConfig(dsm_config);
   }
   if (crash_mode) {
     crash_config.fault_specs = fault_specs;

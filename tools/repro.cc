@@ -10,6 +10,7 @@
 #include "src/pvm/paged_vm.h"
 #include "src/util/rng.h"
 #include "tests/crash_harness.h"
+#include "tests/dsm_harness.h"
 #include "tests/test_util.h"
 
 using namespace gvm;
@@ -17,10 +18,64 @@ constexpr size_t kPage = 4096;
 constexpr size_t kSegPages = 8;
 constexpr size_t kSegBytes = kSegPages * kPage;
 
+// A spec naming a DSM-class site switches the tool into the distributed
+// coherence chaos world (tests/dsm_harness.h).  Checked before the mapper
+// crash-class test below because crashsiterecall/crashsiteack also start
+// with "crash".
+bool IsDsmSpec(const std::string& spec) {
+  return spec.rfind("netdeliver", 0) == 0 || spec.rfind("netpart", 0) == 0 ||
+         spec.rfind("crashsiterecall", 0) == 0 || spec.rfind("crashsiteack", 0) == 0;
+}
+
 // A spec naming a crash-class site (crashwrite / crashmidwrite / crashreply)
 // switches the tool into the mapper crash-recovery world: those sites live in
 // the journaled mapper and its server, not in the PVM schedule below.
 bool IsCrashSpec(const std::string& spec) { return spec.rfind("crash", 0) == 0; }
+
+int RunDsmMode(uint64_t seed, const std::vector<std::string>& args) {
+  DsmChaosConfig config;
+  config.seed = seed;
+  for (const std::string& arg : args) {
+    if (arg.rfind("sites=", 0) == 0) {
+      config.sites = atoi(arg.c_str() + 6);
+    } else if (arg.rfind("threads=", 0) == 0) {
+      config.threads_per_site = atoi(arg.c_str() + 8);
+    } else if (arg.rfind("steps=", 0) == 0) {
+      config.steps_per_thread = atoi(arg.c_str() + 6);
+    } else if (arg.rfind("pages=", 0) == 0) {
+      config.pages = strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("frames=", 0) == 0) {
+      config.frames_per_site = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "partstorm") {
+      config.partition_storm = true;
+    } else if (arg == "crashstorm") {
+      config.crash_storm = true;
+    } else {
+      config.fault_specs.push_back(arg);
+    }
+  }
+  printf("dsm mode: seed=%llu sites=%d threads/site=%d steps=%d pages=%zu%s%s\n",
+         (unsigned long long)config.seed, config.sites, config.threads_per_site,
+         config.steps_per_thread, config.pages,
+         config.partition_storm ? " partstorm" : "", config.crash_storm ? " crashstorm" : "");
+  DsmChaosReport report = RunDsmChaos(config);
+  printf("committed=%llu failed_ops=%llu crashes=%llu recoveries=%llu drained=%llu\n",
+         (unsigned long long)report.committed_stores, (unsigned long long)report.failed_ops,
+         (unsigned long long)report.crashes, (unsigned long long)report.recoveries,
+         (unsigned long long)report.grants_drained);
+  printf("drops=%llu retransmits=%llu dedup=%llu aborted=%llu wal=%llu\n",
+         (unsigned long long)report.stats.network_drops,
+         (unsigned long long)report.stats.network_retransmits,
+         (unsigned long long)report.stats.dedup_replays,
+         (unsigned long long)report.stats.transitions_aborted,
+         (unsigned long long)report.stats.wal_records);
+  if (!report.ok) {
+    printf("FAILED:\n%s\n", report.failure.c_str());
+    return 1;
+  }
+  printf("no divergence\n");
+  return 0;
+}
 
 int RunCrashMode(uint64_t seed, const std::vector<std::string>& args) {
   CrashChaosConfig config;
@@ -67,21 +122,29 @@ int main(int argc, char** argv) {
   // meaningful storm needs eviction pressure.  Crash-class specs
   // ("crashwrite:prob:5", "crashreply:nth:3", ...) switch to the mapper
   // crash-recovery chaos world; there "threads=N", "steps=N", "caches=N" and
-  // "ipc" tune the storm.
+  // "ipc" tune the storm.  DSM-class specs ("netdeliver:prob:10",
+  // "netpart:nth:2", "crashsiterecall:prob:3", "crashsiteack:nth:1") switch to
+  // the distributed-coherence chaos world instead; there "sites=N",
+  // "threads=N", "steps=N", "pages=N", "partstorm" and "crashstorm" shape it.
   size_t frames = 2048;
   FaultInjector injector(seed);
   bool have_plans = false;
   std::vector<std::string> raw_args;
   bool crash_mode = false;
+  bool dsm_mode = false;
   for (int i = 2; i < argc; ++i) {
     raw_args.push_back(argv[i]);
-    if (IsCrashSpec(raw_args.back())) {
+    if (IsDsmSpec(raw_args.back())) {
+      dsm_mode = true;  // before IsCrashSpec: crashsite* also starts with "crash"
+    } else if (IsCrashSpec(raw_args.back())) {
       crash_mode = true;
     }
   }
   for (const std::string& arg : raw_args) {
     if (arg.rfind("frames=", 0) == 0 || arg.rfind("threads=", 0) == 0 ||
-        arg.rfind("steps=", 0) == 0 || arg.rfind("caches=", 0) == 0 || arg == "ipc") {
+        arg.rfind("steps=", 0) == 0 || arg.rfind("caches=", 0) == 0 ||
+        arg.rfind("sites=", 0) == 0 || arg.rfind("pages=", 0) == 0 || arg == "ipc" ||
+        arg == "partstorm" || arg == "crashstorm") {
       continue;  // world shape, not a fault spec
     }
     std::string error;
@@ -89,10 +152,13 @@ int main(int argc, char** argv) {
       fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
       fprintf(stderr,
               "usage: %s [seed] [frames=N] [threads=N steps=N caches=N ipc] "
-              "[site:mode[:args]...]...\n",
+              "[sites=N pages=N partstorm crashstorm] [site:mode[:args]...]...\n",
               argv[0]);
       return 2;
     }
+  }
+  if (dsm_mode) {
+    return RunDsmMode(seed, raw_args);
   }
   if (crash_mode) {
     return RunCrashMode(seed, raw_args);
