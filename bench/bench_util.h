@@ -343,6 +343,12 @@ inline void AddWorldCounters(BenchJson& json, MemoryManager& mm) {
     json.Counter("tlb_misses", cs.tlb_misses);
     json.Counter("tlb_shootdowns", cs.tlb_shootdowns);
     json.Counter("tlb_shootdown_pages", cs.tlb_shootdown_pages);
+    json.Counter("tlb_shootdown_ranges", cs.tlb_shootdown_ranges);
+    const PhysicalMemory::Stats ps = base->memory().stats();
+    json.Counter("magazine_hits", ps.magazine_hits);
+    json.Counter("magazine_refills", ps.magazine_refills);
+    json.Counter("magazine_drains", ps.magazine_drains);
+    json.Counter("magazine_steals", ps.magazine_steals);
   }
   if (auto* pvm = dynamic_cast<PagedVm*>(&mm)) {
     json.Counter("pullin_clustered", pvm->detail_stats().pullin_clustered);

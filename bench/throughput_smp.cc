@@ -1,4 +1,5 @@
-// throughput_smp — multi-threaded fault-storm throughput of the PVM.
+// throughput_smp — multi-threaded fault-storm throughput of the PVM, and the
+// 1→64-CPU scaling matrix for the batched-shootdown + frame-magazine work.
 //
 // N worker threads ("CPUs"), each with its own context/address space and its own
 // anonymous segment, run a mixed workload of sequential 8-byte reads, random
@@ -6,16 +7,21 @@
 // whole working set, dirtying every 4th page of the copy, teardown).  The
 // workload is exactly the per-access path the software TLB accelerates and the
 // shootdown protocol must keep correct: COW episodes write-protect the source
-// (downgrade shootdowns) and the teardown unmaps en masse.
+// (downgrade shootdowns, batched into one fence by the gather) and the teardown
+// unmaps en masse (range shootdowns).
 //
-// The same binary measures the baseline with --tlb=off (the TLB wrapper then
-// delegates straight to the locked MMU walk), emitting a separate JSON file so
-// both configurations can be committed and compared:
-//   BENCH_throughput_smp.json           (TLB on, sharded locks hot path)
-//   BENCH_throughput_smp.tlb_off.json   (uncached baseline)
+// Two modes:
+//   default      one cell; emits BENCH_throughput_smp.json (or .tlb_off).
+//   --scale      the full matrix: threads in {1,2,4,...,64} x mmu in
+//                {soft,hash} x fence in {membarrier,fenced}.  One
+//                BENCH_throughput_scale.<cell>.json per cell plus a combined
+//                BENCH_throughput_scale.json whose counters carry every cell's
+//                ops/sec and shootdown/fault ratios (the CI gate input).
 //
 // Usage: throughput_smp [--threads=4] [--pages=64] [--seconds=1.0]
 //                       [--tlb=on|off] [--mmu=soft|hash] [--seed=1]
+//                       [--fence=auto|membarrier|fenced]
+//                       [--scale] [--cell-seconds=0.4] [--max-threads=64]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -50,6 +56,7 @@ struct Config {
   std::string mmu = "soft";
   uint64_t seed = 1;
   int cow_every = 8192;    // simple ops between fork-COW episodes
+  TlbMmu::FenceMode fence = TlbMmu::FenceMode::kAuto;
 };
 
 struct WorkerResult {
@@ -57,6 +64,22 @@ struct WorkerResult {
   uint64_t episodes = 0;
   uint64_t errors = 0;
   std::vector<double> samples_ns;  // per-op latency, batch-averaged
+};
+
+// Aggregate metrics of one cell, for the scale matrix and the JSON writers.
+struct CellResult {
+  double ops_per_sec = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double hit_rate = 0;
+  uint64_t ops = 0;
+  uint64_t episodes = 0;
+  uint64_t errors = 0;
+  Cpu::Stats cpu;
+  MmStats mm;
+  PhysicalMemory::Stats frames;
+  const char* fence_name = "?";
+  bool setup_failed = false;
 };
 
 const char* FenceName(TlbMmu::FenceMode mode) {
@@ -77,6 +100,19 @@ uint64_t NextRand(uint64_t& state) {
   state ^= state >> 7;
   state ^= state << 17;
   return state;
+}
+
+// Frame budget for a run.  Three working sets per thread (the live set, the
+// in-flight COW copy, and history pages awaiting collapse) plus the frames the
+// per-CPU magazines may hold out of the shared pool at any instant — sized
+// from the magazine geometry, not guessed — plus fixed slack for gather-parked
+// frames during teardown.  The old `threads*pages*3 + 256` formula ignored the
+// magazine capture and under-provisioned wide runs.
+size_t FrameBudget(int threads, size_t pages) {
+  const size_t working = static_cast<size_t>(threads) * pages * 3;
+  const size_t magazines =
+      PhysicalMemory::kMagazineSlots * 32;  // worst-case auto capacity per slot
+  return working + magazines + 256;
 }
 
 // One fork-COW episode: deferred-copy the whole working set, dirty every 4th
@@ -116,20 +152,27 @@ void ForkCowEpisode(MemoryManager& mm, Context& ctx, Cache& src, const Config& c
 }
 
 void Worker(int tid, MemoryManager& mm, Context& ctx, Cache& cache, const Config& cfg,
-            std::atomic<bool>& stop, WorkerResult& result) {
+            std::atomic<int>& ready, std::atomic<bool>& go, std::atomic<bool>& stop,
+            std::atomic<uint64_t>& setup_errors, WorkerResult& result) {
   using Clock = std::chrono::steady_clock;
   AsId as = ctx.address_space();
   uint64_t rng = cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(tid) + 1;
   // Materialize the working set (demand zero-fill) before the clock starts.
+  // A failure here is a frame-budget bug, not workload noise: count it
+  // separately so the run can fail fast instead of publishing garbage.
   for (size_t p = 0; p < cfg.pages; ++p) {
     uint64_t value = p;
     if (mm.cpu().Write(as, kWorkBase + p * kPageSize, &value, sizeof(value)) != Status::kOk) {
-      ++result.errors;
+      setup_errors.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  ready.fetch_add(1, std::memory_order_release);
+  while (!go.load(std::memory_order_acquire) && !stop.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
   size_t cursor = 0;
-  // cfg.pages is rounded to a power of two by Run(), so the working set can be
-  // walked with masks instead of divisions on the measured path.
+  // cfg.pages is rounded to a power of two by RunCell(), so the working set can
+  // be walked with masks instead of divisions on the measured path.
   const size_t span_mask = cfg.pages * kPageSize - 1;
   const size_t page_mask = cfg.pages - 1;
   uint64_t since_episode = 0;
@@ -173,7 +216,7 @@ void Worker(int tid, MemoryManager& mm, Context& ctx, Cache& cache, const Config
   }
 }
 
-int Run(Config cfg) {
+CellResult RunCell(Config cfg) {
   // Round the working set to a power of two so the worker's hot loop can use
   // masks (see Worker).
   size_t pow2 = 1;
@@ -181,10 +224,7 @@ int Run(Config cfg) {
     pow2 <<= 1;
   }
   cfg.pages = pow2;
-  // Enough frames that the benchmark measures the access path, not page-out:
-  // working sets + in-flight COW copies + slack.
-  const size_t frames = static_cast<size_t>(cfg.threads) * cfg.pages * 3 + 256;
-  PhysicalMemory memory(frames, kPageSize);
+  PhysicalMemory memory(FrameBudget(cfg.threads, cfg.pages), kPageSize);
   std::unique_ptr<Mmu> mmu;
   if (cfg.mmu == "hash") {
     mmu = std::make_unique<HashMmu>(kPageSize);
@@ -193,6 +233,7 @@ int Run(Config cfg) {
   }
   PagedVm::Options options;
   options.enable_tlb = cfg.tlb;
+  options.shootdown_fence = cfg.fence;
   options.pullin_cluster_pages = 8;
   PagedVm vm(memory, *mmu, options);
   TestSwapRegistry registry(kPageSize);
@@ -211,15 +252,43 @@ int Run(Config cfg) {
     caches.push_back(cache);
   }
 
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
   std::atomic<bool> stop{false};
+  std::atomic<uint64_t> setup_errors{0};
   std::vector<WorkerResult> results(static_cast<size_t>(cfg.threads));
   std::vector<std::thread> workers;
-  auto start = std::chrono::steady_clock::now();
   for (int t = 0; t < cfg.threads; ++t) {
     workers.emplace_back(Worker, t, std::ref(vm), std::ref(*contexts[static_cast<size_t>(t)]),
                          std::ref(*caches[static_cast<size_t>(t)]), std::cref(cfg),
-                         std::ref(stop), std::ref(results[static_cast<size_t>(t)]));
+                         std::ref(ready), std::ref(go), std::ref(stop), std::ref(setup_errors),
+                         std::ref(results[static_cast<size_t>(t)]));
   }
+  // Wait for every worker to finish materializing, then start the clock: the
+  // measured window contains only the steady-state workload.
+  while (ready.load(std::memory_order_acquire) < cfg.threads) {
+    std::this_thread::yield();
+  }
+  CellResult cell;
+  cell.fence_name = FenceName(vm.tlb().fence_mode());
+  if (setup_errors.load(std::memory_order_relaxed) > 0) {
+    // Fail fast: the frame budget was wrong.  Publishing throughput for a run
+    // that could not even materialize its working set would be a lie.
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& th : workers) {
+      th.join();
+    }
+    std::fprintf(stderr,
+                 "throughput_smp: FATAL: %llu working-set pages failed to materialize "
+                 "(threads=%d pages=%zu frames=%zu magazine_capacity=%zu); "
+                 "the frame budget in FrameBudget() is under-provisioned\n",
+                 static_cast<unsigned long long>(setup_errors.load()), cfg.threads, cfg.pages,
+                 memory.frame_count(), memory.magazine_capacity());
+    cell.setup_failed = true;
+    return cell;
+  }
+  auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& th : workers) {
@@ -228,63 +297,164 @@ int Run(Config cfg) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
-  uint64_t total_ops = 0;
-  uint64_t episodes = 0;
-  uint64_t errors = 0;
   std::vector<double> samples;
   for (const WorkerResult& r : results) {
-    total_ops += r.ops;
-    episodes += r.episodes;
-    errors += r.errors;
+    cell.ops += r.ops;
+    cell.episodes += r.episodes;
+    cell.errors += r.errors;
     samples.insert(samples.end(), r.samples_ns.begin(), r.samples_ns.end());
   }
-  const double ops_per_sec = total_ops / elapsed;
-  const double p50 = Percentile(samples, 0.5);
-  const double p99 = Percentile(samples, 0.99);
+  cell.ops_per_sec = static_cast<double>(cell.ops) / elapsed;
+  cell.p50_ns = Percentile(samples, 0.5);
+  cell.p99_ns = Percentile(samples, 0.99);
 
-  const Cpu::Stats cs = vm.cpu().SnapshotStats();
-  const double hit_rate = cs.tlb_hits + cs.tlb_misses > 0
-                              ? static_cast<double>(cs.tlb_hits) /
-                                    static_cast<double>(cs.tlb_hits + cs.tlb_misses)
-                              : 0.0;
+  cell.cpu = vm.cpu().SnapshotStats();
+  cell.mm = vm.stats();
+  cell.frames = vm.memory().stats();
+  cell.hit_rate = cell.cpu.tlb_hits + cell.cpu.tlb_misses > 0
+                      ? static_cast<double>(cell.cpu.tlb_hits) /
+                            static_cast<double>(cell.cpu.tlb_hits + cell.cpu.tlb_misses)
+                      : 0.0;
 
   std::printf("throughput_smp: threads=%d pages=%zu mmu=%s tlb=%s fence=%s\n", cfg.threads,
-              cfg.pages, cfg.mmu.c_str(), cfg.tlb ? "on" : "off",
-              FenceName(vm.tlb().fence_mode()));
+              cfg.pages, cfg.mmu.c_str(), cfg.tlb ? "on" : "off", cell.fence_name);
   std::printf("  ops=%llu (%.0f ops/sec)  p50=%s p99=%s  cow_episodes=%llu errors=%llu\n",
-              static_cast<unsigned long long>(total_ops), ops_per_sec, FormatNs(p50).c_str(),
-              FormatNs(p99).c_str(), static_cast<unsigned long long>(episodes),
-              static_cast<unsigned long long>(errors));
-  std::printf("  tlb_hits=%llu tlb_misses=%llu shootdowns=%llu shootdown_pages=%llu\n",
-              static_cast<unsigned long long>(cs.tlb_hits),
-              static_cast<unsigned long long>(cs.tlb_misses),
-              static_cast<unsigned long long>(cs.tlb_shootdowns),
-              static_cast<unsigned long long>(cs.tlb_shootdown_pages));
-  std::printf("  tlb_hit_rate=%.4f\n", hit_rate);
-
-  BenchJson json(cfg.tlb ? "throughput_smp" : "throughput_smp.tlb_off");
-  json.Config("threads", static_cast<uint64_t>(cfg.threads));
-  json.Config("pages_per_thread", static_cast<uint64_t>(cfg.pages));
-  json.Config("seconds", static_cast<uint64_t>(cfg.seconds * 1000));  // milliseconds
-  json.Config("tlb", cfg.tlb);
-  json.Config("mmu", cfg.mmu);
-  json.Config("shootdown_fence", std::string(FenceName(vm.tlb().fence_mode())));
-  json.Config("seed", cfg.seed);
-  json.Config("page_size", static_cast<uint64_t>(kPageSize));
-  json.SetThroughput(ops_per_sec);
-  json.SetLatency(p50, p99);
-  json.Counter("ops", total_ops);
-  json.Counter("cow_episodes", episodes);
-  json.Counter("op_errors", errors);
-  AddWorldCounters(json, vm);
-  json.Write();
+              static_cast<unsigned long long>(cell.ops), cell.ops_per_sec,
+              FormatNs(cell.p50_ns).c_str(), FormatNs(cell.p99_ns).c_str(),
+              static_cast<unsigned long long>(cell.episodes),
+              static_cast<unsigned long long>(cell.errors));
+  std::printf("  tlb_hits=%llu tlb_misses=%llu shootdowns=%llu shootdown_pages=%llu "
+              "shootdown_ranges=%llu\n",
+              static_cast<unsigned long long>(cell.cpu.tlb_hits),
+              static_cast<unsigned long long>(cell.cpu.tlb_misses),
+              static_cast<unsigned long long>(cell.cpu.tlb_shootdowns),
+              static_cast<unsigned long long>(cell.cpu.tlb_shootdown_pages),
+              static_cast<unsigned long long>(cell.cpu.tlb_shootdown_ranges));
+  std::printf("  tlb_hit_rate=%.4f magazine_hits=%llu refills=%llu drains=%llu steals=%llu\n",
+              cell.hit_rate, static_cast<unsigned long long>(cell.frames.magazine_hits),
+              static_cast<unsigned long long>(cell.frames.magazine_refills),
+              static_cast<unsigned long long>(cell.frames.magazine_drains),
+              static_cast<unsigned long long>(cell.frames.magazine_steals));
 
   // Teardown (exercises the teardown shootdown path too).
   for (int t = 0; t < cfg.threads; ++t) {
     caches[static_cast<size_t>(t)]->Destroy();
     contexts[static_cast<size_t>(t)]->Destroy();
   }
-  return errors == 0 ? 0 : 1;
+  return cell;
+}
+
+void AddCellCounters(BenchJson& json, const CellResult& cell) {
+  json.Counter("ops", cell.ops);
+  json.Counter("cow_episodes", cell.episodes);
+  json.Counter("op_errors", cell.errors);
+  json.Counter("page_faults", cell.mm.page_faults);
+  json.Counter("cow_copies", cell.mm.cow_copies);
+  json.Counter("cpu_faults_taken", cell.cpu.faults_taken);
+  json.Counter("tlb_hits", cell.cpu.tlb_hits);
+  json.Counter("tlb_misses", cell.cpu.tlb_misses);
+  json.Counter("tlb_shootdowns", cell.cpu.tlb_shootdowns);
+  json.Counter("tlb_shootdown_pages", cell.cpu.tlb_shootdown_pages);
+  json.Counter("tlb_shootdown_ranges", cell.cpu.tlb_shootdown_ranges);
+  json.Counter("magazine_hits", cell.frames.magazine_hits);
+  json.Counter("magazine_refills", cell.frames.magazine_refills);
+  json.Counter("magazine_drains", cell.frames.magazine_drains);
+  json.Counter("magazine_steals", cell.frames.magazine_steals);
+}
+
+int RunSingle(const Config& cfg) {
+  CellResult cell = RunCell(cfg);
+  if (cell.setup_failed) {
+    return 2;
+  }
+  BenchJson json(cfg.tlb ? "throughput_smp" : "throughput_smp.tlb_off");
+  json.Config("threads", static_cast<uint64_t>(cfg.threads));
+  json.Config("pages_per_thread", static_cast<uint64_t>(cfg.pages));
+  json.Config("seconds", static_cast<uint64_t>(cfg.seconds * 1000));  // milliseconds
+  json.Config("tlb", cfg.tlb);
+  json.Config("mmu", cfg.mmu);
+  json.Config("shootdown_fence", std::string(cell.fence_name));
+  json.Config("seed", cfg.seed);
+  json.Config("page_size", static_cast<uint64_t>(kPageSize));
+  json.SetThroughput(cell.ops_per_sec);
+  json.SetLatency(cell.p50_ns, cell.p99_ns);
+  AddCellCounters(json, cell);
+  json.Write();
+  return cell.errors == 0 ? 0 : 1;
+}
+
+// The scaling matrix: threads x mmu x fence.  Emits one JSON per cell plus the
+// combined BENCH_throughput_scale.json that the CI gate and EXPERIMENTS.md
+// read: per-cell ops/sec and shootdowns-per-1k-faults as flat counters keyed
+// `<metric>.t<threads>.<mmu>.<fence>`, with the host's true core count in the
+// config (a 1-core host timeshares 64 workers; the gate must know that).
+int RunScale(const Config& base, double cell_seconds, int max_threads) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    thread_counts.push_back(t);
+  }
+  const std::vector<std::string> mmus = {"soft", "hash"};
+  const std::vector<TlbMmu::FenceMode> fences = {TlbMmu::FenceMode::kMembarrier,
+                                                 TlbMmu::FenceMode::kFenced};
+
+  BenchJson combined("throughput_scale");
+  combined.Config("pages_per_thread", static_cast<uint64_t>(base.pages));
+  combined.Config("cell_seconds_ms", static_cast<uint64_t>(cell_seconds * 1000));
+  combined.Config("seed", base.seed);
+  combined.Config("page_size", static_cast<uint64_t>(kPageSize));
+  combined.Config("hardware_concurrency", static_cast<uint64_t>(hw));
+  combined.Config("max_threads", static_cast<uint64_t>(max_threads));
+
+  int failures = 0;
+  double best_ops = 0;
+  for (const std::string& mmu : mmus) {
+    for (TlbMmu::FenceMode fence : fences) {
+      for (int threads : thread_counts) {
+        Config cfg = base;
+        cfg.threads = threads;
+        cfg.seconds = cell_seconds;
+        cfg.mmu = mmu;
+        cfg.fence = fence;
+        CellResult cell = RunCell(cfg);
+        if (cell.setup_failed) {
+          ++failures;
+          continue;
+        }
+        const std::string tag =
+            "t" + std::to_string(threads) + "." + mmu + "." + cell.fence_name;
+        BenchJson json("throughput_scale." + tag);
+        json.Config("threads", static_cast<uint64_t>(threads));
+        json.Config("pages_per_thread", static_cast<uint64_t>(cfg.pages));
+        json.Config("mmu", mmu);
+        json.Config("shootdown_fence", std::string(cell.fence_name));
+        json.Config("hardware_concurrency", static_cast<uint64_t>(hw));
+        json.SetThroughput(cell.ops_per_sec);
+        json.SetLatency(cell.p50_ns, cell.p99_ns);
+        AddCellCounters(json, cell);
+        json.Write();
+
+        combined.Counter("ops_per_sec." + tag, static_cast<uint64_t>(cell.ops_per_sec));
+        combined.Counter("hit_rate_bp." + tag,
+                         static_cast<uint64_t>(cell.hit_rate * 10000));  // basis points
+        const uint64_t faults = cell.cpu.faults_taken > 0 ? cell.cpu.faults_taken : 1;
+        combined.Counter("shootdowns_per_1k_faults." + tag,
+                         cell.cpu.tlb_shootdowns * 1000 / faults);
+        combined.Counter("shootdown_pages." + tag, cell.cpu.tlb_shootdown_pages);
+        combined.Counter("shootdown_ranges." + tag, cell.cpu.tlb_shootdown_ranges);
+        combined.Counter("magazine_hits." + tag, cell.frames.magazine_hits);
+        if (cell.errors > 0) {
+          ++failures;
+        }
+        if (cell.ops_per_sec > best_ops) {
+          best_ops = cell.ops_per_sec;
+        }
+      }
+    }
+  }
+  combined.SetThroughput(best_ops);  // headline: best cell in the matrix
+  combined.Write();
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -293,6 +463,9 @@ int Run(Config cfg) {
 
 int main(int argc, char** argv) {
   gvm::bench::Config cfg;
+  bool scale = false;
+  double cell_seconds = 0.4;
+  int max_threads = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg]() { return arg.substr(arg.find('=') + 1); };
@@ -310,10 +483,31 @@ int main(int argc, char** argv) {
       cfg.seed = std::stoull(value());
     } else if (arg.rfind("--cow-every=", 0) == 0) {
       cfg.cow_every = std::stoi(value());
+    } else if (arg.rfind("--fence=", 0) == 0) {
+      const std::string fence = value();
+      if (fence == "membarrier") {
+        cfg.fence = gvm::TlbMmu::FenceMode::kMembarrier;
+      } else if (fence == "fenced") {
+        cfg.fence = gvm::TlbMmu::FenceMode::kFenced;
+      } else if (fence == "auto") {
+        cfg.fence = gvm::TlbMmu::FenceMode::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown fence mode: %s\n", fence.c_str());
+        return 2;
+      }
+    } else if (arg == "--scale") {
+      scale = true;
+    } else if (arg.rfind("--cell-seconds=", 0) == 0) {
+      cell_seconds = std::stod(value());
+    } else if (arg.rfind("--max-threads=", 0) == 0) {
+      max_threads = std::stoi(value());
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
   }
-  return gvm::bench::Run(cfg);
+  if (scale) {
+    return gvm::bench::RunScale(cfg, cell_seconds, max_threads);
+  }
+  return gvm::bench::RunSingle(cfg);
 }

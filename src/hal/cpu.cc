@@ -87,6 +87,7 @@ Cpu::Stats Cpu::SnapshotStats() const {
     out.tlb_misses = ts.misses;
     out.tlb_shootdowns = ts.shootdowns;
     out.tlb_shootdown_pages = ts.shootdown_pages;
+    out.tlb_shootdown_ranges = ts.shootdown_ranges;
   }
   return out;
 }

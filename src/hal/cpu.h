@@ -44,6 +44,7 @@ class Cpu {
     uint64_t tlb_misses = 0;
     uint64_t tlb_shootdowns = 0;
     uint64_t tlb_shootdown_pages = 0;
+    uint64_t tlb_shootdown_ranges = 0;
   };
 
   // The page size is immutable per MMU, so it is cached here once instead of

@@ -79,6 +79,37 @@ class Mmu {
   // Changes the protection of an existing translation.  kNotFound if unmapped.
   virtual Status Protect(AsId as, Vaddr va, Prot prot) = 0;
 
+  // Removes the translations for `count` consecutive pages starting at the page
+  // containing `va`; pages without a translation are skipped.  The default just
+  // loops Unmap.  Implementations that pay a cross-CPU invalidation per unmap
+  // (TlbMmu) override this to batch the whole run into one shootdown — the
+  // software analogue of a ranged TLBI/invlpgb instead of a per-page IPI storm.
+  virtual Status UnmapRange(AsId as, Vaddr va, size_t count) {
+    const size_t page = page_size();
+    for (size_t i = 0; i < count; ++i) {
+      Status s = Unmap(as, va + i * page);
+      if (s != Status::kOk) {
+        return s;
+      }
+    }
+    return Status::kOk;
+  }
+
+  // Changes the protection of `count` consecutive pages to `prot`.  Unlike the
+  // single-page Protect, pages without a translation are skipped rather than
+  // reported: a range operation's caller names a span, not a residency set.
+  // Same batching contract as UnmapRange.
+  virtual Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) {
+    const size_t page = page_size();
+    for (size_t i = 0; i < count; ++i) {
+      Status s = Protect(as, va + i * page, prot);
+      if (s != Status::kOk && s != Status::kNotFound) {
+        return s;
+      }
+    }
+    return Status::kOk;
+  }
+
   // Hardware translation: returns the frame if the access is permitted, updating
   // referenced/dirty bits; otherwise returns kSegmentationFault (no mapping) or
   // kProtectionFault (mapping present, protection insufficient).

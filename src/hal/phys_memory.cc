@@ -1,5 +1,6 @@
 #include "src/hal/phys_memory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -7,39 +8,184 @@
 
 namespace gvm {
 
-PhysicalMemory::PhysicalMemory(size_t frame_count, size_t page_size)
-    : frame_count_(frame_count), page_size_(page_size) {
+namespace {
+
+// Process-unique magazine slot per thread.  Ids are never reused, so two live
+// threads only share a slot once more than kMagazineSlots threads have ever
+// allocated — and sharing is merely contention, not incorrectness (the slot
+// mutex serializes them).
+std::atomic<uint64_t> g_next_slot_id{0};
+
+size_t ThisThreadSlot() {
+  thread_local const uint64_t id = g_next_slot_id.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<size_t>(id % PhysicalMemory::kMagazineSlots);
+}
+
+// Auto-sized magazines: large memories get full 32-frame magazines, tiny test
+// memories get proportionally small ones (a 48-frame memory keeps at most 3
+// frames per CPU) so private caches cannot swallow the working set; below 16
+// frames the layer disables itself.
+size_t AutoCapacity(size_t frame_count) { return std::min<size_t>(32, frame_count / 16); }
+
+}  // namespace
+
+PhysicalMemory::PhysicalMemory(size_t frame_count, size_t page_size, size_t magazine_capacity)
+    : frame_count_(frame_count),
+      page_size_(page_size),
+      magazine_capacity_(magazine_capacity == kAutoMagazineCapacity ? AutoCapacity(frame_count)
+                                                                    : magazine_capacity),
+      // Below this many shared-free frames, magazines stop hoarding: frees go
+      // straight to the shared list and refills take one frame at a time.
+      pressure_floor_(magazine_capacity_ * 2) {
   assert(IsPowerOfTwo(page_size));
   assert(frame_count > 0);
   storage_.resize(frame_count * page_size);
-  allocated_.resize(frame_count, false);
+  allocated_ = std::make_unique<std::atomic<bool>[]>(frame_count);
+  magazines_ = std::make_unique<Magazine[]>(kMagazineSlots);
+  MutexLock lock(mu_);
   free_list_.reserve(frame_count);
   // Push in reverse so that frame 0 is handed out first (stable test output).
   for (size_t i = frame_count; i > 0; --i) {
     free_list_.push_back(static_cast<FrameIndex>(i - 1));
   }
+  shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+}
+
+FrameIndex PhysicalMemory::Commission(FrameIndex frame) {
+  const bool was = allocated_[frame].exchange(true, std::memory_order_relaxed);
+  assert(!was && "frame handed out while already allocated");
+  (void)was;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  return frame;
 }
 
 Result<FrameIndex> PhysicalMemory::AllocateFrame() {
   if (injector_ != nullptr && injector_->Check(FaultSite::kFrameAlloc) != Status::kOk) {
     return Status::kNoMemory;
   }
-  if (free_list_.empty()) {
-    return Status::kNoMemory;
+  if (magazine_capacity_ == 0) {
+    MutexLock lock(mu_);
+    if (free_list_.empty()) {
+      return Status::kNoMemory;
+    }
+    const FrameIndex frame = free_list_.back();
+    free_list_.pop_back();
+    shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+    return Commission(frame);
   }
-  FrameIndex frame = free_list_.back();
-  free_list_.pop_back();
-  allocated_[frame] = true;
-  ++stats_.allocations;
-  return frame;
+  const size_t my_slot = ThisThreadSlot();
+  {
+    Magazine& mag = magazines_[my_slot];
+    MutexLock lock(mag.mu);
+    if (!mag.frames.empty()) {
+      const FrameIndex frame = mag.frames.back();
+      mag.frames.pop_back();
+      mag.count.store(mag.frames.size(), std::memory_order_relaxed);
+      magazine_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Commission(frame);
+    }
+    // Empty magazine: refill in one batch from the shared list — single
+    // frames under pressure, so a nearly-dry system is not monopolized by
+    // whichever CPU refills first.
+    MutexLock shared(mu_);
+    if (!free_list_.empty()) {
+      const size_t batch =
+          UnderPressure() ? 1 : std::min(magazine_capacity_ / 2 + 1, free_list_.size());
+      // The shared stack yields oldest-first; hand the first frame to the
+      // caller and stash the rest reversed, so consecutive allocs still see
+      // ascending frames (the pre-magazine LIFO order tests rely on).
+      const FrameIndex out = free_list_.back();
+      free_list_.pop_back();
+      for (size_t i = 1; i < batch; ++i) {
+        mag.frames.push_back(free_list_.back());
+        free_list_.pop_back();
+      }
+      std::reverse(mag.frames.begin(), mag.frames.end());
+      shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+      mag.count.store(mag.frames.size(), std::memory_order_relaxed);
+      if (batch > 1) {
+        magazine_refills_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Commission(out);
+    }
+  }
+  // Shared list dry and own magazine empty: raid the other magazines — one at
+  // a time; holding two same-rank magazine locks would both risk deadlock and
+  // trip the rank validator — so kNoMemory means the system is truly out of
+  // frames, not that they are stranded in idle CPUs' caches.
+  for (size_t i = 1; i <= kMagazineSlots; ++i) {
+    Magazine& victim = magazines_[(my_slot + i) % kMagazineSlots];
+    MutexLock lock(victim.mu);
+    if (!victim.frames.empty()) {
+      const FrameIndex frame = victim.frames.back();
+      victim.frames.pop_back();
+      victim.count.store(victim.frames.size(), std::memory_order_relaxed);
+      magazine_steals_.fetch_add(1, std::memory_order_relaxed);
+      return Commission(frame);
+    }
+  }
+  // Last look at the shared list: a concurrent free may have landed after the
+  // raid swept past its magazine.
+  MutexLock lock(mu_);
+  if (!free_list_.empty()) {
+    const FrameIndex frame = free_list_.back();
+    free_list_.pop_back();
+    shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+    return Commission(frame);
+  }
+  return Status::kNoMemory;
 }
 
 void PhysicalMemory::FreeFrame(FrameIndex frame) {
   assert(frame < frame_count_);
-  assert(allocated_[frame] && "double free of a page frame");
-  allocated_[frame] = false;
-  free_list_.push_back(frame);
-  ++stats_.frees;
+  const bool was = allocated_[frame].exchange(false, std::memory_order_relaxed);
+  assert(was && "double free of a page frame");
+  (void)was;
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  if (magazine_capacity_ == 0 || UnderPressure()) {
+    // Low-water pressure: bypass the magazine so eviction actually reaches
+    // its free-frame target instead of parking pages in a private cache.
+    MutexLock lock(mu_);
+    free_list_.push_back(frame);
+    shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+    return;
+  }
+  Magazine& mag = magazines_[ThisThreadSlot()];
+  MutexLock lock(mag.mu);
+  if (mag.frames.size() >= magazine_capacity_) {
+    // Full: return the new frame plus half the magazine in one batched drain.
+    MutexLock shared(mu_);
+    free_list_.push_back(frame);
+    const size_t keep = magazine_capacity_ / 2;
+    while (mag.frames.size() > keep) {
+      free_list_.push_back(mag.frames.back());
+      mag.frames.pop_back();
+    }
+    shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+    mag.count.store(mag.frames.size(), std::memory_order_relaxed);
+    magazine_drains_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  mag.frames.push_back(frame);
+  mag.count.store(mag.frames.size(), std::memory_order_relaxed);
+}
+
+void PhysicalMemory::DrainMagazines() {
+  for (size_t i = 0; i < kMagazineSlots; ++i) {
+    Magazine& mag = magazines_[i];
+    MutexLock lock(mag.mu);
+    if (mag.frames.empty()) {
+      continue;
+    }
+    MutexLock shared(mu_);
+    while (!mag.frames.empty()) {
+      free_list_.push_back(mag.frames.back());
+      mag.frames.pop_back();
+    }
+    shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+    mag.count.store(0, std::memory_order_relaxed);
+    magazine_drains_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::byte* PhysicalMemory::FrameData(FrameIndex frame) {
@@ -54,18 +200,43 @@ const std::byte* PhysicalMemory::FrameData(FrameIndex frame) const {
 
 void PhysicalMemory::ZeroFrame(FrameIndex frame) {
   std::memset(FrameData(frame), 0, page_size_);
-  ++stats_.zero_fills;
+  zero_fills_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PhysicalMemory::CopyFrame(FrameIndex dst, FrameIndex src) {
   assert(dst != src);
   std::memcpy(FrameData(dst), FrameData(src), page_size_);
-  ++stats_.frame_copies;
+  frame_copies_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool PhysicalMemory::IsAllocated(FrameIndex frame) const {
   assert(frame < frame_count_);
-  return allocated_[frame];
+  return allocated_[frame].load(std::memory_order_relaxed);
+}
+
+PhysicalMemory::Stats PhysicalMemory::stats() const {
+  Stats out;
+  out.allocations = allocations_.load(std::memory_order_relaxed);
+  out.frees = frees_.load(std::memory_order_relaxed);
+  out.zero_fills = zero_fills_.load(std::memory_order_relaxed);
+  out.frame_copies = frame_copies_.load(std::memory_order_relaxed);
+  out.magazine_hits = magazine_hits_.load(std::memory_order_relaxed);
+  out.magazine_refills = magazine_refills_.load(std::memory_order_relaxed);
+  out.magazine_drains = magazine_drains_.load(std::memory_order_relaxed);
+  out.magazine_steals = magazine_steals_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PhysicalMemory::ResetStats() {
+  allocations_.store(0, std::memory_order_relaxed);
+  frees_.store(0, std::memory_order_relaxed);
+  zero_fills_.store(0, std::memory_order_relaxed);
+  frame_copies_.store(0, std::memory_order_relaxed);
+  magazine_hits_.store(0, std::memory_order_relaxed);
+  magazine_refills_.store(0, std::memory_order_relaxed);
+  magazine_drains_.store(0, std::memory_order_relaxed);
+  magazine_steals_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gvm
+

@@ -4,15 +4,29 @@
 // Frames are allocated and freed by the memory manager; every frame has actual
 // backing bytes so that copy-on-write, zero-fill and pushOut/pullIn move real data
 // and correctness is observable end to end.
+//
+// Allocation is two-level, in the shape of northport's Pmm / Keyronex's page
+// queues: each simulated CPU (thread) owns a small *magazine* of cached free
+// frames, refilled from and drained to the shared free list in batches, so the
+// fault-time alloc/free hot path normally touches only its own cache line and
+// its own (uncontended) magazine lock.  The shared list is the slow path:
+// one refill or drain amortizes its lock over half a magazine of frames.
+// Magazines drain under low-water pressure (when the shared list is nearly
+// empty, frees bypass the magazine so eviction targets are reached), and
+// free_frames() reconciles exactly at quiescence (shared count + per-magazine
+// counts, all tracked atomically).
 #ifndef GVM_SRC_HAL_PHYS_MEMORY_H_
 #define GVM_SRC_HAL_PHYS_MEMORY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/fault/fault_injector.h"
 #include "src/hal/types.h"
+#include "src/sync/annotated_mutex.h"
 #include "src/util/result.h"
 
 namespace gvm {
@@ -24,20 +38,42 @@ class PhysicalMemory {
     uint64_t frees = 0;
     uint64_t zero_fills = 0;
     uint64_t frame_copies = 0;
+    // Magazine traffic split: how often the per-CPU layer absorbed an
+    // operation vs. fell through to the shared free list.
+    uint64_t magazine_hits = 0;     // allocations served from the caller's magazine
+    uint64_t magazine_refills = 0;  // batched pulls, shared list -> magazine
+    uint64_t magazine_drains = 0;   // batched returns, magazine -> shared list
+    uint64_t magazine_steals = 0;   // allocations served by raiding another magazine
   };
 
-  // `frame_count` frames of `page_size` bytes each.  page_size must be a power of
-  // two; the paper's measurements use 8 KB pages (Sun-3).
-  PhysicalMemory(size_t frame_count, size_t page_size);
+  // One magazine per hashed thread slot; matches TlbMmu::kMaxCpus so every
+  // simulated CPU in the bench matrix gets its own.
+  static constexpr size_t kMagazineSlots = 64;
+  // Sentinel: size magazines from frame_count (see the constructor).
+  static constexpr size_t kAutoMagazineCapacity = static_cast<size_t>(-1);
+
+  // `frame_count` frames of `page_size` bytes each.  page_size must be a power
+  // of two; the paper's measurements use 8 KB pages (Sun-3).
+  // `magazine_capacity` caps each per-CPU magazine (0 disables the layer —
+  // every operation goes to the shared list); the default scales with the
+  // frame count so tiny test memories are not swallowed by private caches.
+  PhysicalMemory(size_t frame_count, size_t page_size,
+                 size_t magazine_capacity = kAutoMagazineCapacity);
 
   PhysicalMemory(const PhysicalMemory&) = delete;
   PhysicalMemory& operator=(const PhysicalMemory&) = delete;
 
-  // Allocates a frame (contents undefined).  Fails with kNoMemory when exhausted;
-  // the memory manager is expected to run page-out and retry.
+  // Allocates a frame (contents undefined).  Fails with kNoMemory only when no
+  // frame exists anywhere (own magazine, shared list, and every other magazine
+  // raided in turn); the memory manager is expected to run page-out and retry.
   Result<FrameIndex> AllocateFrame();
 
   void FreeFrame(FrameIndex frame);
+
+  // Returns every magazine-cached frame to the shared free list.  Used by
+  // tests and by quiescent reconciliation; the allocator itself never needs
+  // it (pressure routing + raiding already make kNoMemory truthful).
+  void DrainMagazines();
 
   // Direct access to the frame's bytes (the "physical bus").
   std::byte* FrameData(FrameIndex frame);
@@ -48,13 +84,25 @@ class PhysicalMemory {
 
   size_t page_size() const { return page_size_; }
   size_t frame_count() const { return frame_count_; }
-  size_t free_frames() const { return free_list_.size(); }
-  size_t used_frames() const { return frame_count_ - free_list_.size(); }
+  // Exact at quiescence; while threads are mid-refill a frame in motion is
+  // counted at its source, so the sum never exceeds the true count.
+  size_t free_frames() const {
+    size_t n = shared_free_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kMagazineSlots; ++i) {
+      n += magazines_[i].count.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+  size_t used_frames() const { return frame_count_ - free_frames(); }
+  size_t magazine_capacity() const { return magazine_capacity_; }
 
   bool IsAllocated(FrameIndex frame) const;
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  // By value: counters are concurrently written (relaxed atomics) once
+  // magazines make allocation genuinely parallel, so callers must never share
+  // a reference to aggregated storage.
+  Stats stats() const;
+  void ResetStats();
 
   // Optional fault injection at the kFrameAlloc site (injected faults surface
   // as kNoMemory, the only error AllocateFrame can legally return).  Null
@@ -62,12 +110,47 @@ class PhysicalMemory {
   void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
  private:
+  struct alignas(64) Magazine {
+    mutable Mutex mu{Rank::kFrameMagazine, "PhysicalMemory::Magazine::mu"};
+    // Mirrors frames.size() so free_frames() needs no locks.
+    std::atomic<size_t> count{0};
+    std::vector<FrameIndex> frames GVM_GUARDED_BY(mu);
+  };
+
+  Magazine& MyMagazine();
+  // Marks `frame` allocated (asserting it was free) and counts the allocation.
+  FrameIndex Commission(FrameIndex frame);
+  // True when the shared list is low enough that magazines must stop hoarding:
+  // frees go straight to the shared list and refills take single frames.
+  bool UnderPressure() const {
+    return shared_free_.load(std::memory_order_relaxed) <= pressure_floor_;
+  }
+
   const size_t frame_count_;
   const size_t page_size_;
-  std::vector<std::byte> storage_;       // frame_count_ * page_size_ bytes
-  std::vector<FrameIndex> free_list_;    // LIFO free stack
-  std::vector<bool> allocated_;          // per-frame allocation bit (for assertions)
-  Stats stats_;
+  const size_t magazine_capacity_;
+  const size_t pressure_floor_;
+  std::vector<std::byte> storage_;  // frame_count_ * page_size_ bytes
+
+  mutable Mutex mu_{Rank::kFrameFreeList, "PhysicalMemory::mu_"};
+  std::vector<FrameIndex> free_list_ GVM_GUARDED_BY(mu_);  // shared LIFO free stack
+  std::atomic<size_t> shared_free_{0};  // mirrors free_list_.size()
+
+  std::unique_ptr<Magazine[]> magazines_;
+  // Per-frame allocation bit (atomic: concurrent allocators assert
+  // exactly-once commission/decommission transitions).
+  std::unique_ptr<std::atomic<bool>[]> allocated_;
+
+  // Relaxed counters; aggregated by stats().
+  std::atomic<uint64_t> allocations_{0};
+  std::atomic<uint64_t> frees_{0};
+  std::atomic<uint64_t> zero_fills_{0};
+  std::atomic<uint64_t> frame_copies_{0};
+  std::atomic<uint64_t> magazine_hits_{0};
+  std::atomic<uint64_t> magazine_refills_{0};
+  std::atomic<uint64_t> magazine_drains_{0};
+  std::atomic<uint64_t> magazine_steals_{0};
+
   FaultInjector* injector_ = nullptr;
 };
 

@@ -10,6 +10,7 @@
 #include <unistd.h>
 #endif
 
+#include "src/hal/phys_memory.h"
 #include "src/util/align.h"
 
 namespace gvm {
@@ -95,7 +96,10 @@ TlbMmu::TlbMmu(Mmu& inner, bool enabled, FenceMode fence)
   cpus_ = std::make_unique<CpuSlot[]>(kMaxCpus);
 }
 
-TlbMmu::~TlbMmu() = default;
+TlbMmu::~TlbMmu() {
+  assert(gather_depth_ == 0 && "TlbMmu destroyed inside an open gather scope");
+  assert(gather_frames_.empty() && "parked frames leaked past the last gather commit");
+}
 
 TlbMmu::CpuSlot* TlbMmu::ThisCpuSlow() {
   for (const tlb_internal::ThreadTlbRef& ref : t_refs) {
@@ -194,10 +198,25 @@ void TlbMmu::Shootdown(AsId as, uint64_t vpn, bool single_page) {
   // (as, vpn) hashes to; address-space teardown bumps the AS generation,
   // flushing that context without disturbing other address spaces' entries.
   if (single_page) {
-    gen_[GenIndex(as, vpn)].fetch_add(1, std::memory_order_seq_cst);
+    if (!GatherCondemned(as)) {  // condemned: subsumed by the commit-time AS bump
+      gen_[GenIndex(as, vpn)].fetch_add(1, std::memory_order_seq_cst);
+    }
+    shootdown_pages_.fetch_add(1, std::memory_order_relaxed);
+  } else if (gather_depth_ > 0) {
+    // Whole-AS flush inside a gather (teardown path): accumulate into one
+    // deferred bump per AS slot instead of bumping per call.
+    gather_as_mask_ |= uint64_t{1} << AsGenIndex(as);
   } else {
     as_gen_[AsGenIndex(as)].fetch_add(1, std::memory_order_seq_cst);
   }
+  if (gather_depth_ > 0) {
+    gather_pending_ = true;  // commit owes the fence
+    return;
+  }
+  FenceAndDrain();
+}
+
+void TlbMmu::FenceAndDrain() {
   // The expensive half of the asymmetric barrier (the "IPI").  After this,
   // every reader's epoch store — a plain store the reader never fences — is
   // visible to us, and every reader still short of its generation check will
@@ -225,9 +244,102 @@ void TlbMmu::Shootdown(AsId as, uint64_t vpn, bool single_page) {
     }
   }
   shootdowns_.fetch_add(1, std::memory_order_relaxed);
-  if (single_page) {
-    shootdown_pages_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TlbMmu::ShootdownRange(AsId as, uint64_t vpn, size_t count) {
+  if (!enabled_ || count == 0) {
+    return;
   }
+  shootdown_ranges_.fetch_add(1, std::memory_order_relaxed);
+  shootdown_pages_.fetch_add(count, std::memory_order_relaxed);
+  if (!GatherCondemned(as)) {
+    if (count >= kGenSlots) {
+      // The run covers every page-generation slot, so per-slot bumps would
+      // invalidate everything anyway: one AS-wide bump is strictly cheaper.
+      if (gather_depth_ > 0) {
+        gather_as_mask_ |= uint64_t{1} << AsGenIndex(as);
+      } else {
+        as_gen_[AsGenIndex(as)].fetch_add(1, std::memory_order_seq_cst);
+      }
+    } else {
+      // Consecutive vpns hit distinct generation slots (GenIndex xors a
+      // constant, preserving low-bit distinctness), so no dedup is needed and
+      // each affected slot is bumped exactly once.
+      for (size_t i = 0; i < count; ++i) {
+        gen_[GenIndex(as, vpn + i)].fetch_add(1, std::memory_order_seq_cst);
+      }
+    }
+  }
+  if (gather_depth_ > 0) {
+    gather_pending_ = true;
+    return;
+  }
+  FenceAndDrain();
+}
+
+void TlbMmu::BeginGather() {
+  if (!enabled_) {
+    return;
+  }
+  ++gather_depth_;
+}
+
+void TlbMmu::EndGather() {
+  if (!enabled_) {
+    return;
+  }
+  assert(gather_depth_ > 0 && "EndGather without BeginGather");
+  if (--gather_depth_ == 0) {
+    CommitGather();
+  }
+}
+
+void TlbMmu::FlushGather() {
+  if (enabled_ && gather_depth_ > 0) {
+    CommitGather();
+  }
+}
+
+void TlbMmu::CommitGather() {
+  // Publish the deferred whole-AS bumps (teardowns condemn their AS instead
+  // of bumping per page; every condemned slot pays exactly one bump here).
+  if (gather_as_mask_ != 0) {
+    for (size_t slot = 0; slot < kAsGenSlots; ++slot) {
+      if ((gather_as_mask_ >> slot) & 1) {
+        as_gen_[slot].fetch_add(1, std::memory_order_seq_cst);
+      }
+    }
+    gather_as_mask_ = 0;
+    gather_pending_ = true;
+  }
+  // One fence+drain retires every shootdown issued inside the scope.
+  if (gather_pending_) {
+    gather_pending_ = false;
+    FenceAndDrain();
+  }
+  // Only now — no stale translation can reach them — release parked frames.
+  if (!gather_frames_.empty()) {
+    for (const auto& [memory, frame] : gather_frames_) {
+      memory->FreeFrame(frame);
+    }
+    gather_frames_.clear();
+  }
+}
+
+void TlbMmu::FreeFrameAfterFlush(PhysicalMemory& memory, FrameIndex frame) {
+  if (enabled_ && gather_depth_ > 0) {
+    gather_frames_.emplace_back(&memory, frame);
+    return;
+  }
+  memory.FreeFrame(frame);
+}
+
+void TlbMmu::GatherCondemnAddressSpace(AsId as) {
+  if (!enabled_ || gather_depth_ == 0) {
+    return;  // nothing to defer to; the eventual DestroyAddressSpace flushes
+  }
+  gather_as_mask_ |= uint64_t{1} << AsGenIndex(as);
+  gather_pending_ = true;
 }
 
 Result<FrameIndex> TlbMmu::Miss(CpuSlot& cpu, AsId as, Vaddr va, Access access,
@@ -317,6 +429,83 @@ Status TlbMmu::Protect(AsId as, Vaddr va, Prot prot) {
   return s;
 }
 
+// The range forms mutate the inner tables page by page (the inner MMU has no
+// range primitive) but pay for the invalidation once: the mapped sub-run is
+// covered by a single ShootdownRange after all inner mutations are in place.
+// Publishing after the whole batch is safe for the same reason the per-page
+// wrappers' lookup+mutate pair is: mutations of these pages are serialized by
+// the calling manager, and a translation racing the batch either misses in the
+// inner walk (already unmapped) or is retired by the range shootdown.
+Status TlbMmu::UnmapRange(AsId as, Vaddr va, size_t count) {
+  if (!enabled_) {
+    return inner_.UnmapRange(as, va, count);
+  }
+  const size_t page = size_t{1} << page_shift_;
+  uint64_t first = 0;
+  uint64_t last = 0;
+  bool any = false;
+  for (size_t i = 0; i < count; ++i) {
+    const Vaddr v = va + i * page;
+    const bool mapped = inner_.Lookup(as, v).ok();
+    Status s = inner_.Unmap(as, v);
+    if (s != Status::kOk) {
+      if (any) {
+        ShootdownRange(as, first, last - first + 1);
+      }
+      return s;
+    }
+    if (mapped) {
+      const uint64_t vpn = v >> page_shift_;
+      if (!any) {
+        first = vpn;
+        any = true;
+      }
+      last = vpn;
+    }
+  }
+  if (any) {
+    ShootdownRange(as, first, last - first + 1);
+  }
+  return Status::kOk;
+}
+
+Status TlbMmu::ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) {
+  if (!enabled_) {
+    return inner_.ProtectRange(as, va, count, prot);
+  }
+  const size_t page = size_t{1} << page_shift_;
+  uint64_t first = 0;
+  uint64_t last = 0;
+  bool any = false;
+  for (size_t i = 0; i < count; ++i) {
+    const Vaddr v = va + i * page;
+    Result<MmuEntry> old = inner_.Lookup(as, v);
+    if (!old.ok()) {
+      continue;  // range contract: holes are skipped
+    }
+    const bool downgrade = !ProtAllows(prot, old->prot);
+    Status s = inner_.Protect(as, v, prot);
+    if (s != Status::kOk && s != Status::kNotFound) {
+      if (any) {
+        ShootdownRange(as, first, last - first + 1);
+      }
+      return s;
+    }
+    if (s == Status::kOk && downgrade) {
+      const uint64_t vpn = v >> page_shift_;
+      if (!any) {
+        first = vpn;
+        any = true;
+      }
+      last = vpn;
+    }
+  }
+  if (any) {
+    ShootdownRange(as, first, last - first + 1);
+  }
+  return Status::kOk;
+}
+
 Result<MmuEntry> TlbMmu::Lookup(AsId as, Vaddr va) const { return inner_.Lookup(as, va); }
 
 // Clearing the referenced bit does not flush: real TLBs keep accessed bits in
@@ -350,6 +539,7 @@ TlbMmu::TlbStats TlbMmu::tlb_stats() const {
   }
   out.shootdowns = shootdowns_.load(std::memory_order_relaxed);
   out.shootdown_pages = shootdown_pages_.load(std::memory_order_relaxed);
+  out.shootdown_ranges = shootdown_ranges_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -362,6 +552,7 @@ void TlbMmu::ResetTlbStats() {
   }
   shootdowns_.store(0, std::memory_order_relaxed);
   shootdown_pages_.store(0, std::memory_order_relaxed);
+  shootdown_ranges_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gvm

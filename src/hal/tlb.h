@@ -49,10 +49,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/hal/mmu.h"
 
 namespace gvm {
+
+class PhysicalMemory;
 
 namespace tlb_internal {
 // Per-thread binding of the most recently used TlbMmu to its CPU slot; keeps
@@ -75,8 +79,9 @@ class TlbMmu final : public Mmu {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t fills = 0;
-    uint64_t shootdowns = 0;       // invalidation events (unmap/downgrade/remap/teardown)
-    uint64_t shootdown_pages = 0;  // how many of those were single-page operations
+    uint64_t shootdowns = 0;        // fence+drain events actually paid (the "IPIs")
+    uint64_t shootdown_pages = 0;   // pages invalidated by page-granular shootdowns
+    uint64_t shootdown_ranges = 0;  // multi-page runs batched into one shootdown
   };
 
   static constexpr size_t kSets = 64;
@@ -106,6 +111,11 @@ class TlbMmu final : public Mmu {
   Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
   Status Unmap(AsId as, Vaddr va) override;
   Status Protect(AsId as, Vaddr va, Prot prot) override;
+  // Range forms batch the invalidation: the whole contiguous run pays one
+  // shootdown (one generation-publish sweep + one fence epoch) instead of one
+  // per page — the software analogue of a ranged TLBI.
+  Status UnmapRange(AsId as, Vaddr va, size_t count) override;
+  Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
                                         FrameBodyRef body) override;
@@ -126,6 +136,61 @@ class TlbMmu final : public Mmu {
   // snapshot is approximate while threads are running and exact at quiescence).
   TlbStats tlb_stats() const;
   void ResetTlbStats();
+
+  // Invalidates `count` consecutive pages starting at `vpn` with a single
+  // shootdown.  For runs up to kGenSlots the per-page generation slots of a
+  // contiguous VPN run are provably distinct (GenIndex xors a per-AS constant
+  // into the low bits, which preserves the distinctness of `count` consecutive
+  // values), so each slot is bumped exactly once; longer runs fall back to one
+  // address-space-wide bump, trading precision for a single publish.  Either
+  // way exactly one fence+drain epoch is paid (zero if a gather is open).
+  void ShootdownRange(AsId as, uint64_t vpn, size_t count);
+
+  // ---- Deferred ("gathered") shootdowns — the software mmu_gather ----
+  //
+  // A gather scope batches the *fence* half of every shootdown issued inside
+  // it into one epoch at commit, while the *publish* half (generation bumps)
+  // still happens immediately, so any translation starting after the mutation
+  // already misses.  The stale window this opens — a reader that cached the
+  // translation before the bump may keep using it until commit — is exactly
+  // the window hardware batching (Linux's mmu_gather / arm64 ranged TLBI+DSB)
+  // opens, and it is safe under the same two conditions the caller must hold:
+  //   1. The whole scope is one logical mutation: nobody may observe its
+  //      intermediate states as complete.  Concretely, the serializing lock
+  //      may never be dropped while a scope is open — another thread entering
+  //      the manager would find gather_depth_ > 0 and have its own shootdowns
+  //      silently deferred onto ours.  Close the scope first (or FlushGather
+  //      *and* EndGather); a flush alone does not end the deferral window.
+  //   2. Frames unmapped inside the scope are not recycled until commit:
+  //      route them through FreeFrameAfterFlush, which parks them on the
+  //      gather and frees them only after the fence retires every possible
+  //      stale access.
+  // Gather state is intentionally unsynchronized: shootdowns are already
+  // required to be serialized by the caller (the managers' single mutation
+  // lock), and gathers only ever nest within one mutator.
+  void BeginGather();
+  // Closes one nesting level; the outermost close commits (publishes any
+  // deferred AS bumps, pays the single fence+drain, then releases parked
+  // frames).
+  void EndGather();
+  // Commits the pending work *now* without closing the scope — required
+  // before the caller drops the lock that serializes mutations.
+  void FlushGather();
+  bool GatherActive() const { return gather_depth_ > 0; }
+  // Frames parked by FreeFrameAfterFlush and not yet released; an allocator
+  // balancing free-memory targets must count these as free-to-be.
+  size_t GatherParkedFrames() const { return gather_frames_.size(); }
+  // Frees `frame` back to `memory` once no stale translation can reach it:
+  // immediately when no gather is open (the preceding shootdown already
+  // fenced), at commit otherwise.
+  void FreeFrameAfterFlush(PhysicalMemory& memory, FrameIndex frame);
+  // Condemns `as` inside an open gather: its AS-generation slot is marked for
+  // the deferred whole-AS bump, and until commit all page-granular publishes
+  // for address spaces hashing to that slot are skipped as subsumed.  Used by
+  // teardown paths (process exit, exec replace) so destroying every region of
+  // a context costs one AS bump + one fence total.  Requires an open gather
+  // (no-op otherwise: without a commit point there is nothing to defer to).
+  void GatherCondemnAddressSpace(AsId as);
 
   // Set index for (as, vpn); exposed so tests can construct set conflicts.
   static size_t SetIndex(AsId as, uint64_t vpn) {
@@ -251,8 +316,19 @@ class TlbMmu final : public Mmu {
   Result<FrameIndex> Bypass(AsId as, Vaddr va, Access access, FrameBodyRef body);
   // Bumps the generation(s) covering (as, vpn) — all slots when single_page is
   // false — and waits for every CPU currently inside the critical window to
-  // exit it; on return no stale translation can be used.
+  // exit it; on return no stale translation can be used.  Under an open gather
+  // only the bump happens; the wait is deferred to commit.
   void Shootdown(AsId as, uint64_t vpn, bool single_page);
+  // The fence half of a shootdown: force the barrier onto every thread, then
+  // wait out every CPU inside its critical window.  Counts one shootdown.
+  void FenceAndDrain();
+  // True when `as` hashes to an AS-generation slot already marked for a
+  // deferred whole-AS bump: its per-page publishes are subsumed by commit.
+  bool GatherCondemned(AsId as) const {
+    return gather_depth_ > 0 && ((gather_as_mask_ >> AsGenIndex(as)) & 1) != 0;
+  }
+  // Publishes deferred AS bumps, pays the single fence, releases parked frames.
+  void CommitGather();
   static void Bump(std::atomic<uint64_t>& counter) {
     counter.store(counter.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
@@ -272,6 +348,43 @@ class TlbMmu final : public Mmu {
   std::atomic<size_t> claimed_high_{0};
   std::atomic<uint64_t> shootdowns_{0};
   std::atomic<uint64_t> shootdown_pages_{0};
+  std::atomic<uint64_t> shootdown_ranges_{0};
+  // Gather state.  Written only by the (caller-serialized) mutating thread —
+  // see the BeginGather comment — so plain fields are data-race-free.
+  int gather_depth_ = 0;           // nesting depth of open gather scopes
+  bool gather_pending_ = false;    // a publish happened; commit owes one fence
+  uint64_t gather_as_mask_ = 0;    // AS-generation slots owed a bump at commit
+  std::vector<std::pair<PhysicalMemory*, FrameIndex>> gather_frames_;
+};
+
+// RAII gather scope: opens on construction, closes (and commits if outermost)
+// on destruction.  Constructing from a null TlbMmu or a disabled one is a
+// no-op, so callers can write `TlbGatherScope gather(tlb());` unconditionally.
+class TlbGatherScope {
+ public:
+  explicit TlbGatherScope(TlbMmu* tlb) : tlb_(tlb != nullptr && tlb->enabled() ? tlb : nullptr) {
+    if (tlb_ != nullptr) {
+      tlb_->BeginGather();
+    }
+  }
+  ~TlbGatherScope() {
+    if (tlb_ != nullptr) {
+      tlb_->EndGather();
+    }
+  }
+  TlbGatherScope(const TlbGatherScope&) = delete;
+  TlbGatherScope& operator=(const TlbGatherScope&) = delete;
+
+  // Commits pending work without closing the scope; must be called before the
+  // caller drops the lock serializing its mutations.
+  void Flush() {
+    if (tlb_ != nullptr) {
+      tlb_->FlushGather();
+    }
+  }
+
+ private:
+  TlbMmu* tlb_;
 };
 
 }  // namespace gvm

@@ -96,11 +96,9 @@ void MinimalVm::OnRegionMapped(RegionImpl& region, MutexLock& lock) {
 void MinimalVm::OnRegionUnmapping(RegionImpl& region) {
   auto& cache = static_cast<MinimalCache&>(region.cache());
   cache.mapping_count_--;
-  const size_t page = page_size();
-  const AsId as = region.context().address_space();
-  for (uint64_t delta = 0; delta < region.size(); delta += page) {
-    mmu().Unmap(as, region.start() + delta);
-  }
+  // One batched invalidation for the whole region (holes no-op).
+  mmu().UnmapRange(region.context().address_space(), region.start(),
+                   region.size() / page_size());
 }
 
 void MinimalVm::OnRegionSplit(RegionImpl& first, RegionImpl& second) {
@@ -109,11 +107,10 @@ void MinimalVm::OnRegionSplit(RegionImpl& first, RegionImpl& second) {
 }
 
 void MinimalVm::OnRegionProtection(RegionImpl& region) {
-  const size_t page = page_size();
-  const AsId as = region.context().address_space();
-  for (uint64_t delta = 0; delta < region.size(); delta += page) {
-    mmu().Protect(as, region.start() + delta, region.prot());
-  }
+  // The protection is uniform across the region, so this is the textbook
+  // ProtectRange consumer: one shootdown covers every downgraded page.
+  mmu().ProtectRange(region.context().address_space(), region.start(),
+                     region.size() / page_size(), region.prot());
 }
 
 Status MinimalVm::OnRegionLock(RegionImpl& region, MutexLock& lock) {

@@ -133,7 +133,11 @@ std::string PagedVm::DumpStats() const {
       << " reissued=" << d.requests_reissued << "\n";
   out << "tlb: hits=" << cs.tlb_hits << " misses=" << cs.tlb_misses
       << " shootdowns=" << cs.tlb_shootdowns << " shootdown_pages=" << cs.tlb_shootdown_pages
-      << "\n";
+      << " shootdown_ranges=" << cs.tlb_shootdown_ranges << "\n";
+  const PhysicalMemory::Stats ps = memory().stats();
+  out << "frames: allocs=" << ps.allocations << " frees=" << ps.frees
+      << " magazine_hits=" << ps.magazine_hits << " refills=" << ps.magazine_refills
+      << " drains=" << ps.magazine_drains << " steals=" << ps.magazine_steals << "\n";
   out << "mmu: maps=" << ms.maps << " unmaps=" << ms.unmaps << " protects=" << ms.protects
       << " translations=" << ms.translations << " faults=" << ms.faults
       << " spaces=" << ms.spaces_created << "/" << ms.spaces_destroyed << "\n";

@@ -184,7 +184,11 @@ Status PagedVm::ClearDestinationRange(MutexLock& lock, PvmCache& dst,
 
 void PagedVm::ProtectSourcePages(PvmCache& src, SegOffset src_off, size_t size) {
   // "All the pages of (the corresponding fragment of) the source are made
-  // read-only" — O(resident pages), found through the global map.
+  // read-only" — O(resident pages), found through the global map.  This is the
+  // fork/COW hot loop: gather the write-protect downgrades so the whole
+  // fragment pays one shootdown fence instead of one per mapping.  Nothing in
+  // the loop drops the manager lock or frees a frame.
+  TlbGatherScope gather(&tlb());
   const size_t page = page_size();
   for (SegOffset off = src_off; off < src_off + size; off += page) {
     if (PageDesc* owned = FindOwned(src, off)) {

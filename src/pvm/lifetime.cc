@@ -61,6 +61,9 @@ void PagedVm::DropTreeLinksTo(PvmCache& cache) {
 }
 
 void PagedVm::ReleasePages(PvmCache& cache) {
+  // Teardown batch: every page's unmaps publish under one gather, the frames
+  // park on it, and a single commit fence retires the lot before recycling.
+  TlbGatherScope gather(&tlb());
   while (!cache.pages_.empty()) {
     FreePage(&cache.pages_.front());
   }
@@ -105,8 +108,12 @@ void PagedVm::ReapIfUnreferenced(MutexLock& lock, PvmCache& cache) {
   });
   cache.parents_.Clear();
   DropTreeLinksTo(cache);
-  while (!cache.pages_.empty()) {
-    FreePage(&cache.pages_.front());
+  {
+    // One gathered shootdown for the whole cache teardown (see ReleasePages).
+    TlbGatherScope gather(&tlb());
+    while (!cache.pages_.empty()) {
+      FreePage(&cache.pages_.front());
+    }
   }
   // Purge the stub entries this cache still owns (deferred-copy placeholders whose
   // value was never demanded), unlinking each from its source.
@@ -197,6 +204,9 @@ bool PagedVm::TryCollapse(MutexLock& lock, PvmCache& cache) {
   for (PageDesc& page : cache.pages_) {
     to_move.push_back(&page);
   }
+  // The per-page unmaps (moved pages and freed unreachable/diverged pages)
+  // batch into one gathered shootdown; no lock is dropped in the loop.
+  TlbGatherScope gather(&tlb());
   for (PageDesc* page : to_move) {
     const Window* window = nullptr;
     for (const Window& w : windows) {

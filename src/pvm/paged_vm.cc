@@ -13,7 +13,7 @@
 namespace gvm {
 
 PagedVm::PagedVm(PhysicalMemory& memory, Mmu& mmu, Options options)
-    : BaseMm(memory, mmu, options.enable_tlb), options_(options) {}
+    : BaseMm(memory, mmu, options.enable_tlb, options.shootdown_fence), options_(options) {}
 
 PagedVm::~PagedVm() {
   // Tear down all caches without push-outs: the simulation is ending.
@@ -289,7 +289,11 @@ void PagedVm::FreePage(PageDesc* page) {
   }
   PvmCache& cache = *page->cache;
   map_.Erase(cache.id(), PageIndex(page->offset));
-  memory().FreeFrame(page->frame);
+  // Inside a gather scope the unmaps above have published but not yet fenced,
+  // so a reader may still be using a cached translation to this frame: park it
+  // on the gather and recycle it only after commit.  Outside a gather this is
+  // an immediate free (the unmaps already fenced).
+  tlb().FreeFrameAfterFlush(memory(), page->frame);
   cache.pages_.erase(page->self);  // destroys *page
 }
 
@@ -993,16 +997,36 @@ void PagedVm::OnRegionMapped(RegionImpl& region, MutexLock& lock) {
 void PagedVm::OnRegionUnmapping(RegionImpl& region) {
   auto it = region_maps_.find(&region);
   if (it != region_maps_.end()) {
-    // Detach every mapped page (O(resident pages of the region), per section 4.1).
+    // Detach every mapped page (O(resident pages of the region), per section
+    // 4.1).  The loop is bookkeeping only; the MMU side is one batched
+    // UnmapRange per *contiguous resident run*, found by walking the sorted
+    // rmap — never the whole VA span, which for a sparse region could be
+    // astronomically larger than its resident set.  Under the caller's gather
+    // (region/context teardown) all runs share one fence regardless.
+    const size_t page_bytes = page_size();
+    const AsId as = region.context().address_space();
+    Vaddr run_start = 0;
+    Vaddr run_end = 0;  // one past the last page of the open run
     for (auto& [va, page] : it->second) {
       for (size_t i = 0; i < page->mappings.size(); ++i) {
         if (page->mappings[i].region == &region && page->mappings[i].va == va) {
-          mmu().Unmap(page->mappings[i].as, va);
           page->mappings[i] = page->mappings.back();
           page->mappings.pop_back();
           break;
         }
       }
+      if (run_end != 0 && va == run_end) {
+        run_end += page_bytes;
+        continue;
+      }
+      if (run_end != 0) {
+        mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
+      }
+      run_start = va;
+      run_end = va + page_bytes;
+    }
+    if (run_end != 0) {
+      mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
     }
     region_maps_.erase(it);
   }
@@ -1040,6 +1064,10 @@ void PagedVm::OnRegionProtection(RegionImpl& region) {
   if (it == region_maps_.end()) {
     return;
   }
+  // Protections vary per page (EffectiveProt depends on page state) so the
+  // mutations stay page-granular, but the fence need not: one gather commit
+  // retires every downgrade in the region.  No lock is dropped in the scope.
+  TlbGatherScope gather(&tlb());
   for (auto& [va, page] : it->second) {
     for (const MappingRef& ref : page->mappings) {
       if (ref.region == &region && ref.va == va) {

@@ -89,6 +89,9 @@ class PagedVm final : public BaseMm {
     // Interpose the per-CPU software TLB (TlbMmu) between the manager and the
     // hardware MMU.  Off = pure delegation, for baselines and A/B benchmarks.
     bool enable_tlb = true;
+    // Shootdown publication barrier for the TLB wrapper (kAuto probes the
+    // host for membarrier).  The scaling bench sweeps this axis.
+    TlbMmu::FenceMode shootdown_fence = TlbMmu::FenceMode::kAuto;
     // Fault-around: on a fault resolved by a pullIn, also materialize up to this
     // many - 1 following pages whose value is resident in the mapper, while free
     // frames stay above the high-water mark.  <= 1 disables clustering.  Off by

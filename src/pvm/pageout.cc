@@ -101,46 +101,63 @@ bool PagedVm::BalanceFreeFrames(MutexLock& lock) {
   }
   bool dropped = false;
   int safety = 0;
-  while (memory().free_frames() < options_.high_water_frames) {
-    if (++safety > static_cast<int>(memory().frame_count()) * 4) {
-      break;
+  while (true) {
+    // Runs of clean drops batch into one gathered shootdown; their frames park
+    // on the gather, so the target check counts free + parked.  The scope must
+    // *close* (not merely flush) before PushOutPageLocked: a gather may never
+    // span a manager-lock drop, or another thread entering the manager would
+    // have its own shootdowns silently deferred onto ours.
+    PageDesc* push_victim = nullptr;
+    {
+      TlbGatherScope gather(&tlb());
+      while (memory().free_frames() + tlb().GatherParkedFrames() <
+             options_.high_water_frames) {
+        if (++safety > static_cast<int>(memory().frame_count()) * 4) {
+          break;
+        }
+        PageDesc* victim = PickVictim();
+        if (victim == nullptr) {
+          break;  // everything is pinned or in transit
+        }
+        PvmCache& cache = *victim->cache;
+        const bool dirty = PageIsDirty(*victim);
+        // Descendant caches may still need this page's value after eviction: any
+        // page covered by a history link, carrying stubs, or sitting in a cache
+        // that has children must survive on the segment, so a "clean" drop is
+        // only safe when the page is reproducible (from the segment or by
+        // zero-fill).
+        const bool reproducible =
+            cache.pushed_pages_.contains(PageIndex(victim->offset)) ||
+            (!cache.temporary_ && cache.parents_.Find(victim->offset) == nullptr);
+        if (!dirty && reproducible) {
+          ++mutable_stats().pages_paged_out;
+          FreePage(victim);
+          continue;
+        }
+        if (!dirty && victim->stubs.empty() &&
+            cache.histories_.Find(victim->offset) == nullptr && cache.temporary_ &&
+            cache.parents_.Find(victim->offset) == nullptr && !victim->sw_dirty) {
+          // Never-written zero-fill page: drop it; a later miss re-zero-fills.
+          ++mutable_stats().pages_paged_out;
+          FreePage(victim);
+          continue;
+        }
+        push_victim = victim;  // must be written out; commit the gather first
+        break;
+      }
     }
-    PageDesc* victim = PickVictim();
-    if (victim == nullptr) {
-      break;  // everything is pinned or in transit
-    }
-    PvmCache& cache = *victim->cache;
-    const bool dirty = PageIsDirty(*victim);
-    // Descendant caches may still need this page's value after eviction: any page
-    // covered by a history link, carrying stubs, or sitting in a cache that has
-    // children must survive on the segment, so a "clean" drop is only safe when
-    // the page is reproducible (from the segment or by zero-fill).
-    const bool reproducible =
-        cache.pushed_pages_.contains(PageIndex(victim->offset)) ||
-        (!cache.temporary_ && cache.parents_.Find(victim->offset) == nullptr);
-    if (!dirty && reproducible) {
-      ++mutable_stats().pages_paged_out;
-      FreePage(victim);
-      continue;
-    }
-    if (!dirty && victim->stubs.empty() && cache.histories_.Find(victim->offset) == nullptr &&
-        cache.temporary_ && cache.parents_.Find(victim->offset) == nullptr &&
-        !victim->sw_dirty) {
-      // Never-written zero-fill page: drop it; a later miss re-zero-fills.
-      ++mutable_stats().pages_paged_out;
-      FreePage(victim);
-      continue;
+    if (push_victim == nullptr) {
+      return dropped;  // target met, nothing evictable, or safety cap hit
     }
     // Must be written to the cache's own segment.
-    Status s = PushOutPageLocked(lock, cache, *victim, /*free_after=*/true);
+    Status s = PushOutPageLocked(lock, *push_victim->cache, *push_victim, /*free_after=*/true);
     dropped = true;  // PushOutPageLocked always releases the lock around the upcall
     if (s != Status::kOk) {
       GVM_LOG(Debug) << "pushOut failed during page-out: " << StatusName(s);
-      break;
+      return dropped;
     }
     ++mutable_stats().pages_paged_out;
   }
-  return dropped;
 }
 
 Status PagedVm::EnsureDriver(MutexLock& lock, PvmCache& cache) {

@@ -583,12 +583,33 @@ void ShadowVm::OnRegionUnmapping(RegionImpl& region) {
       auto& maps = page_it->second.mappings;
       for (size_t i = 0; i < maps.size(); ++i) {
         if (maps[i].region == &region && maps[i].va == va) {
-          mmu().Unmap(maps[i].as, va);
           maps[i] = maps.back();
           maps.pop_back();
           break;
         }
       }
+    }
+    // Bookkeeping done above; the MMU pays one batched UnmapRange per
+    // contiguous resident run (walking the sorted rmap keeps this O(resident),
+    // never O(VA span), which matters for sparse regions).
+    const size_t page_bytes = page_size();
+    const AsId as = region.context().address_space();
+    Vaddr run_start = 0;
+    Vaddr run_end = 0;  // one past the last page of the open run
+    for (auto& [va, where] : it->second) {
+      (void)where;
+      if (run_end != 0 && va == run_end) {
+        run_end += page_bytes;
+        continue;
+      }
+      if (run_end != 0) {
+        mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
+      }
+      run_start = va;
+      run_end = va + page_bytes;
+    }
+    if (run_end != 0) {
+      mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
     }
     region_maps_.erase(it);
   }

@@ -60,6 +60,15 @@ enum class Rank : int {
   kIpc = 20,
   // The manager-wide mutex of BaseMm (PVM / ShadowVm / MinimalVm).
   kMmManager = 30,
+  // PhysicalMemory per-CPU frame magazines.  Above kMmManager (frame
+  // alloc/free runs under a manager lock) and below the global free list,
+  // which a magazine locks while refilling/draining.  Never two magazines at
+  // once on one thread (equal rank trips the validator): the raid path in
+  // AllocateFrame releases the thread's own magazine before probing victims
+  // one at a time.
+  kFrameMagazine = 32,
+  // PhysicalMemory's shared free list — the slow path magazines batch against.
+  kFrameFreeList = 34,
   // SoftMmu / HashMmu per-address-space lock shards.  Acquired under the
   // manager lock on the table-update path and bare on the CPU access path;
   // never two shards at once (equal rank trips the validator).

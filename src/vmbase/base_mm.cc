@@ -128,8 +128,8 @@ Status ContextImpl::Destroy() {
 // BaseMm
 // ---------------------------------------------------------------------------
 
-BaseMm::BaseMm(PhysicalMemory& memory, Mmu& mmu, bool enable_tlb)
-    : memory_(memory), tlb_mmu_(mmu, enable_tlb), mmu_(tlb_mmu_), cpu_(memory, tlb_mmu_) {
+BaseMm::BaseMm(PhysicalMemory& memory, Mmu& mmu, bool enable_tlb, TlbMmu::FenceMode fence)
+    : memory_(memory), tlb_mmu_(mmu, enable_tlb, fence), mmu_(tlb_mmu_), cpu_(memory, tlb_mmu_) {
   assert(memory.page_size() == mmu.page_size());
   cpu_.BindFaultHandler(this);
 }
@@ -215,6 +215,13 @@ void BaseMm::CountFault(const PageFault& fault) {
 
 Status BaseMm::DestroyContextLocked(ContextImpl& context) {
   // Destroy all regions first (unmaps resident pages), then the address space.
+  // The whole teardown (process exit, exec replace) is one gathered shootdown:
+  // condemning the address space up front folds every region's unmaps into a
+  // single per-AS generation bump paid once at scope exit, with one fence.
+  // Nothing in the region hooks drops the manager lock, which the gather
+  // contract requires.
+  TlbGatherScope gather(&tlb_mmu_);
+  tlb_mmu_.GatherCondemnAddressSpace(context.as_);
   while (!context.regions_.empty()) {
     RegionImpl& region = *context.regions_.begin()->second;
     Status s = DestroyRegionLocked(region);
@@ -234,6 +241,9 @@ Status BaseMm::DestroyRegionLocked(RegionImpl& region) {
   if (region.locked()) {
     return Status::kLocked;
   }
+  // Standalone region destroy pays one gathered shootdown; under an outer
+  // gather (context teardown) this only nests.
+  TlbGatherScope gather(&tlb_mmu_);
   OnRegionUnmapping(region);
   region.context_.regions_.erase(region.start());  // deletes `region`
   return Status::kOk;

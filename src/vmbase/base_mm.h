@@ -111,7 +111,10 @@ class BaseMm : public MemoryManager {
   // `mmu`: all translations and table mutations go through the TLB wrapper so
   // unmaps/downgrades are shot down before they are observable.  `enable_tlb`
   // false degrades the wrapper to pure delegation (for baselines and A/B runs).
-  BaseMm(PhysicalMemory& memory, Mmu& mmu, bool enable_tlb = true);
+  // `fence` selects the shootdown publication barrier (kAuto probes the host);
+  // benchmarks sweep it to compare membarrier against per-read fences.
+  BaseMm(PhysicalMemory& memory, Mmu& mmu, bool enable_tlb = true,
+         TlbMmu::FenceMode fence = TlbMmu::FenceMode::kAuto);
   ~BaseMm() override;
 
   // ---- MemoryManager ----

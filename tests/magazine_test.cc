@@ -1,0 +1,261 @@
+// Per-CPU frame magazines (src/hal/phys_memory.h): batched refill/drain,
+// cross-magazine raiding, drain-under-pressure, and — the invariant everything
+// else leans on — exact free-frame accounting whatever the frames' distribution
+// between the shared pool and the magazines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/hal/phys_memory.h"
+
+namespace gvm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+// Allocate until exhaustion; returns how many frames were handed out.  This is
+// the strongest accounting oracle: magazines, raids, and the shared pool must
+// together surface every last frame, then report kNoMemory truthfully.
+size_t DrainDry(PhysicalMemory& mem, std::vector<FrameIndex>& out) {
+  while (true) {
+    Result<FrameIndex> frame = mem.AllocateFrame();
+    if (!frame.ok()) {
+      EXPECT_EQ(frame.status(), Status::kNoMemory);
+      return out.size();
+    }
+    out.push_back(*frame);
+  }
+}
+
+TEST(MagazineTest, AutoCapacityScalesWithPoolAndDisablesForTinyPools) {
+  // Tiny pools get no magazine layer (capacity 0): nothing to batch, and the
+  // seed tests' 4-frame worlds must keep exact LIFO behaviour.
+  EXPECT_EQ(PhysicalMemory(4, kPage).magazine_capacity(), 0u);
+  EXPECT_EQ(PhysicalMemory(15, kPage).magazine_capacity(), 0u);
+  EXPECT_EQ(PhysicalMemory(64, kPage).magazine_capacity(), 4u);
+  EXPECT_EQ(PhysicalMemory(1024, kPage).magazine_capacity(), 32u);
+  // Far past 16*32 frames the cap pins at 32.
+  EXPECT_EQ(PhysicalMemory(4096, kPage).magazine_capacity(), 32u);
+  // Explicit capacity overrides the heuristic.
+  EXPECT_EQ(PhysicalMemory(1024, kPage, 8).magazine_capacity(), 8u);
+  EXPECT_EQ(PhysicalMemory(1024, kPage, 0).magazine_capacity(), 0u);
+}
+
+TEST(MagazineTest, BatchedRefillThenHitsWithoutTouchingSharedPool) {
+  PhysicalMemory mem(1024, kPage);  // capacity 32, refill batch 17
+  ASSERT_EQ(mem.magazine_capacity(), 32u);
+
+  // First allocation takes the shared-pool lock once and pulls a batch.
+  FrameIndex first = *mem.AllocateFrame();
+  PhysicalMemory::Stats stats = mem.stats();
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.magazine_refills, 1u);
+  EXPECT_EQ(stats.magazine_hits, 0u);
+  EXPECT_EQ(mem.free_frames(), 1023u);  // magazine frames still count as free
+
+  // The rest of the batch serves subsequent allocations lock-free-ish.
+  const size_t batch_left = mem.magazine_capacity() / 2;  // 17 pulled, 1 returned
+  for (size_t i = 0; i < batch_left; ++i) {
+    ASSERT_TRUE(mem.AllocateFrame().ok());
+  }
+  stats = mem.stats();
+  EXPECT_EQ(stats.magazine_hits, batch_left);
+  EXPECT_EQ(stats.magazine_refills, 1u);
+  EXPECT_EQ(mem.free_frames(), 1023u - batch_left);
+  (void)first;
+}
+
+TEST(MagazineTest, SingleThreadedAllocationOrderMatchesPreMagazineLifo) {
+  // The refill preserves ascending frame order (the batch is reversed into the
+  // magazine), so single-threaded allocation starts at frame 0 and counts up —
+  // the order every existing test and bench was written against.
+  PhysicalMemory mem(256, kPage);
+  ASSERT_GT(mem.magazine_capacity(), 0u);
+  for (FrameIndex expect = 0; expect < 40; ++expect) {
+    EXPECT_EQ(*mem.AllocateFrame(), expect);
+  }
+}
+
+TEST(MagazineTest, OverfullMagazineDrainsBackToSharedPool) {
+  PhysicalMemory mem(1024, kPage);  // capacity 32
+  std::vector<FrameIndex> held;
+  DrainDry(mem, held);
+  ASSERT_EQ(held.size(), 1024u);
+  // Free everything from one thread: the magazine fills to capacity, then each
+  // further free drains half back to the shared pool instead of growing.
+  for (FrameIndex f : held) {
+    mem.FreeFrame(f);
+  }
+  PhysicalMemory::Stats stats = mem.stats();
+  EXPECT_GT(stats.magazine_drains, 0u);
+  EXPECT_EQ(mem.free_frames(), 1024u);  // exact, wherever the frames sit
+}
+
+TEST(MagazineTest, PressureBypassesMagazinesSoTheLastFramesStayVisible) {
+  // 64 frames, capacity 4, pressure floor 8: once the shared pool is nearly
+  // dry, frees must go straight back to it (not hide in this thread's
+  // magazine) and refills shrink to single frames.
+  PhysicalMemory mem(64, kPage);
+  ASSERT_EQ(mem.magazine_capacity(), 4u);
+  std::vector<FrameIndex> held;
+  DrainDry(mem, held);
+  ASSERT_EQ(held.size(), 64u);
+
+  // Under full pressure a free/alloc pair must round-trip through the shared
+  // pool: the freed frame is immediately allocatable by anyone, and the
+  // accounting never strands it.
+  const PhysicalMemory::Stats before = mem.stats();
+  mem.FreeFrame(held.back());
+  held.pop_back();
+  EXPECT_EQ(mem.free_frames(), 1u);
+  Result<FrameIndex> again = mem.AllocateFrame();
+  ASSERT_TRUE(again.ok());
+  held.push_back(*again);
+  EXPECT_EQ(mem.free_frames(), 0u);
+  // No batching happened down here: no new refills were paid.
+  EXPECT_EQ(mem.stats().magazine_refills, before.magazine_refills);
+
+  for (FrameIndex f : held) {
+    mem.FreeFrame(f);
+  }
+  EXPECT_EQ(mem.free_frames(), 64u);
+}
+
+TEST(MagazineTest, RaidStealsFromAnotherThreadsMagazine) {
+  PhysicalMemory mem(64, kPage);  // capacity 4
+  // A worker thread loads its own magazine (alloc a batch, free it back), then
+  // exits; its magazine keeps the frames.
+  std::thread worker([&] {
+    std::vector<FrameIndex> batch;
+    for (int i = 0; i < 4; ++i) {
+      batch.push_back(*mem.AllocateFrame());
+    }
+    for (FrameIndex f : batch) {
+      mem.FreeFrame(f);
+    }
+  });
+  worker.join();
+
+  // Draining the whole pool from this thread must raid the worker's magazine
+  // for the stranded frames — all 64 frames surface.
+  std::vector<FrameIndex> held;
+  EXPECT_EQ(DrainDry(mem, held), 64u);
+  EXPECT_GT(mem.stats().magazine_steals, 0u);
+  for (FrameIndex f : held) {
+    mem.FreeFrame(f);
+  }
+  EXPECT_EQ(mem.free_frames(), 64u);
+}
+
+TEST(MagazineTest, DrainMagazinesReturnsEveryFrameToTheSharedPool) {
+  PhysicalMemory mem(256, kPage);
+  std::vector<FrameIndex> held;
+  for (int i = 0; i < 32; ++i) {
+    held.push_back(*mem.AllocateFrame());
+  }
+  for (FrameIndex f : held) {
+    mem.FreeFrame(f);  // parks some in this thread's magazine
+  }
+  mem.DrainMagazines();
+  // After an explicit drain the shared pool holds everything: a capacity-zero
+  // observer (the global free list) can satisfy the whole pool without raids.
+  const PhysicalMemory::Stats stats = mem.stats();
+  EXPECT_EQ(mem.free_frames(), 256u);
+  std::vector<FrameIndex> all;
+  EXPECT_EQ(DrainDry(mem, all), 256u);
+  // The refill after the drain pulled from the shared pool, not via raids.
+  EXPECT_EQ(mem.stats().magazine_steals, stats.magazine_steals);
+  for (FrameIndex f : all) {
+    mem.FreeFrame(f);
+  }
+}
+
+TEST(MagazineTest, CapacityZeroKeepsTheOldGlobalPathExactly) {
+  PhysicalMemory mem(64, kPage, /*magazine_capacity=*/0);
+  std::vector<FrameIndex> held;
+  EXPECT_EQ(DrainDry(mem, held), 64u);
+  for (FrameIndex f : held) {
+    mem.FreeFrame(f);
+  }
+  const PhysicalMemory::Stats stats = mem.stats();
+  EXPECT_EQ(stats.magazine_hits, 0u);
+  EXPECT_EQ(stats.magazine_refills, 0u);
+  EXPECT_EQ(stats.magazine_drains, 0u);
+  EXPECT_EQ(stats.magazine_steals, 0u);
+  EXPECT_EQ(stats.allocations, 64u);
+  EXPECT_EQ(stats.frees, 64u);
+}
+
+TEST(MagazineTest, StatsSnapshotIsByValueAndResets) {
+  PhysicalMemory mem(256, kPage);
+  FrameIndex f = *mem.AllocateFrame();
+  const PhysicalMemory::Stats snap = mem.stats();
+  EXPECT_EQ(snap.allocations, 1u);
+  mem.FreeFrame(f);
+  // The snapshot is a value, not a live view.
+  EXPECT_EQ(snap.frees, 0u);
+  EXPECT_EQ(mem.stats().frees, 1u);
+  mem.ResetStats();
+  EXPECT_EQ(mem.stats().allocations, 0u);
+  EXPECT_EQ(mem.stats().frees, 0u);
+  // Resetting counters must not touch the actual frame accounting.
+  EXPECT_EQ(mem.free_frames(), 256u);
+}
+
+// The concurrency oracle: hammer alloc/free from many threads, then verify not
+// one frame was double-handed-out, lost, or double-freed.  (Double handouts
+// surface as duplicate FrameIndexes below; losses as a short final count.)
+TEST(MagazineTest, ConcurrentChaosConservesEveryFrame) {
+  constexpr size_t kFrames = 512;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  PhysicalMemory mem(kFrames, kPage);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(7000 + t);  // seeded: reproducible interleavings
+      std::vector<FrameIndex> mine;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (mine.empty() || (rng() & 1)) {
+          Result<FrameIndex> frame = mem.AllocateFrame();
+          if (frame.ok()) {
+            mine.push_back(*frame);
+          }
+        } else {
+          const size_t pick = rng() % mine.size();
+          mem.FreeFrame(mine[pick]);
+          mine[pick] = mine.back();
+          mine.pop_back();
+        }
+      }
+      for (FrameIndex f : mine) {
+        mem.FreeFrame(f);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mem.free_frames(), kFrames);
+
+  // Every frame is allocatable exactly once, and no index repeats.
+  std::vector<FrameIndex> all;
+  EXPECT_EQ(DrainDry(mem, all), kFrames);
+  std::vector<bool> seen(kFrames, false);
+  for (FrameIndex f : all) {
+    ASSERT_LT(f, kFrames);
+    EXPECT_FALSE(seen[f]) << "frame " << f << " handed out twice";
+    seen[f] = true;
+  }
+  for (FrameIndex f : all) {
+    mem.FreeFrame(f);
+  }
+  EXPECT_EQ(mem.free_frames(), kFrames);
+}
+
+}  // namespace
+}  // namespace gvm
