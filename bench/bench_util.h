@@ -175,7 +175,7 @@ struct ShapeCheck {
   int passed = 0;
   int failed = 0;
 
-  void Check(bool ok, const char* what) {
+  void Expect(bool ok, const char* what) {
     std::printf("  [%s] %s\n", ok ? "OK " : "FAIL", what);
     (ok ? passed : failed)++;
   }
@@ -271,7 +271,7 @@ class BenchJson {
   }
 
   // Writes BENCH_<name>.json; returns true on success and prints the path.
-  bool Write() const {
+  bool WriteFile() const {
     const char* env = std::getenv("GVM_BENCH_JSON_DIR");
 #ifdef GVM_SOURCE_DIR
     std::string dir = env != nullptr ? env : GVM_SOURCE_DIR;

@@ -19,17 +19,17 @@ double MeasureCopy(CopyPolicy policy, size_t pages, size_t touched) {
   Cache* src = *world.mm->CacheCreate(nullptr, "src");
   std::vector<char> data(kPage, 's');
   for (size_t i = 0; i < pages; ++i) {
-    src->Write(i * kPage, data.data(), kPage);
+    (void)src->Write(i * kPage, data.data(), kPage);
   }
   return TimeNs([&] {
     Cache* dst = *world.mm->CacheCreate(nullptr, "dst");
-    src->CopyTo(*dst, 0, 0, pages * kPage, policy);
+    (void)src->CopyTo(*dst, 0, 0, pages * kPage, policy);
     // Touch (write) the first `touched` pages of the copy.
     char v = 'w';
     for (size_t i = 0; i < touched; ++i) {
-      dst->Write(i * kPage, &v, 1);
+      (void)dst->Write(i * kPage, &v, 1);
     }
-    dst->Destroy();
+    (void)dst->Destroy();
   });
 }
 
@@ -72,16 +72,16 @@ void Run() {
   ShapeCheck check;
   // History setup is O(resident source pages) but with a tiny constant; per-page
   // creates a stub per page (bigger constant).  Both beat eager at size.
-  check.Check(history_setup_128 < eager_setup_128,
+  check.Expect(history_setup_128 < eager_setup_128,
               "history-object copy setup beats eager copy at 128 pages");
-  check.Check(perpage_setup_128 < eager_setup_128,
+  check.Expect(perpage_setup_128 < eager_setup_128,
               "per-page copy setup beats eager copy at 128 pages");
-  check.Check(history_setup_128 < perpage_setup_128,
+  check.Expect(history_setup_128 < perpage_setup_128,
               "history objects beat per-page at large sizes (the paper's rationale "
               "for using them on big data segments)");
   double history_1 = MeasureCopy(CopyPolicy::kHistory, 1, 1);
   double perpage_1 = MeasureCopy(CopyPolicy::kPerPage, 1, 1);
-  check.Check(perpage_1 < history_1 * 1.5,
+  check.Expect(perpage_1 < history_1 * 1.5,
               "per-page competitive at 1 page (the paper's IPC-message case)");
   std::printf("\n");
   if (check.failed != 0) {
@@ -96,12 +96,12 @@ void BM_CopyStrategy(::benchmark::State& state) {
   Cache* src = *world.mm->CacheCreate(nullptr, "src");
   std::vector<char> data(kPage, 's');
   for (size_t i = 0; i < pages; ++i) {
-    src->Write(i * kPage, data.data(), kPage);
+    (void)src->Write(i * kPage, data.data(), kPage);
   }
   for (auto _ : state) {
     Cache* dst = *world.mm->CacheCreate(nullptr, "dst");
-    src->CopyTo(*dst, 0, 0, pages * kPage, policy);
-    dst->Destroy();
+    (void)src->CopyTo(*dst, 0, 0, pages * kPage, policy);
+    (void)dst->Destroy();
   }
 }
 BENCHMARK(BM_CopyStrategy)

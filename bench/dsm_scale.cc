@@ -75,8 +75,8 @@ void ForkCowEpisode(DsmSite& site, int iteration, CellResult& result) {
   } else {
     ++result.cow_episodes;
   }
-  (*copy)->Destroy();
-  (*source)->Destroy();
+  (void)(*copy)->Destroy();
+  (void)(*source)->Destroy();
 }
 
 CellResult RunCell(int sites, int drop_percent, int steps, uint64_t seed) {
@@ -234,7 +234,7 @@ int Run(int steps, uint64_t seed, bool quick) {
   json.SetThroughput(total_seconds > 0 ? total_ops / total_seconds : 0);
   json.SetLatency(Percentile(all_samples, 0.5), Percentile(all_samples, 0.99));
   json.Counter("all_cells_ok", all_ok ? 1 : 0);
-  json.Write();
+  json.WriteFile();
   return all_ok ? 0 : 1;
 }
 

@@ -56,7 +56,7 @@ struct MixWorld {
     a.Emit(VmOp::kLi, 0, 0, 0);
     a.Emit(VmOp::kSys, 0, 0, static_cast<int16_t>(VmSys::kExit));
     std::vector<std::byte> data(3 * kPage, std::byte{7});  // sizeable initialized data
-    w.pm->InstallProgram("/bin/cc", a, data, 4 * kPage, 2 * kPage);
+    (void)w.pm->InstallProgram("/bin/cc", a, data, 4 * kPage, 2 * kPage);
     return w;
   }
 
@@ -109,9 +109,9 @@ void Run() {
 
   std::printf("\nShape checks:\n");
   ShapeCheck check;
-  check.Check(cached_reads < uncached_reads / 4,
+  check.Expect(cached_reads < uncached_reads / 4,
               "segment caching eliminates most mapper traffic for repeated execs");
-  check.Check(cached_ns < uncached_ns,
+  check.Expect(cached_ns < uncached_ns,
               "exec latency is lower with the segment cache (the paper's 'large make')");
   std::printf("\n");
   if (check.failed != 0) {

@@ -79,27 +79,27 @@ void Run() {
   // Arrow 1 (kernel -> GMI downcall): regionCreate through rgnAllocate.
   Actor* actor = *nucleus.ActorCreate("demo");
   Result<Region*> region = actor->RgnAllocate(0x10000, 4 * kPage, Prot::kReadWrite);
-  check.Check(region.ok(), "kernel layer maps memory only through GMI regionCreate");
+  check.Expect(region.ok(), "kernel layer maps memory only through GMI regionCreate");
 
   // Arrow 2 (hardware -> MM): a fault enters the MM, resolved without any upcall
   // (demand zero needs no segment).
   uint64_t value = 7;
-  check.Check(actor->Write(0x10000, &value, sizeof(value)) == Status::kOk &&
+  check.Expect(actor->Write(0x10000, &value, sizeof(value)) == Status::kOk &&
                   mapper.pull_ins == 0,
               "page fault resolved below the GMI (no upcall for demand-zero)");
 
   // Arrow 3 (MM -> segment manager upcall, Table 3): force a page-out by memory
   // pressure... simpler: explicit cache sync triggers segmentCreate + pushOut.
   RegionStatus status = (*region)->GetStatus();
-  check.Check(status.cache->Sync() == Status::kOk && mapper.push_outs >= 1 &&
+  check.Expect(status.cache->Sync() == Status::kOk && mapper.push_outs >= 1 &&
                   mapper.segment_creates >= 1,
               "MM saves data via segmentCreate + pushOut upcalls across the GMI");
 
   // Arrow 4 (segment manager -> MM downcall, Table 4): invalidate, then re-read
   // pulls the data back in through the mapper.
-  check.Check(status.cache->Invalidate(0, kPage) == Status::kOk, "cache.invalidate (Table 4)");
+  check.Expect(status.cache->Invalidate(0, kPage) == Status::kOk, "cache.invalidate (Table 4)");
   uint64_t back = 0;
-  check.Check(actor->Read(0x10000, &back, sizeof(back)) == Status::kOk && back == 7 &&
+  check.Expect(actor->Read(0x10000, &back, sizeof(back)) == Status::kOk && back == 7 &&
                   mapper.pull_ins >= 1,
               "re-access pulls the page back via the pullIn upcall; data intact");
 
@@ -117,7 +117,7 @@ void Run() {
     ok = ok && other_actor->Write(0x10000, &v, sizeof(v)) == Status::kOk;
     uint64_t r = 0;
     ok = ok && other_actor->Read(0x10000, &r, sizeof(r)) == Status::kOk && r == 9;
-    check.Check(ok, (std::string("the MM below the GMI is replaceable: ") + MmName(kind))
+    check.Expect(ok, (std::string("the MM below the GMI is replaceable: ") + MmName(kind))
                         .c_str());
   }
 

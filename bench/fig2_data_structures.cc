@@ -40,15 +40,15 @@ void Run() {
   // Touch some pages so the caches hold real page descriptors.
   AsId as1 = ctx1->address_space();
   uint64_t v = 1;
-  world.mm->cpu().Write(as1, 0x10000, &v, sizeof(v));           // cacheA page 0
-  world.mm->cpu().Write(as1, 0x10000 + 2 * kPage, &v, sizeof(v));  // cacheA page 2
-  world.mm->cpu().Write(as1, 0x40000, &v, sizeof(v));           // cacheB page 2 (window!)
+  (void)world.mm->cpu().Write(as1, 0x10000, &v, sizeof(v));           // cacheA page 0
+  (void)world.mm->cpu().Write(as1, 0x10000 + 2 * kPage, &v, sizeof(v));  // cacheA page 2
+  (void)world.mm->cpu().Write(as1, 0x40000, &v, sizeof(v));           // cacheB page 2 (window!)
 
   ShapeCheck check;
 
   // Context descriptors hold sorted region lists.
   auto regions1 = ctx1->GetRegionList();
-  check.Check(regions1.size() == 2 && regions1[0].address < regions1[1].address,
+  check.Expect(regions1.size() == 2 && regions1[0].address < regions1[1].address,
               "context descriptor holds its regions sorted by start address");
   std::printf("\ncontext 1 regions:\n");
   for (const RegionStatus& status : regions1) {
@@ -61,24 +61,24 @@ void Run() {
   // Region descriptors hold start/size/prot + cache pointer and offset; two
   // regions may refer to the same cache descriptor.
   RegionStatus status2 = r2->GetStatus();
-  check.Check(status2.cache == cache_b && status2.offset == 2 * kPage,
+  check.Expect(status2.cache == cache_b && status2.offset == 2 * kPage,
               "region descriptor: cache pointer plus start offset in the segment");
-  check.Check(r3->GetStatus().cache == cache_b,
+  check.Expect(r3->GetStatus().cache == cache_b,
               "two different regions may refer to the same cache descriptor");
 
   // Cache descriptors hold the list of currently cached real pages.
-  check.Check(cache_a->ResidentPages() == 2, "cacheA holds exactly its two touched pages");
-  check.Check(cache_b->ResidentPages() == 1, "cacheB holds exactly its one touched page");
+  check.Expect(cache_a->ResidentPages() == 2, "cacheA holds exactly its two touched pages");
+  check.Expect(cache_b->ResidentPages() == 1, "cacheB holds exactly its one touched page");
 
   // The global map finds pages by (cache, offset); faults on present pages are
   // recovered without new frames.
   size_t used = world.memory->used_frames();
   uint64_t got = 0;
   AsId as2 = ctx2->address_space();
-  world.mm->cpu().Read(as2, 0x90000 + 2 * kPage, &got, sizeof(got));
-  check.Check(got == 1 && world.memory->used_frames() == used,
+  (void)world.mm->cpu().Read(as2, 0x90000 + 2 * kPage, &got, sizeof(got));
+  check.Expect(got == 1 && world.memory->used_frames() == used,
               "global map lookup recovers a resident page without allocating");
-  check.Check(pvm->GlobalMapEntries() == 3, "one global-map entry per resident page");
+  check.Expect(pvm->GlobalMapEntries() == 3, "one global-map entry per resident page");
 
   // Size-independence (section 4.1): an enormous sparse region costs nothing
   // until touched.
@@ -87,12 +87,12 @@ void Run() {
   size_t entries = pvm->GlobalMapEntries();
   Region* huge = *world.mm->RegionCreate(*ctx1, 0x100000000ull, kTiB, Prot::kReadWrite,
                                          *big, 0);
-  check.Check(pvm->GlobalMapEntries() == entries && world.memory->used_frames() == used,
+  check.Expect(pvm->GlobalMapEntries() == entries && world.memory->used_frames() == used,
               "a 1 TiB sparse region allocates no descriptors and no frames");
-  world.mm->cpu().Write(as1, 0x100000000ull + (kTiB / 2), &v, sizeof(v));
-  check.Check(pvm->GlobalMapEntries() == entries + 1,
+  (void)world.mm->cpu().Write(as1, 0x100000000ull + (kTiB / 2), &v, sizeof(v));
+  check.Expect(pvm->GlobalMapEntries() == entries + 1,
               "touching one page of it costs exactly one page descriptor");
-  check.Check(huge->Destroy() == Status::kOk && pvm->CheckInvariants() == Status::kOk,
+  check.Expect(huge->Destroy() == Status::kOk && pvm->CheckInvariants() == Status::kOk,
               "destroying the sparse region is O(resident) and leaves a valid state");
 
   std::printf("\nFigure 2 assertions: %d passed, %d failed\n\n", check.passed, check.failed);
@@ -112,16 +112,16 @@ void BM_GlobalMapLookupFault(::benchmark::State& state) {
   AsId as = world.context->address_space();
   uint64_t v = 1;
   for (int i = 0; i < 64; ++i) {
-    world.mm->cpu().Write(as, 0x10000 + i * kPage, &v, sizeof(v));
+    (void)world.mm->cpu().Write(as, 0x10000 + i * kPage, &v, sizeof(v));
   }
   int i = 0;
   for (auto _ : state) {
     // Unmap one page in the MMU so the next access faults and is recovered from
     // the global map.
     Vaddr va = 0x10000 + (i++ % 64) * kPage;
-    world.mmu->Unmap(as, va);
+    (void)world.mmu->Unmap(as, va);
     uint64_t got = 0;
-    world.mm->cpu().Read(as, va, &got, sizeof(got));
+    (void)world.mm->cpu().Read(as, va, &got, sizeof(got));
     ::benchmark::DoNotOptimize(got);
   }
 }

@@ -31,48 +31,48 @@ struct Fig3World {
     for (int i = 0; i < pages; ++i) {
       // Page p holds the value 'p+1' everywhere ("1", "2", "3" in the figure).
       std::memset(data.data(), '1' + i, kPage);
-      cache->Write(i * kPage, data.data(), kPage);
+      (void)cache->Write(i * kPage, data.data(), kPage);
     }
     return cache;
   }
 
   char ReadPage(Cache& cache, int page) {
     char c = 0;
-    cache.Read(page * kPage, &c, 1);
+    (void)cache.Read(page * kPage, &c, 1);
     return c;
   }
 
   void WritePage(Cache& cache, int page, char value) {
     // The figure's 2': a new value in the page.
-    cache.Write(page * kPage, &value, 1);
+    (void)cache.Write(page * kPage, &value, 1);
   }
 };
 
-void Check(ShapeCheck& check, bool ok, const char* what) { check.Check(ok, what); }
+void Expect(ShapeCheck& check, bool ok, const char* what) { check.Expect(ok, what); }
 
 void ScenarioA(ShapeCheck& check) {
   std::printf("--- Figure 3.a: cpy1 is a copy-on-write of pages 1-3 of src ---\n");
   Fig3World w = Fig3World::Make();
   Cache* src = w.FilledCache("src", 3);
   Cache* cpy1 = *w.world.mm->CacheCreate(nullptr, "cpy1");
-  src->CopyTo(*cpy1, 0, 0, 3 * kPage, CopyPolicy::kHistory);
+  (void)src->CopyTo(*cpy1, 0, 0, 3 * kPage, CopyPolicy::kHistory);
   // "Page 2 has been updated in src" -> the original 2 goes to cpy1.
   w.WritePage(*src, 1, '@');  // 2' in the figure
   // "page 3 has been updated in cpy1."
   w.WritePage(*cpy1, 2, '#');  // 3'
   std::printf("%s", w.pvm->DumpTree(*src).c_str());
-  Check(check, static_cast<PvmCache*>(src)->HistoryAt(0) == static_cast<PvmCache*>(cpy1),
+  Expect(check, static_cast<PvmCache*>(src)->HistoryAt(0) == static_cast<PvmCache*>(cpy1),
         "3.a: cpy1 is src's history object");
-  Check(check, w.ReadPage(*src, 1) == '@', "3.a: src sees 2'");
-  Check(check, w.ReadPage(*cpy1, 1) == '2', "3.a: cpy1 holds the original 2");
-  Check(check, w.ReadPage(*cpy1, 2) == '#', "3.a: cpy1 sees its own 3'");
-  Check(check, w.ReadPage(*src, 2) == '3', "3.a: src keeps the original 3");
+  Expect(check, w.ReadPage(*src, 1) == '@', "3.a: src sees 2'");
+  Expect(check, w.ReadPage(*cpy1, 1) == '2', "3.a: cpy1 holds the original 2");
+  Expect(check, w.ReadPage(*cpy1, 2) == '#', "3.a: cpy1 sees its own 3'");
+  Expect(check, w.ReadPage(*src, 2) == '3', "3.a: src keeps the original 3");
   // "A cache miss on page 1 in cpy1 is resolved by looking it up in src" —
   // without allocating a frame in cpy1.
   size_t resident = cpy1->ResidentPages();
-  Check(check, w.ReadPage(*cpy1, 0) == '1' && cpy1->ResidentPages() == resident,
+  Expect(check, w.ReadPage(*cpy1, 0) == '1' && cpy1->ResidentPages() == resident,
         "3.a: cpy1 page 1 read through src, no frame allocated");
-  Check(check, w.pvm->CheckInvariants() == Status::kOk, "3.a: invariants hold");
+  Expect(check, w.pvm->CheckInvariants() == Status::kOk, "3.a: invariants hold");
 }
 
 void ScenarioB(ShapeCheck& check) {
@@ -80,25 +80,25 @@ void ScenarioB(ShapeCheck& check) {
   Fig3World w = Fig3World::Make();
   Cache* src = w.FilledCache("src", 3);
   Cache* cpy1 = *w.world.mm->CacheCreate(nullptr, "cpy1");
-  src->CopyTo(*cpy1, 0, 0, 3 * kPage, CopyPolicy::kHistory);
+  (void)src->CopyTo(*cpy1, 0, 0, 3 * kPage, CopyPolicy::kHistory);
   w.WritePage(*src, 1, '@');  // "Page 2 of src is modified."
   Cache* copy_of = *w.world.mm->CacheCreate(nullptr, "copyOfCpy1");
-  cpy1->CopyTo(*copy_of, 0, 0, 3 * kPage, CopyPolicy::kHistory);
+  (void)cpy1->CopyTo(*copy_of, 0, 0, 3 * kPage, CopyPolicy::kHistory);
   // "Page 3 of cpy1 is modified: both src and copyOfCpy1 get a page frame with
   // the original value."  (In the history scheme src already holds its original;
   // the complication is that copyOfCpy1 must get one too.)
   w.WritePage(*cpy1, 2, '#');
   std::printf("%s", w.pvm->DumpTree(*src).c_str());
-  Check(check, w.ReadPage(*cpy1, 2) == '#', "3.b: cpy1 sees 3'");
-  Check(check, w.ReadPage(*src, 2) == '3', "3.b: src keeps 3");
-  Check(check, w.ReadPage(*copy_of, 2) == '3',
+  Expect(check, w.ReadPage(*cpy1, 2) == '#', "3.b: cpy1 sees 3'");
+  Expect(check, w.ReadPage(*src, 2) == '3', "3.b: src keeps 3");
+  Expect(check, w.ReadPage(*copy_of, 2) == '3',
         "3.b: copyOfCpy1 got its own copy of 3 (the 4.2.3 complication)");
   // "Page 1 of both copies is read from src."
-  Check(check, w.ReadPage(*cpy1, 0) == '1' && w.ReadPage(*copy_of, 0) == '1',
+  Expect(check, w.ReadPage(*cpy1, 0) == '1' && w.ReadPage(*copy_of, 0) == '1',
         "3.b: page 1 of both copies is read from src");
   // "Page 2 of copyOfCpy1 is read from cpy1."
-  Check(check, w.ReadPage(*copy_of, 1) == '2', "3.b: page 2 of copyOfCpy1 read from cpy1");
-  Check(check, w.pvm->CheckInvariants() == Status::kOk, "3.b: invariants hold");
+  Expect(check, w.ReadPage(*copy_of, 1) == '2', "3.b: page 2 of copyOfCpy1 read from cpy1");
+  Expect(check, w.pvm->CheckInvariants() == Status::kOk, "3.b: invariants hold");
 }
 
 void ScenarioC(ShapeCheck& check) {
@@ -107,18 +107,18 @@ void ScenarioC(ShapeCheck& check) {
   Cache* src = w.FilledCache("src", 4);
   Cache* cpy1 = *w.world.mm->CacheCreate(nullptr, "cpy1");
   Cache* cpy2 = *w.world.mm->CacheCreate(nullptr, "cpy2");
-  src->CopyTo(*cpy1, 0, 0, 4 * kPage, CopyPolicy::kHistory);
-  src->CopyTo(*cpy2, 0, 0, 4 * kPage, CopyPolicy::kHistory);
+  (void)src->CopyTo(*cpy1, 0, 0, 4 * kPage, CopyPolicy::kHistory);
+  (void)src->CopyTo(*cpy2, 0, 0, 4 * kPage, CopyPolicy::kHistory);
   // "A working history object w1 has been created and inserted in the tree."
   PvmCache* w1 = static_cast<PvmCache*>(src)->HistoryAt(0);
-  Check(check, w1 != nullptr && w1 != static_cast<PvmCache*>(cpy1) &&
+  Expect(check, w1 != nullptr && w1 != static_cast<PvmCache*>(cpy1) &&
                    w1 != static_cast<PvmCache*>(cpy2),
         "3.c: a working object w1 is src's history");
-  Check(check,
+  Expect(check,
         static_cast<PvmCache*>(cpy1)->ParentAt(0) == w1 &&
             static_cast<PvmCache*>(cpy2)->ParentAt(0) == w1,
         "3.c: w1 is the parent of both cpy1 and cpy2");
-  Check(check, w1->ParentAt(0) == static_cast<PvmCache*>(src),
+  Expect(check, w1->ParentAt(0) == static_cast<PvmCache*>(src),
         "3.c: w1's parent is src");
   // "The following pages have been modified: page 3 of src, page 3 of cpy1, and
   // page 4 of cpy2."
@@ -126,13 +126,13 @@ void ScenarioC(ShapeCheck& check) {
   w.WritePage(*cpy1, 2, '#');
   w.WritePage(*cpy2, 3, '$');
   std::printf("%s", w.pvm->DumpTree(*src).c_str());
-  Check(check, w.ReadPage(*src, 2) == '@', "3.c: src sees 3'");
-  Check(check, w.ReadPage(*cpy1, 2) == '#', "3.c: cpy1 sees its own 3''");
-  Check(check, w.ReadPage(*cpy2, 2) == '3',
+  Expect(check, w.ReadPage(*src, 2) == '@', "3.c: src sees 3'");
+  Expect(check, w.ReadPage(*cpy1, 2) == '#', "3.c: cpy1 sees its own 3''");
+  Expect(check, w.ReadPage(*cpy2, 2) == '3',
         "3.c: cpy2's miss on page 3 resolves in w1 (the original)");
-  Check(check, w.ReadPage(*cpy2, 3) == '$', "3.c: cpy2 sees 4'");
-  Check(check, w.ReadPage(*cpy1, 3) == '4', "3.c: cpy1's miss on page 4 resolves in src");
-  Check(check, w.pvm->CheckInvariants() == Status::kOk, "3.c: invariants hold");
+  Expect(check, w.ReadPage(*cpy2, 3) == '$', "3.c: cpy2 sees 4'");
+  Expect(check, w.ReadPage(*cpy1, 3) == '4', "3.c: cpy1's miss on page 4 resolves in src");
+  Expect(check, w.pvm->CheckInvariants() == Status::kOk, "3.c: invariants hold");
 }
 
 void ScenarioD(ShapeCheck& check) {
@@ -142,20 +142,20 @@ void ScenarioD(ShapeCheck& check) {
   Cache* copies[3];
   for (int i = 0; i < 3; ++i) {
     copies[i] = *w.world.mm->CacheCreate(nullptr, std::string("cpy") + char('1' + i));
-    src->CopyTo(*copies[i], 0, 0, 4 * kPage, CopyPolicy::kHistory);
+    (void)src->CopyTo(*copies[i], 0, 0, 4 * kPage, CopyPolicy::kHistory);
   }
   std::printf("%s", w.pvm->DumpTree(*src).c_str());
-  Check(check, w.pvm->detail_stats().working_objects == 2,
+  Expect(check, w.pvm->detail_stats().working_objects == 2,
         "3.d: exactly two working objects (w1, w2) were created");
   // The shape invariant: src has a single immediate descendant.
   PvmCache* w2 = static_cast<PvmCache*>(src)->HistoryAt(0);
-  Check(check, w2 != nullptr, "3.d: src has a single history (w2)");
+  Expect(check, w2 != nullptr, "3.d: src has a single history (w2)");
   w.WritePage(*src, 0, '@');
   for (int i = 0; i < 3; ++i) {
-    Check(check, w.ReadPage(*copies[i], 0) == '1',
+    Expect(check, w.ReadPage(*copies[i], 0) == '1',
           "3.d: every copy still reads the original page 1");
   }
-  Check(check, w.pvm->CheckInvariants() == Status::kOk, "3.d: invariants hold");
+  Expect(check, w.pvm->CheckInvariants() == Status::kOk, "3.d: invariants hold");
 }
 
 void BM_Fig3FullSequence(::benchmark::State& state) {
@@ -165,8 +165,8 @@ void BM_Fig3FullSequence(::benchmark::State& state) {
     Cache* src = w.FilledCache("src", 4);
     Cache* a = *w.world.mm->CacheCreate(nullptr, "a");
     Cache* b = *w.world.mm->CacheCreate(nullptr, "b");
-    src->CopyTo(*a, 0, 0, 4 * kPage, CopyPolicy::kHistory);
-    src->CopyTo(*b, 0, 0, 4 * kPage, CopyPolicy::kHistory);
+    (void)src->CopyTo(*a, 0, 0, 4 * kPage, CopyPolicy::kHistory);
+    (void)src->CopyTo(*b, 0, 0, 4 * kPage, CopyPolicy::kHistory);
     w.WritePage(*src, 2, '@');
     w.WritePage(*a, 2, '#');
     ::benchmark::DoNotOptimize(w.ReadPage(*b, 2));

@@ -24,7 +24,7 @@ Cache* FilledCache(World& world, const char* name) {
   Cache* cache = *world.mm->CacheCreate(nullptr, name);
   std::vector<char> data(kPage, 'd');
   for (size_t i = 0; i < kPages; ++i) {
-    cache->Write(i * kPage, data.data(), kPage);
+    (void)cache->Write(i * kPage, data.data(), kPage);
   }
   return cache;
 }
@@ -60,10 +60,10 @@ ShellLoopResult ShellLoop(MmKind kind, bool collapse, int rounds) {
   ShellLoopResult result;
   result.ns_per_round = TimeNs([&] {
     Cache* child = *world.mm->CacheCreate(nullptr, "c" + std::to_string(round++));
-    shell->CopyTo(*child, 0, 0, kPages * kPage, CopyPolicy::kHistory);
-    shell->Write((round % kPages) * kPage, &v, 1);  // parent keeps working
-    child->Write(0, &v, 1);                          // child does something
-    child->Destroy();                                // child exits
+    (void)shell->CopyTo(*child, 0, 0, kPages * kPage, CopyPolicy::kHistory);
+    (void)shell->Write((round % kPages) * kPage, &v, 1);  // parent keeps working
+    (void)child->Write(0, &v, 1);                          // child does something
+    (void)child->Destroy();                                // child exits
   }, rounds, 0.0);
   if (kind == MmKind::kPvm) {
     auto* pvm = static_cast<PagedVm*>(world.mm.get());
@@ -97,9 +97,9 @@ size_t GenerationalLoop(bool collapse, int generations, uint64_t* gc_out) {
   char v = 'y';
   for (int i = 1; i <= generations; ++i) {
     Cache* next = *world.mm->CacheCreate(nullptr, "gen" + std::to_string(i));
-    generation->CopyTo(*next, 0, 0, kPages * kPage, CopyPolicy::kHistory);
-    next->Write(0, &v, 1);
-    generation->Destroy();  // the parent exits; the child continues
+    (void)generation->CopyTo(*next, 0, 0, kPages * kPage, CopyPolicy::kHistory);
+    (void)next->Write(0, &v, 1);
+    (void)generation->Destroy();  // the parent exits; the child continues
     generation = next;
   }
   *gc_out = vm->detail_stats().caches_collapsed + vm->detail_stats().caches_reaped;
@@ -140,15 +140,15 @@ void Run() {
   // The paper's structural point: the history scheme needs NO GC work in the
   // shell pattern (the child's cache is simply discarded), while Mach must merge
   // shadows to avoid unbounded chains.
-  check.Check(mach_nogc.final_objects > mach.final_objects + kRounds / 2,
+  check.Expect(mach_nogc.final_objects > mach.final_objects + kRounds / 2,
               "Mach without its collapse GC leaks a chain object per fork/exit round");
-  check.Check(pvm.final_objects <= 4,
+  check.Expect(pvm.final_objects <= 4,
               "Chorus shell loop leaves no garbage (the child cache is discarded)");
-  check.Check(mach.gc_operations >= static_cast<uint64_t>(kRounds) / 2,
+  check.Expect(mach.gc_operations >= static_cast<uint64_t>(kRounds) / 2,
               "Mach's GC has to run continuously in the shell loop (the 'major "
               "complication')");
-  check.Check(caches_on <= 4, "generational chains collapse in the PVM (bounded caches)");
-  check.Check(caches_off > 32, "without collapse the generational chain would grow");
+  check.Expect(caches_on <= 4, "generational chains collapse in the PVM (bounded caches)");
+  check.Expect(caches_off > 32, "without collapse the generational chain would grow");
   std::printf("\n");
   if (check.failed != 0) {
     std::exit(1);

@@ -34,21 +34,21 @@ struct IpcWorld {
     w.receiver->RgnAllocate(0x20000, 16 * kPage, Prot::kReadWrite);
     // Make the payload resident on the sender side.
     std::vector<char> payload(16 * kPage, 'm');
-    w.sender->Write(0x10000, payload.data(), payload.size());
+    (void)w.sender->Write(0x10000, payload.data(), payload.size());
     w.port = w.nucleus->ipc().PortCreate();
     return w;
   }
 
   void TransferOnce(size_t bytes) {
-    nucleus->MsgSendFromRegion(*sender, port, 1, 0x10000, bytes);
+    (void)nucleus->MsgSendFromRegion(*sender, port, 1, 0x10000, bytes);
     nucleus->MsgReceiveToRegion(*receiver, port, 0x20000, 16 * kPage);
   }
 
   void BcopyOnce(size_t bytes) {
     // The naive path: read everything out and write it back in.
     std::vector<char> bounce(bytes);
-    sender->Read(0x10000, bounce.data(), bytes);
-    receiver->Write(0x20000, bounce.data(), bytes);
+    (void)sender->Read(0x10000, bounce.data(), bytes);
+    (void)receiver->Write(0x20000, bounce.data(), bytes);
   }
 };
 
@@ -87,9 +87,9 @@ void Run() {
 
   std::printf("\nShape checks:\n");
   ShapeCheck check;
-  check.Check(pvm->detail_stats().move_retargets - moves_before >= 8,
+  check.Expect(pvm->detail_stats().move_retargets - moves_before >= 8,
               "receive retargets real pages instead of copying (move semantics)");
-  check.Check(transit_large < bcopy_large * 1.5,
+  check.Expect(transit_large < bcopy_large * 1.5,
               "transit-segment path at least competitive with double bcopy at 64KB");
   std::printf("\n");
   if (check.failed != 0) {

@@ -126,7 +126,7 @@ void Run() {
   for (size_t i = 0; i < dependent.size(); ++i) {
     // Paper ratio: ~790-1120 machine-dependent vs 3700 machine-independent
     // (21%-30%).  Claim: the machine-dependent part is a small fraction.
-    check.Check(dependent_lines[i] * 2 < independent_total,
+    check.Expect(dependent_lines[i] * 2 < independent_total,
                 (dependent[i].label + " is <50% of the machine-independent part").c_str());
   }
   std::printf("\n");

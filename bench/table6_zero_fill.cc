@@ -30,10 +30,10 @@ void ZeroFillTrial(World& world, size_t region_bytes, size_t touch_pages) {
   AsId as = world.context->address_space();
   for (size_t i = 0; i < touch_pages; ++i) {
     uint64_t value = i;
-    world.mm->cpu().Write(as, kBase + i * kPage, &value, sizeof(value));
+    (void)world.mm->cpu().Write(as, kBase + i * kPage, &value, sizeof(value));
   }
-  region->Destroy();
-  cache->Destroy();
+  (void)region->Destroy();
+  (void)cache->Destroy();
 }
 
 std::vector<std::vector<double>> MeasureMatrix(MmKind kind, const TableSpec& spec) {
@@ -93,13 +93,13 @@ void RunPaperTable() {
   ShapeCheck check;
   // 1. "the cost of creating and destroying a region is practically independent of
   //    its size" — paper: 0.350 vs 0.390 ms (11%%); allow generous slack.
-  check.Check(chorus[2][0] < chorus[0][0] * 2.5,
+  check.Expect(chorus[2][0] < chorus[0][0] * 2.5,
               "PVM: region create/destroy cost is ~independent of region size "
               "(1024Kb <= 2.5x 8Kb)");
   // 2. Allocation cost is dominated by the touched pages, scaling linearly.
   double per_page_32 = (chorus[2][2] - chorus[2][0]) / 32;
   double per_page_128 = (chorus[2][3] - chorus[2][0]) / 128;
-  check.Check(per_page_128 < per_page_32 * 2 && per_page_32 < per_page_128 * 2,
+  check.Expect(per_page_128 < per_page_32 * 2 && per_page_32 < per_page_128 * 2,
               "PVM: per-page zero-fill cost is linear (32- vs 128-page rates within 2x)");
   // 3. Zero-fill involves no deferred-copy machinery in either design, so the two
   //    managers must be of the same order here.  (The paper's large absolute gap
@@ -116,10 +116,10 @@ void RunPaperTable() {
       }
     }
   }
-  check.Check(same_order,
+  check.Expect(same_order,
               "Chorus and Mach zero-fill costs are the same order in every cell");
   // 4. Mach's region create is also ~size-independent (paper: 1.57 -> 1.89 ms).
-  check.Check(mach[2][0] < mach[0][0] * 2.5,
+  check.Expect(mach[2][0] < mach[0][0] * 2.5,
               "Mach: region create/destroy cost is ~independent of region size");
   std::printf("\n");
 }
@@ -167,7 +167,7 @@ void EmitJson() {
   json.SetLatency(dist.p50_ns, dist.p99_ns);
   json.SetThroughput(dist.p50_ns > 0 ? 1e9 / dist.p50_ns : 0);
   AddWorldCounters(json, *world.mm);
-  json.Write();
+  json.WriteFile();
 }
 
 }  // namespace

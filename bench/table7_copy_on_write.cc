@@ -32,7 +32,7 @@ struct CowFixture {
     AsId as = fx.world.context->address_space();
     for (size_t off = 0; off < region_bytes; off += kPage) {
       uint64_t value = off;
-      fx.world.mm->cpu().Write(as, kSrcBase + off, &value, sizeof(value));
+      (void)fx.world.mm->cpu().Write(as, kSrcBase + off, &value, sizeof(value));
     }
     return fx;
   }
@@ -53,10 +53,10 @@ void CowTrial(CowFixture& fx, size_t dirty_pages) {
     // "modifies some of the data within the source region (in order to force a
     // real copy)" — each write pushes the original page into the history object.
     uint64_t value = i;
-    fx.world.mm->cpu().Write(as, kSrcBase + i * kPage, &value, sizeof(value));
+    (void)fx.world.mm->cpu().Write(as, kSrcBase + i * kPage, &value, sizeof(value));
   }
-  copy_region->Destroy();
-  copy_cache->Destroy();
+  (void)copy_region->Destroy();
+  (void)copy_cache->Destroy();
 }
 
 std::vector<std::vector<double>> MeasureMatrix(MmKind kind, const TableSpec& spec) {
@@ -102,14 +102,14 @@ void RunPaperTable() {
   // 1. Deferred copy setup cost grows only mildly with region size (paper: 0.4 ->
   //    2.4 ms; the growth there is per-resident-page protection, 6x over 128x
   //    size increase).  Generous bound: sub-linear in region size.
-  check.Check(chorus[2][0] < chorus[0][0] * 64,
+  check.Expect(chorus[2][0] < chorus[0][0] * 64,
               "PVM: deferred copy setup is sub-linear in region size (128x size < 64x cost)");
   // 2. The real cost is proportional to the data actually copied.  (Generous
   //    bound: the single-core host shows ~50% run-to-run noise on the large
   //    memcpy-dominated cells.)
   double per_page_32 = (chorus[2][2] - chorus[2][0]) / 32;
   double per_page_128 = (chorus[2][3] - chorus[2][0]) / 128;
-  check.Check(per_page_128 < per_page_32 * 3 && per_page_32 < per_page_128 * 3,
+  check.Expect(per_page_128 < per_page_32 * 3 && per_page_32 < per_page_128 * 3,
               "PVM: per-page COW cost is linear (32- vs 128-page rates within 3x)");
   // 3. The structural difference the paper highlights: Mach allocates TWO shadow
   //    objects per deferred copy, so its copy *setup* is strictly more expensive
@@ -120,7 +120,7 @@ void RunPaperTable() {
       setup_wins = false;
     }
   }
-  check.Check(setup_wins,
+  check.Expect(setup_wins,
               "Chorus deferred-copy setup strictly cheaper than Mach at every size");
   // 4. In the forced-copy cells the 8 KB page copy itself dominates both designs
   //    (paper: 221.9 vs 256.4 ms, a 16% gap); on this host those cells carry
@@ -142,8 +142,8 @@ void RunPaperTable() {
       }
     }
   }
-  check.Check(no_regression, "Chorus within 2x of Mach in every memcpy-dominated cell");
-  check.Check(chorus_setup * 1.5 < mach_setup,
+  check.Expect(no_regression, "Chorus within 2x of Mach in every memcpy-dominated cell");
+  check.Expect(chorus_setup * 1.5 < mach_setup,
               "Chorus deferred-copy setup beats Mach's by >1.5x summed over all sizes");
   std::printf("\n");
 }
@@ -189,7 +189,7 @@ void EmitJson() {
   json.SetLatency(dist.p50_ns, dist.p99_ns);
   json.SetThroughput(dist.p50_ns > 0 ? 1e9 / dist.p50_ns : 0);
   AddWorldCounters(json, *fx.world.mm);
-  json.Write();
+  json.WriteFile();
 }
 
 }  // namespace

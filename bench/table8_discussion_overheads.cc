@@ -48,10 +48,10 @@ Measurements Measure() {
       AsId as = world.context->address_space();
       for (size_t i = 0; i < touch; ++i) {
         uint64_t v = i;
-        world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+        (void)world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
       }
-      region->Destroy();
-      cache->Destroy();
+      (void)region->Destroy();
+      (void)cache->Destroy();
     });
   };
   m.create_0_ns = zero_fill(1, 0);
@@ -67,19 +67,19 @@ Measurements Measure() {
     AsId as = world.context->address_space();
     for (size_t i = 0; i < pages; ++i) {
       uint64_t v = i;
-      world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+      (void)world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
     }
     return TimeNs([&] {
       Cache* copy = *world.mm->CacheCreate(nullptr, "cpy");
-      src_cache->CopyTo(*copy, 0, 0, pages * kPage, CopyPolicy::kHistory);
+      (void)src_cache->CopyTo(*copy, 0, 0, pages * kPage, CopyPolicy::kHistory);
       Region* copy_region = *world.mm->RegionCreate(*world.context, kCopyBase, pages * kPage,
                                                     Prot::kReadWrite, *copy, 0);
       for (size_t i = 0; i < force; ++i) {
         uint64_t v = i;
-        world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+        (void)world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
       }
-      copy_region->Destroy();
-      copy->Destroy();
+      (void)copy_region->Destroy();
+      (void)copy->Destroy();
     });
   };
   m.cow_1_of_1_ns = cow(1, 0);
@@ -128,16 +128,16 @@ void Run() {
   // "The structural management overhead of a simple deferred copy initialization
   // is of the order of ... 10% of a simple region creation cost" — the key claim
   // is that tree setup is CHEAP relative to region creation.
-  check.Check(tree_overhead < m.create_0_ns * 2,
+  check.Expect(tree_overhead < m.create_0_ns * 2,
               "history-tree setup costs no more than ~a region create (paper: ~10% of "
               "one; our region create is itself far cheaper relative to a 1989 kernel's)");
   // "The overhead of the history tree using may be deduced by comparing [COW
   // per-page] with the cost of a simple on-demand page allocation ... the overhead
   // is of the order of 10%" — i.e. the two per-page costs are of the same order.
-  check.Check(cow_per_page < demand_alloc * 4 && demand_alloc < cow_per_page * 8,
+  check.Expect(cow_per_page < demand_alloc * 4 && demand_alloc < cow_per_page * 8,
               "per-page COW overhead is the same order as plain demand-zero (paper: +10%)");
   // Per-page protection is much cheaper than a page copy.
-  check.Check(per_page_protect < m.bcopy_page_ns * 2,
+  check.Expect(per_page_protect < m.bcopy_page_ns * 2,
               "write-protecting a page is not more expensive than copying it");
   std::printf("\n");
 }
@@ -152,12 +152,12 @@ void BM_DeferredCopySetup(::benchmark::State& state) {
   (void)region;
   for (size_t i = 0; i < pages; ++i) {
     uint64_t v = i;
-    world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
+    (void)world.mm->cpu().Write(as, kSrcBase + i * kPage, &v, sizeof(v));
   }
   for (auto _ : state) {
     Cache* copy = *world.mm->CacheCreate(nullptr, "cpy");
-    src->CopyTo(*copy, 0, 0, pages * kPage, CopyPolicy::kHistory);
-    copy->Destroy();
+    (void)src->CopyTo(*copy, 0, 0, pages * kPage, CopyPolicy::kHistory);
+    (void)copy->Destroy();
   }
   state.SetLabel("deferred copy setup only");
 }

@@ -127,14 +127,14 @@ void ForkCowEpisode(MemoryManager& mm, Context& ctx, Cache& src, const Config& c
   const size_t bytes = cfg.pages * kPageSize;
   if (src.CopyTo(**copy, 0, 0, bytes, CopyPolicy::kHistory) != Status::kOk) {
     ++result.errors;
-    (*copy)->Destroy();
+    (void)(*copy)->Destroy();
     return;
   }
   Result<Region*> region =
       mm.RegionCreate(ctx, kForkBase, bytes, Prot::kReadWrite, **copy, 0);
   if (!region.ok()) {
     ++result.errors;
-    (*copy)->Destroy();
+    (void)(*copy)->Destroy();
     return;
   }
   AsId as = ctx.address_space();
@@ -145,9 +145,9 @@ void ForkCowEpisode(MemoryManager& mm, Context& ctx, Cache& src, const Config& c
     }
   }
   uint64_t check = 0;
-  mm.cpu().Read(as, kForkBase + (cfg.pages / 2) * kPageSize, &check, sizeof(check));
-  (*region)->Destroy();
-  (*copy)->Destroy();
+  (void)mm.cpu().Read(as, kForkBase + (cfg.pages / 2) * kPageSize, &check, sizeof(check));
+  (void)(*region)->Destroy();
+  (void)(*copy)->Destroy();
   ++result.episodes;
 }
 
@@ -338,8 +338,8 @@ CellResult RunCell(Config cfg) {
 
   // Teardown (exercises the teardown shootdown path too).
   for (int t = 0; t < cfg.threads; ++t) {
-    caches[static_cast<size_t>(t)]->Destroy();
-    contexts[static_cast<size_t>(t)]->Destroy();
+    (void)caches[static_cast<size_t>(t)]->Destroy();
+    (void)contexts[static_cast<size_t>(t)]->Destroy();
   }
   return cell;
 }
@@ -379,7 +379,7 @@ int RunSingle(const Config& cfg) {
   json.SetThroughput(cell.ops_per_sec);
   json.SetLatency(cell.p50_ns, cell.p99_ns);
   AddCellCounters(json, cell);
-  json.Write();
+  json.WriteFile();
   return cell.errors == 0 ? 0 : 1;
 }
 
@@ -432,7 +432,7 @@ int RunScale(const Config& base, double cell_seconds, int max_threads) {
         json.SetThroughput(cell.ops_per_sec);
         json.SetLatency(cell.p50_ns, cell.p99_ns);
         AddCellCounters(json, cell);
-        json.Write();
+        json.WriteFile();
 
         combined.Counter("ops_per_sec." + tag, static_cast<uint64_t>(cell.ops_per_sec));
         combined.Counter("hit_rate_bp." + tag,
@@ -453,7 +453,7 @@ int RunScale(const Config& base, double cell_seconds, int max_threads) {
     }
   }
   combined.SetThroughput(best_ops);  // headline: best cell in the matrix
-  combined.Write();
+  combined.WriteFile();
   return failures == 0 ? 0 : 1;
 }
 

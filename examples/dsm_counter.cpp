@@ -23,7 +23,7 @@ int main() {
   for (auto*& site : sites) {
     site = cluster.AddSite(/*frames=*/128);
   }
-  cluster.CreateSharedSegment("workspace", 4 * kPage);
+  (void)cluster.CreateSharedSegment("workspace", 4 * kPage);
   for (auto* site : sites) {
     site->MapShared("workspace", kBase, 4 * kPage, Prot::kReadWrite);
   }
@@ -38,10 +38,10 @@ int main() {
     DsmSite* site = sites[turn % 3];
     // claim the next item
     uint64_t item = *site->Load<uint64_t>(kBase);
-    site->Store<uint64_t>(kBase, item + 1);
+    (void)site->Store<uint64_t>(kBase, item + 1);
     // "process" it: add item^2 into the results slot
     uint64_t sum = *site->Load<uint64_t>(kBase + 8);
-    site->Store<uint64_t>(kBase + 8, sum + item * item);
+    (void)site->Store<uint64_t>(kBase + 8, sum + item * item);
     executed[turn % 3]++;
   }
 
@@ -60,7 +60,7 @@ int main() {
   uint64_t messages_before = cluster.stats().network_messages;
   for (int round = 0; round < 100; ++round) {
     for (int s = 0; s < 3; ++s) {
-      sites[s]->Store<uint64_t>(kBase + (1 + s) * kPage, round);
+      (void)sites[s]->Store<uint64_t>(kBase + (1 + s) * kPage, round);
     }
   }
   uint64_t quiet = cluster.stats().network_messages - messages_before;
@@ -107,7 +107,7 @@ int main() {
               site->SyncShared() != Status::kOk) {
             // Partitioned or degraded: the increment is not committed until a
             // sync succeeds, so retry from the authoritative value.
-            site->SyncShared();
+            (void)site->SyncShared();
             std::this_thread::sleep_for(std::chrono::microseconds(200));
           }
         }

@@ -97,7 +97,7 @@ int main() {
   size_t mismatches = 0;
   for (size_t p = 0; p < kPages; ++p) {
     char c = 0;
-    actor->Read(0x100000 + p * kPage + 17, &c, 1);
+    (void)actor->Read(0x100000 + p * kPage + 17, &c, 1);
     if (c != static_cast<char>('A' + p % 26)) {
       ++mismatches;
     }
@@ -110,12 +110,12 @@ int main() {
   // the journal must capture exactly the dirtied pages.
   const char msg[] = "journaled overwrite";
   for (size_t p = 0; p < kPages; p += 8) {
-    actor->Write(0x100000 + p * kPage, msg, sizeof(msg));
+    (void)actor->Write(0x100000 + p * kPage, msg, sizeof(msg));
   }
   for (int sweep = 0; sweep < 2; ++sweep) {
     for (size_t p = 0; p < kPages; ++p) {
       char c = 0;
-      actor->Read(0x100000 + p * kPage + 17, &c, 1);
+      (void)actor->Read(0x100000 + p * kPage + 17, &c, 1);
     }
   }
   std::printf("\nafter dirtying every 8th page and thrashing the cache:\n");
@@ -126,7 +126,7 @@ int main() {
   size_t survivors = 0;
   for (size_t p = 0; p < kPages; p += 8) {
     char buffer[sizeof(msg)] = {};
-    actor->Read(0x100000 + p * kPage, buffer, sizeof(msg));
+    (void)actor->Read(0x100000 + p * kPage, buffer, sizeof(msg));
     if (std::memcmp(buffer, msg, sizeof(msg)) == 0) {
       ++survivors;
     }

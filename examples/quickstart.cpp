@@ -37,9 +37,9 @@ int main() {
   Actor* actor = *nucleus.ActorCreate("demo");
   actor->RgnAllocate(0x10000, 4 * kPage, Prot::kReadWrite);
   const char note[] = "hello, demand-zero memory";
-  actor->Write(0x10000, note, sizeof(note));
+  (void)actor->Write(0x10000, note, sizeof(note));
   char read_back[64] = {};
-  actor->Read(0x10000, read_back, sizeof(note));
+  (void)actor->Read(0x10000, read_back, sizeof(note));
   std::printf("anonymous region: wrote and read back: \"%s\"\n", read_back);
   std::printf("  faults so far: %llu, frames in use: %zu\n",
               (unsigned long long)vm.stats().page_faults, memory.used_frames());
@@ -50,7 +50,7 @@ int main() {
   uint64_t key = *files.CreateFile("/data/example", contents.data(), contents.size());
   Capability file{file_server.port(), key};
   actor->RgnMap(0x40000, 2 * kPage, Prot::kRead, file, 0);
-  actor->Read(0x40000, read_back, 18);
+  (void)actor->Read(0x40000, read_back, 18);
   std::printf("mapped file segment: \"%s\" (pulled in via the mapper)\n", read_back);
 
   // --- deferred copy with history objects: rgnInitFromActor (the fork shape) ---
@@ -58,7 +58,7 @@ int main() {
   clone->RgnInitFromActor(0x10000, 4 * kPage, Prot::kReadWrite, *actor, 0x10000,
                           CopyPolicy::kHistory);
   uint64_t copies_before = vm.stats().cow_copies;
-  clone->Read(0x10000, read_back, sizeof(note));
+  (void)clone->Read(0x10000, read_back, sizeof(note));
   std::printf("deferred copy reads the original through the history tree: \"%s\"\n",
               read_back);
   std::printf("  physical copies so far: %llu (none yet — it is deferred)\n",
@@ -66,8 +66,8 @@ int main() {
 
   // The original writes: the old value is pushed into the history object first.
   const char update[] = "hello, modified original";
-  actor->Write(0x10000, update, sizeof(update));
-  clone->Read(0x10000, read_back, sizeof(note));
+  (void)actor->Write(0x10000, update, sizeof(update));
+  (void)clone->Read(0x10000, read_back, sizeof(note));
   std::printf("after the original was modified, the copy still sees: \"%s\"\n", read_back);
   std::printf("  physical copies now: %llu (exactly the touched page)\n",
               (unsigned long long)(vm.stats().cow_copies - copies_before));

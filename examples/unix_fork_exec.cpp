@@ -87,7 +87,7 @@ int main() {
   nucleus.RegisterMapper(&file_server);
   ProcessManager pm(nucleus, files, file_server.port());
 
-  pm.InstallProgram("/bin/worker", WorkerProgram(), {}, 2 * kPage, 2 * kPage);
+  (void)pm.InstallProgram("/bin/worker", WorkerProgram(), {}, 2 * kPage, 2 * kPage);
   Pid root = *pm.Spawn("/bin/worker");
   std::printf("spawned /bin/worker as pid %d; running the process table...\n", root);
   uint64_t steps = pm.RunAll(200, 1'000'000);

@@ -278,7 +278,7 @@ void DsmCluster::HandleSiteMessage(DsmSite* site, const NetMessage& request,
       // authoritative and nothing is corrupted.
       if (injector != nullptr &&
           injector->Check(FaultSite::kCrashSiteMidRecall) != Status::kOk) {
-        CrashSite(site->id());
+        (void)CrashSite(site->id());
         reply->status = Status::kPortDead;
         return;
       }
@@ -295,7 +295,7 @@ void DsmCluster::HandleSiteMessage(DsmSite* site, const NetMessage& request,
       // survives at home; the lost ack makes the home treat us as demoted.
       if (injector != nullptr &&
           injector->Check(FaultSite::kCrashSiteBeforeAck) != Status::kOk) {
-        CrashSite(site->id());
+        (void)CrashSite(site->id());
         reply->status = Status::kPortDead;
         return;
       }
@@ -672,7 +672,7 @@ Status DsmCluster::CrashSite(SiteId site) {
     }
   }
   for (auto& [cache, size] : wipes) {
-    cache->Invalidate(0, size);
+    (void)cache->Invalidate(0, size);
   }
 
   {

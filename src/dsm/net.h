@@ -149,7 +149,8 @@ class SimNet {
   }
 
   std::atomic<FaultInjector*> injector_{nullptr};
-  int max_attempts_ = 16;
+  // Tunable from test setup while traffic may already be flowing.
+  std::atomic<int> max_attempts_{16};
 
   mutable Mutex mu_{Rank::kDsmNet, "SimNet::mu_"};
   std::map<NodeId, Handler> handlers_ GVM_GUARDED_BY(mu_);

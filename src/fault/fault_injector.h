@@ -121,7 +121,7 @@ class FaultInjector {
 
   // Evaluate one hit of `site`: returns kOk to let the real operation proceed,
   // or the planned error to inject a fault.  Applies planned latency either way.
-  Status Check(FaultSite site);
+  [[nodiscard]] Status Check(FaultSite site);
 
   FaultSiteCounters counters(FaultSite site) const;
   uint64_t total_triggers() const;

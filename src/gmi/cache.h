@@ -38,20 +38,20 @@ class Cache {
   // cache.copy: copy `size` bytes at `src_offset` of this cache into `dst` at
   // `dst_offset`.  With a deferred policy this only sets up bookkeeping (history
   // objects or per-page stubs); the data moves on later faults.
-  virtual Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
+  [[nodiscard]] virtual Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
                         CopyPolicy policy) = 0;
 
   // cache.move: like copy, but the source contents become undefined, allowing the
   // MM to retarget real pages instead of copying when alignment permits.
-  virtual Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) = 0;
+  [[nodiscard]] virtual Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) = 0;
 
   // Explicit data transfer between a kernel buffer and the cache (the read/write
   // half of the unified-cache interface).  Faults (pullIns) happen as needed.
-  virtual Status Read(SegOffset offset, void* buffer, size_t size) = 0;
-  virtual Status Write(SegOffset offset, const void* buffer, size_t size) = 0;
+  [[nodiscard]] virtual Status Read(SegOffset offset, void* buffer, size_t size) = 0;
+  [[nodiscard]] virtual Status Write(SegOffset offset, const void* buffer, size_t size) = 0;
 
   // cache.destroy: discard the cache.  Fails with kBusy while regions still map it.
-  virtual Status Destroy() = 0;
+  [[nodiscard]] virtual Status Destroy() = 0;
 
   // ---- Table 4: cache management (downcalls available to segment managers) ----
 
@@ -59,30 +59,30 @@ class Cache {
   // `max_prot` caps the access the cached data carries ("cached data carries the
   // access rights defined by the accessMode argument to pullIn"); a later write
   // fault beyond the cap triggers the getWriteAccess upcall.
-  virtual Status FillUp(SegOffset offset, const void* data, size_t size,
+  [[nodiscard]] virtual Status FillUp(SegOffset offset, const void* data, size_t size,
                         Prot max_prot = Prot::kAll) = 0;
   // Zero-fill variant, for segments with no backing bytes yet.
-  virtual Status FillZero(SegOffset offset, size_t size) = 0;
+  [[nodiscard]] virtual Status FillZero(SegOffset offset, size_t size) = 0;
 
   // copyBack / moveBack: retrieve cached data during a pushOut.  moveBack also
   // removes the pages from the cache (used at cache destruction/flush time).
-  virtual Status CopyBack(SegOffset offset, void* buffer, size_t size) = 0;
-  virtual Status MoveBack(SegOffset offset, void* buffer, size_t size) = 0;
+  [[nodiscard]] virtual Status CopyBack(SegOffset offset, void* buffer, size_t size) = 0;
+  [[nodiscard]] virtual Status MoveBack(SegOffset offset, void* buffer, size_t size) = 0;
 
   // flush: push out all modified data and discard every cached page.
-  virtual Status Flush() = 0;
+  [[nodiscard]] virtual Status Flush() = 0;
   // sync: push out all modified data, keeping the pages cached.
-  virtual Status Sync() = 0;
+  [[nodiscard]] virtual Status Sync() = 0;
   // invalidate: discard cached data in the range without saving it.
-  virtual Status Invalidate(SegOffset offset, size_t size) = 0;
+  [[nodiscard]] virtual Status Invalidate(SegOffset offset, size_t size) = 0;
 
   // Cap the effective protection of cached data in the range (a distributed-memory
   // server uses this to revoke write or all access; see section 3.3.3).
-  virtual Status SetProtection(SegOffset offset, size_t size, Prot max_prot) = 0;
+  [[nodiscard]] virtual Status SetProtection(SegOffset offset, size_t size, Prot max_prot) = 0;
 
   // Pin / unpin cached data in real memory (may cause pullIns).
-  virtual Status LockInMemory(SegOffset offset, size_t size) = 0;
-  virtual Status Unlock(SegOffset offset, size_t size) = 0;
+  [[nodiscard]] virtual Status LockInMemory(SegOffset offset, size_t size) = 0;
+  [[nodiscard]] virtual Status Unlock(SegOffset offset, size_t size) = 0;
 
   // ---- Introspection (for tests, figures and benchmarks) ----
 

@@ -29,7 +29,7 @@ class Context {
   virtual void Switch() = 0;
 
   // context.destroy(): destroy the address space and all its regions.
-  virtual Status Destroy() = 0;
+  [[nodiscard]] virtual Status Destroy() = 0;
 
   // The hardware address space backing this context (simulation glue: the Cpu
   // addresses spaces by AsId).

@@ -21,18 +21,18 @@ class Region {
   virtual Result<Region*> Split(uint64_t offset) = 0;
 
   // Change the hardware protection of the whole region.
-  virtual Status SetProtection(Prot prot) = 0;
+  [[nodiscard]] virtual Status SetProtection(Prot prot) = 0;
 
   // Pin the region's data in real memory; afterwards accesses never fault and the
   // underlying MMU maps remain fixed (important for real-time kernels).
-  virtual Status LockInMemory() = 0;
-  virtual Status Unlock() = 0;
+  [[nodiscard]] virtual Status LockInMemory() = 0;
+  [[nodiscard]] virtual Status Unlock() = 0;
 
   // region.status(): address, size, protection, cache, offset, lock state.
   virtual RegionStatus GetStatus() const = 0;
 
   // region.destroy(): unmap the corresponding cache from the context.
-  virtual Status Destroy() = 0;
+  [[nodiscard]] virtual Status Destroy() = 0;
 };
 
 }  // namespace gvm

@@ -24,17 +24,17 @@ class SegmentDriver {
   // The driver supplies the bytes by calling cache.FillUp (or FillZero) for the
   // requested range before returning, or later from another thread — the MM keeps
   // a synchronization page stub in place until the fill arrives.
-  virtual Status PullIn(Cache& cache, SegOffset offset, size_t size, Access access_mode) = 0;
+  [[nodiscard]] virtual Status PullIn(Cache& cache, SegOffset offset, size_t size, Access access_mode) = 0;
 
   // segment.getWriteAccess(offset, size): the cached data was pulled in read-only
   // and a write access occurred.  kOk grants write access (the MM then raises the
   // cached protection); anything else denies it.  Distributed-coherence mappers use
   // this hook to invalidate remote copies first.
-  virtual Status GetWriteAccess(Cache& cache, SegOffset offset, size_t size) = 0;
+  [[nodiscard]] virtual Status GetWriteAccess(Cache& cache, SegOffset offset, size_t size) = 0;
 
   // segment.pushOut(offset, size): save cached data to the segment.  The driver
   // fetches the bytes with cache.CopyBack or cache.MoveBack.
-  virtual Status PushOut(Cache& cache, SegOffset offset, size_t size) = 0;
+  [[nodiscard]] virtual Status PushOut(Cache& cache, SegOffset offset, size_t size) = 0;
 };
 
 // segmentCreate(cache) -> segment (Table 3, last row): the MM sometimes creates

@@ -27,7 +27,7 @@ class TlbMmu;
 class FaultHandler {
  public:
   virtual ~FaultHandler() = default;
-  virtual Status HandleFault(const PageFault& fault) = 0;
+  [[nodiscard]] virtual Status HandleFault(const PageFault& fault) = 0;
 };
 
 class Cpu {
@@ -57,20 +57,20 @@ class Cpu {
 
   // Copy `size` bytes out of / into the address space `as` at `va`.  Accesses may
   // span pages; each page is translated independently, faulting as needed.
-  Status Read(AsId as, Vaddr va, void* buffer, size_t size) {
+  [[nodiscard]] Status Read(AsId as, Vaddr va, void* buffer, size_t size) {
     return AccessBytes(as, va, buffer, size, Access::kRead);
   }
-  Status Write(AsId as, Vaddr va, const void* buffer, size_t size) {
+  [[nodiscard]] Status Write(AsId as, Vaddr va, const void* buffer, size_t size) {
     return AccessBytes(as, va, const_cast<void*>(buffer), size, Access::kWrite);
   }
   // Instruction fetch (used by the MIX byte-code machine).
-  Status Fetch(AsId as, Vaddr va, void* buffer, size_t size) {
+  [[nodiscard]] Status Fetch(AsId as, Vaddr va, void* buffer, size_t size) {
     return AccessBytes(as, va, buffer, size, Access::kExecute);
   }
 
   // Touch a single address with the given access, faulting as needed, without
   // transferring data.  Used by lockInMemory-style prefaulting and by benchmarks.
-  Status Touch(AsId as, Vaddr va, Access access);
+  [[nodiscard]] Status Touch(AsId as, Vaddr va, Access access);
 
   // Typed convenience accessors.
   template <typename T>
@@ -83,7 +83,7 @@ class Cpu {
     return value;
   }
   template <typename T>
-  Status Store(AsId as, Vaddr va, T value) {
+  [[nodiscard]] Status Store(AsId as, Vaddr va, T value) {
     return Write(as, va, &value, sizeof(T));
   }
 
@@ -118,7 +118,7 @@ class Cpu {
   }
 
  private:
-  Status AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access access);
+  [[nodiscard]] Status AccessBytes(AsId as, Vaddr va, void* buffer, size_t size, Access access);
   // Translate one address, invoking the fault handler until it succeeds or the
   // handler reports an unrecoverable fault.
   Result<FrameIndex> TranslateWithFaults(AsId as, Vaddr va, Access access);

@@ -29,10 +29,10 @@ class HashMmu final : public Mmu {
   explicit HashMmu(size_t page_size);
 
   Result<AsId> CreateAddressSpace() override;
-  Status DestroyAddressSpace(AsId as) override;
-  Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
-  Status Unmap(AsId as, Vaddr va) override;
-  Status Protect(AsId as, Vaddr va, Prot prot) override;
+  [[nodiscard]] Status DestroyAddressSpace(AsId as) override;
+  [[nodiscard]] Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  [[nodiscard]] Status Unmap(AsId as, Vaddr va) override;
+  [[nodiscard]] Status Protect(AsId as, Vaddr va, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
                                         FrameBodyRef body) override;

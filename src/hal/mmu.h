@@ -61,7 +61,7 @@ class Mmu {
 
   virtual Result<AsId> CreateAddressSpace() = 0;
   // Destroys the space and all its mappings.
-  virtual Status DestroyAddressSpace(AsId as) = 0;
+  [[nodiscard]] virtual Status DestroyAddressSpace(AsId as) = 0;
 
   // Installs/replaces the translation for the page containing `va`.
   //
@@ -71,20 +71,20 @@ class Mmu {
   // shoot down on a same-frame, non-downgrading re-map, so a cached write
   // entry stays live — if the re-map wiped the dirty bit, an actively-written
   // page would look clean to eviction and be dropped without write-back.
-  virtual Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) = 0;
+  [[nodiscard]] virtual Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) = 0;
 
   // Removes the translation for the page containing `va` (no-op if absent).
-  virtual Status Unmap(AsId as, Vaddr va) = 0;
+  [[nodiscard]] virtual Status Unmap(AsId as, Vaddr va) = 0;
 
   // Changes the protection of an existing translation.  kNotFound if unmapped.
-  virtual Status Protect(AsId as, Vaddr va, Prot prot) = 0;
+  [[nodiscard]] virtual Status Protect(AsId as, Vaddr va, Prot prot) = 0;
 
   // Removes the translations for `count` consecutive pages starting at the page
   // containing `va`; pages without a translation are skipped.  The default just
   // loops Unmap.  Implementations that pay a cross-CPU invalidation per unmap
   // (TlbMmu) override this to batch the whole run into one shootdown — the
   // software analogue of a ranged TLBI/invlpgb instead of a per-page IPI storm.
-  virtual Status UnmapRange(AsId as, Vaddr va, size_t count) {
+  [[nodiscard]] virtual Status UnmapRange(AsId as, Vaddr va, size_t count) {
     const size_t page = page_size();
     for (size_t i = 0; i < count; ++i) {
       Status s = Unmap(as, va + i * page);
@@ -99,7 +99,7 @@ class Mmu {
   // single-page Protect, pages without a translation are skipped rather than
   // reported: a range operation's caller names a span, not a residency set.
   // Same batching contract as UnmapRange.
-  virtual Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) {
+  [[nodiscard]] virtual Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) {
     const size_t page = page_size();
     for (size_t i = 0; i < count; ++i) {
       Status s = Protect(as, va + i * page, prot);

@@ -60,7 +60,8 @@ FrameIndex PhysicalMemory::Commission(FrameIndex frame) {
 }
 
 Result<FrameIndex> PhysicalMemory::AllocateFrame() {
-  if (injector_ != nullptr && injector_->Check(FaultSite::kFrameAlloc) != Status::kOk) {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector != nullptr && injector->Check(FaultSite::kFrameAlloc) != Status::kOk) {
     return Status::kNoMemory;
   }
   if (magazine_capacity_ == 0) {

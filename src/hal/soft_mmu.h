@@ -33,10 +33,10 @@ class SoftMmu final : public Mmu {
   explicit SoftMmu(size_t page_size, unsigned leaf_bits = 10);
 
   Result<AsId> CreateAddressSpace() override;
-  Status DestroyAddressSpace(AsId as) override;
-  Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
-  Status Unmap(AsId as, Vaddr va) override;
-  Status Protect(AsId as, Vaddr va, Prot prot) override;
+  [[nodiscard]] Status DestroyAddressSpace(AsId as) override;
+  [[nodiscard]] Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  [[nodiscard]] Status Unmap(AsId as, Vaddr va) override;
+  [[nodiscard]] Status Protect(AsId as, Vaddr va, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
                                         FrameBodyRef body) override;

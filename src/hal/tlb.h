@@ -107,15 +107,15 @@ class TlbMmu final : public Mmu {
   ~TlbMmu() override;
 
   Result<AsId> CreateAddressSpace() override;
-  Status DestroyAddressSpace(AsId as) override;
-  Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
-  Status Unmap(AsId as, Vaddr va) override;
-  Status Protect(AsId as, Vaddr va, Prot prot) override;
+  [[nodiscard]] Status DestroyAddressSpace(AsId as) override;
+  [[nodiscard]] Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  [[nodiscard]] Status Unmap(AsId as, Vaddr va) override;
+  [[nodiscard]] Status Protect(AsId as, Vaddr va, Prot prot) override;
   // Range forms batch the invalidation: the whole contiguous run pays one
   // shootdown (one generation-publish sweep + one fence epoch) instead of one
   // per page — the software analogue of a ranged TLBI.
-  Status UnmapRange(AsId as, Vaddr va, size_t count) override;
-  Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) override;
+  [[nodiscard]] Status UnmapRange(AsId as, Vaddr va, size_t count) override;
+  [[nodiscard]] Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
                                         FrameBodyRef body) override;

@@ -89,7 +89,7 @@ void MinimalVm::OnRegionMapped(RegionImpl& region, MutexLock& lock) {
     if (!frame.ok()) {
       break;  // partial maps surface as faults later; acceptable for the minimal MM
     }
-    mmu().Map(as, region.start() + delta, *frame, region.prot());
+    (void)mmu().Map(as, region.start() + delta, *frame, region.prot());
   }
 }
 
@@ -97,7 +97,7 @@ void MinimalVm::OnRegionUnmapping(RegionImpl& region) {
   auto& cache = static_cast<MinimalCache&>(region.cache());
   cache.mapping_count_--;
   // One batched invalidation for the whole region (holes no-op).
-  mmu().UnmapRange(region.context().address_space(), region.start(),
+  (void)mmu().UnmapRange(region.context().address_space(), region.start(),
                    region.size() / page_size());
 }
 
@@ -109,7 +109,7 @@ void MinimalVm::OnRegionSplit(RegionImpl& first, RegionImpl& second) {
 void MinimalVm::OnRegionProtection(RegionImpl& region) {
   // The protection is uniform across the region, so this is the textbook
   // ProtectRange consumer: one shootdown covers every downgraded page.
-  mmu().ProtectRange(region.context().address_space(), region.start(),
+  (void)mmu().ProtectRange(region.context().address_space(), region.start(),
                      region.size() / page_size(), region.prot());
 }
 

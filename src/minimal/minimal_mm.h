@@ -29,24 +29,24 @@ class MinimalCache final : public Cache {
   const std::string& name() const override { return name_; }
   SegmentDriver* driver() const override { return driver_; }
 
-  Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
+  [[nodiscard]] Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
                 CopyPolicy policy) override;
-  Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) override;
-  Status Read(SegOffset offset, void* buffer, size_t size) override;
-  Status Write(SegOffset offset, const void* buffer, size_t size) override;
-  Status Destroy() override;
+  [[nodiscard]] Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) override;
+  [[nodiscard]] Status Read(SegOffset offset, void* buffer, size_t size) override;
+  [[nodiscard]] Status Write(SegOffset offset, const void* buffer, size_t size) override;
+  [[nodiscard]] Status Destroy() override;
 
-  Status FillUp(SegOffset offset, const void* data, size_t size,
+  [[nodiscard]] Status FillUp(SegOffset offset, const void* data, size_t size,
                 Prot max_prot = Prot::kAll) override;
-  Status FillZero(SegOffset offset, size_t size) override;
-  Status CopyBack(SegOffset offset, void* buffer, size_t size) override;
-  Status MoveBack(SegOffset offset, void* buffer, size_t size) override;
-  Status Flush() override;
-  Status Sync() override;
-  Status Invalidate(SegOffset offset, size_t size) override;
-  Status SetProtection(SegOffset offset, size_t size, Prot max_prot) override;
-  Status LockInMemory(SegOffset offset, size_t size) override;
-  Status Unlock(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status FillZero(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status CopyBack(SegOffset offset, void* buffer, size_t size) override;
+  [[nodiscard]] Status MoveBack(SegOffset offset, void* buffer, size_t size) override;
+  [[nodiscard]] Status Flush() override;
+  [[nodiscard]] Status Sync() override;
+  [[nodiscard]] Status Invalidate(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status SetProtection(SegOffset offset, size_t size, Prot max_prot) override;
+  [[nodiscard]] Status LockInMemory(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status Unlock(SegOffset offset, size_t size) override;
 
   size_t ResidentPages() const override;
   size_t MappingCount() const override;
@@ -74,14 +74,14 @@ class MinimalVm final : public BaseMm {
   size_t CacheCount() const GVM_EXCLUDES(mu_);
 
  protected:
-  Status ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
+  [[nodiscard]] Status ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
                       MutexLock& lock) override GVM_REQUIRES(mu_);
   void OnRegionMapped(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
   void OnRegionUnmapping(RegionImpl& region) override GVM_REQUIRES(mu_);
   void OnRegionSplit(RegionImpl& first, RegionImpl& second) override GVM_REQUIRES(mu_);
   void OnRegionProtection(RegionImpl& region) override GVM_REQUIRES(mu_);
-  Status OnRegionLock(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
-  Status OnRegionUnlock(RegionImpl& region) override GVM_REQUIRES(mu_);
+  [[nodiscard]] Status OnRegionLock(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  [[nodiscard]] Status OnRegionUnlock(RegionImpl& region) override GVM_REQUIRES(mu_);
 
  private:
   friend class MinimalCache;
@@ -89,7 +89,7 @@ class MinimalVm final : public BaseMm {
   // Ensure the page exists (allocating + pulling data as needed); lock held.
   Result<FrameIndex> EnsurePage(MutexLock& lock, MinimalCache& cache,
                                 SegOffset page_offset) GVM_REQUIRES(mu_);
-  Status CacheAccess(MinimalCache& cache, SegOffset offset, void* buffer, size_t size,
+  [[nodiscard]] Status CacheAccess(MinimalCache& cache, SegOffset offset, void* buffer, size_t size,
                      bool write) GVM_EXCLUDES(mu_);
 
   CacheId next_cache_id_ GVM_GUARDED_BY(mu_) = 1;

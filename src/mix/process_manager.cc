@@ -127,7 +127,7 @@ Result<Pid> ProcessManager::Spawn(const std::string& path) {
   proc->actor = *actor;
   Status s = SetUpAddressSpace(*proc, path);
   if (s != Status::kOk) {
-    nucleus_.ActorDestroy(*actor);
+    (void)nucleus_.ActorDestroy(*actor);
     return s;
   }
   Pid pid = proc->pid;
@@ -165,7 +165,7 @@ Result<Pid> ProcessManager::Fork(Pid parent_pid, CopyPolicy policy) {
                                                region.address, policy);
     }
     if (!created.ok()) {
-      nucleus_.ActorDestroy(*actor);
+      (void)nucleus_.ActorDestroy(*actor);
       return created.status();
     }
   }
@@ -322,7 +322,7 @@ Result<VmStop> ProcessManager::Step(Process& proc) {
     case VmOp::kSys:
       switch (static_cast<VmSys>(static_cast<uint16_t>(insn.imm))) {
         case VmSys::kExit:
-          Exit(proc.pid, static_cast<int>(r[0]));
+          (void)Exit(proc.pid, static_cast<int>(r[0]));
           return VmStop::kHalted;
         case VmSys::kWrite: {
           std::vector<char> buffer(static_cast<size_t>(r[1]));
@@ -415,7 +415,7 @@ uint64_t ProcessManager::RunAll(uint64_t slice_steps, uint64_t budget_steps) {
       executed += Find(pid) != nullptr ? Find(pid)->steps_executed - before : slice_steps;
       any = true;
       if (stop.ok() && *stop == VmStop::kFault) {
-        Exit(pid, -11);  // "SIGSEGV"
+        (void)Exit(pid, -11);  // "SIGSEGV"
       }
     }
     if (!any) {

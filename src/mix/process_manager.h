@@ -63,7 +63,7 @@ class ProcessManager {
   ProcessManager(Nucleus& nucleus, FileMapper& filesystem, PortId filesystem_port);
 
   // Build a program image and store it as a file (the "compiler + linker").
-  Status InstallProgram(const std::string& path, const VmAssembler& text,
+  [[nodiscard]] Status InstallProgram(const std::string& path, const VmAssembler& text,
                         const std::vector<std::byte>& data, uint64_t data_reserve,
                         uint64_t stack_bytes);
 
@@ -72,8 +72,8 @@ class ProcessManager {
 
   // The Unix calls.
   Result<Pid> Fork(Pid parent, CopyPolicy policy = CopyPolicy::kHistory);
-  Status Exec(Pid pid, const std::string& path);
-  Status Exit(Pid pid, int status);
+  [[nodiscard]] Status Exec(Pid pid, const std::string& path);
+  [[nodiscard]] Status Exit(Pid pid, int status);
   // Reap a zombie child of `parent`; returns {pid, status}.
   Result<std::pair<Pid, int>> Wait(Pid parent);
 
@@ -91,7 +91,7 @@ class ProcessManager {
  private:
   // One interpreter step; may set pending_fork_.
   Result<VmStop> Step(Process& proc);
-  Status SetUpAddressSpace(Process& proc, const std::string& path);
+  [[nodiscard]] Status SetUpAddressSpace(Process& proc, const std::string& path);
   Result<ProgramHeader> ReadHeader(const Capability& image);
 
   Nucleus& nucleus_;

@@ -78,7 +78,7 @@ class Ipc {
   // Enqueue a message.  Fails with kNotFound if the port never existed,
   // kPortDead if it was destroyed, kInvalidArgument if the payload is oversized
   // ("Messages are of limited size").
-  Status Send(PortId to, Message message);
+  [[nodiscard]] Status Send(PortId to, Message message);
 
   // Dequeue the next message; blocks until one arrives or the port dies
   // (kPortDead).  The deadline overload additionally gives up with kTimeout

@@ -95,15 +95,15 @@ class JournaledSwapMapper final : public Mapper {
   RecoveryReport Recover() GVM_EXCLUDES(store_.mu_);
 
   // ---- Mapper ----
-  Status Read(uint64_t key, SegOffset offset, size_t size,
+  [[nodiscard]] Status Read(uint64_t key, SegOffset offset, size_t size,
               std::vector<std::byte>* out) override;
-  Status Write(uint64_t key, SegOffset offset, const std::byte* data,
+  [[nodiscard]] Status Write(uint64_t key, SegOffset offset, const std::byte* data,
                size_t size) override;
-  Status WriteSeq(uint64_t key, SegOffset offset, const std::byte* data,
+  [[nodiscard]] Status WriteSeq(uint64_t key, SegOffset offset, const std::byte* data,
                   size_t size, uint64_t seq) override;
   Result<uint64_t> AllocateTemporary(size_t size_hint) override;
   Result<uint64_t> AllocateTemporarySeq(size_t size_hint, uint64_t seq) override;
-  Status Free(uint64_t key) override;
+  [[nodiscard]] Status Free(uint64_t key) override;
   bool ConsumeCrash() override {
     return crash_pending_.exchange(false, std::memory_order_acq_rel);
   }
@@ -124,7 +124,7 @@ class JournaledSwapMapper final : public Mapper {
 
   // Appends a commit-marked record and applies it to the page area, honouring
   // the crash sites.  Caller passes the payload (empty for alloc/free).
-  Status JournalAndApply(RecordType type, uint64_t seq, uint64_t key,
+  [[nodiscard]] Status JournalAndApply(RecordType type, uint64_t seq, uint64_t key,
                          SegOffset offset, const std::byte* payload,
                          size_t payload_size);
 

@@ -125,7 +125,7 @@ void MapperServer::Stop() {
   // already exited — the join below still reaps the thread.
   Message poke;
   poke.operation = 0;
-  ipc_.Send(port_, std::move(poke));
+  (void)ipc_.Send(port_, std::move(poke));
   if (thread_.joinable()) {
     thread_.join();
   }
@@ -177,7 +177,7 @@ void MapperServer::ServeLoop() {
       return;  // crashed mid-dispatch: no reply, the loop dies with the port
     }
     if (request->reply_to.valid()) {
-      ipc_.Send(request->reply_to.port, std::move(*reply));
+      (void)ipc_.Send(request->reply_to.port, std::move(*reply));
     }
   }
 }

@@ -38,9 +38,9 @@ class Mapper {
  public:
   virtual ~Mapper() = default;
 
-  virtual Status Read(uint64_t key, SegOffset offset, size_t size,
+  [[nodiscard]] virtual Status Read(uint64_t key, SegOffset offset, size_t size,
                       std::vector<std::byte>* out) = 0;
-  virtual Status Write(uint64_t key, SegOffset offset, const std::byte* data,
+  [[nodiscard]] virtual Status Write(uint64_t key, SegOffset offset, const std::byte* data,
                        size_t size) = 0;
   // Default mappers only: allocate a temporary ("swap") segment.
   virtual Result<uint64_t> AllocateTemporary(size_t size_hint) {
@@ -51,7 +51,7 @@ class Mapper {
   // monotonic per-kernel sequence number, 0 = unsequenced).  Crash-safe mappers
   // override these to deduplicate re-issued requests after a restart; plain
   // mappers inherit the forwarding defaults.
-  virtual Status WriteSeq(uint64_t key, SegOffset offset, const std::byte* data,
+  [[nodiscard]] virtual Status WriteSeq(uint64_t key, SegOffset offset, const std::byte* data,
                           size_t size, uint64_t seq) {
     (void)seq;
     return Write(key, offset, data, size);
@@ -73,11 +73,11 @@ class Mapper {
   // latched before another dispatcher can append), so crash-capable mappers
   // must keep the default.
   virtual bool thread_safe_dispatch() const { return false; }
-  virtual Status Free(uint64_t key) {
+  [[nodiscard]] virtual Status Free(uint64_t key) {
     (void)key;
     return Status::kOk;
   }
-  virtual Status GetWriteAccess(uint64_t key, SegOffset offset, size_t size) {
+  [[nodiscard]] virtual Status GetWriteAccess(uint64_t key, SegOffset offset, size_t size) {
     (void)key;
     (void)offset;
     (void)size;
@@ -144,8 +144,8 @@ class MapperServer {
 
   Ipc& ipc_;
   Mapper& mapper_;
-  PortId port_;
-  std::thread thread_;
+  PortId port_;         // gvm-lint: allow(annotation-coverage): set in the constructor, before any other thread sees the server
+  std::thread thread_;  // gvm-lint: allow(annotation-coverage): started/joined only from the owning thread (Start/Stop/Restart)
   // Serializes dispatch into the mapper (the in-process analogue of the single
   // serve thread); rank kMapperServe sits below the mapper stores (kClient).
   // Not taken for mappers with thread_safe_dispatch() — see Serve().
@@ -168,11 +168,11 @@ class SwapMapper final : public Mapper {
  public:
   explicit SwapMapper(size_t page_size) : page_size_(page_size) {}
 
-  Status Read(uint64_t key, SegOffset offset, size_t size,
+  [[nodiscard]] Status Read(uint64_t key, SegOffset offset, size_t size,
               std::vector<std::byte>* out) override;
-  Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override;
+  [[nodiscard]] Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override;
   Result<uint64_t> AllocateTemporary(size_t size_hint) override;
-  Status Free(uint64_t key) override;
+  [[nodiscard]] Status Free(uint64_t key) override;
 
   size_t SegmentCount() const { return segments_.size(); }
   // Bytes currently stored for a segment (for swap-usage assertions).
@@ -203,9 +203,9 @@ class FileMapper final : public Mapper {
   Result<size_t> FileSize(uint64_t key) const;
   std::vector<std::string> ListFiles() const;
 
-  Status Read(uint64_t key, SegOffset offset, size_t size,
+  [[nodiscard]] Status Read(uint64_t key, SegOffset offset, size_t size,
               std::vector<std::byte>* out) override;
-  Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override;
+  [[nodiscard]] Status Write(uint64_t key, SegOffset offset, const std::byte* data, size_t size) override;
 
   int reads = 0;
   int writes = 0;

@@ -183,7 +183,7 @@ TransitSegment::TransitSegment(MemoryManager& mm, size_t slot_count) : mm_(mm) {
   in_use_.resize(slot_count, false);
 }
 
-TransitSegment::~TransitSegment() { cache_->Destroy(); }
+TransitSegment::~TransitSegment() { (void)cache_->Destroy(); }
 
 Result<size_t> TransitSegment::AllocateSlot() {
   for (size_t i = 0; i < in_use_.size(); ++i) {
@@ -219,7 +219,7 @@ Nucleus::Nucleus(MemoryManager& mm, Options options) : mm_(mm) {
 
 Nucleus::~Nucleus() {
   while (!actors_.empty()) {
-    ActorDestroy(actors_.begin()->second.get());
+    (void)ActorDestroy(actors_.begin()->second.get());
   }
 }
 

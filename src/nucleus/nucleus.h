@@ -59,15 +59,15 @@ class Actor {
                                    CopyPolicy policy = CopyPolicy::kAuto);
 
   // Destroy a region and release its cache reference.
-  Status RgnFree(Region* region);
+  [[nodiscard]] Status RgnFree(Region* region);
 
   // Destroy every region (exec teardown).
-  Status RgnFreeAll();
+  [[nodiscard]] Status RgnFreeAll();
 
   // Convenience accessors driving the simulated CPU against this actor.
-  Status Read(Vaddr va, void* buffer, size_t size);
-  Status Write(Vaddr va, const void* buffer, size_t size);
-  Status Fetch(Vaddr va, void* buffer, size_t size);
+  [[nodiscard]] Status Read(Vaddr va, void* buffer, size_t size);
+  [[nodiscard]] Status Write(Vaddr va, const void* buffer, size_t size);
+  [[nodiscard]] Status Fetch(Vaddr va, void* buffer, size_t size);
 
  private:
   friend class Nucleus;
@@ -119,21 +119,21 @@ class Nucleus {
 
   // ---- Actors ----
   Result<Actor*> ActorCreate(std::string name);
-  Status ActorDestroy(Actor* actor);
+  [[nodiscard]] Status ActorDestroy(Actor* actor);
   size_t ActorCount() const { return actors_.size(); }
 
   // ---- IPC with memory-managed payloads (section 5.1.6) ----
   // Send `size` bytes starting at `va` in `sender` to a port.  Data travels
   // through a transit slot: deferred per-page copy when page-aligned and large,
   // plain copy ("bcopy") otherwise — exactly the paper's strategy.
-  Status MsgSendFromRegion(Actor& sender, PortId to, uint64_t operation, Vaddr va,
+  [[nodiscard]] Status MsgSendFromRegion(Actor& sender, PortId to, uint64_t operation, Vaddr va,
                            size_t size);
   // Receive into `receiver` at `va`; uses cache.move out of the transit slot.
   Result<Message> MsgReceiveToRegion(Actor& receiver, PortId port, Vaddr va,
                                      size_t max_size);
 
   // Plain small-message IPC.
-  Status MsgSend(PortId to, Message message) { return ipc_.Send(to, std::move(message)); }
+  [[nodiscard]] Status MsgSend(PortId to, Message message) { return ipc_.Send(to, std::move(message)); }
   Result<Message> MsgReceive(PortId port) { return ipc_.Receive(port); }
 
   Ipc& ipc() { return ipc_; }

@@ -67,8 +67,7 @@ class SegmentManagerDriver final : public SegmentDriver {
 };
 
 SegmentManager::SegmentManager(MemoryManager& mm, Ipc& ipc, Options options)
-    : mm_(mm), ipc_(ipc), options_(options) {
-  local_port_ = ipc_.PortCreate();
+    : mm_(mm), ipc_(ipc), options_(options), local_port_(ipc.PortCreate()) {
   mm_.BindSegmentRegistry(this);
 }
 
@@ -111,7 +110,7 @@ Capability SegmentManager::AdoptTempSegment(const std::shared_ptr<Capability>& s
     }
   }
   if (lost) {
-    MapperFree(fresh);
+    (void)MapperFree(fresh);
   }
   return winner;
 }
@@ -394,7 +393,7 @@ void SegmentManager::Release(Cache* cache) {
   }
   for (Cache* victim : doomed) {
     if (victim != nullptr) {
-      victim->Destroy();
+      (void)victim->Destroy();
     }
   }
 }

@@ -145,15 +145,15 @@ class SegmentManager : public SegmentRegistry {
 
   // Mapper RPC used by the drivers (marshals into the wire protocol).  All are
   // called with mu_ released: an RPC may block for a full deadline.
-  Status MapperRead(const Capability& segment, SegOffset offset, size_t size,
+  [[nodiscard]] Status MapperRead(const Capability& segment, SegOffset offset, size_t size,
                     std::vector<std::byte>* out, Prot* max_prot = nullptr)
       GVM_EXCLUDES(mu_);
-  Status MapperWrite(const Capability& segment, SegOffset offset, const std::byte* data,
+  [[nodiscard]] Status MapperWrite(const Capability& segment, SegOffset offset, const std::byte* data,
                      size_t size) GVM_EXCLUDES(mu_);
-  Status MapperWriteAccess(const Capability& segment, SegOffset offset, size_t size)
+  [[nodiscard]] Status MapperWriteAccess(const Capability& segment, SegOffset offset, size_t size)
       GVM_EXCLUDES(mu_);
   Result<Capability> MapperAllocTemp(size_t size_hint) GVM_EXCLUDES(mu_);
-  Status MapperFree(const Capability& segment) GVM_EXCLUDES(mu_);
+  [[nodiscard]] Status MapperFree(const Capability& segment) GVM_EXCLUDES(mu_);
   Result<Message> MapperCall(PortId port, Message request) GVM_EXCLUDES(mu_);
   // One logical RPC under the retry policy: evaluates the injection site, issues
   // the call, retries transient kBusError/kTimeout with deterministic backoff
@@ -181,7 +181,7 @@ class SegmentManager : public SegmentRegistry {
 
   MemoryManager& mm_;
   Ipc& ipc_;
-  Options options_;
+  const Options options_;
   std::atomic<FaultInjector*> injector_{nullptr};
   // Monotonic sequence numbers stamped into Message::arg2, one per *logical*
   // state-changing RPC (retries re-use the number: that is what makes them
@@ -200,7 +200,7 @@ class SegmentManager : public SegmentRegistry {
   std::vector<std::unique_ptr<SegmentDriver>> driver_graveyard_ GVM_GUARDED_BY(mu_);
   // Unreferenced entries in LRU order (front = oldest), for segment caching.
   std::list<Entry*> unreferenced_ GVM_GUARDED_BY(mu_);
-  PortId local_port_ = kInvalidPort;  // port identifying this manager's capabilities
+  const PortId local_port_;  // port identifying this manager's capabilities
   uint64_t next_local_key_ GVM_GUARDED_BY(mu_) = 1;
   uint64_t temp_counter_ GVM_GUARDED_BY(mu_) = 0;
   Stats stats_ GVM_GUARDED_BY(mu_);

@@ -325,7 +325,7 @@ Status PagedVm::CacheSetProtection(MutexLock& lock, PvmCache& cache,
       // Re-derive every mapping's hardware protection under the new cap.
       for (const MappingRef& ref : owned->mappings) {
         bool foreign = ref.via_cache != owned->cache;
-        mmu().Protect(ref.as, ref.va, EffectiveProt(*ref.region, *owned, foreign));
+        (void)mmu().Protect(ref.as, ref.va, EffectiveProt(*ref.region, *owned, foreign));
       }
     }
   }

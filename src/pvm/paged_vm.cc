@@ -309,7 +309,7 @@ void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot pr
     PageDesc* old = it->second;
     if (old == &page) {
       // Same page, new protection.
-      mmu().Map(region.context().address_space(), page_va, page.frame, prot);
+      (void)mmu().Map(region.context().address_space(), page_va, page.frame, prot);
       return;
     }
     // Replace the previous mapping (e.g. an ancestor page superseded by a private
@@ -324,7 +324,7 @@ void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot pr
     rmap.erase(it);
   }
   AsId as = region.context().address_space();
-  mmu().Map(as, page_va, page.frame, prot);
+  (void)mmu().Map(as, page_va, page.frame, prot);
   page.mappings.push_back(
       MappingRef{.as = as, .va = page_va, .region = &region, .via_cache = &via_cache});
   rmap[page_va] = &page;
@@ -332,7 +332,7 @@ void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot pr
 
 void PagedVm::UnmapMapping(PageDesc& page, size_t index) {
   const MappingRef ref = page.mappings[index];
-  mmu().Unmap(ref.as, ref.va);
+  (void)mmu().Unmap(ref.as, ref.va);
   auto rm_it = region_maps_.find(ref.region);
   if (rm_it != region_maps_.end()) {
     rm_it->second.erase(ref.va);
@@ -361,7 +361,7 @@ void PagedVm::RemoveForeignMappings(PageDesc& page) {
 void PagedVm::WriteProtectPage(PageDesc& page) {
   for (const MappingRef& ref : page.mappings) {
     Prot prot = EffectiveProt(*ref.region, page, /*foreign=*/ref.via_cache != page.cache);
-    mmu().Protect(ref.as, ref.va, prot & ~Prot::kWrite);
+    (void)mmu().Protect(ref.as, ref.va, prot & ~Prot::kWrite);
   }
 }
 
@@ -1020,13 +1020,13 @@ void PagedVm::OnRegionUnmapping(RegionImpl& region) {
         continue;
       }
       if (run_end != 0) {
-        mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
+        (void)mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
       }
       run_start = va;
       run_end = va + page_bytes;
     }
     if (run_end != 0) {
-      mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
+      (void)mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
     }
     region_maps_.erase(it);
   }
@@ -1072,7 +1072,7 @@ void PagedVm::OnRegionProtection(RegionImpl& region) {
     for (const MappingRef& ref : page->mappings) {
       if (ref.region == &region && ref.va == va) {
         bool foreign = ref.via_cache != page->cache;
-        mmu().Protect(ref.as, va, EffectiveProt(region, *page, foreign));
+        (void)mmu().Protect(ref.as, va, EffectiveProt(region, *page, foreign));
         break;
       }
     }

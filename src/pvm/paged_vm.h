@@ -138,18 +138,18 @@ class PagedVm final : public BaseMm {
   std::string DumpStats() const;
   // Walks every structural invariant (tree shape, reverse-map consistency, global
   // map consistency); returns kOk or fails fast with a log of the violation.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  protected:
   // ---- BaseMm hooks ----
-  Status ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
+  [[nodiscard]] Status ResolveFault(RegionImpl& region, const PageFault& fault, SegOffset page_offset,
                       MutexLock& lock) override GVM_REQUIRES(mu_);
   void OnRegionMapped(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
   void OnRegionUnmapping(RegionImpl& region) override GVM_REQUIRES(mu_);
   void OnRegionSplit(RegionImpl& first, RegionImpl& second) override GVM_REQUIRES(mu_);
   void OnRegionProtection(RegionImpl& region) override GVM_REQUIRES(mu_);
-  Status OnRegionLock(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
-  Status OnRegionUnlock(RegionImpl& region) override GVM_REQUIRES(mu_);
+  [[nodiscard]] Status OnRegionLock(RegionImpl& region, MutexLock& lock) override GVM_REQUIRES(mu_);
+  [[nodiscard]] Status OnRegionUnlock(RegionImpl& region) override GVM_REQUIRES(mu_);
 
  private:
   friend class PvmCache;
@@ -218,18 +218,18 @@ class PagedVm final : public BaseMm {
 
   // Push the original value of an owned page into the history object covering it,
   // if one exists and lacks its own version (sections 4.2.2 / 4.2.3).
-  Status PushToHistory(MutexLock& lock, PvmCache& cache, PageDesc& page,
+  [[nodiscard]] Status PushToHistory(MutexLock& lock, PvmCache& cache, PageDesc& page,
                        bool* dropped_lock) GVM_REQUIRES(mu_);
 
   // Detach all per-page stubs threaded on `page` before its value changes: give
   // them one shared copy of the original value (section 4.3 write-violation rule).
-  Status DetachStubs(MutexLock& lock, PageDesc& page, bool* dropped_lock) GVM_REQUIRES(mu_);
+  [[nodiscard]] Status DetachStubs(MutexLock& lock, PageDesc& page, bool* dropped_lock) GVM_REQUIRES(mu_);
 
   // Ensure no per-page stub still *depends* on the value of (cache, page_offset):
   // called before that value is overwritten wholesale (copy-into, move-out,
   // invalidate).  Threaded stubs are detached via DetachStubs; non-resident-form
   // stubs get a materialized shared copy of the current value.
-  Status MaterializeStubsOf(MutexLock& lock, PvmCache& cache,
+  [[nodiscard]] Status MaterializeStubsOf(MutexLock& lock, PvmCache& cache,
                             SegOffset page_offset) GVM_REQUIRES(mu_);
 
   // ---- Per-page stub link maintenance ----
@@ -243,38 +243,38 @@ class PagedVm final : public BaseMm {
   void AdoptInboundStubs(PvmCache& cache, PageDesc& page) GVM_REQUIRES(mu_);
 
   // ---- Upcalls (drop the lock internally) ----
-  Status PullInLocked(MutexLock& lock, PvmCache& cache,
+  [[nodiscard]] Status PullInLocked(MutexLock& lock, PvmCache& cache,
                       SegOffset page_offset, Access access) GVM_REQUIRES(mu_);
   // Fault-around (see Options::pullin_cluster_pages): after the primary fault at
   // `primary_va` resolved, opportunistically pull in and map following pages.
   void ClusterPullIns(MutexLock& lock, const PageFault& fault,
                       Vaddr primary_va) GVM_REQUIRES(mu_);
-  Status PushOutPageLocked(MutexLock& lock, PvmCache& cache, PageDesc& page,
+  [[nodiscard]] Status PushOutPageLocked(MutexLock& lock, PvmCache& cache, PageDesc& page,
                            bool free_after) GVM_REQUIRES(mu_);
   // Assign a segment to an MM-created/temporary cache via segmentCreate.
-  Status EnsureDriver(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
+  [[nodiscard]] Status EnsureDriver(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
 
   // ---- Copy engines (called from PvmCache, lock held) ----
-  Status CopyRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
+  [[nodiscard]] Status CopyRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
                    PvmCache& dst, SegOffset dst_off, size_t size, CopyPolicy policy) GVM_REQUIRES(mu_);
-  Status EagerCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+  [[nodiscard]] Status EagerCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
                    PvmCache& dst, SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
-  Status HistoryCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+  [[nodiscard]] Status HistoryCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
                      PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference) GVM_REQUIRES(mu_);
-  Status PerPageCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+  [[nodiscard]] Status PerPageCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
                      PvmCache& dst, SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
-  Status MoveRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
+  [[nodiscard]] Status MoveRange(MutexLock& lock, PvmCache& src, SegOffset src_off,
                    PvmCache& dst, SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
 
   // Discard `dst`'s own state over [dst_off, dst_off+size) prior to its logical
   // overwrite by a copy: owned pages are first offered to dst's history.
-  Status ClearDestinationRange(MutexLock& lock, PvmCache& dst,
+  [[nodiscard]] Status ClearDestinationRange(MutexLock& lock, PvmCache& dst,
                                SegOffset dst_off, size_t size) GVM_REQUIRES(mu_);
 
   // Before `cache`'s contents over the range change wholesale (copy-into or move
   // source), materialize its current values into any history object covering the
   // range, making the history self-sufficient.
-  Status SecureHistorySnapshots(MutexLock& lock, PvmCache& cache,
+  [[nodiscard]] Status SecureHistorySnapshots(MutexLock& lock, PvmCache& cache,
                                 SegOffset offset, size_t size) GVM_REQUIRES(mu_);
 
   // Write-protect the owned pages of `src` in a range (copy source preparation).
@@ -283,13 +283,13 @@ class PagedVm final : public BaseMm {
   // ---- History-tree surgery (history.cc) ----
   // Link dst as the deferred copy of src over the given fragments, inserting a
   // working object when src already has a history there (section 4.2.3).
-  Status LinkCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
+  [[nodiscard]] Status LinkCopy(MutexLock& lock, PvmCache& src, SegOffset src_off,
                   PvmCache& dst, SegOffset dst_off, size_t size, bool copy_on_reference) GVM_REQUIRES(mu_);
 
   // ---- Cache lifetime ----
   Result<PvmCache*> CreateCacheLocked(SegmentDriver* driver, std::string name,
                                       bool temporary) GVM_REQUIRES(mu_);
-  Status DestroyCacheLocked(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
+  [[nodiscard]] Status DestroyCacheLocked(MutexLock& lock, PvmCache& cache) GVM_REQUIRES(mu_);
   bool CacheHasDependents(const PvmCache& cache) const GVM_REQUIRES(mu_);
   // Distinct caches whose parent links target `parent`, sorted by id.
   std::vector<PvmCache*> ChildrenOfCache(PvmCache* parent) const GVM_REQUIRES(mu_);
@@ -301,20 +301,20 @@ class PagedVm final : public BaseMm {
   void ReleasePages(PvmCache& cache) GVM_REQUIRES(mu_);  // free all pages, stubs and map entries
 
   // ---- Explicit I/O and cache management (io.cc) ----
-  Status CacheRead(MutexLock& lock, PvmCache& cache, SegOffset offset,
+  [[nodiscard]] Status CacheRead(MutexLock& lock, PvmCache& cache, SegOffset offset,
                    void* buffer, size_t size) GVM_REQUIRES(mu_);
-  Status CacheWrite(MutexLock& lock, PvmCache& cache, SegOffset offset,
+  [[nodiscard]] Status CacheWrite(MutexLock& lock, PvmCache& cache, SegOffset offset,
                     const void* buffer, size_t size) GVM_REQUIRES(mu_);
-  Status CacheFillUp(MutexLock& lock, PvmCache& cache, SegOffset offset,
+  [[nodiscard]] Status CacheFillUp(MutexLock& lock, PvmCache& cache, SegOffset offset,
                      const void* data, size_t size, Prot max_prot) GVM_REQUIRES(mu_);
-  Status CacheCopyBack(MutexLock& lock, PvmCache& cache, SegOffset offset,
+  [[nodiscard]] Status CacheCopyBack(MutexLock& lock, PvmCache& cache, SegOffset offset,
                        void* buffer, size_t size, bool remove) GVM_REQUIRES(mu_);
-  Status CacheFlush(MutexLock& lock, PvmCache& cache, bool discard) GVM_REQUIRES(mu_);
-  Status CacheInvalidate(MutexLock& lock, PvmCache& cache, SegOffset offset,
+  [[nodiscard]] Status CacheFlush(MutexLock& lock, PvmCache& cache, bool discard) GVM_REQUIRES(mu_);
+  [[nodiscard]] Status CacheInvalidate(MutexLock& lock, PvmCache& cache, SegOffset offset,
                          size_t size) GVM_REQUIRES(mu_);
-  Status CacheSetProtection(MutexLock& lock, PvmCache& cache,
+  [[nodiscard]] Status CacheSetProtection(MutexLock& lock, PvmCache& cache,
                             SegOffset offset, size_t size, Prot max_prot) GVM_REQUIRES(mu_);
-  Status CacheLockRange(MutexLock& lock, PvmCache& cache, SegOffset offset,
+  [[nodiscard]] Status CacheLockRange(MutexLock& lock, PvmCache& cache, SegOffset offset,
                         size_t size, bool lock_pages) GVM_REQUIRES(mu_);
 
   // ---- Page-out (pageout.cc) ----

@@ -51,24 +51,24 @@ class PvmCache final : public Cache {
   const std::string& name() const override { return name_; }
   SegmentDriver* driver() const override { return driver_; }
 
-  Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
+  [[nodiscard]] Status CopyTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size,
                 CopyPolicy policy) override;
-  Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) override;
-  Status Read(SegOffset offset, void* buffer, size_t size) override;
-  Status Write(SegOffset offset, const void* buffer, size_t size) override;
-  Status Destroy() override;
+  [[nodiscard]] Status MoveTo(Cache& dst, SegOffset src_offset, SegOffset dst_offset, size_t size) override;
+  [[nodiscard]] Status Read(SegOffset offset, void* buffer, size_t size) override;
+  [[nodiscard]] Status Write(SegOffset offset, const void* buffer, size_t size) override;
+  [[nodiscard]] Status Destroy() override;
 
-  Status FillUp(SegOffset offset, const void* data, size_t size,
+  [[nodiscard]] Status FillUp(SegOffset offset, const void* data, size_t size,
                 Prot max_prot = Prot::kAll) override;
-  Status FillZero(SegOffset offset, size_t size) override;
-  Status CopyBack(SegOffset offset, void* buffer, size_t size) override;
-  Status MoveBack(SegOffset offset, void* buffer, size_t size) override;
-  Status Flush() override;
-  Status Sync() override;
-  Status Invalidate(SegOffset offset, size_t size) override;
-  Status SetProtection(SegOffset offset, size_t size, Prot max_prot) override;
-  Status LockInMemory(SegOffset offset, size_t size) override;
-  Status Unlock(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status FillZero(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status CopyBack(SegOffset offset, void* buffer, size_t size) override;
+  [[nodiscard]] Status MoveBack(SegOffset offset, void* buffer, size_t size) override;
+  [[nodiscard]] Status Flush() override;
+  [[nodiscard]] Status Sync() override;
+  [[nodiscard]] Status Invalidate(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status SetProtection(SegOffset offset, size_t size, Prot max_prot) override;
+  [[nodiscard]] Status LockInMemory(SegOffset offset, size_t size) override;
+  [[nodiscard]] Status Unlock(SegOffset offset, size_t size) override;
 
   size_t ResidentPages() const override;
   size_t MappingCount() const override;

@@ -202,7 +202,7 @@ Result<ShadowPage*> ShadowVm::MakePage(MemObject& object, SegOffset offset,
 
 void ShadowVm::DropPage(MemObject& object, ShadowPage& page) {
   for (const ShadowPage::Mapping& ref : page.mappings) {
-    mmu().Unmap(ref.as, ref.va);
+    (void)mmu().Unmap(ref.as, ref.va);
     auto rm = region_maps_.find(ref.region);
     if (rm != region_maps_.end()) {
       rm->second.erase(ref.va);
@@ -318,7 +318,7 @@ Status ShadowVm::ResolveFault(RegionImpl& region, const PageFault& fault,
       }
       rmap.erase(prev);
     }
-    mmu().Map(as, page_va, page->frame, prot);
+    (void)mmu().Map(as, page_va, page->frame, prot);
     page->mappings.push_back(ShadowPage::Mapping{as, page_va, &region});
     rmap[page_va] = {owner, page->offset};
     result = Status::kOk;
@@ -336,7 +336,7 @@ void ShadowVm::ProtectObjectRange(MemObject& object, SegOffset offset, size_t si
   for (auto it = object.pages_.lower_bound(offset);
        it != object.pages_.end() && it->first < offset + size; ++it) {
     for (const ShadowPage::Mapping& ref : it->second.mappings) {
-      mmu().Protect(ref.as, ref.va, ref.region->prot() & ~Prot::kWrite);
+      (void)mmu().Protect(ref.as, ref.va, ref.region->prot() & ~Prot::kWrite);
     }
     ++mutable_stats().deferred_copy_pages;
   }
@@ -383,7 +383,7 @@ Status ShadowVm::CopyRange(MutexLock& lock, ShadowCache& src,
     for (size_t i = it->second.mappings.size(); i > 0; --i) {
       const ShadowPage::Mapping& ref = it->second.mappings[i - 1];
       if (&ref.region->cache() == &dst) {
-        mmu().Unmap(ref.as, ref.va);
+        (void)mmu().Unmap(ref.as, ref.va);
         auto rm = region_maps_.find(ref.region);
         if (rm != region_maps_.end()) {
           rm->second.erase(ref.va);
@@ -603,13 +603,13 @@ void ShadowVm::OnRegionUnmapping(RegionImpl& region) {
         continue;
       }
       if (run_end != 0) {
-        mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
+        (void)mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
       }
       run_start = va;
       run_end = va + page_bytes;
     }
     if (run_end != 0) {
-      mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
+      (void)mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
     }
     region_maps_.erase(it);
   }
@@ -652,7 +652,7 @@ void ShadowVm::OnRegionProtection(RegionImpl& region) {
     if (where.first != cache.top_) {
       prot = prot & ~Prot::kWrite;
     }
-    mmu().Protect(region.context().address_space(), va, prot);
+    (void)mmu().Protect(region.context().address_space(), va, prot);
   }
 }
 

@@ -38,11 +38,11 @@ class RegionImpl final : public Region {
              Cache& cache, SegOffset offset);
 
   Result<Region*> Split(uint64_t offset) override;
-  Status SetProtection(Prot prot) override;
-  Status LockInMemory() override;
-  Status Unlock() override;
+  [[nodiscard]] Status SetProtection(Prot prot) override;
+  [[nodiscard]] Status LockInMemory() override;
+  [[nodiscard]] Status Unlock() override;
   RegionStatus GetStatus() const override;
-  Status Destroy() override;
+  [[nodiscard]] Status Destroy() override;
 
   // Accessors used by the managers (with the MM lock held).
   Vaddr start() const { return start_; }
@@ -87,7 +87,7 @@ class ContextImpl final : public Context {
   std::vector<RegionStatus> GetRegionList() const override;
   Result<Region*> FindRegion(Vaddr va) override;
   void Switch() override;
-  Status Destroy() override;
+  [[nodiscard]] Status Destroy() override;
   AsId address_space() const override { return as_; }
 
  private:
@@ -133,7 +133,7 @@ class BaseMm : public MemoryManager {
   }
 
   // ---- FaultHandler ----
-  Status HandleFault(const PageFault& fault) override GVM_EXCLUDES(mu_);
+  [[nodiscard]] Status HandleFault(const PageFault& fault) override GVM_EXCLUDES(mu_);
 
   PhysicalMemory& memory() { return memory_; }
   const PhysicalMemory& memory() const { return memory_; }
@@ -154,7 +154,7 @@ class BaseMm : public MemoryManager {
   // within the region's cache.  kOk means "mapping installed, retry the access".
   // `lock` is the guard HandleFault owns; implementations that must upcall to a
   // segment driver drop and retake it through `lock` (see PagedVm::PullInLocked).
-  virtual Status ResolveFault(RegionImpl& region, const PageFault& fault,
+  [[nodiscard]] virtual Status ResolveFault(RegionImpl& region, const PageFault& fault,
                               SegOffset page_offset, MutexLock& lock) GVM_REQUIRES(mu_) = 0;
 
   // A region was mapped over `cache` / is about to be unmapped.  Subclasses track
@@ -174,8 +174,8 @@ class BaseMm : public MemoryManager {
 
   // Pin / unpin the region's pages (lockInMemory may need to fault pages in, so it
   // may release and retake the lock via `lock`).
-  virtual Status OnRegionLock(RegionImpl& region, MutexLock& lock) GVM_REQUIRES(mu_) = 0;
-  virtual Status OnRegionUnlock(RegionImpl& region) GVM_REQUIRES(mu_) = 0;
+  [[nodiscard]] virtual Status OnRegionLock(RegionImpl& region, MutexLock& lock) GVM_REQUIRES(mu_) = 0;
+  [[nodiscard]] virtual Status OnRegionUnlock(RegionImpl& region) GVM_REQUIRES(mu_) = 0;
 
   // Re-derive the region for a fault after the lock was dropped (the region may
   // have been destroyed or replaced in the meantime).  Lock must be held.
@@ -197,15 +197,15 @@ class BaseMm : public MemoryManager {
   friend class ContextImpl;
   friend class RegionImpl;
 
-  Status DestroyContextLocked(ContextImpl& context) GVM_REQUIRES(mu_);
-  Status DestroyRegionLocked(RegionImpl& region) GVM_REQUIRES(mu_);
+  [[nodiscard]] Status DestroyContextLocked(ContextImpl& context) GVM_REQUIRES(mu_);
+  [[nodiscard]] Status DestroyRegionLocked(RegionImpl& region) GVM_REQUIRES(mu_);
   Result<Region*> SplitRegionLocked(RegionImpl& region, uint64_t offset) GVM_REQUIRES(mu_);
 
   PhysicalMemory& memory_;
-  TlbMmu tlb_mmu_;  // wraps the constructor's Mmu; declared before mmu_/cpu_
+  TlbMmu tlb_mmu_;  // wraps the constructor's Mmu; declared before mmu_/cpu_ (gvm-lint: allow(annotation-coverage): internally synchronized)
   Mmu& mmu_;        // == tlb_mmu_: every manager MMU call goes through the TLB
-  Cpu cpu_;
-  SegmentRegistry* registry_ = nullptr;
+  Cpu cpu_;  // gvm-lint: allow(annotation-coverage): internally synchronized (per-CPU state + TlbMmu)
+  SegmentRegistry* registry_ = nullptr;  // gvm-lint: allow(annotation-coverage): bound once during single-threaded bring-up
   std::unordered_map<AsId, std::unique_ptr<ContextImpl>> contexts_ GVM_GUARDED_BY(mu_);
   ContextImpl* current_context_ GVM_GUARDED_BY(mu_) = nullptr;
   MmStats stats_ GVM_GUARDED_BY(mu_);

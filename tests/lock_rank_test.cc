@@ -24,7 +24,7 @@ void InversionBody() {
   Mutex shard{Rank::kMmuShard, "death::shard"};
   Mutex ipc{Rank::kIpc, "death::ipc"};
   MutexLock a(shard);
-  MutexLock b(ipc);  // rank 20 after rank 40: inversion
+  MutexLock b(ipc);  // rank 20 after rank 40: inversion (gvm-lint: allow(lock-rank): death-test payload)
 }
 
 void EqualRankBody() {
@@ -32,14 +32,14 @@ void EqualRankBody() {
   SharedMutex s0{Rank::kMmuShard, "death::shard0"};
   SharedMutex s1{Rank::kMmuShard, "death::shard1"};
   WriterLock a(s0);
-  WriterLock b(s1);  // two shards at once: equal rank is an inversion too
+  WriterLock b(s1);  // two shards at once: equal rank is an inversion too (gvm-lint: allow(lock-rank): death-test payload)
 }
 
 void RecursiveBody() {
   lock_rank::SetEnforced(true);
   Mutex mu{Rank::kMmManager, "death::recursive"};
   mu.Lock();
-  mu.Lock();  // self-deadlock; must abort, not hang
+  mu.Lock();  // self-deadlock; must abort, not hang (gvm-lint: allow(lock-rank): death-test payload)
 }
 
 void AssertNotHeldBody() {
@@ -65,7 +65,7 @@ void DsmDirectoryUnderMapperBody() {
   Mutex wal{Rank::kClient, "death::dsm_wal"};
   Mutex directory{Rank::kDsmDirectory, "death::dsm_directory"};
   MutexLock a(wal);
-  MutexLock b(directory);  // rank 7 after rank 10: inversion
+  MutexLock b(directory);  // rank 7 after rank 10: inversion (gvm-lint: allow(lock-rank): death-test payload)
 }
 
 void DsmNetUnderDirectoryReversedBody() {
@@ -73,7 +73,7 @@ void DsmNetUnderDirectoryReversedBody() {
   Mutex net{Rank::kDsmNet, "death::dsm_net"};
   Mutex directory{Rank::kDsmDirectory, "death::dsm_directory"};
   MutexLock a(net);
-  MutexLock b(directory);  // rank 7 after rank 8: inversion
+  MutexLock b(directory);  // rank 7 after rank 8: inversion (gvm-lint: allow(lock-rank): death-test payload)
 }
 
 // The deadlock hunter: two threads take two equal-rank "shards" in opposite
@@ -189,7 +189,7 @@ TEST_F(LockRankTest, DisabledEnforcementDoesNotAbort) {
   Mutex ipc{Rank::kIpc, "test::ipc"};
   {
     MutexLock a(shard);
-    MutexLock b(ipc);  // inversion, but unchecked
+    MutexLock b(ipc);  // inversion, but unchecked (gvm-lint: allow(lock-rank): enforcement disabled here)
   }
   lock_rank::SetEnforced(true);
 }

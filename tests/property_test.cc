@@ -155,7 +155,7 @@ TEST_P(DifferentialTest, RandomScheduleMatchesReferenceModel) {
         b = static_cast<std::byte>(rng.Below(256));
       }
       ASSERT_EQ(live[id]->Write(off, data.data(), size), Status::kOk) << "step " << step;
-      ref.Write(id, off, data.data(), size);
+      (void)ref.Write(id, off, data.data(), size);
     } else if (roll < 70 && live.size() >= 2) {
       // Page-aligned copy with a random policy (deferred policies need alignment).
       int src = pick();
@@ -180,21 +180,21 @@ TEST_P(DifferentialTest, RandomScheduleMatchesReferenceModel) {
       std::vector<std::byte> got(size);
       std::vector<std::byte> want(size);
       ASSERT_EQ(live[id]->Read(off, got.data(), size), Status::kOk) << "step " << step;
-      ref.Read(id, off, want.data(), size);
+      (void)ref.Read(id, off, want.data(), size);
       ASSERT_EQ(std::memcmp(got.data(), want.data(), size), 0)
           << "divergence at step " << step << " seg " << id << " off " << off;
     } else if (roll < 95 && live.size() > 1) {
       int id = pick();
       ASSERT_EQ(live[id]->Destroy(), Status::kOk) << "step " << step;
       live.erase(id);
-      ref.Destroy(id);
+      (void)ref.Destroy(id);
     } else {
       // Full-segment audit of a random segment.
       int id = pick();
       std::vector<std::byte> got(kSegBytes);
       std::vector<std::byte> want(kSegBytes);
       ASSERT_EQ(live[id]->Read(0, got.data(), kSegBytes), Status::kOk);
-      ref.Read(id, 0, want.data(), kSegBytes);
+      (void)ref.Read(id, 0, want.data(), kSegBytes);
       ASSERT_EQ(std::memcmp(got.data(), want.data(), kSegBytes), 0)
           << "audit divergence at step " << step << " seg " << id;
     }
@@ -207,7 +207,7 @@ TEST_P(DifferentialTest, RandomScheduleMatchesReferenceModel) {
     std::vector<std::byte> got(kSegBytes);
     std::vector<std::byte> want(kSegBytes);
     ASSERT_EQ(cache->Read(0, got.data(), kSegBytes), Status::kOk);
-    ref.Read(id, 0, want.data(), kSegBytes);
+    (void)ref.Read(id, 0, want.data(), kSegBytes);
     ASSERT_EQ(std::memcmp(got.data(), want.data(), kSegBytes), 0) << "final audit seg " << id;
   }
   if (world.pvm != nullptr) {

@@ -539,7 +539,7 @@ TEST(TlbGatherTest, FlushGatherPaysFenceWithoutClosingScope) {
   {
     TlbGatherScope gather(&tlb);
     ASSERT_EQ(tlb.Unmap(as, PageVa(1)), Status::kOk);
-    gather.Flush();
+    (void)gather.Flush();
     EXPECT_EQ(tlb.tlb_stats().shootdowns, 1u);
     EXPECT_TRUE(tlb.GatherActive());
     // More work in the still-open scope defers to the close again.

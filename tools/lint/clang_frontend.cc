@@ -1,0 +1,398 @@
+// gvm-lint libTooling frontend (built only with -DGVM_LINT_WITH_CLANG=ON).
+//
+// Lowers real Clang ASTs into the same Project model the internal frontend
+// produces (model.h), so rules.cc runs unchanged on either.  The payoff over
+// the internal frontend is preprocessing fidelity: macros are expanded,
+// templates are seen post-instantiation-independent, and headers are lowered
+// exactly once through the TU that includes them.
+//
+// The lowering is intentionally event-shaped rather than CFG-shaped: we walk
+// each function body in source order and emit the same kGuardAcquire /
+// kGuardRelease / kGatherOpen / kCall stream the rule engine replays.  That
+// keeps the two frontends diff-able against each other (`--frontend clang`
+// vs the default) — any disagreement is a frontend bug, not a rule change.
+#if defined(GVM_LINT_HAVE_CLANG)
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/raw_ostream.h"
+
+#include "tools/lint/clang_frontend.h"
+
+namespace gvmlint {
+namespace {
+
+using clang::dyn_cast;
+using clang::isa;
+
+std::string TypeHead(clang::QualType qt) {
+  qt = qt.getNonReferenceType().getUnqualifiedType();
+  if (const auto* rt = qt->getAs<clang::RecordType>()) {
+    return rt->getDecl()->getQualifiedNameAsString();
+  }
+  return qt.getAsString();
+}
+
+bool IsMutexType(const std::string& head) {
+  return head == "gvm::Mutex" || head == "gvm::SharedMutex" ||
+         head == "Mutex" || head == "SharedMutex";
+}
+
+bool IsInternallySynced(const std::string& head) {
+  return head.find("CondVar") != std::string::npos ||
+         head.find("SleepQueue") != std::string::npos ||
+         head.find("Notification") != std::string::npos;
+}
+
+bool IsGuardType(const std::string& head) {
+  return head.find("MutexLock") != std::string::npos ||
+         head.find("ReaderLock") != std::string::npos;
+}
+
+bool IsGatherType(const std::string& head) {
+  return head.find("TlbGatherScope") != std::string::npos;
+}
+
+// Source text of an expression, used for lock_expr / args so the rule
+// engine's key extraction (TrailingIdent) behaves identically.
+std::string ExprText(const clang::Expr* e, const clang::ASTContext& ctx) {
+  if (e == nullptr) return "";
+  const clang::SourceManager& sm = ctx.getSourceManager();
+  clang::CharSourceRange range =
+      clang::CharSourceRange::getTokenRange(e->getSourceRange());
+  bool invalid = false;
+  llvm::StringRef text =
+      clang::Lexer::getSourceText(range, sm, ctx.getLangOpts(), &invalid);
+  return invalid ? "" : text.str();
+}
+
+// Walks one function body in source order, emitting events.  The scope
+// open/close events come from CompoundStmt boundaries, matching the
+// internal frontend's brace tracking.
+class BodyLowerer : public clang::RecursiveASTVisitor<BodyLowerer> {
+ public:
+  BodyLowerer(clang::ASTContext& ctx, FunctionInfo* fn)
+      : ctx_(ctx), fn_(fn) {}
+
+  bool shouldVisitImplicitCode() const { return false; }
+
+  bool TraverseCompoundStmt(clang::CompoundStmt* s) {
+    // The outermost CompoundStmt is the function body itself: the internal
+    // frontend treats it as depth 0, so only nested blocks emit scopes.
+    if (depth_++ > 0) Emit(s->getLBracLoc(), Event::kScopeOpen);
+    bool ok = RecursiveASTVisitor::TraverseCompoundStmt(s);
+    if (--depth_ > 0) Emit(s->getRBracLoc(), Event::kScopeClose);
+    return ok;
+  }
+
+  bool VisitDeclStmt(clang::DeclStmt* s) {
+    for (const clang::Decl* d : s->decls()) {
+      const auto* vd = dyn_cast<clang::VarDecl>(d);
+      if (vd == nullptr) continue;
+      const std::string head = TypeHead(vd->getType());
+      if (IsGuardType(head)) {
+        Event& e = Emit(vd->getLocation(), Event::kGuardAcquire);
+        e.var = vd->getNameAsString();
+        e.shared = head.find("Reader") != std::string::npos;
+        if (const auto* init = dyn_cast_or_null<clang::CXXConstructExpr>(
+                vd->getInit() ? vd->getInit()->IgnoreImplicit() : nullptr)) {
+          if (init->getNumArgs() > 0) {
+            e.lock_expr = ExprText(init->getArg(0), ctx_);
+            e.lock_key = TrailingIdent(e.lock_expr);
+          }
+        }
+      } else if (IsGatherType(head)) {
+        Event& e = Emit(vd->getLocation(), Event::kGatherOpen);
+        e.var = vd->getNameAsString();
+      } else if (IsMutexType(head)) {
+        Event& e = Emit(vd->getLocation(), Event::kLocalMutex);
+        e.var = vd->getNameAsString();
+        if (const auto* init = dyn_cast_or_null<clang::CXXConstructExpr>(
+                vd->getInit() ? vd->getInit()->IgnoreImplicit() : nullptr)) {
+          if (init->getNumArgs() > 0) {
+            e.rank = ExprText(init->getArg(0), ctx_);
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+    const auto* method = call->getMethodDecl();
+    if (method == nullptr) return true;
+    const std::string name = method->getNameAsString();
+    const clang::Expr* obj = call->getImplicitObjectArgument();
+    const std::string recv_text = ExprText(obj, ctx_);
+    const std::string recv_head = obj ? TypeHead(obj->getType()) : "";
+
+    if (IsGuardType(recv_head) || IsMutexType(recv_head)) {
+      Event::Kind kind;
+      if (name == "unlock" || name == "Unlock" || name == "UnlockShared") {
+        kind = Event::kGuardRelease;
+      } else if (name == "lock" && IsGuardType(recv_head)) {
+        kind = Event::kGuardReacquire;
+      } else if (name == "Lock" || name == "LockShared") {
+        kind = Event::kGuardAcquire;
+      } else {
+        return true;
+      }
+      Event& e = Emit(call->getExprLoc(), kind);
+      if (IsGuardType(recv_head)) {
+        e.var = TrailingIdent(recv_text);
+      } else {
+        e.lock_expr = recv_text;
+        e.lock_key = TrailingIdent(recv_text);
+      }
+      e.shared = name.find("Shared") != std::string::npos;
+      return true;
+    }
+
+    Event& e = Emit(call->getExprLoc(), Event::kCall);
+    e.callee = name;
+    e.receiver = recv_text;
+    for (const clang::Expr* arg : call->arguments()) {
+      e.args.push_back(ExprText(arg, ctx_));
+    }
+    if (!e.args.empty()) e.arg_key = TrailingIdent(e.args.back());
+    // Discard detection: Clang knows exactly whether the full-expression
+    // value is used, which the internal frontend approximates lexically.
+    if (method->getReturnType().getAsString() == "Status" &&
+        IsDiscarded(call)) {
+      e.var = "<discarded>";
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    if (isa<clang::CXXMemberCallExpr>(call) ||
+        isa<clang::CXXOperatorCallExpr>(call)) {
+      return true;  // handled above / uninteresting
+    }
+    const auto* callee = call->getDirectCallee();
+    if (callee == nullptr) return true;
+    Event& e = Emit(call->getExprLoc(), Event::kCall);
+    e.callee = callee->getNameAsString();
+    for (const clang::Expr* arg : call->arguments()) {
+      e.args.push_back(ExprText(arg, ctx_));
+    }
+    if (!e.args.empty()) e.arg_key = TrailingIdent(e.args.back());
+    if (callee->getReturnType().getAsString() == "Status" &&
+        IsDiscarded(call)) {
+      e.var = "<discarded>";
+    }
+    return true;
+  }
+
+ private:
+  Event& Emit(clang::SourceLocation loc, Event::Kind kind) {
+    Event e;
+    e.kind = kind;
+    e.line = static_cast<int>(
+        ctx_.getSourceManager().getSpellingLineNumber(loc));
+    fn_->events.push_back(e);
+    return fn_->events.back();
+  }
+
+  // True when the call's value is a full-expression statement (not assigned,
+  // returned, compared, cast, or passed along).
+  bool IsDiscarded(const clang::Expr* call) {
+    const auto parents = ctx_.getParents(*call);
+    for (const auto& p : parents) {
+      if (const clang::Stmt* s = p.get<clang::Stmt>()) {
+        if (isa<clang::CompoundStmt>(s)) return true;
+        if (isa<clang::ExprWithCleanups>(s)) return IsDiscarded(
+            dyn_cast<clang::Expr>(s));
+      }
+    }
+    return false;
+  }
+
+  clang::ASTContext& ctx_;
+  FunctionInfo* fn_;
+  int depth_ = 0;
+};
+
+class TuLowerer : public clang::RecursiveASTVisitor<TuLowerer> {
+ public:
+  TuLowerer(clang::ASTContext& ctx, Project* project)
+      : ctx_(ctx), project_(project) {}
+
+  bool shouldVisitTemplateInstantiations() const { return false; }
+
+  bool VisitCXXRecordDecl(clang::CXXRecordDecl* rd) {
+    if (!rd->isThisDeclarationADefinition() || !InProject(rd->getLocation())) {
+      return true;
+    }
+    ClassInfo& ci = project_->classes[rd->getNameAsString()];
+    ci.name = rd->getNameAsString();
+    ci.file = FileOf(rd->getLocation());
+    ci.line = LineOf(rd->getLocation());
+    if (rd->hasDefinition()) {
+      for (const auto& base : rd->bases()) {
+        ci.bases.push_back(TypeHead(base.getType()));
+      }
+    }
+    for (const clang::FieldDecl* f : rd->fields()) {
+      MemberInfo m;
+      m.name = f->getNameAsString();
+      m.type_head = TypeHead(f->getType());
+      m.file = FileOf(f->getLocation());
+      m.line = LineOf(f->getLocation());
+      m.is_mutex = IsMutexType(m.type_head);
+      m.is_const = f->getType().isConstQualified();
+      m.is_reference = f->getType()->isReferenceType();
+      m.is_atomic = m.type_head.find("atomic") != std::string::npos;
+      m.is_internally_synced = IsInternallySynced(m.type_head);
+      // GVM_GUARDED_BY expands to a clang thread-safety attribute when
+      // compiled under -DGVM_LINT_CLANG_PASS, so the AST carries it.
+      if (const auto* attr = f->getAttr<clang::GuardedByAttr>()) {
+        m.guarded_by = true;
+        m.guard_key = TrailingIdent(ExprText(attr->getArg(), ctx_));
+      }
+      ci.members.push_back(std::move(m));
+    }
+    return true;
+  }
+
+  bool VisitFunctionDecl(clang::FunctionDecl* fd) {
+    if (!InProject(fd->getLocation()) || fd->isImplicit()) return true;
+    const auto* method = dyn_cast<clang::CXXMethodDecl>(fd);
+    const std::string class_name =
+        method ? method->getParent()->getNameAsString() : "";
+
+    MethodDecl decl;
+    decl.name = fd->getNameAsString();
+    decl.class_name = class_name;
+    decl.file = FileOf(fd->getLocation());
+    decl.line = LineOf(fd->getLocation());
+    decl.returns_status = fd->getReturnType().getAsString() == "Status";
+    decl.nodiscard = fd->hasAttr<clang::WarnUnusedResultAttr>();
+    if (const auto* attr = fd->getAttr<clang::RequiresCapabilityAttr>()) {
+      for (const clang::Expr* a : attr->args()) {
+        decl.requires_keys.push_back(TrailingIdent(ExprText(a, ctx_)));
+      }
+    }
+    for (const clang::ParmVarDecl* p : fd->parameters()) {
+      if (IsGuardType(TypeHead(p->getType())) &&
+          p->getType()->isReferenceType()) {
+        decl.has_guard_param = true;
+        decl.guard_param_name = p->getNameAsString();
+      }
+    }
+    if (!class_name.empty()) {
+      project_->classes[class_name].method_decls.push_back(decl);
+    }
+
+    if (!fd->doesThisDeclarationHaveABody()) return true;
+    FileModel* fm = FileFor(decl.file);
+    auto fn = std::make_unique<FunctionInfo>();
+    fn->name = decl.name;
+    fn->class_name = class_name;
+    fn->file = decl.file;
+    fn->line = decl.line;
+    fn->requires_keys = decl.requires_keys;
+    fn->has_guard_param = decl.has_guard_param;
+    fn->guard_param_name = decl.guard_param_name;
+    fn->returns_status = decl.returns_status;
+    BodyLowerer lower(ctx_, fn.get());
+    lower.TraverseStmt(fd->getBody());
+    fm->functions.push_back(std::move(fn));
+    return true;
+  }
+
+ private:
+  bool InProject(clang::SourceLocation loc) {
+    const clang::SourceManager& sm = ctx_.getSourceManager();
+    return loc.isValid() && !sm.isInSystemHeader(loc);
+  }
+  std::string FileOf(clang::SourceLocation loc) {
+    return ctx_.getSourceManager().getFilename(loc).str();
+  }
+  int LineOf(clang::SourceLocation loc) {
+    return static_cast<int>(
+        ctx_.getSourceManager().getSpellingLineNumber(loc));
+  }
+  FileModel* FileFor(const std::string& path) {
+    for (auto& f : project_->files) {
+      if (f->path == path) return f.get();
+    }
+    auto fm = std::make_unique<FileModel>();
+    fm->path = path;
+    fm->effective_path = path;
+    project_->files.push_back(std::move(fm));
+    return project_->files.back().get();
+  }
+
+  clang::ASTContext& ctx_;
+  Project* project_;
+};
+
+class LowerAction : public clang::ASTFrontendAction {
+ public:
+  explicit LowerAction(Project* project) : project_(project) {}
+
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    class Consumer : public clang::ASTConsumer {
+     public:
+      explicit Consumer(Project* project) : project_(project) {}
+      void HandleTranslationUnit(clang::ASTContext& ctx) override {
+        TuLowerer lower(ctx, project_);
+        lower.TraverseDecl(ctx.getTranslationUnitDecl());
+      }
+
+     private:
+      Project* project_;
+    };
+    return std::make_unique<Consumer>(project_);
+  }
+
+ private:
+  Project* project_;
+};
+
+class LowerActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit LowerActionFactory(Project* project) : project_(project) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<LowerAction>(project_);
+  }
+
+ private:
+  Project* project_;
+};
+
+}  // namespace
+
+bool ClangFrontendAvailable() { return true; }
+
+bool ClangParseFiles(const std::string& compdb_path,
+                     const std::vector<std::string>& files, Project* project) {
+  std::string err;
+  auto compdb = clang::tooling::CompilationDatabase::loadFromDirectory(
+      llvm::sys::path::parent_path(compdb_path).str(), err);
+  if (compdb == nullptr) {
+    llvm::errs() << "gvm-lint: " << err << "\n";
+    return false;
+  }
+  clang::tooling::ClangTool tool(*compdb, files);
+  LowerActionFactory factory(project);
+  return tool.run(&factory) == 0;
+}
+
+}  // namespace gvmlint
+
+#endif  // GVM_LINT_HAVE_CLANG

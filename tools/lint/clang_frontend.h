@@ -1,0 +1,34 @@
+// gvm-lint: optional libTooling frontend, gated on GVM_LINT_WITH_CLANG.
+//
+// When a Clang development toolchain is present (headers + libclang-cpp),
+// clang_frontend.cc lowers a real AST into the same Project model the
+// internal frontend produces, and `gvm_lint --frontend clang` selects it.
+// Without the toolchain the build falls back to the internal frontend and
+// this header's stubs report the frontend as unavailable.
+#ifndef GVM_TOOLS_LINT_CLANG_FRONTEND_H_
+#define GVM_TOOLS_LINT_CLANG_FRONTEND_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/model.h"
+
+namespace gvmlint {
+
+#if defined(GVM_LINT_HAVE_CLANG)
+bool ClangFrontendAvailable();
+// Parses the given TUs with the compilation database at `compdb_path`,
+// lowering each into `project`.  Returns false on a hard tooling error.
+bool ClangParseFiles(const std::string& compdb_path,
+                     const std::vector<std::string>& files, Project* project);
+#else
+inline bool ClangFrontendAvailable() { return false; }
+inline bool ClangParseFiles(const std::string&, const std::vector<std::string>&,
+                            Project*) {
+  return false;
+}
+#endif
+
+}  // namespace gvmlint
+
+#endif  // GVM_TOOLS_LINT_CLANG_FRONTEND_H_

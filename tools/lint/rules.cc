@@ -1,0 +1,572 @@
+// gvm-lint rules: the five machine-checked invariants.
+//
+//   no-blocking-under-lock   IPC / network / sleep primitives must not run
+//                            with a kernel lock held (PR 4/5 protocol).
+//   gather-scope-atomicity   a live TlbGatherScope never spans a drop of its
+//                            serializing lock (PR 7 mmu_gather contract).
+//   lock-rank                guard nesting must strictly descend the rank
+//                            table in src/sync/lock_rank.h (PR 3 hierarchy).
+//   status-discipline        Status returns are consumed; kRetry stays inside
+//                            the PVM-internal layers (PR 1 contract).
+//   annotation-coverage      mutable members of mutex-owning classes carry
+//                            GVM_GUARDED_BY (PR 3 TSA coverage cannot rot).
+//
+// Suppression: `// gvm-lint: allow(rule-id): reason` on the flagged line (or
+// on a function signature, for call sites resolved into that function).
+#include "tools/lint/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gvmlint {
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ContainsWord(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool UnderSrc(const std::string& path) { return StartsWith(path, "src/"); }
+
+// Which blocking family a call belongs to, judged at the call site.
+enum class BlockKind { kNone, kRpc, kWaitFamily };
+
+BlockKind PrimitiveKind(const Event& e) {
+  if (e.callee == "Call" || e.callee == "Receive") {
+    std::string key = TrailingIdent(e.receiver);
+    for (char& c : key) c = static_cast<char>(std::tolower(c));
+    if (ContainsWord(key, "ipc") || ContainsWord(key, "net")) {
+      return BlockKind::kRpc;
+    }
+  }
+  if (e.callee == "Wait" || e.callee == "WaitFor") return BlockKind::kWaitFamily;
+  return BlockKind::kNone;
+}
+
+struct FnFacts {
+  const FunctionInfo* fn = nullptr;
+  bool rpc_blocking = false;       // directly performs an IPC/net round trip
+  int rpc_line = 0;
+  std::string rpc_what;
+  std::set<std::string> wait_keys;  // mutexes its Wait-family calls release
+  bool waits = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Project& project) : project_(project) {}
+
+  std::vector<Diagnostic> Run(AnalysisStats* stats) {
+    BuildIndexes();
+    for (const auto& file : project_.files) {
+      for (const auto& fn : file->functions) {
+        AnalyzeFunction(*file, *fn);
+      }
+      CheckRetryContainment(*file);
+    }
+    CheckAnnotationCoverage();
+    if (stats != nullptr) {
+      stats->files = project_.files.size();
+      stats->classes = project_.classes.size();
+      stats->status_apis = status_names_.size();
+      for (const auto& file : project_.files) {
+        stats->functions += file->functions.size();
+      }
+      stats->guard_nestings = guard_nestings_;
+    }
+    std::sort(diags_.begin(), diags_.end());
+    diags_.erase(std::unique(diags_.begin(), diags_.end()), diags_.end());
+    return std::move(diags_);
+  }
+
+ private:
+  const Project& project_;
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> status_names_;
+  std::map<std::string, std::vector<FnFacts*>> defs_by_name_;
+  std::map<const FunctionInfo*, FnFacts> facts_;
+  size_t guard_nestings_ = 0;
+
+  void BuildIndexes() {
+    for (const auto& [cls, info] : project_.classes) {
+      for (const MethodDecl& d : info.method_decls) {
+        if (d.returns_status) status_names_.insert(d.name);
+      }
+    }
+    for (const auto& file : project_.files) {
+      for (const auto& fn : file->functions) {
+        if (fn->returns_status) status_names_.insert(fn->name);
+        FnFacts& f = facts_[fn.get()];
+        f.fn = fn.get();
+        for (const Event& e : fn->events) {
+          if (e.kind != Event::kCall) continue;
+          BlockKind kind = PrimitiveKind(e);
+          if (kind == BlockKind::kRpc && !f.rpc_blocking) {
+            f.rpc_blocking = true;
+            f.rpc_line = e.line;
+            f.rpc_what = (e.receiver.empty() ? "" : e.receiver + ".") + e.callee;
+          } else if (kind == BlockKind::kWaitFamily) {
+            f.waits = true;
+            f.wait_keys.insert(e.args.begin(), e.args.end());
+          }
+        }
+        defs_by_name_[fn->name].push_back(&f);
+      }
+    }
+  }
+
+  // Declaration-site facts (REQUIRES, allows) merged onto a definition.
+  // A method can appear several times (header decl, out-of-line definition,
+  // overloads); annotations live on whichever copy carries them, so the
+  // union is taken.  Over-merging across overloads only ever suppresses
+  // diagnostics — precision over recall.
+  bool MergedDecl(const FunctionInfo& fn, MethodDecl* out) const {
+    auto it = project_.classes.find(fn.class_name);
+    if (it == project_.classes.end()) return false;
+    bool found = false;
+    for (const MethodDecl& d : it->second.method_decls) {
+      if (d.name != fn.name) continue;
+      found = true;
+      out->returns_status |= d.returns_status;
+      out->nodiscard |= d.nodiscard;
+      out->allows.insert(d.allows.begin(), d.allows.end());
+      for (const std::string& k : d.requires_keys) {
+        if (std::find(out->requires_keys.begin(), out->requires_keys.end(),
+                      k) == out->requires_keys.end()) {
+          out->requires_keys.push_back(k);
+        }
+      }
+      if (d.has_guard_param && !out->has_guard_param) {
+        out->has_guard_param = true;
+        out->guard_param_name = d.guard_param_name;
+      }
+    }
+    return found;
+  }
+
+  // A directive suppresses on its own line or on the line directly below it
+  // (comment-above-the-statement style).
+  bool LineAllows(const FileModel& file, int line, const char* rule) const {
+    for (int l : {line, line - 1}) {
+      auto it = file.notes.find(l);
+      if (it == file.notes.end()) continue;
+      for (const std::string& r : it->second.allows) {
+        if (r == rule || r == "all") return true;
+      }
+    }
+    return false;
+  }
+
+  static bool SetAllows(const std::set<std::string>& allows, const char* rule) {
+    return allows.count(rule) != 0 || allows.count("all") != 0;
+  }
+
+  // ---- lock-rank resolution ----------------------------------------------
+
+  // Ranks a lock key can resolve to in the context of `class_name` (empty set
+  // when unknown).  kUnranked resolutions are returned as -1.
+  std::set<int> ResolveRanks(const std::string& class_name,
+                             const std::string& key,
+                             const std::map<std::string, std::string>& locals)
+      const {
+    std::set<int> out;
+    auto rank_value = [&](const std::string& rank) {
+      if (rank.empty()) return -1;
+      auto it = project_.rank_values.find(rank);
+      return it == project_.rank_values.end() ? -1 : it->second;
+    };
+    auto local = locals.find(key);
+    if (local != locals.end()) {
+      out.insert(rank_value(local->second));
+      return out;
+    }
+    // Walk the class and its bases.
+    std::set<std::string> seen;
+    std::vector<std::string> queue;
+    if (!class_name.empty()) queue.push_back(class_name);
+    while (!queue.empty()) {
+      std::string cls = queue.back();
+      queue.pop_back();
+      if (!seen.insert(cls).second) continue;
+      auto it = project_.classes.find(cls);
+      if (it == project_.classes.end()) continue;
+      for (const MemberInfo& m : it->second.members) {
+        if (m.is_mutex && m.name == key) out.insert(rank_value(m.rank));
+      }
+      for (const std::string& b : it->second.bases) queue.push_back(b);
+    }
+    if (!out.empty()) return out;
+    // Fall back to every class with a mutex member of that name.
+    for (const auto& [cls, info] : project_.classes) {
+      for (const MemberInfo& m : info.members) {
+        if (m.is_mutex && m.name == key) out.insert(rank_value(m.rank));
+      }
+    }
+    return out;
+  }
+
+  // ---- per-function replay -----------------------------------------------
+
+  struct LiveGuard {
+    std::string var;
+    std::string key;
+    int line = 0;
+    int scope_depth = 0;
+    bool active = true;
+    bool from_context = false;  // REQUIRES / MutexLock& parameter
+  };
+  struct LiveGather {
+    std::string var;
+    int line = 0;
+    int scope_depth = 0;
+    std::vector<size_t> serializing;  // indexes into guards at open time
+  };
+
+  void AnalyzeFunction(const FileModel& file, const FunctionInfo& fn) {
+    std::vector<LiveGuard> guards;
+    std::vector<LiveGather> gathers;
+    std::map<std::string, std::string> local_mutex_ranks;
+    int depth = 0;
+
+    MethodDecl decl;
+    bool has_decl = MergedDecl(fn, &decl);
+    std::set<std::string> fn_allows = fn.allows;
+    std::vector<std::string> requires_keys = fn.requires_keys;
+    bool guard_param = fn.has_guard_param;
+    std::string guard_param_name = fn.guard_param_name;
+    if (has_decl) {
+      fn_allows.insert(decl.allows.begin(), decl.allows.end());
+      for (const std::string& k : decl.requires_keys) {
+        if (std::find(requires_keys.begin(), requires_keys.end(), k) ==
+            requires_keys.end()) {
+          requires_keys.push_back(k);
+        }
+      }
+      if (decl.has_guard_param && !guard_param) {
+        guard_param = true;
+        guard_param_name = decl.guard_param_name;
+      }
+    }
+    // Context guards: the capabilities this function runs under.
+    for (const std::string& k : requires_keys) {
+      guards.push_back({guard_param ? guard_param_name : "", k, fn.line, 0,
+                        true, true});
+    }
+    if (guard_param && requires_keys.empty()) {
+      guards.push_back({guard_param_name, "", fn.line, 0, true, true});
+    }
+
+    auto active_guards = [&]() {
+      std::vector<size_t> out;
+      for (size_t i = 0; i < guards.size(); ++i) {
+        if (guards[i].active) out.push_back(i);
+      }
+      return out;
+    };
+    auto describe = [&](const LiveGuard& g) {
+      return g.key.empty() ? (g.var.empty() ? std::string("a lock")
+                                            : "guard '" + g.var + "'")
+                           : "'" + g.key + "'";
+    };
+
+    for (const Event& e : fn.events) {
+      switch (e.kind) {
+        case Event::kScopeOpen:
+          ++depth;
+          break;
+        case Event::kScopeClose: {
+          for (LiveGuard& g : guards) {
+            if (g.scope_depth >= depth && !g.from_context) g.active = false;
+          }
+          // Guards die before gathers opened earlier in the same scope would,
+          // and the RAII order inside one scope is reverse-declaration, so a
+          // scope close cannot drop a serializing lock that predates the
+          // gather; only explicit unlock()/Unlock() can (handled below).
+          gathers.erase(
+              std::remove_if(gathers.begin(), gathers.end(),
+                             [&](const LiveGather& g) {
+                               return g.scope_depth >= depth;
+                             }),
+              gathers.end());
+          guards.erase(std::remove_if(guards.begin(), guards.end(),
+                                      [&](const LiveGuard& g) {
+                                        return !g.active && !g.from_context &&
+                                               g.scope_depth >= depth;
+                                      }),
+                       guards.end());
+          --depth;
+          break;
+        }
+        case Event::kLocalMutex:
+          local_mutex_ranks[e.var] = e.rank;
+          break;
+        case Event::kGuardAcquire: {
+          // lock-rank: every already-held guard must rank strictly below.
+          for (size_t gi : active_guards()) {
+            ++guard_nestings_;
+            CheckRankEdge(file, fn, guards[gi], e, local_mutex_ranks);
+          }
+          guards.push_back({e.var, e.lock_key, e.line, depth, true, false});
+          break;
+        }
+        case Event::kGuardRelease: {
+          LiveGuard* released = nullptr;
+          for (size_t i = guards.size(); i-- > 0;) {
+            LiveGuard& g = guards[i];
+            if (!g.active) continue;
+            if (!e.var.empty() ? g.var == e.var
+                               : (!e.lock_key.empty() && g.key == e.lock_key)) {
+              released = &g;
+              break;
+            }
+          }
+          if (released != nullptr) {
+            // gather-scope-atomicity: dropping a serializing lock while a
+            // gather is open defers concurrent shootdowns onto a commit the
+            // new lock holder never waits for.
+            for (const LiveGather& g : gathers) {
+              for (size_t gi : g.serializing) {
+                if (gi < guards.size() && &guards[gi] == released &&
+                    !LineAllows(file, e.line, kRuleGatherScopeAtomicity)) {
+                  diags_.push_back(
+                      {file.path, e.line, kRuleGatherScopeAtomicity,
+                       "lock " + describe(*released) +
+                           " dropped while TlbGatherScope '" + g.var +
+                           "' (opened line " + std::to_string(g.line) +
+                           ") is still open"});
+                }
+              }
+            }
+            released->active = false;
+          }
+          break;
+        }
+        case Event::kGuardReacquire: {
+          for (size_t i = guards.size(); i-- > 0;) {
+            if (guards[i].var == e.var && !guards[i].active) {
+              guards[i].active = true;
+              break;
+            }
+          }
+          break;
+        }
+        case Event::kGatherOpen: {
+          LiveGather g;
+          g.var = e.var.empty() ? "<BeginGather>" : e.var;
+          g.line = e.line;
+          g.scope_depth = depth;
+          g.serializing = active_guards();
+          // A gather with no serializing lock is an unserialized mutation
+          // window (only the RAII form is checked; the raw Begin/EndGather
+          // calls are the mechanism's own implementation and tests).
+          if (!e.var.empty() && g.serializing.empty() &&
+              UnderSrc(file.effective_path) &&
+              !LineAllows(file, e.line, kRuleGatherScopeAtomicity) &&
+              !SetAllows(fn_allows, kRuleGatherScopeAtomicity)) {
+            diags_.push_back({file.path, e.line, kRuleGatherScopeAtomicity,
+                              "TlbGatherScope '" + g.var +
+                                  "' opened with no serializing lock held"});
+          }
+          gathers.push_back(g);
+          break;
+        }
+        case Event::kGatherClose:
+          if (!gathers.empty()) gathers.pop_back();
+          break;
+        case Event::kCall: {
+          CheckCall(file, fn, fn_allows, e, guards, gathers, active_guards());
+          break;
+        }
+      }
+    }
+  }
+
+  void CheckRankEdge(const FileModel& file, const FunctionInfo& fn,
+                     const LiveGuard& outer, const Event& inner,
+                     const std::map<std::string, std::string>& locals) {
+    if (LineAllows(file, inner.line, kRuleLockRank)) return;
+    if (outer.key.empty() || inner.lock_key.empty()) return;
+    std::set<int> outer_ranks = ResolveRanks(fn.class_name, outer.key, locals);
+    std::set<int> inner_ranks =
+        ResolveRanks(fn.class_name, inner.lock_key, locals);
+    if (outer_ranks.empty() || inner_ranks.empty()) return;
+    // kUnranked (-1) is exempt from ordering.
+    bool all_inverted = true;
+    for (int a : outer_ranks) {
+      for (int b : inner_ranks) {
+        if (a == -1 || b == -1 || a < b) all_inverted = false;
+      }
+    }
+    if (!all_inverted) return;
+    int a = *outer_ranks.begin();
+    int b = *inner_ranks.begin();
+    std::string what =
+        (outer.key == inner.lock_key && a == b)
+            ? "recursive/equal-rank acquisition of '" + inner.lock_key + "'"
+            : "acquiring '" + inner.lock_key + "' (rank " + std::to_string(b) +
+                  ") while holding '" + outer.key + "' (rank " +
+                  std::to_string(a) + ") inverts the lock hierarchy";
+    diags_.push_back({file.path, inner.line, kRuleLockRank, what});
+  }
+
+  void CheckCall(const FileModel& file, const FunctionInfo& fn,
+                 const std::set<std::string>& fn_allows, const Event& e,
+                 std::vector<LiveGuard>& guards,
+                 const std::vector<LiveGather>& gathers,
+                 const std::vector<size_t>& active) {
+    // status-discipline (a): a discarded call to a Status-returning API.
+    if (e.var == "<discarded>" && status_names_.count(e.callee) != 0 &&
+        !LineAllows(file, e.line, kRuleStatusDiscipline)) {
+      diags_.push_back({file.path, e.line, kRuleStatusDiscipline,
+                        "result of Status-returning '" + e.callee +
+                            "' is ignored (handle it or cast to void with a "
+                            "reason)"});
+    }
+
+    const bool r1_line_ok = LineAllows(file, e.line, kRuleNoBlockingUnderLock) ||
+                            SetAllows(fn_allows, kRuleNoBlockingUnderLock);
+
+    auto flag_r1 = [&](const LiveGuard& g, const std::string& why) {
+      if (r1_line_ok) return;
+      std::string held =
+          g.key.empty() ? (g.var.empty() ? "a lock" : "guard '" + g.var + "'")
+                        : "'" + g.key + "'";
+      diags_.push_back({file.path, e.line, kRuleNoBlockingUnderLock,
+                        why + " while holding " + held});
+    };
+
+    BlockKind kind = PrimitiveKind(e);
+    if (kind == BlockKind::kRpc) {
+      for (size_t gi : active) {
+        flag_r1(guards[gi], "blocking IPC/network call '" +
+                                (e.receiver.empty() ? e.callee
+                                                    : e.receiver + "." + e.callee) +
+                                "'");
+      }
+      return;
+    }
+    if (kind == BlockKind::kWaitFamily) {
+      std::set<std::string> wait_keys(e.args.begin(), e.args.end());
+      for (size_t gi : active) {
+        const LiveGuard& g = guards[gi];
+        // A guard-param context (`MutexLock&`) has an unknown underlying
+        // mutex — it cannot be proven distinct from the one Wait releases,
+        // so only a known, different key is a violation.
+        if (g.key.empty() && g.from_context) continue;
+        if (!g.key.empty() && wait_keys.count(g.key) != 0) continue;
+        flag_r1(g, "'" + e.callee + "' sleeps (releasing only its own mutex)");
+      }
+      // gather-scope-atomicity: Wait drops its mutex — if that mutex is a
+      // gather's serializing lock, the gather spans the drop.
+      for (const LiveGather& g : gathers) {
+        for (size_t gi : g.serializing) {
+          if (gi < guards.size() && guards[gi].active &&
+              !guards[gi].key.empty() &&
+              wait_keys.count(guards[gi].key) != 0 &&
+              !LineAllows(file, e.line, kRuleGatherScopeAtomicity)) {
+            diags_.push_back({file.path, e.line, kRuleGatherScopeAtomicity,
+                              "'" + e.callee + "' releases '" + guards[gi].key +
+                                  "' while TlbGatherScope '" + g.var +
+                                  "' (opened line " + std::to_string(g.line) +
+                                  ") is still open"});
+          }
+        }
+      }
+      return;
+    }
+
+    // One level of inlining: a call into a function that itself blocks.
+    if (active.empty()) return;
+    auto defs = defs_by_name_.find(e.callee);
+    if (defs == defs_by_name_.end()) return;
+    for (const FnFacts* f : defs->second) {
+      if (f->fn == &fn) continue;  // recursion
+      std::set<std::string> decl_allows = f->fn->allows;
+      MethodDecl d;
+      if (MergedDecl(*f->fn, &d)) {
+        decl_allows.insert(d.allows.begin(), d.allows.end());
+      }
+      if (SetAllows(decl_allows, kRuleNoBlockingUnderLock)) continue;
+      if (f->rpc_blocking) {
+        for (size_t gi : active) {
+          flag_r1(guards[gi],
+                  "call into '" + f->fn->class_name +
+                      (f->fn->class_name.empty() ? "" : "::") + f->fn->name +
+                      "' which performs blocking '" + f->rpc_what + "' (line " +
+                      std::to_string(f->rpc_line) + ")");
+        }
+        break;  // one diagnostic set per call site
+      }
+      if (f->waits) {
+        std::set<std::string> exempt = f->wait_keys;
+        exempt.insert(e.args.begin(), e.args.end());
+        for (size_t gi : active) {
+          const LiveGuard& g = guards[gi];
+          if (g.key.empty() && g.from_context) continue;
+          if (!g.key.empty() && exempt.count(g.key) != 0) continue;
+          flag_r1(g, "call into '" + f->fn->class_name +
+                         (f->fn->class_name.empty() ? "" : "::") +
+                         f->fn->name + "' which sleeps (releasing only its "
+                         "own mutex)");
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- file-level rules --------------------------------------------------
+
+  void CheckRetryContainment(const FileModel& file) {
+    const std::string& p = file.effective_path;
+    if (!UnderSrc(p)) return;
+    if (StartsWith(p, "src/pvm/") || p == "src/util/status.h" ||
+        p == "src/util/status.cc") {
+      return;
+    }
+    std::set<int> seen;
+    for (int line : file.kretry_lines) {
+      if (!seen.insert(line).second) continue;
+      if (LineAllows(file, line, kRuleStatusDiscipline)) continue;
+      diags_.push_back({file.path, line, kRuleStatusDiscipline,
+                        "kRetry must not escape the PVM-internal layer "
+                        "(src/pvm/); it is a private 're-drive from re-derived "
+                        "state' signal"});
+    }
+  }
+
+  void CheckAnnotationCoverage() {
+    for (const auto& [cls, info] : project_.classes) {
+      bool owns_mutex = false;
+      for (const MemberInfo& m : info.members) {
+        if (m.is_mutex) owns_mutex = true;
+      }
+      if (!owns_mutex) continue;
+      for (const MemberInfo& m : info.members) {
+        if (!UnderSrc(m.file)) continue;
+        if (m.is_mutex || m.is_const || m.is_reference || m.is_atomic ||
+            m.is_internally_synced || m.guarded_by) {
+          continue;
+        }
+        if (SetAllows(m.allows, kRuleAnnotationCoverage)) continue;
+        diags_.push_back(
+            {m.file, m.line, kRuleAnnotationCoverage,
+             "mutable member '" + m.name + "' of mutex-owning class '" + cls +
+                 "' lacks GVM_GUARDED_BY (annotate it, make it atomic/const, "
+                 "or allow() it with the synchronization story)"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> RunRules(const Project& project, AnalysisStats* stats) {
+  Engine engine(project);
+  return engine.Run(stats);
+}
+
+}  // namespace gvmlint

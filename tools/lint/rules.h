@@ -1,0 +1,51 @@
+// gvm-lint rule engine: evaluates the five project invariants over the model.
+#ifndef GVM_TOOLS_LINT_RULES_H_
+#define GVM_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/model.h"
+
+namespace gvmlint {
+
+// Rule identifiers (used in diagnostics, allow() directives and EXPECT
+// markers).  See DESIGN.md §14 for the rule -> origin-PR catalogue.
+inline constexpr const char* kRuleNoBlockingUnderLock = "no-blocking-under-lock";
+inline constexpr const char* kRuleGatherScopeAtomicity = "gather-scope-atomicity";
+inline constexpr const char* kRuleLockRank = "lock-rank";
+inline constexpr const char* kRuleStatusDiscipline = "status-discipline";
+inline constexpr const char* kRuleAnnotationCoverage = "annotation-coverage";
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+  bool operator==(const Diagnostic& o) const {
+    return file == o.file && line == o.line && rule == o.rule &&
+           message == o.message;
+  }
+};
+
+struct AnalysisStats {
+  size_t files = 0;
+  size_t functions = 0;
+  size_t classes = 0;
+  size_t status_apis = 0;
+  size_t guard_nestings = 0;
+};
+
+// Runs all rules; returns diagnostics sorted by (file, line, rule).
+std::vector<Diagnostic> RunRules(const Project& project, AnalysisStats* stats);
+
+}  // namespace gvmlint
+
+#endif  // GVM_TOOLS_LINT_RULES_H_

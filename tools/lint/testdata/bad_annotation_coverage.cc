@@ -1,0 +1,28 @@
+// gvm-lint selftest fixture: annotation-coverage.  Mutable members of a
+// mutex-owning class must carry GVM_GUARDED_BY or document why not.
+// gvm-lint-pretend-path: src/fixture/bad_annotation_coverage.cc
+
+class Widget {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_{Rank::kMmManager, "Widget::mu_"};
+  int counter_ = 0;  // EXPECT: annotation-coverage
+  char* buffer_ = nullptr;  // EXPECT: annotation-coverage
+
+  int guarded_ GVM_GUARDED_BY(mu_) = 0;           // annotated: fine
+  std::atomic<int> hits_{0};                      // atomic: fine
+  const int capacity_ = 8;                        // immutable: fine
+  CondVar cv_;                                    // internally synced: fine
+  // gvm-lint: allow(annotation-coverage): written only during bring-up
+  int tuned_ = 0;
+};
+
+// A class with no mutex of its own is outside this rule: its discipline is
+// documented at its locking owner.
+class Plain {
+ private:
+  int anything_ = 0;
+  char* whatever_ = nullptr;
+};

@@ -1,0 +1,57 @@
+// gvm-lint selftest fixture: no-blocking-under-lock must fire on IPC, network
+// and sleep primitives reached while a kernel lock is held — directly and
+// through one level of inlining.
+//
+// Fixtures are standalone TUs for the internal frontend: the project idioms
+// (MutexLock, Ipc, CondVar) are sketched locally, never included.
+// gvm-lint-pretend-path: src/fixture/bad_blocking_under_lock.cc
+
+struct Message {};
+
+class Fixture {
+ public:
+  void DirectIpcUnderLock() {
+    MutexLock lock(mu_);
+    ipc_.Call(port_, Message{});  // EXPECT: no-blocking-under-lock
+  }
+
+  void DirectNetUnderLock() {
+    MutexLock lock(mu_);
+    net_.Call(0, 1, Message{});  // EXPECT: no-blocking-under-lock
+  }
+
+  void WaitOnForeignMutexUnderLock() {
+    MutexLock lock(mu_);
+    // Wait releases other_mu_, not mu_: the held lock spans the sleep.
+    cv_.Wait(other_mu_);  // EXPECT: no-blocking-under-lock
+  }
+
+  void WaitOnOwnMutexIsFine() {
+    MutexLock lock(mu_);
+    cv_.Wait(mu_);  // the wait drops exactly the lock it runs under
+  }
+
+  // One level of inlining: the helper blocks, the caller holds the lock.
+  void BlockingHelper() { ipc_.Call(port_, Message{}); }
+
+  void InlinedIpcUnderLock() {
+    MutexLock lock(mu_);
+    BlockingHelper();  // EXPECT: no-blocking-under-lock
+  }
+
+  // The thread_safe_dispatch-style escape hatch: the author certifies the
+  // call cannot re-enter the lock owner, so the rule stands down.
+  // gvm-lint: allow(no-blocking-under-lock): dispatch serialized externally
+  void CertifiedDispatchUnderLock() {
+    MutexLock lock(mu_);
+    ipc_.Call(port_, Message{});
+  }
+
+ private:
+  Mutex mu_;
+  Mutex other_mu_;
+  CondVar cv_;
+  Ipc& ipc_;
+  SimNet& net_;
+  const int port_ = 0;
+};

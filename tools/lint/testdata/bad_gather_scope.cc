@@ -1,0 +1,46 @@
+// gvm-lint selftest fixture: gather-scope-atomicity.  A live TlbGatherScope
+// must not span a drop of its serializing lock, and (in src/) must open with
+// one held in the first place.
+// gvm-lint-pretend-path: src/fixture/bad_gather_scope.cc
+
+class Fixture {
+ public:
+  void UnlockUnderGather() {
+    MutexLock lock(mu_);
+    TlbGatherScope gather(&tlb_);
+    lock.unlock();  // EXPECT: gather-scope-atomicity
+    lock.lock();
+  }
+
+  void ManualUnlockUnderGather() {
+    mu_.Lock();
+    TlbGatherScope gather(&tlb_);
+    mu_.Unlock();  // EXPECT: gather-scope-atomicity
+  }
+
+  void WaitDropsSerializingLock() {
+    MutexLock lock(mu_);
+    TlbGatherScope gather(&tlb_);
+    // Wait releases mu_ while the gather is open: pending shootdowns are
+    // deferred onto a commit the next lock holder never waits for.
+    cv_.Wait(mu_);  // EXPECT: gather-scope-atomicity
+  }
+
+  void GatherWithNoLock() {
+    TlbGatherScope gather(&tlb_);  // EXPECT: gather-scope-atomicity
+  }
+
+  void ScopedGatherIsFine() {
+    MutexLock lock(mu_);
+    {
+      TlbGatherScope gather(&tlb_);
+    }
+    lock.unlock();  // the gather already closed; dropping is fine
+    lock.lock();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  TlbMmu tlb_;  // gvm-lint: allow(annotation-coverage): internally synchronized
+};

@@ -1,0 +1,44 @@
+// gvm-lint selftest fixture: lock-rank.  Guard nesting must strictly descend
+// the rank table in src/sync/lock_rank.h (higher rank first is an inversion;
+// so is equal rank, which covers recursive acquisition).
+// gvm-lint-pretend-path: src/fixture/bad_lock_rank.cc
+
+class Fixture {
+ public:
+  void Inversion() {
+    Mutex shard{Rank::kMmuShard, "fixture::shard"};
+    Mutex ipc{Rank::kIpc, "fixture::ipc"};
+    MutexLock a(shard);
+    MutexLock b(ipc);  // EXPECT: lock-rank
+  }
+
+  void EqualRank() {
+    Mutex s0{Rank::kMmuShard, "fixture::s0"};
+    Mutex s1{Rank::kMmuShard, "fixture::s1"};
+    MutexLock a(s0);
+    MutexLock b(s1);  // EXPECT: lock-rank
+  }
+
+  void MemberInversion() {
+    // Member ranks resolve through the enclosing class.
+    MutexLock a(high_);
+    MutexLock b(low_);  // EXPECT: lock-rank
+  }
+
+  void CorrectOrder() {
+    Mutex ipc{Rank::kIpc, "fixture::ipc"};
+    Mutex shard{Rank::kMmuShard, "fixture::shard"};
+    MutexLock a(ipc);
+    MutexLock b(shard);  // rank 20 then rank 40: descending the table is fine
+  }
+
+  void UnrankedIsExempt() {
+    Mutex plain;
+    MutexLock a(high_);
+    MutexLock b(plain);  // no rank, no ordering constraint
+  }
+
+ private:
+  Mutex low_{Rank::kIpc, "fixture::low"};
+  Mutex high_{Rank::kMmuShard, "fixture::high"};
+};

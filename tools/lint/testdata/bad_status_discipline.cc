@@ -1,0 +1,48 @@
+// gvm-lint selftest fixture: status-discipline.  Every Status-returning call
+// is consumed, and kRetry never appears outside the PVM-internal layer.
+// gvm-lint-pretend-path: src/fixture/bad_status_discipline.cc
+
+Status Frob() { return Status::kOk; }
+
+class Fixture {
+ public:
+  Status Mend() { return Status::kOk; }
+
+  void DiscardedFreeCall() {
+    Frob();  // EXPECT: status-discipline
+  }
+
+  void DiscardedMethodCall() {
+    Mend();  // EXPECT: status-discipline
+  }
+
+  void DiscardedInSwitch(int k) {
+    switch (k) {
+      case 0:
+        Frob();  // EXPECT: status-discipline
+        break;
+      default:
+        break;
+    }
+  }
+
+  Status RetryOutsidePvm() {
+    return Status::kRetry;  // EXPECT: status-discipline
+  }
+
+  void ConsumedIsFine() {
+    Status s = Frob();
+    if (s == Status::kOk) {
+      (void)s;
+    }
+    (void)Mend();  // explicit discard with a cast is the sanctioned form
+  }
+
+  Status PropagatedIsFine() { return Frob(); }
+
+  bool TernaryIsConsumed(bool ok) {
+    // The ternary's value is the statement's value: not a discard.
+    Status s = ok ? Status::kOk : Frob();
+    return s == Status::kOk;
+  }
+};

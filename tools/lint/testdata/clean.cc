@@ -1,0 +1,74 @@
+// gvm-lint selftest fixture: a TU exercising the tree's sanctioned idioms.
+// Every rule must stay silent here — a diagnostic on this file is a
+// false-positive regression in the analyzer.
+// gvm-lint-pretend-path: src/fixture/clean.cc
+
+struct Message {};
+
+Status Frob() { return Status::kOk; }
+
+class Clean {
+ public:
+  // RAII guard with a transient drop, re-taken before the scope ends.
+  void TransientDrop() {
+    MutexLock lock(mu_);
+    lock.unlock();
+    ipc_.Call(port_, Message{});  // lock dropped: blocking is fine here
+    lock.lock();
+  }
+
+  // The sleep protocol: Wait releases exactly the mutex it is handed.
+  void SleepProtocol() {
+    MutexLock lock(mu_);
+    while (!ready_) {
+      cv_.Wait(mu_);
+    }
+  }
+
+  // Guard-param convention: the caller holds the lock; helpers that sleep on
+  // the same mutex are the documented re-drive idiom.
+  Status LockedHelper(MutexLock& lock, int n) {
+    if (n == 0) {
+      cv_.Wait(mu_);
+    }
+    return Status::kOk;
+  }
+
+  // Rank-descending nesting, with digit separators and a ternary consuming a
+  // Status (both lexer regression cases).
+  Status OrderedNesting(bool ok) {
+    Mutex ipc{Rank::kIpc, "clean::ipc"};
+    Mutex shard{Rank::kMmuShard, "clean::shard"};
+    MutexLock a(ipc);
+    MutexLock b(shard);
+    int spins = 100'000;
+    (void)spins;
+    return ok ? Status::kOk : Frob();
+  }
+
+  // A gather under its serializing lock, closed before any drop.
+  void GatheredMutation() {
+    MutexLock lock(mu_);
+    {
+      TlbGatherScope gather(&tlb_);
+    }
+    lock.unlock();
+    lock.lock();
+  }
+
+  void ConsumesEverything() {
+    Status s = Frob();
+    if (s != Status::kOk) {
+      (void)s;
+    }
+    (void)Frob();
+  }
+
+ private:
+  mutable Mutex mu_{Rank::kMmManager, "Clean::mu_"};
+  CondVar cv_;
+  Ipc& ipc_;
+  TlbMmu tlb_;  // gvm-lint: allow(annotation-coverage): internally synchronized
+  bool ready_ GVM_GUARDED_BY(mu_) = false;
+  std::atomic<int> port_{0};
+};
