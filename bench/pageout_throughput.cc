@@ -1,0 +1,288 @@
+// pageout_throughput — steady-state eviction bandwidth of the working-set
+// paging daemon, and the soft-fault ratio its standby queue buys.
+//
+// N worker threads, each with its own context and an anonymous working set,
+// run a random read/write mix over a frame pool deliberately sized at a
+// fraction of the total commit.  The paging daemon (plus the per-thread
+// working-set limit) must continuously trim, batch dirty pages into multi-page
+// pushOut writes, and park clean pages on the standby queue; workers re-fault
+// pages the daemon evicted, and every standby hit is a soft fault that skips
+// mapper I/O entirely.
+//
+// Reported:
+//   - eviction bandwidth: pages pushed out per second of steady state
+//   - soft-fault ratio:   soft_faults / (soft_faults + pull_ins) — how often a
+//                         re-fault was satisfied from standby instead of swap
+//   - op throughput and per-op latency of the worker mix under that churn
+//
+// Emits BENCH_pageout_throughput.json.
+//
+// Usage: pageout_throughput [--threads=4] [--pages=64] [--wslimit=24]
+//                           [--overcommit=2] [--seconds=1.0] [--seed=1]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hal/phys_memory.h"
+#include "src/hal/soft_mmu.h"
+#include "src/pvm/paged_vm.h"
+#include "tests/test_util.h"
+
+namespace gvm {
+namespace bench {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+constexpr Vaddr kWorkBase = 0x10000000;
+constexpr int kBatch = 64;  // ops timed per latency sample
+
+struct Config {
+  int threads = 4;
+  size_t pages = 64;     // committed pages per thread
+  size_t wslimit = 24;   // per-space working-set limit (feeds the queues)
+  double overcommit = 2.0;  // commit / physical ratio
+  double seconds = 1.0;
+  uint64_t seed = 1;
+};
+
+struct WorkerResult {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  std::vector<double> samples_ns;
+};
+
+uint64_t NextRand(uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+void Worker(int tid, PagedVm& vm, Context& ctx, const Config& cfg, std::atomic<int>& ready,
+            std::atomic<bool>& go, std::atomic<bool>& stop, WorkerResult& result) {
+  using Clock = std::chrono::steady_clock;
+  AsId as = ctx.address_space();
+  uint64_t rng = cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(tid) + 1;
+  // Materialize once before the clock starts; under overcommit this already
+  // drives the daemon, so failures here are real errors, not setup noise.
+  for (size_t p = 0; p < cfg.pages; ++p) {
+    uint64_t value = p;
+    if (vm.cpu().Write(as, kWorkBase + p * kPageSize, &value, sizeof(value)) != Status::kOk) {
+      ++result.errors;
+    }
+  }
+  ready.fetch_add(1, std::memory_order_release);
+  while (!go.load(std::memory_order_acquire) && !stop.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
+  while (!stop.load(std::memory_order_relaxed)) {
+    auto start = Clock::now();
+    for (int b = 0; b < kBatch; ++b) {
+      const uint64_t r = NextRand(rng);
+      const size_t page = (r >> 8) % cfg.pages;
+      const Vaddr va = kWorkBase + page * kPageSize + ((r >> 40) & (kPageSize - 8));
+      Status s;
+      if ((r & 7) < 5) {  // 62% reads, 38% writes
+        uint64_t value;
+        s = vm.cpu().Read(as, va, &value, sizeof(value));
+      } else {
+        uint64_t value = r;
+        s = vm.cpu().Write(as, va, &value, sizeof(value));
+      }
+      if (s != Status::kOk) {
+        ++result.errors;
+      }
+    }
+    auto end = Clock::now();
+    result.ops += kBatch;
+    if (result.samples_ns.size() < 50000) {
+      result.samples_ns.push_back(
+          std::chrono::duration<double, std::nano>(end - start).count() / kBatch);
+    }
+  }
+}
+
+int Run(const Config& cfg) {
+  const size_t committed = static_cast<size_t>(cfg.threads) * cfg.pages;
+  // Physical frames = commit / overcommit, with a small floor so the daemon's
+  // water marks and the emergency reserve fit.
+  size_t frames = static_cast<size_t>(static_cast<double>(committed) / cfg.overcommit);
+  if (frames < 24) {
+    frames = 24;
+  }
+  PhysicalMemory memory(frames, kPageSize);
+  SoftMmu mmu(kPageSize);
+  PagedVm::Options options;
+  // Generous water marks: the daemon should absorb most of the eviction load
+  // ahead of demand, leaving the synchronous sweep as the backstop it is.
+  options.low_water_frames = frames / 16 > 4 ? frames / 16 : 4;
+  options.high_water_frames = frames / 8 > 8 ? frames / 8 : 8;
+  options.pageout_daemon = true;
+  options.daemon_wake_frames = options.high_water_frames - 1;
+  options.working_set_limit_pages = cfg.wslimit;
+  PagedVm vm(memory, mmu, options);
+  TestSwapRegistry registry(kPageSize);
+  vm.BindSegmentRegistry(&registry);
+
+  std::vector<Context*> contexts;
+  std::vector<Cache*> caches;
+  for (int t = 0; t < cfg.threads; ++t) {
+    Context* ctx = *vm.ContextCreate();
+    Cache* cache = *vm.CacheCreate(nullptr, "ws" + std::to_string(t));
+    (void)*vm.RegionCreate(*ctx, kWorkBase, cfg.pages * kPageSize, Prot::kReadWrite, *cache, 0);
+    contexts.push_back(ctx);
+    caches.push_back(cache);
+  }
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(static_cast<size_t>(cfg.threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back(Worker, t, std::ref(vm), std::ref(*contexts[static_cast<size_t>(t)]),
+                         std::cref(cfg), std::ref(ready), std::ref(go), std::ref(stop),
+                         std::ref(results[static_cast<size_t>(t)]));
+  }
+  while (ready.load(std::memory_order_acquire) < cfg.threads) {
+    std::this_thread::yield();
+  }
+  // Steady state starts here: snapshot the counters after materialization so
+  // the reported bandwidth covers only the measured window.
+  const MmStats mm_before = vm.stats();
+  const PvmDetailStats detail_before = vm.detail_stats();
+  auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : workers) {
+    th.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const MmStats mm_after = vm.stats();
+  const PvmDetailStats detail = vm.detail_stats();
+  vm.StopPageoutDaemon();
+
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  std::vector<double> samples;
+  for (const WorkerResult& r : results) {
+    ops += r.ops;
+    errors += r.errors;
+    samples.insert(samples.end(), r.samples_ns.begin(), r.samples_ns.end());
+  }
+  const double ops_per_sec = static_cast<double>(ops) / elapsed;
+  const double p50 = Percentile(samples, 0.5);
+  const double p99 = Percentile(samples, 0.99);
+
+  const uint64_t pushed = mm_after.push_outs - mm_before.push_outs;
+  const uint64_t evicted = mm_after.pages_paged_out - mm_before.pages_paged_out;
+  const uint64_t pulled = mm_after.pull_ins - mm_before.pull_ins;
+  const uint64_t soft = detail.soft_faults - detail_before.soft_faults;
+  const double evict_pages_per_sec = static_cast<double>(evicted) / elapsed;
+  const double soft_ratio =
+      soft + pulled > 0 ? static_cast<double>(soft) / static_cast<double>(soft + pulled) : 0.0;
+
+  std::printf("pageout_throughput: threads=%d pages=%zu wslimit=%zu frames=%zu "
+              "(%.1fx overcommit)\n",
+              cfg.threads, cfg.pages, cfg.wslimit, frames,
+              static_cast<double>(committed) / static_cast<double>(frames));
+  std::printf("  ops=%llu (%.0f ops/sec)  p50=%s p99=%s  errors=%llu\n",
+              static_cast<unsigned long long>(ops), ops_per_sec, FormatNs(p50).c_str(),
+              FormatNs(p99).c_str(), static_cast<unsigned long long>(errors));
+  std::printf("  evicted=%llu pages (%.0f pages/sec, %.2f MB/s)  pushes=%llu "
+              "batches=%llu batch_pages=%llu\n",
+              static_cast<unsigned long long>(evicted), evict_pages_per_sec,
+              evict_pages_per_sec * static_cast<double>(kPageSize) / 1e6,
+              static_cast<unsigned long long>(pushed),
+              static_cast<unsigned long long>(detail.batch_pushes - detail_before.batch_pushes),
+              static_cast<unsigned long long>(detail.batch_push_pages -
+                                              detail_before.batch_push_pages));
+  std::printf("  refaults: soft=%llu hard(pull_ins)=%llu  soft_ratio=%.3f  "
+              "standby_hits=%llu ws_trims=%llu daemon_passes=%llu\n",
+              static_cast<unsigned long long>(soft), static_cast<unsigned long long>(pulled),
+              soft_ratio,
+              static_cast<unsigned long long>(detail.standby_hits - detail_before.standby_hits),
+              static_cast<unsigned long long>(detail.ws_trims - detail_before.ws_trims),
+              static_cast<unsigned long long>(detail.daemon_passes -
+                                              detail_before.daemon_passes));
+
+  BenchJson json("pageout_throughput");
+  json.Config("threads", static_cast<uint64_t>(cfg.threads));
+  json.Config("pages_per_thread", static_cast<uint64_t>(cfg.pages));
+  json.Config("working_set_limit", static_cast<uint64_t>(cfg.wslimit));
+  json.Config("frames", static_cast<uint64_t>(frames));
+  json.Config("overcommit_pct", static_cast<uint64_t>(
+                                    static_cast<double>(committed) * 100.0 /
+                                    static_cast<double>(frames)));
+  json.Config("seconds", static_cast<uint64_t>(cfg.seconds * 1000));  // milliseconds
+  json.Config("seed", cfg.seed);
+  json.Config("page_size", static_cast<uint64_t>(kPageSize));
+  json.SetThroughput(ops_per_sec);
+  json.SetLatency(p50, p99);
+  json.Counter("ops", ops);
+  json.Counter("op_errors", errors);
+  json.Counter("evicted_pages", evicted);
+  json.Counter("evict_pages_per_sec", static_cast<uint64_t>(evict_pages_per_sec));
+  json.Counter("push_outs", pushed);
+  json.Counter("batch_pushes", detail.batch_pushes - detail_before.batch_pushes);
+  json.Counter("batch_push_pages", detail.batch_push_pages - detail_before.batch_push_pages);
+  json.Counter("soft_faults", soft);
+  json.Counter("pull_ins", pulled);
+  json.Counter("soft_fault_ratio_bp", static_cast<uint64_t>(soft_ratio * 10000));
+  json.Counter("standby_hits", detail.standby_hits - detail_before.standby_hits);
+  json.Counter("ws_trims", detail.ws_trims - detail_before.ws_trims);
+  json.Counter("daemon_wakeups", detail.daemon_wakeups - detail_before.daemon_wakeups);
+  json.Counter("daemon_passes", detail.daemon_passes - detail_before.daemon_passes);
+  json.Counter("frames_reclaimed_daemon",
+               detail.frames_reclaimed_daemon - detail_before.frames_reclaimed_daemon);
+  json.Counter("sweeps_started", detail.sweeps_started - detail_before.sweeps_started);
+  json.Counter("sweep_waits", detail.sweep_waits - detail_before.sweep_waits);
+  json.Counter("reserve_grants", memory.stats().reserve_grants);
+  json.WriteFile();
+
+  for (int t = 0; t < cfg.threads; ++t) {
+    (void)caches[static_cast<size_t>(t)]->Destroy();
+    (void)contexts[static_cast<size_t>(t)]->Destroy();
+  }
+  if (vm.CheckInvariants() != Status::kOk) {
+    std::fprintf(stderr, "pageout_throughput: invariants broken after run\n");
+    return 2;
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gvm
+
+int main(int argc, char** argv) {
+  gvm::bench::Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--threads=", 0) == 0) {
+      cfg.threads = std::stoi(value());
+    } else if (arg.rfind("--pages=", 0) == 0) {
+      cfg.pages = std::stoul(value());
+    } else if (arg.rfind("--wslimit=", 0) == 0) {
+      cfg.wslimit = std::stoul(value());
+    } else if (arg.rfind("--overcommit=", 0) == 0) {
+      cfg.overcommit = std::stod(value());
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      cfg.seconds = std::stod(value());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.seed = std::stoull(value());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return gvm::bench::Run(cfg);
+}

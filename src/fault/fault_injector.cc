@@ -28,6 +28,9 @@ constexpr SiteNameEntry kSiteNames[] = {
     {"netpart", FaultSite::kNetPartition},
     {"crashsiterecall", FaultSite::kCrashSiteMidRecall},
     {"crashsiteack", FaultSite::kCrashSiteBeforeAck},
+    {"lowmem", FaultSite::kLowMemory},
+    {"pageoutstall", FaultSite::kPageoutStall},
+    {"crashmidbatch", FaultSite::kCrashMapperMidBatch},
 };
 
 // Errors a spec may name; anything else is a spec error.

@@ -59,6 +59,16 @@ enum class FaultSite : int {
   kCrashSiteBeforeAck,  // owner dies after its writeback committed at home but
                         // before the recall ack: the data survives, the ack is
                         // lost; the home must treat the dead owner as demoted
+  // Memory-pressure sites (DESIGN.md §15).
+  kLowMemory,     // PagedVm frame allocation under pressure: firing forces the
+                  // faulting thread onto the slow reclaim path even when the
+                  // fast allocator would have succeeded
+  kPageoutStall,  // one paging-daemon batch push: firing skips the batch (the
+                  // pages stay on the modified queue); planned latency models
+                  // a slow backing store without failing the write
+  kCrashMapperMidBatch,  // mid-append of a *multi-page* batch record: a torn
+                         // batch prefix reaches the journal; Recover() must
+                         // discard the whole batch (all-or-nothing commit)
   kSiteCount,
 };
 
@@ -66,8 +76,8 @@ inline constexpr int kFaultSiteCount = static_cast<int>(FaultSite::kSiteCount);
 
 // Short stable name ("read", "write", "alloctemp", "send", "recv", "frame",
 // "swap", "crashwrite", "crashmidwrite", "crashreply", "netdeliver",
-// "netpart", "crashsiterecall", "crashsiteack") used by the spec grammar and
-// in log/test output.
+// "netpart", "crashsiterecall", "crashsiteack", "lowmem", "pageoutstall",
+// "crashmidbatch") used by the spec grammar and in log/test output.
 std::string_view FaultSiteName(FaultSite site);
 bool ParseFaultSite(std::string_view name, FaultSite* out);
 

@@ -76,6 +76,27 @@ Status HashMmu::Unmap(AsId as, Vaddr va) {
   return Status::kOk;
 }
 
+Result<MmuEntry> HashMmu::UnmapCollect(AsId as, Vaddr va) {
+  Shard& shard = ShardFor(as);
+  WriterLock guard(shard.mu);
+  if (!shard.live_spaces.contains(as)) {
+    return Status::kNotFound;
+  }
+  const uint64_t vpn = Vpn(va);
+  auto it = shard.table.find({as, vpn});
+  if (it == shard.table.end()) {
+    return Status::kNotFound;
+  }
+  const MmuEntry removed{.frame = it->second.frame,
+                         .prot = it->second.prot,
+                         .referenced = it->second.referenced,
+                         .dirty = it->second.dirty};
+  shard.table.erase(it);
+  shard.space_pages[as].erase(vpn);
+  ++shard.stats.unmaps;
+  return removed;
+}
+
 Status HashMmu::Protect(AsId as, Vaddr va, Prot prot) {
   Shard& shard = ShardFor(as);
   WriterLock guard(shard.mu);

@@ -76,6 +76,35 @@ class Mmu {
   // Removes the translation for the page containing `va` (no-op if absent).
   [[nodiscard]] virtual Status Unmap(AsId as, Vaddr va) = 0;
 
+  // Removes the translation for the page containing `va` and returns the entry
+  // it removed (kNotFound if there was none).  Unlike a Lookup-then-Unmap
+  // pair, reading the referenced/dirty bits and destroying the entry are one
+  // atomic step: with the two-call form a write can translate in the gap,
+  // setting a dirty bit on a PTE the Unmap then wipes — and an eviction that
+  // harvested "clean" from the Lookup would drop acknowledged data.  Every
+  // eviction-side unmap must use this form.
+  [[nodiscard]] virtual Result<MmuEntry> UnmapCollect(AsId as, Vaddr va) = 0;
+
+  // Batched UnmapCollect over `count` consecutive pages (count <= 64): bit i
+  // of *dirty_mask is set iff page i had a dirty translation; pages without a
+  // translation are skipped.  The default loops UnmapCollect — each page's
+  // harvest stays atomic; batching only changes who pays the invalidation.
+  // Implementations with cross-CPU invalidation costs (TlbMmu) override it to
+  // cover the run with one ranged shootdown, like UnmapRange.
+  [[nodiscard]] virtual Status UnmapRangeCollect(AsId as, Vaddr va, size_t count,
+                                                 uint64_t* dirty_mask) {
+    const size_t page = page_size();
+    uint64_t mask = 0;
+    for (size_t i = 0; i < count && i < 64; ++i) {
+      Result<MmuEntry> removed = UnmapCollect(as, va + i * page);
+      if (removed.ok() && removed->dirty) {
+        mask |= uint64_t{1} << i;
+      }
+    }
+    *dirty_mask = mask;
+    return Status::kOk;
+  }
+
   // Changes the protection of an existing translation.  kNotFound if unmapped.
   [[nodiscard]] virtual Status Protect(AsId as, Vaddr va, Prot prot) = 0;
 

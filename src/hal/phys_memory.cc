@@ -59,18 +59,35 @@ FrameIndex PhysicalMemory::Commission(FrameIndex frame) {
   return frame;
 }
 
-Result<FrameIndex> PhysicalMemory::AllocateFrame() {
+Result<FrameIndex> PhysicalMemory::AllocateFrame(AllocClass cls) {
+  Result<FrameIndex> result = AllocateFrameInner(cls);
+  // Low-water wakeup: fires on the allocating thread with no allocator lock
+  // held (the daemon latch ranks above the manager lock a caller may hold).
+  LowMemoryHook* hook = low_memory_hook_.load(std::memory_order_acquire);
+  if (result.ok() && hook != nullptr &&
+      free_frames() <= low_memory_threshold_.load(std::memory_order_relaxed)) {
+    low_memory_kicks_.fetch_add(1, std::memory_order_relaxed);
+    hook->OnLowMemory();
+  }
+  return result;
+}
+
+Result<FrameIndex> PhysicalMemory::AllocateFrameInner(AllocClass cls) {
   FaultInjector* injector = injector_.load(std::memory_order_acquire);
   if (injector != nullptr && injector->Check(FaultSite::kFrameAlloc) != Status::kOk) {
     return Status::kNoMemory;
   }
+  const size_t floor = SharedFloor(cls);
   if (magazine_capacity_ == 0) {
     MutexLock lock(mu_);
-    if (free_list_.empty()) {
+    if (free_list_.size() <= floor) {
       return Status::kNoMemory;
     }
     const FrameIndex frame = free_list_.back();
     free_list_.pop_back();
+    if (cls == AllocClass::kEmergency && free_list_.size() < emergency_reserve()) {
+      reserve_grants_.fetch_add(1, std::memory_order_relaxed);
+    }
     shared_free_.store(free_list_.size(), std::memory_order_relaxed);
     return Commission(frame);
   }
@@ -87,11 +104,12 @@ Result<FrameIndex> PhysicalMemory::AllocateFrame() {
     }
     // Empty magazine: refill in one batch from the shared list — single
     // frames under pressure, so a nearly-dry system is not monopolized by
-    // whichever CPU refills first.
+    // whichever CPU refills first.  The refill never digs into the reserve.
     MutexLock shared(mu_);
-    if (!free_list_.empty()) {
+    if (free_list_.size() > floor) {
+      const size_t available = free_list_.size() - floor;
       const size_t batch =
-          UnderPressure() ? 1 : std::min(magazine_capacity_ / 2 + 1, free_list_.size());
+          UnderPressure() ? 1 : std::min(magazine_capacity_ / 2 + 1, available);
       // The shared stack yields oldest-first; hand the first frame to the
       // caller and stash the rest reversed, so consecutive allocs still see
       // ascending frames (the pre-magazine LIFO order tests rely on).
@@ -106,6 +124,9 @@ Result<FrameIndex> PhysicalMemory::AllocateFrame() {
       mag.count.store(mag.frames.size(), std::memory_order_relaxed);
       if (batch > 1) {
         magazine_refills_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (cls == AllocClass::kEmergency && free_list_.size() < emergency_reserve()) {
+        reserve_grants_.fetch_add(1, std::memory_order_relaxed);
       }
       return Commission(out);
     }
@@ -128,9 +149,12 @@ Result<FrameIndex> PhysicalMemory::AllocateFrame() {
   // Last look at the shared list: a concurrent free may have landed after the
   // raid swept past its magazine.
   MutexLock lock(mu_);
-  if (!free_list_.empty()) {
+  if (free_list_.size() > floor) {
     const FrameIndex frame = free_list_.back();
     free_list_.pop_back();
+    if (cls == AllocClass::kEmergency && free_list_.size() < emergency_reserve()) {
+      reserve_grants_.fetch_add(1, std::memory_order_relaxed);
+    }
     shared_free_.store(free_list_.size(), std::memory_order_relaxed);
     return Commission(frame);
   }
@@ -225,6 +249,8 @@ PhysicalMemory::Stats PhysicalMemory::stats() const {
   out.magazine_refills = magazine_refills_.load(std::memory_order_relaxed);
   out.magazine_drains = magazine_drains_.load(std::memory_order_relaxed);
   out.magazine_steals = magazine_steals_.load(std::memory_order_relaxed);
+  out.reserve_grants = reserve_grants_.load(std::memory_order_relaxed);
+  out.low_memory_kicks = low_memory_kicks_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -237,6 +263,8 @@ void PhysicalMemory::ResetStats() {
   magazine_refills_.store(0, std::memory_order_relaxed);
   magazine_drains_.store(0, std::memory_order_relaxed);
   magazine_steals_.store(0, std::memory_order_relaxed);
+  reserve_grants_.store(0, std::memory_order_relaxed);
+  low_memory_kicks_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gvm

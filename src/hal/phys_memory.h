@@ -18,6 +18,7 @@
 #ifndef GVM_SRC_HAL_PHYS_MEMORY_H_
 #define GVM_SRC_HAL_PHYS_MEMORY_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -44,6 +45,23 @@ class PhysicalMemory {
     uint64_t magazine_refills = 0;  // batched pulls, shared list -> magazine
     uint64_t magazine_drains = 0;   // batched returns, magazine -> shared list
     uint64_t magazine_steals = 0;   // allocations served by raiding another magazine
+    uint64_t reserve_grants = 0;    // emergency allocations served from the reserve
+    uint64_t low_memory_kicks = 0;  // low-memory hook invocations
+  };
+
+  // Who is asking for the frame.  kEmergency is reserved for the reclaim path
+  // (the paging daemon / active sweeper): it may dip into the emergency
+  // reserve, so page-out never deadlocks on needing a frame to free frames.
+  enum class AllocClass { kNormal, kEmergency };
+
+  // Callback invoked (with no PhysicalMemory lock held, on the allocating
+  // thread) after a successful allocation leaves free_frames() at or below the
+  // configured threshold.  Implementations must be cheap and reentrant — the
+  // PagedVm daemon uses it as a wake latch.
+  class LowMemoryHook {
+   public:
+    virtual ~LowMemoryHook() = default;
+    virtual void OnLowMemory() = 0;
   };
 
   // One magazine per hashed thread slot; matches TlbMmu::kMaxCpus so every
@@ -63,12 +81,33 @@ class PhysicalMemory {
   PhysicalMemory(const PhysicalMemory&) = delete;
   PhysicalMemory& operator=(const PhysicalMemory&) = delete;
 
-  // Allocates a frame (contents undefined).  Fails with kNoMemory only when no
-  // frame exists anywhere (own magazine, shared list, and every other magazine
-  // raided in turn); the memory manager is expected to run page-out and retry.
-  Result<FrameIndex> AllocateFrame();
+  // Allocates a frame (contents undefined).  kNormal fails with kNoMemory once
+  // only the emergency reserve remains; kEmergency may drain the reserve too,
+  // so it fails only when no frame exists anywhere (own magazine, shared list,
+  // and every other magazine raided in turn).  The memory manager is expected
+  // to run page-out and retry.
+  Result<FrameIndex> AllocateFrame(AllocClass cls = AllocClass::kNormal);
 
   void FreeFrame(FrameIndex frame);
+
+  // Frames at the bottom of the shared free list withheld from kNormal
+  // allocations (default 0 = no reserve).  Set once at world setup, before
+  // allocation traffic starts.
+  void SetEmergencyReserve(size_t frames) {
+    emergency_reserve_.store(std::min(frames, frame_count_), std::memory_order_relaxed);
+  }
+  size_t emergency_reserve() const {
+    return emergency_reserve_.load(std::memory_order_relaxed);
+  }
+
+  // Installs (or, with hook == nullptr, removes) the low-memory callback: after
+  // any successful allocation that leaves free_frames() <= threshold, the hook
+  // fires on the allocating thread with no allocator lock held.  Set once at
+  // world setup, before allocation traffic starts.
+  void SetLowMemoryHook(LowMemoryHook* hook, size_t threshold) {
+    low_memory_threshold_.store(threshold, std::memory_order_relaxed);
+    low_memory_hook_.store(hook, std::memory_order_release);
+  }
 
   // Returns every magazine-cached frame to the shared free list.  Used by
   // tests and by quiescent reconciliation; the allocator itself never needs
@@ -108,6 +147,11 @@ class PhysicalMemory {
   // as kNoMemory, the only error AllocateFrame can legally return).  Null
   // disables injection; the injector must outlive this object.
   void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  // The bound injector, so components downstream of this memory (the PagedVm
+  // pressure paths) can evaluate their own sites without separate plumbing.
+  FaultInjector* fault_injector() const {
+    return injector_.load(std::memory_order_acquire);
+  }
 
  private:
   struct alignas(64) Magazine {
@@ -120,6 +164,15 @@ class PhysicalMemory {
   Magazine& MyMagazine();
   // Marks `frame` allocated (asserting it was free) and counts the allocation.
   FrameIndex Commission(FrameIndex frame);
+  // AllocateFrame minus the low-memory hook (which must run with no lock held,
+  // so the wrapper fires it after the inner allocation returns).
+  Result<FrameIndex> AllocateFrameInner(AllocClass cls);
+  // Shared-list frames a pop of class `cls` must leave behind.
+  size_t SharedFloor(AllocClass cls) const {
+    return cls == AllocClass::kEmergency
+               ? 0
+               : emergency_reserve_.load(std::memory_order_relaxed);
+  }
   // True when the shared list is low enough that magazines must stop hoarding:
   // frees go straight to the shared list and refills take single frames.
   bool UnderPressure() const {
@@ -152,6 +205,12 @@ class PhysicalMemory {
   std::atomic<uint64_t> magazine_refills_{0};
   std::atomic<uint64_t> magazine_drains_{0};
   std::atomic<uint64_t> magazine_steals_{0};
+  std::atomic<uint64_t> reserve_grants_{0};
+  std::atomic<uint64_t> low_memory_kicks_{0};
+
+  std::atomic<size_t> emergency_reserve_{0};
+  std::atomic<size_t> low_memory_threshold_{0};
+  std::atomic<LowMemoryHook*> low_memory_hook_{nullptr};
 
   std::atomic<FaultInjector*> injector_{nullptr};
 };

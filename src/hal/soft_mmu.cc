@@ -105,6 +105,31 @@ Status SoftMmu::Unmap(AsId as, Vaddr va) {
   return Status::kOk;
 }
 
+Result<MmuEntry> SoftMmu::UnmapCollect(AsId as, Vaddr va) {
+  Shard& shard = ShardFor(as);
+  WriterLock guard(shard.mu);
+  AddressSpace* space = FindSpace(shard, as);
+  if (space == nullptr) {
+    return Status::kNotFound;
+  }
+  auto it = space->directory.find(DirIndex(va));
+  if (it == space->directory.end()) {
+    return Status::kNotFound;
+  }
+  Pte& pte = it->second->entries[LeafIndex(va)];
+  if (!pte.valid) {
+    return Status::kNotFound;
+  }
+  const MmuEntry removed{
+      .frame = pte.frame, .prot = pte.prot, .referenced = pte.referenced, .dirty = pte.dirty};
+  pte = Pte{};
+  ++shard.stats.unmaps;
+  if (--it->second->valid_count == 0) {
+    space->directory.erase(it);  // reclaim empty leaf tables
+  }
+  return removed;
+}
+
 Status SoftMmu::Protect(AsId as, Vaddr va, Prot prot) {
   Shard& shard = ShardFor(as);
   WriterLock guard(shard.mu);

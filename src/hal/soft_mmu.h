@@ -36,6 +36,7 @@ class SoftMmu final : public Mmu {
   [[nodiscard]] Status DestroyAddressSpace(AsId as) override;
   [[nodiscard]] Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
   [[nodiscard]] Status Unmap(AsId as, Vaddr va) override;
+  [[nodiscard]] Result<MmuEntry> UnmapCollect(AsId as, Vaddr va) override;
   [[nodiscard]] Status Protect(AsId as, Vaddr va, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,

@@ -416,6 +416,17 @@ Status TlbMmu::Unmap(AsId as, Vaddr va) {
   return s;
 }
 
+Result<MmuEntry> TlbMmu::UnmapCollect(AsId as, Vaddr va) {
+  // The inner MMU does the atomic remove-and-read; this wrapper only owes the
+  // invalidation, exactly as in Unmap (the removed entry doubles as the
+  // was-mapped test).
+  Result<MmuEntry> removed = inner_.UnmapCollect(as, va);
+  if (enabled_ && removed.ok()) {
+    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+  }
+  return removed;
+}
+
 Status TlbMmu::Protect(AsId as, Vaddr va, Prot prot) {
   bool downgrade = false;
   if (enabled_) {
@@ -463,6 +474,39 @@ Status TlbMmu::UnmapRange(AsId as, Vaddr va, size_t count) {
       last = vpn;
     }
   }
+  if (any) {
+    ShootdownRange(as, first, last - first + 1);
+  }
+  return Status::kOk;
+}
+
+Status TlbMmu::UnmapRangeCollect(AsId as, Vaddr va, size_t count, uint64_t* dirty_mask) {
+  if (!enabled_) {
+    return inner_.UnmapRangeCollect(as, va, count, dirty_mask);
+  }
+  const size_t page = size_t{1} << page_shift_;
+  uint64_t mask = 0;
+  uint64_t first = 0;
+  uint64_t last = 0;
+  bool any = false;
+  for (size_t i = 0; i < count && i < 64; ++i) {
+    const Vaddr v = va + i * page;
+    // Per-page atomic remove-and-read; the run pays one ranged invalidation.
+    Result<MmuEntry> removed = inner_.UnmapCollect(as, v);
+    if (!removed.ok()) {
+      continue;  // range contract: holes are skipped
+    }
+    if (removed->dirty) {
+      mask |= uint64_t{1} << i;
+    }
+    const uint64_t vpn = v >> page_shift_;
+    if (!any) {
+      first = vpn;
+      any = true;
+    }
+    last = vpn;
+  }
+  *dirty_mask = mask;
   if (any) {
     ShootdownRange(as, first, last - first + 1);
   }

@@ -110,11 +110,14 @@ class TlbMmu final : public Mmu {
   [[nodiscard]] Status DestroyAddressSpace(AsId as) override;
   [[nodiscard]] Status Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
   [[nodiscard]] Status Unmap(AsId as, Vaddr va) override;
+  [[nodiscard]] Result<MmuEntry> UnmapCollect(AsId as, Vaddr va) override;
   [[nodiscard]] Status Protect(AsId as, Vaddr va, Prot prot) override;
   // Range forms batch the invalidation: the whole contiguous run pays one
   // shootdown (one generation-publish sweep + one fence epoch) instead of one
   // per page — the software analogue of a ranged TLBI.
   [[nodiscard]] Status UnmapRange(AsId as, Vaddr va, size_t count) override;
+  [[nodiscard]] Status UnmapRangeCollect(AsId as, Vaddr va, size_t count,
+                                         uint64_t* dirty_mask) override;
   [[nodiscard]] Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,

@@ -116,6 +116,18 @@ Status JournaledSwapMapper::JournalAndApply(RecordType type, uint64_t seq,
       crash_pending_.store(true, std::memory_order_release);
       return Status::kPortDead;
     }
+    if (payload_size > store_.page_size_ &&
+        injector->Check(FaultSite::kCrashMapperMidBatch) != Status::kOk) {
+      // Mid-append of a *multi-page* batch (the paging daemon's clustered
+      // pushOut): a torn batch prefix reaches the log.  Recover() discards the
+      // whole record, so a batch commits all-or-nothing — no page of the batch
+      // is durable unless every page is.
+      size_t torn = kHeaderBytes + payload_size / 2;
+      store_.journal_.insert(store_.journal_.end(), record.begin(),
+                             record.begin() + static_cast<ptrdiff_t>(torn));
+      crash_pending_.store(true, std::memory_order_release);
+      return Status::kPortDead;
+    }
   }
   store_.journal_.insert(store_.journal_.end(), record.begin(), record.end());
   // Commit point passed: apply to the page area.

@@ -110,7 +110,7 @@ std::string PagedVm::DumpStats() const {
   const Cpu::Stats cs = self->cpu().SnapshotStats();
   const Mmu::Stats ms = self->mmu().stats();
   MutexLock lock(self->mu_);
-  const MmStats& mm = stats();
+  const MmStats& mm = self->mutable_stats();  // stats() would re-lock mu_
   const PvmDetailStats& d = detail_;
   std::ostringstream out;
   out << "mm: faults=" << mm.page_faults << " prot_faults=" << mm.protection_faults
@@ -137,7 +137,18 @@ std::string PagedVm::DumpStats() const {
   const PhysicalMemory::Stats ps = memory().stats();
   out << "frames: allocs=" << ps.allocations << " frees=" << ps.frees
       << " magazine_hits=" << ps.magazine_hits << " refills=" << ps.magazine_refills
-      << " drains=" << ps.magazine_drains << " steals=" << ps.magazine_steals << "\n";
+      << " drains=" << ps.magazine_drains << " steals=" << ps.magazine_steals
+      << " reserve_grants=" << ps.reserve_grants
+      << " lowmem_kicks=" << ps.low_memory_kicks << "\n";
+  out << "pressure: sweeps=" << d.sweeps_started << " sweep_waits=" << d.sweep_waits
+      << " daemon_wakeups=" << d.daemon_wakeups << " passes=" << d.daemon_passes
+      << " daemon_reclaimed=" << d.frames_reclaimed_daemon
+      << " batches=" << d.batch_pushes << "/" << d.batch_push_pages
+      << " soft_faults=" << d.soft_faults << " standby_hits=" << d.standby_hits
+      << " ws_trims=" << d.ws_trims << " throttles=" << d.thrash_throttles
+      << " stalls=" << d.pageout_stalls << " lowmem_faults=" << d.low_memory_faults
+      << " modified=" << modified_queue_.size() << " standby=" << standby_queue_.size()
+      << "\n";
   out << "mmu: maps=" << ms.maps << " unmaps=" << ms.unmaps << " protects=" << ms.protects
       << " translations=" << ms.translations << " faults=" << ms.faults
       << " spaces=" << ms.spaces_created << "/" << ms.spaces_destroyed << "\n";
@@ -223,6 +234,64 @@ Status PagedVm::CheckInvariants() const {
         fail("history object " + history->name() + " does not read through " + cache->name());
       }
     });
+  }
+
+  // Pageout-queue consistency (DESIGN.md §15): the per-page queue tag matches
+  // list membership exactly, and every queued page is a settled reclaim
+  // candidate — unmapped, unpinned, not in transit, and resident.
+  {
+    std::unordered_set<const PageDesc*> queued;
+    auto check_queue = [&](const std::list<PageDesc*>& q, PageQueue tag,
+                           const char* name) {
+      for (const PageDesc* page : q) {
+        if (!all_pages.contains(page)) {
+          fail(std::string(name) + " queue holds a freed page descriptor");
+          continue;
+        }
+        if (!queued.insert(page).second) {
+          fail(std::string(name) + " queue holds a page twice / on both queues");
+        }
+        if (page->queue != tag) {
+          fail(std::string(name) + " queue member has a mismatched queue tag");
+        }
+        if (!page->mappings.empty() || page->pin_count > 0 || page->in_transit) {
+          fail(std::string(name) + " queue holds an unsettled page");
+        }
+      }
+    };
+    check_queue(modified_queue_, PageQueue::kModified, "modified");
+    check_queue(standby_queue_, PageQueue::kStandby, "standby");
+    for (const PageDesc* page : all_pages) {
+      if (page->queue != PageQueue::kNone && !queued.contains(page)) {
+        fail("page tagged as queued is on neither pageout queue");
+      }
+    }
+  }
+  // Working-set consistency: index and FIFO agree, and every tracked page
+  // really is mapped into that address space.
+  for (const auto& [as, ws] : working_sets_) {
+    if (ws.index.size() != ws.fifo.size()) {
+      fail("working-set index/FIFO size mismatch");
+    }
+    for (const PageDesc* page : ws.fifo) {
+      if (!all_pages.contains(page)) {
+        fail("working set tracks a freed page descriptor");
+        continue;
+      }
+      auto idx = ws.index.find(const_cast<PageDesc*>(page));
+      if (idx == ws.index.end() || &**idx->second != page) {
+        fail("working-set index entry missing or pointing at the wrong node");
+      }
+      bool mapped_here = false;
+      for (const MappingRef& ref : page->mappings) {
+        if (ref.as == as) {
+          mapped_here = true;
+        }
+      }
+      if (!mapped_here) {
+        fail("working-set member has no mapping in its address space");
+      }
+    }
   }
 
   // Every global-map entry is consistent.

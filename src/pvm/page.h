@@ -49,6 +49,15 @@ struct CowStub {
   SegOffset src_offset = 0;
 };
 
+// Which global pageout queue a page is threaded on (DESIGN.md §15).  Unmapped
+// resident pages sit on the modified queue (believed dirty: must be pushed
+// before the frame can be reused) or the standby queue (believed clean or
+// already pushed: the frame is reclaimable immediately, and a re-fault is a
+// *soft fault* — the page is rescued from the queue with no mapper I/O).
+// Mapped, pinned or in-transit pages are on no queue.  Membership is advisory:
+// the daemon revalidates dirtiness at pop time and requeues mismatches.
+enum class PageQueue : uint8_t { kNone, kModified, kStandby };
+
 // Real page descriptor (section 4.1.1).
 struct PageDesc {
   PvmCache* cache = nullptr;  // back pointer to the cache descriptor
@@ -58,6 +67,8 @@ struct PageDesc {
   uint32_t pin_count = 0;      // lockInMemory nesting
   bool sw_dirty = false;       // known modified relative to the segment
   bool in_transit = false;     // pushOut in progress: accesses sleep, like a sync stub
+  PageQueue queue = PageQueue::kNone;  // pageout queue membership ...
+  std::list<PageDesc*>::iterator queue_pos;  // ... and position (valid iff queue != kNone)
   std::vector<MappingRef> mappings;
   std::vector<CowStub*> stubs;  // stubs whose source is this page ("threaded together
                                 // on a list attached to its page descriptor")

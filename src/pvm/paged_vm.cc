@@ -3,6 +3,7 @@
 // 4.2.3, 4.3).
 #include "src/pvm/paged_vm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <thread>
@@ -12,10 +13,37 @@
 
 namespace gvm {
 
+namespace {
+
+// Resolves the kAutoReserve sentinel: no reserve without a reclaimer entitled
+// to it — the reserve only exists to break the pageout-needs-memory deadlock,
+// so it is sized iff the daemon runs.
+PagedVm::Options ResolvePressureOptions(PagedVm::Options options,
+                                        const PhysicalMemory& memory) {
+  if (options.emergency_reserve_frames == PagedVm::Options::kAutoReserve) {
+    options.emergency_reserve_frames =
+        options.pageout_daemon ? std::max<size_t>(2, memory.frame_count() / 64) : 0;
+  }
+  return options;
+}
+
+}  // namespace
+
 PagedVm::PagedVm(PhysicalMemory& memory, Mmu& mmu, Options options)
-    : BaseMm(memory, mmu, options.enable_tlb, options.shootdown_fence), options_(options) {}
+    : BaseMm(memory, mmu, options.enable_tlb, options.shootdown_fence),
+      options_(ResolvePressureOptions(options, memory)) {
+  daemon_kicker_.vm = this;
+  if (options_.emergency_reserve_frames > 0) {
+    memory.SetEmergencyReserve(options_.emergency_reserve_frames);
+  }
+  if (options_.pageout_daemon) {
+    StartPageoutDaemon();
+  }
+}
 
 PagedVm::~PagedVm() {
+  // Quiesce the daemon before any state it walks is dismantled.
+  StopPageoutDaemon();
   // Tear down all caches without push-outs: the simulation is ending.
   for (auto& [id, cache] : caches_) {
     ReleasePages(*cache);
@@ -65,29 +93,58 @@ PageDesc* PagedVm::FindOwned(PvmCache& cache, SegOffset page_offset) {
 
 Result<FrameIndex> PagedVm::AllocateFrame(MutexLock& lock,
                                           bool* dropped_lock) {
-  Result<FrameIndex> frame = memory().AllocateFrame();
-  if (frame.ok()) {
-    // Keep the pool topped up in the background of this allocation, so that bursts
-    // of materialization do not hit the empty-pool path on every page.
-    if (options_.low_water_frames > 0 && memory().free_frames() < options_.low_water_frames) {
-      if (BalanceFreeFrames(lock)) {
-        *dropped_lock = true;
-      }
+  // The reclaim path draws from the emergency reserve, so page-out can never
+  // deadlock on needing a frame to free frames.
+  const PhysicalMemory::AllocClass cls = AllocClassForThisThread();
+  bool force_slow = false;
+  if (FaultInjector* injector = memory().fault_injector()) {
+    if (injector->Check(FaultSite::kLowMemory) != Status::kOk) {
+      // Injected pressure: skip the fast path once, forcing this allocation
+      // through the full reclaim machinery even when frames are plentiful.
+      force_slow = true;
+      ++detail_.low_memory_faults;
     }
-    return frame;
+  }
+  if (!force_slow) {
+    Result<FrameIndex> frame = memory().AllocateFrame(cls);
+    if (frame.ok()) {
+      // Keep the pool topped up in the background of this allocation, so that bursts
+      // of materialization do not hit the empty-pool path on every page.
+      if (options_.low_water_frames > 0 &&
+          memory().free_frames() < options_.low_water_frames) {
+        if (daemon_active_.load(std::memory_order_acquire)) {
+          // A background reclaimer exists: wake it instead of paying for the
+          // sweep on the fault path.
+          KickPageoutDaemon();
+        } else if (BalanceFreeFrames(lock)) {
+          *dropped_lock = true;
+        }
+      }
+      return frame;
+    }
   }
   if (options_.low_water_frames == 0) {
-    return frame;  // pager disabled: hard OOM is the configured contract
+    // Pager disabled: hard OOM is the configured contract.
+    return force_slow ? Result<FrameIndex>(Status::kNoMemory)
+                      : memory().AllocateFrame(cls);
   }
   // Bounded eviction-pressure loop: a dry pool is often transient (every frame
-  // momentarily pinned or in transit, or a flaky allocation fault), so run the
-  // pager and re-try a few rounds before surfacing kNoMemory.
-  for (uint64_t attempt = 0;; ++attempt) {
+  // momentarily pinned or in transit, or a flaky allocation fault).  Each round
+  // either runs a reclaim pass or — when another thread is already sweeping —
+  // sleeps on its completion, so kNoMemory surfaces only after reclaim has
+  // *demonstrably* failed to produce a frame this many times.
+  for (uint64_t failed_rounds = 0;;) {
+    if (daemon_active_.load(std::memory_order_acquire)) {
+      KickPageoutDaemon();
+    }
     if (BalanceFreeFrames(lock)) {
       *dropped_lock = true;
     }
-    frame = memory().AllocateFrame();
-    if (frame.ok() || attempt >= options_.alloc_retry_limit) {
+    Result<FrameIndex> frame = memory().AllocateFrame(cls);
+    if (frame.ok()) {
+      return frame;
+    }
+    if (++failed_rounds > options_.alloc_retry_limit) {
       return frame;
     }
     ++detail_.alloc_pressure_retries;
@@ -274,6 +331,9 @@ void PagedVm::AdoptInboundStubs(PvmCache& cache, PageDesc& page) {
 
 void PagedVm::FreePage(PageDesc* page) {
   UnmapAllMappings(*page);
+  // After the unmap hooks, which may have just enqueued the page: it is about
+  // to die, so it must leave the pageout queues for good.
+  QueueRemove(*page);
   // Per-page stubs that pointed at this page switch to the non-resident form:
   // "a pointer to the source local-cache descriptor and its offset" (section 4.3).
   // They are kept in the cache's inbound table so a re-pull re-threads them.
@@ -313,7 +373,13 @@ void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot pr
       return;
     }
     // Replace the previous mapping (e.g. an ancestor page superseded by a private
-    // copy after a write fault).
+    // copy after a write fault).  The overwriting Map below installs a different
+    // frame, which starts the PTE's dirty bit clear — harvest the old page's bit
+    // atomically first or a modification recorded only in hardware dies with it.
+    Result<MmuEntry> removed = mmu().UnmapCollect(region.context().address_space(), page_va);
+    if (removed.ok() && removed->dirty) {
+      old->sw_dirty = true;
+    }
     for (size_t i = 0; i < old->mappings.size(); ++i) {
       if (old->mappings[i].region == &region && old->mappings[i].va == page_va) {
         old->mappings[i] = old->mappings.back();
@@ -322,17 +388,54 @@ void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot pr
       }
     }
     rmap.erase(it);
+    WsNoteUnmapped(region.context().address_space(), *old);
+    if (old->mappings.empty()) {
+      ReconsiderQueue(*old);
+    }
   }
   AsId as = region.context().address_space();
   (void)mmu().Map(as, page_va, page.frame, prot);
   page.mappings.push_back(
       MappingRef{.as = as, .va = page_va, .region = &region, .via_cache = &via_cache});
   rmap[page_va] = &page;
+  // Pressure bookkeeping.  Mapping a queued page is a *soft fault*: the page
+  // was rescued from the pageout queues with no mapper I/O.  The re-fault rate
+  // feeds the address space's thrashing EWMA (fixed-point, x1000).
+  WorkingSet& ws = working_sets_[as];
+  const bool refault = page.queue != PageQueue::kNone;
+  if (refault) {
+    ++detail_.soft_faults;
+    if (page.queue == PageQueue::kStandby) {
+      ++detail_.standby_hits;
+    }
+    QueueRemove(page);
+  }
+  ws.refault_ewma_x1000 = ws.refault_ewma_x1000 * 7 / 8 + (refault ? 1000 / 8 : 0);
+  WsNoteMapped(as, page);
+  if (options_.working_set_limit_pages > 0) {
+    // Fault-time working-set trim: evict (unmap only — no I/O here) this
+    // space's coldest pages until it is back under its limit.  Never trim the
+    // page just mapped, even when the limit is absurdly small.
+    while (ws.fifo.size() > options_.working_set_limit_pages &&
+           ws.fifo.front() != &page) {
+      ++detail_.ws_trims;
+      TrimPageFromAs(*ws.fifo.front(), as);
+    }
+  }
 }
 
 void PagedVm::UnmapMapping(PageDesc& page, size_t index) {
   const MappingRef ref = page.mappings[index];
-  (void)mmu().Unmap(ref.as, ref.va);
+  // Harvest the hardware dirty bit as the translation dies: a read fault on a
+  // writable region maps with write permission, so the CPU can dirty the page
+  // without a fault ever setting sw_dirty — after the unmap, that bit is the
+  // only record of the modification.  The remove-and-read must be the MMU's
+  // atomic UnmapCollect: with a separate Lookup a write can slip between the
+  // probe and the unmap, and its dirty bit dies with the PTE.
+  Result<MmuEntry> removed = mmu().UnmapCollect(ref.as, ref.va);
+  if (removed.ok() && removed->dirty) {
+    page.sw_dirty = true;
+  }
   auto rm_it = region_maps_.find(ref.region);
   if (rm_it != region_maps_.end()) {
     rm_it->second.erase(ref.va);
@@ -342,6 +445,10 @@ void PagedVm::UnmapMapping(PageDesc& page, size_t index) {
   }
   page.mappings[index] = page.mappings.back();
   page.mappings.pop_back();
+  WsNoteUnmapped(ref.as, page);
+  if (page.mappings.empty()) {
+    ReconsiderQueue(page);
+  }
 }
 
 void PagedVm::UnmapAllMappings(PageDesc& page) {
@@ -830,6 +937,28 @@ Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault, SegOffs
   const Vaddr page_va = AlignDown(fault.address, page_size());
   Status result = Status::kOk;
 
+  // Thrash throttle (DESIGN.md §15): while the pool sits below low water, an
+  // address space whose re-fault EWMA marks it a thrasher waits out one
+  // reclaim pass instead of stealing the frames its own evictions are about
+  // to re-fault on.  Only engages with the daemon running (so a waker is
+  // guaranteed) and never throttles the reclaimer itself; the decay below
+  // bounds consecutive throttles of one space, guaranteeing progress.
+  if (options_.thrash_ewma_threshold > 0 &&
+      daemon_active_.load(std::memory_order_acquire) &&
+      options_.low_water_frames > 0 &&
+      memory().free_frames() < options_.low_water_frames &&
+      active_reclaimer_ != std::this_thread::get_id()) {
+    auto ws_it = working_sets_.find(region.context().address_space());
+    if (ws_it != working_sets_.end() &&
+        ws_it->second.refault_ewma_x1000 > options_.thrash_ewma_threshold) {
+      ++detail_.thrash_throttles;
+      ws_it->second.refault_ewma_x1000 = ws_it->second.refault_ewma_x1000 * 7 / 8;
+      KickPageoutDaemon();
+      sleepers_.Wait(kFrameWaitKey, mu_);  // drops and reacquires mu_
+      return Status::kOk;  // the CPU re-faults; the region may be gone by now
+    }
+  }
+
   for (int rounds = 0; rounds < 256; ++rounds) {
     PvmCache& cache = static_cast<PvmCache&>(r->cache());
     bool dropped = false;
@@ -998,36 +1127,56 @@ void PagedVm::OnRegionUnmapping(RegionImpl& region) {
   auto it = region_maps_.find(&region);
   if (it != region_maps_.end()) {
     // Detach every mapped page (O(resident pages of the region), per section
-    // 4.1).  The loop is bookkeeping only; the MMU side is one batched
-    // UnmapRange per *contiguous resident run*, found by walking the sorted
-    // rmap — never the whole VA span, which for a sparse region could be
-    // astronomically larger than its resident set.  Under the caller's gather
-    // (region/context teardown) all runs share one fence regardless.
+    // 4.1).  The MMU side is one batched UnmapRangeCollect per *contiguous
+    // resident run* (capped at the 64-page dirty-mask width), found by walking
+    // the sorted rmap — never the whole VA span, which for a sparse region
+    // could be astronomically larger than its resident set.  The unmap runs
+    // BEFORE the bookkeeping for its pages: the collected mask is the atomic
+    // dirty harvest (see UnmapMapping), and ReconsiderQueue must classify
+    // modified-vs-standby only after that harvest has landed in sw_dirty.
+    // Under the caller's gather (region/context teardown) all runs share one
+    // fence regardless.
     const size_t page_bytes = page_size();
     const AsId as = region.context().address_space();
+    std::vector<PageDesc*> run;
     Vaddr run_start = 0;
-    Vaddr run_end = 0;  // one past the last page of the open run
-    for (auto& [va, page] : it->second) {
-      for (size_t i = 0; i < page->mappings.size(); ++i) {
-        if (page->mappings[i].region == &region && page->mappings[i].va == va) {
-          page->mappings[i] = page->mappings.back();
-          page->mappings.pop_back();
-          break;
+    auto flush_run = [&] {
+      if (run.empty()) {
+        return;
+      }
+      uint64_t dirty_mask = 0;
+      (void)mmu().UnmapRangeCollect(as, run_start, run.size(), &dirty_mask);
+      for (size_t i = 0; i < run.size(); ++i) {
+        PageDesc* page = run[i];
+        if ((dirty_mask >> i) & 1) {
+          page->sw_dirty = true;
+        }
+        const Vaddr va = run_start + i * page_bytes;
+        for (size_t m = 0; m < page->mappings.size(); ++m) {
+          if (page->mappings[m].region == &region && page->mappings[m].va == va) {
+            page->mappings[m] = page->mappings.back();
+            page->mappings.pop_back();
+            break;
+          }
+        }
+        WsNoteUnmapped(as, *page);
+        if (page->mappings.empty()) {
+          ReconsiderQueue(*page);
         }
       }
-      if (run_end != 0 && va == run_end) {
-        run_end += page_bytes;
-        continue;
+      run.clear();
+    };
+    for (auto& [va, page] : it->second) {
+      if (!run.empty() &&
+          (va != run_start + run.size() * page_bytes || run.size() == 64)) {
+        flush_run();
       }
-      if (run_end != 0) {
-        (void)mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
+      if (run.empty()) {
+        run_start = va;
       }
-      run_start = va;
-      run_end = va + page_bytes;
+      run.push_back(page);
     }
-    if (run_end != 0) {
-      (void)mmu().UnmapRange(as, run_start, (run_end - run_start) / page_bytes);
-    }
+    flush_run();
     region_maps_.erase(it);
   }
   static_cast<PvmCache&>(region.cache()).mapping_count_--;

@@ -17,8 +17,12 @@
 #ifndef GVM_SRC_PVM_PAGED_VM_H_
 #define GVM_SRC_PVM_PAGED_VM_H_
 
+#include <atomic>
+#include <list>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +59,20 @@ struct PvmDetailStats {
   uint64_t journal_replays = 0;           // committed records replayed across recoveries
   uint64_t journal_records_discarded = 0; // torn/corrupt records truncated across recoveries
   uint64_t requests_reissued = 0;         // requeued pushes that later succeeded
+  // Memory-pressure accounting (DESIGN.md §15).
+  uint64_t sweeps_started = 0;         // threads that won the single-sweeper gate
+  uint64_t sweep_waits = 0;            // threads that slept on a pass instead of sweeping
+  uint64_t daemon_wakeups = 0;         // times the paging daemon woke on its latch
+  uint64_t daemon_passes = 0;          // reclaim passes completed (daemon or test hook)
+  uint64_t frames_reclaimed_daemon = 0;// frames freed by reclaim passes (queues, no clock)
+  uint64_t batch_pushes = 0;           // multi-page pushOut batches issued
+  uint64_t batch_push_pages = 0;       // pages covered by those batches
+  uint64_t soft_faults = 0;            // re-faults rescued from a pageout queue, no mapper I/O
+  uint64_t standby_hits = 0;           // ... of which came off the standby queue
+  uint64_t ws_trims = 0;               // pages demoted from a working set by trim
+  uint64_t thrash_throttles = 0;       // faults stalled by the thrash detector
+  uint64_t pageout_stalls = 0;         // injected kPageoutStall hits honoured
+  uint64_t low_memory_faults = 0;      // injected kLowMemory hits honoured
 };
 
 class PagedVm final : public BaseMm {
@@ -98,6 +116,35 @@ class PagedVm final : public BaseMm {
     // default so per-upcall accounting in existing tests stays exact; sequential
     // workloads (and throughput_smp) turn it on.
     size_t pullin_cluster_pages = 1;
+
+    // ---- Memory-pressure layer (DESIGN.md §15) ----
+    // Run the background paging daemon.  Off by default: background eviction
+    // makes page placement nondeterministic, so only pressure worlds (storm
+    // tests, the pageout bench) opt in.  When on, the constructor also installs
+    // the allocator's low-memory hook and sizes the emergency reserve.
+    bool pageout_daemon = false;
+    // Free-frame level at or below which the allocator's low-memory hook kicks
+    // the daemon.  Kept below low_water_frames so deterministic single-thread
+    // tests reach the synchronous balance path before the daemon ever wakes.
+    size_t daemon_wake_frames = 2;
+    // Per-address-space working-set cap, in pages.  0 = uncapped: no fault-time
+    // trim, and reclaim passes trim only detected thrashers.
+    size_t working_set_limit_pages = 0;
+    // Upper bound on one daemon batch pushOut, in pages.  The default (8 pages)
+    // keeps a 4 KiB-page batch inside one IPC chunk (Message::kMaxBytes), so
+    // the journalled swap mapper commits the whole batch with one WAL record.
+    size_t pushout_batch_pages = 8;
+    // Re-fault-rate EWMA (fixed point, x1000: 1000 = every mapped page is a
+    // rescue off a pageout queue) above which an address space counts as
+    // thrashing — reclaim trims it to half its working set first, and its
+    // faults are throttled while the pool sits below low water.  0 disables.
+    uint64_t thrash_ewma_threshold = 0;
+    // Frames withheld from normal allocation for the reclaim path (forwarded
+    // to PhysicalMemory::SetEmergencyReserve).  kAutoReserve sizes it from the
+    // frame count when the daemon is on, 0 otherwise — no reserve without a
+    // reclaimer entitled to it.
+    static constexpr size_t kAutoReserve = static_cast<size_t>(-1);
+    size_t emergency_reserve_frames = kAutoReserve;
   };
 
   PagedVm(PhysicalMemory& memory, Mmu& mmu) : PagedVm(memory, mmu, Options{}) {}
@@ -132,6 +179,26 @@ class PagedVm final : public BaseMm {
   // changing any state.  SleepQueue::Wait permits spurious wakeups by contract,
   // so this merely provokes the re-check path sleepers must already handle.
   void PokeSleepers(const Cache& cache, SegOffset offset);
+
+  // ---- Paging daemon control (pageout.cc; DESIGN.md §15) ----
+  // Start/stop the background daemon (both idempotent).  Stop joins the thread
+  // and uninstalls the allocator hook, so it MUST run before the nucleus and
+  // mappers this manager pages through are destroyed; worlds that outlive
+  // their mappers hold a guard whose destructor calls it (the PagedVm
+  // destructor also stops the daemon, as a backstop for same-lifetime worlds).
+  void StartPageoutDaemon();
+  void StopPageoutDaemon();
+  // Wake the daemon if it is running (cheap, callable under any lock below
+  // Rank::kPageoutDaemon; the allocator's low-memory hook lands here).
+  void KickPageoutDaemon();
+  // Deterministic test hook: run one full reclaim pass (standby harvest,
+  // working-set trim, batched modified-queue pushes, fallback clock sweep) on
+  // the calling thread, exactly as a daemon wakeup would.
+  void RunPageoutPassForTest();
+  // Queue/working-set introspection for tests and the bench.
+  size_t ModifiedQueueLength() const;
+  size_t StandbyQueueLength() const;
+  size_t WorkingSetPages(AsId as) const;
   // Renders the history tree reachable from `cache` in the notation of Figure 3.
   std::string DumpTree(Cache& cache) const;
   // One-page human-readable dump of MM, detail, MMU and TLB counters.
@@ -318,13 +385,52 @@ class PagedVm final : public BaseMm {
                         size_t size, bool lock_pages) GVM_REQUIRES(mu_);
 
   // ---- Page-out (pageout.cc) ----
-  // Keep the free-frame pool above the low-water mark.  Returns true if the lock
-  // was dropped at any point.
+  // Keep the free-frame pool above the low-water mark.  Serialized behind the
+  // single-sweeper gate: the thread that wins the gate sweeps, every other
+  // caller sleeps on frame availability until the pass completes.  Returns
+  // true if the lock was dropped at any point.
   bool BalanceFreeFrames(MutexLock& lock) GVM_REQUIRES(mu_);
   PageDesc* PickVictim() GVM_REQUIRES(mu_);
   bool PageIsDirty(const PageDesc& page) const;
 
-  Options options_;
+  // ---- Memory-pressure layer (pageout.cc; DESIGN.md §15) ----
+  // True when `page` can be freed with no upcall and no data loss: clean and
+  // reproducible from its segment / an ancestor / zero-fill.  The single
+  // arbiter for clean drops — the clock sweep and the standby harvest both
+  // route through it.
+  bool FreeableWithoutIO(const PageDesc& page) const GVM_REQUIRES(mu_);
+  // Re-derive `page`'s pageout-queue membership after a state change: unmapped
+  // unpinned resident pages land on modified (dirty) or standby (clean).
+  void ReconsiderQueue(PageDesc& page) GVM_REQUIRES(mu_);
+  void QueueRemove(PageDesc& page) GVM_REQUIRES(mu_);
+  // Working-set index maintenance, driven from MapPage / UnmapMapping.
+  void WsNoteMapped(AsId as, PageDesc& page) GVM_REQUIRES(mu_);
+  void WsNoteUnmapped(AsId as, PageDesc& page) GVM_REQUIRES(mu_);
+  // Demote `page` from `as`'s working set: unmap its mappings in that address
+  // space only (no I/O — the queue hooks pick the page up for the daemon).
+  void TrimPageFromAs(PageDesc& page, AsId as) GVM_REQUIRES(mu_);
+  // Free standby-queue heads (no I/O) until `target` frames are free; returns
+  // the number freed.  Never drops the lock.
+  size_t ReclaimStandbyLocked(size_t target) GVM_REQUIRES(mu_);
+  // Trim every over-limit working set, thrashers (EWMA above threshold) first
+  // and hardest.  Never drops the lock.
+  void TrimWorkingSetsLocked() GVM_REQUIRES(mu_);
+  // Push `pages` contiguous dirty resident pages of `cache` starting at
+  // `start` in ONE driver pushOut (one IPC chunk, one WAL commit record).
+  // Per-page bookkeeping mirrors PushOutPageLocked; drops the lock.
+  Status PushOutRunLocked(MutexLock& lock, PvmCache& cache, SegOffset start,
+                          size_t pages) GVM_REQUIRES(mu_);
+  // One full reclaim pass under the sweeper gate; returns true if the lock was
+  // dropped.  Shared by the daemon thread and RunPageoutPassForTest.
+  bool DaemonReclaimPass(MutexLock& lock) GVM_REQUIRES(mu_);
+  void DaemonMain();
+  PhysicalMemory::AllocClass AllocClassForThisThread() const GVM_REQUIRES(mu_) {
+    return active_reclaimer_ == std::this_thread::get_id()
+               ? PhysicalMemory::AllocClass::kEmergency
+               : PhysicalMemory::AllocClass::kNormal;
+  }
+
+  const Options options_;  // pressure sentinels resolved by the constructor
   CacheId next_cache_id_ GVM_GUARDED_BY(mu_) = 1;
   std::unordered_map<CacheId, std::unique_ptr<PvmCache>> caches_ GVM_GUARDED_BY(mu_);
   GlobalMap map_ GVM_GUARDED_BY(mu_);
@@ -336,6 +442,48 @@ class PagedVm final : public BaseMm {
   SegOffset clock_offset_ GVM_GUARDED_BY(mu_) = 0;
   PvmDetailStats detail_ GVM_GUARDED_BY(mu_);
   uint32_t working_counter_ GVM_GUARDED_BY(mu_) = 0;  // names w1, w2, ... for working objects
+
+  // ---- Memory-pressure state (DESIGN.md §15) ----
+  // Per-address-space working set: FIFO of resident pages the space has mapped
+  // (front = oldest) plus a lookup index.  Invariant: a page is in ws[as] iff
+  // it carries at least one mapping in `as`.
+  struct WorkingSet {
+    std::list<PageDesc*> fifo;
+    std::unordered_map<PageDesc*, std::list<PageDesc*>::iterator> index;
+    // Re-fault-rate EWMA, fixed point x1000 (alpha = 1/8): rises when mapped
+    // pages keep being rescued off the pageout queues (evicted too recently).
+    uint64_t refault_ewma_x1000 = 0;
+  };
+  std::map<AsId, WorkingSet> working_sets_ GVM_GUARDED_BY(mu_);
+  // Global pageout queues (front = oldest candidate).  PageDesc::queue +
+  // queue_pos mirror membership; splices between caches keep pointers stable.
+  std::list<PageDesc*> modified_queue_ GVM_GUARDED_BY(mu_);
+  std::list<PageDesc*> standby_queue_ GVM_GUARDED_BY(mu_);
+  // Single-sweeper gate: while a reclaim pass runs, other allocators sleep on
+  // kFrameWaitKey instead of stampeding the clock; every completed pass bumps
+  // the epoch and wakes them, whether or not it freed anything.
+  bool sweeping_ GVM_GUARDED_BY(mu_) = false;
+  uint64_t reclaim_epoch_ GVM_GUARDED_BY(mu_) = 0;
+  std::thread::id active_reclaimer_ GVM_GUARDED_BY(mu_);
+  // SleepQueue key for frame-availability waits.  Far outside the StubKey
+  // range in practice; a collision only causes spurious wakeups.
+  static constexpr uint64_t kFrameWaitKey = ~0ull;
+
+  // Paging-daemon wake latch.  Rank kPageoutDaemon sits above kMmManager and
+  // the frame locks so Kick works from under any of them; the daemon never
+  // holds the latch while taking another lock.
+  Mutex daemon_mu_{Rank::kPageoutDaemon, "PagedVm::daemon_mu_"};
+  CondVar daemon_cv_;
+  bool daemon_kicked_ GVM_GUARDED_BY(daemon_mu_) = false;
+  bool daemon_stop_ GVM_GUARDED_BY(daemon_mu_) = false;
+  std::atomic<bool> daemon_active_{false};  // cheap pre-latch check for Kick
+  std::thread daemon_;  // gvm-lint: allow(annotation-coverage): joined by StopPageoutDaemon
+  // Allocator low-water hook: kicks the daemon from the allocating thread.
+  struct DaemonKicker final : PhysicalMemory::LowMemoryHook {
+    PagedVm* vm = nullptr;
+    void OnLowMemory() override { vm->KickPageoutDaemon(); }
+  };
+  DaemonKicker daemon_kicker_;  // gvm-lint: allow(annotation-coverage): written once in the constructor, before the hook is installed
 };
 
 }  // namespace gvm

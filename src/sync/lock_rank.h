@@ -69,6 +69,12 @@ enum class Rank : int {
   kFrameMagazine = 32,
   // PhysicalMemory's shared free list — the slow path magazines batch against.
   kFrameFreeList = 34,
+  // The paging daemon's wake latch (PagedVm pageout thread, DESIGN.md §15).
+  // Above the frame locks so PhysicalMemory's low-water hook may kick the
+  // daemon right after an allocation, and above kMmManager so the manager can
+  // kick it while holding mu_; the daemon itself never holds the latch while
+  // acquiring any other lock.
+  kPageoutDaemon = 36,
   // SoftMmu / HashMmu per-address-space lock shards.  Acquired under the
   // manager lock on the table-update path and bare on the CPU access path;
   // never two shards at once (equal rank trips the validator).

@@ -1,0 +1,292 @@
+// Seeded overcommit-pressure chaos harness, shared by tests/pressure_test.cc
+// and the tools/ repro+minimize drivers.
+//
+// One run builds a full kernel world with the paging daemon armed — PagedVm
+// over a deliberately tiny frame pool, Nucleus, a JournaledSwapMapper behind a
+// MapperServer as the default mapper — then commits several times physical
+// memory across many address spaces and hammers it from one worker thread per
+// space.  Each worker keeps a private shadow oracle of every acknowledged
+// 8-byte write (spaces are disjoint, so every oracle has a single writer); the
+// run fails if an acknowledged value is ever lost, if the world deadlocks, or
+// if the PVM's structural invariants break at quiesce.  Optional fault specs
+// (lowmem / pageoutstall / crashmidbatch / the crash-class sites) turn the
+// storm into a chaos run; a supervisor thread recovers the mapper whenever it
+// dies, exactly as in tests/crash_harness.h.
+#ifndef GVM_TESTS_PRESSURE_HARNESS_H_
+#define GVM_TESTS_PRESSURE_HARNESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/hal/soft_mmu.h"
+#include "src/nucleus/journal_mapper.h"
+#include "src/nucleus/nucleus.h"
+#include "src/pvm/paged_vm.h"
+#include "src/util/rng.h"
+#include "tests/crash_harness.h"
+
+namespace gvm {
+
+struct PressureStormConfig {
+  uint64_t seed = 1;
+  // Injector plan specs, e.g. {"lowmem:prob:16"}; see FaultInjector::ApplySpec.
+  std::vector<std::string> fault_specs;
+  int address_spaces = 8;  // one worker thread per space
+  int steps_per_thread = 200;
+  size_t frames = 32;
+  // Pages mapped per space; the default commits 8*12 = 96 pages over 32
+  // frames — 3x overcommit.
+  size_t commit_pages_per_space = 12;
+  size_t working_set_limit_pages = 0;   // 0 = uncapped
+  uint64_t thrash_ewma_threshold = 0;   // 0 = throttle off
+  bool use_ipc_transport = false;
+  bool enable_tlb = true;
+};
+
+struct PressureStormReport {
+  bool ok = false;
+  std::string failure;  // empty when ok; includes a stats dump otherwise
+  uint64_t nomemory_errors = 0;  // kNoMemory surfaced to a worker access
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t mapper_reads = 0;
+  uint64_t mapper_writes = 0;
+  PvmDetailStats detail;  // snapshot at quiesce
+};
+
+inline PressureStormReport RunPressureStorm(const PressureStormConfig& config) {
+  constexpr size_t kPage = 4096;
+  PressureStormReport report;
+
+  PhysicalMemory memory(config.frames, kPage);
+  SoftMmu mmu(kPage);
+  PagedVm::Options options;
+  options.enable_tlb = config.enable_tlb;
+  options.low_water_frames = 4;
+  options.high_water_frames = 8;
+  options.pageout_daemon = true;
+  options.daemon_wake_frames = 6;
+  options.working_set_limit_pages = config.working_set_limit_pages;
+  options.thrash_ewma_threshold = config.thrash_ewma_threshold;
+  PagedVm vm(memory, mmu, options);
+  Nucleus::Options nucleus_options;
+  nucleus_options.segment_manager.use_ipc_transport = config.use_ipc_transport;
+  nucleus_options.segment_manager.rpc_deadline_us = 200'000;
+  Nucleus nucleus(vm, nucleus_options);
+  JournalStore store(kPage);
+  JournaledSwapMapper mapper(store);
+  MapperServer server(nucleus.ipc(), mapper);
+  nucleus.BindDefaultMapper(&server);
+  if (config.use_ipc_transport) {
+    server.Start();
+  }
+  FaultInjector injector(config.seed);
+  mapper.BindFaultInjector(&injector);
+  server.BindFaultInjector(&injector);
+  // The PagedVm pressure sites (lowmem, pageoutstall) are evaluated through
+  // the memory's bound injector.
+  memory.BindFaultInjector(&injector);
+  for (const std::string& spec : config.fault_specs) {
+    std::string error;
+    if (!injector.ApplySpec(spec, &error)) {
+      report.failure = "bad fault spec '" + spec + "': " + error;
+      return report;
+    }
+  }
+  SegmentManager& sm = nucleus.segment_manager();
+
+  // The daemon upcalls into the segment manager, so it must be quiesced
+  // before the Nucleus above dies: this guard, declared after the Nucleus,
+  // destructs first.
+  struct DaemonStopGuard {
+    PagedVm* vm;
+    ~DaemonStopGuard() { vm->StopPageoutDaemon(); }
+  } daemon_guard{&vm};
+
+  // Build the overcommitted worlds: one context + temporary cache + region
+  // per space.
+  const size_t span_pages = config.commit_pages_per_space;
+  const Vaddr base = 0x100000;
+  std::vector<Context*> contexts;
+  std::vector<Cache*> caches;
+  std::vector<Region*> regions;
+  for (int i = 0; i < config.address_spaces; ++i) {
+    Result<Context*> ctx = vm.ContextCreate();
+    Result<Cache*> cache = sm.AcquireTemporaryCache("press" + std::to_string(i));
+    if (!ctx.ok() || !cache.ok()) {
+      report.failure = "world setup failed";
+      return report;
+    }
+    Result<Region*> region =
+        vm.RegionCreate(**ctx, base, span_pages * kPage, Prot::kReadWrite, **cache, 0);
+    if (!region.ok()) {
+      report.failure = "RegionCreate failed";
+      return report;
+    }
+    contexts.push_back(*ctx);
+    caches.push_back(*cache);
+    regions.push_back(*region);
+  }
+
+  // The supervisor: revive the mapper whenever a chaos plan kills it.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> recoveries{0};
+  std::thread supervisor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (server.crashed()) {
+        RecoverAndRestart(mapper, server, sm);
+        recoveries.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> nomemory{0};
+  std::vector<std::string> thread_failures(static_cast<size_t>(config.address_spaces));
+  std::vector<std::vector<uint64_t>> oracles(
+      static_cast<size_t>(config.address_spaces),
+      std::vector<uint64_t>(span_pages, 0));  // 0 = never written (zero-fill)
+  std::vector<std::thread> workers;
+  for (int t = 0; t < config.address_spaces; ++t) {
+    workers.emplace_back([&, t] {
+      const AsId as = contexts[static_cast<size_t>(t)]->address_space();
+      std::vector<uint64_t>& oracle = oracles[static_cast<size_t>(t)];
+      Rng rng(config.seed * 9176 + static_cast<uint64_t>(t) + 1);
+      uint64_t next_value = (static_cast<uint64_t>(t) << 48) | 1;
+      for (int step = 0; step < config.steps_per_thread && !failed.load(); ++step) {
+        const size_t p = rng.Below(span_pages);
+        const Vaddr va = base + p * kPage;  // one slot per page, page-aligned
+        if (rng.Below(100) < 60) {
+          const uint64_t value = next_value++;
+          Status s = vm.cpu().Write(as, va, &value, sizeof(value));
+          if (s == Status::kOk) {
+            oracle[p] = value;  // acknowledged: must never be lost
+          } else if (s == Status::kNoMemory) {
+            nomemory.fetch_add(1, std::memory_order_relaxed);
+          }
+          // Other errors (degraded segment mid-crash) leave the slot intact:
+          // an 8-byte in-page write either faults in fully or not at all.
+        } else {
+          uint64_t got = 0;
+          Status s = vm.cpu().Read(as, va, &got, sizeof(got));
+          if (s == Status::kOk && got != oracle[p]) {
+            std::ostringstream msg;
+            msg << "space " << t << " page " << p << " read " << got
+                << " but acknowledged history says " << oracle[p] << " (step "
+                << step << ")";
+            thread_failures[static_cast<size_t>(t)] = msg.str();
+            failed.store(true);
+            return;
+          }
+          if (s == Status::kNoMemory) {
+            nomemory.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  // Quiesce: stop injecting, let the supervisor finish any outstanding
+  // recovery, then verify every acknowledged value survived the storm.
+  injector.ClearAllPlans();
+  for (int attempt = 0; attempt < 2000 && server.crashed(); ++attempt) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  std::string verify_failure;
+  for (int t = 0; t < config.address_spaces && verify_failure.empty(); ++t) {
+    const AsId as = contexts[static_cast<size_t>(t)]->address_space();
+    for (size_t p = 0; p < span_pages; ++p) {
+      uint64_t got = 0;
+      Status s = Status::kBusError;
+      for (int attempt = 0; attempt < 2000; ++attempt) {
+        s = vm.cpu().Read(as, base + p * kPage, &got, sizeof(got));
+        if (s == Status::kOk) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      if (s != Status::kOk) {
+        verify_failure = "final read never succeeded for space " + std::to_string(t);
+        break;
+      }
+      if (got != oracles[static_cast<size_t>(t)][p]) {
+        std::ostringstream msg;
+        msg << "dirty data lost: space " << t << " page " << p << " holds " << got
+            << " but acknowledged history says " << oracles[static_cast<size_t>(t)][p];
+        verify_failure = msg.str();
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  supervisor.join();
+  if (config.use_ipc_transport) {
+    server.Stop();
+  }
+
+  report.crashes = server.crashes();
+  report.recoveries = recoveries.load();
+  report.nomemory_errors = nomemory.load();
+  report.detail = vm.detail_stats();
+  report.mapper_reads = sm.stats().mapper_reads;
+  report.mapper_writes = sm.stats().mapper_writes;
+
+  std::ostringstream failure;
+  for (const std::string& tf : thread_failures) {
+    if (!tf.empty()) {
+      failure << tf << "; ";
+    }
+  }
+  if (!verify_failure.empty()) {
+    failure << verify_failure << "; ";
+  }
+  if (vm.InTransitCount() != 0) {
+    failure << "pages left in transit; ";
+  }
+  if (vm.SyncStubCount() != 0) {
+    failure << "sync stubs leaked; ";
+  }
+  if (vm.CheckInvariants() != Status::kOk) {
+    failure << "PVM invariants violated; ";
+  }
+  for (Region* region : regions) {
+    (void)region->Destroy();
+  }
+  for (Context* ctx : contexts) {
+    (void)ctx->Destroy();
+  }
+  for (Cache* cache : caches) {
+    sm.Release(cache);
+  }
+  if (failure.str().empty()) {
+    report.ok = true;
+  } else {
+    std::ostringstream out;
+    out << "pressure storm failed (seed=" << config.seed
+        << " spaces=" << config.address_spaces << " frames=" << config.frames
+        << " commit=" << span_pages << "p/space specs=[";
+    for (const std::string& spec : config.fault_specs) {
+      out << spec << " ";
+    }
+    out << "]): " << failure.str() << "\n"
+        << "crashes=" << report.crashes << " recoveries=" << report.recoveries
+        << " nomemory=" << report.nomemory_errors << "\n"
+        << vm.DumpStats();
+    report.failure = out.str();
+  }
+  return report;
+}
+
+}  // namespace gvm
+
+#endif  // GVM_TESTS_PRESSURE_HARNESS_H_

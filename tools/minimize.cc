@@ -14,6 +14,7 @@
 #include "src/util/rng.h"
 #include "tests/crash_harness.h"
 #include "tests/dsm_harness.h"
+#include "tests/pressure_harness.h"
 #include "tests/test_util.h"
 
 using namespace gvm;
@@ -339,6 +340,110 @@ int MinimizeDsmConfig(DsmChaosConfig config) {
   return 0;
 }
 
+// Pressure-mode minimization: like crash and DSM mode, shrinks the storm
+// *configuration* — fewer steps, fewer address spaces, fewer committed pages,
+// fewer fault specs, simpler features — while the failure persists, then
+// prints the smallest failing storm as a repro command line.
+void PrintPressureConfig(const PressureStormConfig& config) {
+  printf("  repro_tool %llu pressurestorm", (unsigned long long)config.seed);
+  for (const std::string& spec : config.fault_specs) printf(" %s", spec.c_str());
+  printf(" spaces=%d steps=%d frames=%zu pages=%zu", config.address_spaces,
+         config.steps_per_thread, config.frames, config.commit_pages_per_space);
+  if (config.working_set_limit_pages != 0) {
+    printf(" wslimit=%zu", config.working_set_limit_pages);
+  }
+  if (config.thrash_ewma_threshold != 0) {
+    printf(" thrash=%llu", (unsigned long long)config.thrash_ewma_threshold);
+  }
+  printf("%s\n", config.use_ipc_transport ? " ipc" : "");
+}
+
+int MinimizePressureConfig(PressureStormConfig config) {
+  if (RunPressureStorm(config).ok) {
+    printf("pressure config does not fail; try another seed\n");
+    return 1;
+  }
+  printf("initial failing pressure config:\n");
+  PrintPressureConfig(config);
+  auto fails = [](const PressureStormConfig& candidate) {
+    return !RunPressureStorm(candidate).ok;
+  };
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    PressureStormConfig candidate = config;
+    if (config.steps_per_thread > 1) {
+      candidate.steps_per_thread = config.steps_per_thread / 2;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.address_spaces > 1) {
+      candidate.address_spaces = config.address_spaces - 1;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.commit_pages_per_space > 1) {
+      candidate.commit_pages_per_space = config.commit_pages_per_space / 2;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.working_set_limit_pages != 0) {
+      candidate.working_set_limit_pages = 0;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.thrash_ewma_threshold != 0) {
+      candidate.thrash_ewma_threshold = 0;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    candidate = config;
+    if (config.use_ipc_transport) {
+      candidate.use_ipc_transport = false;
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        continue;
+      }
+    }
+    for (size_t i = 0; config.fault_specs.size() > 1 && i < config.fault_specs.size();
+         ++i) {
+      candidate = config;
+      candidate.fault_specs.erase(candidate.fault_specs.begin() +
+                                  static_cast<ptrdiff_t>(i));
+      if (fails(candidate)) {
+        config = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  printf("minimal failing pressure config:\n");
+  PrintPressureConfig(config);
+  PressureStormReport report = RunPressureStorm(config);
+  printf("%s\n", report.failure.c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   uint64_t seed = argc > 1 ? atoll(argv[1]) : 1;
   int steps = argc > 2 ? atoi(argv[2]) : 300;
@@ -349,6 +454,10 @@ int main(int argc, char** argv) {
   // A DSM-class spec (netdeliver / netpart / crashsiterecall / crashsiteack)
   // switches to dsm-config minimization; there "sites=N", "threads=N",
   // "pages=N", "partstorm" and "crashstorm" shape the cluster.
+  // A pressure-class spec (lowmem / pageoutstall / crashmidbatch) — or the bare
+  // "pressurestorm" keyword — switches to pressure-config minimization; there
+  // "spaces=N", "frames=N", "pages=N", "wslimit=N", "thrash=N" and "ipc"
+  // shape the storm.
   std::vector<std::string> fault_specs;
   size_t frames = 4096;
   CrashChaosConfig crash_config;
@@ -358,18 +467,31 @@ int main(int argc, char** argv) {
   DsmChaosConfig dsm_config;
   dsm_config.seed = seed;
   dsm_config.steps_per_thread = steps;
+  PressureStormConfig pressure_config;
+  pressure_config.seed = seed;
+  pressure_config.steps_per_thread = steps;
   bool crash_mode = false;
   bool dsm_mode = false;
+  bool pressure_mode = false;
   auto is_dsm_spec = [](const std::string& spec) {
     return spec.rfind("netdeliver", 0) == 0 || spec.rfind("netpart", 0) == 0 ||
            spec.rfind("crashsiterecall", 0) == 0 || spec.rfind("crashsiteack", 0) == 0;
   };
+  auto is_pressure_spec = [](const std::string& spec) {
+    return spec.rfind("lowmem", 0) == 0 || spec.rfind("pageoutstall", 0) == 0 ||
+           spec.rfind("crashmidbatch", 0) == 0;
+  };
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "pressurestorm") {
+      pressure_mode = true;
+      continue;
+    }
     if (arg.rfind("frames=", 0) == 0) {
       frames = strtoull(arg.c_str() + 7, nullptr, 10);
       crash_config.frames = frames;
       dsm_config.frames_per_site = frames;
+      pressure_config.frames = frames;
       continue;
     }
     if (arg.rfind("threads=", 0) == 0) {
@@ -385,8 +507,21 @@ int main(int argc, char** argv) {
       dsm_config.sites = atoi(arg.c_str() + 6);
       continue;
     }
+    if (arg.rfind("spaces=", 0) == 0) {
+      pressure_config.address_spaces = atoi(arg.c_str() + 7);
+      continue;
+    }
     if (arg.rfind("pages=", 0) == 0) {
       dsm_config.pages = strtoull(arg.c_str() + 6, nullptr, 10);
+      pressure_config.commit_pages_per_space = strtoull(arg.c_str() + 6, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("wslimit=", 0) == 0) {
+      pressure_config.working_set_limit_pages = strtoull(arg.c_str() + 8, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("thrash=", 0) == 0) {
+      pressure_config.thrash_ewma_threshold = strtoull(arg.c_str() + 7, nullptr, 10);
       continue;
     }
     if (arg == "partstorm") {
@@ -399,6 +534,7 @@ int main(int argc, char** argv) {
     }
     if (arg == "ipc") {
       crash_config.use_ipc_transport = true;
+      pressure_config.use_ipc_transport = true;
       continue;
     }
     FaultInjector probe;
@@ -407,16 +543,23 @@ int main(int argc, char** argv) {
       fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
       fprintf(stderr,
               "usage: %s [seed] [steps] [frames=N] [threads=N caches=N ipc] "
-              "[sites=N pages=N partstorm crashstorm] [site:mode[:args]...]...\n",
+              "[sites=N pages=N partstorm crashstorm] "
+              "[pressurestorm spaces=N wslimit=N thrash=N] [site:mode[:args]...]...\n",
               argv[0]);
       return 2;
     }
     fault_specs.push_back(arg);
-    if (is_dsm_spec(arg)) {
+    if (is_pressure_spec(arg)) {
+      pressure_mode = true;  // before the crash test: crashmidbatch starts with "crash"
+    } else if (is_dsm_spec(arg)) {
       dsm_mode = true;  // before the crash test: crashsite* also starts with "crash"
     } else if (arg.rfind("crash", 0) == 0) {
       crash_mode = true;
     }
+  }
+  if (pressure_mode) {
+    pressure_config.fault_specs = fault_specs;
+    return MinimizePressureConfig(pressure_config);
   }
   if (dsm_mode) {
     dsm_config.fault_specs = fault_specs;

@@ -11,6 +11,7 @@
 #include "src/util/rng.h"
 #include "tests/crash_harness.h"
 #include "tests/dsm_harness.h"
+#include "tests/pressure_harness.h"
 #include "tests/test_util.h"
 
 using namespace gvm;
@@ -31,6 +32,69 @@ bool IsDsmSpec(const std::string& spec) {
 // switches the tool into the mapper crash-recovery world: those sites live in
 // the journaled mapper and its server, not in the PVM schedule below.
 bool IsCrashSpec(const std::string& spec) { return spec.rfind("crash", 0) == 0; }
+
+// A spec naming a pressure-class site switches the tool into the overcommit
+// pressure-storm world (tests/pressure_harness.h), as does the bare
+// "pressurestorm" keyword.  Checked before the crash-class test because
+// crashmidbatch also starts with "crash".
+bool IsPressureSpec(const std::string& spec) {
+  return spec.rfind("lowmem", 0) == 0 || spec.rfind("pageoutstall", 0) == 0 ||
+         spec.rfind("crashmidbatch", 0) == 0;
+}
+
+int RunPressureMode(uint64_t seed, const std::vector<std::string>& args) {
+  PressureStormConfig config;
+  config.seed = seed;
+  for (const std::string& arg : args) {
+    if (arg == "pressurestorm") {
+      continue;  // mode keyword, not a knob
+    } else if (arg.rfind("spaces=", 0) == 0) {
+      config.address_spaces = atoi(arg.c_str() + 7);
+    } else if (arg.rfind("steps=", 0) == 0) {
+      config.steps_per_thread = atoi(arg.c_str() + 6);
+    } else if (arg.rfind("frames=", 0) == 0) {
+      config.frames = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("pages=", 0) == 0) {
+      config.commit_pages_per_space = strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("wslimit=", 0) == 0) {
+      config.working_set_limit_pages = strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("thrash=", 0) == 0) {
+      config.thrash_ewma_threshold = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "ipc") {
+      config.use_ipc_transport = true;
+    } else {
+      config.fault_specs.push_back(arg);
+    }
+  }
+  printf("pressure mode: seed=%llu spaces=%d steps=%d frames=%zu pages/space=%zu "
+         "wslimit=%zu thrash=%llu transport=%s\n",
+         (unsigned long long)config.seed, config.address_spaces, config.steps_per_thread,
+         config.frames, config.commit_pages_per_space, config.working_set_limit_pages,
+         (unsigned long long)config.thrash_ewma_threshold,
+         config.use_ipc_transport ? "ipc" : "in-process");
+  PressureStormReport report = RunPressureStorm(config);
+  printf("nomemory=%llu crashes=%llu recoveries=%llu mapper_reads=%llu mapper_writes=%llu\n",
+         (unsigned long long)report.nomemory_errors, (unsigned long long)report.crashes,
+         (unsigned long long)report.recoveries, (unsigned long long)report.mapper_reads,
+         (unsigned long long)report.mapper_writes);
+  const PvmDetailStats& d = report.detail;
+  printf("sweeps=%llu waits=%llu daemon_passes=%llu reclaimed=%llu batches=%llu "
+         "batch_pages=%llu\n",
+         (unsigned long long)d.sweeps_started, (unsigned long long)d.sweep_waits,
+         (unsigned long long)d.daemon_passes, (unsigned long long)d.frames_reclaimed_daemon,
+         (unsigned long long)d.batch_pushes, (unsigned long long)d.batch_push_pages);
+  printf("soft_faults=%llu standby_hits=%llu ws_trims=%llu throttles=%llu stalls=%llu "
+         "lowmem=%llu\n",
+         (unsigned long long)d.soft_faults, (unsigned long long)d.standby_hits,
+         (unsigned long long)d.ws_trims, (unsigned long long)d.thrash_throttles,
+         (unsigned long long)d.pageout_stalls, (unsigned long long)d.low_memory_faults);
+  if (!report.ok) {
+    printf("FAILED:\n%s\n", report.failure.c_str());
+    return 1;
+  }
+  printf("no divergence\n");
+  return 0;
+}
 
 int RunDsmMode(uint64_t seed, const std::vector<std::string>& args) {
   DsmChaosConfig config;
@@ -126,15 +190,22 @@ int main(int argc, char** argv) {
   // "netpart:nth:2", "crashsiterecall:prob:3", "crashsiteack:nth:1") switch to
   // the distributed-coherence chaos world instead; there "sites=N",
   // "threads=N", "steps=N", "pages=N", "partstorm" and "crashstorm" shape it.
+  // Pressure-class specs ("lowmem:prob:8", "pageoutstall:prob:10",
+  // "crashmidbatch:prob:6") — or the bare "pressurestorm" keyword — switch to
+  // the overcommit pressure-storm world; there "spaces=N", "steps=N",
+  // "frames=N", "pages=N", "wslimit=N", "thrash=N" and "ipc" shape it.
   size_t frames = 2048;
   FaultInjector injector(seed);
   bool have_plans = false;
   std::vector<std::string> raw_args;
   bool crash_mode = false;
   bool dsm_mode = false;
+  bool pressure_mode = false;
   for (int i = 2; i < argc; ++i) {
     raw_args.push_back(argv[i]);
-    if (IsDsmSpec(raw_args.back())) {
+    if (raw_args.back() == "pressurestorm" || IsPressureSpec(raw_args.back())) {
+      pressure_mode = true;  // before IsCrashSpec: crashmidbatch also starts with "crash"
+    } else if (IsDsmSpec(raw_args.back())) {
       dsm_mode = true;  // before IsCrashSpec: crashsite* also starts with "crash"
     } else if (IsCrashSpec(raw_args.back())) {
       crash_mode = true;
@@ -143,8 +214,10 @@ int main(int argc, char** argv) {
   for (const std::string& arg : raw_args) {
     if (arg.rfind("frames=", 0) == 0 || arg.rfind("threads=", 0) == 0 ||
         arg.rfind("steps=", 0) == 0 || arg.rfind("caches=", 0) == 0 ||
-        arg.rfind("sites=", 0) == 0 || arg.rfind("pages=", 0) == 0 || arg == "ipc" ||
-        arg == "partstorm" || arg == "crashstorm") {
+        arg.rfind("sites=", 0) == 0 || arg.rfind("pages=", 0) == 0 ||
+        arg.rfind("spaces=", 0) == 0 || arg.rfind("wslimit=", 0) == 0 ||
+        arg.rfind("thrash=", 0) == 0 || arg == "ipc" || arg == "partstorm" ||
+        arg == "crashstorm" || arg == "pressurestorm") {
       continue;  // world shape, not a fault spec
     }
     std::string error;
@@ -152,10 +225,14 @@ int main(int argc, char** argv) {
       fprintf(stderr, "bad fault spec '%s': %s\n", arg.c_str(), error.c_str());
       fprintf(stderr,
               "usage: %s [seed] [frames=N] [threads=N steps=N caches=N ipc] "
-              "[sites=N pages=N partstorm crashstorm] [site:mode[:args]...]...\n",
+              "[sites=N pages=N partstorm crashstorm] "
+              "[pressurestorm spaces=N wslimit=N thrash=N] [site:mode[:args]...]...\n",
               argv[0]);
       return 2;
     }
+  }
+  if (pressure_mode) {
+    return RunPressureMode(seed, raw_args);
   }
   if (dsm_mode) {
     return RunDsmMode(seed, raw_args);
