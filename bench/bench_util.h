@@ -56,14 +56,20 @@ struct World {
 
   Context* context = nullptr;
 
-  static World Make(MmKind kind, size_t frames = 4096) {
+  // `huge` opts the PVM into transparent huge pages (DESIGN.md §16); the MMU
+  // always models the second granule (512 KB = 64 base pages at kPage), so the
+  // A/B toggle is purely the manager-side promotion policy.
+  static World Make(MmKind kind, size_t frames = 4096, bool huge = false) {
     World world;
     world.memory = std::make_unique<PhysicalMemory>(frames, kPage);
     world.mmu = std::make_unique<SoftMmu>(kPage);
     switch (kind) {
-      case MmKind::kPvm:
-        world.mm = std::make_unique<PagedVm>(*world.memory, *world.mmu);
+      case MmKind::kPvm: {
+        PagedVm::Options options;
+        options.transparent_huge = huge;
+        world.mm = std::make_unique<PagedVm>(*world.memory, *world.mmu, options);
         break;
+      }
       case MmKind::kShadow:
         world.mm = std::make_unique<ShadowVm>(*world.memory, *world.mmu);
         break;
@@ -238,6 +244,11 @@ class BenchJson {
   void Config(const std::string& key, const std::string& value) {
     config_.emplace_back(key, "\"" + Escape(value) + "\"");
   }
+  // Without this overload a string literal binds to the bool overload and
+  // renders as `true` (how "mm": "pvm" became "mm": true in early JSONs).
+  void Config(const std::string& key, const char* value) {
+    Config(key, std::string(value));
+  }
   void Config(const std::string& key, uint64_t value) {
     config_.emplace_back(key, std::to_string(value));
   }
@@ -326,6 +337,18 @@ class BenchJson {
   double p99_ns_ = 0;
 };
 
+// Record the granule geometry in the JSON config header.  Every BENCH JSON
+// carries base_page_size and huge_page_size so a result is interpretable
+// without knowing which world built it; huge_page_size equals base_page_size
+// when the MMU has no second granule.
+inline void RecordPageSizes(BenchJson& json, const Mmu& mmu) {
+  json.Config("base_page_size", static_cast<uint64_t>(mmu.page_size()));
+  json.Config("huge_page_size", static_cast<uint64_t>(mmu.huge_page_size()));
+}
+inline void RecordPageSizes(BenchJson& json, MemoryManager& mm) {
+  RecordPageSizes(json, mm.cpu().mmu());
+}
+
 // Dump the standard counter set of a manager (MM + CPU + TLB + PVM detail)
 // into the JSON counter section.
 inline void AddWorldCounters(BenchJson& json, MemoryManager& mm) {
@@ -340,6 +363,7 @@ inline void AddWorldCounters(BenchJson& json, MemoryManager& mm) {
     Cpu::Stats cs = base->cpu().SnapshotStats();
     json.Counter("cpu_faults_taken", cs.faults_taken);
     json.Counter("tlb_hits", cs.tlb_hits);
+    json.Counter("tlb_huge_hits", cs.tlb_huge_hits);
     json.Counter("tlb_misses", cs.tlb_misses);
     json.Counter("tlb_shootdowns", cs.tlb_shootdowns);
     json.Counter("tlb_shootdown_pages", cs.tlb_shootdown_pages);
@@ -353,6 +377,10 @@ inline void AddWorldCounters(BenchJson& json, MemoryManager& mm) {
   if (auto* pvm = dynamic_cast<PagedVm*>(&mm)) {
     json.Counter("pullin_clustered", pvm->detail_stats().pullin_clustered);
     json.Counter("sync_stub_waits", pvm->detail_stats().sync_stub_waits);
+    json.Counter("promotions", pvm->detail_stats().promotions);
+    json.Counter("demotions", pvm->detail_stats().demotions);
+    json.Counter("demote_cow", pvm->detail_stats().demote_cow);
+    json.Counter("demote_pageout", pvm->detail_stats().demote_pageout);
   }
 }
 

@@ -191,6 +191,12 @@ int Run(int steps, uint64_t seed, bool quick) {
   json.Config("steps_per_site", static_cast<uint64_t>(steps));
   json.Config("seed", seed);
   json.Config("page_size", static_cast<uint64_t>(kDsmPageSize));
+  {
+    // Sites are created per cell below; record the granule geometry their
+    // SoftMmu substrate will carry (DSM itself never maps the second granule).
+    SoftMmu probe(kDsmPageSize);
+    RecordPageSizes(json, probe);
+  }
   json.Config("cow_every", static_cast<uint64_t>(kCowEvery));
   json.Config("sites_axis", quick ? std::string("2,8") : std::string("2,8,32"));
   json.Config("drop_axis", std::string("0,1,10"));

@@ -224,6 +224,7 @@ int Run(const Config& cfg) {
   json.Config("seconds", static_cast<uint64_t>(cfg.seconds * 1000));  // milliseconds
   json.Config("seed", cfg.seed);
   json.Config("page_size", static_cast<uint64_t>(kPageSize));
+  RecordPageSizes(json, vm);
   json.SetThroughput(ops_per_sec);
   json.SetLatency(p50, p99);
   json.Counter("ops", ops);

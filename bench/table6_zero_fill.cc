@@ -153,21 +153,27 @@ void RegisterAll() {
   }
 }
 
-// Machine-readable result: the representative 1024 KB / 128-pages PVM cell.
+// Machine-readable result: the representative 1024 KB / 128-pages PVM cell,
+// A/B over transparent huge pages (the on-variant promotes each fully-touched
+// 512 KB span; see DESIGN.md §16).
 void EmitJson() {
-  World world = World::Make(MmKind::kPvm);
-  const size_t bytes = 1024 * 1024;
-  const size_t pages = 128;
-  LatencyDist dist = MeasureDist([&] { ZeroFillTrial(world, bytes, pages); });
-  BenchJson json("table6_zero_fill");
-  json.Config("mm", "pvm");
-  json.Config("region_kb", uint64_t{1024});
-  json.Config("touched_pages", uint64_t{pages});
-  json.Config("page_size", uint64_t{kPage});
-  json.SetLatency(dist.p50_ns, dist.p99_ns);
-  json.SetThroughput(dist.p50_ns > 0 ? 1e9 / dist.p50_ns : 0);
-  AddWorldCounters(json, *world.mm);
-  json.WriteFile();
+  for (bool huge : {false, true}) {
+    World world = World::Make(MmKind::kPvm, 4096, huge);
+    const size_t bytes = 1024 * 1024;
+    const size_t pages = 128;
+    LatencyDist dist = MeasureDist([&] { ZeroFillTrial(world, bytes, pages); });
+    BenchJson json(huge ? "table6_zero_fill.huge" : "table6_zero_fill");
+    json.Config("mm", "pvm");
+    json.Config("region_kb", uint64_t{1024});
+    json.Config("touched_pages", uint64_t{pages});
+    json.Config("page_size", uint64_t{kPage});
+    json.Config("transparent_huge", huge);
+    RecordPageSizes(json, *world.mm);
+    json.SetLatency(dist.p50_ns, dist.p99_ns);
+    json.SetThroughput(dist.p50_ns > 0 ? 1e9 / dist.p50_ns : 0);
+    AddWorldCounters(json, *world.mm);
+    json.WriteFile();
+  }
 }
 
 }  // namespace

@@ -23,8 +23,8 @@ struct CowFixture {
   Region* src_region = nullptr;
   size_t region_bytes = 0;
 
-  static CowFixture Make(MmKind kind, size_t region_bytes) {
-    CowFixture fx{.world = World::Make(kind), .region_bytes = region_bytes};
+  static CowFixture Make(MmKind kind, size_t region_bytes, bool huge = false) {
+    CowFixture fx{.world = World::Make(kind, 4096, huge), .region_bytes = region_bytes};
     fx.src_cache = *fx.world.mm->CacheCreate(nullptr, "src");
     fx.src_region = *fx.world.mm->RegionCreate(*fx.world.context, kSrcBase, region_bytes,
                                                Prot::kReadWrite, *fx.src_cache, 0);
@@ -176,20 +176,27 @@ void RegisterAll() {
   }
 }
 
-// Machine-readable result: the representative 1024 KB / 128-pages PVM cell.
+// Machine-readable result: the representative 1024 KB / 128-pages PVM cell,
+// A/B over transparent huge pages.  In the on-variant the fully-resident source
+// promotes during setup, the deferred copy's write-protect demotes each span
+// (split-on-COW), and every forced copy still moves exactly one base page.
 void EmitJson() {
-  CowFixture fx = CowFixture::Make(MmKind::kPvm, 1024 * 1024);
-  const size_t pages = 128;
-  LatencyDist dist = MeasureDist([&] { CowTrial(fx, pages); });
-  BenchJson json("table7_copy_on_write");
-  json.Config("mm", "pvm");
-  json.Config("region_kb", uint64_t{1024});
-  json.Config("dirty_pages", uint64_t{pages});
-  json.Config("page_size", uint64_t{kPage});
-  json.SetLatency(dist.p50_ns, dist.p99_ns);
-  json.SetThroughput(dist.p50_ns > 0 ? 1e9 / dist.p50_ns : 0);
-  AddWorldCounters(json, *fx.world.mm);
-  json.WriteFile();
+  for (bool huge : {false, true}) {
+    CowFixture fx = CowFixture::Make(MmKind::kPvm, 1024 * 1024, huge);
+    const size_t pages = 128;
+    LatencyDist dist = MeasureDist([&] { CowTrial(fx, pages); });
+    BenchJson json(huge ? "table7_copy_on_write.huge" : "table7_copy_on_write");
+    json.Config("mm", "pvm");
+    json.Config("region_kb", uint64_t{1024});
+    json.Config("dirty_pages", uint64_t{pages});
+    json.Config("page_size", uint64_t{kPage});
+    json.Config("transparent_huge", huge);
+    RecordPageSizes(json, *fx.world.mm);
+    json.SetLatency(dist.p50_ns, dist.p99_ns);
+    json.SetThroughput(dist.p50_ns > 0 ? 1e9 / dist.p50_ns : 0);
+    AddWorldCounters(json, *fx.world.mm);
+    json.WriteFile();
+  }
 }
 
 }  // namespace

@@ -79,6 +79,10 @@ struct CellResult {
   MmStats mm;
   PhysicalMemory::Stats frames;
   const char* fence_name = "?";
+  // Granule geometry of the cell's MMU, captured once at setup so every JSON
+  // emitted from this cell is self-describing (bench_util RecordPageSizes).
+  size_t base_page_size = kPageSize;
+  size_t huge_page_size = 0;
   bool setup_failed = false;
 };
 
@@ -240,12 +244,15 @@ CellResult RunCell(Config cfg) {
   vm.BindSegmentRegistry(&registry);
 
   // Per-thread context (its own hardware address space) + anonymous segment.
+  // Hoisted out of the setup loop: the granule geometry is per-MMU, not
+  // per-cell-thread — query it once instead of per context.
+  const size_t ws_bytes = cfg.pages * vm.mmu().page_size();
   std::vector<Context*> contexts;
   std::vector<Cache*> caches;
   for (int t = 0; t < cfg.threads; ++t) {
     Context* ctx = *vm.ContextCreate();
     Cache* cache = *vm.CacheCreate(nullptr, "ws" + std::to_string(t));
-    Region* region = *vm.RegionCreate(*ctx, kWorkBase, cfg.pages * kPageSize,
+    Region* region = *vm.RegionCreate(*ctx, kWorkBase, ws_bytes,
                                       Prot::kReadWrite, *cache, 0);
     (void)region;
     contexts.push_back(ctx);
@@ -271,6 +278,8 @@ CellResult RunCell(Config cfg) {
   }
   CellResult cell;
   cell.fence_name = FenceName(vm.tlb().fence_mode());
+  cell.base_page_size = vm.mmu().page_size();
+  cell.huge_page_size = vm.mmu().huge_page_size();
   if (setup_errors.load(std::memory_order_relaxed) > 0) {
     // Fail fast: the frame budget was wrong.  Publishing throughput for a run
     // that could not even materialize its working set would be a lie.
@@ -376,6 +385,8 @@ int RunSingle(const Config& cfg) {
   json.Config("shootdown_fence", std::string(cell.fence_name));
   json.Config("seed", cfg.seed);
   json.Config("page_size", static_cast<uint64_t>(kPageSize));
+  json.Config("base_page_size", static_cast<uint64_t>(cell.base_page_size));
+  json.Config("huge_page_size", static_cast<uint64_t>(cell.huge_page_size));
   json.SetThroughput(cell.ops_per_sec);
   json.SetLatency(cell.p50_ns, cell.p99_ns);
   AddCellCounters(json, cell);
@@ -403,6 +414,14 @@ int RunScale(const Config& base, double cell_seconds, int max_threads) {
   combined.Config("cell_seconds_ms", static_cast<uint64_t>(cell_seconds * 1000));
   combined.Config("seed", base.seed);
   combined.Config("page_size", static_cast<uint64_t>(kPageSize));
+  // Hoisted out of the cell loop: the granule geometry is fixed for the whole
+  // matrix (both MMU kinds carry the default second granule), so probe it once
+  // here instead of re-deriving it per cell setup.
+  {
+    const SoftMmu probe(kPageSize);
+    combined.Config("base_page_size", static_cast<uint64_t>(probe.page_size()));
+    combined.Config("huge_page_size", static_cast<uint64_t>(probe.huge_page_size()));
+  }
   combined.Config("hardware_concurrency", static_cast<uint64_t>(hw));
   combined.Config("max_threads", static_cast<uint64_t>(max_threads));
 
@@ -426,6 +445,8 @@ int RunScale(const Config& base, double cell_seconds, int max_threads) {
         BenchJson json("throughput_scale." + tag);
         json.Config("threads", static_cast<uint64_t>(threads));
         json.Config("pages_per_thread", static_cast<uint64_t>(cfg.pages));
+        json.Config("base_page_size", static_cast<uint64_t>(cell.base_page_size));
+        json.Config("huge_page_size", static_cast<uint64_t>(cell.huge_page_size));
         json.Config("mmu", mmu);
         json.Config("shootdown_fence", std::string(cell.fence_name));
         json.Config("hardware_concurrency", static_cast<uint64_t>(hw));

@@ -85,6 +85,7 @@ Cpu::Stats Cpu::SnapshotStats() const {
     TlbMmu::TlbStats ts = tlb->tlb_stats();
     out.tlb_hits = ts.hits;
     out.tlb_misses = ts.misses;
+    out.tlb_huge_hits = ts.huge_hits;
     out.tlb_shootdowns = ts.shootdowns;
     out.tlb_shootdown_pages = ts.shootdown_pages;
     out.tlb_shootdown_ranges = ts.shootdown_ranges;

@@ -42,6 +42,7 @@ class Cpu {
     // (TlbMmu) fronts the MMU; zero otherwise.
     uint64_t tlb_hits = 0;
     uint64_t tlb_misses = 0;
+    uint64_t tlb_huge_hits = 0;  // subset of tlb_hits served by a wide entry
     uint64_t tlb_shootdowns = 0;
     uint64_t tlb_shootdown_pages = 0;
     uint64_t tlb_shootdown_ranges = 0;

@@ -26,7 +26,9 @@ class HashMmu final : public Mmu {
  public:
   static constexpr size_t kLockShards = 16;
 
-  explicit HashMmu(size_t page_size);
+  // `huge_pages` is the second granule in base pages (power of two); 0 picks
+  // the default of 512KB / page_size, and a value <= 1 disables huge pages.
+  explicit HashMmu(size_t page_size, size_t huge_pages = 0);
 
   Result<AsId> CreateAddressSpace() override;
   [[nodiscard]] Status DestroyAddressSpace(AsId as) override;
@@ -40,6 +42,14 @@ class HashMmu final : public Mmu {
   Result<MmuEntry> Lookup(AsId as, Vaddr va) const override;
   Result<bool> TestAndClearReferenced(AsId as, Vaddr va) override;
 
+  size_t huge_page_size() const override {
+    return huge_ratio_ > 1 ? page_size_ * huge_ratio_ : 0;
+  }
+  [[nodiscard]] Status MapHuge(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  [[nodiscard]] Status DemoteHuge(AsId as, Vaddr va) override;
+  Result<FrameIndex> TranslateAndAccessInfo(AsId as, Vaddr va, Access access, FrameBodyRef body,
+                                            MmuTranslateInfo* info) override;
+
   size_t page_size() const override { return page_size_; }
   // Aggregates the per-shard counters; a consistent total only at quiescence.
   Stats stats() const override;
@@ -48,6 +58,16 @@ class HashMmu final : public Mmu {
 
  private:
   struct Pte {
+    FrameIndex frame = kInvalidFrame;
+    Prot prot = Prot::kNone;
+    bool referenced = false;
+    bool dirty = false;
+  };
+
+  // One huge translation: a huge-aligned span backed by the contiguous frame
+  // run [frame, frame + huge_ratio_), with ONE shared referenced/dirty bit for
+  // the whole span (see the Mmu huge-granule contract in mmu.h).
+  struct HugePte {
     FrameIndex frame = kInvalidFrame;
     Prot prot = Prot::kNone;
     bool referenced = false;
@@ -72,16 +92,26 @@ class HashMmu final : public Mmu {
     // the whole hash (real inverted-page-table systems keep similar lists).
     std::unordered_map<AsId, std::unordered_set<uint64_t>> space_pages GVM_GUARDED_BY(mu);
     std::unordered_map<std::pair<AsId, uint64_t>, Pte, KeyHash> table GVM_GUARDED_BY(mu);
+    // Huge translations keyed by (as, huge vpn), plus the per-space huge-vpn
+    // set that teardown walks (same reason space_pages exists).
+    std::unordered_map<std::pair<AsId, uint64_t>, HugePte, KeyHash> huge_table GVM_GUARDED_BY(mu);
+    std::unordered_map<AsId, std::unordered_set<uint64_t>> space_huge GVM_GUARDED_BY(mu);
     Stats stats GVM_GUARDED_BY(mu);
   };
 
   uint64_t Vpn(Vaddr va) const { return va >> page_shift_; }
+  uint64_t Hvpn(Vaddr va) const { return Vpn(va) >> huge_shift_; }
   Shard& ShardFor(AsId as) const { return shards_[as % kLockShards]; }
-  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va,
-                                     Access access) GVM_REQUIRES(shard.mu);
+  Result<FrameIndex> TranslateLocked(Shard& shard, AsId as, Vaddr va, Access access,
+                                     MmuTranslateInfo* info) GVM_REQUIRES(shard.mu);
+  // Splits the huge span (as, hvpn) into base PTEs.  Returns true if a span
+  // existed (auto-demote sites use it to widen UnmapCollect's report).
+  bool SplitHugeLocked(Shard& shard, AsId as, uint64_t hvpn) GVM_REQUIRES(shard.mu);
 
   const size_t page_size_;
   const unsigned page_shift_;
+  const size_t huge_ratio_;   // base pages per huge page; <= 1 means disabled
+  const unsigned huge_shift_;
   std::atomic<AsId> next_as_{0};
   mutable std::array<Shard, kLockShards> shards_;
 };

@@ -38,11 +38,25 @@ class FrameBodyRef {
 };
 
 // One translation entry as seen by software.
+//
+// `huge` is reported per base page: a Lookup inside a huge span returns the
+// base-page view (frame = span base + page offset) with huge = true, and an
+// UnmapCollect that had to split a huge span first reports huge = true so the
+// caller (TlbMmu) knows to invalidate the wide cached entry too.
 struct MmuEntry {
   FrameIndex frame = kInvalidFrame;
   Prot prot = Prot::kNone;
   bool referenced = false;  // set by the hardware on any successful translation
   bool dirty = false;       // set by the hardware on a successful write
+  bool huge = false;        // translation is (or was, for UnmapCollect) part of a huge span
+};
+
+// Out-parameter of TranslateAndAccessInfo: tells a caching layer (TlbMmu) what
+// kind of entry the walk found, so it can cache one wide entry instead of N
+// base entries.  `huge_frame` is the frame of the span's first base page.
+struct MmuTranslateInfo {
+  bool huge = false;
+  FrameIndex huge_frame = kInvalidFrame;
 };
 
 class Mmu {
@@ -156,6 +170,59 @@ class Mmu {
       body(*frame);
     }
     return frame;
+  }
+
+  // ---- Second translation granule (transparent large pages) ----------------
+  //
+  // An implementation MAY support one additional power-of-two granule of
+  // huge_page_size() bytes (0 = unsupported).  A huge mapping covers a
+  // huge-aligned virtual span with a contiguous physical frame run (base frame
+  // + i for base page i) under one protection, with ONE shared referenced and
+  // ONE shared dirty bit for the whole span.
+  //
+  // Base-granule operations (Map/Protect/Unmap/UnmapCollect and the range
+  // forms) on an address inside a huge span transparently DEMOTE the span
+  // first — the span is replaced by its base-page PTEs (frame = base + i,
+  // protection copied, the shared referenced/dirty bits fanned out to every
+  // base PTE) — and then apply.  The fan-out is what keeps the UnmapCollect
+  // dirty-harvest contract honest: a write that translated through the wide
+  // entry dirtied the whole span, so after the split every base page it could
+  // have landed in reports dirty.  UnmapCollect reports huge = true on the
+  // removed entry when it split a span, so TlbMmu widens the invalidation.
+
+  // Size in bytes of the second granule; 0 if the implementation has none.
+  virtual size_t huge_page_size() const { return 0; }
+
+  // Installs one huge translation at huge-aligned `va`, mapping the span to
+  // the contiguous frame run starting at `frame`.  Replaces any base-page
+  // translations inside the span.  Like Map, re-mapping the span with the
+  // frame run it already translates to preserves the shared referenced/dirty
+  // bits; a different run starts them clear.  kInvalidArgument if `va` is not
+  // huge-aligned; kUnsupported if huge_page_size() == 0.
+  [[nodiscard]] virtual Status MapHuge(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
+    (void)as;
+    (void)va;
+    (void)frame;
+    (void)prot;
+    return Status::kUnsupported;
+  }
+
+  // Splits the huge span containing `va` into its base-page translations
+  // (frame = base + i, shared referenced/dirty fanned out).  kNotFound if no
+  // huge translation covers `va`.  The caller owns TLB invalidation.
+  [[nodiscard]] virtual Status DemoteHuge(AsId as, Vaddr va) {
+    (void)as;
+    (void)va;
+    return Status::kNotFound;
+  }
+
+  // TranslateAndAccess plus entry-kind reporting, for caching layers that can
+  // hold wide entries.  The default reports "not huge"; implementations with
+  // a second granule override it alongside TranslateAndAccess.
+  virtual Result<FrameIndex> TranslateAndAccessInfo(AsId as, Vaddr va, Access access,
+                                                    FrameBodyRef body, MmuTranslateInfo* info) {
+    *info = MmuTranslateInfo{};
+    return TranslateAndAccess(as, va, access, body);
   }
 
   // Software inspection of an entry, without touching referenced/dirty bits.

@@ -195,6 +195,73 @@ void PhysicalMemory::FreeFrame(FrameIndex frame) {
   mag.count.store(mag.frames.size(), std::memory_order_relaxed);
 }
 
+Result<FrameIndex> PhysicalMemory::AllocateRun(size_t count) {
+  assert(count > 0);
+  if (count > frame_count_) {
+    run_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::kNoMemory;
+  }
+  if (count == 1) {
+    Result<FrameIndex> one = AllocateFrame(AllocClass::kNormal);
+    if (one.ok()) {
+      run_allocations_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      run_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return one;
+  }
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector != nullptr && injector->Check(FaultSite::kFrameAlloc) != Status::kOk) {
+    run_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::kNoMemory;
+  }
+  // Contiguity is only visible on the shared list, so pull everything back
+  // first.  The allocated_ bits alone cannot be trusted: a frame sitting in a
+  // magazine is "not allocated" yet also not available here, and a concurrent
+  // free may land in a magazine after this drain — so membership is decided
+  // strictly by presence in free_list_, under mu_.
+  DrainMagazines();
+  MutexLock lock(mu_);
+  const size_t reserve = emergency_reserve();
+  if (free_list_.size() < count + reserve) {
+    run_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::kNoMemory;
+  }
+  // Position of each free frame within free_list_, or npos if not free.
+  constexpr size_t kNotFree = static_cast<size_t>(-1);
+  std::vector<size_t> pos(frame_count_, kNotFree);
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    pos[free_list_[i]] = i;
+  }
+  for (size_t base = 0; base + count <= frame_count_; ++base) {
+    size_t run = 0;
+    while (run < count && pos[base + run] != kNotFree) {
+      ++run;
+    }
+    if (run < count) {
+      base += run;  // no frame in [base, base+run] can start a full run
+      continue;
+    }
+    // Remove the run from the free list via swap-pop, keeping `pos` exact for
+    // the element each pop moves.
+    for (size_t i = 0; i < count; ++i) {
+      const FrameIndex frame = static_cast<FrameIndex>(base + i);
+      const size_t at = pos[frame];
+      const FrameIndex moved = free_list_.back();
+      free_list_[at] = moved;
+      free_list_.pop_back();
+      pos[moved] = at;
+      pos[frame] = kNotFree;
+      Commission(frame);
+    }
+    shared_free_.store(free_list_.size(), std::memory_order_relaxed);
+    run_allocations_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<FrameIndex>(base);
+  }
+  run_failures_.fetch_add(1, std::memory_order_relaxed);
+  return Status::kNoMemory;
+}
+
 void PhysicalMemory::DrainMagazines() {
   for (size_t i = 0; i < kMagazineSlots; ++i) {
     Magazine& mag = magazines_[i];
@@ -251,6 +318,8 @@ PhysicalMemory::Stats PhysicalMemory::stats() const {
   out.magazine_steals = magazine_steals_.load(std::memory_order_relaxed);
   out.reserve_grants = reserve_grants_.load(std::memory_order_relaxed);
   out.low_memory_kicks = low_memory_kicks_.load(std::memory_order_relaxed);
+  out.run_allocations = run_allocations_.load(std::memory_order_relaxed);
+  out.run_failures = run_failures_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -265,6 +334,8 @@ void PhysicalMemory::ResetStats() {
   magazine_steals_.store(0, std::memory_order_relaxed);
   reserve_grants_.store(0, std::memory_order_relaxed);
   low_memory_kicks_.store(0, std::memory_order_relaxed);
+  run_allocations_.store(0, std::memory_order_relaxed);
+  run_failures_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gvm

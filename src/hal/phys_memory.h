@@ -47,6 +47,8 @@ class PhysicalMemory {
     uint64_t magazine_steals = 0;   // allocations served by raiding another magazine
     uint64_t reserve_grants = 0;    // emergency allocations served from the reserve
     uint64_t low_memory_kicks = 0;  // low-memory hook invocations
+    uint64_t run_allocations = 0;   // contiguous-run grants (huge-page promotion)
+    uint64_t run_failures = 0;      // run requests refused (fragmentation / reserve)
   };
 
   // Who is asking for the frame.  kEmergency is reserved for the reclaim path
@@ -89,6 +91,16 @@ class PhysicalMemory {
   Result<FrameIndex> AllocateFrame(AllocClass cls = AllocClass::kNormal);
 
   void FreeFrame(FrameIndex frame);
+
+  // Allocates `count` physically contiguous frames (contents undefined) and
+  // returns the first frame of the run; the caller owns [run, run + count).
+  // Used by huge-page promotion, which needs a contiguous frame run so one
+  // wide PTE can cover the whole span.  Always kNormal-class: a run never digs
+  // into the emergency reserve.  Drains the magazines first (a run must be
+  // assembled from the shared list, the only place contiguity is visible),
+  // then scans for `count` adjacent free frames; fails with kNoMemory when no
+  // such run exists — callers treat that as "don't promote", not an error.
+  Result<FrameIndex> AllocateRun(size_t count);
 
   // Frames at the bottom of the shared free list withheld from kNormal
   // allocations (default 0 = no reserve).  Set once at world setup, before
@@ -207,6 +219,8 @@ class PhysicalMemory {
   std::atomic<uint64_t> magazine_steals_{0};
   std::atomic<uint64_t> reserve_grants_{0};
   std::atomic<uint64_t> low_memory_kicks_{0};
+  std::atomic<uint64_t> run_allocations_{0};
+  std::atomic<uint64_t> run_failures_{0};
 
   std::atomic<size_t> emergency_reserve_{0};
   std::atomic<size_t> low_memory_threshold_{0};

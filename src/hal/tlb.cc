@@ -84,10 +84,25 @@ void ForgetThreadBindings() {
 }
 }  // namespace tlb_internal
 
+namespace {
+
+// log2 of base pages per huge page, or 0 when the inner MMU has no second
+// granule (huge_page_size() == 0 or degenerate).
+unsigned ResolveHugeShift(const Mmu& inner) {
+  const size_t huge = inner.huge_page_size();
+  if (huge <= inner.page_size()) {
+    return 0;
+  }
+  return static_cast<unsigned>(std::countr_zero(huge / inner.page_size()));
+}
+
+}  // namespace
+
 TlbMmu::TlbMmu(Mmu& inner, bool enabled, FenceMode fence)
     : inner_(inner),
       enabled_(enabled),
       page_shift_(static_cast<unsigned>(std::countr_zero(inner.page_size()))),
+      huge_shift_(ResolveHugeShift(inner)),
       instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)),
       fence_(ResolveFence(fence)),
       reader_fences_(fence_ == FenceMode::kFenced),
@@ -158,13 +173,16 @@ TlbMmu::CpuSlot* TlbMmu::ThisCpuSlow() {
 }
 
 void TlbMmu::Fill(CpuSlot& cpu, AsId as, uint64_t vpn, FrameIndex frame, Access access,
-                  uint64_t gen) {
+                  uint64_t gen, bool huge) {
+  // Huge fills index and tag by the huge vpn and record the span's first
+  // frame; the hit path adds the in-span page offset back on.
   const size_t s = SetIndex(as, vpn);
-  Entry* way = ProbeMutable(cpu, as, vpn);
+  Entry* way = ProbeMutable(cpu, as, vpn, huge);
   if (way != nullptr && way->frame == frame && way->gen == gen) {
     // Same translation, re-proven: accumulate the newly demonstrated right.
     // A write translation also proves the inner PTE dirty bit is now set, so
-    // later write hits cannot lose dirty information.
+    // later write hits cannot lose dirty information.  (For a wide entry the
+    // inner dirty bit is the span's shared bit, so this stays exact.)
     way->prot = way->prot | AccessProt(access);
     way->dirty_ok = way->dirty_ok || access == Access::kWrite;
     return;
@@ -187,19 +205,25 @@ void TlbMmu::Fill(CpuSlot& cpu, AsId as, uint64_t vpn, FrameIndex frame, Access 
                .frame = frame,
                .prot = AccessProt(access),
                .dirty_ok = access == Access::kWrite,
+               .huge = huge,
                .valid = true};
   Bump(cpu.fills);
 }
 
-void TlbMmu::Shootdown(AsId as, uint64_t vpn, bool single_page) {
+void TlbMmu::Shootdown(AsId as, uint64_t vpn, bool single_page, bool huge_also) {
   // Publish the invalidation first: any translation that starts after this
   // point revalidates against the new generation sum and must miss.  A
   // single-page operation (the software invlpg) bumps only the page slot its
-  // (as, vpn) hashes to; address-space teardown bumps the AS generation,
-  // flushing that context without disturbing other address spaces' entries.
+  // (as, vpn) hashes to — widened to the covering huge slot when the mutation
+  // split a span; address-space teardown bumps the AS generation, flushing
+  // that context (both granules: GenSumHuge includes it) without disturbing
+  // other address spaces' entries.
   if (single_page) {
     if (!GatherCondemned(as)) {  // condemned: subsumed by the commit-time AS bump
       gen_[GenIndex(as, vpn)].fetch_add(1, std::memory_order_seq_cst);
+      if (huge_also && huge_shift_ != 0) {
+        hgen_[GenIndex(as, vpn >> huge_shift_)].fetch_add(1, std::memory_order_seq_cst);
+      }
     }
     shootdown_pages_.fetch_add(1, std::memory_order_relaxed);
   } else if (gather_depth_ > 0) {
@@ -277,6 +301,40 @@ void TlbMmu::ShootdownRange(AsId as, uint64_t vpn, size_t count) {
   FenceAndDrain();
 }
 
+void TlbMmu::PublishHugeRange(AsId as, uint64_t hvpn_first, uint64_t hvpn_last) {
+  if (GatherCondemned(as)) {
+    return;  // subsumed by the commit-time AS bump
+  }
+  // Consecutive huge vpns hit distinct hgen slots (same GenIndex argument as
+  // base runs); a run longer than kGenSlots wraps, and double-bumping a
+  // monotonic slot is merely redundant, never wrong.
+  for (uint64_t h = hvpn_first; h <= hvpn_last; ++h) {
+    hgen_[GenIndex(as, h)].fetch_add(1, std::memory_order_seq_cst);
+  }
+}
+
+void TlbMmu::FinishRangeShootdown(AsId as, bool any, uint64_t first, uint64_t last,
+                                  bool any_huge, uint64_t hfirst, uint64_t hlast) {
+  // Publish the huge slots first so the single fence below retires wide
+  // entries together with the base run.
+  if (any_huge && huge_shift_ != 0) {
+    PublishHugeRange(as, hfirst, hlast);
+  }
+  if (any) {
+    ShootdownRange(as, first, last - first + 1);
+    return;
+  }
+  if (any_huge && huge_shift_ != 0) {
+    // Only wide entries were invalidated (e.g. the run's pages all resolved
+    // through spans with no base PTEs left behind); still owe the fence.
+    if (gather_depth_ > 0) {
+      gather_pending_ = true;
+      return;
+    }
+    FenceAndDrain();
+  }
+}
+
 void TlbMmu::BeginGather() {
   if (!enabled_) {
     return;
@@ -346,14 +404,29 @@ Result<FrameIndex> TlbMmu::Miss(CpuSlot& cpu, AsId as, Vaddr va, Access access,
                                 FrameBodyRef body) {
   Bump(cpu.misses);
   // ---- walk the real tables (the inner MMU provides its own atomicity) ----
-  // Read the generation *before* the walk: if a shootdown lands in between,
+  // Read the generations *before* the walk: if a shootdown lands in between,
   // the filled entry is stale on arrival (its recorded generation mismatches)
-  // rather than stale after the shootdown completed.
+  // rather than stale after the shootdown completed.  Both dimensions are read
+  // up front because the walk itself tells us which kind of entry to fill.
   const uint64_t vpn = va >> page_shift_;
   const uint64_t gen = GenSum(as, vpn);
+  if (huge_shift_ != 0) {
+    const uint64_t hvpn = vpn >> huge_shift_;
+    const uint64_t hgen = GenSumHuge(as, hvpn);
+    MmuTranslateInfo info;
+    Result<FrameIndex> frame = inner_.TranslateAndAccessInfo(as, va, access, body, &info);
+    if (frame.ok()) {
+      if (info.huge) {
+        Fill(cpu, as, hvpn, info.huge_frame, access, hgen, /*huge=*/true);
+      } else {
+        Fill(cpu, as, vpn, *frame, access, gen, /*huge=*/false);
+      }
+    }
+    return frame;
+  }
   Result<FrameIndex> frame = inner_.TranslateAndAccess(as, va, access, body);
   if (frame.ok()) {
-    Fill(cpu, as, vpn, *frame, access, gen);
+    Fill(cpu, as, vpn, *frame, access, gen, /*huge=*/false);
   }
   return frame;
 }
@@ -393,25 +466,37 @@ Status TlbMmu::DestroyAddressSpace(AsId as) {
 // and an actively-written page would look clean to eviction.
 Status TlbMmu::Map(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
   bool invalidate = false;
+  bool was_huge = false;
   if (enabled_) {
     Result<MmuEntry> old = inner_.Lookup(as, va);
     // A replacing map must flush when it changes the frame (e.g. a COW private
     // copy superseding the ancestor's page) or removes a right; a fresh fill
-    // or a pure widening must not.
-    invalidate = old.ok() && (old->frame != frame || !ProtAllows(prot, old->prot));
+    // or a pure widening must not.  A map inside a huge span demotes it, and
+    // the wide cached entry must ALWAYS die with the span — after the split,
+    // Lookup no longer reports huge, so no later base-granular mutation would
+    // ever reach the huge slot again and the wide entry would be stale forever.
+    was_huge = old.ok() && old->huge;
+    invalidate =
+        (old.ok() && (old->frame != frame || !ProtAllows(prot, old->prot))) || was_huge;
   }
   Status s = inner_.Map(as, va, frame, prot);
   if (s == Status::kOk && invalidate) {
-    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+    Shootdown(as, va >> page_shift_, /*single_page=*/true, /*huge_also=*/was_huge);
   }
   return s;
 }
 
 Status TlbMmu::Unmap(AsId as, Vaddr va) {
-  const bool mapped = enabled_ && inner_.Lookup(as, va).ok();
+  bool mapped = false;
+  bool was_huge = false;
+  if (enabled_) {
+    Result<MmuEntry> old = inner_.Lookup(as, va);
+    mapped = old.ok();
+    was_huge = old.ok() && old->huge;
+  }
   Status s = inner_.Unmap(as, va);
   if (s == Status::kOk && mapped) {
-    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+    Shootdown(as, va >> page_shift_, /*single_page=*/true, /*huge_also=*/was_huge);
   }
   return s;
 }
@@ -419,23 +504,29 @@ Status TlbMmu::Unmap(AsId as, Vaddr va) {
 Result<MmuEntry> TlbMmu::UnmapCollect(AsId as, Vaddr va) {
   // The inner MMU does the atomic remove-and-read; this wrapper only owes the
   // invalidation, exactly as in Unmap (the removed entry doubles as the
-  // was-mapped test).
+  // was-mapped test, and its huge flag tells us the unmap split a span, so
+  // the wide cached entry dies with the base one).
   Result<MmuEntry> removed = inner_.UnmapCollect(as, va);
   if (enabled_ && removed.ok()) {
-    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+    Shootdown(as, va >> page_shift_, /*single_page=*/true, /*huge_also=*/removed->huge);
   }
   return removed;
 }
 
 Status TlbMmu::Protect(AsId as, Vaddr va, Prot prot) {
   bool downgrade = false;
+  bool was_huge = false;
   if (enabled_) {
     Result<MmuEntry> old = inner_.Lookup(as, va);
     downgrade = old.ok() && !ProtAllows(prot, old->prot);
+    // Even an upgrade demotes a covering span, and the wide entry must die
+    // with the span (see Map): later base-granular mutations can no longer
+    // reach the huge slot once Lookup stops reporting huge.
+    was_huge = old.ok() && old->huge;
   }
   Status s = inner_.Protect(as, va, prot);
-  if (s == Status::kOk && downgrade) {
-    Shootdown(as, va >> page_shift_, /*single_page=*/true);
+  if (s == Status::kOk && (downgrade || was_huge)) {
+    Shootdown(as, va >> page_shift_, /*single_page=*/true, /*huge_also=*/was_huge);
   }
   return s;
 }
@@ -455,28 +546,36 @@ Status TlbMmu::UnmapRange(AsId as, Vaddr va, size_t count) {
   uint64_t first = 0;
   uint64_t last = 0;
   bool any = false;
+  uint64_t hfirst = 0;
+  uint64_t hlast = 0;
+  bool any_huge = false;
   for (size_t i = 0; i < count; ++i) {
     const Vaddr v = va + i * page;
-    const bool mapped = inner_.Lookup(as, v).ok();
+    Result<MmuEntry> old = inner_.Lookup(as, v);
     Status s = inner_.Unmap(as, v);
     if (s != Status::kOk) {
-      if (any) {
-        ShootdownRange(as, first, last - first + 1);
-      }
+      FinishRangeShootdown(as, any, first, last, any_huge, hfirst, hlast);
       return s;
     }
-    if (mapped) {
+    if (old.ok()) {
       const uint64_t vpn = v >> page_shift_;
       if (!any) {
         first = vpn;
         any = true;
       }
       last = vpn;
+      if (old->huge) {
+        // The unmap split a span; its wide cached entry must die with it.
+        const uint64_t hvpn = vpn >> huge_shift_;
+        if (!any_huge) {
+          hfirst = hvpn;
+          any_huge = true;
+        }
+        hlast = hvpn;
+      }
     }
   }
-  if (any) {
-    ShootdownRange(as, first, last - first + 1);
-  }
+  FinishRangeShootdown(as, any, first, last, any_huge, hfirst, hlast);
   return Status::kOk;
 }
 
@@ -489,6 +588,9 @@ Status TlbMmu::UnmapRangeCollect(AsId as, Vaddr va, size_t count, uint64_t* dirt
   uint64_t first = 0;
   uint64_t last = 0;
   bool any = false;
+  uint64_t hfirst = 0;
+  uint64_t hlast = 0;
+  bool any_huge = false;
   for (size_t i = 0; i < count && i < 64; ++i) {
     const Vaddr v = va + i * page;
     // Per-page atomic remove-and-read; the run pays one ranged invalidation.
@@ -505,11 +607,19 @@ Status TlbMmu::UnmapRangeCollect(AsId as, Vaddr va, size_t count, uint64_t* dirt
       any = true;
     }
     last = vpn;
+    if (removed->huge) {
+      // The collect split a span (the first covered page demotes it; the rest
+      // of the run then removes plain base PTEs): kill the wide entry too.
+      const uint64_t hvpn = vpn >> huge_shift_;
+      if (!any_huge) {
+        hfirst = hvpn;
+        any_huge = true;
+      }
+      hlast = hvpn;
+    }
   }
   *dirty_mask = mask;
-  if (any) {
-    ShootdownRange(as, first, last - first + 1);
-  }
+  FinishRangeShootdown(as, any, first, last, any_huge, hfirst, hlast);
   return Status::kOk;
 }
 
@@ -521,6 +631,9 @@ Status TlbMmu::ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) {
   uint64_t first = 0;
   uint64_t last = 0;
   bool any = false;
+  uint64_t hfirst = 0;
+  uint64_t hlast = 0;
+  bool any_huge = false;
   for (size_t i = 0; i < count; ++i) {
     const Vaddr v = va + i * page;
     Result<MmuEntry> old = inner_.Lookup(as, v);
@@ -530,24 +643,92 @@ Status TlbMmu::ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) {
     const bool downgrade = !ProtAllows(prot, old->prot);
     Status s = inner_.Protect(as, v, prot);
     if (s != Status::kOk && s != Status::kNotFound) {
-      if (any) {
-        ShootdownRange(as, first, last - first + 1);
-      }
+      FinishRangeShootdown(as, any, first, last, any_huge, hfirst, hlast);
       return s;
     }
-    if (s == Status::kOk && downgrade) {
+    if (s == Status::kOk) {
       const uint64_t vpn = v >> page_shift_;
+      if (downgrade) {
+        if (!any) {
+          first = vpn;
+          any = true;
+        }
+        last = vpn;
+      }
+      if (old->huge) {
+        // The protect demoted a covering span (even on an upgrade); the wide
+        // entry must die with it, under the same single fence as the run.
+        const uint64_t hvpn = vpn >> huge_shift_;
+        if (!any_huge) {
+          hfirst = hvpn;
+          any_huge = true;
+        }
+        hlast = hvpn;
+      }
+    }
+  }
+  FinishRangeShootdown(as, any, first, last, any_huge, hfirst, hlast);
+  return Status::kOk;
+}
+
+Status TlbMmu::MapHuge(AsId as, Vaddr va, FrameIndex frame, Prot prot) {
+  if (!enabled_ || huge_shift_ == 0) {
+    return inner_.MapHuge(as, va, frame, prot);
+  }
+  // The wide map absorbs every base translation in the span.  A cached base
+  // entry stays correct only if the new wide translation resolves its page to
+  // the same frame with no right removed; collect the sub-run of pages where
+  // that does not hold, plus whether an existing differing span is replaced.
+  const size_t page = size_t{1} << page_shift_;
+  const size_t ratio = size_t{1} << huge_shift_;
+  uint64_t first = 0;
+  uint64_t last = 0;
+  bool any = false;
+  bool huge_stale = false;
+  for (size_t i = 0; i < ratio; ++i) {
+    Result<MmuEntry> old = inner_.Lookup(as, va + i * page);
+    if (!old.ok()) {
+      continue;
+    }
+    if (old->frame != frame + i || !ProtAllows(prot, old->prot)) {
+      const uint64_t vpn = (va + i * page) >> page_shift_;
       if (!any) {
         first = vpn;
         any = true;
       }
       last = vpn;
+      if (old->huge) {
+        huge_stale = true;
+      }
     }
   }
-  if (any) {
-    ShootdownRange(as, first, last - first + 1);
+  Status s = inner_.MapHuge(as, va, frame, prot);
+  if (s != Status::kOk) {
+    return s;
   }
-  return Status::kOk;
+  const uint64_t hvpn = (va >> page_shift_) >> huge_shift_;
+  FinishRangeShootdown(as, any, first, last, huge_stale, hvpn, hvpn);
+  return s;
+}
+
+Status TlbMmu::DemoteHuge(AsId as, Vaddr va) {
+  Status s = inner_.DemoteHuge(as, va);
+  if (s == Status::kOk && enabled_ && huge_shift_ != 0) {
+    // The split base PTEs translate identically, so no base slot moves — but
+    // the wide cached entry must be retired now: once the span is gone, no
+    // later base-granular mutation would ever bump the huge slot again.
+    const uint64_t hvpn = (va >> page_shift_) >> huge_shift_;
+    if (!GatherCondemned(as)) {
+      hgen_[GenIndex(as, hvpn)].fetch_add(1, std::memory_order_seq_cst);
+    }
+    shootdown_pages_.fetch_add(1, std::memory_order_relaxed);
+    if (gather_depth_ > 0) {
+      gather_pending_ = true;
+    } else {
+      FenceAndDrain();
+    }
+  }
+  return s;
 }
 
 Result<MmuEntry> TlbMmu::Lookup(AsId as, Vaddr va) const { return inner_.Lookup(as, va); }
@@ -578,6 +759,7 @@ TlbMmu::TlbStats TlbMmu::tlb_stats() const {
     const uint64_t misses = cpu.misses.load(std::memory_order_relaxed);
     const uint64_t since_reset = lookups > base ? lookups - base : 0;
     out.hits += since_reset > misses ? since_reset - misses : 0;
+    out.huge_hits += cpu.huge_hits.load(std::memory_order_relaxed);
     out.misses += misses;
     out.fills += cpu.fills.load(std::memory_order_relaxed);
   }
@@ -593,6 +775,7 @@ void TlbMmu::ResetTlbStats() {
                                std::memory_order_relaxed);
     cpus_[i].misses.store(0, std::memory_order_relaxed);
     cpus_[i].fills.store(0, std::memory_order_relaxed);
+    cpus_[i].huge_hits.store(0, std::memory_order_relaxed);
   }
   shootdowns_.store(0, std::memory_order_relaxed);
   shootdown_pages_.store(0, std::memory_order_relaxed);

@@ -76,7 +76,8 @@ void ForgetThreadBindings();
 class TlbMmu final : public Mmu {
  public:
   struct TlbStats {
-    uint64_t hits = 0;
+    uint64_t hits = 0;              // includes huge_hits (a breakdown, not a disjoint count)
+    uint64_t huge_hits = 0;         // hits served by a wide (huge-granule) entry
     uint64_t misses = 0;
     uint64_t fills = 0;
     uint64_t shootdowns = 0;        // fence+drain events actually paid (the "IPIs")
@@ -119,6 +120,17 @@ class TlbMmu final : public Mmu {
   [[nodiscard]] Status UnmapRangeCollect(AsId as, Vaddr va, size_t count,
                                          uint64_t* dirty_mask) override;
   [[nodiscard]] Status ProtectRange(AsId as, Vaddr va, size_t count, Prot prot) override;
+  // Huge-granule pass-throughs.  The TLB caches wide entries in a second
+  // generation dimension (hgen_), so mixed-size shootdowns stay precise: a
+  // base-page invalidation bumps its page slot, and widens to the covering
+  // huge slot only when the mutation actually split a span (old/removed entry
+  // reports huge).  MapHuge over differing base translations invalidates the
+  // covered sub-run with one ranged shootdown; DemoteHuge retires the wide
+  // entry (the split base PTEs translate identically, but a surviving wide
+  // entry would be unreachable by later base-granular bumps).
+  size_t huge_page_size() const override { return inner_.huge_page_size(); }
+  [[nodiscard]] Status MapHuge(AsId as, Vaddr va, FrameIndex frame, Prot prot) override;
+  [[nodiscard]] Status DemoteHuge(AsId as, Vaddr va) override;
   Result<FrameIndex> Translate(AsId as, Vaddr va, Access access) override;
   Result<FrameIndex> TranslateAndAccess(AsId as, Vaddr va, Access access,
                                         FrameBodyRef body) override;
@@ -232,7 +244,7 @@ class TlbMmu final : public Mmu {
         if (reader_fences_) {
           std::atomic_thread_fence(std::memory_order_seq_cst);
         }
-        const Entry* e = Probe(*cpu, as, vpn);
+        const Entry* e = Probe(*cpu, as, vpn, /*huge=*/false);
         if (e != nullptr && e->gen == GenSum(as, vpn) &&
             ProtAllows(e->prot, AccessProt(access)) &&
             (access != Access::kWrite || e->dirty_ok)) {
@@ -243,6 +255,23 @@ class TlbMmu final : public Mmu {
           cpu->epoch.store(++cpu->epoch_local, std::memory_order_release);
           return frame;
         }
+        if (huge_shift_ != 0) {
+          // Second probe at the wide granule: one cached entry covers the
+          // whole span (that is the translation-reach win), validated against
+          // its own generation dimension and indexed by the huge vpn.
+          const uint64_t hvpn = vpn >> huge_shift_;
+          const Entry* he = Probe(*cpu, as, hvpn, /*huge=*/true);
+          if (he != nullptr && he->gen == GenSumHuge(as, hvpn) &&
+              ProtAllows(he->prot, AccessProt(access)) &&
+              (access != Access::kWrite || he->dirty_ok)) {
+            const FrameIndex frame = static_cast<FrameIndex>(
+                he->frame + (vpn & ((uint64_t{1} << huge_shift_) - 1)));
+            body(frame);
+            Bump(cpu->huge_hits);
+            cpu->epoch.store(++cpu->epoch_local, std::memory_order_release);
+            return frame;
+          }
+        }
         cpu->epoch.store(++cpu->epoch_local, std::memory_order_release);
         return Miss(*cpu, as, va, access, FrameBodyRef(body));
       }
@@ -252,12 +281,13 @@ class TlbMmu final : public Mmu {
 
  private:
   struct Entry {
-    uint64_t vpn = 0;
+    uint64_t vpn = 0;           // huge entries store the huge vpn (vpn >> huge_shift_)
     uint64_t gen = 0;           // generation at fill time; mismatch == invalid
     AsId as = kInvalidAsId;
-    FrameIndex frame = kInvalidFrame;
+    FrameIndex frame = kInvalidFrame;  // huge entries: frame of the span's first page
     Prot prot = Prot::kNone;    // rights proven by successful inner translations
     bool dirty_ok = false;      // inner PTE dirty bit known set: write hits allowed
+    bool huge = false;          // wide entry: covers huge_shift_ worth of base pages
     bool valid = false;
   };
 
@@ -276,6 +306,7 @@ class TlbMmu final : public Mmu {
     // relaxed loads).  Hits are derived: epoch/2 - lookup_base - misses.
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> fills{0};
+    std::atomic<uint64_t> huge_hits{0};    // hits served by a wide entry
     std::atomic<uint64_t> lookup_base{0};  // lookups at the last ResetTlbStats
     Entry entries[kSets][kWays];
     uint8_t next_way[kSets] = {};
@@ -301,27 +332,47 @@ class TlbMmu final : public Mmu {
     return as_gen_[AsGenIndex(as)].load(std::memory_order_seq_cst) +
            gen_[GenIndex(as, vpn)].load(std::memory_order_seq_cst);
   }
-  const Entry* Probe(const CpuSlot& cpu, AsId as, uint64_t vpn) const {
+  // Wide entries validate against their own page-generation dimension, hashed
+  // by the huge vpn, plus the shared AS generation (so address-space teardown
+  // retires both sizes with one bump).
+  uint64_t GenSumHuge(AsId as, uint64_t hvpn) const {
+    return as_gen_[AsGenIndex(as)].load(std::memory_order_seq_cst) +
+           hgen_[GenIndex(as, hvpn)].load(std::memory_order_seq_cst);
+  }
+  // `huge` discriminates the two entry kinds: a base probe must never hit a
+  // wide entry whose huge vpn happens to equal a base vpn (and vice versa).
+  const Entry* Probe(const CpuSlot& cpu, AsId as, uint64_t vpn, bool huge) const {
     const Entry* set = cpu.entries[SetIndex(as, vpn)];
     for (size_t w = 0; w < kWays; ++w) {
-      if (set[w].valid && set[w].as == as && set[w].vpn == vpn) {
+      if (set[w].valid && set[w].huge == huge && set[w].as == as && set[w].vpn == vpn) {
         return &set[w];
       }
     }
     return nullptr;
   }
-  Entry* ProbeMutable(CpuSlot& cpu, AsId as, uint64_t vpn) {
-    return const_cast<Entry*>(Probe(cpu, as, vpn));
+  Entry* ProbeMutable(CpuSlot& cpu, AsId as, uint64_t vpn, bool huge) {
+    return const_cast<Entry*>(Probe(cpu, as, vpn, huge));
   }
-  void Fill(CpuSlot& cpu, AsId as, uint64_t vpn, FrameIndex frame, Access access, uint64_t gen);
+  void Fill(CpuSlot& cpu, AsId as, uint64_t vpn, FrameIndex frame, Access access, uint64_t gen,
+            bool huge);
   // Out-of-line slow paths for AccessFast.
   Result<FrameIndex> Miss(CpuSlot& cpu, AsId as, Vaddr va, Access access, FrameBodyRef body);
   Result<FrameIndex> Bypass(AsId as, Vaddr va, Access access, FrameBodyRef body);
   // Bumps the generation(s) covering (as, vpn) — all slots when single_page is
   // false — and waits for every CPU currently inside the critical window to
   // exit it; on return no stale translation can be used.  Under an open gather
-  // only the bump happens; the wait is deferred to commit.
-  void Shootdown(AsId as, uint64_t vpn, bool single_page);
+  // only the bump happens; the wait is deferred to commit.  `huge_also` widens
+  // a single-page invalidation to the covering huge-generation slot, for
+  // mutations that split a span (the wide cached entry must die with it).
+  void Shootdown(AsId as, uint64_t vpn, bool single_page, bool huge_also = false);
+  // Publish-half of a huge invalidation over [hvpn_first, hvpn_last] (no
+  // fence; the caller pays or defers it).
+  void PublishHugeRange(AsId as, uint64_t hvpn_first, uint64_t hvpn_last);
+  // Shared tail of the range wrappers: publishes the huge slots touched by
+  // span demotions, then pays (or defers) exactly one fence covering both the
+  // base run and the huge slots.
+  void FinishRangeShootdown(AsId as, bool any, uint64_t first, uint64_t last, bool any_huge,
+                            uint64_t hfirst, uint64_t hlast);
   // The fence half of a shootdown: force the barrier onto every thread, then
   // wait out every CPU inside its critical window.  Counts one shootdown.
   void FenceAndDrain();
@@ -339,12 +390,16 @@ class TlbMmu final : public Mmu {
   Mmu& inner_;
   const bool enabled_;
   const unsigned page_shift_;
+  // log2 of base pages per huge page; 0 = the inner MMU has no second granule
+  // (a 2:1 ratio would also be shift 1, so 0 is unambiguous as "disabled").
+  const unsigned huge_shift_;
   const uint64_t instance_id_;  // globally unique; defeats address-reuse aliasing
   const FenceMode fence_;       // resolved, never kAuto
   const bool reader_fences_;    // fence_ == kFenced, tested on the hit path
   const std::string name_;
   std::unique_ptr<CpuSlot[]> cpus_;
   mutable std::atomic<uint64_t> gen_[kGenSlots] = {};        // page generations
+  mutable std::atomic<uint64_t> hgen_[kGenSlots] = {};       // huge-page generations
   mutable std::atomic<uint64_t> as_gen_[kAsGenSlots] = {};   // address-space generations
   // Slots are claimed densely from index 0 and never released, so the scan in
   // Shootdown only needs to cover [0, claimed_high_).

@@ -131,10 +131,15 @@ std::string PagedVm::DumpStats() const {
       << " journal_replays=" << d.journal_replays
       << " journal_discarded=" << d.journal_records_discarded
       << " reissued=" << d.requests_reissued << "\n";
-  out << "tlb: hits=" << cs.tlb_hits << " misses=" << cs.tlb_misses
+  out << "tlb: hits=" << cs.tlb_hits << " huge_hits=" << cs.tlb_huge_hits
+      << " misses=" << cs.tlb_misses
       << " shootdowns=" << cs.tlb_shootdowns << " shootdown_pages=" << cs.tlb_shootdown_pages
       << " shootdown_ranges=" << cs.tlb_shootdown_ranges << "\n";
   const PhysicalMemory::Stats ps = memory().stats();
+  out << "huge: promotions=" << d.promotions << " demotions=" << d.demotions
+      << " demote_cow=" << d.demote_cow << " demote_pageout=" << d.demote_pageout
+      << " run_allocs=" << ps.run_allocations << " run_failures=" << ps.run_failures
+      << "\n";
   out << "frames: allocs=" << ps.allocations << " frees=" << ps.frees
       << " magazine_hits=" << ps.magazine_hits << " refills=" << ps.magazine_refills
       << " drains=" << ps.magazine_drains << " steals=" << ps.magazine_steals

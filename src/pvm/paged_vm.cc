@@ -358,11 +358,160 @@ void PagedVm::FreePage(PageDesc* page) {
 }
 
 // ---------------------------------------------------------------------------
+// Transparent huge pages (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+void PagedVm::DemoteIfHuge(AsId as, Vaddr va, DemoteReason reason) {
+  if (huge_spans_.empty()) {
+    return;
+  }
+  const size_t huge_bytes = mmu().huge_page_size();
+  if (huge_bytes <= page_size()) {
+    return;
+  }
+  const Vaddr hva = AlignDown(va, huge_bytes);
+  auto it = huge_spans_.find({as, hva});
+  if (it == huge_spans_.end()) {
+    return;
+  }
+  huge_spans_.erase(it);
+  // Break-before-make at the wide granule: the shootdown of the span's cached
+  // translation is published (and, outside an enclosing gather, fenced) before
+  // this function returns, so the caller's base-granular mutations can never
+  // race a CPU still holding the wide entry.
+  TlbGatherScope gather(&tlb());
+  if (mmu().DemoteHuge(as, hva) != Status::kOk) {
+    return;  // stale record: an inner auto-split already dismantled the span
+  }
+  ++detail_.demotions;
+  if (reason == DemoteReason::kCow) {
+    ++detail_.demote_cow;
+  } else if (reason == DemoteReason::kPageout) {
+    ++detail_.demote_pageout;
+  }
+}
+
+void PagedVm::MaybePromote(const PageFault& fault, Vaddr page_va) {
+  const size_t huge_bytes = mmu().huge_page_size();
+  const size_t page_bytes = page_size();
+  if (!options_.transparent_huge || huge_bytes <= page_bytes) {
+    return;
+  }
+  const size_t ratio = huge_bytes / page_bytes;
+  const Vaddr hva = AlignDown(page_va, huge_bytes);
+  const AsId as = fault.address_space;
+  if (huge_spans_.contains({as, hva})) {
+    return;  // already wide
+  }
+  RegionImpl* r = RelookupRegion(fault);
+  if (r == nullptr || hva < r->start() || hva + huge_bytes > r->end()) {
+    return;  // the span must lie inside one region (one protection, one cache)
+  }
+  auto rm_it = region_maps_.find(r);
+  if (rm_it == region_maps_.end()) {
+    return;
+  }
+  auto& rmap = rm_it->second;
+  // Validate every base page of the span; short-circuit on the first miss so
+  // a sparse region costs O(1) per fault, not O(ratio).  Each page must be the
+  // span's sole owner-view: resident, settled, unpinned, stub-free, mapped
+  // exactly once (here), and carrying the same effective protection — a wide
+  // PTE has one protection and one dirty bit for the whole span.
+  std::vector<PageDesc*> span;
+  span.reserve(ratio);
+  Prot prot = Prot::kNone;
+  for (size_t i = 0; i < ratio; ++i) {
+    const Vaddr va = hva + i * page_bytes;
+    auto it = rmap.find(va);
+    if (it == rmap.end()) {
+      return;
+    }
+    PageDesc* page = it->second;
+    if (page->in_transit || page->pin_count > 0 || !page->stubs.empty() ||
+        page->mappings.size() != 1) {
+      return;
+    }
+    const MappingRef& ref = page->mappings[0];
+    if (ref.as != as || ref.va != va || ref.region != r ||
+        ref.via_cache != page->cache) {
+      return;  // foreign (ancestor) view: the owner may still diverge under it
+    }
+    const Prot p = EffectiveProt(*r, *page, /*foreign=*/false);
+    if (i == 0) {
+      prot = p;
+    } else if (p != prot) {
+      return;
+    }
+    span.push_back(page);
+  }
+  if (prot == Prot::kNone) {
+    return;
+  }
+  // Already physically contiguous?  Then the collapse is pure PTE surgery.
+  bool contiguous = true;
+  for (size_t i = 1; i < ratio; ++i) {
+    if (span[i]->frame != span[0]->frame + i) {
+      contiguous = false;
+      break;
+    }
+  }
+  FrameIndex run = span[0]->frame;
+  if (!contiguous) {
+    Result<FrameIndex> fresh = memory().AllocateRun(ratio);
+    if (!fresh.ok()) {
+      return;  // fragmentation: not an error, the span just stays base-grained
+    }
+    run = *fresh;
+  }
+  {
+    // One batched removal of the N base PTEs (one ShootdownRange), harvesting
+    // the hardware dirty bits atomically with the translations' death.
+    TlbGatherScope gather(&tlb());
+    uint64_t dirty_mask = 0;
+    (void)mmu().UnmapRangeCollect(as, hva, ratio, &dirty_mask);
+    for (size_t i = 0; i < ratio; ++i) {
+      if ((dirty_mask >> i) & 1) {
+        span[i]->sw_dirty = true;
+      }
+    }
+    if (!contiguous) {
+      // The removal above is published but its fence may still be pending
+      // inside this gather: commit it before touching frame contents, or a
+      // CPU still holding a stale writable translation could land a write in
+      // an old frame AFTER its bytes were copied out — losing the write.
+      (void)gather.Flush();  // commit-only: flushing an open gather cannot fail
+      for (size_t i = 0; i < ratio; ++i) {
+        const FrameIndex dst = static_cast<FrameIndex>(run + i);
+        memory().CopyFrame(dst, span[i]->frame);
+        memory().FreeFrame(span[i]->frame);
+        span[i]->frame = dst;
+      }
+    }
+    Status s = mmu().MapHuge(as, hva, run, prot);
+    if (s != Status::kOk) {
+      // Cannot happen for a validated span (alignment and the address space
+      // both held under the never-dropped lock); restore base mappings so the
+      // pages are not left translation-less with live MappingRefs.
+      for (size_t i = 0; i < ratio; ++i) {
+        (void)mmu().Map(as, hva + i * page_bytes, span[i]->frame, prot);
+      }
+      return;
+    }
+  }
+  huge_spans_.insert({as, hva});
+  ++detail_.promotions;
+}
+
+// ---------------------------------------------------------------------------
 // MMU mapping bookkeeping
 // ---------------------------------------------------------------------------
 
 void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot prot,
                       PvmCache& via_cache) {
+  // A base-granular (re)map inside a promoted span splits it first: once the
+  // inner MMU auto-splits, no later base mutation could ever reach the wide
+  // cached entry, so the demotion must kill it NOW (see DemoteIfHuge).
+  DemoteIfHuge(region.context().address_space(), page_va, DemoteReason::kOther);
   auto& rmap = region_maps_[&region];
   auto it = rmap.find(page_va);
   if (it != rmap.end()) {
@@ -424,8 +573,12 @@ void PagedVm::MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot pr
   }
 }
 
-void PagedVm::UnmapMapping(PageDesc& page, size_t index) {
+void PagedVm::UnmapMapping(PageDesc& page, size_t index, DemoteReason reason) {
   const MappingRef ref = page.mappings[index];
+  // Huge-aware: removing one base page from a promoted span splits the span
+  // first, so the UnmapCollect below sees a base PTE whose dirty bit already
+  // carries the fanned-out span bit.
+  DemoteIfHuge(ref.as, ref.va, reason);
   // Harvest the hardware dirty bit as the translation dies: a read fault on a
   // writable region maps with write permission, so the CPU can dirty the page
   // without a fault ever setting sw_dirty — after the unmap, that bit is the
@@ -451,9 +604,9 @@ void PagedVm::UnmapMapping(PageDesc& page, size_t index) {
   }
 }
 
-void PagedVm::UnmapAllMappings(PageDesc& page) {
+void PagedVm::UnmapAllMappings(PageDesc& page, DemoteReason reason) {
   while (!page.mappings.empty()) {
-    UnmapMapping(page, page.mappings.size() - 1);
+    UnmapMapping(page, page.mappings.size() - 1, reason);
   }
 }
 
@@ -467,6 +620,11 @@ void PagedVm::RemoveForeignMappings(PageDesc& page) {
 
 void PagedVm::WriteProtectPage(PageDesc& page) {
   for (const MappingRef& ref : page.mappings) {
+    // Split-on-COW: the copy machinery is about to share this page, and a wide
+    // translation has ONE protection for its whole span — demote so only this
+    // base page loses write access, and a later write fault copies exactly one
+    // base page through the history object.
+    DemoteIfHuge(ref.as, ref.va, DemoteReason::kCow);
     Prot prot = EffectiveProt(*ref.region, page, /*foreign=*/ref.via_cache != page.cache);
     (void)mmu().Protect(ref.as, ref.va, prot & ~Prot::kWrite);
   }
@@ -1058,6 +1216,11 @@ Status PagedVm::ResolveFault(RegionImpl& region, const PageFault& fault, SegOffs
   if (result == Status::kOk && options_.pullin_cluster_pages > 1) {
     ClusterPullIns(lock, fault, page_va);
   }
+  if (result == Status::kOk && HugeEnabled()) {
+    // This fault may have completed a huge-aligned span: collapse it.  After
+    // ClusterPullIns, so a prefetched tail can finish the span the same fault.
+    MaybePromote(fault, page_va);
+  }
 
   // kRetry is a private protocol between internal loops; by the time a fault
   // resolution returns it must have been converted into kOk or a real error.
@@ -1144,6 +1307,12 @@ void PagedVm::OnRegionUnmapping(RegionImpl& region) {
       if (run.empty()) {
         return;
       }
+      // Promoted spans intersecting the run are split first (cheap set lookups
+      // when no spans exist), so the batched removal below unmaps base PTEs
+      // whose dirty bits already carry the fanned-out span bit.
+      for (size_t i = 0; i < run.size(); ++i) {
+        DemoteIfHuge(as, run_start + i * page_bytes, DemoteReason::kOther);
+      }
       uint64_t dirty_mask = 0;
       (void)mmu().UnmapRangeCollect(as, run_start, run.size(), &dirty_mask);
       for (size_t i = 0; i < run.size(); ++i) {
@@ -1220,6 +1389,9 @@ void PagedVm::OnRegionProtection(RegionImpl& region) {
   for (auto& [va, page] : it->second) {
     for (const MappingRef& ref : page->mappings) {
       if (ref.region == &region && ref.va == va) {
+        // A protection split inside a promoted span demotes it: the wide
+        // translation has one protection for the whole span.
+        DemoteIfHuge(ref.as, va, DemoteReason::kOther);
         bool foreign = ref.via_cache != page->cache;
         (void)mmu().Protect(ref.as, va, EffectiveProt(region, *page, foreign));
         break;

@@ -21,9 +21,11 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/pvm/page.h"
@@ -73,6 +75,11 @@ struct PvmDetailStats {
   uint64_t thrash_throttles = 0;       // faults stalled by the thrash detector
   uint64_t pageout_stalls = 0;         // injected kPageoutStall hits honoured
   uint64_t low_memory_faults = 0;      // injected kLowMemory hits honoured
+  // Transparent huge pages (DESIGN.md §16).
+  uint64_t promotions = 0;             // spans collapsed to one huge translation
+  uint64_t demotions = 0;              // spans split back to base pages ...
+  uint64_t demote_cow = 0;             // ... because a COW downgrade hit the span
+  uint64_t demote_pageout = 0;         // ... because reclaim evicted into the span
 };
 
 class PagedVm final : public BaseMm {
@@ -145,6 +152,15 @@ class PagedVm final : public BaseMm {
     // reclaimer entitled to it.
     static constexpr size_t kAutoReserve = static_cast<size_t>(-1);
     size_t emergency_reserve_frames = kAutoReserve;
+
+    // ---- Transparent huge pages (DESIGN.md §16) ----
+    // Fault-time promotion to the MMU's second granule: when a fault leaves a
+    // huge-aligned span of the region fully mapped with uniform protection,
+    // migrate it onto a contiguous frame run and replace the base PTEs with
+    // one wide translation.  Off by default: promotion changes frame placement
+    // and per-page counters, so only huge-aware worlds (benches, §16 tests)
+    // opt in.  A no-op when the MMU reports no second granule.
+    bool transparent_huge = false;
   };
 
   PagedVm(PhysicalMemory& memory, Mmu& mmu) : PagedVm(memory, mmu, Options{}) {}
@@ -240,11 +256,35 @@ class PagedVm final : public BaseMm {
 
   void FreePage(PageDesc* page) GVM_REQUIRES(mu_);  // unmaps, unthreads stubs, frees the frame
 
+  // ---- Transparent huge pages (DESIGN.md §16) ----
+  // Why a demotion was counted (for the detail stats split).
+  enum class DemoteReason { kOther, kCow, kPageout };
+  // True when this manager runs the second granule: opted in AND the MMU has one.
+  bool HugeEnabled() const {
+    return options_.transparent_huge && mmu().huge_page_size() > page_size();
+  }
+  // If `va` falls inside a promoted span of `as`, split it back to base pages
+  // (under a TlbGatherScope; the wide translation dies before the caller
+  // mutates any base page of the span) and drop the span record.  Callers
+  // invoke this before ANY base-granular MMU mutation inside the span — the
+  // inner MMU would auto-split anyway, but routing through here keeps the
+  // span set exact and the demotion counters attributed.
+  void DemoteIfHuge(AsId as, Vaddr va, DemoteReason reason) GVM_REQUIRES(mu_);
+  // Fault-time promotion: if the huge-aligned span around `page_va` is fully
+  // mapped by one region with uniform protection, collapse it to one wide
+  // translation (migrating the pages onto a contiguous frame run first when
+  // they are not already contiguous).  Never drops the manager lock; failure
+  // to promote (fragmentation, mixed state) is silent — the span stays on
+  // base pages.
+  void MaybePromote(const PageFault& fault, Vaddr page_va) GVM_REQUIRES(mu_);
+
   // ---- MMU mapping bookkeeping ----
   void MapPage(RegionImpl& region, Vaddr page_va, PageDesc& page, Prot prot,
                PvmCache& via_cache) GVM_REQUIRES(mu_);
-  void UnmapMapping(PageDesc& page, size_t index) GVM_REQUIRES(mu_);
-  void UnmapAllMappings(PageDesc& page) GVM_REQUIRES(mu_);
+  void UnmapMapping(PageDesc& page, size_t index,
+                    DemoteReason reason = DemoteReason::kOther) GVM_REQUIRES(mu_);
+  void UnmapAllMappings(PageDesc& page,
+                        DemoteReason reason = DemoteReason::kOther) GVM_REQUIRES(mu_);
   // Remove mappings installed through caches other than the owner (descendant
   // reads through the tree) — required before the owner's value may change.
   void RemoveForeignMappings(PageDesc& page) GVM_REQUIRES(mu_);
@@ -442,6 +482,10 @@ class PagedVm final : public BaseMm {
   SegOffset clock_offset_ GVM_GUARDED_BY(mu_) = 0;
   PvmDetailStats detail_ GVM_GUARDED_BY(mu_);
   uint32_t working_counter_ GVM_GUARDED_BY(mu_) = 0;  // names w1, w2, ... for working objects
+  // Promoted spans, keyed by (address space, huge-aligned VA).  The record is
+  // advisory: an inner auto-split can outrun it, so DemoteIfHuge tolerates a
+  // stale entry (DemoteHuge returns kNotFound) and merely erases it.
+  std::set<std::pair<AsId, Vaddr>> huge_spans_ GVM_GUARDED_BY(mu_);
 
   // ---- Memory-pressure state (DESIGN.md §15) ----
   // Per-address-space working set: FIFO of resident pages the space has mapped

@@ -131,7 +131,8 @@ void PagedVm::WsNoteUnmapped(AsId as, PageDesc& page) {
 void PagedVm::TrimPageFromAs(PageDesc& page, AsId as) {
   for (size_t i = page.mappings.size(); i > 0; --i) {
     if (page.mappings[i - 1].as == as) {
-      UnmapMapping(page, i - 1);  // fires WsNoteUnmapped / ReconsiderQueue
+      // fires WsNoteUnmapped / ReconsiderQueue; demotes a covering huge span
+      UnmapMapping(page, i - 1, DemoteReason::kPageout);
     }
   }
 }
@@ -306,7 +307,7 @@ bool PagedVm::BalanceFreeFrames(MutexLock& lock) {
         // clean-vs-dirty while the page is still mapped would race a write
         // landing on a PTE the drop is about to destroy — the page would be
         // clean-dropped with acknowledged data only in its frame.
-        UnmapAllMappings(*victim);
+        UnmapAllMappings(*victim, DemoteReason::kPageout);
         if (FreeableWithoutIO(*victim)) {
           ++mutable_stats().pages_paged_out;
           FreePage(victim);
@@ -392,7 +393,7 @@ Status PagedVm::PushOutPageLocked(MutexLock& lock, PvmCache& cache,
   // Unmap now: user writes racing the push would be silently lost otherwise.
   // NOTE: this destroys the MMU dirty bits — from here on the page's dirtiness
   // lives only in sw_dirty, so every failure path below must re-assert it.
-  UnmapAllMappings(page);
+  UnmapAllMappings(page, DemoteReason::kPageout);
   ++mutable_stats().push_outs;
   SegmentDriver* driver = cache.driver_;
   Status pushed = Status::kOk;
@@ -560,7 +561,7 @@ Status PagedVm::PushOutRunLocked(MutexLock& lock, PvmCache& cache, SegOffset sta
     QueueRemove(*page);
     page->in_transit = true;
     // NOTE: destroys the MMU dirty bits — failure paths below re-assert sw_dirty.
-    UnmapAllMappings(*page);
+    UnmapAllMappings(*page, DemoteReason::kPageout);
   }
   mutable_stats().push_outs += pages;
   ++detail_.batch_pushes;

@@ -47,6 +47,12 @@ struct PressureStormConfig {
   uint64_t thrash_ewma_threshold = 0;   // 0 = throttle off
   bool use_ipc_transport = false;
   bool enable_tlb = true;
+  // Transparent huge pages (DESIGN.md §16): huge_pages sets the MMU's second
+  // granule in base pages (0 = no second granule), transparent_huge arms
+  // fault-time promotion.  Both on makes the storm race promotion, split-on-
+  // COW demotion and pageout demotion against the acknowledged-write oracle.
+  size_t huge_pages = 0;
+  bool transparent_huge = false;
 };
 
 struct PressureStormReport {
@@ -65,9 +71,10 @@ inline PressureStormReport RunPressureStorm(const PressureStormConfig& config) {
   PressureStormReport report;
 
   PhysicalMemory memory(config.frames, kPage);
-  SoftMmu mmu(kPage);
+  SoftMmu mmu(kPage, 10, config.huge_pages);
   PagedVm::Options options;
   options.enable_tlb = config.enable_tlb;
+  options.transparent_huge = config.transparent_huge;
   options.low_water_frames = 4;
   options.high_water_frames = 8;
   options.pageout_daemon = true;

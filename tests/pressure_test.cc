@@ -423,5 +423,32 @@ TEST(PressureStorm, WorkingSetLimitsAndThrottleUnderOvercommit) {
   EXPECT_GT(total_throttles, 0u);
 }
 
+// Transparent huge pages under 3x overcommit (DESIGN.md §16): a 16 KB second
+// granule over a 32-frame pool, so fault-time promotion, split demotion and
+// pageout demotion all race the daemon, the sweeper and the acknowledged-write
+// oracle.  Promotion is opportunistic (a dry AllocateRun silently declines),
+// so the shape assertions accumulate across seeds rather than per run.
+TEST(PressureStorm, TransparentHugePagesSurviveOvercommit) {
+  uint64_t total_promotions = 0;
+  uint64_t total_demote_pageout = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    PressureStormConfig config;
+    config.seed = seed + 70;
+    config.steps_per_thread = 150;
+    config.huge_pages = 4;          // 3 full spans per 12-page space
+    config.transparent_huge = true;
+    PressureStormReport report = RunPressureStorm(config);
+    ASSERT_TRUE(report.ok) << report.failure;
+    EXPECT_EQ(report.nomemory_errors, 0u)
+        << "seed " << config.seed
+        << ": kNoMemory surfaced although reclaim could run";
+    total_promotions += report.detail.promotions;
+    total_demote_pageout += report.detail.demote_pageout;
+  }
+  EXPECT_GT(total_promotions, 0u) << "no storm ever collapsed a span";
+  EXPECT_GT(total_demote_pageout, 0u)
+      << "reclaim never demoted a promoted span under 3x overcommit";
+}
+
 }  // namespace
 }  // namespace gvm

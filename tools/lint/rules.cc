@@ -427,6 +427,20 @@ class Engine {
                             "reason)"});
     }
 
+    // gather-scope-atomicity (huge demotion): splitting a huge span retires a
+    // wide TLB entry covering many base pages — the split must publish inside
+    // an open TlbGatherScope so the mixed-size shootdown commits before the
+    // caller mutates any base page of the span (DESIGN.md §16).  The TlbMmu
+    // wrapper's own delegation to the inner MMU is the mechanism itself.
+    if (e.callee == "DemoteHuge" && gathers.empty() &&
+        fn.class_name != "TlbMmu" && UnderSrc(file.effective_path) &&
+        !LineAllows(file, e.line, kRuleGatherScopeAtomicity) &&
+        !SetAllows(fn_allows, kRuleGatherScopeAtomicity)) {
+      diags_.push_back({file.path, e.line, kRuleGatherScopeAtomicity,
+                        "huge-span demotion '" + e.callee +
+                            "' called with no TlbGatherScope open"});
+    }
+
     const bool r1_line_ok = LineAllows(file, e.line, kRuleNoBlockingUnderLock) ||
                             SetAllows(fn_allows, kRuleNoBlockingUnderLock);
 

@@ -1,0 +1,40 @@
+// gvm-lint selftest fixture: gather-scope-atomicity, huge-demotion flavour.
+// Splitting a huge span (DemoteHuge) retires a wide TLB entry covering many
+// base pages; the split must happen inside an open TlbGatherScope so the
+// mixed-size shootdown commits before the caller's base-granule mutations.
+// gvm-lint-pretend-path: src/fixture/bad_huge_demote.cc
+
+class Fixture {
+ public:
+  void DemoteWithNoGather() {
+    MutexLock lock(mu_);
+    (void)mmu_.DemoteHuge(as_, va_);  // EXPECT: gather-scope-atomicity
+  }
+
+  void DemoteAfterGatherClosed() {
+    MutexLock lock(mu_);
+    {
+      TlbGatherScope gather(&tlb_);
+    }
+    (void)mmu_.DemoteHuge(as_, va_);  // EXPECT: gather-scope-atomicity
+  }
+
+  void DemoteInsideGatherIsFine() {
+    MutexLock lock(mu_);
+    TlbGatherScope gather(&tlb_);
+    (void)mmu_.DemoteHuge(as_, va_);
+  }
+
+  void AllowedDemoteIsFine() {
+    MutexLock lock(mu_);
+    // gvm-lint: allow(gather-scope-atomicity): teardown path, AS already condemned
+    (void)mmu_.DemoteHuge(as_, va_);
+  }
+
+ private:
+  Mutex mu_;
+  Mmu mmu_;        // gvm-lint: allow(annotation-coverage): internally synchronized
+  TlbMmu tlb_;     // gvm-lint: allow(annotation-coverage): internally synchronized
+  AsId as_ = 0;    // gvm-lint: allow(annotation-coverage): set once at construction
+  Vaddr va_ = 0;   // gvm-lint: allow(annotation-coverage): set once at construction
+};
